@@ -1,0 +1,130 @@
+//! Batch evaluation of graph-based ANN search: recall@R and throughput.
+
+use std::time::Instant;
+
+use knn_graph::recall::list_recall;
+use knn_graph::{KnnGraph, Neighbor};
+use vecstore::VectorSet;
+
+use crate::search::{GraphSearcher, SearchParams};
+
+/// Result of evaluating a query batch at one `ef` setting.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnsReport {
+    /// Candidate-pool size used.
+    pub ef: usize,
+    /// Recall@R against the exact ground truth.
+    pub recall: f64,
+    /// Average query latency in milliseconds.
+    pub avg_query_ms: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Average number of distance evaluations per query.
+    pub avg_distance_evals: f64,
+}
+
+/// Runs every query through the searcher and reports recall@`r` plus timing.
+///
+/// `ground_truth[q]` must hold the exact nearest neighbours of query `q`
+/// (at least `r` of them), e.g. from
+/// [`knn_graph::brute::exact_ground_truth`].
+pub fn evaluate(
+    base: &VectorSet,
+    graph: &KnnGraph,
+    queries: &VectorSet,
+    ground_truth: &[Vec<Neighbor>],
+    r: usize,
+    params: SearchParams,
+) -> AnnsReport {
+    assert_eq!(
+        queries.len(),
+        ground_truth.len(),
+        "ground truth must cover every query"
+    );
+    let searcher = GraphSearcher::new(base, graph, params);
+    let mut results: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+    let mut evals = 0u64;
+    let start = Instant::now();
+    for q in queries.rows() {
+        let (res, stats) = searcher.search_with_stats(q, r);
+        evals += stats.distance_evals;
+        results.push(res.into_iter().map(|n| n.id).collect());
+    }
+    let elapsed = start.elapsed();
+    let recall = list_recall(&results, ground_truth, r);
+    let nq = queries.len().max(1) as f64;
+    AnnsReport {
+        ef: params.ef,
+        recall,
+        avg_query_ms: elapsed.as_secs_f64() * 1000.0 / nq,
+        qps: nq / elapsed.as_secs_f64().max(1e-12),
+        avg_distance_evals: evals as f64 / nq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_graph::brute::{exact_graph, exact_ground_truth};
+    use rand::Rng;
+    use vecstore::sample::rng_from_seed;
+
+    /// Connected, mildly clustered data (see the note in `search::tests`).
+    fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = (i % 8) as f32 * 1.2;
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                row.push(g + rng.gen_range(-1.0..1.0));
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn evaluation_reports_high_recall_on_exact_graph() {
+        let base = clustered(400, 5, 1);
+        let queries = clustered(25, 5, 50);
+        let graph = exact_graph(&base, 8);
+        let gt = exact_ground_truth(&base, &queries, 5);
+        let report = evaluate(
+            &base,
+            &graph,
+            &queries,
+            &gt,
+            5,
+            SearchParams::default().ef(64).seed(2),
+        );
+        assert!(report.recall > 0.85, "recall {}", report.recall);
+        assert!(report.qps > 0.0);
+        assert!(report.avg_query_ms > 0.0);
+        assert!(report.avg_distance_evals > 0.0);
+        // graph search must touch far fewer points than brute force
+        assert!(report.avg_distance_evals < base.len() as f64 * 0.9);
+        assert_eq!(report.ef, 64);
+    }
+
+    #[test]
+    fn recall_increases_with_ef() {
+        let base = clustered(300, 4, 3);
+        let queries = clustered(20, 4, 60);
+        let graph = exact_graph(&base, 5);
+        let gt = exact_ground_truth(&base, &queries, 3);
+        let lo = evaluate(&base, &graph, &queries, &gt, 3, SearchParams::default().ef(4).seed(7));
+        let hi = evaluate(&base, &graph, &queries, &gt, 3, SearchParams::default().ef(96).seed(7));
+        assert!(hi.recall >= lo.recall - 0.05);
+        assert!(hi.avg_distance_evals >= lo.avg_distance_evals);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth must cover every query")]
+    fn mismatched_ground_truth_panics() {
+        let base = clustered(50, 3, 5);
+        let queries = clustered(5, 3, 6);
+        let graph = exact_graph(&base, 4);
+        let _ = evaluate(&base, &graph, &queries, &[], 1, SearchParams::default());
+    }
+}

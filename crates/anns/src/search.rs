@@ -1,0 +1,295 @@
+//! Greedy best-first graph search.
+//!
+//! The classic search procedure shared by KNN-graph ANN methods (KGraph,
+//! EFANNA, NSW): keep a bounded pool of the `ef` best candidates found so
+//! far, repeatedly expand the closest unexpanded candidate by scoring its
+//! graph neighbours, and stop when the pool no longer improves.  The paper
+//! does not prescribe a particular search routine — it only states that its
+//! graph supports ANN search competitively — so this is the standard
+//! formulation.
+
+use rand::Rng;
+
+use knn_graph::{KnnGraph, Neighbor};
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+/// Search-time parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchParams {
+    /// Candidate-pool size (`ef`); larger values trade speed for recall.
+    pub ef: usize,
+    /// Number of random entry points used to seed the pool.
+    pub entry_points: usize,
+    /// RNG seed for entry-point selection.
+    pub seed: u64,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self {
+            ef: 64,
+            entry_points: 8,
+            seed: 0xa_55,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Sets the candidate-pool size.
+    #[must_use]
+    pub fn ef(mut self, ef: usize) -> Self {
+        self.ef = ef.max(1);
+        self
+    }
+
+    /// Sets the number of random entry points.
+    #[must_use]
+    pub fn entry_points(mut self, entry_points: usize) -> Self {
+        self.entry_points = entry_points.max(1);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Statistics of a single query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Number of distance evaluations performed.
+    pub distance_evals: u64,
+    /// Number of graph nodes expanded.
+    pub expansions: u64,
+}
+
+/// A searcher bound to a base dataset and its KNN graph.
+pub struct GraphSearcher<'a> {
+    base: &'a VectorSet,
+    graph: &'a KnnGraph,
+    params: SearchParams,
+}
+
+impl<'a> GraphSearcher<'a> {
+    /// Creates a searcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph does not cover the base set.
+    pub fn new(base: &'a VectorSet, graph: &'a KnnGraph, params: SearchParams) -> Self {
+        assert_eq!(
+            base.len(),
+            graph.len(),
+            "graph covers {} nodes but the base set holds {}",
+            graph.len(),
+            base.len()
+        );
+        Self {
+            base,
+            graph,
+            params,
+        }
+    }
+
+    /// Returns the `k` (approximate) nearest base rows for `query`, sorted by
+    /// ascending distance.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_with_stats(query, k).0
+    }
+
+    /// [`GraphSearcher::search`] plus per-query cost counters.
+    pub fn search_with_stats(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, SearchStats) {
+        let n = self.base.len();
+        let mut stats = SearchStats::default();
+        if n == 0 || k == 0 {
+            return (Vec::new(), stats);
+        }
+        let ef = self.params.ef.max(k);
+        let mut rng = rng_from_seed(self.params.seed);
+
+        // pool: ascending by distance; visited: expanded or scored nodes
+        let mut pool: Vec<Neighbor> = Vec::with_capacity(ef + 1);
+        let mut visited = vec![false; n];
+        let mut expanded = vec![false; n];
+
+        let entries = self.params.entry_points.min(n);
+        for _ in 0..entries {
+            let id = rng.gen_range(0..n) as u32;
+            if visited[id as usize] {
+                continue;
+            }
+            visited[id as usize] = true;
+            let d = l2_sq(query, self.base.row(id as usize));
+            stats.distance_evals += 1;
+            insert_bounded(&mut pool, Neighbor::new(id, d), ef);
+        }
+
+        loop {
+            // closest unexpanded candidate in the pool
+            let next = pool
+                .iter()
+                .find(|c| !expanded[c.id as usize])
+                .copied();
+            let Some(candidate) = next else { break };
+            expanded[candidate.id as usize] = true;
+            stats.expansions += 1;
+
+            // the search horizon: if the candidate is worse than the current
+            // ef-th best, the pool cannot improve through it
+            if pool.len() >= ef && candidate.dist > pool[pool.len() - 1].dist {
+                break;
+            }
+            for nb in self.graph.neighbors(candidate.id as usize).as_slice() {
+                let id = nb.id as usize;
+                if visited[id] {
+                    continue;
+                }
+                visited[id] = true;
+                let d = l2_sq(query, self.base.row(id));
+                stats.distance_evals += 1;
+                insert_bounded(&mut pool, Neighbor::new(nb.id, d), ef);
+            }
+        }
+
+        pool.truncate(k);
+        (pool, stats)
+    }
+}
+
+/// Inserts into an ascending-by-distance pool bounded to `cap` entries.
+fn insert_bounded(pool: &mut Vec<Neighbor>, cand: Neighbor, cap: usize) {
+    if pool.len() >= cap {
+        if let Some(worst) = pool.last() {
+            if cand.dist >= worst.dist {
+                return;
+            }
+        }
+    }
+    let pos = pool.partition_point(|n| (n.dist, n.id) < (cand.dist, cand.id));
+    pool.insert(pos, cand);
+    if pool.len() > cap {
+        pool.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_graph::brute::{exact_graph, exact_ground_truth};
+    use rand::Rng;
+
+    /// Mildly clustered but *connected* data: adjacent groups overlap, so the
+    /// KNN graph forms a single component (like real descriptor collections).
+    /// A graph of fully disconnected blobs would make greedy search depend
+    /// entirely on entry-point luck, which is not what the paper evaluates.
+    fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = (i % 10) as f32 * 1.2;
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                row.push(g + rng.gen_range(-1.0..1.0));
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn insert_bounded_keeps_order_and_cap() {
+        let mut pool = Vec::new();
+        for (id, d) in [(1u32, 5.0f32), (2, 1.0), (3, 3.0), (4, 0.5), (5, 9.0)] {
+            insert_bounded(&mut pool, Neighbor::new(id, d), 3);
+        }
+        let ids: Vec<u32> = pool.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn search_on_exact_graph_finds_true_neighbours() {
+        let base = clustered(500, 6, 1);
+        let graph = exact_graph(&base, 10);
+        let searcher = GraphSearcher::new(&base, &graph, SearchParams::default().ef(32).seed(3));
+        let queries = clustered(20, 6, 99);
+        let truth = exact_ground_truth(&base, &queries, 1);
+        let mut hits = 0;
+        for (qi, q) in queries.rows().enumerate() {
+            let res = searcher.search(q, 1);
+            assert!(!res.is_empty());
+            if res[0].id == truth[qi][0].id {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 18, "recall@1 too low: {hits}/20");
+    }
+
+    #[test]
+    fn larger_ef_never_hurts_recall() {
+        let base = clustered(400, 5, 2);
+        let graph = exact_graph(&base, 6);
+        let queries = clustered(15, 5, 77);
+        let truth = exact_ground_truth(&base, &queries, 5);
+        let recall = |ef: usize| -> f64 {
+            let searcher = GraphSearcher::new(&base, &graph, SearchParams::default().ef(ef).seed(5));
+            let mut total = 0.0;
+            for (qi, q) in queries.rows().enumerate() {
+                let res = searcher.search(q, 5);
+                let res_ids: std::collections::HashSet<u32> = res.iter().map(|n| n.id).collect();
+                let hit = truth[qi].iter().filter(|n| res_ids.contains(&n.id)).count();
+                total += hit as f64 / 5.0;
+            }
+            total / queries.len() as f64
+        };
+        let low = recall(8);
+        let high = recall(128);
+        assert!(high >= low - 0.05, "ef=128 recall {high} < ef=8 recall {low}");
+        assert!(high > 0.85, "high-ef recall should be high, got {high}");
+    }
+
+    #[test]
+    fn results_are_sorted_and_distances_exact() {
+        let base = clustered(200, 4, 4);
+        let graph = exact_graph(&base, 5);
+        let searcher = GraphSearcher::new(&base, &graph, SearchParams::default().seed(6));
+        let q = base.row(17).to_vec();
+        let (res, stats) = searcher.search_with_stats(&q, 10);
+        assert!(stats.distance_evals > 0);
+        assert!(stats.expansions > 0);
+        for w in res.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        for nb in &res {
+            assert_eq!(nb.dist, l2_sq(&q, base.row(nb.id as usize)));
+        }
+        // the query point itself is in the base set → top hit must be itself
+        assert_eq!(res[0].id, 17);
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let base = clustered(50, 3, 8);
+        let graph = exact_graph(&base, 4);
+        let searcher = GraphSearcher::new(&base, &graph, SearchParams::default());
+        assert!(searcher.search(base.row(0), 0).is_empty());
+        let empty = VectorSet::zeros(0, 3).unwrap();
+        let empty_graph = knn_graph::KnnGraph::empty(0, 4);
+        let s = GraphSearcher::new(&empty, &empty_graph, SearchParams::default());
+        assert!(s.search(&[0.0, 0.0, 0.0], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "graph covers")]
+    fn mismatched_graph_panics() {
+        let base = clustered(50, 3, 9);
+        let other = clustered(20, 3, 9);
+        let graph = exact_graph(&other, 4);
+        let _ = GraphSearcher::new(&base, &graph, SearchParams::default());
+    }
+}

@@ -1,0 +1,239 @@
+//! AKM — approximate k-means (Philbin et al., CVPR 2007; ref. [22]).
+//!
+//! The classic large-vocabulary variant used for visual-word construction:
+//! the assignment step is accelerated by indexing the *current centroids* in a
+//! randomized KD-tree forest and answering each sample's closest-centroid
+//! query approximately with a bounded number of checks.  Every iteration
+//! rebuilds the forest (the centroids moved) and then performs an approximate
+//! assignment followed by the usual mean update.
+//!
+//! The paper cites AKM in its related work (Sec. 2.1, Sec. 5: "AKM [22] and
+//! HKM [45] are not considered [in the plots] as inferior performance to
+//! closure k-means is reported in [27]"), so it is provided here as an
+//! optional, fully working comparator rather than one of the headline
+//! baselines: the extended-comparison bench exercises it and reports where it
+//! falls between Lloyd and closure k-means.
+
+use std::time::Instant;
+
+use vecstore::VectorSet;
+
+use crate::common::{
+    average_distortion, recompute_centroids, reseed_empty_clusters, Clustering, IterationStat,
+    KMeansConfig,
+};
+use crate::kdtree::{KdForestParams, KdTreeForest};
+use crate::seeding::{seed_centroids, Seeding};
+
+/// Approximate k-means driven by a KD-tree forest over the centroids.
+#[derive(Clone, Debug)]
+pub struct ApproximateKMeans {
+    /// Shared convergence configuration.
+    pub config: KMeansConfig,
+    /// Seeding strategy for the initial centroids.
+    pub seeding: Seeding,
+    /// Forest parameters (trees, leaf size).
+    pub forest: KdForestParams,
+    /// Maximum number of centroids checked per sample and iteration; the
+    /// knob that trades assignment accuracy for speed (Philbin et al. use a
+    /// few hundred checks at k = 1M).
+    pub max_checks: usize,
+}
+
+impl ApproximateKMeans {
+    /// Creates an AKM with default forest parameters and `max_checks = 32`.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self {
+            config,
+            seeding: Seeding::Random,
+            forest: KdForestParams::default(),
+            max_checks: 32,
+        }
+    }
+
+    /// Selects the seeding strategy.
+    #[must_use]
+    pub fn with_seeding(mut self, seeding: Seeding) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Sets the per-query check budget.
+    #[must_use]
+    pub fn max_checks(mut self, max_checks: usize) -> Self {
+        self.max_checks = max_checks.max(1);
+        self
+    }
+
+    /// Sets the forest parameters.
+    #[must_use]
+    pub fn forest(mut self, forest: KdForestParams) -> Self {
+        self.forest = forest;
+        self
+    }
+
+    /// Runs the clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid for `data`.
+    pub fn fit(&self, data: &VectorSet) -> Clustering {
+        if let Err(msg) = self.config.validate(data.len()) {
+            panic!("invalid AKM configuration: {msg}");
+        }
+        let cfg = &self.config;
+        let n = data.len();
+        let k = cfg.k;
+
+        let start = Instant::now();
+        let mut centroids = seed_centroids(data, k, self.seeding, cfg.seed);
+        let init_time = start.elapsed();
+
+        let mut labels = vec![0usize; n];
+        let mut distance_evals = 0u64;
+        let mut trace = Vec::new();
+        let iter_start = Instant::now();
+        let mut iterations = 0usize;
+        let mut prev_distortion = f64::INFINITY;
+
+        for epoch in 0..cfg.max_iters {
+            iterations = epoch + 1;
+            // Index the current centroids; the forest is tiny (k points) so
+            // the rebuild cost is negligible next to the n queries.
+            let forest = KdTreeForest::build(
+                &centroids,
+                &self.forest.seed(cfg.seed ^ (epoch as u64) << 8),
+            );
+            let mut changes = 0usize;
+            for i in 0..n {
+                let (hits, stats) = forest.knn(&centroids, data.row(i), 1, self.max_checks);
+                distance_evals += stats.distance_evals;
+                let best = hits[0].id;
+                if best != labels[i] {
+                    labels[i] = best;
+                    changes += 1;
+                }
+            }
+            recompute_centroids(data, &labels, &mut centroids);
+            reseed_empty_clusters(data, &mut labels, &mut centroids);
+
+            if cfg.record_trace {
+                let distortion = average_distortion(data, &labels, &centroids);
+                trace.push(IterationStat {
+                    iteration: epoch,
+                    distortion,
+                    elapsed_secs: (init_time + iter_start.elapsed()).as_secs_f64(),
+                });
+                if cfg.tol > 0.0
+                    && prev_distortion.is_finite()
+                    && prev_distortion - distortion <= cfg.tol * prev_distortion
+                {
+                    break;
+                }
+                prev_distortion = distortion;
+            }
+            if changes == 0 {
+                break;
+            }
+        }
+
+        Clustering {
+            labels,
+            centroids,
+            iterations,
+            trace,
+            init_time,
+            iter_time: iter_start.elapsed(),
+            distance_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lloyd::LloydKMeans;
+    use rand::Rng;
+    use vecstore::sample::rng_from_seed;
+
+    fn blobs(per: usize, k: usize, spread: f32, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::new();
+        for c in 0..k {
+            for _ in 0..per {
+                let base = c as f32 * 15.0;
+                rows.push(vec![
+                    base + rng.gen_range(-spread..spread),
+                    base - rng.gen_range(-spread..spread),
+                    rng.gen_range(-spread..spread),
+                ]);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_separable_blobs() {
+        let data = blobs(40, 5, 0.5, 1);
+        // k-means++ seeding so the test measures the approximate assignment,
+        // not the luck of uniform seeding on well-separated blobs.
+        let result = ApproximateKMeans::new(KMeansConfig::with_k(5).max_iters(20).seed(2))
+            .with_seeding(Seeding::KMeansPlusPlus)
+            .max_checks(16)
+            .fit(&data);
+        assert_eq!(result.labels.len(), data.len());
+        assert_eq!(result.non_empty_clusters(), 5);
+        assert!(result.distortion(&data) < 3.0, "distortion {}", result.distortion(&data));
+    }
+
+    #[test]
+    fn larger_check_budget_matches_lloyd_quality() {
+        let data = blobs(30, 8, 2.0, 3);
+        let cfg = KMeansConfig::with_k(8).max_iters(25).seed(4);
+        let lloyd = LloydKMeans::new(cfg).fit(&data);
+        let akm = ApproximateKMeans::new(cfg).max_checks(data.len()).fit(&data);
+        // With an unbounded check budget the assignment is exact, so AKM is
+        // plain Lloyd up to tie-breaking.
+        assert!(akm.distortion(&data) <= lloyd.distortion(&data) * 1.10 + 1e-6);
+    }
+
+    #[test]
+    fn bounded_checks_cost_fewer_distance_evals_at_large_k() {
+        let data = blobs(10, 40, 1.0, 5); // 400 samples, k = 40
+        let cfg = KMeansConfig::with_k(40).max_iters(8).seed(6).record_trace(false);
+        let lloyd = LloydKMeans::new(cfg).fit(&data);
+        let akm = ApproximateKMeans::new(cfg).max_checks(8).fit(&data);
+        assert!(
+            akm.distance_evals < lloyd.distance_evals / 2,
+            "akm {} vs lloyd {}",
+            akm.distance_evals,
+            lloyd.distance_evals
+        );
+    }
+
+    #[test]
+    fn trace_and_iteration_bookkeeping() {
+        let data = blobs(20, 4, 0.8, 7);
+        let result = ApproximateKMeans::new(KMeansConfig::with_k(4).max_iters(10).seed(8)).fit(&data);
+        assert!(result.iterations >= 1 && result.iterations <= 10);
+        assert!(!result.trace.is_empty());
+        for w in result.trace.windows(2) {
+            assert!(w[1].elapsed_secs >= w[0].elapsed_secs);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs(15, 4, 1.0, 9);
+        let a = ApproximateKMeans::new(KMeansConfig::with_k(4).max_iters(6).seed(10)).fit(&data);
+        let b = ApproximateKMeans::new(KMeansConfig::with_k(4).max_iters(6).seed(10)).fit(&data);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AKM configuration")]
+    fn invalid_config_panics() {
+        let data = blobs(3, 1, 0.2, 11);
+        let _ = ApproximateKMeans::new(KMeansConfig::with_k(0)).fit(&data);
+    }
+}

@@ -1,0 +1,260 @@
+//! Top-down bisecting (hierarchical) k-means.
+//!
+//! The related-work section of the paper (Sec. 2.1) discusses hierarchical
+//! bisection as the classic way to cut the assignment cost from `O(t·k·n·d)`
+//! to `O(t·log(k)·n·d)` at the price of "poor clustering performance … as it
+//! breaks the Lloyd's condition".  This module implements the plain variant:
+//! repeatedly split the largest cluster with 2-means until `k` clusters
+//! exist.  (The paper's own initialisation, the *two-means tree* with its
+//! equal-size adjustment, lives in the `gkmeans` crate because it is part of
+//! the proposed pipeline.)
+
+use std::time::Instant;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+use crate::common::{average_distortion, Clustering, IterationStat, KMeansConfig};
+
+/// Bisecting k-means parameters.
+#[derive(Clone, Debug)]
+pub struct BisectingKMeans {
+    /// Shared configuration; `max_iters` bounds the 2-means refinement of each
+    /// individual split (a handful of iterations suffices).
+    pub config: KMeansConfig,
+    /// Number of 2-means refinement iterations per split.
+    pub split_iters: usize,
+}
+
+impl BisectingKMeans {
+    /// Creates a bisecting k-means with 8 refinement iterations per split.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self {
+            config,
+            split_iters: 8,
+        }
+    }
+
+    /// Overrides the per-split refinement iteration count.
+    #[must_use]
+    pub fn split_iters(mut self, iters: usize) -> Self {
+        self.split_iters = iters.max(1);
+        self
+    }
+
+    /// Runs the clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn fit(&self, data: &VectorSet) -> Clustering {
+        if let Err(msg) = self.config.validate(data.len()) {
+            panic!("invalid bisecting k-means configuration: {msg}");
+        }
+        let cfg = &self.config;
+        let n = data.len();
+        let start = Instant::now();
+        let mut rng = rng_from_seed(cfg.seed);
+        let mut distance_evals = 0u64;
+
+        // clusters as lists of sample ids; start with everything in one.
+        // `done` holds clusters that cannot be split further (singletons or
+        // identical points) so a degenerate split cannot loop forever.
+        let mut clusters: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+        let mut done: Vec<Vec<u32>> = Vec::new();
+        while clusters.len() + done.len() < cfg.k && !clusters.is_empty() {
+            // pop the largest splittable cluster
+            let (largest_idx, _) = clusters
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| c.len())
+                .expect("at least one cluster");
+            let target = clusters.swap_remove(largest_idx);
+            if target.len() <= 1 {
+                done.push(target);
+                continue;
+            }
+            let (left, right) = two_means_split(
+                data,
+                &target,
+                self.split_iters,
+                &mut rng,
+                &mut distance_evals,
+            );
+            if left.is_empty() || right.is_empty() {
+                // degenerate split (identical points): this cluster is final
+                done.push(if left.is_empty() { right } else { left });
+                continue;
+            }
+            clusters.push(left);
+            clusters.push(right);
+        }
+        clusters.append(&mut done);
+
+        // Build labels + centroids.
+        let k_eff = clusters.len();
+        let mut labels = vec![0usize; n];
+        let mut centroids = VectorSet::zeros(k_eff, data.dim()).expect("non-zero dim");
+        for (c, members) in clusters.iter().enumerate() {
+            let mut acc = vec![0.0f64; data.dim()];
+            for &s in members {
+                labels[s as usize] = c;
+                for (a, &x) in acc.iter_mut().zip(data.row(s as usize)) {
+                    *a += f64::from(x);
+                }
+            }
+            let inv = 1.0 / members.len().max(1) as f64;
+            for (t, a) in centroids.row_mut(c).iter_mut().zip(acc) {
+                *t = (a * inv) as f32;
+            }
+        }
+
+        let total = start.elapsed();
+        let trace = if cfg.record_trace {
+            vec![IterationStat {
+                iteration: 0,
+                distortion: average_distortion(data, &labels, &centroids),
+                elapsed_secs: total.as_secs_f64(),
+            }]
+        } else {
+            Vec::new()
+        };
+
+        Clustering {
+            labels,
+            centroids,
+            iterations: k_eff.saturating_sub(1),
+            trace,
+            init_time: std::time::Duration::ZERO,
+            iter_time: total,
+            distance_evals,
+        }
+    }
+}
+
+/// One 2-means split of `members`, returning the two halves.
+pub(crate) fn two_means_split(
+    data: &VectorSet,
+    members: &[u32],
+    iters: usize,
+    rng: &mut impl rand::Rng,
+    distance_evals: &mut u64,
+) -> (Vec<u32>, Vec<u32>) {
+    debug_assert!(members.len() >= 2);
+    // Seed with two distinct random members.
+    let a = members[rng.gen_range(0..members.len())] as usize;
+    let mut b = members[rng.gen_range(0..members.len())] as usize;
+    let mut tries = 0;
+    while b == a && tries < 16 {
+        b = members[rng.gen_range(0..members.len())] as usize;
+        tries += 1;
+    }
+    let d = data.dim();
+    let mut c0 = data.row(a).to_vec();
+    let mut c1 = data.row(b).to_vec();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for _ in 0..iters {
+        left.clear();
+        right.clear();
+        for &s in members {
+            let x = data.row(s as usize);
+            let d0 = l2_sq(x, &c0);
+            let d1 = l2_sq(x, &c1);
+            *distance_evals += 2;
+            if d0 <= d1 {
+                left.push(s);
+            } else {
+                right.push(s);
+            }
+        }
+        if left.is_empty() || right.is_empty() {
+            break;
+        }
+        // update the two centroids
+        for (target, part) in [(&mut c0, &left), (&mut c1, &right)] {
+            let mut acc = vec![0.0f64; d];
+            for &s in part.iter() {
+                for (av, &x) in acc.iter_mut().zip(data.row(s as usize)) {
+                    *av += f64::from(x);
+                }
+            }
+            let inv = 1.0 / part.len() as f64;
+            for (t, a) in target.iter_mut().zip(acc) {
+                *t = (a * inv) as f32;
+            }
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lloyd::LloydKMeans;
+
+    fn blobs(per: usize, k: usize) -> VectorSet {
+        let mut rows = Vec::new();
+        for c in 0..k {
+            for i in 0..per {
+                let base = c as f32 * 50.0;
+                rows.push(vec![base + (i % 5) as f32, base + (i % 7) as f32 * 0.5]);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn produces_k_clusters_on_separable_data() {
+        let data = blobs(30, 4);
+        let result = BisectingKMeans::new(KMeansConfig::with_k(4).seed(1)).fit(&data);
+        assert_eq!(result.k(), 4);
+        assert_eq!(result.non_empty_clusters(), 4);
+        assert_eq!(result.cluster_sizes().iter().sum::<usize>(), data.len());
+        assert!(result.distortion(&data) < 20.0);
+    }
+
+    #[test]
+    fn split_produces_two_non_empty_halves() {
+        let data = blobs(20, 2);
+        let members: Vec<u32> = (0..data.len() as u32).collect();
+        let mut rng = rng_from_seed(3);
+        let mut evals = 0;
+        let (l, r) = two_means_split(&data, &members, 6, &mut rng, &mut evals);
+        assert!(!l.is_empty() && !r.is_empty());
+        assert_eq!(l.len() + r.len(), data.len());
+        assert!(evals > 0);
+        // the two halves should correspond to the two blobs
+        let blob_of = |s: u32| usize::from(s >= 20);
+        assert!(l.iter().all(|&s| blob_of(s) == blob_of(l[0])));
+        assert!(r.iter().all(|&s| blob_of(s) == blob_of(r[0])));
+    }
+
+    #[test]
+    fn cheaper_than_lloyd_for_large_k() {
+        let data = blobs(10, 16);
+        let lloyd = LloydKMeans::new(KMeansConfig::with_k(16).max_iters(10).seed(2)).fit(&data);
+        let bisect = BisectingKMeans::new(KMeansConfig::with_k(16).seed(2)).fit(&data);
+        assert!(bisect.distance_evals < lloyd.distance_evals);
+    }
+
+    #[test]
+    fn handles_k_equal_one_and_duplicates() {
+        let data = blobs(10, 1);
+        let result = BisectingKMeans::new(KMeansConfig::with_k(1)).fit(&data);
+        assert_eq!(result.k(), 1);
+        let dup = VectorSet::from_rows(vec![vec![1.0, 1.0]; 6]).unwrap();
+        let result = BisectingKMeans::new(KMeansConfig::with_k(3)).fit(&dup);
+        // degenerate data: may end with fewer than k clusters but must stay consistent
+        assert_eq!(result.labels.len(), 6);
+        assert!(result.labels.iter().all(|&l| l < result.k()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bisecting k-means configuration")]
+    fn invalid_config_panics() {
+        let data = blobs(5, 1);
+        let _ = BisectingKMeans::new(KMeansConfig::with_k(0)).fit(&data);
+    }
+}

@@ -1,0 +1,428 @@
+//! Shared configuration, result types and helpers for every k-means variant
+//! in the workspace (baselines and GK-means alike).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use vecstore::distance::l2_sq;
+use vecstore::VectorSet;
+
+/// Convergence and bookkeeping settings shared by all variants.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum number of iterations (the paper fixes 30 for the scalability
+    /// tests of Sec. 5.4 and lets quality tests run to ~160 in Fig. 5).
+    pub max_iters: usize,
+    /// Relative distortion-improvement threshold below which iteration stops
+    /// (`0.0` disables early stopping, matching the paper's fixed-iteration
+    /// protocol).
+    pub tol: f64,
+    /// RNG seed used for seeding / visit orders.
+    pub seed: u64,
+    /// When `true`, the per-iteration distortion trace is recorded.  This
+    /// costs one extra `O(n·d)` pass per iteration, so the scalability
+    /// benchmarks disable it.
+    pub record_trace: bool,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iters: 30,
+            tol: 0.0,
+            seed: 0,
+            record_trace: true,
+        }
+    }
+}
+
+impl KMeansConfig {
+    /// Convenience constructor for `k` clusters with the remaining defaults.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the maximum number of iterations.
+    #[must_use]
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the early-stopping tolerance.
+    #[must_use]
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Enables or disables the per-iteration distortion trace.
+    #[must_use]
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Validates the configuration against a dataset size.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be positive".into());
+        }
+        if n == 0 {
+            return Err("dataset is empty".into());
+        }
+        if self.k > n {
+            return Err(format!("k ({}) exceeds the number of samples ({n})", self.k));
+        }
+        if !self.tol.is_finite() || self.tol < 0.0 {
+            return Err("tol must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// One entry of the per-iteration trace: distortion after the iteration and
+/// the cumulative wall-clock time spent so far (including initialisation).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IterationStat {
+    /// Iteration index (0 = state right after initialisation).
+    pub iteration: usize,
+    /// Average distortion `E` (Eqn. 4) at this point.
+    pub distortion: f64,
+    /// Cumulative elapsed wall-clock seconds.
+    pub elapsed_secs: f64,
+}
+
+/// The result of running any k-means variant.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Cluster label of every sample (`labels[i] ∈ 0..k`).
+    pub labels: Vec<usize>,
+    /// Final centroids (`k × d`).
+    pub centroids: VectorSet,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Per-iteration distortion/time trace (empty when tracing is disabled).
+    pub trace: Vec<IterationStat>,
+    /// Wall-clock time spent in initialisation (seeding / tree building).
+    pub init_time: Duration,
+    /// Wall-clock time spent in the optimisation iterations.
+    pub iter_time: Duration,
+    /// Total number of sample↔centroid (or sample↔sample) distance
+    /// evaluations performed — the paper's cost model counts exactly these.
+    pub distance_evals: u64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Cluster sizes (`k` counts summing to `n`).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Number of non-empty clusters.
+    pub fn non_empty_clusters(&self) -> usize {
+        self.cluster_sizes().iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Total wall-clock time (init + iterations).
+    pub fn total_time(&self) -> Duration {
+        self.init_time + self.iter_time
+    }
+
+    /// Average distortion of this clustering on `data` (Eqn. 4).
+    pub fn distortion(&self, data: &VectorSet) -> f64 {
+        average_distortion(data, &self.labels, &self.centroids)
+    }
+}
+
+/// Average distortion `E = Σ_i ‖C_{q(x_i)} − x_i‖² / n` (Eqn. 4 of the paper,
+/// identical to the within-cluster sum of squared distortions divided by `n`).
+pub fn average_distortion(data: &VectorSet, labels: &[usize], centroids: &VectorSet) -> f64 {
+    assert_eq!(data.len(), labels.len(), "label count mismatch");
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        sum += f64::from(l2_sq(data.row(i), centroids.row(label)));
+    }
+    sum / data.len() as f64
+}
+
+/// Recomputes centroids as the mean of their assigned samples.  Clusters that
+/// end up empty keep their previous centroid (the caller may choose to
+/// re-seed them instead).  Returns the number of empty clusters.
+pub fn recompute_centroids(
+    data: &VectorSet,
+    labels: &[usize],
+    centroids: &mut VectorSet,
+) -> usize {
+    let k = centroids.len();
+    let d = centroids.dim();
+    let mut sums = vec![0.0f64; k * d];
+    let mut counts = vec![0usize; k];
+    for (i, &label) in labels.iter().enumerate() {
+        counts[label] += 1;
+        let row = data.row(i);
+        let acc = &mut sums[label * d..(label + 1) * d];
+        for (a, &x) in acc.iter_mut().zip(row) {
+            *a += f64::from(x);
+        }
+    }
+    let mut empty = 0usize;
+    for c in 0..k {
+        if counts[c] == 0 {
+            empty += 1;
+            continue;
+        }
+        let inv = 1.0 / counts[c] as f64;
+        let target = centroids.row_mut(c);
+        let acc = &sums[c * d..(c + 1) * d];
+        for (t, &a) in target.iter_mut().zip(acc) {
+            *t = (a * inv) as f32;
+        }
+    }
+    empty
+}
+
+/// Assigns every sample to its closest centroid by exhaustive comparison,
+/// returning the number of label changes and counting distance evaluations.
+pub fn assign_exhaustive(
+    data: &VectorSet,
+    centroids: &VectorSet,
+    labels: &mut [usize],
+    distance_evals: &mut u64,
+) -> usize {
+    let k = centroids.len();
+    let mut changes = 0usize;
+    for i in 0..data.len() {
+        let x = data.row(i);
+        let mut best = labels[i].min(k - 1);
+        let mut best_d = l2_sq(x, centroids.row(best));
+        for c in 0..k {
+            if c == best {
+                continue;
+            }
+            let d = l2_sq(x, centroids.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *distance_evals += k as u64;
+        if best != labels[i] {
+            labels[i] = best;
+            changes += 1;
+        }
+    }
+    changes
+}
+
+/// Reseeds every empty cluster to the sample furthest from its current
+/// centroid, a common remedy that keeps `k` effective clusters alive.
+/// Returns how many clusters were reseeded.
+pub fn reseed_empty_clusters(
+    data: &VectorSet,
+    labels: &mut [usize],
+    centroids: &mut VectorSet,
+) -> usize {
+    let k = centroids.len();
+    let mut sizes = vec![0usize; k];
+    for &l in labels.iter() {
+        sizes[l] += 1;
+    }
+    let empties: Vec<usize> = (0..k).filter(|&c| sizes[c] == 0).collect();
+    if empties.is_empty() {
+        return 0;
+    }
+    // Rank samples by distance to their assigned centroid (descending).
+    let mut scored: Vec<(usize, f32)> = (0..data.len())
+        .map(|i| (i, l2_sq(data.row(i), centroids.row(labels[i]))))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut reseeded = 0usize;
+    for (slot, &c) in empties.iter().enumerate() {
+        // Skip donors that would themselves empty a singleton cluster.
+        let mut donor = None;
+        for &(i, _) in scored.iter().skip(slot) {
+            if sizes[labels[i]] > 1 {
+                donor = Some(i);
+                break;
+            }
+        }
+        let Some(i) = donor else { break };
+        sizes[labels[i]] -= 1;
+        let row = data.row(i).to_vec();
+        centroids.row_mut(c).copy_from_slice(&row);
+        labels[i] = c;
+        sizes[c] = 1;
+        reseeded += 1;
+    }
+    reseeded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_data() -> VectorSet {
+        // two tight groups around (0,0) and (10,10)
+        VectorSet::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![0.0, 0.5],
+            vec![10.0, 10.0],
+            vec![10.5, 10.0],
+            vec![10.0, 10.5],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn config_builder_and_validation() {
+        let cfg = KMeansConfig::with_k(3).max_iters(5).seed(9).tol(1e-4).record_trace(false);
+        assert_eq!(cfg.k, 3);
+        assert_eq!(cfg.max_iters, 5);
+        assert_eq!(cfg.seed, 9);
+        assert!(!cfg.record_trace);
+        assert!(cfg.validate(10).is_ok());
+        assert!(cfg.validate(2).is_err());
+        assert!(cfg.validate(0).is_err());
+        assert!(KMeansConfig::with_k(0).validate(10).is_err());
+        assert!(KMeansConfig::with_k(2).tol(-1.0).validate(10).is_err());
+        assert!(KMeansConfig::with_k(2).tol(f64::NAN).validate(10).is_err());
+    }
+
+    #[test]
+    fn average_distortion_hand_checked() {
+        let data = square_data();
+        let centroids =
+            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        // distances: 0, .25, .25, 0, .25, .25 → sum=1.0 → avg = 1/6
+        let e = average_distortion(&data, &labels, &centroids);
+        assert!((e - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_distortion_empty_data() {
+        let data = VectorSet::zeros(0, 2).unwrap();
+        let centroids = VectorSet::zeros(1, 2).unwrap();
+        assert_eq!(average_distortion(&data, &[], &centroids), 0.0);
+    }
+
+    #[test]
+    fn recompute_centroids_is_the_mean() {
+        let data = square_data();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let mut centroids = VectorSet::zeros(2, 2).unwrap();
+        let empty = recompute_centroids(&data, &labels, &mut centroids);
+        assert_eq!(empty, 0);
+        let c0 = centroids.row(0);
+        assert!((c0[0] - 0.1666).abs() < 1e-3 && (c0[1] - 0.1666).abs() < 1e-3);
+        let c1 = centroids.row(1);
+        assert!((c1[0] - 10.1666).abs() < 1e-3 && (c1[1] - 10.1666).abs() < 1e-3);
+    }
+
+    #[test]
+    fn recompute_centroids_reports_empty() {
+        let data = square_data();
+        let labels = vec![0, 0, 0, 0, 0, 0];
+        let mut centroids = VectorSet::from_rows(vec![vec![1.0, 1.0], vec![5.0, 5.0]]).unwrap();
+        let before = centroids.row(1).to_vec();
+        let empty = recompute_centroids(&data, &labels, &mut centroids);
+        assert_eq!(empty, 1);
+        assert_eq!(centroids.row(1), before.as_slice(), "empty cluster untouched");
+    }
+
+    #[test]
+    fn assign_exhaustive_moves_to_closest() {
+        let data = square_data();
+        let centroids =
+            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let mut labels = vec![1, 1, 1, 0, 0, 0]; // deliberately wrong
+        let mut evals = 0u64;
+        let changes = assign_exhaustive(&data, &centroids, &mut labels, &mut evals);
+        assert_eq!(changes, 6);
+        assert_eq!(labels, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(evals, 12);
+        // Second call: stable, no changes.
+        let changes = assign_exhaustive(&data, &centroids, &mut labels, &mut evals);
+        assert_eq!(changes, 0);
+    }
+
+    #[test]
+    fn reseed_empty_clusters_revives_clusters() {
+        let data = square_data();
+        let mut labels = vec![0, 0, 0, 0, 0, 0];
+        let mut centroids =
+            VectorSet::from_rows(vec![vec![0.2, 0.2], vec![99.0, 99.0]]).unwrap();
+        let reseeded = reseed_empty_clusters(&data, &mut labels, &mut centroids);
+        assert_eq!(reseeded, 1);
+        let sizes: Vec<usize> = {
+            let mut s = vec![0; 2];
+            for &l in &labels {
+                s[l] += 1;
+            }
+            s
+        };
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(sizes[1] >= 1);
+        // the reseeded centroid is one of the far-group points
+        let c1 = centroids.row(1);
+        assert!(c1[0] >= 10.0);
+    }
+
+    #[test]
+    fn reseed_noop_when_all_populated() {
+        let data = square_data();
+        let mut labels = vec![0, 0, 0, 1, 1, 1];
+        let mut centroids =
+            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        assert_eq!(reseed_empty_clusters(&data, &mut labels, &mut centroids), 0);
+    }
+
+    #[test]
+    fn clustering_helpers() {
+        let data = square_data();
+        let centroids =
+            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let clustering = Clustering {
+            labels: vec![0, 0, 0, 1, 1, 1],
+            centroids,
+            iterations: 3,
+            trace: vec![],
+            init_time: Duration::from_millis(5),
+            iter_time: Duration::from_millis(15),
+            distance_evals: 42,
+        };
+        assert_eq!(clustering.k(), 2);
+        assert_eq!(clustering.cluster_sizes(), vec![3, 3]);
+        assert_eq!(clustering.non_empty_clusters(), 2);
+        assert_eq!(clustering.total_time(), Duration::from_millis(20));
+        assert!(clustering.distortion(&data) > 0.0);
+    }
+}

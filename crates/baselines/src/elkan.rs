@@ -1,0 +1,281 @@
+//! Elkan's triangle-inequality accelerated k-means (ICML 2003) — ref. [29] of
+//! the paper.
+//!
+//! Elkan's algorithm produces exactly the same sequence of assignments as
+//! Lloyd's k-means while skipping most distance computations through upper and
+//! lower bounds maintained per sample.  The paper points out its drawback for
+//! the large-`k` regime it targets: "a lot of extra memory are required …
+//! memory complexity is quadratic to k" — this implementation keeps the
+//! `n × k` lower-bound matrix and the `k × k` centre-distance matrix exactly
+//! as described, which is what makes it unsuitable for `k = 10⁶` (Tab. 2) and
+//! motivates GK-means.
+//!
+//! Distances inside the bound logic are plain Euclidean (the triangle
+//! inequality does not hold for squared distances); reported distortion uses
+//! squared distances like every other variant.
+
+use std::time::Instant;
+
+use vecstore::distance::l2_sq;
+use vecstore::VectorSet;
+
+use crate::common::{
+    average_distortion, recompute_centroids, reseed_empty_clusters, Clustering, IterationStat,
+    KMeansConfig,
+};
+use crate::seeding::{seed_centroids, Seeding};
+
+/// Elkan's exact accelerated k-means.
+#[derive(Clone, Debug)]
+pub struct ElkanKMeans {
+    /// Shared convergence configuration.
+    pub config: KMeansConfig,
+    /// Seeding strategy.
+    pub seeding: Seeding,
+}
+
+impl ElkanKMeans {
+    /// Creates an Elkan k-means with random seeding.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self {
+            config,
+            seeding: Seeding::Random,
+        }
+    }
+
+    /// Selects a different seeding strategy.
+    #[must_use]
+    pub fn with_seeding(mut self, seeding: Seeding) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Runs the clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn fit(&self, data: &VectorSet) -> Clustering {
+        if let Err(msg) = self.config.validate(data.len()) {
+            panic!("invalid elkan k-means configuration: {msg}");
+        }
+        let cfg = &self.config;
+        let n = data.len();
+        let k = cfg.k;
+
+        let start = Instant::now();
+        let mut centroids = seed_centroids(data, k, self.seeding, cfg.seed);
+        let init_time = start.elapsed();
+        let iter_start = Instant::now();
+
+        let mut distance_evals = 0u64;
+        let mut labels = vec![0usize; n];
+        // upper[i]: upper bound on d(x_i, centroid[labels[i]]);
+        // lower[i*k + c]: lower bound on d(x_i, centroid[c]).
+        let mut upper = vec![0.0f32; n];
+        let mut lower = vec![0.0f32; n * k];
+
+        // Initial assignment with full distance computations, seeding bounds.
+        for i in 0..n {
+            let x = data.row(i);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = l2_sq(x, centroids.row(c)).sqrt();
+                distance_evals += 1;
+                lower[i * k + c] = d;
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            labels[i] = best;
+            upper[i] = best_d;
+        }
+
+        let mut trace = Vec::new();
+        let mut iterations = 0usize;
+        let mut centre_dist = vec![0.0f32; k * k];
+        let mut s = vec![0.0f32; k];
+        let mut new_centroids;
+
+        for it in 0..cfg.max_iters {
+            iterations = it + 1;
+            // Step 1: centre-centre distances and s(c) = ½ min_{c'≠c} d(c, c').
+            for a in 0..k {
+                let mut min_other = f32::INFINITY;
+                for b in 0..k {
+                    if a == b {
+                        centre_dist[a * k + b] = 0.0;
+                        continue;
+                    }
+                    let d = l2_sq(centroids.row(a), centroids.row(b)).sqrt();
+                    distance_evals += 1;
+                    centre_dist[a * k + b] = d;
+                    if d < min_other {
+                        min_other = d;
+                    }
+                }
+                s[a] = 0.5 * min_other;
+            }
+
+            let mut changes = 0usize;
+            for i in 0..n {
+                let a = labels[i];
+                // Step 2: skip the whole sample when u(x) ≤ s(a(x)).
+                if upper[i] <= s[a] {
+                    continue;
+                }
+                let x = data.row(i);
+                let mut u_tight = false;
+                let mut u = upper[i];
+                for c in 0..k {
+                    if c == a {
+                        continue;
+                    }
+                    // Step 3 conditions.
+                    if u <= lower[i * k + c] || u <= 0.5 * centre_dist[a * k + c] {
+                        continue;
+                    }
+                    // 3a: tighten u with the true distance to the owner.
+                    if !u_tight {
+                        u = l2_sq(x, centroids.row(labels[i])).sqrt();
+                        distance_evals += 1;
+                        lower[i * k + labels[i]] = u;
+                        upper[i] = u;
+                        u_tight = true;
+                        if u <= lower[i * k + c] || u <= 0.5 * centre_dist[labels[i] * k + c] {
+                            continue;
+                        }
+                    }
+                    // 3b: compute the candidate distance.
+                    let d = l2_sq(x, centroids.row(c)).sqrt();
+                    distance_evals += 1;
+                    lower[i * k + c] = d;
+                    if d < u {
+                        labels[i] = c;
+                        upper[i] = d;
+                        u = d;
+                        changes += 1;
+                    }
+                }
+            }
+
+            // Step 4-7: recompute centroids, measure drift, adjust bounds.
+            new_centroids = centroids.clone();
+            recompute_centroids(data, &labels, &mut new_centroids);
+            reseed_empty_clusters(data, &mut labels, &mut new_centroids);
+            let mut drift = vec![0.0f32; k];
+            for c in 0..k {
+                drift[c] = l2_sq(centroids.row(c), new_centroids.row(c)).sqrt();
+                distance_evals += 1;
+            }
+            centroids = new_centroids.clone();
+            for i in 0..n {
+                upper[i] += drift[labels[i]];
+                for c in 0..k {
+                    let l = &mut lower[i * k + c];
+                    *l = (*l - drift[c]).max(0.0);
+                }
+            }
+
+            if cfg.record_trace {
+                trace.push(IterationStat {
+                    iteration: it,
+                    distortion: average_distortion(data, &labels, &centroids),
+                    elapsed_secs: (init_time + iter_start.elapsed()).as_secs_f64(),
+                });
+            }
+            if changes == 0 && it > 0 {
+                break;
+            }
+        }
+
+        Clustering {
+            labels,
+            centroids,
+            iterations,
+            trace,
+            init_time,
+            iter_time: iter_start.elapsed(),
+            distance_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lloyd::LloydKMeans;
+
+    fn blobs(per: usize, k: usize) -> VectorSet {
+        let mut rows = Vec::new();
+        for c in 0..k {
+            for i in 0..per {
+                let base = c as f32 * 12.0;
+                rows.push(vec![
+                    base + (i % 6) as f32 * 0.3,
+                    base - (i % 4) as f32 * 0.4,
+                    (i % 5) as f32 * 0.2,
+                ]);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn matches_lloyd_distortion() {
+        // Elkan is an exact acceleration: with identical seeding it must reach
+        // (essentially) the same distortion as Lloyd.
+        let data = blobs(40, 5);
+        let cfg = KMeansConfig::with_k(5).max_iters(25).seed(3);
+        let lloyd = LloydKMeans::new(cfg).fit(&data);
+        let elkan = ElkanKMeans::new(cfg).fit(&data);
+        let dl = lloyd.distortion(&data);
+        let de = elkan.distortion(&data);
+        assert!(
+            (dl - de).abs() <= 0.05 * dl.max(1e-9),
+            "lloyd {dl} vs elkan {de}"
+        );
+    }
+
+    #[test]
+    fn fewer_distance_evals_than_lloyd() {
+        let data = blobs(60, 8);
+        let cfg = KMeansConfig::with_k(8).max_iters(20).seed(1).record_trace(false);
+        let lloyd = LloydKMeans::new(cfg).fit(&data);
+        let elkan = ElkanKMeans::new(cfg).fit(&data);
+        assert!(
+            elkan.distance_evals < lloyd.distance_evals,
+            "elkan {} vs lloyd {}",
+            elkan.distance_evals,
+            lloyd.distance_evals
+        );
+    }
+
+    #[test]
+    fn produces_valid_labels() {
+        let data = blobs(20, 4);
+        let result = ElkanKMeans::new(KMeansConfig::with_k(4).max_iters(15).seed(9)).fit(&data);
+        assert_eq!(result.labels.len(), data.len());
+        assert!(result.labels.iter().all(|&l| l < 4));
+        assert_eq!(result.non_empty_clusters(), 4);
+    }
+
+    #[test]
+    fn trace_distortion_is_non_increasing() {
+        let data = blobs(30, 3);
+        let result = ElkanKMeans::new(KMeansConfig::with_k(3).max_iters(15).seed(5)).fit(&data);
+        let d: Vec<f64> = result.trace.iter().map(|t| t.distortion).collect();
+        for w in d.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid elkan k-means configuration")]
+    fn invalid_config_panics() {
+        let data = blobs(4, 2);
+        let _ = ElkanKMeans::new(KMeansConfig::with_k(100)).fit(&data);
+    }
+}

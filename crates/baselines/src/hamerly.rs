@@ -1,0 +1,270 @@
+//! Hamerly's accelerated k-means (SDM 2010).
+//!
+//! Hamerly's algorithm keeps a single lower bound per sample (the distance to
+//! the *second* closest centre) instead of Elkan's `n × k` bound matrix, so
+//! its memory footprint is `O(n)` while still skipping most distance
+//! computations.  Together with [`crate::elkan::ElkanKMeans`] it represents
+//! the triangle-inequality family (ref. [29]) the paper positions GK-means
+//! against: exact, memory-hungry (Elkan) or bound-maintenance-heavy (Hamerly),
+//! and — unlike GK-means — still `O(k)` per sample in the worst case.
+
+use std::time::Instant;
+
+use vecstore::distance::l2_sq;
+use vecstore::VectorSet;
+
+use crate::common::{
+    average_distortion, recompute_centroids, reseed_empty_clusters, Clustering, IterationStat,
+    KMeansConfig,
+};
+use crate::seeding::{seed_centroids, Seeding};
+
+/// Hamerly's exact accelerated k-means.
+#[derive(Clone, Debug)]
+pub struct HamerlyKMeans {
+    /// Shared convergence configuration.
+    pub config: KMeansConfig,
+    /// Seeding strategy.
+    pub seeding: Seeding,
+}
+
+impl HamerlyKMeans {
+    /// Creates a Hamerly k-means with random seeding.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self {
+            config,
+            seeding: Seeding::Random,
+        }
+    }
+
+    /// Selects a different seeding strategy.
+    #[must_use]
+    pub fn with_seeding(mut self, seeding: Seeding) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Runs the clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn fit(&self, data: &VectorSet) -> Clustering {
+        if let Err(msg) = self.config.validate(data.len()) {
+            panic!("invalid hamerly k-means configuration: {msg}");
+        }
+        let cfg = &self.config;
+        let n = data.len();
+        let k = cfg.k;
+
+        let start = Instant::now();
+        let mut centroids = seed_centroids(data, k, self.seeding, cfg.seed);
+        let init_time = start.elapsed();
+        let iter_start = Instant::now();
+
+        let mut distance_evals = 0u64;
+        let mut labels = vec![0usize; n];
+        let mut upper = vec![0.0f32; n]; // bound on d(x, owner)
+        let mut lower = vec![0.0f32; n]; // bound on d(x, second closest)
+
+        // Initial assignment.
+        for i in 0..n {
+            let x = data.row(i);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            let mut second = f32::INFINITY;
+            for c in 0..k {
+                let d = l2_sq(x, centroids.row(c)).sqrt();
+                distance_evals += 1;
+                if d < best_d {
+                    second = best_d;
+                    best_d = d;
+                    best = c;
+                } else if d < second {
+                    second = d;
+                }
+            }
+            labels[i] = best;
+            upper[i] = best_d;
+            lower[i] = second;
+        }
+
+        let mut trace = Vec::new();
+        let mut iterations = 0usize;
+        let mut s = vec![0.0f32; k];
+        for it in 0..cfg.max_iters {
+            iterations = it + 1;
+            // s(c) = ½ distance to the closest other centre.
+            for a in 0..k {
+                let mut min_other = f32::INFINITY;
+                for b in 0..k {
+                    if a == b {
+                        continue;
+                    }
+                    let d = l2_sq(centroids.row(a), centroids.row(b)).sqrt();
+                    distance_evals += 1;
+                    if d < min_other {
+                        min_other = d;
+                    }
+                }
+                s[a] = 0.5 * min_other;
+            }
+
+            let mut changes = 0usize;
+            for i in 0..n {
+                let a = labels[i];
+                let bound = lower[i].max(s[a]);
+                if upper[i] <= bound {
+                    continue;
+                }
+                // Tighten the upper bound with a real distance.
+                let x = data.row(i);
+                upper[i] = l2_sq(x, centroids.row(a)).sqrt();
+                distance_evals += 1;
+                if upper[i] <= bound {
+                    continue;
+                }
+                // Full scan: recompute owner, second-closest and both bounds.
+                let mut best = a;
+                let mut best_d = upper[i];
+                let mut second = f32::INFINITY;
+                for c in 0..k {
+                    if c == a {
+                        continue;
+                    }
+                    let d = l2_sq(x, centroids.row(c)).sqrt();
+                    distance_evals += 1;
+                    if d < best_d {
+                        second = best_d;
+                        best_d = d;
+                        best = c;
+                    } else if d < second {
+                        second = d;
+                    }
+                }
+                if best != a {
+                    labels[i] = best;
+                    changes += 1;
+                }
+                upper[i] = best_d;
+                lower[i] = second;
+            }
+
+            // Centroid update + bound adjustment by drift.
+            let mut new_centroids = centroids.clone();
+            recompute_centroids(data, &labels, &mut new_centroids);
+            reseed_empty_clusters(data, &mut labels, &mut new_centroids);
+            let mut drift = vec![0.0f32; k];
+            let mut max_drift = 0.0f32;
+            for c in 0..k {
+                drift[c] = l2_sq(centroids.row(c), new_centroids.row(c)).sqrt();
+                distance_evals += 1;
+                if drift[c] > max_drift {
+                    max_drift = drift[c];
+                }
+            }
+            centroids = new_centroids;
+            for i in 0..n {
+                upper[i] += drift[labels[i]];
+                lower[i] = (lower[i] - max_drift).max(0.0);
+            }
+
+            if cfg.record_trace {
+                trace.push(IterationStat {
+                    iteration: it,
+                    distortion: average_distortion(data, &labels, &centroids),
+                    elapsed_secs: (init_time + iter_start.elapsed()).as_secs_f64(),
+                });
+            }
+            if changes == 0 && it > 0 {
+                break;
+            }
+        }
+
+        Clustering {
+            labels,
+            centroids,
+            iterations,
+            trace,
+            init_time,
+            iter_time: iter_start.elapsed(),
+            distance_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elkan::ElkanKMeans;
+    use crate::lloyd::LloydKMeans;
+
+    fn blobs(per: usize, k: usize) -> VectorSet {
+        let mut rows = Vec::new();
+        for c in 0..k {
+            for i in 0..per {
+                let base = c as f32 * 15.0;
+                rows.push(vec![
+                    base + (i % 5) as f32 * 0.4,
+                    base - (i % 3) as f32 * 0.3,
+                ]);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn matches_lloyd_distortion() {
+        let data = blobs(40, 5);
+        let cfg = KMeansConfig::with_k(5).max_iters(25).seed(4);
+        let lloyd = LloydKMeans::new(cfg).fit(&data);
+        let hamerly = HamerlyKMeans::new(cfg).fit(&data);
+        let dl = lloyd.distortion(&data);
+        let dh = hamerly.distortion(&data);
+        assert!(
+            (dl - dh).abs() <= 0.05 * dl.max(1e-9),
+            "lloyd {dl} vs hamerly {dh}"
+        );
+    }
+
+    #[test]
+    fn fewer_distance_evals_than_lloyd() {
+        let data = blobs(80, 6);
+        let cfg = KMeansConfig::with_k(6).max_iters(20).seed(2).record_trace(false);
+        let lloyd = LloydKMeans::new(cfg).fit(&data);
+        let hamerly = HamerlyKMeans::new(cfg).fit(&data);
+        assert!(
+            hamerly.distance_evals < lloyd.distance_evals,
+            "hamerly {} vs lloyd {}",
+            hamerly.distance_evals,
+            lloyd.distance_evals
+        );
+    }
+
+    #[test]
+    fn uses_less_memory_than_elkan_conceptually_same_result() {
+        // No direct memory probe here; assert the two exact accelerations agree
+        // with each other, which is the correctness contract.
+        let data = blobs(30, 4);
+        let cfg = KMeansConfig::with_k(4).max_iters(20).seed(6);
+        let elkan = ElkanKMeans::new(cfg).fit(&data);
+        let hamerly = HamerlyKMeans::new(cfg).fit(&data);
+        assert!((elkan.distortion(&data) - hamerly.distortion(&data)).abs() < 0.2);
+    }
+
+    #[test]
+    fn produces_valid_labels() {
+        let data = blobs(25, 3);
+        let result = HamerlyKMeans::new(KMeansConfig::with_k(3).max_iters(15).seed(7)).fit(&data);
+        assert_eq!(result.labels.len(), data.len());
+        assert!(result.labels.iter().all(|&l| l < 3));
+        assert_eq!(result.cluster_sizes().iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hamerly k-means configuration")]
+    fn invalid_config_panics() {
+        let data = blobs(3, 1);
+        let _ = HamerlyKMeans::new(KMeansConfig::with_k(0)).fit(&data);
+    }
+}

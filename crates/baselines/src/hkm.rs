@@ -1,0 +1,446 @@
+//! HKM — hierarchical k-means ("vocabulary tree"), ref. [45] (Muja & Lowe,
+//! FLANN) and the Nistér–Stewénius vocabulary tree the paper's related work
+//! builds on.
+//!
+//! Clustering proceeds top-down with a branching factor `b`: the current
+//! largest node is split into `b` children with a small Lloyd run, until `k`
+//! leaves exist.  Each leaf is one output cluster.  The same tree doubles as a
+//! quantizer: [`HkmTree::assign`] descends from the root picking the closest
+//! child at every level, which costs `O(b·log_b k)` distance evaluations per
+//! query instead of `O(k)` — the classic speed/quality trade-off the paper
+//! contrasts GK-means against (Sec. 2.1: hierarchical methods are fast but
+//! "poor clustering performance is achieved in the usual case as it breaks
+//! the Lloyd's condition").
+
+use std::time::Instant;
+
+use rand::Rng;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+use crate::common::{average_distortion, Clustering, IterationStat, KMeansConfig};
+
+/// Hierarchical k-means parameters.
+#[derive(Clone, Debug)]
+pub struct HierarchicalKMeans {
+    /// Shared configuration; `config.k` is the number of leaves (= clusters).
+    pub config: KMeansConfig,
+    /// Branching factor `b ≥ 2` of every split.
+    pub branching: usize,
+    /// Lloyd refinement iterations inside each split.
+    pub split_iters: usize,
+}
+
+/// One node of the built vocabulary tree.
+#[derive(Clone, Debug)]
+enum HkmNode {
+    /// A leaf holds the index of the output cluster it represents.
+    Leaf { cluster: usize },
+    /// An internal node holds its children's centroids and node indices.
+    Internal {
+        centroids: VectorSet,
+        children: Vec<usize>,
+    },
+}
+
+/// The quantizer produced alongside the flat clustering: a tree whose leaves
+/// are the final clusters.
+#[derive(Clone, Debug)]
+pub struct HkmTree {
+    nodes: Vec<HkmNode>,
+    root: usize,
+    dim: usize,
+    leaves: usize,
+}
+
+impl HkmTree {
+    /// Number of leaf clusters.
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Quantizes `query` by greedy descent, returning the leaf cluster index
+    /// and the number of distance evaluations spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query dimensionality does not match the tree's.
+    pub fn assign(&self, query: &[f32]) -> (usize, u64) {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let mut node = self.root;
+        let mut evals = 0u64;
+        loop {
+            match &self.nodes[node] {
+                HkmNode::Leaf { cluster } => return (*cluster, evals),
+                HkmNode::Internal {
+                    centroids,
+                    children,
+                } => {
+                    let mut best = 0usize;
+                    let mut best_d = f32::INFINITY;
+                    for (c, centroid) in centroids.rows().enumerate() {
+                        let d = l2_sq(query, centroid);
+                        evals += 1;
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    node = children[best];
+                }
+            }
+        }
+    }
+}
+
+impl HierarchicalKMeans {
+    /// Creates an HKM with branching factor 8 and 6 refinement iterations per
+    /// split (FLANN-like defaults).
+    pub fn new(config: KMeansConfig) -> Self {
+        Self {
+            config,
+            branching: 8,
+            split_iters: 6,
+        }
+    }
+
+    /// Sets the branching factor (clamped to ≥ 2).
+    #[must_use]
+    pub fn branching(mut self, branching: usize) -> Self {
+        self.branching = branching.max(2);
+        self
+    }
+
+    /// Sets the per-split Lloyd iteration count.
+    #[must_use]
+    pub fn split_iters(mut self, iters: usize) -> Self {
+        self.split_iters = iters.max(1);
+        self
+    }
+
+    /// Runs the clustering, returning only the flat [`Clustering`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn fit(&self, data: &VectorSet) -> Clustering {
+        self.fit_with_tree(data).0
+    }
+
+    /// Runs the clustering and also returns the vocabulary tree quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn fit_with_tree(&self, data: &VectorSet) -> (Clustering, HkmTree) {
+        if let Err(msg) = self.config.validate(data.len()) {
+            panic!("invalid hierarchical k-means configuration: {msg}");
+        }
+        let cfg = &self.config;
+        let n = data.len();
+        let start = Instant::now();
+        let mut rng = rng_from_seed(cfg.seed);
+        let mut distance_evals = 0u64;
+
+        // Working clusters: (member ids, index of the tree node representing
+        // them).  Nodes start as leaves and are converted to internal nodes
+        // when split.
+        let mut nodes: Vec<HkmNode> = vec![HkmNode::Leaf { cluster: usize::MAX }];
+        let root = 0usize;
+        let mut open: Vec<(Vec<u32>, usize)> = vec![((0..n as u32).collect(), root)];
+        let mut closed: Vec<(Vec<u32>, usize)> = Vec::new();
+
+        while open.len() + closed.len() < cfg.k && !open.is_empty() {
+            // Split the largest open node.
+            let (idx, _) = open
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (members, _))| members.len())
+                .expect("open is non-empty");
+            let (members, node_idx) = open.swap_remove(idx);
+            if members.len() <= 1 {
+                closed.push((members, node_idx));
+                continue;
+            }
+            // The number of children is capped so we never overshoot `k`
+            // leaves: the popped node is already excluded from the count, so
+            // its `b` children may add at most `k - (open + closed)` leaves.
+            let remaining = cfg.k - (open.len() + closed.len());
+            let b = self.branching.min(members.len()).min(remaining);
+            if b < 2 {
+                closed.push((members, node_idx));
+                continue;
+            }
+            let (parts, centroids) = lloyd_split(
+                data,
+                &members,
+                b,
+                self.split_iters,
+                &mut rng,
+                &mut distance_evals,
+            );
+            let non_empty: Vec<(Vec<u32>, usize)> = parts
+                .into_iter()
+                .enumerate()
+                .filter(|(_, p)| !p.is_empty())
+                .map(|(c, p)| (p, c))
+                .collect();
+            if non_empty.len() < 2 {
+                // Degenerate split (identical points); keep the node as a leaf.
+                closed.push((members, node_idx));
+                continue;
+            }
+            // Materialize child nodes and rewrite this node as internal.
+            let mut child_nodes = Vec::with_capacity(non_empty.len());
+            let mut child_centroids = VectorSet::zeros(non_empty.len(), data.dim())
+                .expect("non-zero dimensionality");
+            for (slot, (part, original_c)) in non_empty.into_iter().enumerate() {
+                let child_idx = nodes.len();
+                nodes.push(HkmNode::Leaf { cluster: usize::MAX });
+                child_centroids
+                    .row_mut(slot)
+                    .copy_from_slice(centroids.row(original_c));
+                child_nodes.push(child_idx);
+                open.push((part, child_idx));
+            }
+            nodes[node_idx] = HkmNode::Internal {
+                centroids: child_centroids,
+                children: child_nodes,
+            };
+        }
+        open.append(&mut closed);
+
+        // Assign final cluster indices to the leaves and build the flat output.
+        let k_eff = open.len();
+        let mut labels = vec![0usize; n];
+        let mut centroids = VectorSet::zeros(k_eff, data.dim()).expect("non-zero dim");
+        for (cluster, (members, node_idx)) in open.iter().enumerate() {
+            nodes[*node_idx] = HkmNode::Leaf { cluster };
+            let mut acc = vec![0.0f64; data.dim()];
+            for &s in members {
+                labels[s as usize] = cluster;
+                for (a, &x) in acc.iter_mut().zip(data.row(s as usize)) {
+                    *a += f64::from(x);
+                }
+            }
+            let inv = 1.0 / members.len().max(1) as f64;
+            for (t, a) in centroids.row_mut(cluster).iter_mut().zip(acc) {
+                *t = (a * inv) as f32;
+            }
+        }
+
+        let total = start.elapsed();
+        let trace = if cfg.record_trace {
+            vec![IterationStat {
+                iteration: 0,
+                distortion: average_distortion(data, &labels, &centroids),
+                elapsed_secs: total.as_secs_f64(),
+            }]
+        } else {
+            Vec::new()
+        };
+
+        let clustering = Clustering {
+            labels,
+            centroids,
+            iterations: k_eff.saturating_sub(1),
+            trace,
+            init_time: std::time::Duration::ZERO,
+            iter_time: total,
+            distance_evals,
+        };
+        let tree = HkmTree {
+            nodes,
+            root,
+            dim: data.dim(),
+            leaves: k_eff,
+        };
+        (clustering, tree)
+    }
+}
+
+/// Splits `members` into `b` parts with a small Lloyd run; returns the parts
+/// and the `b × d` centroids.
+fn lloyd_split(
+    data: &VectorSet,
+    members: &[u32],
+    b: usize,
+    iters: usize,
+    rng: &mut impl Rng,
+    distance_evals: &mut u64,
+) -> (Vec<Vec<u32>>, VectorSet) {
+    let d = data.dim();
+    // Seed with b distinct members (best effort on duplicates).
+    let mut seeds: Vec<usize> = Vec::with_capacity(b);
+    let mut guard = 0;
+    while seeds.len() < b && guard < 16 * b {
+        let cand = members[rng.gen_range(0..members.len())] as usize;
+        if !seeds.contains(&cand) {
+            seeds.push(cand);
+        }
+        guard += 1;
+    }
+    while seeds.len() < b {
+        seeds.push(members[rng.gen_range(0..members.len())] as usize);
+    }
+    let mut centroids = VectorSet::zeros(b, d).expect("non-zero dim");
+    for (c, &s) in seeds.iter().enumerate() {
+        centroids.row_mut(c).copy_from_slice(data.row(s));
+    }
+
+    let mut parts: Vec<Vec<u32>> = vec![Vec::new(); b];
+    for _ in 0..iters {
+        for p in &mut parts {
+            p.clear();
+        }
+        for &s in members {
+            let x = data.row(s as usize);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..b {
+                let dd = l2_sq(x, centroids.row(c));
+                *distance_evals += 1;
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            parts[best].push(s);
+        }
+        for (c, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let mut acc = vec![0.0f64; d];
+            for &s in part {
+                for (a, &x) in acc.iter_mut().zip(data.row(s as usize)) {
+                    *a += f64::from(x);
+                }
+            }
+            let inv = 1.0 / part.len() as f64;
+            for (t, a) in centroids.row_mut(c).iter_mut().zip(acc) {
+                *t = (a * inv) as f32;
+            }
+        }
+    }
+    (parts, centroids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lloyd::LloydKMeans;
+    use vecstore::sample::rng_from_seed;
+
+    fn blobs(per: usize, k: usize, spread: f32, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::new();
+        for c in 0..k {
+            for _ in 0..per {
+                let base = c as f32 * 30.0;
+                rows.push(vec![
+                    base + rng.gen_range(-spread..spread),
+                    base + rng.gen_range(-spread..spread),
+                ]);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn produces_exactly_k_clusters_on_separable_data() {
+        let data = blobs(25, 8, 1.0, 1);
+        let result = HierarchicalKMeans::new(KMeansConfig::with_k(8).seed(2))
+            .branching(4)
+            .fit(&data);
+        assert_eq!(result.k(), 8);
+        assert_eq!(result.non_empty_clusters(), 8);
+        assert_eq!(result.cluster_sizes().iter().sum::<usize>(), data.len());
+        // Hierarchical splits may merge/split blobs sub-optimally (that is the
+        // quality loss Sec. 2.1 describes), but the result must be far better
+        // than an arbitrary equal partition of the same data.
+        let arbitrary: Vec<usize> = (0..data.len()).map(|i| i % 8).collect();
+        let mut arbitrary_centroids = VectorSet::zeros(8, data.dim()).unwrap();
+        crate::common::recompute_centroids(&data, &arbitrary, &mut arbitrary_centroids);
+        let arbitrary_e = average_distortion(&data, &arbitrary, &arbitrary_centroids);
+        assert!(
+            result.distortion(&data) < arbitrary_e * 0.5,
+            "hkm {} vs arbitrary {arbitrary_e}",
+            result.distortion(&data)
+        );
+    }
+
+    #[test]
+    fn tree_assignment_agrees_with_training_labels_on_tight_blobs() {
+        let data = blobs(20, 6, 0.3, 3);
+        let (clustering, tree) = HierarchicalKMeans::new(KMeansConfig::with_k(6).seed(4))
+            .branching(3)
+            .fit_with_tree(&data);
+        assert_eq!(tree.leaves(), clustering.k());
+        let mut agree = 0usize;
+        for i in 0..data.len() {
+            let (leaf, evals) = tree.assign(data.row(i));
+            assert!(evals > 0);
+            if leaf == clustering.labels[i] {
+                agree += 1;
+            }
+        }
+        // On well-separated blobs the greedy descent re-finds the training
+        // leaf for the overwhelming majority of points.
+        assert!(agree * 10 >= data.len() * 9, "{agree}/{}", data.len());
+    }
+
+    #[test]
+    fn quantization_is_cheaper_than_flat_scan_for_large_k() {
+        let data = blobs(8, 32, 1.0, 5); // 256 samples, k = 32
+        let (_, tree) = HierarchicalKMeans::new(KMeansConfig::with_k(32).seed(6))
+            .branching(4)
+            .fit_with_tree(&data);
+        let (_, evals) = tree.assign(data.row(0));
+        assert!(
+            evals < 32,
+            "tree descent should check far fewer than k centroids, checked {evals}"
+        );
+    }
+
+    #[test]
+    fn cheaper_than_lloyd_but_usually_worse_quality() {
+        let data = blobs(15, 16, 4.0, 7);
+        let cfg = KMeansConfig::with_k(16).max_iters(15).seed(8);
+        let lloyd = LloydKMeans::new(cfg).fit(&data);
+        let hkm = HierarchicalKMeans::new(cfg).branching(4).fit(&data);
+        assert!(hkm.distance_evals < lloyd.distance_evals);
+        // Sec. 2.1's observation: hierarchical clustering trades quality for
+        // speed — allow a generous margin but it must stay in the same ballpark.
+        assert!(hkm.distortion(&data) < lloyd.distortion(&data) * 3.0 + 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates_and_k_one() {
+        let dup = VectorSet::from_rows(vec![vec![2.0, 2.0]; 10]).unwrap();
+        let result = HierarchicalKMeans::new(KMeansConfig::with_k(4).seed(9)).fit(&dup);
+        assert_eq!(result.labels.len(), 10);
+        assert!(result.labels.iter().all(|&l| l < result.k()));
+
+        let data = blobs(10, 1, 0.5, 10);
+        let result = HierarchicalKMeans::new(KMeansConfig::with_k(1).seed(11)).fit(&data);
+        assert_eq!(result.k(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs(12, 5, 1.5, 12);
+        let a = HierarchicalKMeans::new(KMeansConfig::with_k(5).seed(13)).branching(3).fit(&data);
+        let b = HierarchicalKMeans::new(KMeansConfig::with_k(5).seed(13)).branching(3).fit(&data);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hierarchical k-means configuration")]
+    fn invalid_config_panics() {
+        let data = blobs(4, 1, 0.5, 14);
+        let _ = HierarchicalKMeans::new(KMeansConfig::with_k(0)).fit(&data);
+    }
+}

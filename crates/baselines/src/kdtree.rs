@@ -1,0 +1,466 @@
+//! Randomized KD-tree forest for approximate nearest-centroid queries.
+//!
+//! This is the indexing structure behind AKM — "approximate k-means" of
+//! Philbin et al., CVPR 2007 (ref. [22] of the paper) — and the FLANN-style
+//! baselines of Muja & Lowe (ref. [45]).  The paper's related-work discussion
+//! (Sec. 2.1) covers this family: index the *centroids* in a tree, then
+//! replace the exhaustive closest-centroid scan by an approximate tree search
+//! with a bounded number of leaf checks.  The well-known weakness — which the
+//! paper exploits as motivation — is that the approach degrades in high
+//! dimension, whereas GK-means side-steps centroid search entirely.
+//!
+//! The forest follows the standard randomized construction: each tree picks
+//! its split dimension at random among the few highest-variance dimensions of
+//! the node and splits at the mean value.  Queries descend every tree to a
+//! leaf, then continue best-first through a shared priority queue of unvisited
+//! branches until `max_checks` points have been scored.
+
+use rand::Rng;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+/// Parameters of the randomized KD-tree forest.
+#[derive(Clone, Copy, Debug)]
+pub struct KdForestParams {
+    /// Number of randomized trees.
+    pub trees: usize,
+    /// Maximum number of points held by a leaf node.
+    pub leaf_size: usize,
+    /// How many of the highest-variance dimensions the random split dimension
+    /// is drawn from (FLANN uses 5).
+    pub split_candidates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KdForestParams {
+    fn default() -> Self {
+        Self {
+            trees: 4,
+            leaf_size: 8,
+            split_candidates: 5,
+            seed: 0xf0_1e57,
+        }
+    }
+}
+
+impl KdForestParams {
+    /// Convenience constructor fixing the number of trees.
+    pub fn with_trees(trees: usize) -> Self {
+        Self {
+            trees: trees.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the leaf size.
+    #[must_use]
+    pub fn leaf_size(mut self, leaf_size: usize) -> Self {
+        self.leaf_size = leaf_size.max(1);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One search hit: the index of the point in the indexed set plus its squared
+/// distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KdHit {
+    /// Row index in the indexed [`VectorSet`].
+    pub id: usize,
+    /// Squared Euclidean distance to the query.
+    pub dist: f32,
+}
+
+/// Per-query cost counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KdSearchStats {
+    /// Number of point distance evaluations.
+    pub distance_evals: u64,
+    /// Number of tree nodes traversed (internal + leaves).
+    pub nodes_visited: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        points: Vec<u32>,
+    },
+    Split {
+        dim: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Tree {
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+/// A forest of randomized KD-trees indexing one [`VectorSet`].
+///
+/// The indexed data is *not* stored inside the structure — queries take the
+/// same `VectorSet` that was indexed, which keeps the forest cheap to rebuild
+/// every AKM iteration (the centroids move, the forest must follow).
+#[derive(Clone, Debug)]
+pub struct KdTreeForest {
+    trees: Vec<Tree>,
+    len: usize,
+    dim: usize,
+}
+
+impl KdTreeForest {
+    /// Builds a forest over `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty.
+    pub fn build(data: &VectorSet, params: &KdForestParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty set");
+        let mut rng = rng_from_seed(params.seed);
+        let trees = (0..params.trees.max(1))
+            .map(|t| build_tree(data, params, rng.gen::<u64>() ^ t as u64))
+            .collect();
+        Self {
+            trees,
+            len: data.len(),
+            dim: data.dim(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is indexed (never the case for a built forest).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of trees in the forest.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Returns the approximate nearest indexed point of `query`, checking at
+    /// most `max_checks` points.  `data` must be the set the forest was built
+    /// on.
+    pub fn nearest(&self, data: &VectorSet, query: &[f32], max_checks: usize) -> KdHit {
+        self.knn(data, query, 1, max_checks).0[0]
+    }
+
+    /// Returns the `k` approximate nearest indexed points (ascending by
+    /// distance) plus cost counters, scoring at most `max_checks` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` does not match the indexed set's shape or when the
+    /// query dimensionality differs.
+    pub fn knn(
+        &self,
+        data: &VectorSet,
+        query: &[f32],
+        k: usize,
+        max_checks: usize,
+    ) -> (Vec<KdHit>, KdSearchStats) {
+        assert_eq!(data.len(), self.len, "forest was built on a different set");
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let mut stats = KdSearchStats::default();
+        let k = k.max(1);
+        let max_checks = max_checks.max(k);
+
+        // Best-first queue of (lower-bound distance, tree index, node index).
+        let mut frontier: Vec<(f32, usize, usize)> = Vec::new();
+        let mut results: Vec<KdHit> = Vec::with_capacity(k + 1);
+        let mut checked = vec![false; self.len];
+        let mut checks = 0usize;
+
+        for (ti, tree) in self.trees.iter().enumerate() {
+            frontier.push((0.0, ti, tree.root));
+        }
+
+        while checks < max_checks {
+            // pop the branch with the smallest lower bound
+            let Some(best_idx) = frontier
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let (bound, ti, mut node_idx) = frontier.swap_remove(best_idx);
+            if results.len() >= k && bound > results[results.len() - 1].dist {
+                // No remaining branch can improve the current k-th best.
+                break;
+            }
+            // Descend to a leaf, pushing the unvisited sibling branches.
+            loop {
+                stats.nodes_visited += 1;
+                match &self.trees[ti].nodes[node_idx] {
+                    Node::Leaf { points } => {
+                        for &p in points {
+                            let p = p as usize;
+                            if checked[p] {
+                                continue;
+                            }
+                            checked[p] = true;
+                            checks += 1;
+                            let d = l2_sq(query, data.row(p));
+                            stats.distance_evals += 1;
+                            insert_hit(&mut results, KdHit { id: p, dist: d }, k);
+                            if checks >= max_checks {
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                    Node::Split {
+                        dim,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        let diff = query[*dim] - *threshold;
+                        let (near, far) = if diff <= 0.0 {
+                            (*left, *right)
+                        } else {
+                            (*right, *left)
+                        };
+                        let margin = diff * diff;
+                        frontier.push((bound.max(margin), ti, far));
+                        node_idx = near;
+                    }
+                }
+            }
+        }
+
+        if results.is_empty() {
+            // Degenerate fallback (max_checks smaller than any leaf content):
+            // score point 0 so the caller always gets an answer.
+            let d = l2_sq(query, data.row(0));
+            stats.distance_evals += 1;
+            results.push(KdHit { id: 0, dist: d });
+        }
+        (results, stats)
+    }
+}
+
+fn insert_hit(results: &mut Vec<KdHit>, hit: KdHit, k: usize) {
+    if results.len() >= k {
+        if let Some(worst) = results.last() {
+            if hit.dist >= worst.dist {
+                return;
+            }
+        }
+    }
+    let pos = results.partition_point(|h| (h.dist, h.id) < (hit.dist, hit.id));
+    results.insert(pos, hit);
+    if results.len() > k {
+        results.pop();
+    }
+}
+
+fn build_tree(data: &VectorSet, params: &KdForestParams, seed: u64) -> Tree {
+    let mut rng = rng_from_seed(seed);
+    let mut nodes = Vec::new();
+    let all: Vec<u32> = (0..data.len() as u32).collect();
+    let root = build_node(data, all, params, &mut rng, &mut nodes);
+    Tree { nodes, root }
+}
+
+fn build_node(
+    data: &VectorSet,
+    points: Vec<u32>,
+    params: &KdForestParams,
+    rng: &mut impl Rng,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    if points.len() <= params.leaf_size {
+        nodes.push(Node::Leaf { points });
+        return nodes.len() - 1;
+    }
+    let dim = data.dim();
+    // Per-dimension mean and variance over this node's points.
+    let mut mean = vec![0.0f64; dim];
+    for &p in &points {
+        for (m, &x) in mean.iter_mut().zip(data.row(p as usize)) {
+            *m += f64::from(x);
+        }
+    }
+    let inv = 1.0 / points.len() as f64;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    let mut var = vec![0.0f64; dim];
+    for &p in &points {
+        for ((v, m), &x) in var.iter_mut().zip(&mean).zip(data.row(p as usize)) {
+            let d = f64::from(x) - *m;
+            *v += d * d;
+        }
+    }
+
+    // Pick the split dimension at random among the top-variance candidates.
+    let mut order: Vec<usize> = (0..dim).collect();
+    order.sort_by(|&a, &b| var[b].partial_cmp(&var[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let candidates = params.split_candidates.clamp(1, dim);
+    let split_dim = order[rng.gen_range(0..candidates)];
+    let threshold = mean[split_dim] as f32;
+
+    let (mut left, mut right): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+    for &p in &points {
+        if data.row(p as usize)[split_dim] <= threshold {
+            left.push(p);
+        } else {
+            right.push(p);
+        }
+    }
+    // Degenerate split (all points identical along the chosen dimension):
+    // fall back to an arbitrary even split so recursion terminates.
+    if left.is_empty() || right.is_empty() {
+        let mid = points.len() / 2;
+        left = points[..mid].to_vec();
+        right = points[mid..].to_vec();
+        if left.is_empty() || right.is_empty() {
+            nodes.push(Node::Leaf { points });
+            return nodes.len() - 1;
+        }
+    }
+
+    let left_idx = build_node(data, left, params, rng, nodes);
+    let right_idx = build_node(data, right, params, rng, nodes);
+    nodes.push(Node::Split {
+        dim: split_dim,
+        threshold,
+        left: left_idx,
+        right: right_idx,
+    });
+    nodes.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = (i % 8) as f32 * 4.0;
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                row.push(g + rng.gen_range(-1.0..1.0));
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    fn exact_nn(data: &VectorSet, query: &[f32]) -> usize {
+        (0..data.len())
+            .min_by(|&a, &b| {
+                l2_sq(query, data.row(a))
+                    .partial_cmp(&l2_sq(query, data.row(b)))
+                    .unwrap()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn unlimited_checks_recover_the_exact_neighbour() {
+        let data = clustered(300, 6, 1);
+        let forest = KdTreeForest::build(&data, &KdForestParams::with_trees(4).seed(2));
+        let queries = clustered(25, 6, 77);
+        for q in queries.rows() {
+            let hit = forest.nearest(&data, q, data.len());
+            assert_eq!(hit.id, exact_nn(&data, q));
+        }
+    }
+
+    #[test]
+    fn bounded_checks_trade_accuracy_for_cost() {
+        let data = clustered(500, 8, 3);
+        let forest = KdTreeForest::build(&data, &KdForestParams::with_trees(4).seed(4));
+        let queries = clustered(40, 8, 99);
+        let recall = |checks: usize| -> (f64, u64) {
+            let mut hits = 0usize;
+            let mut evals = 0u64;
+            for q in queries.rows() {
+                let (res, stats) = forest.knn(&data, q, 1, checks);
+                evals += stats.distance_evals;
+                if res[0].id == exact_nn(&data, q) {
+                    hits += 1;
+                }
+            }
+            (hits as f64 / queries.len() as f64, evals)
+        };
+        let (r_low, e_low) = recall(16);
+        let (r_high, e_high) = recall(500);
+        assert!(r_high >= r_low, "more checks must not hurt: {r_high} < {r_low}");
+        assert!(r_high > 0.9, "full-check recall too low: {r_high}");
+        assert!(e_low < e_high, "bounded search must evaluate fewer points");
+    }
+
+    #[test]
+    fn knn_returns_sorted_unique_results() {
+        let data = clustered(200, 5, 5);
+        let forest = KdTreeForest::build(&data, &KdForestParams::default().seed(6));
+        let (res, stats) = forest.knn(&data, data.row(13), 5, 200);
+        assert_eq!(res.len(), 5);
+        assert!(stats.distance_evals > 0);
+        assert!(stats.nodes_visited > 0);
+        for w in res.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        let mut ids: Vec<usize> = res.iter().map(|h| h.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "duplicate hits returned");
+        assert_eq!(res[0].id, 13, "a base point must be its own nearest neighbour");
+    }
+
+    #[test]
+    fn tiny_sets_and_tiny_budgets_still_answer() {
+        let data = clustered(3, 4, 7);
+        let forest = KdTreeForest::build(&data, &KdForestParams::with_trees(2).leaf_size(1).seed(8));
+        let hit = forest.nearest(&data, data.row(2), 1);
+        assert!(hit.id < 3);
+        assert!(hit.dist.is_finite());
+    }
+
+    #[test]
+    fn constant_data_does_not_recurse_forever() {
+        let data = VectorSet::from_rows(vec![vec![1.0, 1.0]; 64]).unwrap();
+        let forest = KdTreeForest::build(&data, &KdForestParams::with_trees(2).leaf_size(4).seed(9));
+        let hit = forest.nearest(&data, &[1.0, 1.0], 64);
+        assert_eq!(hit.dist, 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = clustered(150, 4, 10);
+        let a = KdTreeForest::build(&data, &KdForestParams::with_trees(3).seed(11));
+        let b = KdTreeForest::build(&data, &KdForestParams::with_trees(3).seed(11));
+        let q = data.row(50);
+        assert_eq!(a.knn(&data, q, 3, 60).0, b.knn(&data, q, 3, 60).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot index an empty set")]
+    fn empty_set_panics() {
+        let empty = VectorSet::zeros(0, 3).unwrap();
+        let _ = KdTreeForest::build(&empty, &KdForestParams::default());
+    }
+}

@@ -1,0 +1,46 @@
+//! Baseline k-means variants the paper compares against (Sec. 5).
+//!
+//! | Module | Algorithm | Paper role |
+//! |--------|-----------|------------|
+//! | [`lloyd`] | Traditional (Lloyd's) k-means | the "k-means" curve in Fig. 5–7 |
+//! | [`seeding`] | random, k-means++ and k-means‖ seeding | initialisation for the baselines |
+//! | [`minibatch`] | Mini-Batch k-means (Sculley, WWW 2010) | the "Mini-Batch" curve |
+//! | [`closure`] | Closure k-means (Wang et al., CVPR 2012) | the "closure k-means" curve |
+//! | [`bisecting`] | Top-down bisecting k-means | the hierarchical baseline of Sec. 2.1 |
+//! | [`elkan`] | Elkan's triangle-inequality k-means (ICML 2003) | ref. [29]: fast but `O(k²)` memory |
+//! | [`hamerly`] | Hamerly's single-bound accelerated k-means | the standard lighter-memory variant of Elkan |
+//! | [`kdtree`] | Randomized KD-tree forest | the centroid index behind AKM / FLANN (refs. [22], [45]) |
+//! | [`akm`] | Approximate k-means (Philbin et al., CVPR 2007) | ref. [22], mentioned in Sec. 5 as an excluded-but-known comparator |
+//! | [`hkm`] | Hierarchical k-means / vocabulary tree | ref. [45], same |
+//!
+//! All variants share the [`common::Clustering`] result type and the
+//! [`common::KMeansConfig`] convergence settings so the experiment harness can
+//! drive them uniformly and record per-iteration distortion/time traces (the
+//! x-axes of Fig. 5).
+//!
+//! The implementations are intentionally single-threaded: the paper's
+//! measurements are single-thread (Sec. 5, "simulations are conducted by
+//! single thread"), and keeping every measured code path serial preserves the
+//! relative speed-ups the benchmark harness reports.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod akm;
+pub mod bisecting;
+pub mod closure;
+pub mod common;
+pub mod elkan;
+pub mod hamerly;
+pub mod hkm;
+pub mod kdtree;
+pub mod lloyd;
+pub mod minibatch;
+pub mod seeding;
+
+pub use akm::ApproximateKMeans;
+pub use common::{Clustering, IterationStat, KMeansConfig};
+pub use hkm::HierarchicalKMeans;
+pub use kdtree::{KdForestParams, KdTreeForest};
+pub use lloyd::LloydKMeans;
+pub use minibatch::MiniBatchKMeans;

@@ -1,0 +1,216 @@
+//! Traditional (Lloyd's) k-means — the "k-means" baseline of Fig. 5–7.
+//!
+//! Each iteration (i) assigns every sample to its closest centroid by
+//! exhaustive comparison (`O(n·d·k)`, the bottleneck the paper attacks) and
+//! (ii) recomputes every centroid as the mean of its members.  Iteration
+//! stops at `max_iters` or when the relative distortion improvement falls
+//! below `tol`.
+
+use std::time::Instant;
+
+use vecstore::VectorSet;
+
+use crate::common::{
+    assign_exhaustive, average_distortion, recompute_centroids, reseed_empty_clusters, Clustering,
+    IterationStat, KMeansConfig,
+};
+use crate::seeding::{seed_centroids, Seeding};
+
+/// Lloyd's k-means with a configurable seeding strategy.
+#[derive(Clone, Debug)]
+pub struct LloydKMeans {
+    /// Convergence configuration.
+    pub config: KMeansConfig,
+    /// Seeding strategy (random by default, matching the paper's baseline).
+    pub seeding: Seeding,
+}
+
+impl LloydKMeans {
+    /// Creates a Lloyd k-means with random seeding.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self {
+            config,
+            seeding: Seeding::Random,
+        }
+    }
+
+    /// Selects a different seeding strategy (e.g. k-means++).
+    #[must_use]
+    pub fn with_seeding(mut self, seeding: Seeding) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Runs the clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid for `data` (zero `k`, more
+    /// clusters than samples, …); the experiment harness validates configs
+    /// before dispatching.
+    pub fn fit(&self, data: &VectorSet) -> Clustering {
+        if let Err(msg) = self.config.validate(data.len()) {
+            panic!("invalid k-means configuration: {msg}");
+        }
+        let cfg = &self.config;
+        let start = Instant::now();
+        let mut centroids = seed_centroids(data, cfg.k, self.seeding, cfg.seed);
+        let init_time = start.elapsed();
+
+        let mut labels = vec![0usize; data.len()];
+        let mut distance_evals = 0u64;
+        let mut trace = Vec::new();
+        let mut prev_distortion = f64::INFINITY;
+        let iter_start = Instant::now();
+        let mut iterations = 0usize;
+
+        for it in 0..cfg.max_iters {
+            iterations = it + 1;
+            let changes = assign_exhaustive(data, &centroids, &mut labels, &mut distance_evals);
+            recompute_centroids(data, &labels, &mut centroids);
+            reseed_empty_clusters(data, &mut labels, &mut centroids);
+
+            if cfg.record_trace {
+                let distortion = average_distortion(data, &labels, &centroids);
+                trace.push(IterationStat {
+                    iteration: it,
+                    distortion,
+                    elapsed_secs: (init_time + iter_start.elapsed()).as_secs_f64(),
+                });
+                if cfg.tol > 0.0
+                    && prev_distortion.is_finite()
+                    && prev_distortion - distortion <= cfg.tol * prev_distortion
+                {
+                    break;
+                }
+                prev_distortion = distortion;
+            }
+            if changes == 0 {
+                break;
+            }
+        }
+
+        Clustering {
+            labels,
+            centroids,
+            iterations,
+            trace,
+            init_time,
+            iter_time: iter_start.elapsed(),
+            distance_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per: usize) -> (VectorSet, usize) {
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            for i in 0..per {
+                let base = c as f32 * 30.0;
+                rows.push(vec![
+                    base + (i % 7) as f32 * 0.3,
+                    base - (i % 5) as f32 * 0.2,
+                ]);
+            }
+        }
+        (VectorSet::from_rows(rows).unwrap(), 3)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (data, k) = blobs(30);
+        // k-means++ seeding makes the blob recovery deterministic; plain random
+        // seeding can legitimately land two centres in one blob.
+        let clustering = LloydKMeans::new(KMeansConfig::with_k(k).max_iters(50).seed(3))
+            .with_seeding(Seeding::KMeansPlusPlus)
+            .fit(&data);
+        assert_eq!(clustering.labels.len(), data.len());
+        assert_eq!(clustering.k(), k);
+        assert_eq!(clustering.non_empty_clusters(), k);
+        // Every blob must be pure: samples of one blob share a label.
+        for blob in 0..k {
+            let first = clustering.labels[blob * 30];
+            for i in 0..30 {
+                assert_eq!(clustering.labels[blob * 30 + i], first);
+            }
+        }
+        // Distortion is small: every point is within ~2 units of its centre.
+        assert!(clustering.distortion(&data) < 2.0);
+    }
+
+    #[test]
+    fn distortion_is_monotonically_non_increasing() {
+        let (data, k) = blobs(40);
+        let clustering =
+            LloydKMeans::new(KMeansConfig::with_k(k).max_iters(20).seed(1)).fit(&data);
+        let trace: Vec<f64> = clustering.trace.iter().map(|t| t.distortion).collect();
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-6,
+                "distortion increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn converges_and_stops_early() {
+        let (data, k) = blobs(20);
+        let clustering =
+            LloydKMeans::new(KMeansConfig::with_k(k).max_iters(100).seed(5)).fit(&data);
+        assert!(clustering.iterations < 100, "should stop when assignments stabilise");
+    }
+
+    #[test]
+    fn kmeanspp_seeding_never_worse_much() {
+        let (data, k) = blobs(25);
+        let random = LloydKMeans::new(KMeansConfig::with_k(k).max_iters(30).seed(2)).fit(&data);
+        let pp = LloydKMeans::new(KMeansConfig::with_k(k).max_iters(30).seed(2))
+            .with_seeding(Seeding::KMeansPlusPlus)
+            .fit(&data);
+        // Careful seeding may only improve the reached local optimum (within a
+        // small numerical slack); random seeding can fall into a worse one.
+        assert!(pp.distortion(&data) <= random.distortion(&data) + 1.0);
+    }
+
+    #[test]
+    fn trace_can_be_disabled() {
+        let (data, k) = blobs(10);
+        let clustering =
+            LloydKMeans::new(KMeansConfig::with_k(k).max_iters(5).record_trace(false)).fit(&data);
+        assert!(clustering.trace.is_empty());
+        assert!(clustering.distance_evals > 0);
+    }
+
+    #[test]
+    fn labels_cover_all_samples_and_are_in_range() {
+        let (data, k) = blobs(15);
+        let clustering = LloydKMeans::new(KMeansConfig::with_k(k).max_iters(10)).fit(&data);
+        assert_eq!(clustering.labels.len(), data.len());
+        assert!(clustering.labels.iter().all(|&l| l < k));
+        assert_eq!(clustering.cluster_sizes().iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid k-means configuration")]
+    fn invalid_config_panics() {
+        let (data, _) = blobs(5);
+        let _ = LloydKMeans::new(KMeansConfig::with_k(0)).fit(&data);
+    }
+
+    #[test]
+    fn k_equals_one_collapses_to_global_mean() {
+        let (data, _) = blobs(10);
+        let clustering = LloydKMeans::new(KMeansConfig::with_k(1).max_iters(5)).fit(&data);
+        let mean = data.mean().unwrap();
+        for (a, b) in clustering.centroids.row(0).iter().zip(&mean) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Mini-Batch k-means (Sculley, WWW 2010) — the "Mini-Batch" baseline.
+//!
+//! Each iteration draws a small random batch, assigns the batch to the
+//! current centroids and moves each centroid towards the assigned batch
+//! members with a per-centre learning rate `1/counts[c]`.  The paper observes
+//! (Sec. 5.3, 5.4) that Mini-Batch is the fastest baseline but produces much
+//! higher distortion — that behaviour is what this implementation reproduces.
+
+use std::time::Instant;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::{rng_from_seed, sample_with_replacement};
+use vecstore::VectorSet;
+
+use crate::common::{average_distortion, Clustering, IterationStat, KMeansConfig};
+use crate::seeding::{seed_centroids, Seeding};
+
+/// Mini-Batch k-means configuration wrapper.
+#[derive(Clone, Debug)]
+pub struct MiniBatchKMeans {
+    /// Shared convergence configuration (`max_iters` counts batches here).
+    pub config: KMeansConfig,
+    /// Batch size `b` (Sculley recommends ~1000 for web-scale data).
+    pub batch_size: usize,
+    /// Seeding strategy for the initial centroids.
+    pub seeding: Seeding,
+}
+
+impl MiniBatchKMeans {
+    /// Creates a Mini-Batch k-means with the conventional batch size of 1000.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self {
+            config,
+            batch_size: 1000,
+            seeding: Seeding::Random,
+        }
+    }
+
+    /// Overrides the batch size.
+    #[must_use]
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Runs the clustering.  The final labels are produced by one full
+    /// assignment pass over the data (Sculley's algorithm only maintains
+    /// centroids during the iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration, mirroring [`crate::LloydKMeans`].
+    pub fn fit(&self, data: &VectorSet) -> Clustering {
+        if let Err(msg) = self.config.validate(data.len()) {
+            panic!("invalid mini-batch configuration: {msg}");
+        }
+        let cfg = &self.config;
+        let start = Instant::now();
+        let mut centroids = seed_centroids(data, cfg.k, self.seeding, cfg.seed);
+        let init_time = start.elapsed();
+
+        let mut rng = rng_from_seed(cfg.seed ^ xmini_seed());
+        let mut counts = vec![0u64; cfg.k];
+        let mut distance_evals = 0u64;
+        let mut trace = Vec::new();
+        let iter_start = Instant::now();
+        let mut iterations = 0usize;
+
+        for it in 0..cfg.max_iters {
+            iterations = it + 1;
+            let batch =
+                sample_with_replacement(&mut rng, data.len(), self.batch_size.min(data.len()))
+                    .expect("non-empty data");
+            // Assign the batch.
+            let mut batch_labels = Vec::with_capacity(batch.len());
+            for &i in &batch {
+                let x = data.row(i);
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for c in 0..cfg.k {
+                    let d = l2_sq(x, centroids.row(c));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                distance_evals += cfg.k as u64;
+                batch_labels.push(best);
+            }
+            // Gradient step per batch member.
+            for (&i, &c) in batch.iter().zip(&batch_labels) {
+                counts[c] += 1;
+                let eta = 1.0 / counts[c] as f32;
+                let x = data.row(i).to_vec();
+                let centre = centroids.row_mut(c);
+                for (cv, xv) in centre.iter_mut().zip(&x) {
+                    *cv = (1.0 - eta) * *cv + eta * *xv;
+                }
+            }
+            if cfg.record_trace {
+                // A full labelling pass is needed to report distortion; this is
+                // evaluation cost, not algorithm cost, and is excluded from the
+                // distance_evals counter on purpose.
+                let labels = full_assignment(data, &centroids);
+                trace.push(IterationStat {
+                    iteration: it,
+                    distortion: average_distortion(data, &labels, &centroids),
+                    elapsed_secs: (init_time + iter_start.elapsed()).as_secs_f64(),
+                });
+            }
+        }
+
+        let labels = full_assignment(data, &centroids);
+        Clustering {
+            labels,
+            centroids,
+            iterations,
+            trace,
+            init_time,
+            iter_time: iter_start.elapsed(),
+            distance_evals,
+        }
+    }
+}
+
+/// Assigns every sample to its closest centroid (used for the final labelling
+/// and the distortion trace).
+fn full_assignment(data: &VectorSet, centroids: &VectorSet) -> Vec<usize> {
+    let mut labels = vec![0usize; data.len()];
+    let mut throwaway = 0u64;
+    crate::common::assign_exhaustive(data, centroids, &mut labels, &mut throwaway);
+    labels
+}
+
+/// Obfuscated constant seed component so the mini-batch RNG stream differs
+/// from the seeding RNG stream even for equal seeds.
+#[allow(non_snake_case)]
+const fn xmini_seed() -> u64 {
+    0x6d69_6e69_6261_7463
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lloyd::LloydKMeans;
+
+    fn blobs(per: usize) -> (VectorSet, usize) {
+        let mut rows = Vec::new();
+        for c in 0..4 {
+            for i in 0..per {
+                let base = c as f32 * 25.0;
+                rows.push(vec![base + (i % 6) as f32 * 0.4, base + (i % 3) as f32 * 0.3]);
+            }
+        }
+        (VectorSet::from_rows(rows).unwrap(), 4)
+    }
+
+    #[test]
+    fn recovers_separable_blobs() {
+        let (data, k) = blobs(50);
+        let mut mb = MiniBatchKMeans::new(KMeansConfig::with_k(k).max_iters(40).seed(7))
+            .batch_size(32);
+        // k-means++ seeding keeps the blob-recovery assertion deterministic.
+        mb.seeding = Seeding::KMeansPlusPlus;
+        let mb = mb.fit(&data);
+        assert_eq!(mb.labels.len(), data.len());
+        assert!(mb.labels.iter().all(|&l| l < k));
+        assert!(mb.distortion(&data) < 5.0, "distortion {}", mb.distortion(&data));
+    }
+
+    #[test]
+    fn worse_than_lloyd_on_average_but_cheaper_per_pass() {
+        // The key qualitative claim the paper makes about Mini-Batch: fast,
+        // but higher distortion than full k-means.
+        let (data, k) = blobs(60);
+        let lloyd = LloydKMeans::new(KMeansConfig::with_k(k).max_iters(30).seed(3)).fit(&data);
+        let mb = MiniBatchKMeans::new(KMeansConfig::with_k(k).max_iters(30).seed(3))
+            .batch_size(16)
+            .fit(&data);
+        assert!(mb.distortion(&data) >= lloyd.distortion(&data) - 1e-6);
+        // cost counted in distance evals: minibatch touches batch_size*k per
+        // iteration vs n*k for lloyd
+        assert!(mb.distance_evals < lloyd.distance_evals);
+    }
+
+    #[test]
+    fn trace_is_recorded_when_requested() {
+        let (data, k) = blobs(20);
+        let mb = MiniBatchKMeans::new(KMeansConfig::with_k(k).max_iters(10).seed(1))
+            .batch_size(8)
+            .fit(&data);
+        assert_eq!(mb.trace.len(), 10);
+        let off = MiniBatchKMeans::new(
+            KMeansConfig::with_k(k).max_iters(10).seed(1).record_trace(false),
+        )
+        .batch_size(8)
+        .fit(&data);
+        assert!(off.trace.is_empty());
+    }
+
+    #[test]
+    fn batch_size_larger_than_n_is_fine() {
+        let (data, k) = blobs(5);
+        let mb = MiniBatchKMeans::new(KMeansConfig::with_k(k).max_iters(5).seed(2))
+            .batch_size(10_000)
+            .fit(&data);
+        assert_eq!(mb.labels.len(), data.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (data, k) = blobs(30);
+        let a = MiniBatchKMeans::new(KMeansConfig::with_k(k).max_iters(15).seed(9))
+            .batch_size(16)
+            .fit(&data);
+        let b = MiniBatchKMeans::new(KMeansConfig::with_k(k).max_iters(15).seed(9))
+            .batch_size(16)
+            .fit(&data);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid mini-batch configuration")]
+    fn invalid_config_panics() {
+        let (data, _) = blobs(3);
+        let _ = MiniBatchKMeans::new(KMeansConfig::with_k(0)).fit(&data);
+    }
+}

@@ -1,0 +1,289 @@
+//! Centroid seeding strategies.
+//!
+//! The paper's baselines are seeded in the conventional ways: random sample
+//! selection for plain k-means and Mini-Batch, and k-means++ (Arthur &
+//! Vassilvitskii, SODA 2007, ref. [14]) where a careful seeding baseline is
+//! needed.  k-means‖ (Bahmani et al., VLDB 2012, ref. [21]) is provided as
+//! the over-sampled variant the related-work section discusses.
+
+use rand::Rng;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::{rng_from_seed, sample_distinct};
+use vecstore::VectorSet;
+
+/// Seeding strategy selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Seeding {
+    /// `k` distinct samples chosen uniformly at random.
+    Random,
+    /// k-means++ D² weighting (ref. [14]).
+    KMeansPlusPlus,
+    /// k-means‖ over-sampling with `rounds` passes and over-sampling factor
+    /// `l ≈ 2k` (ref. [21]); reduced to `k` centres with a weighted
+    /// k-means++ pass.
+    Parallel {
+        /// Number of over-sampling rounds (the paper's related work uses ~5).
+        rounds: usize,
+    },
+}
+
+/// Picks `k` initial centroids from `data` according to `strategy`.
+///
+/// # Panics
+///
+/// Panics when `k == 0` or `k > data.len()`; callers validate their
+/// [`crate::common::KMeansConfig`] before seeding.
+pub fn seed_centroids(data: &VectorSet, k: usize, strategy: Seeding, seed: u64) -> VectorSet {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= data.len(), "k exceeds the number of samples");
+    let mut rng = rng_from_seed(seed);
+    match strategy {
+        Seeding::Random => {
+            let idx = sample_distinct(&mut rng, data.len(), k).expect("validated above");
+            data.gather(&idx).expect("indices in range")
+        }
+        Seeding::KMeansPlusPlus => kmeanspp(data, k, &mut rng),
+        Seeding::Parallel { rounds } => kmeans_parallel(data, k, rounds.max(1), &mut rng),
+    }
+}
+
+/// Classic k-means++ seeding: each new centre is drawn with probability
+/// proportional to its squared distance to the closest already-chosen centre.
+fn kmeanspp(data: &VectorSet, k: usize, rng: &mut impl Rng) -> VectorSet {
+    let n = data.len();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let first = rng.gen_range(0..n);
+    chosen.push(first);
+    // d2[i] = squared distance of sample i to the nearest chosen centre.
+    let mut d2: Vec<f32> = (0..n).map(|i| l2_sq(data.row(i), data.row(first))).collect();
+    while chosen.len() < k {
+        let total: f64 = d2.iter().map(|&d| f64::from(d)).sum();
+        let next = if total <= 0.0 {
+            // All remaining samples coincide with chosen centres; fall back to
+            // an unchosen random index to keep the centres distinct.
+            (0..n).find(|i| !chosen.contains(i)).unwrap_or(first)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= f64::from(d);
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        chosen.push(next);
+        let centre = data.row(next);
+        for i in 0..n {
+            let d = l2_sq(data.row(i), centre);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    data.gather(&chosen).expect("indices in range")
+}
+
+/// k-means‖: over-sample `~2k` candidates per round proportionally to D²,
+/// then weight the candidates by how many samples they attract and reduce to
+/// `k` centres with k-means++ on the weighted candidate set.
+fn kmeans_parallel(data: &VectorSet, k: usize, rounds: usize, rng: &mut impl Rng) -> VectorSet {
+    let n = data.len();
+    let oversample = (2 * k).max(2);
+    let first = rng.gen_range(0..n);
+    let mut candidates: Vec<usize> = vec![first];
+    let mut d2: Vec<f32> = (0..n).map(|i| l2_sq(data.row(i), data.row(first))).collect();
+    for _ in 0..rounds {
+        let total: f64 = d2.iter().map(|&d| f64::from(d)).sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut new_candidates = Vec::new();
+        for (i, &d) in d2.iter().enumerate() {
+            let p = (oversample as f64) * f64::from(d) / total;
+            if rng.gen_bool(p.min(1.0)) && !candidates.contains(&i) {
+                new_candidates.push(i);
+            }
+        }
+        for &c in &new_candidates {
+            let centre = data.row(c);
+            for i in 0..n {
+                let d = l2_sq(data.row(i), centre);
+                if d < d2[i] {
+                    d2[i] = d;
+                }
+            }
+        }
+        candidates.extend(new_candidates);
+    }
+    if candidates.len() <= k {
+        // Not enough candidates (tiny datasets): top up with random distinct rows.
+        let mut extra = 0usize;
+        while candidates.len() < k && extra < n {
+            if !candidates.contains(&extra) {
+                candidates.push(extra);
+            }
+            extra += 1;
+        }
+        return data.gather(&candidates[..k]).expect("indices in range");
+    }
+    // Weight candidates by attraction counts.
+    let mut weights = vec![0f64; candidates.len()];
+    for i in 0..n {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (ci, &c) in candidates.iter().enumerate() {
+            let d = l2_sq(data.row(i), data.row(c));
+            if d < best_d {
+                best_d = d;
+                best = ci;
+            }
+        }
+        weights[best] += 1.0;
+    }
+    // Weighted k-means++ over the candidate set.
+    let cand_set = data.gather(&candidates).expect("indices in range");
+    weighted_kmeanspp(&cand_set, &weights, k, rng)
+}
+
+/// k-means++ where each point carries a weight (used to reduce the k-means‖
+/// candidate set).
+fn weighted_kmeanspp(points: &VectorSet, weights: &[f64], k: usize, rng: &mut impl Rng) -> VectorSet {
+    let n = points.len();
+    let total_w: f64 = weights.iter().sum();
+    let mut chosen = Vec::with_capacity(k);
+    // first pick: weighted by the supplied weights
+    let mut target = rng.gen_range(0.0..total_w.max(f64::MIN_POSITIVE));
+    let mut first = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            first = i;
+            break;
+        }
+    }
+    chosen.push(first);
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| f64::from(l2_sq(points.row(i), points.row(first))) * weights[i])
+        .collect();
+    while chosen.len() < k.min(n) {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            (0..n).find(|i| !chosen.contains(i)).unwrap_or(first)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        chosen.push(next);
+        for i in 0..n {
+            let d = f64::from(l2_sq(points.row(i), points.row(next))) * weights[i];
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    points.gather(&chosen).expect("indices in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> VectorSet {
+        let mut rows = Vec::new();
+        for c in 0..4 {
+            for i in 0..25 {
+                let base = c as f32 * 20.0;
+                rows.push(vec![base + (i % 5) as f32 * 0.1, base + (i / 5) as f32 * 0.1]);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn random_seeding_picks_k_rows_from_data() {
+        let data = blobs();
+        let c = seed_centroids(&data, 4, Seeding::Random, 1);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.dim(), 2);
+        for row in c.rows() {
+            assert!(data.rows().any(|r| r == row));
+        }
+    }
+
+    #[test]
+    fn kmeanspp_spreads_centres_across_blobs() {
+        let data = blobs();
+        let c = seed_centroids(&data, 4, Seeding::KMeansPlusPlus, 7);
+        assert_eq!(c.len(), 4);
+        // the four blobs are 20 apart; ++ should pick one centre near each blob
+        let mut blob_hit = [false; 4];
+        for row in c.rows() {
+            let blob = (row[0] / 20.0).round() as usize;
+            blob_hit[blob.min(3)] = true;
+        }
+        assert!(blob_hit.iter().filter(|&&h| h).count() >= 3, "{blob_hit:?}");
+    }
+
+    #[test]
+    fn parallel_seeding_produces_k_centres() {
+        let data = blobs();
+        let c = seed_centroids(&data, 4, Seeding::Parallel { rounds: 3 }, 5);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_seed() {
+        let data = blobs();
+        for s in [Seeding::Random, Seeding::KMeansPlusPlus, Seeding::Parallel { rounds: 2 }] {
+            let a = seed_centroids(&data, 3, s, 11);
+            let b = seed_centroids(&data, 3, s, 11);
+            assert_eq!(a, b, "strategy {s:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_returns_every_row_once() {
+        let data = VectorSet::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let c = seed_centroids(&data, 3, Seeding::KMeansPlusPlus, 3);
+        assert_eq!(c.len(), 3);
+        let mut vals: Vec<i32> = c.rows().map(|r| r[0] as i32).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_data_does_not_hang() {
+        let data = VectorSet::from_rows(vec![vec![5.0, 5.0]; 10]).unwrap();
+        let c = seed_centroids(&data, 3, Seeding::KMeansPlusPlus, 2);
+        assert_eq!(c.len(), 3);
+        let c = seed_centroids(&data, 3, Seeding::Parallel { rounds: 2 }, 2);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let data = blobs();
+        let _ = seed_centroids(&data, 0, Seeding::Random, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds")]
+    fn oversized_k_panics() {
+        let data = VectorSet::from_rows(vec![vec![0.0]]).unwrap();
+        let _ = seed_centroids(&data, 2, Seeding::Random, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Micro-benchmark: one assignment pass over the data — exhaustive
+//! (traditional k-means, cost `n·k`) vs graph-restricted (GK-means, cost
+//! `n·κ̃` with κ̃ ≤ κ) vs the boost-k-means ΔI evaluation.  This isolates the
+//! paper's core claim at the level of a single iteration.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use baselines::common::assign_exhaustive;
+use datagen::{PaperDataset, Workload};
+use gkmeans::two_means::TwoMeansTree;
+use gkmeans::ClusterState;
+use knn_graph::brute::exact_graph;
+use vecstore::VectorSet;
+
+struct Fixture {
+    data: VectorSet,
+    centroids: VectorSet,
+    labels: Vec<usize>,
+    state: ClusterState,
+    graph: knn_graph::KnnGraph,
+    k: usize,
+}
+
+fn fixture(n: usize, k: usize) -> Fixture {
+    let w = Workload::generate_with_n(PaperDataset::Sift100K, n, 7);
+    let labels = TwoMeansTree::new(1).partition(&w.data, k);
+    let state = ClusterState::from_labels(&w.data, labels.clone(), k);
+    let centroids = state.centroids();
+    let graph = exact_graph(&w.data, 10);
+    Fixture {
+        data: w.data,
+        centroids,
+        labels,
+        state,
+        graph,
+        k,
+    }
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_step");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &k in &[64usize, 256] {
+        let fx = fixture(4_000, k);
+
+        group.bench_with_input(BenchmarkId::new("exhaustive", k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut labels = fx.labels.clone();
+                let mut evals = 0u64;
+                assign_exhaustive(&fx.data, &fx.centroids, &mut labels, &mut evals);
+                black_box(evals)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("graph_restricted", k), &k, |bench, _| {
+            bench.iter(|| {
+                // one GK-means-style pass: candidates from the graph, ΔI moves
+                let mut state = fx.state.clone();
+                let mut moves = 0usize;
+                for i in 0..fx.data.len() {
+                    let u = state.label(i);
+                    if state.size(u) <= 1 {
+                        continue;
+                    }
+                    let x = fx.data.row(i);
+                    let removal = state.removal_part(i, x);
+                    let mut best_v = u;
+                    let mut best_delta = 0.0;
+                    for nb in fx.graph.neighbors(i).as_slice().iter().take(10) {
+                        let v = state.label(nb.id as usize);
+                        if v == u {
+                            continue;
+                        }
+                        let delta = removal + state.addition_part(x, v);
+                        if delta > best_delta {
+                            best_delta = delta;
+                            best_v = v;
+                        }
+                    }
+                    if best_v != u && best_delta > 0.0 {
+                        state.apply_move(i, x, best_v);
+                        moves += 1;
+                    }
+                }
+                black_box(moves)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("boost_full_scan", k), &k, |bench, _| {
+            bench.iter(|| {
+                // BKM pass without the graph: every cluster is a candidate
+                let mut state = fx.state.clone();
+                let mut moves = 0usize;
+                for i in 0..fx.data.len() {
+                    let u = state.label(i);
+                    if state.size(u) <= 1 {
+                        continue;
+                    }
+                    let x = fx.data.row(i);
+                    let removal = state.removal_part(i, x);
+                    let mut best_v = u;
+                    let mut best_delta = 0.0;
+                    for v in 0..fx.k {
+                        if v == u {
+                            continue;
+                        }
+                        let delta = removal + state.addition_part(x, v);
+                        if delta > best_delta {
+                            best_delta = delta;
+                            best_v = v;
+                        }
+                    }
+                    if best_v != u && best_delta > 0.0 {
+                        state.apply_move(i, x, best_v);
+                        moves += 1;
+                    }
+                }
+                black_box(moves)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Macro-benchmark: end-to-end clustering time for every method at a fixed
+//! iteration budget — the Criterion counterpart of Fig. 6, kept small enough
+//! to run in CI.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::Method;
+use datagen::{PaperDataset, Workload};
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_methods");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let w = Workload::generate_with_n(PaperDataset::Vlad10M, 3_000, 13);
+    let iterations = 5usize;
+    for &k in &[64usize, 256] {
+        for method in Method::scalability_set() {
+            group.bench_with_input(
+                BenchmarkId::new(method.label().replace(' ', "_"), k),
+                &k,
+                |bench, &k| {
+                    bench.iter(|| {
+                        let (clustering, _) = method.run(&w.data, k, iterations, 1, false);
+                        black_box(clustering.distance_evals)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Micro-benchmark: distance kernels across the paper's dimensionalities
+//! (100-d GloVe, 128-d SIFT, 512-d VLAD, 960-d GIST).  The `l2_sq` kernel is
+//! the inner loop of every algorithm in the workspace, so its throughput sets
+//! the constant factor of all the macro results.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use vecstore::distance::{dot, l2_sq, l2_sq_reference};
+
+fn vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+    let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.71).cos()).collect();
+    (a, b)
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dim in [100usize, 128, 512, 960] {
+        let (a, b) = vectors(dim);
+        group.bench_with_input(BenchmarkId::new("l2_sq_unrolled", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq_reference", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq_reference(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

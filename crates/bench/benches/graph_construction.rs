@@ -1,0 +1,67 @@
+//! Micro-benchmark: approximate KNN-graph construction cost — Alg. 3
+//! (clustering-driven) vs NN-Descent vs NSW vs exact brute force.  The paper
+//! claims Alg. 3 is at least 2× faster than NN-Descent and small-world graph
+//! construction (Sec. 4.3); the brute-force column shows what all three are
+//! avoiding.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use datagen::{PaperDataset, Workload};
+use gkmeans::{GkParams, KnnGraphBuilder};
+use knn_graph::brute::exact_graph;
+use knn_graph::nn_descent::{nn_descent, NnDescentParams};
+use knn_graph::nsw::{nsw_build, NswParams};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[2_000usize, 5_000] {
+        let w = Workload::generate_with_n(PaperDataset::Sift100K, n, 11);
+        let k = 10usize;
+
+        group.bench_with_input(BenchmarkId::new("alg3_gkmeans", n), &n, |bench, _| {
+            bench.iter(|| {
+                let (g, _) = KnnGraphBuilder::new(
+                    GkParams::default().kappa(k).xi(50).tau(5).seed(3).record_trace(false),
+                )
+                .graph_k(k)
+                .build(&w.data);
+                black_box(g.stored_edges())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("nn_descent", n), &n, |bench, _| {
+            bench.iter(|| {
+                let g = nn_descent(
+                    &w.data,
+                    &NnDescentParams {
+                        k,
+                        seed: 3,
+                        ..Default::default()
+                    },
+                );
+                black_box(g.stored_edges())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("nsw_small_world", n), &n, |bench, _| {
+            bench.iter(|| {
+                let g = nsw_build(&w.data, &NswParams::with_m(k).seed(3));
+                black_box(g.stored_edges())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |bench, _| {
+            bench.iter(|| {
+                let g = exact_graph(&w.data, k);
+                black_box(g.stored_edges())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Ablation of the design choices DESIGN.md §5 calls out:
+//!
+//! 1. boost-k-means vs traditional moves inside GK-means (GK-means vs
+//!    GK-means⁻, Fig. 4's configuration study) at an identical graph;
+//! 2. cross-round pair deduplication in Alg. 3 on vs off (cost, not quality);
+//! 3. the two-means tree's boost refinement of each bisection on vs off
+//!    (initial-partition quality feeding Alg. 2);
+//! 4. sequential vs rayon-parallel Alg. 3 refinement (identical graphs,
+//!    wall-clock only — the parallel path is never used in measured runs).
+//!
+//! ```bash
+//! cargo run --release -p bench --bin ablation_design_choices -- --scale 0.02
+//! ```
+
+use std::time::Instant;
+
+use bench::Options;
+use datagen::{PaperDataset, Workload};
+use eval::{average_distortion, Table};
+use gkmeans::two_means::TwoMeansTree;
+use gkmeans::{GkMeans, GkMode, GkParams, KnnGraphBuilder, ParallelKnnGraphBuilder};
+use knn_graph::recall::graph_recall_at_1;
+use knn_graph::brute::exact_graph;
+use baselines::common::recompute_centroids;
+use vecstore::VectorSet;
+
+fn main() {
+    let opts = Options::parse(0.01);
+    let w = Workload::generate(PaperDataset::Sift1M, opts.scale, opts.seed);
+    let n = w.data.len();
+    let k = (n / 100).max(10);
+    let iterations = opts.iterations.min(15);
+    println!("Design-choice ablations on {n} SIFT-like samples, k = {k}");
+
+    let params = GkParams::default()
+        .kappa(10)
+        .xi(50)
+        .tau(5)
+        .iterations(iterations)
+        .seed(opts.seed)
+        .record_trace(false);
+
+    // ------------------------------------------------------------------ (1)
+    let (graph, _) = KnnGraphBuilder::new(params).graph_k(10).build(&w.data);
+    let mut mode_table = Table::new(
+        "ablation 1: optimisation mode at an identical Alg. 3 graph",
+        &["mode", "E", "candidate checks"],
+    );
+    for (label, mode) in [("boost (GK-means)", GkMode::Boost), ("traditional (GK-means-)", GkMode::Traditional)] {
+        let clustering = GkMeans::new(params.mode(mode)).fit(&w.data, k, &graph);
+        mode_table.row(&[
+            label.to_string(),
+            format!("{:.3}", average_distortion(&w.data, &clustering.labels, &clustering.centroids)),
+            clustering.distance_evals.to_string(),
+        ]);
+    }
+    print!("{}", mode_table.render());
+
+    // ------------------------------------------------------------------ (2)
+    let mut dedup_table = Table::new(
+        "ablation 2: cross-round pair deduplication in Alg. 3",
+        &["dedup", "refine distance evals", "build (s)", "recall@1 vs exact"],
+    );
+    let exact = exact_small(&w.data, 5_000, 10);
+    for dedup in [true, false] {
+        let start = Instant::now();
+        let (g, stats) = KnnGraphBuilder::new(params.dedup_pairs(dedup)).graph_k(10).build(&w.data);
+        let secs = start.elapsed().as_secs_f64();
+        let recall = exact
+            .as_ref()
+            .map(|e| graph_recall_at_1(&g, e))
+            .map_or("n/a".to_string(), |r| format!("{r:.3}"));
+        dedup_table.row(&[
+            dedup.to_string(),
+            stats.refine_distance_evals.to_string(),
+            format!("{secs:.2}"),
+            recall,
+        ]);
+    }
+    print!("{}", dedup_table.render());
+
+    // ------------------------------------------------------------------ (3)
+    let mut init_table = Table::new(
+        "ablation 3: boost refinement inside the two-means tree bisections",
+        &["boost refinement", "initial-partition E"],
+    );
+    for boost in [true, false] {
+        let labels = TwoMeansTree::new(opts.seed).boost_refine(boost).partition(&w.data, k);
+        let mut centroids = VectorSet::zeros(k, w.data.dim()).expect("dim > 0");
+        recompute_centroids(&w.data, &labels, &mut centroids);
+        init_table.row(&[
+            boost.to_string(),
+            format!("{:.3}", average_distortion(&w.data, &labels, &centroids)),
+        ]);
+    }
+    print!("{}", init_table.render());
+
+    // ------------------------------------------------------------------ (4)
+    let mut par_table = Table::new(
+        "ablation 4: sequential vs parallel Alg. 3 refinement (identical output)",
+        &["builder", "build (s)", "graph updates"],
+    );
+    let start = Instant::now();
+    let (g_seq, s_seq) = KnnGraphBuilder::new(params).graph_k(10).build(&w.data);
+    par_table.row(&[
+        "sequential".into(),
+        format!("{:.2}", start.elapsed().as_secs_f64()),
+        s_seq.graph_updates.to_string(),
+    ]);
+    let start = Instant::now();
+    let (g_par, s_par) = ParallelKnnGraphBuilder::new(params).graph_k(10).build(&w.data);
+    par_table.row(&[
+        "parallel refinement".into(),
+        format!("{:.2}", start.elapsed().as_secs_f64()),
+        s_par.graph_updates.to_string(),
+    ]);
+    print!("{}", par_table.render());
+    let identical = (0..w.data.len()).all(|i| {
+        g_seq.neighbors(i).ids().collect::<Vec<_>>() == g_par.neighbors(i).ids().collect::<Vec<_>>()
+    });
+    println!("parallel output identical to sequential: {identical}");
+}
+
+/// Exact graph for recall, but only when the dataset is small enough for the
+/// O(n²·d) cost to stay in the seconds range.
+fn exact_small(data: &VectorSet, limit: usize, k: usize) -> Option<knn_graph::KnnGraph> {
+    (data.len() <= limit).then(|| exact_graph(data, k))
+}

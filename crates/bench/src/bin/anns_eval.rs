@@ -1,0 +1,100 @@
+//! Sec. 4.3 — ANN-search evaluation of the Alg. 3 graph.
+//!
+//! The paper claims the graph built by Alg. 3, although cheaper and of lower
+//! recall than NN-Descent's, supports competitive approximate nearest-
+//! neighbour search.  This binary builds both graphs on a SIFT-like workload
+//! and sweeps the search pool size `ef`, reporting recall@10, latency and the
+//! number of distance evaluations per query.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin anns_eval -- --scale 0.05
+//! ```
+
+use std::time::Instant;
+
+use anns::{evaluate, SearchParams};
+use bench::Options;
+use datagen::{PaperDataset, Workload};
+use eval::{Series, Table};
+use gkmeans::{GkParams, KnnGraphBuilder};
+use knn_graph::brute::exact_ground_truth;
+use knn_graph::nn_descent::{nn_descent, NnDescentParams};
+
+fn main() {
+    let opts = Options::parse(0.05);
+    let w = Workload::generate(PaperDataset::Sift1M, opts.scale, opts.seed);
+    let queries_n = 200.min(w.data.len() / 10);
+    let base_n = w.data.len() - queries_n;
+    let (base, queries) = w.data.split_at(base_n).expect("split");
+    println!(
+        "ANN search: {base_n} SIFT-like base vectors, {queries_n} queries, recall@10"
+    );
+
+    println!("computing exact ground truth…");
+    let ground_truth = exact_ground_truth(&base, &queries, 10);
+
+    let kappa = 20usize;
+    let t = Instant::now();
+    let (gk_graph, gk_stats) = KnnGraphBuilder::new(
+        GkParams::default()
+            .kappa(kappa)
+            .xi(50)
+            .tau(8)
+            .seed(opts.seed)
+            .record_trace(false),
+    )
+    .graph_k(kappa)
+    .build(&base);
+    let gk_build = t.elapsed();
+
+    let t = Instant::now();
+    let nnd_graph = nn_descent(
+        &base,
+        &NnDescentParams {
+            k: kappa,
+            seed: opts.seed,
+            ..Default::default()
+        },
+    );
+    let nnd_build = t.elapsed();
+
+    println!(
+        "graph construction: Alg.3 {:.2}s ({} pair comparisons), NN-Descent {:.2}s",
+        gk_build.as_secs_f64(),
+        gk_stats.refine_distance_evals,
+        nnd_build.as_secs_f64()
+    );
+
+    let mut table = Table::new(
+        "Sec. 4.3 — graph-based ANN search",
+        &["graph", "ef", "recall@10", "ms/query", "dist evals/query"],
+    );
+    let mut curves: Vec<Series> = Vec::new();
+    for (name, graph) in [("Alg.3", &gk_graph), ("NN-Descent", &nnd_graph)] {
+        let mut curve = Series::new(name, "recall", "ms_per_query");
+        for ef in [16usize, 32, 64, 128, 256] {
+            let report = evaluate(
+                &base,
+                graph,
+                &queries,
+                &ground_truth,
+                10,
+                SearchParams::default().ef(ef).entry_points(16).seed(opts.seed),
+            );
+            table.row(&[
+                name.into(),
+                ef.to_string(),
+                format!("{:.3}", report.recall),
+                format!("{:.3}", report.avg_query_ms),
+                format!("{:.0}", report.avg_distance_evals),
+            ]);
+            curve.push(report.recall, report.avg_query_ms);
+        }
+        curves.push(curve);
+    }
+    print!("{}", table.render());
+    for c in &curves {
+        print!("{}", c.to_csv());
+    }
+    println!("(expected: both graphs reach high recall at large ef; the Alg.3 graph is much cheaper to build.)");
+}

@@ -1,0 +1,38 @@
+//! Tab. 1 — dataset overview: the paper's descriptor collections and the
+//! synthetic surrogates the harness generates for them.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin datasets -- --scale 0.01
+//! ```
+
+use bench::Options;
+use datagen::{PaperDataset, Workload};
+use eval::Table;
+
+fn main() {
+    let opts = Options::parse(0.01);
+    let mut table = Table::new(
+        "Tab. 1 — Overview of datasets (paper vs generated surrogate)",
+        &["dataset", "paper n", "dim", "data type", "surrogate n", "surrogate components"],
+    );
+    for dataset in PaperDataset::all() {
+        let w = Workload::generate(dataset, opts.scale, opts.seed);
+        let data_type = match dataset {
+            PaperDataset::Sift100K | PaperDataset::Sift1M => "SIFT (local feature)",
+            PaperDataset::Gist1M => "GIST (global feature)",
+            PaperDataset::Glove1M => "GloVe (word vector)",
+            PaperDataset::Vlad10M => "VLAD from YFCC",
+        };
+        table.row(&[
+            dataset.name().into(),
+            dataset.paper_n().to_string(),
+            dataset.dim().to_string(),
+            data_type.into(),
+            w.len().to_string(),
+            w.spec.components.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(surrogates are clustered Gaussian mixtures matching each dataset's dimensionality");
+    println!(" and value range — see DESIGN.md §2 for the substitution rationale.)");
+}

@@ -1,0 +1,75 @@
+//! Fig. 1 — the probability that one sample and its rank-r nearest neighbour
+//! reside in the same cluster, for (a) k-means and (b) the two-means tree,
+//! with cluster size fixed to 50 (SIFT100K in the paper).
+//!
+//! Expected shape: both curves start around 0.3–0.5 at rank 1, decay with
+//! rank, and sit orders of magnitude above the random-collision probability
+//! (≈ cluster_size / n).
+//!
+//! ```bash
+//! cargo run --release -p bench --bin fig1_cooccurrence -- --scale 0.2
+//! ```
+
+use baselines::common::KMeansConfig;
+use baselines::lloyd::LloydKMeans;
+use bench::Options;
+use datagen::{PaperDataset, Workload};
+use eval::cooccurrence::{cooccurrence_by_rank, random_collision_probability};
+use eval::{Series, Table};
+use gkmeans::two_means::TwoMeansTree;
+use knn_graph::brute::exact_graph;
+
+fn main() {
+    let opts = Options::parse(0.2);
+    let w = Workload::generate(PaperDataset::Sift100K, opts.scale, opts.seed);
+    let n = w.data.len();
+    // Fig. 1 fixes the cluster size to 50 samples.
+    let cluster_size = 50usize;
+    let k = (n / cluster_size).max(2);
+    let max_rank = 150.min(n / 10).max(10);
+    println!("Fig. 1 — co-occurrence statistics on {n} SIFT-like samples, k = {k} (cluster size ≈ {cluster_size})");
+
+    println!("computing the exact KNN graph for ranks 1..{max_rank} (evaluation only)…");
+    let exact = exact_graph(&w.data, max_rank);
+
+    // (a) traditional k-means clustering
+    let kmeans = LloydKMeans::new(
+        KMeansConfig::with_k(k)
+            .max_iters(opts.iterations.min(20))
+            .seed(opts.seed)
+            .record_trace(false),
+    )
+    .fit(&w.data);
+    let kmeans_probs = cooccurrence_by_rank(&exact, &kmeans.labels, max_rank);
+
+    // (b) two-means tree partition
+    let tree_labels = TwoMeansTree::new(opts.seed).partition(&w.data, k);
+    let tree_probs = cooccurrence_by_rank(&exact, &tree_labels, max_rank);
+
+    let random = random_collision_probability(&kmeans.labels, k);
+
+    let mut table = Table::new(
+        "Fig. 1 — P(rank-r NN in the same cluster)",
+        &["rank", "(a) k-means", "(b) 2M tree"],
+    );
+    for rank in [1usize, 5, 10, 25, 50, 100, 150] {
+        if rank > max_rank {
+            continue;
+        }
+        table.row(&[
+            rank.to_string(),
+            format!("{:.3}", kmeans_probs[rank - 1]),
+            format!("{:.3}", tree_probs[rank - 1]),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("random collision probability: {random:.5} (paper quotes 0.0005 for SIFT100K)");
+
+    for (name, probs) in [("kmeans", &kmeans_probs), ("2m_tree", &tree_probs)] {
+        let mut series = Series::new(name, "rank", "probability");
+        for (r, &p) in probs.iter().enumerate() {
+            series.push((r + 1) as f64, p);
+        }
+        print!("{}", series.to_csv());
+    }
+}

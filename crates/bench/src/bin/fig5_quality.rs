@@ -1,0 +1,76 @@
+//! Fig. 5 — clustering quality study: average distortion as a function of the
+//! iteration count (a, c, e) and of wall-clock time (b, d, f) on the SIFT1M-,
+//! Glove1M- and GIST1M-like workloads, k = 10 000 in the paper (scaled with
+//! the workload here to keep n/k ≈ 100).
+//!
+//! Expected shape: BKM reaches the lowest distortion; GK-means tracks it
+//! closely (sometimes beating plain k-means); Mini-Batch is clearly worse;
+//! on the time axis GK-means reaches its plateau far earlier than closure
+//! k-means and KGraph+GK-means (whose graph is ~2× more expensive).
+//!
+//! ```bash
+//! cargo run --release -p bench --bin fig5_quality -- --scale 0.02
+//! ```
+
+use bench::{Method, Options};
+use datagen::{PaperDataset, Workload};
+use eval::{Series, Table};
+
+fn main() {
+    let opts = Options::parse(0.02);
+    let iterations = opts.iterations.min(40);
+    for dataset in [PaperDataset::Sift1M, PaperDataset::Glove1M, PaperDataset::Gist1M] {
+        let w = Workload::generate(dataset, opts.scale, opts.seed);
+        let n = w.data.len();
+        let k = (n / 100).max(10);
+        println!();
+        println!(
+            "Fig. 5 — {} -like workload: {n} samples, k = {k}, {iterations} iterations",
+            dataset.name()
+        );
+
+        let mut table = Table::new(
+            &format!("Fig. 5 ({}) — final distortion and total time", dataset.name()),
+            &["method", "final E", "total time (s)", "iterations"],
+        );
+        for method in Method::figure5_set() {
+            let (clustering, aux_time) =
+                method.run(&w.data, k, iterations, opts.seed, true);
+            let final_e = clustering
+                .trace
+                .last()
+                .map(|t| t.distortion)
+                .unwrap_or_else(|| clustering.distortion(&w.data));
+            let total = aux_time + clustering.total_time();
+            table.row(&[
+                method.label().into(),
+                format!("{final_e:.3}"),
+                format!("{:.2}", total.as_secs_f64()),
+                clustering.iterations.to_string(),
+            ]);
+
+            // Distortion-vs-iteration and distortion-vs-time series (the two
+            // panels of Fig. 5 for this dataset).
+            let mut by_iter = Series::new(
+                &format!("{}:{}:iter", dataset.name(), method.label()),
+                "iteration",
+                "distortion",
+            );
+            let mut by_time = Series::new(
+                &format!("{}:{}:time", dataset.name(), method.label()),
+                "seconds",
+                "distortion",
+            );
+            for stat in &clustering.trace {
+                by_iter.push((stat.iteration + 1) as f64, stat.distortion);
+                by_time.push(stat.elapsed_secs + aux_time.as_secs_f64(), stat.distortion);
+            }
+            print!("{}", by_iter.to_csv());
+            print!("{}", by_time.to_csv());
+        }
+        print!("{}", table.render());
+    }
+    println!();
+    println!("(expected ordering of final E: BKM ≤ GK-means ≈ KGraph+GK-means ≤ k-means ≤ closure < Mini-Batch;");
+    println!(" on the time axis GK-means dominates the quality/time trade-off.)");
+}

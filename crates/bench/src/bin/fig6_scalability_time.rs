@@ -1,0 +1,100 @@
+//! Fig. 6 — scalability in time on the VLAD-like workload:
+//!
+//! * (a) time vs data scale `n` (10K → 10M in the paper) at k = 1 024;
+//! * (b) time vs cluster count `k` (1 024 → 8 192 in the paper) at n = 1M.
+//!
+//! Expected shape: Mini-Batch is fastest but lossy (see Fig. 7); GK-means is
+//! constantly faster than closure k-means and ≥10× faster than k-means/BKM;
+//! in (b) the k-means/BKM curves grow linearly with k while closure and
+//! GK-means stay nearly flat.
+//!
+//! The default `--scale` keeps the sweep laptop-sized (the `n` axis tops out
+//! at `scale × 10M`); pass `--full` to reproduce the paper's axis.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin fig6_scalability_time -- --scale 0.005
+//! ```
+
+use bench::{Method, Options};
+use datagen::{PaperDataset, Workload};
+use eval::report::human_secs;
+use eval::{Series, Table};
+
+fn main() {
+    let opts = Options::parse(0.005);
+    let iterations = 30.min(opts.iterations); // the paper fixes 30 iterations
+    let max_n = (PaperDataset::Vlad10M.paper_n() as f64 * opts.scale) as usize;
+
+    // ------------------------------------------------------------- panel (a)
+    // n sweep: 10K → max_n (log-spaced decades like the paper's x-axis).
+    let mut n_values = vec![10_000usize.min(max_n.max(1_000))];
+    while *n_values.last().unwrap() * 10 <= max_n {
+        n_values.push(n_values.last().unwrap() * 10);
+    }
+    let k_fixed = 1_024usize;
+    println!("Fig. 6(a) — time vs data scale (k = {k_fixed}, {iterations} iterations)");
+    let mut table_a = Table::new(
+        "Fig. 6(a) — time vs n",
+        &["n", "Mini-Batch", "closure", "k-means", "BKM", "GK-means"],
+    );
+    let mut series_a: Vec<Series> = Method::scalability_set()
+        .iter()
+        .map(|m| Series::new(m.label(), "n", "seconds"))
+        .collect();
+    for &n in &n_values {
+        let w = Workload::generate_with_n(PaperDataset::Vlad10M, n, opts.seed);
+        let k = k_fixed.min(n / 2).max(2);
+        let mut cells = vec![n.to_string()];
+        for (mi, method) in Method::scalability_set().iter().enumerate() {
+            let (clustering, aux) = method.run(&w.data, k, iterations, opts.seed, false);
+            let secs = (aux + clustering.total_time()).as_secs_f64();
+            cells.push(human_secs(secs));
+            series_a[mi].push(n as f64, secs);
+        }
+        table_a.row(&cells);
+    }
+    print!("{}", table_a.render());
+    for s in &series_a {
+        print!("{}", s.to_csv());
+    }
+
+    // ------------------------------------------------------------- panel (b)
+    // k sweep at fixed n (the paper uses n = 1M; here n = scale × 10M).
+    let n_fixed = max_n.max(2_048);
+    let k_values: Vec<usize> = [1_024usize, 2_048, 4_096, 8_192]
+        .iter()
+        .copied()
+        .filter(|&k| k * 2 <= n_fixed)
+        .collect();
+    let k_values = if k_values.is_empty() {
+        vec![(n_fixed / 8).max(2), (n_fixed / 4).max(4)]
+    } else {
+        k_values
+    };
+    println!();
+    println!("Fig. 6(b) — time vs cluster count (n = {n_fixed}, {iterations} iterations)");
+    let w = Workload::generate_with_n(PaperDataset::Vlad10M, n_fixed, opts.seed);
+    let mut table_b = Table::new(
+        "Fig. 6(b) — time vs k",
+        &["k", "Mini-Batch", "closure", "k-means", "BKM", "GK-means"],
+    );
+    let mut series_b: Vec<Series> = Method::scalability_set()
+        .iter()
+        .map(|m| Series::new(m.label(), "k", "seconds"))
+        .collect();
+    for &k in &k_values {
+        let mut cells = vec![k.to_string()];
+        for (mi, method) in Method::scalability_set().iter().enumerate() {
+            let (clustering, aux) = method.run(&w.data, k, iterations, opts.seed, false);
+            let secs = (aux + clustering.total_time()).as_secs_f64();
+            cells.push(human_secs(secs));
+            series_b[mi].push(k as f64, secs);
+        }
+        table_b.row(&cells);
+    }
+    print!("{}", table_b.render());
+    for s in &series_b {
+        print!("{}", s.to_csv());
+    }
+    println!("(expected: k-means and BKM times grow ~linearly with k; closure and GK-means stay nearly constant.)");
+}

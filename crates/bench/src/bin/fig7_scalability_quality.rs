@@ -1,0 +1,95 @@
+//! Fig. 7 — average distortion for the two scalability sweeps of Fig. 6:
+//!
+//! * (a) distortion vs data scale `n` at k = 1 024;
+//! * (b) distortion vs cluster count `k` at fixed `n`.
+//!
+//! Expected shape: GK-means tracks BKM closely across both sweeps (the two
+//! lowest curves), k-means and closure k-means sit slightly higher, and
+//! Mini-Batch is clearly the worst; the gap between the boost-based methods
+//! and the rest widens as k grows (Fig. 7(b)).
+//!
+//! ```bash
+//! cargo run --release -p bench --bin fig7_scalability_quality -- --scale 0.005
+//! ```
+
+use bench::{Method, Options};
+use datagen::{PaperDataset, Workload};
+use eval::{average_distortion, Series, Table};
+
+fn main() {
+    let opts = Options::parse(0.005);
+    let iterations = 30.min(opts.iterations);
+    let max_n = (PaperDataset::Vlad10M.paper_n() as f64 * opts.scale) as usize;
+
+    // panel (a): distortion vs n at k=1024
+    let mut n_values = vec![10_000usize.min(max_n.max(1_000))];
+    while *n_values.last().unwrap() * 10 <= max_n {
+        n_values.push(n_values.last().unwrap() * 10);
+    }
+    let k_fixed = 1_024usize;
+    println!("Fig. 7(a) — distortion vs data scale (k = {k_fixed})");
+    let mut table_a = Table::new(
+        "Fig. 7(a) — average distortion vs n",
+        &["n", "Mini-Batch", "closure", "k-means", "BKM", "GK-means"],
+    );
+    let mut series_a: Vec<Series> = Method::scalability_set()
+        .iter()
+        .map(|m| Series::new(m.label(), "n", "distortion"))
+        .collect();
+    for &n in &n_values {
+        let w = Workload::generate_with_n(PaperDataset::Vlad10M, n, opts.seed);
+        let k = k_fixed.min(n / 2).max(2);
+        let mut cells = vec![n.to_string()];
+        for (mi, method) in Method::scalability_set().iter().enumerate() {
+            let (clustering, _) = method.run(&w.data, k, iterations, opts.seed, false);
+            let e = average_distortion(&w.data, &clustering.labels, &clustering.centroids);
+            cells.push(format!("{e:.4}"));
+            series_a[mi].push(n as f64, e);
+        }
+        table_a.row(&cells);
+    }
+    print!("{}", table_a.render());
+    for s in &series_a {
+        print!("{}", s.to_csv());
+    }
+
+    // panel (b): distortion vs k at fixed n
+    let n_fixed = max_n.max(2_048);
+    let k_values: Vec<usize> = [1_024usize, 2_048, 4_096, 8_192]
+        .iter()
+        .copied()
+        .filter(|&k| k * 2 <= n_fixed)
+        .collect();
+    let k_values = if k_values.is_empty() {
+        vec![(n_fixed / 8).max(2), (n_fixed / 4).max(4)]
+    } else {
+        k_values
+    };
+    println!();
+    println!("Fig. 7(b) — distortion vs cluster count (n = {n_fixed})");
+    let w = Workload::generate_with_n(PaperDataset::Vlad10M, n_fixed, opts.seed);
+    let mut table_b = Table::new(
+        "Fig. 7(b) — average distortion vs k",
+        &["k", "Mini-Batch", "closure", "k-means", "BKM", "GK-means"],
+    );
+    let mut series_b: Vec<Series> = Method::scalability_set()
+        .iter()
+        .map(|m| Series::new(m.label(), "k", "distortion"))
+        .collect();
+    for &k in &k_values {
+        let mut cells = vec![k.to_string()];
+        for (mi, method) in Method::scalability_set().iter().enumerate() {
+            let (clustering, _) = method.run(&w.data, k, iterations, opts.seed, false);
+            let e = average_distortion(&w.data, &clustering.labels, &clustering.centroids);
+            cells.push(format!("{e:.4}"));
+            series_b[mi].push(k as f64, e);
+        }
+        table_b.row(&cells);
+    }
+    print!("{}", table_b.render());
+    for s in &series_b {
+        print!("{}", s.to_csv());
+    }
+    println!("(expected: GK-means ≈ BKM at the bottom; Mini-Batch clearly worst; the boost-based");
+    println!(" methods' advantage grows with k.)");
+}

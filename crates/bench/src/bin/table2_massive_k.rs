@@ -1,0 +1,151 @@
+//! Tab. 2 — the most challenging scalability test: partitioning the VLAD-like
+//! workload into a massive number of clusters (10M → 1M clusters in the
+//! paper, i.e. n/k = 10).  Only closure k-means and the GK-means variants
+//! remain workable in this regime; plain k-means is extrapolated.
+//!
+//! Expected shape (paper, Tab. 2):
+//!
+//! | method            | init | iter | total | E     | recall |
+//! |-------------------|------|------|-------|-------|--------|
+//! | KGraph+GK-means   | 27.3 | 3.2  | 30.5 h| 0.649 | 0.40   |
+//! | GK-means          | 2.7  | 2.5  | 5.2 h | 0.619 | 0.08   |
+//! | Closure k-means   | 0.9  | 9.6  | 10.5 h| 0.700 | n.a.   |
+//!
+//! i.e. GK-means has the lowest total time *and* the lowest distortion, even
+//! though its graph recall is far below NN-Descent's; traditional k-means
+//! would take ~3 years.
+//!
+//! ```bash
+//! cargo run --release -p bench --bin table2_massive_k -- --scale 0.003
+//! ```
+
+use std::time::Instant;
+
+use baselines::closure::ClosureKMeans;
+use baselines::common::KMeansConfig;
+use bench::Options;
+use datagen::{PaperDataset, Workload};
+use eval::report::human_secs;
+use eval::{average_distortion, Table};
+use gkmeans::{GkMeansPipeline, GkParams};
+use knn_graph::brute::exact_neighbors_of_subset;
+use knn_graph::nn_descent::{nn_descent, NnDescentParams};
+use knn_graph::recall::estimated_recall_at_1;
+use vecstore::sample::{rng_from_seed, sample_distinct};
+use vecstore::distance::l2_sq;
+
+fn main() {
+    let opts = Options::parse(0.003);
+    let w = Workload::generate(PaperDataset::Vlad10M, opts.scale, opts.seed);
+    let n = w.data.len();
+    // The paper partitions 10M samples into 1M clusters: n/k = 10.
+    let k = (n / 10).max(2);
+    let iterations = opts.iterations.min(30);
+    let kappa = 20usize;
+    println!("Tab. 2 — partitioning {n} VLAD-like samples into k = {k} clusters ({iterations} iterations)");
+
+    // Recall is estimated on 100 random samples, like the paper (Sec. 5.1).
+    let mut rng = rng_from_seed(opts.seed ^ 0xabcd);
+    let probe_ids = sample_distinct(&mut rng, n, 100.min(n)).expect("probe sample");
+    let probe_truth = exact_neighbors_of_subset(&w.data, &probe_ids, 1);
+
+    let mut table = Table::new(
+        "Tab. 2 — massive-k clustering",
+        &["method", "init", "iter", "total", "E", "graph recall@1"],
+    );
+
+    // --- GK-means (standard configuration, graph from Alg. 3) --------------
+    let params = GkParams::default()
+        .kappa(kappa)
+        .xi(50)
+        .tau(5)
+        .iterations(iterations)
+        .seed(opts.seed)
+        .record_trace(false);
+    let outcome = GkMeansPipeline::new(params).cluster(&w.data, k);
+    let gk_e = average_distortion(&w.data, &outcome.clustering.labels, &outcome.clustering.centroids);
+    let gk_recall = estimated_recall_at_1(&outcome.graph, &probe_ids, &probe_truth);
+    table.row(&[
+        "GK-means".into(),
+        human_secs(outcome.init_time().as_secs_f64()),
+        human_secs(outcome.iter_time().as_secs_f64()),
+        human_secs(outcome.total_time().as_secs_f64()),
+        format!("{gk_e:.4}"),
+        format!("{gk_recall:.2}"),
+    ]);
+
+    // --- KGraph+GK-means (graph from NN-Descent) ----------------------------
+    let start = Instant::now();
+    let nnd_graph = nn_descent(
+        &w.data,
+        &NnDescentParams {
+            k: kappa,
+            seed: opts.seed,
+            ..Default::default()
+        },
+    );
+    let nnd_time = start.elapsed();
+    let nnd_recall = estimated_recall_at_1(&nnd_graph, &probe_ids, &probe_truth);
+    let outcome_kg = GkMeansPipeline::new(params).cluster_with_graph(&w.data, k, nnd_graph, nnd_time);
+    let kg_e = average_distortion(
+        &w.data,
+        &outcome_kg.clustering.labels,
+        &outcome_kg.clustering.centroids,
+    );
+    table.row(&[
+        "KGraph+GK-means".into(),
+        human_secs(outcome_kg.init_time().as_secs_f64()),
+        human_secs(outcome_kg.iter_time().as_secs_f64()),
+        human_secs(outcome_kg.total_time().as_secs_f64()),
+        format!("{kg_e:.4}"),
+        format!("{nnd_recall:.2}"),
+    ]);
+
+    // --- Closure k-means -----------------------------------------------------
+    let closure = ClosureKMeans::new(
+        KMeansConfig::with_k(k)
+            .max_iters(iterations)
+            .seed(opts.seed)
+            .record_trace(false),
+    )
+    .fit(&w.data);
+    let closure_e = average_distortion(&w.data, &closure.labels, &closure.centroids);
+    table.row(&[
+        "Closure k-means".into(),
+        human_secs(closure.init_time.as_secs_f64()),
+        human_secs(closure.iter_time.as_secs_f64()),
+        human_secs(closure.total_time().as_secs_f64()),
+        format!("{closure_e:.4}"),
+        "n.a.".into(),
+    ]);
+
+    print!("{}", table.render());
+
+    // --- Traditional k-means: extrapolated, exactly like the paper ----------
+    // Measure the cost of assigning a small probe batch against k centroids
+    // and extrapolate to n samples × `iterations` iterations.
+    let probe = 200.min(n);
+    let centroid_probe = &outcome.clustering.centroids;
+    let start = Instant::now();
+    for i in 0..probe {
+        let x = w.data.row(i);
+        let mut best = f32::INFINITY;
+        for c in 0..k {
+            let d = l2_sq(x, centroid_probe.row(c));
+            if d < best {
+                best = d;
+            }
+        }
+        std::hint::black_box(best);
+    }
+    let per_sample = start.elapsed().as_secs_f64() / probe as f64;
+    let estimated_total = per_sample * n as f64 * iterations as f64;
+    println!(
+        "traditional k-means (extrapolated from {probe} probe assignments): ~{}",
+        human_secs(estimated_total)
+    );
+    println!("(the paper's estimate for the full-scale task is ~3 years.)");
+    println!();
+    println!("(expected: GK-means has the lowest E and the lowest total time; KGraph+GK-means has much");
+    println!(" higher graph recall yet slightly worse E and a far more expensive init phase.)");
+}

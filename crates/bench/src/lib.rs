@@ -1,0 +1,266 @@
+//! Shared plumbing for the experiment binaries: command-line options, method
+//! registry and workload sizing.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--scale <f>`   fraction of the paper's dataset size to generate
+//!   (default: a per-experiment value small enough to finish in minutes);
+//! * `--full`        use the paper's original sample counts;
+//! * `--seed <u64>`  RNG seed (default 42);
+//! * `--iterations <n>` clustering iterations where applicable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Duration;
+
+use baselines::bisecting::BisectingKMeans;
+use baselines::closure::ClosureKMeans;
+use baselines::common::{Clustering, KMeansConfig};
+use baselines::lloyd::LloydKMeans;
+use baselines::minibatch::MiniBatchKMeans;
+use gkmeans::{BoostKMeans, GkMeansPipeline, GkParams};
+use knn_graph::nn_descent::{nn_descent, NnDescentParams};
+use vecstore::VectorSet;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Fraction of the paper's dataset size to generate.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Clustering iterations (where the experiment does not fix its own).
+    pub iterations: usize,
+}
+
+impl Options {
+    /// Parses `std::env::args`, falling back to `default_scale` when neither
+    /// `--scale` nor `--full` is given.
+    pub fn parse(default_scale: f64) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_args(&args, default_scale)
+    }
+
+    /// Parses an explicit argument vector (testable).
+    pub fn from_args(args: &[String], default_scale: f64) -> Self {
+        let mut scale = default_scale;
+        let mut seed = 42u64;
+        let mut iterations = 30usize;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => scale = 1.0,
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                        scale = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                        seed = v;
+                        i += 1;
+                    }
+                }
+                "--iterations" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                        iterations = v.max(1);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Self {
+            scale: if scale.is_finite() && scale > 0.0 { scale.min(1.0) } else { default_scale },
+            seed,
+            iterations,
+        }
+    }
+}
+
+/// The clustering methods compared throughout Sec. 5, in the order the paper
+/// lists them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Mini-Batch k-means (Sculley 2010).
+    MiniBatch,
+    /// Closure k-means (Wang et al. 2012).
+    Closure,
+    /// Traditional (Lloyd's) k-means.
+    KMeans,
+    /// Boost k-means.
+    Bkm,
+    /// GK-means with the graph supplied by NN-Descent ("KGraph+GK-means").
+    KGraphGkMeans,
+    /// GK-means with the graph supplied by Alg. 3 (the standard configuration).
+    GkMeans,
+    /// Bisecting (hierarchical) k-means — related-work reference point.
+    Bisecting,
+}
+
+impl Method {
+    /// The five methods of Fig. 6 / Fig. 7 plus the two graph-supplied runs of
+    /// Fig. 5, in plotting order.
+    pub fn figure5_set() -> [Method; 6] {
+        [
+            Method::MiniBatch,
+            Method::Closure,
+            Method::KMeans,
+            Method::Bkm,
+            Method::KGraphGkMeans,
+            Method::GkMeans,
+        ]
+    }
+
+    /// The five methods of the scalability figures (Fig. 6 / Fig. 7).
+    pub fn scalability_set() -> [Method; 5] {
+        [
+            Method::MiniBatch,
+            Method::Closure,
+            Method::KMeans,
+            Method::Bkm,
+            Method::GkMeans,
+        ]
+    }
+
+    /// Curve label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::MiniBatch => "Mini-Batch",
+            Method::Closure => "closure k-means",
+            Method::KMeans => "k-means",
+            Method::Bkm => "BKM",
+            Method::KGraphGkMeans => "KGraph+GK-means",
+            Method::GkMeans => "GK-means",
+            Method::Bisecting => "bisecting k-means",
+        }
+    }
+
+    /// Runs the method on `data` with `k` clusters for `iterations`
+    /// iterations, recording traces when `record_trace` is set.  Returns the
+    /// clustering and the wall-clock time spent on any auxiliary structure
+    /// (the KNN graph for the GK-means variants) so total time comparisons
+    /// stay fair.
+    pub fn run(
+        &self,
+        data: &VectorSet,
+        k: usize,
+        iterations: usize,
+        seed: u64,
+        record_trace: bool,
+    ) -> (Clustering, Duration) {
+        let cfg = KMeansConfig::with_k(k)
+            .max_iters(iterations)
+            .seed(seed)
+            .record_trace(record_trace);
+        match self {
+            Method::MiniBatch => (
+                MiniBatchKMeans::new(cfg).batch_size(1_000.min(data.len())).fit(data),
+                Duration::ZERO,
+            ),
+            Method::Closure => (ClosureKMeans::new(cfg).fit(data), Duration::ZERO),
+            Method::KMeans => (LloydKMeans::new(cfg).fit(data), Duration::ZERO),
+            Method::Bkm => (BoostKMeans::new(cfg).fit(data), Duration::ZERO),
+            Method::Bisecting => (BisectingKMeans::new(cfg).fit(data), Duration::ZERO),
+            Method::GkMeans => {
+                let params = gk_params(k, iterations, seed, record_trace, data.len());
+                let outcome = GkMeansPipeline::new(params).cluster(data, k);
+                (outcome.clustering, outcome.graph_time)
+            }
+            Method::KGraphGkMeans => {
+                let params = gk_params(k, iterations, seed, record_trace, data.len());
+                let start = std::time::Instant::now();
+                let graph = nn_descent(
+                    data,
+                    &NnDescentParams {
+                        k: params.kappa,
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                let graph_time = start.elapsed();
+                let outcome =
+                    GkMeansPipeline::new(params).cluster_with_graph(data, k, graph, graph_time);
+                (outcome.clustering, graph_time)
+            }
+        }
+    }
+}
+
+/// GK-means parameters used by the harness.  The paper's defaults are
+/// κ = ξ = 50, τ = 10; at harness scale (thousands to hundreds of thousands of
+/// samples) a slightly smaller κ keeps graph memory proportional while
+/// preserving the algorithmic behaviour.
+pub fn gk_params(
+    _k: usize,
+    iterations: usize,
+    seed: u64,
+    record_trace: bool,
+    n: usize,
+) -> GkParams {
+    let kappa = if n >= 100_000 { 50 } else { 20 };
+    GkParams::default()
+        .kappa(kappa)
+        .xi(50)
+        .tau(if n >= 100_000 { 10 } else { 5 })
+        .iterations(iterations)
+        .seed(seed)
+        .record_trace(record_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{PaperDataset, Workload};
+
+    #[test]
+    fn options_parse_flags() {
+        let args: Vec<String> = ["prog", "--scale", "0.25", "--seed", "7", "--iterations", "12"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Options::from_args(&args, 0.01);
+        assert_eq!(o.scale, 0.25);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.iterations, 12);
+
+        let o = Options::from_args(&["prog".into(), "--full".into()], 0.01);
+        assert_eq!(o.scale, 1.0);
+
+        let o = Options::from_args(&["prog".into()], 0.02);
+        assert_eq!(o.scale, 0.02);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn options_reject_nonsense_scale() {
+        let o = Options::from_args(
+            &["prog".into(), "--scale".into(), "-3".into()],
+            0.05,
+        );
+        assert_eq!(o.scale, 0.05);
+    }
+
+    #[test]
+    fn method_labels_match_paper_legends() {
+        assert_eq!(Method::GkMeans.label(), "GK-means");
+        assert_eq!(Method::KGraphGkMeans.label(), "KGraph+GK-means");
+        assert_eq!(Method::figure5_set().len(), 6);
+        assert_eq!(Method::scalability_set().len(), 5);
+    }
+
+    #[test]
+    fn every_method_runs_on_a_tiny_workload() {
+        let w = Workload::generate_with_n(PaperDataset::Sift100K, 600, 1);
+        for m in Method::figure5_set() {
+            let (c, _aux) = m.run(&w.data, 6, 3, 2, false);
+            assert_eq!(c.labels.len(), 600, "{}", m.label());
+            assert!(c.labels.iter().all(|&l| l < c.k()), "{}", m.label());
+        }
+        let (c, _) = Method::Bisecting.run(&w.data, 6, 3, 2, false);
+        assert_eq!(c.labels.len(), 600);
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal command-line argument parsing.
+//!
+//! The workspace deliberately avoids an argument-parsing dependency; the CLI
+//! accepts a single subcommand followed by `--key value` options and `--flag`
+//! switches, which this module parses into an [`Args`] map with typed,
+//! validating accessors.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: the subcommand plus its options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parses everything after the subcommand.  Options are `--key value`;
+    /// switches are `--key` followed by another option or the end of the
+    /// line.
+    pub fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{tok}`"));
+            };
+            if key.is_empty() {
+                return Err("empty option name `--`".into());
+            }
+            let value_is_next = i + 1 < tokens.len() && !tokens[i + 1].starts_with("--");
+            if value_is_next {
+                options.insert(key.to_string(), tokens[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Self {
+            options,
+            flags,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn mark(&self, key: &str) {
+        self.consumed.borrow_mut().push(key.to_string());
+    }
+
+    /// Required string option.
+    pub fn required(&self, key: &str) -> Result<String, String> {
+        self.mark(key);
+        self.options
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option.
+    pub fn optional(&self, key: &str) -> Option<String> {
+        self.mark(key);
+        self.options.get(key).cloned()
+    }
+
+    /// Optional string option with a default.
+    pub fn string_or(&self, key: &str, default: &str) -> String {
+        self.optional(key).unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional numeric option with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// Required numeric option.
+    pub fn usize_required(&self, key: &str) -> Result<usize, String> {
+        let v = self.required(key)?;
+        v.parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{v}`"))
+    }
+
+    /// Optional float option with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    /// Optional u64 option with a default (seeds).
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// `true` when the switch was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.mark(key);
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Rejects unknown options so typos fail loudly instead of being ignored.
+    /// Call after every accessor the command supports has been exercised.
+    pub fn finish(&self) -> Result<(), String> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<&String> = self
+            .options
+            .keys()
+            .chain(self.flags.iter())
+            .filter(|k| !consumed.contains(k))
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unknown option(s): {}",
+                unknown
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let args = Args::parse(&toks(&["--n", "500", "--verbose", "--out", "x.fvecs"])).unwrap();
+        assert_eq!(args.usize_or("n", 1).unwrap(), 500);
+        assert!(args.flag("verbose"));
+        assert_eq!(args.required("out").unwrap(), "x.fvecs");
+        assert!(args.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_required_and_bad_numbers_error() {
+        let args = Args::parse(&toks(&["--n", "abc"])).unwrap();
+        assert!(args.required("out").is_err());
+        assert!(args.usize_or("n", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_positional_and_unknown() {
+        assert!(Args::parse(&toks(&["positional"])).is_err());
+        let args = Args::parse(&toks(&["--oops", "1"])).unwrap();
+        assert!(args.finish().is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let args = Args::parse(&toks(&[])).unwrap();
+        assert_eq!(args.usize_or("k", 7).unwrap(), 7);
+        assert_eq!(args.f64_or("scale", 0.5).unwrap(), 0.5);
+        assert_eq!(args.u64_or("seed", 42).unwrap(), 42);
+        assert_eq!(args.string_or("method", "gk"), "gk");
+        assert!(!args.flag("full"));
+    }
+}

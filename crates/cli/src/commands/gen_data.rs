@@ -1,0 +1,70 @@
+//! `gen-data` — synthesize a surrogate descriptor collection and write it as
+//! an `.fvecs` file (optionally splitting off a query set).
+
+use datagen::{DatasetSpec, DescriptorFamily, GmmDataset, Workload};
+use vecstore::io::write_fvecs;
+use vecstore::sample::split_base_query;
+
+use crate::args::Args;
+use crate::commands::parse_dataset;
+
+/// Usage text for `gen-data`.
+pub const USAGE: &str = "\
+gen-data --out <base.fvecs> [--dataset SIFT1M|GIST1M|Glove1M|VLAD10M|SIFT100K]
+         [--n <samples>] [--scale <fraction>] [--seed <u64>]
+         [--queries <count> --queries-out <queries.fvecs>]
+         [--dim <d> --components <c>]   (custom spec instead of --dataset)
+Writes a synthetic clustered dataset with the same dimensionality and value
+range as the paper's collections (Tab. 1).";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<(), String> {
+    let out = args.required("out")?;
+    let seed = args.u64_or("seed", 42)?;
+    let queries = args.usize_or("queries", 0)?;
+    let queries_out = args.optional("queries-out");
+
+    let data = if let Some(dim) = args.optional("dim") {
+        // Custom spec path: --dim and --components describe the mixture.
+        let dim: usize = dim
+            .parse()
+            .map_err(|_| "--dim expects an integer".to_string())?;
+        let n = args.usize_or("n", 10_000)?;
+        let components = args.usize_or("components", (n / 200).clamp(16, 4096))?;
+        let spec = DatasetSpec::new(n, dim, components).with_family(DescriptorFamily::SiftLike);
+        spec.validate()?;
+        GmmDataset::generate(&spec, seed).data
+    } else {
+        let dataset = parse_dataset(&args.string_or("dataset", "SIFT100K"))?;
+        let workload = if let Some(n) = args.optional("n") {
+            let n: usize = n
+                .parse()
+                .map_err(|_| "--n expects an integer".to_string())?;
+            Workload::generate_with_n(dataset, n, seed)
+        } else {
+            Workload::generate(dataset, args.f64_or("scale", 0.02)?, seed)
+        };
+        workload.data
+    };
+    args.finish()?;
+
+    if queries > 0 {
+        let queries_out =
+            queries_out.ok_or_else(|| "--queries requires --queries-out".to_string())?;
+        let (base, query_set) = split_base_query(&data, queries, seed ^ 0x51_u64)
+            .map_err(|e| format!("cannot split queries: {e}"))?;
+        write_fvecs(&out, &base).map_err(|e| format!("cannot write {out}: {e}"))?;
+        write_fvecs(&queries_out, &query_set)
+            .map_err(|e| format!("cannot write {queries_out}: {e}"))?;
+        println!(
+            "wrote {} base vectors to {out} and {} queries to {queries_out} ({} dims)",
+            base.len(),
+            query_set.len(),
+            base.dim()
+        );
+    } else {
+        write_fvecs(&out, &data).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {} vectors of dimension {} to {out}", data.len(), data.dim());
+    }
+    Ok(())
+}

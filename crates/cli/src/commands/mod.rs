@@ -1,0 +1,61 @@
+//! CLI subcommands.
+
+pub mod build_graph;
+pub mod cluster;
+pub mod gen_data;
+pub mod info;
+pub mod search;
+
+use datagen::PaperDataset;
+
+/// Parses a dataset name as printed in Tab. 1 (case-insensitive).
+pub fn parse_dataset(name: &str) -> Result<PaperDataset, String> {
+    let lower = name.to_ascii_lowercase();
+    PaperDataset::all()
+        .into_iter()
+        .find(|d| d.name().to_ascii_lowercase() == lower)
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset `{name}`; expected one of {}",
+                PaperDataset::all()
+                    .map(|d| d.name().to_string())
+                    .join(", ")
+            )
+        })
+}
+
+/// Writes cluster labels as a text file, one label per line.
+pub fn write_labels(path: &str, labels: &[usize]) -> Result<(), String> {
+    use std::io::Write;
+    let mut out = std::io::BufWriter::new(
+        std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+    );
+    for &l in labels {
+        writeln!(out, "{l}").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_names_round_trip() {
+        for d in PaperDataset::all() {
+            assert_eq!(parse_dataset(d.name()).unwrap(), d);
+            assert_eq!(parse_dataset(&d.name().to_lowercase()).unwrap(), d);
+        }
+        assert!(parse_dataset("nope").is_err());
+    }
+
+    #[test]
+    fn labels_are_written_one_per_line() {
+        let dir = std::env::temp_dir().join("gkm-cli-test-labels");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.txt");
+        write_labels(path.to_str().unwrap(), &[0, 3, 2]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "0\n3\n2\n");
+    }
+}

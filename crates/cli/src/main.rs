@@ -1,0 +1,118 @@
+//! `gkm-cli` — command-line front-end for the GK-means reproduction.
+//!
+//! ```text
+//! gkm-cli gen-data    --out base.fvecs --dataset SIFT100K --n 20000
+//! gkm-cli build-graph --base base.fvecs --out graph.bin --method alg3
+//! gkm-cli cluster     --base base.fvecs --k 200 --graph graph.bin --labels-out labels.txt
+//! gkm-cli search      --base base.fvecs --graph graph.bin --queries q.fvecs --r 10
+//! gkm-cli info        --base base.fvecs --graph graph.bin
+//! ```
+//!
+//! Every subcommand prints its usage with `gkm-cli help <subcommand>`.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const GLOBAL_USAGE: &str = "\
+gkm-cli <subcommand> [options]
+
+Subcommands:
+  gen-data      synthesize a clustered dataset and write it as .fvecs
+  build-graph   build an approximate KNN graph (Alg. 3, NN-Descent, NSW, exact)
+  cluster       run GK-means or a baseline k-means variant
+  search        ANN search over a saved graph, with recall evaluation
+  info          inspect a dataset / graph file
+  help          show this message or a subcommand's options";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(match run(&argv) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            1
+        }
+    });
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        println!("{GLOBAL_USAGE}");
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "gen-data" => commands::gen_data::run(&Args::parse(rest)?),
+        "build-graph" => commands::build_graph::run(&Args::parse(rest)?),
+        "cluster" => commands::cluster::run(&Args::parse(rest)?),
+        "search" => commands::search::run(&Args::parse(rest)?),
+        "info" => commands::info::run(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => {
+            match rest.first().map(String::as_str) {
+                Some("gen-data") => println!("{}", commands::gen_data::USAGE),
+                Some("build-graph") => println!("{}", commands::build_graph::USAGE),
+                Some("cluster") => println!("{}", commands::cluster::USAGE),
+                Some("search") => println!("{}", commands::search::USAGE),
+                Some("info") => println!("{}", commands::info::USAGE),
+                _ => println!("{GLOBAL_USAGE}"),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{GLOBAL_USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+
+    #[test]
+    fn help_paths_succeed() {
+        assert!(run(&[]).is_ok());
+        assert!(run(&["help".to_string()]).is_ok());
+        for sub in ["gen-data", "build-graph", "cluster", "search", "info"] {
+            assert!(run(&["help".to_string(), sub.to_string()]).is_ok());
+        }
+    }
+
+    #[test]
+    fn end_to_end_pipeline_through_temp_files() {
+        let dir = std::env::temp_dir().join(format!("gkm-cli-e2e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.fvecs").to_str().unwrap().to_string();
+        let queries = dir.join("q.fvecs").to_str().unwrap().to_string();
+        let graph = dir.join("g.bin").to_str().unwrap().to_string();
+        let labels = dir.join("labels.txt").to_str().unwrap().to_string();
+
+        let cmd = |line: &[&str]| run(&line.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        cmd(&[
+            "gen-data", "--out", &base, "--dataset", "SIFT100K", "--n", "1500", "--queries", "30",
+            "--queries-out", &queries, "--seed", "7",
+        ])
+        .unwrap();
+        cmd(&[
+            "build-graph", "--base", &base, "--out", &graph, "--method", "alg3", "--graph-k", "8",
+            "--kappa", "8", "--xi", "25", "--tau", "3", "--estimate-recall", "50",
+        ])
+        .unwrap();
+        cmd(&[
+            "cluster", "--base", &base, "--k", "15", "--graph", &graph, "--iterations", "8",
+            "--kappa", "8", "--labels-out", &labels, "--json",
+        ])
+        .unwrap();
+        cmd(&["search", "--base", &base, "--graph", &graph, "--queries", &queries, "--r", "5"])
+            .unwrap();
+        cmd(&["info", "--base", &base, "--graph", &graph]).unwrap();
+
+        let written = std::fs::read_to_string(&labels).unwrap();
+        assert_eq!(written.lines().count(), 1470); // 1500 minus the 30 queries
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

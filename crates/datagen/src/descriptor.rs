@@ -1,0 +1,155 @@
+//! Descriptor families: post-processing that makes the raw Gaussian mixture
+//! samples resemble a given real descriptor type.
+//!
+//! | Family      | Paper dataset | dim  | value range                       |
+//! |-------------|---------------|------|-----------------------------------|
+//! | `SiftLike`  | SIFT1M/100K   | 128  | non-negative, quantised to 0..=255 (heavy-tailed) |
+//! | `GistLike`  | GIST1M        | 960  | non-negative, small floats in 0..~1 |
+//! | `GloveLike` | Glove1M       | 100  | signed dense floats               |
+//! | `VladLike`  | VLAD10M       | 512  | signed, ℓ²-normalised rows         |
+//! | `Generic`   | —             | any  | raw mixture samples                |
+
+use serde::{Deserialize, Serialize};
+
+/// Selects how raw mixture samples are post-processed into a descriptor type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DescriptorFamily {
+    /// Raw mixture samples; useful for unit tests and micro-benchmarks.
+    #[default]
+    Generic,
+    /// SIFT-like local features: 128-d, non-negative, quantised to `0..=255`.
+    SiftLike,
+    /// GIST-like global features: 960-d, non-negative, bounded to `[0, 1]`.
+    GistLike,
+    /// GloVe-like word embeddings: 100-d, signed floats (left untouched).
+    GloveLike,
+    /// VLAD-like aggregated descriptors: 512-d, signed, ℓ²-normalised.
+    VladLike,
+}
+
+impl DescriptorFamily {
+    /// Conventional dimensionality of the family in the paper (Tab. 1);
+    /// `None` for [`DescriptorFamily::Generic`].
+    pub fn conventional_dim(&self) -> Option<usize> {
+        match self {
+            DescriptorFamily::Generic => None,
+            DescriptorFamily::SiftLike => Some(128),
+            DescriptorFamily::GistLike => Some(960),
+            DescriptorFamily::GloveLike => Some(100),
+            DescriptorFamily::VladLike => Some(512),
+        }
+    }
+
+    /// Applies the family's post-processing to one raw sample in place.
+    ///
+    /// The transformations are monotone (scaling, clamping, quantisation,
+    /// normalisation), so nearest-neighbour structure from the latent mixture
+    /// is preserved — which is all the clustering algorithms rely on.
+    pub fn post_process(&self, row: &mut [f32]) {
+        match self {
+            DescriptorFamily::Generic => {}
+            DescriptorFamily::SiftLike => {
+                // Shift to non-negative, scale into the 0..=255 gradient-histogram
+                // range, quantise like real SIFT exports do.
+                for v in row.iter_mut() {
+                    let shifted = (*v * 40.0 + 60.0).clamp(0.0, 255.0);
+                    *v = shifted.round();
+                }
+            }
+            DescriptorFamily::GistLike => {
+                for v in row.iter_mut() {
+                    *v = (*v * 0.12 + 0.25).clamp(0.0, 1.0);
+                }
+            }
+            DescriptorFamily::GloveLike => {
+                // GloVe embeddings are roughly zero-centred with components in
+                // about [-3, 3]; a gentle squashing keeps outliers bounded.
+                for v in row.iter_mut() {
+                    *v = 3.0 * (*v / 3.0).tanh();
+                }
+            }
+            DescriptorFamily::VladLike => {
+                let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+                if norm > 0.0 {
+                    for v in row.iter_mut() {
+                        *v /= norm;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw() -> Vec<f32> {
+        vec![-2.0, -0.5, 0.0, 0.5, 1.5, 3.0, -4.0, 2.5]
+    }
+
+    #[test]
+    fn conventional_dims_match_table1() {
+        assert_eq!(DescriptorFamily::SiftLike.conventional_dim(), Some(128));
+        assert_eq!(DescriptorFamily::GistLike.conventional_dim(), Some(960));
+        assert_eq!(DescriptorFamily::GloveLike.conventional_dim(), Some(100));
+        assert_eq!(DescriptorFamily::VladLike.conventional_dim(), Some(512));
+        assert_eq!(DescriptorFamily::Generic.conventional_dim(), None);
+    }
+
+    #[test]
+    fn generic_is_identity() {
+        let mut row = raw();
+        DescriptorFamily::Generic.post_process(&mut row);
+        assert_eq!(row, raw());
+    }
+
+    #[test]
+    fn sift_like_is_quantised_and_bounded() {
+        let mut row = raw();
+        DescriptorFamily::SiftLike.post_process(&mut row);
+        for &v in &row {
+            assert!((0.0..=255.0).contains(&v));
+            assert_eq!(v, v.round(), "SIFT-like components are integers");
+        }
+    }
+
+    #[test]
+    fn gist_like_is_bounded_unit_interval() {
+        let mut row = raw();
+        DescriptorFamily::GistLike.post_process(&mut row);
+        assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn glove_like_is_bounded_but_signed() {
+        let mut row = raw();
+        DescriptorFamily::GloveLike.post_process(&mut row);
+        assert!(row.iter().all(|&v| v.abs() <= 3.0));
+        assert!(row.iter().any(|&v| v < 0.0), "sign must be preserved");
+    }
+
+    #[test]
+    fn vlad_like_is_unit_norm() {
+        let mut row = raw();
+        DescriptorFamily::VladLike.post_process(&mut row);
+        let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        // zero vector stays zero rather than becoming NaN
+        let mut zero = vec![0.0f32; 4];
+        DescriptorFamily::VladLike.post_process(&mut zero);
+        assert!(zero.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn monotone_families_preserve_ordering_along_a_component() {
+        // For the clamp-free interior of the range, larger raw values stay larger.
+        for family in [DescriptorFamily::SiftLike, DescriptorFamily::GistLike] {
+            let mut a = vec![0.1f32];
+            let mut b = vec![0.2f32];
+            family.post_process(&mut a);
+            family.post_process(&mut b);
+            assert!(b[0] >= a[0]);
+        }
+    }
+}

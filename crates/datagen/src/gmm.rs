@@ -1,0 +1,253 @@
+//! Clustered synthetic data: mixture of anisotropic Gaussians with a
+//! heavy-tailed component-size distribution.
+//!
+//! Real descriptor collections are strongly clustered — that is precisely the
+//! property GK-means exploits ("with high probability one sample and its
+//! nearest neighbors reside in the same cluster", Sec. 1).  The mixture
+//! generator reproduces that structure with controllable tightness
+//! ([`crate::DatasetSpec::noise_ratio`]) and size skew
+//! ([`crate::DatasetSpec::size_skew`]).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+use crate::spec::DatasetSpec;
+
+/// Low-level mixture configuration (used directly by tests; most callers go
+/// through [`GmmDataset::generate`] with a [`DatasetSpec`]).
+#[derive(Clone, Debug)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub components: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Standard deviation of component centres around the origin.
+    pub centre_spread: f32,
+    /// Within-component standard deviation (isotropic part).
+    pub noise_sigma: f32,
+    /// Per-dimension anisotropy: each component scales the noise of every
+    /// dimension by a factor drawn uniformly from `[1 - a, 1 + a]`.
+    pub anisotropy: f32,
+    /// Zipf-like exponent for component sizes (0 = equal sizes).
+    pub size_skew: f64,
+}
+
+impl GmmConfig {
+    /// Derives a mixture configuration from a [`DatasetSpec`].
+    pub fn from_spec(spec: &DatasetSpec) -> Self {
+        Self {
+            components: spec.components,
+            dim: spec.dim,
+            centre_spread: 1.0,
+            noise_sigma: spec.noise_ratio,
+            anisotropy: 0.5,
+            size_skew: spec.size_skew,
+        }
+    }
+}
+
+/// A generated clustered dataset together with its latent ground truth.
+#[derive(Clone, Debug)]
+pub struct GmmDataset {
+    /// The generated samples (already post-processed by the descriptor family
+    /// when generated through [`GmmDataset::generate`]).
+    pub data: VectorSet,
+    /// Latent component index of every sample — the "true" cluster labels.
+    pub labels: Vec<usize>,
+    /// Component centres in the raw (pre-post-processing) space.
+    pub centres: VectorSet,
+}
+
+impl GmmDataset {
+    /// Generates a dataset according to `spec`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec fails [`DatasetSpec::validate`]; the experiment
+    /// harness validates specs at configuration time, so reaching this panic
+    /// indicates a programming error rather than a user error.
+    pub fn generate(spec: &DatasetSpec, seed: u64) -> Self {
+        if let Err(msg) = spec.validate() {
+            panic!("invalid dataset spec: {msg}");
+        }
+        let cfg = GmmConfig::from_spec(spec);
+        let mut rng = rng_from_seed(seed);
+
+        // Component centres.
+        let centre_dist = Normal::new(0.0f32, cfg.centre_spread).expect("valid normal");
+        let mut centres = Vec::with_capacity(cfg.components * cfg.dim);
+        for _ in 0..cfg.components * cfg.dim {
+            centres.push(centre_dist.sample(&mut rng));
+        }
+        let centres = VectorSet::from_flat(centres, cfg.dim).expect("centre matrix");
+
+        // Per-component anisotropic noise scales.
+        let mut scales = Vec::with_capacity(cfg.components);
+        for _ in 0..cfg.components {
+            let per_dim: Vec<f32> = (0..cfg.dim)
+                .map(|_| {
+                    let a = cfg.anisotropy.clamp(0.0, 0.95);
+                    cfg.noise_sigma * rng.gen_range(1.0 - a..=1.0 + a)
+                })
+                .collect();
+            scales.push(per_dim);
+        }
+
+        // Heavy-tailed component sizes: weight_i ∝ 1 / (i+1)^skew.
+        let sizes = component_sizes(spec.n, cfg.components, cfg.size_skew);
+
+        let unit = Normal::new(0.0f32, 1.0).expect("valid normal");
+        let mut data = Vec::with_capacity(spec.n * cfg.dim);
+        let mut labels = Vec::with_capacity(spec.n);
+        for (comp, &size) in sizes.iter().enumerate() {
+            let centre = centres.row(comp);
+            let scale = &scales[comp];
+            for _ in 0..size {
+                labels.push(comp);
+                for d in 0..cfg.dim {
+                    let noise: f32 = unit.sample(&mut rng);
+                    data.push(centre[d] + noise * scale[d]);
+                }
+            }
+        }
+
+        let mut data = VectorSet::from_flat(data, cfg.dim).expect("data matrix");
+        for i in 0..data.len() {
+            spec.family.post_process(data.row_mut(i));
+        }
+
+        // Shuffle so that latent components are not contiguous in row order —
+        // contiguity would make the 2M-tree initialisation artificially easy.
+        let order = vecstore::sample::shuffled_order(&mut rng, data.len());
+        let data = data.gather(&order).expect("gather shuffle");
+        let labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
+
+        Self {
+            data,
+            labels,
+            centres,
+        }
+    }
+}
+
+/// Splits `n` samples over `k` components with Zipf-like weights
+/// `w_i ∝ 1/(i+1)^skew`, guaranteeing every component gets at least one sample.
+fn component_sizes(n: usize, k: usize, skew: f64) -> Vec<usize> {
+    debug_assert!(k >= 1 && n >= k);
+    let weights: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(skew)).collect();
+    let total: f64 = weights.iter().sum();
+    // Start with one sample per component, distribute the remainder by weight.
+    let mut sizes = vec![1usize; k];
+    let mut remaining = n - k;
+    let mut fractional: Vec<(usize, f64)> = Vec::with_capacity(k);
+    for (i, w) in weights.iter().enumerate() {
+        let share = (remaining as f64) * w / total;
+        let whole = share.floor() as usize;
+        sizes[i] += whole;
+        fractional.push((i, share - share.floor()));
+    }
+    let assigned: usize = sizes.iter().sum();
+    remaining = n - assigned;
+    // Hand out leftovers to the largest fractional parts.
+    fractional.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (i, _) in fractional.into_iter().take(remaining) {
+        sizes[i] += 1;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), n);
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::DescriptorFamily;
+    use vecstore::distance::l2_sq;
+
+    #[test]
+    fn component_sizes_sum_and_cover() {
+        for &(n, k, s) in &[(100usize, 7usize, 0.0f64), (100, 7, 0.8), (50, 50, 1.2), (1000, 3, 2.0)] {
+            let sizes = component_sizes(n, k, s);
+            assert_eq!(sizes.len(), k);
+            assert_eq!(sizes.iter().sum::<usize>(), n);
+            assert!(sizes.iter().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn skew_zero_is_roughly_uniform() {
+        let sizes = component_sizes(1000, 10, 0.0);
+        assert!(sizes.iter().all(|&s| (95..=105).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn positive_skew_orders_sizes() {
+        let sizes = component_sizes(10_000, 20, 1.0);
+        assert!(sizes[0] > sizes[19]);
+    }
+
+    #[test]
+    fn generate_has_requested_shape_and_labels() {
+        let spec = DatasetSpec::new(500, 16, 8);
+        let ds = GmmDataset::generate(&spec, 42);
+        assert_eq!(ds.data.len(), 500);
+        assert_eq!(ds.data.dim(), 16);
+        assert_eq!(ds.labels.len(), 500);
+        assert_eq!(ds.centres.len(), 8);
+        assert!(ds.labels.iter().all(|&l| l < 8));
+        // all components represented
+        let mut seen = vec![false; 8];
+        for &l in &ds.labels {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = DatasetSpec::new(200, 8, 4);
+        let a = GmmDataset::generate(&spec, 7);
+        let b = GmmDataset::generate(&spec, 7);
+        let c = GmmDataset::generate(&spec, 8);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.labels, b.labels);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn clusters_are_tighter_than_the_global_spread() {
+        // The whole point of the generator: samples of one component should be
+        // closer to their own centre than to the average other centre.
+        let spec = DatasetSpec::new(400, 12, 5).with_noise_ratio(0.2);
+        let ds = GmmDataset::generate(&spec, 3);
+        let mut own = 0.0f64;
+        let mut other = 0.0f64;
+        let mut count = 0usize;
+        for (i, &label) in ds.labels.iter().enumerate() {
+            let x = ds.data.row(i);
+            own += f64::from(l2_sq(x, ds.centres.row(label)));
+            let o = (label + 1) % ds.centres.len();
+            other += f64::from(l2_sq(x, ds.centres.row(o)));
+            count += 1;
+        }
+        assert!(own / count as f64 * 2.0 < other / count as f64);
+    }
+
+    #[test]
+    fn family_post_processing_is_applied() {
+        let spec = DatasetSpec::new(100, 32, 4).with_family(DescriptorFamily::SiftLike);
+        let ds = GmmDataset::generate(&spec, 5);
+        for row in ds.data.rows() {
+            assert!(row.iter().all(|&v| (0.0..=255.0).contains(&v) && v == v.round()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dataset spec")]
+    fn invalid_spec_panics() {
+        let spec = DatasetSpec::new(0, 8, 2);
+        let _ = GmmDataset::generate(&spec, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic workload generators for the GK-means reproduction.
+//!
+//! The paper evaluates on four descriptor collections (Tab. 1): SIFT1M
+//! (1M × 128), VLAD10M (10M × 512), Glove1M (1M × 100) and GIST1M (1M × 960),
+//! plus SIFT100K for the motivating statistics (Fig. 1, Fig. 2).  Those
+//! datasets are multi-gigabyte downloads that are unavailable in this
+//! environment, so this crate produces synthetic stand-ins that preserve the
+//! properties the algorithms actually exploit:
+//!
+//! * **metric locality** — the data is drawn from a mixture of anisotropic
+//!   Gaussians with a heavy-tailed distribution of component sizes, so "one
+//!   sample and its nearest neighbours reside in the same cluster" (the
+//!   observation behind Fig. 1) holds just like it does for real descriptors;
+//! * **dimensionality and value range** — each family matches its real
+//!   counterpart (128-d non-negative quantised values for SIFT-like, 960-d
+//!   small non-negative values for GIST-like, 100-d signed values for
+//!   GloVe-like, 512-d signed ℓ²-normalised values for VLAD-like), so distance
+//!   kernel cost and distortion magnitudes are comparable;
+//! * **reproducibility** — every generator is a pure function of a
+//!   [`DatasetSpec`] and a `u64` seed.
+//!
+//! See DESIGN.md §2 ("Substitutions") for the full justification.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod descriptor;
+pub mod gmm;
+pub mod spec;
+pub mod workload;
+
+pub use descriptor::DescriptorFamily;
+pub use gmm::{GmmConfig, GmmDataset};
+pub use spec::DatasetSpec;
+pub use workload::{PaperDataset, Workload};

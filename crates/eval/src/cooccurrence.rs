@@ -1,0 +1,131 @@
+//! The co-occurrence statistic of Fig. 1.
+//!
+//! For every sample, the paper asks: given a clustering, what is the
+//! probability that the sample's rank-`r` nearest neighbour lives in the same
+//! cluster?  On SIFT100K with clusters of size 50 the probability is ≈0.45
+//! for the rank-1 neighbour and decays with rank, but stays orders of
+//! magnitude above the random-collision probability `cluster_size / n` —
+//! which is the observation that motivates GK-means.
+
+use knn_graph::KnnGraph;
+
+/// `result[r]` = fraction of samples whose rank-`(r+1)` exact nearest
+/// neighbour shares their cluster, for ranks `1..=max_rank`.
+///
+/// `exact` must be an exact (ground-truth) KNN graph with at least `max_rank`
+/// neighbours per sample; samples with shorter lists contribute only to the
+/// ranks they cover.
+///
+/// # Panics
+///
+/// Panics when `labels.len() != exact.len()` or when `max_rank == 0`.
+pub fn cooccurrence_by_rank(exact: &KnnGraph, labels: &[usize], max_rank: usize) -> Vec<f64> {
+    assert_eq!(exact.len(), labels.len(), "label count mismatch");
+    assert!(max_rank > 0, "max_rank must be positive");
+    let mut hits = vec![0usize; max_rank];
+    let mut totals = vec![0usize; max_rank];
+    for (i, list) in exact.iter() {
+        for (rank, nb) in list.as_slice().iter().take(max_rank).enumerate() {
+            totals[rank] += 1;
+            if labels[nb.id as usize] == labels[i] {
+                hits[rank] += 1;
+            }
+        }
+    }
+    hits.into_iter()
+        .zip(totals)
+        .map(|(h, t)| if t == 0 { 0.0 } else { h as f64 / t as f64 })
+        .collect()
+}
+
+/// The random-collision baseline the paper quotes (`0.0005` for SIFT100K
+/// with clusters of 50): the probability that two uniformly random samples
+/// fall into the same cluster, computed from the actual cluster sizes.
+pub fn random_collision_probability(labels: &[usize], k: usize) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    let n = labels.len() as f64;
+    sizes.iter().map(|&s| (s as f64 / n).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_graph::brute::exact_graph;
+    use vecstore::VectorSet;
+
+    /// Two tight groups; neighbours always co-occur when labels follow groups.
+    fn grouped_data() -> (VectorSet, Vec<usize>) {
+        let mut rows = Vec::new();
+        for g in 0..2 {
+            for i in 0..10 {
+                rows.push(vec![g as f32 * 100.0 + i as f32 * 0.01, 0.0]);
+            }
+        }
+        let labels = (0..20).map(|i| usize::from(i >= 10)).collect();
+        (VectorSet::from_rows(rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn perfect_cooccurrence_for_group_respecting_labels() {
+        let (data, labels) = grouped_data();
+        let exact = exact_graph(&data, 5);
+        let probs = cooccurrence_by_rank(&exact, &labels, 5);
+        assert_eq!(probs.len(), 5);
+        assert!(probs.iter().all(|&p| (p - 1.0).abs() < 1e-12), "{probs:?}");
+    }
+
+    #[test]
+    fn zero_cooccurrence_for_adversarial_labels() {
+        let (data, _) = grouped_data();
+        // alternate labels so immediate neighbours (adjacent on the line) are
+        // always in the other cluster
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let exact = exact_graph(&data, 1);
+        let probs = cooccurrence_by_rank(&exact, &labels, 1);
+        assert!(probs[0] < 0.2, "{probs:?}");
+    }
+
+    #[test]
+    fn probability_decays_with_rank_on_mixed_data() {
+        // group-respecting labels but only the first half of each group
+        // labelled together: ranks beyond the sub-group boundary miss.
+        let (data, _) = grouped_data();
+        let labels: Vec<usize> = (0..20)
+            .map(|i| match i {
+                0..=4 => 0,
+                5..=9 => 1,
+                10..=14 => 2,
+                _ => 3,
+            })
+            .collect();
+        let exact = exact_graph(&data, 9);
+        let probs = cooccurrence_by_rank(&exact, &labels, 9);
+        // early ranks co-occur more than late ranks
+        assert!(probs[0] > probs[8], "{probs:?}");
+    }
+
+    #[test]
+    fn random_collision_matches_formula() {
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let p = random_collision_probability(&labels, 2);
+        assert!((p - 0.5).abs() < 1e-12);
+        let skewed = vec![0, 0, 0, 0, 0, 0, 1, 1];
+        let p = random_collision_probability(&skewed, 2);
+        assert!((p - (0.75f64.powi(2) + 0.25f64.powi(2))).abs() < 1e-12);
+        assert_eq!(random_collision_probability(&[], 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn mismatch_panics() {
+        let (data, _) = grouped_data();
+        let exact = exact_graph(&data, 2);
+        let _ = cooccurrence_by_rank(&exact, &[0, 1], 2);
+    }
+}

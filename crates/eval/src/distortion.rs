@@ -1,0 +1,117 @@
+//! Clustering-quality measures (Sec. 5.1, Eqn. 4).
+
+use vecstore::distance::l2_sq;
+use vecstore::VectorSet;
+
+/// Average distortion `E = Σ_i ‖C_{q(x_i)} − x_i‖² / n` (Eqn. 4).
+///
+/// # Panics
+///
+/// Panics when `labels.len() != data.len()` or when a label is out of range
+/// for `centroids`.
+pub fn average_distortion(data: &VectorSet, labels: &[usize], centroids: &VectorSet) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    within_cluster_ssd(data, labels, centroids) / data.len() as f64
+}
+
+/// Within-cluster sum of squared distortions (WCSSD), the un-normalised form
+/// used by the closure-k-means paper the evaluation section references.
+pub fn within_cluster_ssd(data: &VectorSet, labels: &[usize], centroids: &VectorSet) -> f64 {
+    assert_eq!(data.len(), labels.len(), "label count mismatch");
+    let mut sum = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < centroids.len(), "label {label} out of range");
+        sum += f64::from(l2_sq(data.row(i), centroids.row(label)));
+    }
+    sum
+}
+
+/// Distortion of the *best possible* assignment to the given centroids
+/// (every sample charged to its closest centroid, regardless of `labels`).
+/// Useful to quantify how far a restricted assignment (GK-means, closure
+/// k-means) is from the unconstrained one for the same centroids.
+pub fn assignment_gap(data: &VectorSet, labels: &[usize], centroids: &VectorSet) -> f64 {
+    assert_eq!(data.len(), labels.len(), "label count mismatch");
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut assigned = 0.0f64;
+    let mut optimal = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let x = data.row(i);
+        assigned += f64::from(l2_sq(x, centroids.row(label)));
+        let best = (0..centroids.len())
+            .map(|c| l2_sq(x, centroids.row(c)))
+            .fold(f32::INFINITY, f32::min);
+        optimal += f64::from(best);
+    }
+    (assigned - optimal) / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (VectorSet, Vec<usize>, VectorSet) {
+        let data = VectorSet::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![10.0, 0.0],
+            vec![12.0, 0.0],
+        ])
+        .unwrap();
+        let labels = vec![0, 0, 1, 1];
+        let centroids = VectorSet::from_rows(vec![vec![1.0, 0.0], vec![11.0, 0.0]]).unwrap();
+        (data, labels, centroids)
+    }
+
+    #[test]
+    fn hand_checked_distortion() {
+        let (data, labels, centroids) = fixture();
+        // every sample is exactly 1 away from its centroid → squared 1 each
+        assert_eq!(within_cluster_ssd(&data, &labels, &centroids), 4.0);
+        assert_eq!(average_distortion(&data, &labels, &centroids), 1.0);
+    }
+
+    #[test]
+    fn empty_data_gives_zero() {
+        let data = VectorSet::zeros(0, 2).unwrap();
+        let centroids = VectorSet::zeros(1, 2).unwrap();
+        assert_eq!(average_distortion(&data, &[], &centroids), 0.0);
+        assert_eq!(assignment_gap(&data, &[], &centroids), 0.0);
+    }
+
+    #[test]
+    fn assignment_gap_zero_for_optimal_labels() {
+        let (data, labels, centroids) = fixture();
+        assert_eq!(assignment_gap(&data, &labels, &centroids), 0.0);
+    }
+
+    #[test]
+    fn assignment_gap_positive_for_suboptimal_labels() {
+        let (data, _, centroids) = fixture();
+        let bad = vec![1, 0, 1, 0];
+        let gap = assignment_gap(&data, &bad, &centroids);
+        assert!(gap > 0.0);
+        // distortion with bad labels exceeds distortion with optimal labels by the gap
+        let bad_e = average_distortion(&data, &bad, &centroids);
+        let good_e = average_distortion(&data, &[0, 0, 1, 1], &centroids);
+        assert!((bad_e - good_e - gap).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn mismatched_labels_panic() {
+        let (data, _, centroids) = fixture();
+        let _ = average_distortion(&data, &[0], &centroids);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let (data, _, centroids) = fixture();
+        let _ = average_distortion(&data, &[0, 0, 1, 9], &centroids);
+    }
+}

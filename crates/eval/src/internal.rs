@@ -1,0 +1,260 @@
+//! Internal clustering-quality measures beyond the paper's distortion.
+//!
+//! The paper evaluates with the average distortion `E` (Eqn. 4) alone.  For
+//! the ablation studies in this reproduction two standard internal indices
+//! are additionally provided, so that quality differences between variants
+//! can be cross-checked on a measure the optimisation does not directly
+//! target:
+//!
+//! * a **sampled silhouette coefficient** (O(s·n·d) for `s` sampled points
+//!   instead of the exact O(n²·d));
+//! * the **Davies–Bouldin index** (lower is better), computed from cluster
+//!   centroids and mean within-cluster distances.
+
+use vecstore::distance::l2;
+use vecstore::sample::{rng_from_seed, sample_distinct};
+use vecstore::VectorSet;
+
+/// Sampled silhouette coefficient in `[-1, 1]`; higher is better.
+///
+/// For each of `samples` randomly chosen points the full distance to every
+/// other point is computed (exact a/b terms for that point); the coefficient
+/// is averaged over the sample.  Sampling keeps the cost linear in `n` and is
+/// the standard approach for large collections.
+///
+/// Returns `0.0` for degenerate inputs (fewer than two clusters or fewer than
+/// two samples).
+///
+/// # Panics
+///
+/// Panics when `labels.len() != data.len()`.
+pub fn sampled_silhouette(data: &VectorSet, labels: &[usize], samples: usize, seed: u64) -> f64 {
+    assert_eq!(data.len(), labels.len(), "label count mismatch");
+    let n = data.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    if k < 2 {
+        return 0.0;
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+
+    let mut rng = rng_from_seed(seed);
+    let count = samples.clamp(1, n);
+    let chosen = sample_distinct(&mut rng, n, count).expect("count <= n");
+
+    let mut total = 0.0f64;
+    let mut used = 0usize;
+    let mut sums = vec![0.0f64; k];
+    for &i in &chosen {
+        let own = labels[i];
+        if sizes[own] <= 1 {
+            // silhouette of a singleton is defined as 0; skip it.
+            continue;
+        }
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            sums[labels[j]] += f64::from(l2(data.row(i), data.row(j)));
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue;
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+        used += 1;
+    }
+    if used == 0 {
+        0.0
+    } else {
+        total / used as f64
+    }
+}
+
+/// Davies–Bouldin index (≥ 0, lower is better).
+///
+/// `DB = (1/k) Σ_i max_{j≠i} (s_i + s_j) / d(c_i, c_j)` where `s_i` is the
+/// mean distance of cluster `i`'s members to its centroid and `d(c_i, c_j)`
+/// the centroid distance.  Empty clusters are ignored.  Returns `0.0` when
+/// fewer than two non-empty clusters exist.
+///
+/// # Panics
+///
+/// Panics when `labels.len() != data.len()` or when centroid dimensionality
+/// does not match the data.
+pub fn davies_bouldin(data: &VectorSet, labels: &[usize], centroids: &VectorSet) -> f64 {
+    assert_eq!(data.len(), labels.len(), "label count mismatch");
+    assert_eq!(data.dim(), centroids.dim(), "centroid dimensionality mismatch");
+    let k = centroids.len();
+    let mut sizes = vec![0usize; k];
+    let mut scatter = vec![0.0f64; k];
+    for (i, &l) in labels.iter().enumerate() {
+        sizes[l] += 1;
+        scatter[l] += f64::from(l2(data.row(i), centroids.row(l)));
+    }
+    let populated: Vec<usize> = (0..k).filter(|&c| sizes[c] > 0).collect();
+    if populated.len() < 2 {
+        return 0.0;
+    }
+    for &c in &populated {
+        scatter[c] /= sizes[c] as f64;
+    }
+    let mut total = 0.0f64;
+    for &i in &populated {
+        let mut worst: f64 = 0.0;
+        for &j in &populated {
+            if i == j {
+                continue;
+            }
+            let centroid_dist = f64::from(l2(centroids.row(i), centroids.row(j)));
+            if centroid_dist <= 0.0 {
+                continue;
+            }
+            worst = worst.max((scatter[i] + scatter[j]) / centroid_dist);
+        }
+        total += worst;
+    }
+    total / populated.len() as f64
+}
+
+/// Adjusted Rand index between two labelings, in `[-1, 1]` (1 = identical
+/// partitions up to renaming, ≈ 0 = independent).
+///
+/// # Panics
+///
+/// Panics when the two label vectors differ in length.
+pub fn adjusted_rand_index(labels: &[usize], reference: &[usize]) -> f64 {
+    assert_eq!(labels.len(), reference.len(), "label count mismatch");
+    let n = labels.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    let r = reference.iter().copied().max().unwrap_or(0) + 1;
+    let mut contingency = vec![0u64; k * r];
+    let mut row_sums = vec![0u64; k];
+    let mut col_sums = vec![0u64; r];
+    for (&c, &g) in labels.iter().zip(reference) {
+        contingency[c * r + g] += 1;
+        row_sums[c] += 1;
+        col_sums[g] += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let index: f64 = contingency.iter().map(|&x| choose2(x)).sum();
+    let sum_rows: f64 = row_sums.iter().map(|&x| choose2(x)).sum();
+    let sum_cols: f64 = col_sums.iter().map(|&x| choose2(x)).sum();
+    let total_pairs = choose2(n as u64);
+    let expected = sum_rows * sum_cols / total_pairs;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < f64::EPSILON {
+        return 0.0;
+    }
+    (index - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (VectorSet, Vec<usize>, VectorSet) {
+        let data = VectorSet::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.4, 0.1],
+            vec![0.1, 0.4],
+            vec![10.0, 10.0],
+            vec![10.4, 10.1],
+            vec![10.1, 10.4],
+        ])
+        .unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let centroids =
+            VectorSet::from_rows(vec![vec![0.1667, 0.1667], vec![10.1667, 10.1667]]).unwrap();
+        (data, labels, centroids)
+    }
+
+    #[test]
+    fn silhouette_is_high_for_well_separated_clusters() {
+        let (data, labels, _) = two_blobs();
+        let s = sampled_silhouette(&data, &labels, 6, 1);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_is_poor_for_shuffled_labels() {
+        let (data, _, _) = two_blobs();
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let s = sampled_silhouette(&data, &bad, 6, 2);
+        assert!(s < 0.2, "shuffled-label silhouette should be low, got {s}");
+    }
+
+    #[test]
+    fn silhouette_degenerate_inputs_are_zero() {
+        let (data, labels, _) = two_blobs();
+        assert_eq!(sampled_silhouette(&data, &vec![0; 6], 6, 3), 0.0);
+        let one = VectorSet::from_rows(vec![vec![1.0, 1.0]]).unwrap();
+        assert_eq!(sampled_silhouette(&one, &[0], 1, 3), 0.0);
+        let _ = labels;
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_the_true_partition() {
+        let (data, labels, centroids) = two_blobs();
+        let good = davies_bouldin(&data, &labels, &centroids);
+        let bad_labels = vec![0, 1, 0, 1, 0, 1];
+        let mut bad_centroids = VectorSet::zeros(2, 2).unwrap();
+        // means of the shuffled partition
+        for (c, rows) in [(0usize, [0usize, 2, 4]), (1usize, [1, 3, 5])] {
+            let mut acc = [0.0f32; 2];
+            for &i in &rows {
+                acc[0] += data.row(i)[0];
+                acc[1] += data.row(i)[1];
+            }
+            bad_centroids.row_mut(c).copy_from_slice(&[acc[0] / 3.0, acc[1] / 3.0]);
+        }
+        let bad = davies_bouldin(&data, &bad_labels, &bad_centroids);
+        assert!(good < bad, "good {good} vs bad {bad}");
+        assert!(good >= 0.0);
+    }
+
+    #[test]
+    fn davies_bouldin_degenerate_cases() {
+        let (data, _, centroids) = two_blobs();
+        // single populated cluster → 0
+        assert_eq!(davies_bouldin(&data, &vec![0; 6], &centroids), 0.0);
+    }
+
+    #[test]
+    fn ari_identical_and_independent() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // renamed clusters are still a perfect match
+        let renamed = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &renamed) - 1.0).abs() < 1e-12);
+        // a constant labelling carries no information
+        let constant = vec![0; 6];
+        assert!(adjusted_rand_index(&a, &constant).abs() < 1e-12);
+        // tiny inputs
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 0.0);
+    }
+
+    #[test]
+    fn ari_partial_agreement_is_between_zero_and_one() {
+        let a = vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let b = vec![0, 0, 1, 1, 1, 2, 2, 2, 0];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.0 && ari < 1.0, "ari {ari}");
+    }
+}

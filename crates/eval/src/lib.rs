@@ -1,0 +1,32 @@
+//! Evaluation metrics and reporting for the GK-means reproduction.
+//!
+//! * [`distortion`] — the average-distortion measure `E` of Eqn. 4 (a.k.a.
+//!   mean squared error / WCSSD), the paper's clustering-quality metric;
+//! * [`cooccurrence`] — the Fig. 1 statistic: the probability that a sample
+//!   and its rank-`r` nearest neighbour fall into the same cluster;
+//! * [`internal`] — additional internal indices (sampled silhouette,
+//!   Davies–Bouldin) and the adjusted Rand index, used by the ablation
+//!   studies to cross-check distortion-based conclusions;
+//! * [`external`] — purity and NMI against the synthetic latent labels;
+//! * [`timing`] — a simple phase stopwatch used by the experiment harness to
+//!   report the Init./Iter./Total columns of Tab. 2;
+//! * [`report`] — plain-text table and CSV series builders so every harness
+//!   binary prints output directly comparable to the paper's tables and the
+//!   data series behind its figures.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cooccurrence;
+pub mod distortion;
+pub mod external;
+pub mod internal;
+pub mod report;
+pub mod timing;
+
+pub use cooccurrence::cooccurrence_by_rank;
+pub use distortion::{average_distortion, within_cluster_ssd};
+pub use external::{normalized_mutual_information, purity};
+pub use internal::{adjusted_rand_index, davies_bouldin, sampled_silhouette};
+pub use report::{Series, Table};
+pub use timing::PhaseTimer;

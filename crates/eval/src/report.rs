@@ -1,0 +1,185 @@
+//! Plain-text tables and CSV series for the experiment harness.
+//!
+//! Every harness binary prints (a) a human-readable table mirroring the
+//! paper's tables and (b) machine-readable CSV series (one per curve of the
+//! corresponding figure) so the results can be plotted or diffed against the
+//! paper's reported numbers in EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A column-aligned plain-text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} does not match header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.header) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// A named data series rendered as CSV — one per curve of a paper figure.
+#[derive(Clone, Debug)]
+pub struct Series {
+    name: String,
+    x_label: String,
+    y_label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one `(x, y)` point.
+    pub fn push(&mut self, x: f64, y: f64) -> &mut Self {
+        self.points.push((x, y));
+        self
+    }
+
+    /// Series name (curve label in the figure).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Renders the series as CSV with a comment header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# series: {}", self.name);
+        let _ = writeln!(out, "{},{}", self.x_label, self.y_label);
+        for (x, y) in &self.points {
+            let _ = writeln!(out, "{x},{y}");
+        }
+        out
+    }
+}
+
+/// Formats a `Duration`-like number of seconds compactly (`ms`, `s`, `min`,
+/// `h`) for table cells.
+pub fn human_secs(secs: f64) -> String {
+    if secs < 1.0 {
+        format!("{:.1} ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2} s")
+    } else if secs < 7200.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else {
+        format!("{:.2} h", secs / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Tab. X", &["method", "time", "E"]);
+        assert!(t.is_empty());
+        t.row(&["GK-means".into(), "5.2".into(), "0.619".into()]);
+        t.row(&["closure".into(), "10.5".into(), "0.700".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(s.contains("== Tab. X =="));
+        assert!(s.contains("GK-means"));
+        assert!(s.contains("0.700"));
+        // each data line has the three cells
+        assert_eq!(s.lines().count(), 2 + 1 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn series_round_trips_to_csv() {
+        let mut s = Series::new("GK-means", "iteration", "distortion");
+        s.push(1.0, 42_000.0).push(2.0, 41_000.0);
+        assert_eq!(s.name(), "GK-means");
+        assert_eq!(s.points().len(), 2);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("# series: GK-means"));
+        assert!(csv.contains("iteration,distortion"));
+        assert!(csv.contains("2,41000"));
+    }
+
+    #[test]
+    fn human_secs_scales() {
+        assert!(human_secs(0.0123).contains("ms"));
+        assert!(human_secs(2.5).contains('s'));
+        assert!(human_secs(600.0).contains("min"));
+        assert!(human_secs(10_000.0).contains('h'));
+    }
+}

@@ -1,0 +1,76 @@
+//! Phase stopwatch for the experiment harness.
+//!
+//! Tab. 2 reports initialisation time, iteration time and total time per
+//! method; the harness wraps each phase with [`PhaseTimer::phase`] and prints
+//! the accumulated table.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates named phase durations in insertion order.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times a closure and records it under `name`, returning its output.
+    pub fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push((name.to_string(), start.elapsed()));
+        out
+    }
+
+    /// Records an externally measured duration under `name`.
+    pub fn record(&mut self, name: &str, duration: Duration) {
+        self.phases.push((name.to_string(), duration));
+    }
+
+    /// Duration of the first phase recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// Sum of all recorded phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// All phases in insertion order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_phases_in_order_with_outputs() {
+        let mut timer = PhaseTimer::new();
+        let x = timer.phase("init", || 41 + 1);
+        assert_eq!(x, 42);
+        timer.record("iter", Duration::from_millis(120));
+        assert_eq!(timer.phases().len(), 2);
+        assert_eq!(timer.phases()[0].0, "init");
+        assert_eq!(timer.get("iter"), Some(Duration::from_millis(120)));
+        assert_eq!(timer.get("missing"), None);
+        assert!(timer.total() >= Duration::from_millis(120));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let timer = PhaseTimer::default();
+        assert!(timer.phases().is_empty());
+        assert_eq!(timer.total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,218 @@
+//! The boost-k-means objective (Eqn. 2) and move gain (Eqn. 3).
+//!
+//! Given clusters `S_1 … S_k` with composite vectors `D_r = Σ_{x∈S_r} x` and
+//! sizes `n_r`, the objective is
+//!
+//! ```text
+//!     I = Σ_r  D_r'·D_r / n_r                               (Eqn. 2)
+//! ```
+//!
+//! Maximising `I` is equivalent to minimising the k-means distortion (Eqn. 1):
+//! `Σ_i ‖x_i‖²` is constant, and `Σ_r Σ_{x∈S_r} ‖x − C_r‖² = Σ_i ‖x_i‖² − I`.
+//!
+//! Moving a sample `x` from cluster `u` to cluster `v` changes the objective
+//! by
+//!
+//! ```text
+//!     ΔI(x) = (D_v + x)'(D_v + x)/(n_v + 1) + (D_u − x)'(D_u − x)/(n_u − 1)
+//!           −  D_v'D_v/n_v − D_u'D_u/n_u                     (Eqn. 3)
+//! ```
+//!
+//! with the convention that an emptied cluster contributes `0` (the
+//! `(n_u − 1)`-denominator term vanishes when `n_u = 1`).
+//!
+//! The functions in this module operate on raw slices so they can be used both
+//! by [`crate::state::ClusterState`] (which caches `D_r'·D_r`) and by tests
+//! that verify the incremental arithmetic against recomputation from scratch.
+
+use vecstore::distance::dot;
+
+/// Contribution of a single cluster to the objective: `D'·D / n`, or `0` for
+/// an empty cluster.
+#[inline]
+pub fn cluster_term(composite_norm_sq: f64, size: usize) -> f64 {
+    if size == 0 {
+        0.0
+    } else {
+        composite_norm_sq / size as f64
+    }
+}
+
+/// Gain of removing sample `x` from a cluster with composite norm²
+/// `d_norm_sq`, composite·x dot product `d_dot_x`, sample norm² `x_norm_sq`
+/// and current size `n`:
+/// `(D − x)'(D − x)/(n − 1) − D'D/n`.
+#[inline]
+pub fn removal_gain(d_norm_sq: f64, d_dot_x: f64, x_norm_sq: f64, n: usize) -> f64 {
+    debug_assert!(n >= 1, "cannot remove from an empty cluster");
+    let after = d_norm_sq - 2.0 * d_dot_x + x_norm_sq;
+    let after_term = if n == 1 { 0.0 } else { after / (n - 1) as f64 };
+    after_term - cluster_term(d_norm_sq, n)
+}
+
+/// Gain of adding sample `x` to a cluster with composite norm² `d_norm_sq`,
+/// composite·x dot product `d_dot_x`, sample norm² `x_norm_sq` and current
+/// size `n`: `(D + x)'(D + x)/(n + 1) − D'D/n`.
+#[inline]
+pub fn addition_gain(d_norm_sq: f64, d_dot_x: f64, x_norm_sq: f64, n: usize) -> f64 {
+    let after = d_norm_sq + 2.0 * d_dot_x + x_norm_sq;
+    after / (n + 1) as f64 - cluster_term(d_norm_sq, n)
+}
+
+/// Full Eqn. 3 evaluated from explicit composite vectors — the reference
+/// implementation used by tests and by callers that do not maintain cached
+/// norms.  `du`/`dv` are the composite vectors of the source and destination
+/// clusters, `nu`/`nv` their sizes, and `x` the sample being moved.
+pub fn delta_i_reference(du: &[f32], nu: usize, dv: &[f32], nv: usize, x: &[f32]) -> f64 {
+    assert!(nu >= 1, "source cluster must contain the sample");
+    let x_norm_sq = f64::from(dot(x, x));
+    let du_norm_sq = f64::from(dot(du, du));
+    let dv_norm_sq = f64::from(dot(dv, dv));
+    let du_dot_x = f64::from(dot(du, x));
+    let dv_dot_x = f64::from(dot(dv, x));
+    removal_gain(du_norm_sq, du_dot_x, x_norm_sq, nu)
+        + addition_gain(dv_norm_sq, dv_dot_x, x_norm_sq, nv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force objective from explicit memberships.
+    fn objective_from_scratch(points: &[Vec<f32>], labels: &[usize], k: usize) -> f64 {
+        let d = points[0].len();
+        let mut composites = vec![vec![0.0f64; d]; k];
+        let mut sizes = vec![0usize; k];
+        for (p, &l) in points.iter().zip(labels) {
+            sizes[l] += 1;
+            for (c, &v) in composites[l].iter_mut().zip(p) {
+                *c += f64::from(v);
+            }
+        }
+        (0..k)
+            .map(|r| {
+                if sizes[r] == 0 {
+                    0.0
+                } else {
+                    composites[r].iter().map(|v| v * v).sum::<f64>() / sizes[r] as f64
+                }
+            })
+            .sum()
+    }
+
+    fn sample_points() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 0.0],
+            vec![2.0, 1.0],
+            vec![0.5, -1.0],
+            vec![10.0, 10.0],
+            vec![11.0, 9.0],
+            vec![-3.0, 4.0],
+        ]
+    }
+
+    #[test]
+    fn cluster_term_handles_empty() {
+        assert_eq!(cluster_term(25.0, 0), 0.0);
+        assert_eq!(cluster_term(25.0, 5), 5.0);
+    }
+
+    #[test]
+    fn delta_matches_recomputed_objective_difference() {
+        let points = sample_points();
+        let k = 2;
+        let labels = vec![0, 0, 0, 1, 1, 0];
+        // move sample 2 from cluster 0 to cluster 1
+        let before = objective_from_scratch(&points, &labels, k);
+        let mut after_labels = labels.clone();
+        after_labels[2] = 1;
+        let after = objective_from_scratch(&points, &after_labels, k);
+
+        // composite vectors before the move
+        let d = points[0].len();
+        let mut composites = vec![vec![0.0f32; d]; k];
+        let mut sizes = vec![0usize; k];
+        for (p, &l) in points.iter().zip(&labels) {
+            sizes[l] += 1;
+            for (c, &v) in composites[l].iter_mut().zip(p) {
+                *c += v;
+            }
+        }
+        let delta = delta_i_reference(&composites[0], sizes[0], &composites[1], sizes[1], &points[2]);
+        assert!(
+            (delta - (after - before)).abs() < 1e-6,
+            "delta {delta} vs recomputed {}",
+            after - before
+        );
+    }
+
+    #[test]
+    fn delta_for_every_possible_move_matches_recomputation() {
+        let points = sample_points();
+        let k = 3;
+        let labels = vec![0, 1, 0, 2, 2, 1];
+        let d = points[0].len();
+        let mut composites = vec![vec![0.0f32; d]; k];
+        let mut sizes = vec![0usize; k];
+        for (p, &l) in points.iter().zip(&labels) {
+            sizes[l] += 1;
+            for (c, &v) in composites[l].iter_mut().zip(p) {
+                *c += v;
+            }
+        }
+        let before = objective_from_scratch(&points, &labels, k);
+        for i in 0..points.len() {
+            let u = labels[i];
+            for v in 0..k {
+                if v == u {
+                    continue;
+                }
+                let mut after_labels = labels.clone();
+                after_labels[i] = v;
+                let after = objective_from_scratch(&points, &after_labels, k);
+                let delta =
+                    delta_i_reference(&composites[u], sizes[u], &composites[v], sizes[v], &points[i]);
+                assert!(
+                    (delta - (after - before)).abs() < 1e-6,
+                    "sample {i}: {u}->{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emptying_a_singleton_cluster_is_well_defined() {
+        let points = vec![vec![5.0f32, 5.0], vec![0.0, 0.0], vec![0.5, 0.0]];
+        let labels = vec![0usize, 1, 1];
+        // cluster 0 holds only sample 0; moving it to cluster 1 empties cluster 0
+        let composites = [vec![5.0f32, 5.0], vec![0.5f32, 0.0]];
+        let delta = delta_i_reference(&composites[0], 1, &composites[1], 2, &points[0]);
+        let before = objective_from_scratch(&points, &labels, 2);
+        let after = objective_from_scratch(&points, &[1, 1, 1], 2);
+        assert!((delta - (after - before)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moving_towards_identical_points_increases_objective() {
+        // sample identical to the members of cluster v should want to join it
+        let x = vec![2.0f32, 2.0];
+        let du = vec![2.0f32 + 7.0, 2.0 + 7.0]; // cluster u: x plus an outlier at (7,7)
+        let dv = vec![4.0f32, 4.0]; // cluster v: two copies of (2,2)
+        let delta = delta_i_reference(&du, 2, &dv, 2, &x);
+        assert!(delta > 0.0, "expected positive gain, got {delta}");
+    }
+
+    #[test]
+    fn gains_are_antisymmetric_for_a_round_trip() {
+        // Moving x from u to v and then back must sum to ~0.
+        let x = vec![1.0f32, -2.0, 0.5];
+        let du = vec![3.0f32, 1.0, 0.0];
+        let dv = vec![-1.0f32, 2.0, 2.0];
+        let forward = delta_i_reference(&du, 3, &dv, 2, &x);
+        // after the move: du' = du - x (size 2), dv' = dv + x (size 3)
+        let du2: Vec<f32> = du.iter().zip(&x).map(|(a, b)| a - b).collect();
+        let dv2: Vec<f32> = dv.iter().zip(&x).map(|(a, b)| a + b).collect();
+        let backward = delta_i_reference(&dv2, 3, &du2, 2, &x);
+        assert!((forward + backward).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,401 @@
+//! Online (incremental) GK-means — the paper's future-work direction.
+//!
+//! The conclusion of the paper frames the intertwined graph/clustering
+//! evolution as a general unsupervised-learning loop it intends to extend.
+//! This module implements the natural incremental version of that loop: after
+//! an initial [`crate::pipeline::GkMeansPipeline`] run, new samples can be
+//! inserted one at a time —
+//!
+//! 1. the existing graph is searched greedily for the new sample's κ nearest
+//!    neighbours (the same "neighbours tell you the candidate clusters" idea
+//!    as Alg. 2, applied at insertion time);
+//! 2. the sample joins the candidate cluster with the highest `ΔI` gain
+//!    (Eqn. 3 with an empty removal term, since the sample is new);
+//! 3. the graph gains a node linked to the discovered neighbours, so later
+//!    insertions and refinement passes see it.
+//!
+//! Periodically calling [`OnlineGkMeans::refine`] runs ordinary graph-guided
+//! boost-k-means epochs over everything inserted so far, which keeps the
+//! partition close to what a batch re-run would produce (the test below
+//! checks exactly that).
+
+use rand::Rng;
+
+use knn_graph::{KnnGraph, Neighbor};
+use vecstore::distance::l2_sq;
+use vecstore::sample::{rng_from_seed, shuffled_order};
+use vecstore::VectorSet;
+
+use baselines::common::average_distortion;
+
+use crate::params::GkParams;
+use crate::pipeline::GkMeansPipeline;
+use crate::state::ClusterState;
+
+/// Incrementally maintained GK-means clustering: owned data, cluster state
+/// and KNN graph that grow together as samples are inserted.
+#[derive(Clone, Debug)]
+pub struct OnlineGkMeans {
+    params: GkParams,
+    data: VectorSet,
+    state: ClusterState,
+    graph: KnnGraph,
+    rng_seed: u64,
+    inserted_since_refine: usize,
+}
+
+impl OnlineGkMeans {
+    /// Bootstraps the online clustering from an initial batch: runs the
+    /// two-phase pipeline (Alg. 3 + Alg. 2) on `initial` and keeps the data,
+    /// labels and graph for incremental growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters are invalid for `(initial.len(), k)`.
+    pub fn initialize(initial: VectorSet, k: usize, params: GkParams) -> Self {
+        let outcome = GkMeansPipeline::new(params).cluster(&initial, k);
+        let state = ClusterState::from_labels(&initial, outcome.clustering.labels, k);
+        Self {
+            params,
+            data: initial,
+            state,
+            graph: outcome.graph,
+            // fixed salt so the online RNG stream never collides with the
+            // batch pipeline's derived seeds
+            rng_seed: params.seed ^ 0x_051a_17e5_u64,
+            inserted_since_refine: 0,
+        }
+    }
+
+    /// Number of samples currently tracked.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when no samples are tracked (never the case after
+    /// [`OnlineGkMeans::initialize`]).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.state.k()
+    }
+
+    /// Current cluster label of every sample, in insertion order.
+    pub fn labels(&self) -> &[usize] {
+        self.state.labels()
+    }
+
+    /// Current centroids (`k × d`).
+    pub fn centroids(&self) -> VectorSet {
+        self.state.centroids()
+    }
+
+    /// The maintained KNN graph (grows with every insertion).
+    pub fn graph(&self) -> &KnnGraph {
+        &self.graph
+    }
+
+    /// Average distortion of the current partition (Eqn. 4).
+    pub fn distortion(&self) -> f64 {
+        average_distortion(&self.data, self.state.labels(), &self.state.centroids())
+    }
+
+    /// Inserts one sample and returns its assigned cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` does not match the dataset's dimensionality.
+    pub fn insert(&mut self, x: &[f32]) -> usize {
+        assert_eq!(x.len(), self.data.dim(), "sample dimensionality mismatch");
+        let kappa = self.params.kappa.max(1);
+        let neighbours = self.greedy_knn(x, kappa);
+
+        // Candidate clusters = clusters of the discovered neighbours (Alg. 2
+        // line 7–11, applied to a brand-new sample whose removal term is 0).
+        let mut best_cluster = None;
+        let mut best_gain = f64::NEG_INFINITY;
+        let mut seen: Vec<usize> = Vec::with_capacity(kappa);
+        for nb in &neighbours {
+            let c = self.state.label(nb.id as usize);
+            if seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            let gain = self.state.addition_part(x, c);
+            if gain > best_gain {
+                best_gain = gain;
+                best_cluster = Some(c);
+            }
+        }
+        // Fallback (empty graph neighbourhood, e.g. κ larger than the data):
+        // nearest centroid over all clusters.
+        let cluster = best_cluster.unwrap_or_else(|| {
+            let centroids = self.state.centroids();
+            (0..self.state.k())
+                .min_by(|&a, &b| {
+                    l2_sq(x, centroids.row(a))
+                        .partial_cmp(&l2_sq(x, centroids.row(b)))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(0)
+        });
+
+        // Grow data, state and graph.
+        self.data.push_row(x).expect("dimensionality already checked");
+        let new_id = self.state.push_sample(x, cluster);
+        let node = self.graph.add_node();
+        debug_assert_eq!(node, new_id);
+        for nb in &neighbours {
+            self.graph.update_pair(node, nb.id as usize, nb.dist);
+        }
+        self.inserted_since_refine += 1;
+        cluster
+    }
+
+    /// Inserts a batch of samples, returning their assigned clusters.
+    pub fn insert_batch(&mut self, batch: &VectorSet) -> Vec<usize> {
+        (0..batch.len()).map(|i| self.insert(batch.row(i))).collect()
+    }
+
+    /// Number of samples inserted since the last [`OnlineGkMeans::refine`]
+    /// call (a convenient trigger for periodic refinement).
+    pub fn pending_refinement(&self) -> usize {
+        self.inserted_since_refine
+    }
+
+    /// Runs `epochs` graph-guided boost-k-means epochs over the full dataset
+    /// (Alg. 2 with the maintained graph), returning the number of moves
+    /// applied.  This is the periodic "catch-up" pass that keeps the online
+    /// partition close to a batch re-clustering.
+    pub fn refine(&mut self, epochs: usize) -> usize {
+        let mut rng = rng_from_seed(self.rng_seed ^ self.data.len() as u64);
+        let kappa = self.params.kappa.min(self.graph.k().max(1));
+        let mut total_moves = 0usize;
+        let mut candidates: Vec<usize> = Vec::with_capacity(kappa + 1);
+        for _ in 0..epochs {
+            let order = shuffled_order(&mut rng, self.data.len());
+            let mut moves = 0usize;
+            for &i in &order {
+                let u = self.state.label(i);
+                if self.state.size(u) <= 1 {
+                    continue;
+                }
+                candidates.clear();
+                for nb in self.graph.neighbors(i).as_slice().iter().take(kappa) {
+                    let c = self.state.label(nb.id as usize);
+                    if c != u && !candidates.contains(&c) {
+                        candidates.push(c);
+                    }
+                }
+                if candidates.is_empty() {
+                    continue;
+                }
+                let x = self.data.row(i).to_vec();
+                let removal = self.state.removal_part(i, &x);
+                let mut best_v = u;
+                let mut best_delta = 0.0f64;
+                for &v in &candidates {
+                    let delta = removal + self.state.addition_part(&x, v);
+                    if delta > best_delta {
+                        best_delta = delta;
+                        best_v = v;
+                    }
+                }
+                if best_v != u && best_delta > 0.0 {
+                    self.state.apply_move(i, &x, best_v);
+                    moves += 1;
+                }
+            }
+            total_moves += moves;
+            if moves == 0 {
+                break;
+            }
+        }
+        self.inserted_since_refine = 0;
+        total_moves
+    }
+
+    /// Greedy best-first search over the maintained graph for the κ nearest
+    /// existing samples of `x`.
+    fn greedy_knn(&self, x: &[f32], kappa: usize) -> Vec<Neighbor> {
+        let n = self.data.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let ef = (kappa * 4).max(16).min(n);
+        let mut rng = rng_from_seed(self.rng_seed ^ (n as u64).rotate_left(17));
+        let mut pool: Vec<Neighbor> = Vec::with_capacity(ef + 1);
+        let mut visited = vec![false; n];
+        // A generous number of random entry points: the Alg. 3 graph of a
+        // strongly clustered dataset can be disconnected across clusters, and
+        // greedy expansion never leaves the component an entry landed in, so
+        // the seeds must cover the components.  64 extra distance evaluations
+        // per insertion are negligible next to the search itself.
+        let entries = 64usize.clamp(1, n);
+        for _ in 0..entries {
+            let id = rng.gen_range(0..n);
+            if visited[id] {
+                continue;
+            }
+            visited[id] = true;
+            insert_bounded(&mut pool, Neighbor::new(id as u32, l2_sq(x, self.data.row(id))), ef);
+        }
+        let mut expanded: Vec<u32> = Vec::with_capacity(ef);
+        loop {
+            let next = pool.iter().find(|c| !expanded.contains(&c.id)).copied();
+            let Some(candidate) = next else { break };
+            expanded.push(candidate.id);
+            if pool.len() >= ef && candidate.dist > pool[pool.len() - 1].dist {
+                break;
+            }
+            for nb in self.graph.neighbors(candidate.id as usize).as_slice() {
+                let id = nb.id as usize;
+                if visited[id] {
+                    continue;
+                }
+                visited[id] = true;
+                insert_bounded(&mut pool, Neighbor::new(nb.id, l2_sq(x, self.data.row(id))), ef);
+            }
+        }
+        pool.truncate(kappa);
+        pool
+    }
+}
+
+/// Inserts into an ascending-by-distance pool bounded to `cap` entries.
+fn insert_bounded(pool: &mut Vec<Neighbor>, cand: Neighbor, cap: usize) {
+    if pool.iter().any(|n| n.id == cand.id) {
+        return;
+    }
+    if pool.len() >= cap {
+        if let Some(worst) = pool.last() {
+            if cand.dist >= worst.dist {
+                return;
+            }
+        }
+    }
+    let pos = pool.partition_point(|n| (n.dist, n.id) < (cand.dist, cand.id));
+    pool.insert(pos, cand);
+    if pool.len() > cap {
+        pool.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blobs(per: usize, groups: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::with_capacity(per * groups);
+        for g in 0..groups {
+            for _ in 0..per {
+                let mut row = Vec::with_capacity(dim);
+                for d in 0..dim {
+                    row.push(((g * 3 + d) % 7) as f32 * 10.0 + rng.gen_range(-0.5..0.5));
+                }
+                rows.push(row);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    fn params() -> GkParams {
+        GkParams::default().kappa(8).xi(20).tau(4).iterations(8).seed(3).record_trace(false)
+    }
+
+    #[test]
+    fn initialize_matches_batch_pipeline_output_shape() {
+        let data = blobs(60, 5, 4, 1);
+        let online = OnlineGkMeans::initialize(data.clone(), 5, params());
+        assert_eq!(online.len(), data.len());
+        assert_eq!(online.k(), 5);
+        assert_eq!(online.labels().len(), data.len());
+        assert_eq!(online.graph().len(), data.len());
+        assert!(online.distortion().is_finite());
+    }
+
+    #[test]
+    fn inserted_samples_join_the_right_blob() {
+        let data = blobs(60, 4, 4, 2);
+        let mut online = OnlineGkMeans::initialize(data, 4, params());
+        let before = online.len();
+
+        // Insert points that sit exactly on the latent blob centres; each must
+        // join the cluster that already dominates that blob.
+        let probe = blobs(1, 4, 4, 99);
+        let assigned = online.insert_batch(&probe);
+        assert_eq!(online.len(), before + 4);
+        assert_eq!(assigned.len(), 4);
+        for (g, &cluster) in assigned.iter().enumerate() {
+            // the assigned cluster's centroid must be closer to this probe
+            // than the average inter-blob distance
+            let centroids = online.centroids();
+            let d = l2_sq(probe.row(g), centroids.row(cluster));
+            assert!(d < 50.0, "probe {g} landed {d} away from its centroid");
+        }
+        // graph gained nodes with neighbours
+        assert!(online.graph().neighbors(before).len() > 0);
+        assert_eq!(online.pending_refinement(), 4);
+    }
+
+    #[test]
+    fn refine_after_inserts_recovers_batch_quality() {
+        let initial = blobs(50, 5, 4, 3);
+        let extra = blobs(20, 5, 4, 4);
+        let mut online = OnlineGkMeans::initialize(initial.clone(), 5, params());
+        online.insert_batch(&extra);
+        let before = online.distortion();
+        online.refine(6);
+        let after = online.distortion();
+        assert!(after <= before + 1e-9, "refine must not worsen distortion");
+        assert_eq!(online.pending_refinement(), 0);
+
+        // Compare with a batch run over the union: the online result should be
+        // in the same ballpark (within 25%) after refinement.
+        let mut union = initial;
+        for i in 0..extra.len() {
+            union.push_row(extra.row(i)).unwrap();
+        }
+        let batch = GkMeansPipeline::new(params()).cluster(&union, 5);
+        let batch_e = average_distortion(&union, &batch.clustering.labels, &batch.clustering.centroids);
+        assert!(
+            after <= batch_e * 1.25 + 1e-9,
+            "online {after} vs batch {batch_e}"
+        );
+    }
+
+    #[test]
+    fn labels_stay_valid_after_many_single_inserts() {
+        let data = blobs(40, 3, 3, 5);
+        let mut online = OnlineGkMeans::initialize(data, 3, params());
+        let mut rng = rng_from_seed(7);
+        for _ in 0..50 {
+            let x: Vec<f32> = (0..3).map(|_| rng.gen_range(-5.0..25.0)).collect();
+            let c = online.insert(&x);
+            assert!(c < online.k());
+        }
+        assert_eq!(online.labels().len(), 40 * 3 + 50);
+        assert_eq!(online.graph().len(), online.len());
+        let sizes: Vec<usize> = {
+            let mut s = vec![0usize; online.k()];
+            for &l in online.labels() {
+                s[l] += 1;
+            }
+            s
+        };
+        assert_eq!(sizes.iter().sum::<usize>(), online.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample dimensionality mismatch")]
+    fn wrong_dimensionality_panics() {
+        let data = blobs(30, 3, 3, 9);
+        let mut online = OnlineGkMeans::initialize(data, 3, params());
+        let _ = online.insert(&[1.0, 2.0]);
+    }
+}

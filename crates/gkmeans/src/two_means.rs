@@ -1,0 +1,363 @@
+//! Two-means (2M) tree — Alg. 1 of the paper (after Verma, Kpotufe &
+//! Dasgupta, UAI 2009).
+//!
+//! A hierarchical bisecting partitioner: repeatedly pop the largest cluster,
+//! bisect it with 2-means, and **adjust the two halves to equal size** — the
+//! adjustment is what distinguishes the 2M tree from plain bisecting k-means
+//! and is essential for the graph-construction step of Alg. 3, where every
+//! cluster must contain roughly ξ samples so the exhaustive in-cluster
+//! comparison stays `O(n·ξ·d)`.
+//!
+//! Complexity `O(d·n·log k)` (Sec. 3.2): each level of the implicit tree
+//! touches every sample a constant number of times.  Following the paper, the
+//! bisection is refined with boost-k-means-style incremental moves before the
+//! equal-size adjustment (Sec. 3.2: "the aforementioned boost k-means is
+//! integrated in the bisecting operation").
+
+use rand::Rng;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+use crate::objective::delta_i_reference;
+
+/// Two-means tree partitioner.
+#[derive(Clone, Debug)]
+pub struct TwoMeansTree {
+    seed: u64,
+    /// Number of 2-means refinement iterations per bisection.
+    refine_iters: usize,
+    /// Whether to run the boost-k-means incremental refinement pass on each
+    /// bisection before the equal-size adjustment.
+    boost_refine: bool,
+}
+
+impl TwoMeansTree {
+    /// Creates a partitioner with the workspace defaults (5 refinement
+    /// iterations, boost refinement on).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            refine_iters: 5,
+            boost_refine: true,
+        }
+    }
+
+    /// Overrides the number of plain 2-means refinement iterations.
+    #[must_use]
+    pub fn refine_iters(mut self, iters: usize) -> Self {
+        self.refine_iters = iters.max(1);
+        self
+    }
+
+    /// Enables/disables the boost-k-means refinement inside each bisection.
+    #[must_use]
+    pub fn boost_refine(mut self, on: bool) -> Self {
+        self.boost_refine = on;
+        self
+    }
+
+    /// Partitions `data` into exactly `k` clusters and returns the label of
+    /// every sample (Alg. 1's `cLabel`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or `k > data.len()`.
+    pub fn partition(&self, data: &VectorSet, k: usize) -> Vec<usize> {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            k <= data.len(),
+            "k ({k}) exceeds the number of samples ({})",
+            data.len()
+        );
+        let n = data.len();
+        let mut rng = rng_from_seed(self.seed);
+        // clusters as index lists; Alg. 1 maps labels → partition S up front
+        let mut clusters: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+        while clusters.len() < k {
+            // Pop S_i with the largest size (Alg. 1 line 7).
+            let (idx, _) = clusters
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| c.len())
+                .expect("at least one cluster");
+            let target = clusters.swap_remove(idx);
+            let (su, sv) = self.bisect_equal(data, &target, &mut rng);
+            clusters.push(su);
+            clusters.push(sv);
+        }
+        // Map S back to labels (Alg. 1 line 13).
+        let mut labels = vec![0usize; n];
+        for (c, members) in clusters.iter().enumerate() {
+            for &s in members {
+                labels[s as usize] = c;
+            }
+        }
+        labels
+    }
+
+    /// Bisects `members` into two halves of (near-)equal size: 2-means,
+    /// optional boost refinement, then the equal-size adjustment (Alg. 1
+    /// line 8–9).  Exposed for the graph-construction unit tests.
+    pub fn bisect_equal(
+        &self,
+        data: &VectorSet,
+        members: &[u32],
+        rng: &mut impl Rng,
+    ) -> (Vec<u32>, Vec<u32>) {
+        assert!(members.len() >= 2, "cannot bisect fewer than two samples");
+        let dim = data.dim();
+
+        // --- plain 2-means ----------------------------------------------------
+        let a = members[rng.gen_range(0..members.len())] as usize;
+        let mut b = members[rng.gen_range(0..members.len())] as usize;
+        let mut tries = 0;
+        while b == a && tries < 16 {
+            b = members[rng.gen_range(0..members.len())] as usize;
+            tries += 1;
+        }
+        let mut c0 = data.row(a).to_vec();
+        let mut c1 = data.row(b).to_vec();
+        let mut side = vec![false; members.len()]; // false → cluster 0
+        for _ in 0..self.refine_iters {
+            let mut changed = false;
+            for (slot, &s) in members.iter().enumerate() {
+                let x = data.row(s as usize);
+                let to_one = l2_sq(x, &c1) < l2_sq(x, &c0);
+                if to_one != side[slot] {
+                    side[slot] = to_one;
+                    changed = true;
+                }
+            }
+            // recompute the two centroids
+            let mut acc0 = vec![0.0f64; dim];
+            let mut acc1 = vec![0.0f64; dim];
+            let mut n0 = 0usize;
+            let mut n1 = 0usize;
+            for (slot, &s) in members.iter().enumerate() {
+                let x = data.row(s as usize);
+                if side[slot] {
+                    n1 += 1;
+                    for (acc, &v) in acc1.iter_mut().zip(x) {
+                        *acc += f64::from(v);
+                    }
+                } else {
+                    n0 += 1;
+                    for (acc, &v) in acc0.iter_mut().zip(x) {
+                        *acc += f64::from(v);
+                    }
+                }
+            }
+            if n0 > 0 {
+                for (c, acc) in c0.iter_mut().zip(&acc0) {
+                    *c = (*acc / n0 as f64) as f32;
+                }
+            }
+            if n1 > 0 {
+                for (c, acc) in c1.iter_mut().zip(&acc1) {
+                    *c = (*acc / n1 as f64) as f32;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // --- boost-k-means refinement (incremental ΔI moves on the 2-cluster
+        //     subproblem) -------------------------------------------------------
+        if self.boost_refine {
+            let mut comp = [vec![0.0f32; dim], vec![0.0f32; dim]];
+            let mut sizes = [0usize, 0usize];
+            for (slot, &s) in members.iter().enumerate() {
+                let which = usize::from(side[slot]);
+                sizes[which] += 1;
+                for (c, &v) in comp[which].iter_mut().zip(data.row(s as usize)) {
+                    *c += v;
+                }
+            }
+            for (slot, &s) in members.iter().enumerate() {
+                let from = usize::from(side[slot]);
+                let to = 1 - from;
+                if sizes[from] <= 1 {
+                    continue;
+                }
+                let x = data.row(s as usize);
+                let delta = delta_i_reference(&comp[from], sizes[from], &comp[to], sizes[to], x);
+                if delta > 0.0 {
+                    for (c, &v) in comp[from].iter_mut().zip(x) {
+                        *c -= v;
+                    }
+                    for (c, &v) in comp[to].iter_mut().zip(x) {
+                        *c += v;
+                    }
+                    sizes[from] -= 1;
+                    sizes[to] += 1;
+                    side[slot] = !side[slot];
+                }
+            }
+        }
+
+        // --- equal-size adjustment (Alg. 1 line 9) -----------------------------
+        // Move the boundary samples (smallest distance margin) of the larger
+        // half to the smaller half until the sizes differ by at most one.
+        let mut left: Vec<u32> = Vec::new();
+        let mut right: Vec<u32> = Vec::new();
+        for (slot, &s) in members.iter().enumerate() {
+            if side[slot] {
+                right.push(s);
+            } else {
+                left.push(s);
+            }
+        }
+        // Recompute the final centroids of both halves for the margin ordering.
+        let centroid_of = |part: &[u32]| -> Vec<f32> {
+            let mut acc = vec![0.0f64; dim];
+            for &s in part {
+                for (a, &v) in acc.iter_mut().zip(data.row(s as usize)) {
+                    *a += f64::from(v);
+                }
+            }
+            let inv = 1.0 / part.len().max(1) as f64;
+            acc.into_iter().map(|a| (a * inv) as f32).collect()
+        };
+        loop {
+            let (big, small) = if left.len() > right.len() + 1 {
+                (&mut left, &mut right)
+            } else if right.len() > left.len() + 1 {
+                (&mut right, &mut left)
+            } else {
+                break;
+            };
+            let big_c = centroid_of(big);
+            let small_c = centroid_of(small);
+            // margin = d(x, small centroid) − d(x, own centroid); smallest margin
+            // samples sit on the boundary and are the cheapest to move.
+            let mut best_slot = 0usize;
+            let mut best_margin = f32::INFINITY;
+            for (slot, &s) in big.iter().enumerate() {
+                let x = data.row(s as usize);
+                let margin = l2_sq(x, &small_c) - l2_sq(x, &big_c);
+                if margin < best_margin {
+                    best_margin = margin;
+                    best_slot = slot;
+                }
+            }
+            let moved = big.swap_remove(best_slot);
+            small.push(moved);
+        }
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per: usize, k: usize) -> VectorSet {
+        let mut rows = Vec::new();
+        for c in 0..k {
+            for i in 0..per {
+                let base = c as f32 * 30.0;
+                rows.push(vec![base + (i % 6) as f32 * 0.4, base - (i % 4) as f32 * 0.3]);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn partition_produces_k_nonempty_balanced_clusters() {
+        let data = blobs(32, 4); // 128 samples
+        let labels = TwoMeansTree::new(1).partition(&data, 8);
+        assert_eq!(labels.len(), 128);
+        let mut sizes = vec![0usize; 8];
+        for &l in &labels {
+            sizes[l] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0));
+        // Equal-size adjustment ⇒ cluster sizes stay within a factor ~2 of n/k.
+        let target = 128 / 8;
+        assert!(
+            sizes.iter().all(|&s| s >= target / 2 && s <= target * 2),
+            "{sizes:?}"
+        );
+    }
+
+    #[test]
+    fn bisect_equal_halves_differ_by_at_most_one() {
+        let data = blobs(25, 2); // 50 samples, odd splits exercised below
+        let members: Vec<u32> = (0..31u32).collect();
+        let mut rng = rng_from_seed(3);
+        let (l, r) = TwoMeansTree::new(3).bisect_equal(&data, &members, &mut rng);
+        assert_eq!(l.len() + r.len(), 31);
+        assert!(l.len().abs_diff(r.len()) <= 1, "{} vs {}", l.len(), r.len());
+    }
+
+    #[test]
+    fn bisect_separable_groups_respects_structure_before_balancing() {
+        // Two blobs of equal size: the equal-size bisection should recover them.
+        let data = blobs(20, 2);
+        let members: Vec<u32> = (0..40u32).collect();
+        let mut rng = rng_from_seed(5);
+        let (l, r) = TwoMeansTree::new(5).bisect_equal(&data, &members, &mut rng);
+        assert_eq!(l.len(), 20);
+        assert_eq!(r.len(), 20);
+        let blob_of = |s: u32| usize::from(s >= 20);
+        let l_blob = blob_of(l[0]);
+        assert!(l.iter().all(|&s| blob_of(s) == l_blob));
+        assert!(r.iter().all(|&s| blob_of(s) != l_blob));
+    }
+
+    #[test]
+    fn partition_handles_identical_points() {
+        let data = VectorSet::from_rows(vec![vec![2.0, 2.0]; 12]).unwrap();
+        let labels = TwoMeansTree::new(7).partition(&data, 4);
+        let mut sizes = vec![0usize; 4];
+        for &l in &labels {
+            sizes[l] += 1;
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 12);
+        assert!(sizes.iter().all(|&s| s == 3), "{sizes:?}");
+    }
+
+    #[test]
+    fn partition_k_equals_n_gives_singletons() {
+        let data = blobs(3, 2); // 6 samples
+        let labels = TwoMeansTree::new(2).partition(&data, 6);
+        let mut sizes = vec![0usize; 6];
+        for &l in &labels {
+            sizes[l] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn partition_is_deterministic_per_seed() {
+        let data = blobs(20, 3);
+        let a = TwoMeansTree::new(11).partition(&data, 6);
+        let b = TwoMeansTree::new(11).partition(&data, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boost_refinement_can_be_disabled() {
+        let data = blobs(16, 2);
+        let labels = TwoMeansTree::new(4).boost_refine(false).refine_iters(3).partition(&data, 4);
+        assert_eq!(labels.len(), 32);
+        assert!(labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let data = blobs(4, 1);
+        let _ = TwoMeansTree::new(0).partition(&data, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the number of samples")]
+    fn oversized_k_panics() {
+        let data = blobs(2, 1);
+        let _ = TwoMeansTree::new(0).partition(&data, 10);
+    }
+}

@@ -1,0 +1,181 @@
+//! Exact KNN graph construction by exhaustive comparison.
+//!
+//! Complexity `O(n²·d)` — the paper reports "more than 20 hours" to produce
+//! the SIFT1M ground truth this way (Sec. 5.1).  It is used exclusively for
+//! evaluation: computing graph recall and the ANN-search ground truth.  Since
+//! it is not one of the measured algorithms it is parallelised with rayon.
+
+use rayon::prelude::*;
+
+use vecstore::distance::l2_sq;
+use vecstore::VectorSet;
+
+use crate::graph::{KnnGraph, Neighbor, NeighborList};
+
+/// Builds the exact KNN graph with `k` neighbours per sample.
+///
+/// # Panics
+///
+/// Panics when `k == 0`.
+pub fn exact_graph(data: &VectorSet, k: usize) -> KnnGraph {
+    assert!(k > 0, "k must be positive");
+    let n = data.len();
+    let lists: Vec<NeighborList> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut list = NeighborList::with_capacity(k);
+            let xi = data.row(i);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let d = l2_sq(xi, data.row(j));
+                if d < list.upper_bound() {
+                    list.insert(Neighbor::new(j as u32, d));
+                }
+            }
+            list
+        })
+        .collect();
+    let mut graph = KnnGraph::empty(n, k);
+    for (i, list) in lists.into_iter().enumerate() {
+        graph.set_list(i, list);
+    }
+    graph
+}
+
+/// Exact ground truth for *subset* queries: the `k` nearest rows of `base`
+/// for every row of `queries` (used by the ANN-search evaluation and by the
+/// estimated-recall protocol of Sec. 5.1 on the largest workloads).
+pub fn exact_ground_truth(base: &VectorSet, queries: &VectorSet, k: usize) -> Vec<Vec<Neighbor>> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(base.dim(), queries.dim(), "dimensionality mismatch");
+    (0..queries.len())
+        .into_par_iter()
+        .map(|qi| {
+            let q = queries.row(qi);
+            let mut list = NeighborList::with_capacity(k);
+            for j in 0..base.len() {
+                let d = l2_sq(q, base.row(j));
+                if d < list.upper_bound() {
+                    list.insert(Neighbor::new(j as u32, d));
+                }
+            }
+            list.as_slice().to_vec()
+        })
+        .collect()
+}
+
+/// Exact nearest neighbours of a subset of samples *within the same set*
+/// (excluding self-matches).  Returns one neighbour vector per entry of
+/// `sample_ids`.  This implements the estimation protocol of Sec. 5.1:
+/// "the recall is estimated by only considering nearest neighbors of 100
+/// randomly selected samples".
+pub fn exact_neighbors_of_subset(
+    data: &VectorSet,
+    sample_ids: &[usize],
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
+    assert!(k > 0, "k must be positive");
+    sample_ids
+        .par_iter()
+        .map(|&i| {
+            let xi = data.row(i);
+            let mut list = NeighborList::with_capacity(k);
+            for j in 0..data.len() {
+                if j == i {
+                    continue;
+                }
+                let d = l2_sq(xi, data.row(j));
+                if d < list.upper_bound() {
+                    list.insert(Neighbor::new(j as u32, d));
+                }
+            }
+            list.as_slice().to_vec()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny hand-checkable dataset on a line: 0, 1, 3, 7, 15.
+    fn line_data() -> VectorSet {
+        VectorSet::from_rows(vec![
+            vec![0.0],
+            vec![1.0],
+            vec![3.0],
+            vec![7.0],
+            vec![15.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_graph_finds_true_neighbours() {
+        let data = line_data();
+        let g = exact_graph(&data, 2);
+        assert_eq!(g.len(), 5);
+        // neighbours of 0.0 are 1.0 (d=1) and 3.0 (d=9)
+        assert_eq!(g.neighbors(0).ids().collect::<Vec<_>>(), vec![1, 2]);
+        // neighbours of 3.0 are 1.0 (d=4) and 0.0 (d=9)
+        assert_eq!(g.neighbors(2).ids().collect::<Vec<_>>(), vec![1, 0]);
+        // neighbours of 15.0 are 7.0 and 3.0
+        assert_eq!(g.neighbors(4).ids().collect::<Vec<_>>(), vec![3, 2]);
+    }
+
+    #[test]
+    fn exact_graph_excludes_self() {
+        let data = line_data();
+        let g = exact_graph(&data, 4);
+        for (i, list) in g.iter() {
+            assert!(list.ids().all(|id| id as usize != i));
+            assert_eq!(list.len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let data = line_data();
+        let _ = exact_graph(&data, 0);
+    }
+
+    #[test]
+    fn ground_truth_for_external_queries() {
+        let base = line_data();
+        let queries = VectorSet::from_rows(vec![vec![2.0], vec![14.0]]).unwrap();
+        let gt = exact_ground_truth(&base, &queries, 2);
+        assert_eq!(gt.len(), 2);
+        // 2.0 is closest to 3.0 (d=1) then 1.0 (d=1) — tie broken by id: 1 before 2
+        let ids: Vec<u32> = gt[0].iter().map(|n| n.id).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&1) && ids.contains(&2));
+        // 14.0 is closest to 15.0 then 7.0
+        let ids: Vec<u32> = gt[1].iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![4, 3]);
+    }
+
+    #[test]
+    fn subset_neighbors_match_full_graph() {
+        let data = line_data();
+        let g = exact_graph(&data, 2);
+        let subset = exact_neighbors_of_subset(&data, &[0, 3], 2);
+        assert_eq!(
+            subset[0].iter().map(|n| n.id).collect::<Vec<_>>(),
+            g.neighbors(0).ids().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            subset[1].iter().map(|n| n.id).collect::<Vec<_>>(),
+            g.neighbors(3).ids().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn distances_are_squared_euclidean() {
+        let data = line_data();
+        let g = exact_graph(&data, 1);
+        assert_eq!(g.neighbors(4).as_slice()[0].dist, 64.0); // (15-7)^2
+    }
+}

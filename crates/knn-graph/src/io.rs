@@ -1,0 +1,216 @@
+//! Compact binary serialisation of KNN graphs.
+//!
+//! Graph construction is the dominant cost of the GK-means pipeline (Tab. 2:
+//! the init phase), so the harness caches built graphs on disk between
+//! experiment runs.  The format is a simple little-endian layout:
+//!
+//! ```text
+//! u64 n | u64 k | n × ( u32 len | len × (u32 id, f32 dist) )
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::graph::{KnnGraph, Neighbor, NeighborList};
+
+/// Largest neighbour-list capacity the deserializer accepts.  Real KNN graphs
+/// use κ in the tens; the bound only exists so a corrupted header cannot
+/// request a gigantic allocation.
+const MAX_GRAPH_K: usize = 1 << 16;
+
+/// Errors produced by graph (de)serialisation.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is truncated or structurally inconsistent.
+    Malformed(String),
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Malformed(msg) => write!(f, "malformed graph file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Writes a graph to a file.
+pub fn write_graph(path: impl AsRef<Path>, graph: &KnnGraph) -> Result<(), GraphIoError> {
+    let file = File::create(path)?;
+    write_graph_to(BufWriter::new(file), graph)
+}
+
+/// Writes a graph to an arbitrary writer.
+pub fn write_graph_to(mut w: impl Write, graph: &KnnGraph) -> Result<(), GraphIoError> {
+    w.write_all(&(graph.len() as u64).to_le_bytes())?;
+    w.write_all(&(graph.k() as u64).to_le_bytes())?;
+    for (_, list) in graph.iter() {
+        w.write_all(&(list.len() as u32).to_le_bytes())?;
+        for nb in list.as_slice() {
+            w.write_all(&nb.id.to_le_bytes())?;
+            w.write_all(&nb.dist.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph from a file.
+pub fn read_graph(path: impl AsRef<Path>) -> Result<KnnGraph, GraphIoError> {
+    let file = File::open(path)?;
+    read_graph_from(BufReader::new(file))
+}
+
+/// Reads a graph from an arbitrary reader.
+pub fn read_graph_from(mut r: impl Read) -> Result<KnnGraph, GraphIoError> {
+    let mut header = [0u8; 16];
+    r.read_exact(&mut header)
+        .map_err(|e| GraphIoError::Malformed(format!("truncated header: {e}")))?;
+    let n = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes")) as usize;
+    let k = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+    if k > MAX_GRAPH_K {
+        return Err(GraphIoError::Malformed(format!(
+            "header declares k = {k}, which exceeds the supported maximum {MAX_GRAPH_K}"
+        )));
+    }
+    if n as u64 > u64::from(u32::MAX) {
+        return Err(GraphIoError::Malformed(format!(
+            "header declares {n} nodes, which exceeds the u32 id space of the format"
+        )));
+    }
+    // Lists are built one at a time so memory use is bounded by what the file
+    // actually contains — a corrupted header cannot trigger a giant upfront
+    // allocation.
+    let mut lists: Vec<NeighborList> = Vec::new();
+    let mut len_buf = [0u8; 4];
+    let mut entry = [0u8; 8];
+    for i in 0..n {
+        r.read_exact(&mut len_buf)
+            .map_err(|e| GraphIoError::Malformed(format!("truncated list header at node {i}: {e}")))?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > k {
+            return Err(GraphIoError::Malformed(format!(
+                "node {i} declares {len} neighbours but k = {k}"
+            )));
+        }
+        let mut list = NeighborList::with_capacity(k);
+        for _ in 0..len {
+            r.read_exact(&mut entry)
+                .map_err(|e| GraphIoError::Malformed(format!("truncated entry at node {i}: {e}")))?;
+            let id = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
+            let dist = f32::from_le_bytes(entry[4..8].try_into().expect("4 bytes"));
+            if id as usize >= n {
+                return Err(GraphIoError::Malformed(format!(
+                    "node {i} references out-of-range neighbour {id}"
+                )));
+            }
+            list.insert(Neighbor::new(id, dist));
+        }
+        lists.push(list);
+    }
+    Ok(KnnGraph::from_lists(lists, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_graph() -> KnnGraph {
+        let mut g = KnnGraph::empty(5, 3);
+        g.update_pair(0, 1, 1.0);
+        g.update_pair(0, 2, 4.0);
+        g.update_pair(1, 3, 2.5);
+        g.update(4, 0, 9.0);
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_to(&mut buf, &g).unwrap();
+        let back = read_graph_from(Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.k(), g.k());
+        for i in 0..g.len() {
+            assert_eq!(
+                back.neighbors(i).as_slice(),
+                g.neighbors(i).as_slice(),
+                "node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph_to(&mut buf, &g).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_graph_from(Cursor::new(buf)),
+            Err(GraphIoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_neighbour_is_rejected() {
+        // hand-craft: n=1, k=1, one entry pointing at id 7
+        let mut buf = Vec::new();
+        buf.extend(1u64.to_le_bytes());
+        buf.extend(1u64.to_le_bytes());
+        buf.extend(1u32.to_le_bytes());
+        buf.extend(7u32.to_le_bytes());
+        buf.extend(0.5f32.to_le_bytes());
+        assert!(matches!(
+            read_graph_from(Cursor::new(buf)),
+            Err(GraphIoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_list_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend(1u64.to_le_bytes());
+        buf.extend(1u64.to_le_bytes());
+        buf.extend(5u32.to_le_bytes()); // claims 5 neighbours with k = 1
+        assert!(matches!(
+            read_graph_from(Cursor::new(buf)),
+            Err(GraphIoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = KnnGraph::empty(0, 4);
+        let mut buf = Vec::new();
+        write_graph_to(&mut buf, &g).unwrap();
+        let back = read_graph_from(Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.k(), 4);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("knn-graph-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.knng");
+        let g = sample_graph();
+        write_graph(&path, &g).unwrap();
+        let back = read_graph(&path).unwrap();
+        assert_eq!(back.stored_edges(), g.stored_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,326 @@
+//! NN-Descent ("KGraph") approximate KNN graph construction.
+//!
+//! Re-implementation of Dong, Moses & Li, *Efficient k-nearest neighbor graph
+//! construction for generic similarity measures*, WWW 2011 — the algorithm the
+//! paper uses for its "KGraph+GK-means" baseline runs and compares Alg. 3
+//! against in construction cost (Sec. 4.3, Sec. 5.2).
+//!
+//! The implementation follows the standard formulation: start from a random
+//! graph and iteratively perform *local joins* — for every sample, compare the
+//! pairs among its (sampled) new forward and reverse neighbours, exploiting
+//! the observation that "a neighbour of a neighbour is also likely to be a
+//! neighbour".  Iterations stop when the fraction of list updates drops below
+//! `delta` or after `max_iters` rounds.
+
+use rand::seq::SliceRandom;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+use crate::graph::{KnnGraph, Neighbor};
+use crate::random::random_graph;
+
+/// Tuning parameters for NN-Descent.
+#[derive(Clone, Copy, Debug)]
+pub struct NnDescentParams {
+    /// Neighbour-list size κ of the produced graph.
+    pub k: usize,
+    /// Sample rate ρ for the local-join candidate sets (the original paper
+    /// recommends 0.5–1.0; smaller is faster but converges more slowly).
+    pub sample_rate: f64,
+    /// Early-termination threshold: stop when fewer than `delta · n · k`
+    /// updates happened in a round.
+    pub delta: f64,
+    /// Hard cap on the number of rounds.
+    pub max_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NnDescentParams {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            sample_rate: 0.8,
+            delta: 0.001,
+            max_iters: 12,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl NnDescentParams {
+    /// Convenience constructor fixing `k` and keeping the remaining defaults.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-round bookkeeping: which neighbours are "new" since the last round
+/// (only pairs involving at least one new entry need to be joined).
+struct Flags {
+    new_mark: Vec<Vec<bool>>,
+}
+
+impl Flags {
+    fn all_new(graph: &KnnGraph) -> Self {
+        Self {
+            new_mark: (0..graph.len())
+                .map(|i| vec![true; graph.neighbors(i).len()])
+                .collect(),
+        }
+    }
+}
+
+/// Statistics of a construction run, useful for cost accounting in the
+/// experiment harness (the paper's Fig. 5(b)/(d)/(f) time axis includes graph
+/// construction cost).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NnDescentStats {
+    /// Number of executed refinement rounds.
+    pub rounds: usize,
+    /// Total number of distance evaluations.
+    pub distance_evals: u64,
+    /// Total number of successful list updates.
+    pub updates: u64,
+}
+
+/// Runs NN-Descent and returns the graph.
+pub fn nn_descent(data: &VectorSet, params: &NnDescentParams) -> KnnGraph {
+    nn_descent_with_stats(data, params).0
+}
+
+/// Runs NN-Descent and additionally reports counters.
+pub fn nn_descent_with_stats(
+    data: &VectorSet,
+    params: &NnDescentParams,
+) -> (KnnGraph, NnDescentStats) {
+    let n = data.len();
+    let k = params.k;
+    let mut stats = NnDescentStats::default();
+    if n == 0 || k == 0 {
+        return (KnnGraph::empty(n, k), stats);
+    }
+    let mut rng = rng_from_seed(params.seed);
+    let mut graph = random_graph(data, k, params.seed ^ 0x9e3779b97f4a7c15);
+    let mut flags = Flags::all_new(&graph);
+
+    let sample_size = ((k as f64) * params.sample_rate).ceil().max(1.0) as usize;
+    let termination = (params.delta * n as f64 * k as f64).max(1.0) as u64;
+
+    for round in 0..params.max_iters {
+        stats.rounds = round + 1;
+        // Build sampled new/old forward lists and reverse lists.
+        let mut new_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut old_fwd: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut new_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut old_rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        for i in 0..n {
+            let list = graph.neighbors(i);
+            for (slot, nb) in list.as_slice().iter().enumerate() {
+                if flags.new_mark[i][slot] {
+                    new_fwd[i].push(nb.id);
+                    new_rev[nb.id as usize].push(i as u32);
+                } else {
+                    old_fwd[i].push(nb.id);
+                    old_rev[nb.id as usize].push(i as u32);
+                }
+            }
+        }
+        // Sample the reverse lists to bound the join size.
+        for list in new_rev.iter_mut().chain(old_rev.iter_mut()) {
+            if list.len() > sample_size {
+                list.shuffle(&mut rng);
+                list.truncate(sample_size);
+            }
+        }
+
+        let mut round_updates: u64 = 0;
+        for i in 0..n {
+            // Mark current entries as old for the next round *before* local
+            // joins add new ones.
+            for m in flags.new_mark[i].iter_mut() {
+                *m = false;
+            }
+
+            let mut new_set: Vec<u32> = new_fwd[i]
+                .iter()
+                .chain(new_rev[i].iter())
+                .copied()
+                .collect();
+            new_set.sort_unstable();
+            new_set.dedup();
+            if new_set.len() > sample_size * 2 {
+                new_set.shuffle(&mut rng);
+                new_set.truncate(sample_size * 2);
+            }
+            let mut old_set: Vec<u32> = old_fwd[i]
+                .iter()
+                .chain(old_rev[i].iter())
+                .copied()
+                .collect();
+            old_set.sort_unstable();
+            old_set.dedup();
+            if old_set.len() > sample_size * 2 {
+                old_set.shuffle(&mut rng);
+                old_set.truncate(sample_size * 2);
+            }
+
+            // Local join: new × new and new × old.
+            for (ai, &a) in new_set.iter().enumerate() {
+                for &b in new_set.iter().skip(ai + 1) {
+                    round_updates += join(data, &mut graph, &mut flags, a, b, &mut stats);
+                }
+                for &b in &old_set {
+                    round_updates += join(data, &mut graph, &mut flags, a, b, &mut stats);
+                }
+            }
+        }
+        stats.updates += round_updates;
+        if round_updates < termination {
+            break;
+        }
+    }
+    (graph, stats)
+}
+
+/// Compares samples `a` and `b`, updating both lists; returns how many lists
+/// changed.
+fn join(
+    data: &VectorSet,
+    graph: &mut KnnGraph,
+    flags: &mut Flags,
+    a: u32,
+    b: u32,
+    stats: &mut NnDescentStats,
+) -> u64 {
+    if a == b {
+        return 0;
+    }
+    let (ai, bi) = (a as usize, b as usize);
+    let d = l2_sq(data.row(ai), data.row(bi));
+    stats.distance_evals += 1;
+    let mut changed = 0u64;
+    if insert_tracked(graph, flags, ai, Neighbor::new(b, d)) {
+        changed += 1;
+    }
+    if insert_tracked(graph, flags, bi, Neighbor::new(a, d)) {
+        changed += 1;
+    }
+    changed
+}
+
+/// Inserts into a list while keeping the `new` flags aligned with the list
+/// entries (an insert shifts/evicts entries, so flags are rebuilt from the
+/// resulting list).
+fn insert_tracked(graph: &mut KnnGraph, flags: &mut Flags, i: usize, cand: Neighbor) -> bool {
+    let before: Vec<u32> = graph.neighbors(i).ids().collect();
+    if !graph.neighbors_mut(i).insert(cand) {
+        return false;
+    }
+    let after: Vec<u32> = graph.neighbors(i).ids().collect();
+    let old_flags = std::mem::take(&mut flags.new_mark[i]);
+    let lookup: std::collections::HashMap<u32, bool> = before
+        .iter()
+        .copied()
+        .zip(old_flags.iter().copied())
+        .collect();
+    flags.new_mark[i] = after
+        .iter()
+        .map(|id| {
+            if *id == cand.id {
+                true
+            } else {
+                *lookup.get(id).unwrap_or(&true)
+            }
+        })
+        .collect();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::exact_graph;
+    use crate::recall::graph_recall_at_1;
+    use rand::Rng;
+
+    fn clustered(n: usize, seed: u64) -> VectorSet {
+        // Simple two-moons-ish clustered data without depending on datagen
+        // (which would create a dev-dependency cycle).
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let centre = (i % 8) as f32 * 10.0;
+            let jitter: f32 = rng.gen_range(-1.0..1.0);
+            let jitter2: f32 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![centre + jitter, centre * 0.5 + jitter2, jitter * jitter2]);
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn nn_descent_beats_random_initialisation() {
+        let data = clustered(400, 1);
+        let exact = exact_graph(&data, 5);
+        let random = random_graph(&data, 5, 2);
+        let (approx, stats) = nn_descent_with_stats(&data, &NnDescentParams::with_k(5));
+        let recall_random = graph_recall_at_1(&random, &exact);
+        let recall_nnd = graph_recall_at_1(&approx, &exact);
+        assert!(stats.rounds >= 1);
+        assert!(stats.distance_evals > 0);
+        assert!(
+            recall_nnd > recall_random + 0.3,
+            "nn-descent {recall_nnd} vs random {recall_random}"
+        );
+        assert!(recall_nnd > 0.8, "expected high recall, got {recall_nnd}");
+    }
+
+    #[test]
+    fn produced_graph_has_requested_degree() {
+        let data = clustered(100, 3);
+        let g = nn_descent(&data, &NnDescentParams::with_k(4));
+        for (i, list) in g.iter() {
+            assert_eq!(list.len(), 4);
+            assert!(list.ids().all(|id| id as usize != i));
+            // distances must be exact squared euclidean for stored pairs
+            for nb in list.as_slice() {
+                assert_eq!(nb.dist, l2_sq(data.row(i), data.row(nb.id as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let data = clustered(150, 5);
+        let p = NnDescentParams {
+            k: 4,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = nn_descent(&data, &p);
+        let b = nn_descent(&data, &p);
+        for i in 0..data.len() {
+            assert_eq!(
+                a.neighbors(i).ids().collect::<Vec<_>>(),
+                b.neighbors(i).ids().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        let empty = VectorSet::zeros(0, 4).unwrap();
+        let g = nn_descent(&empty, &NnDescentParams::with_k(3));
+        assert_eq!(g.len(), 0);
+        let single = VectorSet::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let g = nn_descent(&single, &NnDescentParams::with_k(3));
+        assert_eq!(g.len(), 1);
+        assert!(g.neighbors(0).is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Navigable-small-world (NSW) graph construction.
+//!
+//! Re-implementation of the incremental small-world construction of Malkov &
+//! Yashunin (ref. [34] of the paper, the single-layer core of HNSW).  The
+//! paper compares the cost of its Alg. 3 against "small world graph
+//! construction" (Sec. 4.3: *"it is at least two times faster than NN Descent
+//! and small world graph construction"*) and against graph-based ANN search
+//! methods (Sec. 4.3, ANNS claim).  This module provides that comparator:
+//!
+//! * points are inserted one at a time;
+//! * each new point is located by a greedy best-first search over the graph
+//!   built so far (`ef_construction` controls the beam width);
+//! * the closest `m` results become bidirectional edges, and every affected
+//!   adjacency list is pruned back to `m_max` entries by distance.
+//!
+//! The output is an ordinary [`KnnGraph`] (bounded, ascending-distance
+//! neighbour lists), so it can be plugged straight into GK-means as an
+//! alternative graph supplier or into the ANNS evaluation harness — exactly
+//! how the paper treats third-party graphs.
+
+use rand::seq::SliceRandom;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+use crate::graph::{KnnGraph, Neighbor, NeighborList};
+
+/// Tuning parameters of the NSW construction.
+#[derive(Clone, Copy, Debug)]
+pub struct NswParams {
+    /// Number of edges created for every newly inserted point.
+    pub m: usize,
+    /// Maximum degree a node may keep after pruning (usually `2·m`).
+    pub m_max: usize,
+    /// Beam width of the insertion-time search; larger values produce better
+    /// graphs at higher construction cost.
+    pub ef_construction: usize,
+    /// Number of random entry points used to seed each insertion search.
+    pub entry_points: usize,
+    /// RNG seed (entry-point choice and insertion order shuffling).
+    pub seed: u64,
+    /// Shuffle the insertion order.  The original algorithm inserts in data
+    /// order; shuffling decorrelates the early graph from the dataset layout
+    /// and is the common practical choice.
+    pub shuffle: bool,
+}
+
+impl Default for NswParams {
+    fn default() -> Self {
+        Self {
+            m: 10,
+            m_max: 20,
+            ef_construction: 48,
+            entry_points: 4,
+            seed: 0x5a11,
+            shuffle: true,
+        }
+    }
+}
+
+impl NswParams {
+    /// Convenience constructor fixing the out-degree `m` (and `m_max = 2m`).
+    pub fn with_m(m: usize) -> Self {
+        Self {
+            m,
+            m_max: 2 * m,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the construction beam width.
+    #[must_use]
+    pub fn ef_construction(mut self, ef: usize) -> Self {
+        self.ef_construction = ef.max(1);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables insertion-order shuffling.
+    #[must_use]
+    pub fn shuffle(mut self, shuffle: bool) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+}
+
+/// Cost counters of one NSW construction run, comparable with
+/// [`crate::nn_descent::NnDescentStats`] and the Alg. 3 construction stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NswStats {
+    /// Number of inserted points.
+    pub inserted: usize,
+    /// Total number of distance evaluations (search + pruning).
+    pub distance_evals: u64,
+    /// Total number of edges written (before pruning).
+    pub edges_added: u64,
+}
+
+/// Builds an NSW graph over `data` and returns it as a [`KnnGraph`] whose
+/// neighbour-list capacity is `params.m_max`.
+pub fn nsw_build(data: &VectorSet, params: &NswParams) -> KnnGraph {
+    nsw_build_with_stats(data, params).0
+}
+
+/// [`nsw_build`] plus cost counters.
+pub fn nsw_build_with_stats(data: &VectorSet, params: &NswParams) -> (KnnGraph, NswStats) {
+    let n = data.len();
+    let mut stats = NswStats::default();
+    let m = params.m.max(1);
+    let m_max = params.m_max.max(m);
+    let mut graph = KnnGraph::empty(n, m_max);
+    if n == 0 {
+        return (graph, stats);
+    }
+
+    let mut rng = rng_from_seed(params.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    if params.shuffle {
+        order.shuffle(&mut rng);
+    }
+
+    // Points inserted so far, in insertion order (entry points are drawn from
+    // this list so the search never touches not-yet-inserted nodes).
+    let mut inserted: Vec<usize> = Vec::with_capacity(n);
+    let mut visited = vec![u32::MAX; n];
+
+    for (step, &node) in order.iter().enumerate() {
+        stats.inserted += 1;
+        if inserted.is_empty() {
+            inserted.push(node);
+            continue;
+        }
+        let query = data.row(node);
+        let neighbours = search_inserted(
+            data,
+            &graph,
+            &inserted,
+            query,
+            params,
+            step as u32,
+            &mut visited,
+            &mut rng,
+            &mut stats,
+        );
+
+        // Connect to the closest `m` results, bidirectionally, pruning each
+        // touched list back to `m_max`.
+        for nb in neighbours.iter().take(m) {
+            graph.update(node, nb.id as usize, nb.dist);
+            graph.update(nb.id as usize, node, nb.dist);
+            stats.edges_added += 2;
+        }
+        inserted.push(node);
+    }
+
+    (graph, stats)
+}
+
+/// Greedy best-first search restricted to already-inserted nodes.  Returns the
+/// `ef_construction` best candidates in ascending-distance order.
+#[allow(clippy::too_many_arguments)]
+fn search_inserted(
+    data: &VectorSet,
+    graph: &KnnGraph,
+    inserted: &[usize],
+    query: &[f32],
+    params: &NswParams,
+    epoch: u32,
+    visited: &mut [u32],
+    rng: &mut impl rand::Rng,
+    stats: &mut NswStats,
+) -> Vec<Neighbor> {
+    let ef = params.ef_construction.max(params.m);
+    let mut pool: Vec<Neighbor> = Vec::with_capacity(ef + 1);
+
+    let entries = params.entry_points.clamp(1, inserted.len());
+    for _ in 0..entries {
+        let id = *inserted
+            .get(rng.gen_range(0..inserted.len()))
+            .expect("inserted is non-empty");
+        if visited[id] == epoch {
+            continue;
+        }
+        visited[id] = epoch;
+        let d = l2_sq(query, data.row(id));
+        stats.distance_evals += 1;
+        insert_bounded(&mut pool, Neighbor::new(id as u32, d), ef);
+    }
+
+    // Expanded flags are tracked positionally against the pool contents via a
+    // dense per-node map local to this search; the pool is tiny (≤ ef), so a
+    // linear scan keeps the code simple.
+    let mut expanded_ids: Vec<u32> = Vec::with_capacity(ef);
+    loop {
+        let next = pool
+            .iter()
+            .find(|c| !expanded_ids.contains(&c.id))
+            .copied();
+        let Some(candidate) = next else { break };
+        expanded_ids.push(candidate.id);
+        if pool.len() >= ef && candidate.dist > pool[pool.len() - 1].dist {
+            break;
+        }
+        for nb in graph.neighbors(candidate.id as usize).as_slice() {
+            let id = nb.id as usize;
+            if visited[id] == epoch {
+                continue;
+            }
+            visited[id] = epoch;
+            let d = l2_sq(query, data.row(id));
+            stats.distance_evals += 1;
+            insert_bounded(&mut pool, Neighbor::new(nb.id, d), ef);
+        }
+    }
+    pool
+}
+
+/// Inserts into an ascending-by-distance pool bounded to `cap` entries.
+fn insert_bounded(pool: &mut Vec<Neighbor>, cand: Neighbor, cap: usize) {
+    if pool.iter().any(|n| n.id == cand.id) {
+        return;
+    }
+    if pool.len() >= cap {
+        if let Some(worst) = pool.last() {
+            if cand.dist >= worst.dist {
+                return;
+            }
+        }
+    }
+    let pos = pool.partition_point(|n| (n.dist, n.id) < (cand.dist, cand.id));
+    pool.insert(pos, cand);
+    if pool.len() > cap {
+        pool.pop();
+    }
+}
+
+/// Converts an NSW graph (degree `m_max`) into a graph whose lists are
+/// truncated to `k` entries — useful when GK-means only consults the first κ
+/// neighbours and a smaller structure is preferred.
+pub fn truncate_to_k(graph: &KnnGraph, k: usize) -> KnnGraph {
+    let mut out = KnnGraph::empty(graph.len(), k);
+    for (i, list) in graph.iter() {
+        let mut new_list = NeighborList::with_capacity(k);
+        for nb in list.as_slice().iter().take(k) {
+            new_list.insert(*nb);
+        }
+        out.set_list(i, new_list);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::exact_graph;
+    use crate::recall::graph_recall_at_1;
+    use rand::Rng;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = (i % 12) as f32 * 1.5;
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                row.push(g + rng.gen_range(-1.0..1.0));
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn builds_graph_covering_every_node() {
+        let data = clustered(400, 6, 1);
+        let graph = nsw_build(&data, &NswParams::with_m(8).seed(2));
+        assert_eq!(graph.len(), 400);
+        // every node except possibly the very first one has neighbours
+        let empty_lists = graph.iter().filter(|(_, l)| l.is_empty()).count();
+        assert!(empty_lists <= 1, "{empty_lists} empty adjacency lists");
+        assert!(graph.mean_degree() >= 6.0);
+    }
+
+    #[test]
+    fn recall_is_well_above_random_and_improves_with_ef() {
+        let data = clustered(600, 8, 3);
+        let exact = exact_graph(&data, 5);
+        let low = nsw_build(&data, &NswParams::with_m(8).ef_construction(8).seed(4));
+        let high = nsw_build(&data, &NswParams::with_m(8).ef_construction(96).seed(4));
+        let r_low = graph_recall_at_1(&truncate_to_k(&low, 5), &exact);
+        let r_high = graph_recall_at_1(&truncate_to_k(&high, 5), &exact);
+        assert!(r_high > 0.6, "high-ef recall too low: {r_high}");
+        assert!(r_high >= r_low - 0.05, "ef=96 ({r_high}) worse than ef=8 ({r_low})");
+    }
+
+    #[test]
+    fn stats_account_for_cost() {
+        let data = clustered(300, 5, 5);
+        let (graph, stats) = nsw_build_with_stats(&data, &NswParams::with_m(6).seed(6));
+        assert_eq!(stats.inserted, 300);
+        assert!(stats.distance_evals > 0);
+        assert!(stats.edges_added > 0);
+        assert!(graph.stored_edges() > 0);
+        // pruned graph never exceeds the configured maximum degree
+        for (_, list) in graph.iter() {
+            assert!(list.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn truncate_keeps_closest_entries() {
+        let data = clustered(200, 4, 7);
+        let graph = nsw_build(&data, &NswParams::with_m(8).seed(8));
+        let truncated = truncate_to_k(&graph, 3);
+        assert_eq!(truncated.k(), 3);
+        for (i, list) in truncated.iter() {
+            assert!(list.len() <= 3);
+            let full = graph.neighbors(i).as_slice();
+            for (a, b) in list.as_slice().iter().zip(full.iter()) {
+                assert_eq!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = clustered(150, 4, 9);
+        let a = nsw_build(&data, &NswParams::with_m(5).seed(11));
+        let b = nsw_build(&data, &NswParams::with_m(5).seed(11));
+        for i in 0..data.len() {
+            assert_eq!(
+                a.neighbors(i).ids().collect::<Vec<_>>(),
+                b.neighbors(i).ids().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn handles_tiny_and_empty_inputs() {
+        let empty = VectorSet::zeros(0, 4).unwrap();
+        let (g, stats) = nsw_build_with_stats(&empty, &NswParams::default());
+        assert_eq!(g.len(), 0);
+        assert_eq!(stats.inserted, 0);
+
+        let tiny = clustered(3, 3, 13);
+        let g = nsw_build(&tiny, &NswParams::with_m(2).seed(1));
+        assert_eq!(g.len(), 3);
+        assert!(g.mean_degree() > 0.0);
+    }
+
+    #[test]
+    fn unshuffled_insertion_also_connects_the_graph() {
+        let data = clustered(250, 5, 15);
+        let graph = nsw_build(&data, &NswParams::with_m(6).seed(3).shuffle(false));
+        let empty_lists = graph.iter().filter(|(_, l)| l.is_empty()).count();
+        assert!(empty_lists <= 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Random KNN graph initialisation.
+//!
+//! Alg. 3 line 4: "Initialize G⁰ with random lists".  Each sample receives
+//! `k` distinct random neighbours (excluding itself) with their true squared
+//! distances, so the very first refinement round already has meaningful
+//! distances to compare against.
+
+use rand::Rng;
+
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+use crate::graph::{KnnGraph, Neighbor};
+
+/// Builds a random graph with `k` neighbours per sample.
+///
+/// When the dataset holds fewer than `k + 1` samples every sample is simply
+/// connected to all others.
+pub fn random_graph(data: &VectorSet, k: usize, seed: u64) -> KnnGraph {
+    let n = data.len();
+    let mut rng = rng_from_seed(seed);
+    let mut graph = KnnGraph::empty(n, k);
+    if n <= 1 || k == 0 {
+        return graph;
+    }
+    for i in 0..n {
+        let xi = data.row(i);
+        let want = k.min(n - 1);
+        let mut chosen = std::collections::HashSet::with_capacity(want * 2);
+        while chosen.len() < want {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                chosen.insert(j);
+            }
+        }
+        for j in chosen {
+            let d = l2_sq(xi, data.row(j));
+            graph.neighbors_mut(i).insert(Neighbor::new(j as u32, d));
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> VectorSet {
+        VectorSet::from_rows((0..n).map(|i| vec![i as f32, (i * i) as f32]).collect()).unwrap()
+    }
+
+    #[test]
+    fn random_graph_has_full_lists() {
+        let d = data(50);
+        let g = random_graph(&d, 5, 3);
+        assert_eq!(g.len(), 50);
+        for (i, list) in g.iter() {
+            assert_eq!(list.len(), 5);
+            assert!(list.ids().all(|id| id as usize != i));
+        }
+    }
+
+    #[test]
+    fn random_graph_distances_are_correct() {
+        let d = data(20);
+        let g = random_graph(&d, 3, 7);
+        for (i, list) in g.iter() {
+            for nb in list.as_slice() {
+                let expect = l2_sq(d.row(i), d.row(nb.id as usize));
+                assert_eq!(nb.dist, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_is_seeded() {
+        let d = data(30);
+        let a = random_graph(&d, 4, 11);
+        let b = random_graph(&d, 4, 11);
+        let c = random_graph(&d, 4, 12);
+        for i in 0..30 {
+            assert_eq!(
+                a.neighbors(i).ids().collect::<Vec<_>>(),
+                b.neighbors(i).ids().collect::<Vec<_>>()
+            );
+        }
+        // extremely unlikely to match entirely with a different seed
+        let same = (0..30).all(|i| {
+            a.neighbors(i).ids().collect::<Vec<_>>() == c.neighbors(i).ids().collect::<Vec<_>>()
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn tiny_datasets_connect_to_everyone() {
+        let d = data(3);
+        let g = random_graph(&d, 10, 5);
+        for (i, list) in g.iter() {
+            assert_eq!(list.len(), 2);
+            assert!(list.ids().all(|id| id as usize != i));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let single = data(1);
+        let g = random_graph(&single, 4, 0);
+        assert_eq!(g.len(), 1);
+        assert!(g.neighbors(0).is_empty());
+        let d = data(5);
+        let g = random_graph(&d, 0, 0);
+        assert!(g.iter().all(|(_, l)| l.is_empty()));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type shared by the vector-store primitives.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by vector storage, I/O and validation routines.
+#[derive(Debug)]
+pub enum Error {
+    /// The caller supplied rows whose lengths disagree, or a buffer whose
+    /// length is not a multiple of the declared dimensionality.
+    DimensionMismatch {
+        /// Dimensionality expected by the container.
+        expected: usize,
+        /// Dimensionality that was actually supplied.
+        found: usize,
+    },
+    /// A dataset with zero rows or zero dimensionality was supplied where a
+    /// non-empty one is required.
+    EmptyInput(&'static str),
+    /// An index was out of bounds for the container.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of rows in the container.
+        len: usize,
+    },
+    /// A parameter failed validation (message explains which and why).
+    InvalidParameter(String),
+    /// Underlying I/O failure while reading or writing a vector file.
+    Io(std::io::Error),
+    /// A vector file was malformed (truncated record, inconsistent header…).
+    MalformedFile(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Error::EmptyInput(what) => write!(f, "empty input: {what}"),
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::MalformedFile(msg) => write!(f, "malformed vector file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<Error> = vec![
+            Error::DimensionMismatch {
+                expected: 4,
+                found: 3,
+            },
+            Error::EmptyInput("rows"),
+            Error::IndexOutOfBounds { index: 7, len: 3 },
+            Error::InvalidParameter("k must be > 0".into()),
+            Error::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom")),
+            Error::MalformedFile("truncated".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let err = Error::EmptyInput("rows");
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

@@ -1,0 +1,361 @@
+//! Readers/writers for the TexMex vector formats and a native binary format.
+//!
+//! The paper's datasets (SIFT1M, GIST1M, …, Tab. 1) are distributed in the
+//! `fvecs`/`ivecs`/`bvecs` formats: each record is a little-endian `i32`
+//! dimensionality followed by `d` components (`f32`, `i32` or `u8`
+//! respectively).  The harness uses these readers when real datasets are
+//! available and the synthetic generators otherwise; the writers make the
+//! synthetic workloads exportable so they can be compared against the
+//! original C++ implementation.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::matrix::VectorSet;
+
+/// Reads an `fvecs` file into a [`VectorSet`].
+///
+/// # Errors
+///
+/// Returns [`Error::MalformedFile`] on truncated records or inconsistent
+/// dimensionality, and [`Error::Io`] for underlying I/O failures.
+pub fn read_fvecs(path: impl AsRef<Path>) -> Result<VectorSet> {
+    let file = File::open(path)?;
+    read_fvecs_from(BufReader::new(file))
+}
+
+/// Reads `fvecs` records from an arbitrary reader.
+pub fn read_fvecs_from(mut reader: impl Read) -> Result<VectorSet> {
+    let mut data: Vec<f32> = Vec::new();
+    let mut dim: Option<usize> = None;
+    loop {
+        let mut dim_buf = [0u8; 4];
+        match read_exact_or_eof(&mut reader, &mut dim_buf)? {
+            ReadStatus::Eof => break,
+            ReadStatus::Full => {}
+        }
+        let d = i32::from_le_bytes(dim_buf);
+        if d <= 0 {
+            return Err(Error::MalformedFile(format!(
+                "non-positive record dimensionality {d}"
+            )));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(existing) if existing != d => {
+                return Err(Error::MalformedFile(format!(
+                    "inconsistent dimensionality: {existing} then {d}"
+                )));
+            }
+            Some(_) => {}
+        }
+        let mut record = vec![0u8; d * 4];
+        reader
+            .read_exact(&mut record)
+            .map_err(|e| Error::MalformedFile(format!("truncated fvecs record: {e}")))?;
+        for chunk in record.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+    }
+    let dim = dim.ok_or(Error::EmptyInput("fvecs file holds no records"))?;
+    VectorSet::from_flat(data, dim)
+}
+
+/// Writes a [`VectorSet`] in the `fvecs` format.
+pub fn write_fvecs(path: impl AsRef<Path>, data: &VectorSet) -> Result<()> {
+    let file = File::create(path)?;
+    write_fvecs_to(BufWriter::new(file), data)
+}
+
+/// Writes `fvecs` records to an arbitrary writer.
+pub fn write_fvecs_to(mut writer: impl Write, data: &VectorSet) -> Result<()> {
+    let dim = data.dim() as i32;
+    for row in data.rows() {
+        writer.write_all(&dim.to_le_bytes())?;
+        for &v in row {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads an `ivecs` file (used by TexMex for ground-truth neighbour lists).
+///
+/// Returns one `Vec<i32>` per record; records may have differing lengths in
+/// principle but ground-truth files are rectangular.
+pub fn read_ivecs(path: impl AsRef<Path>) -> Result<Vec<Vec<i32>>> {
+    let file = File::open(path)?;
+    read_ivecs_from(BufReader::new(file))
+}
+
+/// Reads `ivecs` records from an arbitrary reader.
+pub fn read_ivecs_from(mut reader: impl Read) -> Result<Vec<Vec<i32>>> {
+    let mut out = Vec::new();
+    loop {
+        let mut dim_buf = [0u8; 4];
+        match read_exact_or_eof(&mut reader, &mut dim_buf)? {
+            ReadStatus::Eof => break,
+            ReadStatus::Full => {}
+        }
+        let d = i32::from_le_bytes(dim_buf);
+        if d <= 0 {
+            return Err(Error::MalformedFile(format!(
+                "non-positive record dimensionality {d}"
+            )));
+        }
+        let d = d as usize;
+        let mut record = vec![0u8; d * 4];
+        reader
+            .read_exact(&mut record)
+            .map_err(|e| Error::MalformedFile(format!("truncated ivecs record: {e}")))?;
+        let row = record
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Writes `ivecs` records.
+pub fn write_ivecs_to(mut writer: impl Write, rows: &[Vec<i32>]) -> Result<()> {
+    for row in rows {
+        let d = row.len() as i32;
+        writer.write_all(&d.to_le_bytes())?;
+        for &v in row {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a `bvecs` file (byte-quantised descriptors, e.g. SIFT1B subsets),
+/// widening each component to `f32`.
+pub fn read_bvecs_from(mut reader: impl Read) -> Result<VectorSet> {
+    let mut data: Vec<f32> = Vec::new();
+    let mut dim: Option<usize> = None;
+    loop {
+        let mut dim_buf = [0u8; 4];
+        match read_exact_or_eof(&mut reader, &mut dim_buf)? {
+            ReadStatus::Eof => break,
+            ReadStatus::Full => {}
+        }
+        let d = i32::from_le_bytes(dim_buf);
+        if d <= 0 {
+            return Err(Error::MalformedFile(format!(
+                "non-positive record dimensionality {d}"
+            )));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(existing) if existing != d => {
+                return Err(Error::MalformedFile(format!(
+                    "inconsistent dimensionality: {existing} then {d}"
+                )));
+            }
+            Some(_) => {}
+        }
+        let mut record = vec![0u8; d];
+        reader
+            .read_exact(&mut record)
+            .map_err(|e| Error::MalformedFile(format!("truncated bvecs record: {e}")))?;
+        data.extend(record.iter().map(|&b| f32::from(b)));
+    }
+    let dim = dim.ok_or(Error::EmptyInput("bvecs file holds no records"))?;
+    VectorSet::from_flat(data, dim)
+}
+
+/// Native compact binary format: `u64 n`, `u64 d`, then `n·d` little-endian
+/// `f32` values.  Roughly 4 bytes/component with an 16-byte header, used by
+/// the harness to cache generated workloads between runs.
+pub fn write_native(path: impl AsRef<Path>, data: &VectorSet) -> Result<()> {
+    let file = File::create(path)?;
+    write_native_to(BufWriter::new(file), data)
+}
+
+/// Writes the native format to an arbitrary writer.
+pub fn write_native_to(mut writer: impl Write, data: &VectorSet) -> Result<()> {
+    writer.write_all(&(data.len() as u64).to_le_bytes())?;
+    writer.write_all(&(data.dim() as u64).to_le_bytes())?;
+    for &v in data.as_flat() {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads the native format produced by [`write_native`].
+pub fn read_native(path: impl AsRef<Path>) -> Result<VectorSet> {
+    let file = File::open(path)?;
+    read_native_from(BufReader::new(file))
+}
+
+/// Reads the native format from an arbitrary reader.
+pub fn read_native_from(mut reader: impl Read) -> Result<VectorSet> {
+    let mut header = [0u8; 16];
+    reader
+        .read_exact(&mut header)
+        .map_err(|e| Error::MalformedFile(format!("truncated native header: {e}")))?;
+    let n = u64::from_le_bytes(header[0..8].try_into().expect("8-byte slice")) as usize;
+    let d = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice")) as usize;
+    if d == 0 {
+        return Err(Error::MalformedFile("zero dimensionality".into()));
+    }
+    let mut payload = vec![0u8; n * d * 4];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|e| Error::MalformedFile(format!("truncated native payload: {e}")))?;
+    let data = payload
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    VectorSet::from_flat(data, d)
+}
+
+enum ReadStatus {
+    Full,
+    Eof,
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean EOF (no bytes at
+/// all) from a truncated record (some but not all bytes).
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<ReadStatus> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(ReadStatus::Eof);
+            }
+            return Err(Error::MalformedFile(
+                "unexpected end of file inside a record header".into(),
+            ));
+        }
+        filled += n;
+    }
+    Ok(ReadStatus::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> VectorSet {
+        VectorSet::from_rows(vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![-1.0, 0.5, 0.25, 8.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fvecs_round_trip() {
+        let vs = sample();
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &vs).unwrap();
+        // each record: 4 bytes dim + 4*4 bytes payload
+        assert_eq!(buf.len(), 3 * (4 + 16));
+        let back = read_fvecs_from(Cursor::new(buf)).unwrap();
+        assert_eq!(back, vs);
+    }
+
+    #[test]
+    fn fvecs_rejects_truncated() {
+        let vs = sample();
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &vs).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_fvecs_from(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, Error::MalformedFile(_)));
+    }
+
+    #[test]
+    fn fvecs_rejects_inconsistent_dim() {
+        let mut buf = Vec::new();
+        // record of dim 2 then a record of dim 3
+        buf.extend(2i32.to_le_bytes());
+        buf.extend(1.0f32.to_le_bytes());
+        buf.extend(2.0f32.to_le_bytes());
+        buf.extend(3i32.to_le_bytes());
+        buf.extend([0u8; 12]);
+        assert!(matches!(
+            read_fvecs_from(Cursor::new(buf)).unwrap_err(),
+            Error::MalformedFile(_)
+        ));
+    }
+
+    #[test]
+    fn fvecs_rejects_empty() {
+        let err = read_fvecs_from(Cursor::new(Vec::new())).unwrap_err();
+        assert!(matches!(err, Error::EmptyInput(_)));
+    }
+
+    #[test]
+    fn ivecs_round_trip() {
+        let rows = vec![vec![3, 1, 4], vec![1, 5, 9], vec![2, 6, 5]];
+        let mut buf = Vec::new();
+        write_ivecs_to(&mut buf, &rows).unwrap();
+        let back = read_ivecs_from(Cursor::new(buf)).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn ivecs_allows_empty_file() {
+        let back = read_ivecs_from(Cursor::new(Vec::new())).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bvecs_widens_bytes() {
+        let mut buf = Vec::new();
+        buf.extend(2i32.to_le_bytes());
+        buf.extend([10u8, 200u8]);
+        buf.extend(2i32.to_le_bytes());
+        buf.extend([0u8, 255u8]);
+        let vs = read_bvecs_from(Cursor::new(buf)).unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.row(0), &[10.0, 200.0]);
+        assert_eq!(vs.row(1), &[0.0, 255.0]);
+    }
+
+    #[test]
+    fn native_round_trip() {
+        let vs = sample();
+        let mut buf = Vec::new();
+        write_native_to(&mut buf, &vs).unwrap();
+        assert_eq!(buf.len(), 16 + 3 * 4 * 4);
+        let back = read_native_from(Cursor::new(buf)).unwrap();
+        assert_eq!(back, vs);
+    }
+
+    #[test]
+    fn native_rejects_truncation() {
+        let vs = sample();
+        let mut buf = Vec::new();
+        write_native_to(&mut buf, &vs).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_native_from(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("vecstore-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let vs = sample();
+        let fpath = dir.join("x.fvecs");
+        write_fvecs(&fpath, &vs).unwrap();
+        assert_eq!(read_fvecs(&fpath).unwrap(), vs);
+        let npath = dir.join("x.gkm");
+        write_native(&npath, &vs).unwrap();
+        assert_eq!(read_native(&npath).unwrap(), vs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

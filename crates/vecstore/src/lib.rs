@@ -1,0 +1,45 @@
+//! Dense vector storage and distance primitives for the GK-means reproduction.
+//!
+//! This crate is the lowest-level substrate shared by every other crate in the
+//! workspace.  It provides:
+//!
+//! * [`VectorSet`] — an owned, row-major `n × d` matrix of `f32` values, the
+//!   canonical in-memory representation of a descriptor collection such as
+//!   SIFT1M or VLAD10M (Tab. 1 of the paper).
+//! * [`distance`] — scalar and unrolled squared-Euclidean / dot-product /
+//!   cosine kernels plus the [`distance::Metric`] abstraction.  All clustering
+//!   algorithms in the paper operate in the ℓ² space, so squared Euclidean is
+//!   the default metric throughout the workspace.
+//! * [`norms`] — pre-computed squared norms that let the assignment step use
+//!   the `‖x-c‖² = ‖x‖² - 2·x·c + ‖c‖²` expansion.
+//! * [`io`] — readers and writers for the TexMex `fvecs`/`ivecs`/`bvecs`
+//!   formats used to distribute the paper's datasets, plus a compact native
+//!   binary format.
+//! * [`sample`] — reproducible sub-sampling and shuffling helpers used by the
+//!   workload generators and the mini-batch baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use vecstore::{VectorSet, distance::l2_sq};
+//!
+//! let data = VectorSet::from_rows(vec![vec![0.0, 0.0], vec![3.0, 4.0]]).unwrap();
+//! assert_eq!(data.len(), 2);
+//! assert_eq!(data.dim(), 2);
+//! assert_eq!(l2_sq(data.row(0), data.row(1)), 25.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distance;
+pub mod error;
+pub mod io;
+pub mod matrix;
+pub mod norms;
+pub mod sample;
+
+pub use distance::Metric;
+pub use error::{Error, Result};
+pub use matrix::VectorSet;
+pub use norms::Norms;

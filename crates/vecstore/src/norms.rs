@@ -1,0 +1,77 @@
+//! Pre-computed squared norms for a [`VectorSet`].
+//!
+//! Several accelerated k-means variants (Elkan, Hamerly, and the inner-product
+//! form of the Lloyd assignment step) need `‖x_i‖²` for every sample.  Those
+//! values never change during clustering, so they are computed once and
+//! carried alongside the data.
+
+use crate::distance::norm_sq;
+use crate::matrix::VectorSet;
+
+/// Cached squared ℓ² norms of every row of a [`VectorSet`].
+#[derive(Clone, Debug)]
+pub struct Norms {
+    values: Vec<f32>,
+}
+
+impl Norms {
+    /// Computes the squared norm of every row.
+    pub fn compute(data: &VectorSet) -> Self {
+        let values = data.rows().map(norm_sq).collect();
+        Self { values }
+    }
+
+    /// Squared norm of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        self.values[i]
+    }
+
+    /// Number of cached norms (equals the number of rows of the source set).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no norms are cached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All norms as a slice, indexed by row.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_match_direct_computation() {
+        let vs = VectorSet::from_rows(vec![vec![3.0, 4.0], vec![1.0, 1.0], vec![0.0, 0.0]])
+            .unwrap();
+        let norms = Norms::compute(&vs);
+        assert_eq!(norms.len(), 3);
+        assert!(!norms.is_empty());
+        assert_eq!(norms.get(0), 25.0);
+        assert_eq!(norms.get(1), 2.0);
+        assert_eq!(norms.get(2), 0.0);
+        assert_eq!(norms.as_slice(), &[25.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_set_gives_empty_norms() {
+        let vs = VectorSet::zeros(0, 8).unwrap();
+        let norms = Norms::compute(&vs);
+        assert!(norms.is_empty());
+        assert_eq!(norms.len(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Reproducible sampling and shuffling utilities.
+//!
+//! Clustering experiments in the paper rely on several forms of randomness:
+//! random KNN-graph initialisation (Alg. 3 line 4), the random visit order of
+//! boost k-means, mini-batch sub-sampling, and the random query subset used to
+//! estimate VLAD10M recall (Sec. 5.1).  Centralising the helpers here keeps
+//! every harness run reproducible from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Error, Result};
+use crate::matrix::VectorSet;
+
+/// Creates the workspace-standard RNG from a seed.
+///
+/// Every public API in the workspace that needs randomness takes a `u64` seed
+/// and builds its RNG through this function so results are reproducible across
+/// crates.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Returns `count` distinct indices drawn uniformly from `0..n`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `count > n`.
+pub fn sample_distinct(rng: &mut impl Rng, n: usize, count: usize) -> Result<Vec<usize>> {
+    if count > n {
+        return Err(Error::InvalidParameter(format!(
+            "cannot draw {count} distinct indices from a population of {n}"
+        )));
+    }
+    // For small ratios use rejection sampling; otherwise shuffle a full range.
+    if count * 4 <= n {
+        let mut chosen = std::collections::HashSet::with_capacity(count * 2);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let idx = rng.gen_range(0..n);
+            if chosen.insert(idx) {
+                out.push(idx);
+            }
+        }
+        Ok(out)
+    } else {
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        all.truncate(count);
+        Ok(all)
+    }
+}
+
+/// Returns a uniformly shuffled visit order `0..n`.
+pub fn shuffled_order(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    order
+}
+
+/// Draws `count` indices uniformly **with replacement** from `0..n`.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyInput`] when `n == 0` and `count > 0`.
+pub fn sample_with_replacement(rng: &mut impl Rng, n: usize, count: usize) -> Result<Vec<usize>> {
+    if n == 0 && count > 0 {
+        return Err(Error::EmptyInput("population"));
+    }
+    Ok((0..count).map(|_| rng.gen_range(0..n)).collect())
+}
+
+/// Extracts a uniformly sampled subset of `count` rows as a new [`VectorSet`].
+///
+/// # Errors
+///
+/// Propagates [`sample_distinct`] validation errors.
+pub fn subsample(data: &VectorSet, count: usize, seed: u64) -> Result<VectorSet> {
+    let mut rng = rng_from_seed(seed);
+    let idx = sample_distinct(&mut rng, data.len(), count)?;
+    data.gather(&idx)
+}
+
+/// Splits a dataset into a base set and a query set of `queries` rows chosen
+/// uniformly at random (without replacement).  Returns `(base, query)`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `queries >= data.len()`.
+pub fn split_base_query(data: &VectorSet, queries: usize, seed: u64) -> Result<(VectorSet, VectorSet)> {
+    if queries >= data.len() {
+        return Err(Error::InvalidParameter(format!(
+            "query count {queries} must be smaller than the dataset size {}",
+            data.len()
+        )));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut order = shuffled_order(&mut rng, data.len());
+    let query_idx: Vec<usize> = order.drain(..queries).collect();
+    let base_idx = order;
+    Ok((data.gather(&base_idx)?, data.gather(&query_idx)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = rng_from_seed(7);
+        for &(n, c) in &[(100usize, 10usize), (100, 90), (5, 5), (1, 1), (10, 0)] {
+            let s = sample_distinct(&mut rng, n, c).unwrap();
+            assert_eq!(s.len(), c);
+            let set: std::collections::HashSet<_> = s.iter().copied().collect();
+            assert_eq!(set.len(), c, "duplicates for n={n}, c={c}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_rejects_oversized_request() {
+        let mut rng = rng_from_seed(7);
+        assert!(sample_distinct(&mut rng, 3, 4).is_err());
+    }
+
+    #[test]
+    fn shuffled_order_is_a_permutation() {
+        let mut rng = rng_from_seed(42);
+        let order = shuffled_order(&mut rng, 50);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_replacement_allows_duplicates_and_checks_empty() {
+        let mut rng = rng_from_seed(3);
+        let s = sample_with_replacement(&mut rng, 2, 100).unwrap();
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&i| i < 2));
+        assert!(sample_with_replacement(&mut rng, 0, 1).is_err());
+        assert!(sample_with_replacement(&mut rng, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn seeded_sampling_is_reproducible() {
+        let mut a = rng_from_seed(123);
+        let mut b = rng_from_seed(123);
+        assert_eq!(
+            sample_distinct(&mut a, 1000, 20).unwrap(),
+            sample_distinct(&mut b, 1000, 20).unwrap()
+        );
+    }
+
+    #[test]
+    fn subsample_extracts_rows() {
+        let vs = VectorSet::from_rows((0..10).map(|i| vec![i as f32, 0.0]).collect()).unwrap();
+        let sub = subsample(&vs, 4, 9).unwrap();
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.dim(), 2);
+        // every sampled row must exist in the original
+        for row in sub.rows() {
+            assert!(vs.rows().any(|r| r == row));
+        }
+    }
+
+    #[test]
+    fn split_base_query_partitions_without_overlap() {
+        let vs =
+            VectorSet::from_rows((0..20).map(|i| vec![i as f32]).collect::<Vec<_>>()).unwrap();
+        let (base, query) = split_base_query(&vs, 5, 11).unwrap();
+        assert_eq!(base.len(), 15);
+        assert_eq!(query.len(), 5);
+        for q in query.rows() {
+            assert!(!base.rows().any(|b| b == q), "query row leaked into base");
+        }
+        assert!(split_base_query(&vs, 20, 11).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! ANN search with the Alg. 3 graph (the Sec. 4.3 claim).
+//!
+//! Builds the KNN graph with the paper's construction algorithm and with
+//! NN-Descent, then measures recall@10 and query throughput of greedy graph
+//! search over both — showing that the cheap clustering-driven graph is a
+//! usable ANN index.
+//!
+//! ```bash
+//! cargo run --release --example ann_search
+//! ```
+
+use gkm::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = 15_000;
+    let queries_n = 200;
+    let workload = Workload::generate_with_n(PaperDataset::Sift1M, n + queries_n, 23);
+    let (base, queries) = workload.data.split_at(n).expect("split");
+    println!("ANN search on {n} SIFT-like base vectors, {queries_n} queries, recall@10");
+
+    println!("computing exact ground truth (brute force, evaluation only)…");
+    let ground_truth = exact_ground_truth(&base, &queries, 10);
+
+    // Graph from the paper's Alg. 3.
+    let t = Instant::now();
+    let (gk_graph, _) = KnnGraphBuilder::new(
+        GkParams::default().kappa(20).xi(50).tau(8).seed(3).record_trace(false),
+    )
+    .graph_k(20)
+    .build(&base);
+    let gk_build = t.elapsed();
+
+    // Graph from NN-Descent (the KGraph baseline).
+    let t = Instant::now();
+    let nnd_graph = nn_descent(
+        &base,
+        &NnDescentParams {
+            k: 20,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let nnd_build = t.elapsed();
+
+    let mut table = Table::new(
+        "graph-based ANN search (recall@10)",
+        &["graph", "build", "ef", "recall", "avg ms/query", "dist evals/query"],
+    );
+    for (name, graph, build) in [
+        ("Alg.3 (GK-means)", &gk_graph, gk_build),
+        ("NN-Descent", &nnd_graph, nnd_build),
+    ] {
+        for ef in [16usize, 64, 128] {
+            let report = evaluate_anns(
+                &base,
+                graph,
+                &queries,
+                &ground_truth,
+                10,
+                SearchParams::default().ef(ef).entry_points(16).seed(9),
+            );
+            table.row(&[
+                name.into(),
+                format!("{build:.2?}"),
+                ef.to_string(),
+                format!("{:.3}", report.recall),
+                format!("{:.3}", report.avg_query_ms),
+                format!("{:.0}", report.avg_distance_evals),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,69 @@
+//! Quickstart: cluster a synthetic SIFT-like workload with GK-means and
+//! compare the result against plain Lloyd k-means.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use gkm::prelude::*;
+
+fn main() {
+    // 1. Generate a small SIFT-like workload (stand-in for SIFT100K, see
+    //    DESIGN.md §2 for the substitution rationale).
+    let n = 10_000;
+    let workload = Workload::generate_with_n(PaperDataset::Sift100K, n, 42);
+    println!(
+        "dataset: {} samples x {} dims ({} latent groups)",
+        workload.data.len(),
+        workload.data.dim(),
+        workload.spec.components
+    );
+
+    let k = 100;
+
+    // 2. GK-means: build the KNN graph with Alg. 3, then cluster with Alg. 2.
+    let params = GkParams::default()
+        .kappa(20)
+        .xi(50)
+        .tau(5)
+        .iterations(15)
+        .seed(1);
+    let outcome = GkMeansPipeline::new(params).cluster(&workload.data, k);
+    let gk_distortion = average_distortion(
+        &workload.data,
+        &outcome.clustering.labels,
+        &outcome.clustering.centroids,
+    );
+    println!(
+        "GK-means : E = {:.4}   graph {:.2?} + init {:.2?} + iter {:.2?}   candidate checks {}",
+        gk_distortion,
+        outcome.graph_time,
+        outcome.clustering.init_time,
+        outcome.clustering.iter_time,
+        outcome.clustering.distance_evals
+    );
+
+    // 3. Traditional k-means on the same data for comparison.
+    let lloyd = LloydKMeans::new(
+        KMeansConfig::with_k(k)
+            .max_iters(15)
+            .seed(1)
+            .record_trace(false),
+    )
+    .fit(&workload.data);
+    let lloyd_distortion =
+        average_distortion(&workload.data, &lloyd.labels, &lloyd.centroids);
+    println!(
+        "k-means  : E = {:.4}   init {:.2?} + iter {:.2?}   distance evals {}",
+        lloyd_distortion,
+        lloyd.init_time,
+        lloyd.iter_time,
+        lloyd.distance_evals
+    );
+
+    let speedup = lloyd.distance_evals as f64 / outcome.clustering.distance_evals.max(1) as f64;
+    println!(
+        "GK-means used {speedup:.1}x fewer sample-to-cluster comparisons at {:.1}% relative distortion",
+        100.0 * gk_distortion / lloyd_distortion
+    );
+}

@@ -1,0 +1,73 @@
+//! Scalability demo: how the clustering cost grows with the cluster count
+//! `k` — a miniature of Fig. 6(b).
+//!
+//! Traditional k-means and boost k-means scale linearly with `k`; GK-means and
+//! closure k-means stay nearly flat because each sample is only compared to a
+//! candidate set that does not grow with `k`.
+//!
+//! ```bash
+//! cargo run --release --example scalability_demo
+//! ```
+
+use gkm::prelude::*;
+
+fn main() {
+    let n = 10_000;
+    let iterations = 10;
+    let workload = Workload::generate_with_n(PaperDataset::Vlad10M, n, 5);
+    println!(
+        "scalability in k on {n} VLAD-like vectors ({}d), {iterations} iterations",
+        workload.data.dim()
+    );
+
+    let mut table = Table::new(
+        "Fig. 6(b)-style sweep: time vs cluster count",
+        &["k", "GK-means", "closure", "k-means", "BKM", "Mini-Batch"],
+    );
+
+    for k in [64usize, 128, 256, 512] {
+        let gk = GkMeansPipeline::new(
+            GkParams::default()
+                .kappa(20)
+                .xi(50)
+                .tau(4)
+                .iterations(iterations)
+                .seed(1)
+                .record_trace(false),
+        )
+        .cluster(&workload.data, k);
+
+        let closure = ClosureKMeans::new(
+            KMeansConfig::with_k(k).max_iters(iterations).seed(1).record_trace(false),
+        )
+        .fit(&workload.data);
+
+        let lloyd = LloydKMeans::new(
+            KMeansConfig::with_k(k).max_iters(iterations).seed(1).record_trace(false),
+        )
+        .fit(&workload.data);
+
+        let bkm = BoostKMeans::new(
+            KMeansConfig::with_k(k).max_iters(iterations).seed(1).record_trace(false),
+        )
+        .fit(&workload.data);
+
+        let minibatch = MiniBatchKMeans::new(
+            KMeansConfig::with_k(k).max_iters(iterations).seed(1).record_trace(false),
+        )
+        .batch_size(512)
+        .fit(&workload.data);
+
+        table.row(&[
+            k.to_string(),
+            format!("{:.2?}", gk.total_time()),
+            format!("{:.2?}", closure.total_time()),
+            format!("{:.2?}", lloyd.total_time()),
+            format!("{:.2?}", bkm.total_time()),
+            format!("{:.2?}", minibatch.total_time()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(expected shape: the first two columns stay nearly flat as k doubles;");
+    println!(" the k-means/BKM columns roughly double with k — Fig. 6(b).)");
+}

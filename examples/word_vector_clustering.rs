@@ -1,0 +1,121 @@
+//! Word-vector clustering: the Glove1M scenario (Tab. 1, Fig. 5(c)/(d)).
+//!
+//! Clusters GloVe-like word embeddings and compares the quality/efficiency
+//! trade-off of GK-means against boost k-means, closure k-means and
+//! Mini-Batch — a miniature of the paper's Fig. 5 study on one dataset.
+//!
+//! ```bash
+//! cargo run --release --example word_vector_clustering
+//! ```
+
+use gkm::prelude::*;
+
+fn main() {
+    let n = 8_000;
+    let k = 80;
+    let iterations = 12;
+    let workload = Workload::generate_with_n(PaperDataset::Glove1M, n, 11);
+    println!(
+        "clustering {n} GloVe-like word vectors ({}d) into {k} groups",
+        workload.data.dim()
+    );
+
+    let mut table = Table::new(
+        "Fig. 5-style comparison (Glove-like)",
+        &["method", "E", "time", "comparisons"],
+    );
+
+    // GK-means (graph built by Alg. 3).
+    let outcome = GkMeansPipeline::new(
+        GkParams::default()
+            .kappa(20)
+            .xi(40)
+            .tau(5)
+            .iterations(iterations)
+            .seed(2)
+            .record_trace(false),
+    )
+    .cluster(&workload.data, k);
+    table.row(&[
+        "GK-means".into(),
+        format!(
+            "{:.4}",
+            average_distortion(
+                &workload.data,
+                &outcome.clustering.labels,
+                &outcome.clustering.centroids
+            )
+        ),
+        format!("{:.2?}", outcome.total_time()),
+        outcome.clustering.distance_evals.to_string(),
+    ]);
+
+    // Boost k-means (quality reference).
+    let bkm = BoostKMeans::new(
+        KMeansConfig::with_k(k)
+            .max_iters(iterations)
+            .seed(2)
+            .record_trace(false),
+    )
+    .fit(&workload.data);
+    table.row(&[
+        "boost k-means".into(),
+        format!("{:.4}", average_distortion(&workload.data, &bkm.labels, &bkm.centroids)),
+        format!("{:.2?}", bkm.total_time()),
+        bkm.distance_evals.to_string(),
+    ]);
+
+    // Closure k-means (the strongest prior fast baseline).
+    let closure = ClosureKMeans::new(
+        KMeansConfig::with_k(k)
+            .max_iters(iterations)
+            .seed(2)
+            .record_trace(false),
+    )
+    .fit(&workload.data);
+    table.row(&[
+        "closure k-means".into(),
+        format!(
+            "{:.4}",
+            average_distortion(&workload.data, &closure.labels, &closure.centroids)
+        ),
+        format!("{:.2?}", closure.total_time()),
+        closure.distance_evals.to_string(),
+    ]);
+
+    // Mini-Batch (fast but lossy).
+    let minibatch = MiniBatchKMeans::new(
+        KMeansConfig::with_k(k)
+            .max_iters(iterations)
+            .seed(2)
+            .record_trace(false),
+    )
+    .batch_size(512)
+    .fit(&workload.data);
+    table.row(&[
+        "Mini-Batch".into(),
+        format!(
+            "{:.4}",
+            average_distortion(&workload.data, &minibatch.labels, &minibatch.centroids)
+        ),
+        format!("{:.2?}", minibatch.total_time()),
+        minibatch.distance_evals.to_string(),
+    ]);
+
+    // Traditional k-means.
+    let lloyd = LloydKMeans::new(
+        KMeansConfig::with_k(k)
+            .max_iters(iterations)
+            .seed(2)
+            .record_trace(false),
+    )
+    .fit(&workload.data);
+    table.row(&[
+        "k-means".into(),
+        format!("{:.4}", average_distortion(&workload.data, &lloyd.labels, &lloyd.centroids)),
+        format!("{:.2?}", lloyd.total_time()),
+        lloyd.distance_evals.to_string(),
+    ]);
+
+    print!("{}", table.render());
+}

@@ -1,0 +1,122 @@
+//! Integration tests of the ANN-search path and the evaluation/reporting
+//! utilities on paper-style workloads.
+
+use gkm::prelude::*;
+
+#[test]
+fn ann_search_recall_improves_with_ef_on_gk_graph() {
+    let w = Workload::generate_with_n(PaperDataset::Sift100K, 3_000, 31);
+    let (base, queries) = w.data.split_at(2_900).unwrap();
+    let (graph, _) = KnnGraphBuilder::new(
+        GkParams::default().kappa(10).xi(25).tau(5).seed(3).record_trace(false),
+    )
+    .graph_k(10)
+    .build(&base);
+    let gt = exact_ground_truth(&base, &queries, 10);
+
+    let low = evaluate_anns(
+        &base,
+        &graph,
+        &queries,
+        &gt,
+        10,
+        SearchParams::default().ef(8).entry_points(16).seed(1),
+    );
+    let high = evaluate_anns(
+        &base,
+        &graph,
+        &queries,
+        &gt,
+        10,
+        SearchParams::default().ef(128).entry_points(16).seed(1),
+    );
+    assert!(high.recall >= low.recall - 0.02, "ef=128 {} vs ef=8 {}", high.recall, low.recall);
+    assert!(high.avg_distance_evals > low.avg_distance_evals);
+    assert!(high.recall > 0.45, "recall at ef=128: {}", high.recall);
+}
+
+#[test]
+fn exact_graph_search_is_an_upper_bound_for_approximate_graph_search() {
+    let w = Workload::generate_with_n(PaperDataset::Glove1M, 2_000, 37);
+    let (base, queries) = w.data.split_at(1_950).unwrap();
+    let gt = exact_ground_truth(&base, &queries, 5);
+
+    let exact = exact_graph(&base, 10);
+    let (approx, _) = KnnGraphBuilder::new(
+        GkParams::default().kappa(10).xi(25).tau(3).seed(41).record_trace(false),
+    )
+    .graph_k(10)
+    .build(&base);
+
+    let params = SearchParams::default().ef(64).entry_points(16).seed(43);
+    let on_exact = evaluate_anns(&base, &exact, &queries, &gt, 5, params);
+    let on_approx = evaluate_anns(&base, &approx, &queries, &gt, 5, params);
+    assert!(
+        on_exact.recall >= on_approx.recall - 0.05,
+        "exact-graph search ({}) should not trail approximate-graph search ({})",
+        on_exact.recall,
+        on_approx.recall
+    );
+}
+
+#[test]
+fn report_tables_and_series_render_for_harness_output() {
+    let mut table = Table::new("Tab. 2 (miniature)", &["method", "init", "iter", "total", "E"]);
+    table.row(&[
+        "GK-means".into(),
+        "2.7".into(),
+        "2.5".into(),
+        "5.2".into(),
+        "0.619".into(),
+    ]);
+    table.row(&[
+        "closure".into(),
+        "0.9".into(),
+        "9.6".into(),
+        "10.5".into(),
+        "0.700".into(),
+    ]);
+    let rendered = table.render();
+    assert!(rendered.contains("GK-means"));
+    assert!(rendered.contains("0.619"));
+
+    let mut series = Series::new("GK-means", "tau", "recall");
+    for (i, r) in [0.1, 0.4, 0.62, 0.71].iter().enumerate() {
+        series.push((i + 1) as f64, *r);
+    }
+    let csv = series.to_csv();
+    assert!(csv.contains("tau,recall"));
+    assert_eq!(csv.lines().count(), 2 + 4);
+}
+
+#[test]
+fn phase_timer_supports_table2_style_accounting() {
+    let mut timer = PhaseTimer::new();
+    let w = Workload::generate_with_n(PaperDataset::Sift100K, 1_000, 47);
+    let graph = timer.phase("graph", || {
+        KnnGraphBuilder::new(GkParams::default().kappa(8).xi(20).tau(2).seed(5).record_trace(false))
+            .graph_k(8)
+            .build(&w.data)
+            .0
+    });
+    let clustering = timer.phase("cluster", || {
+        GkMeans::new(GkParams::default().kappa(8).iterations(5).seed(5).record_trace(false))
+            .fit(&w.data, 10, &graph)
+    });
+    assert_eq!(clustering.k(), 10);
+    assert!(timer.get("graph").is_some());
+    assert!(timer.get("cluster").is_some());
+    assert!(timer.total() >= timer.get("graph").unwrap());
+}
+
+#[test]
+fn distortion_helpers_agree_between_eval_and_baselines() {
+    let w = Workload::generate_with_n(PaperDataset::Gist1M, 800, 53);
+    let clustering = LloydKMeans::new(
+        KMeansConfig::with_k(8).max_iters(5).seed(3).record_trace(false),
+    )
+    .fit(&w.data);
+    let via_eval = average_distortion(&w.data, &clustering.labels, &clustering.centroids);
+    let via_baselines = clustering.distortion(&w.data);
+    assert!((via_eval - via_baselines).abs() < 1e-9);
+}

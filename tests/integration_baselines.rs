@@ -1,0 +1,127 @@
+//! Cross-crate integration tests of the baseline k-means variants on the
+//! synthetic paper workloads: every variant must produce a valid clustering,
+//! and the qualitative relationships the paper reports must hold.
+
+use gkm::prelude::*;
+
+fn workload(n: usize, seed: u64) -> Workload {
+    Workload::generate_with_n(PaperDataset::Sift100K, n, seed)
+}
+
+/// Runs one variant and returns (distortion, per-iteration distance evals).
+fn run(name: &str, data: &VectorSet, k: usize, iters: usize, seed: u64) -> (f64, f64) {
+    let cfg = KMeansConfig::with_k(k).max_iters(iters).seed(seed).record_trace(false);
+    let c: Clustering = match name {
+        "lloyd" => LloydKMeans::new(cfg).fit(data),
+        "lloyd++" => LloydKMeans::new(cfg).with_seeding(Seeding::KMeansPlusPlus).fit(data),
+        "elkan" => ElkanKMeans::new(cfg).fit(data),
+        "hamerly" => HamerlyKMeans::new(cfg).fit(data),
+        "minibatch" => MiniBatchKMeans::new(cfg).batch_size(256).fit(data),
+        "closure" => ClosureKMeans::new(cfg).fit(data),
+        "bisecting" => BisectingKMeans::new(cfg).fit(data),
+        "bkm" => BoostKMeans::new(cfg).fit(data),
+        other => panic!("unknown variant {other}"),
+    };
+    assert_eq!(c.labels.len(), data.len(), "{name}: wrong label count");
+    assert!(c.labels.iter().all(|&l| l < c.k()), "{name}: label out of range");
+    assert_eq!(
+        c.cluster_sizes().iter().sum::<usize>(),
+        data.len(),
+        "{name}: sizes do not sum to n"
+    );
+    let e = average_distortion(data, &c.labels, &c.centroids);
+    assert!(e.is_finite() && e >= 0.0, "{name}: bad distortion {e}");
+    (e, c.distance_evals as f64 / c.iterations.max(1) as f64)
+}
+
+#[test]
+fn every_baseline_produces_a_valid_clustering() {
+    let w = workload(2_000, 1);
+    for name in [
+        "lloyd", "lloyd++", "elkan", "hamerly", "minibatch", "closure", "bisecting", "bkm",
+    ] {
+        let (e, _) = run(name, &w.data, 20, 8, 3);
+        assert!(e > 0.0, "{name} reported zero distortion on noisy data");
+    }
+}
+
+#[test]
+fn exact_accelerations_match_lloyd_quality() {
+    let w = workload(2_500, 5);
+    let (lloyd_e, _) = run("lloyd", &w.data, 25, 12, 7);
+    let (elkan_e, _) = run("elkan", &w.data, 25, 12, 7);
+    let (hamerly_e, _) = run("hamerly", &w.data, 25, 12, 7);
+    assert!((elkan_e - lloyd_e).abs() <= 0.1 * lloyd_e, "elkan {elkan_e} vs lloyd {lloyd_e}");
+    assert!(
+        (hamerly_e - lloyd_e).abs() <= 0.1 * lloyd_e,
+        "hamerly {hamerly_e} vs lloyd {lloyd_e}"
+    );
+}
+
+#[test]
+fn boost_kmeans_reaches_lower_or_equal_distortion_than_lloyd() {
+    // The Sec. 3.1 claim that motivates building GK-means on BKM.
+    let w = workload(3_000, 9);
+    let (lloyd_e, _) = run("lloyd", &w.data, 30, 15, 11);
+    let (bkm_e, _) = run("bkm", &w.data, 30, 15, 11);
+    assert!(
+        bkm_e <= lloyd_e * 1.05,
+        "BKM ({bkm_e}) should not be worse than Lloyd ({lloyd_e})"
+    );
+}
+
+#[test]
+fn minibatch_is_cheapest_but_lossiest() {
+    // Fig. 7's qualitative finding.
+    let w = workload(2_500, 13);
+    let (lloyd_e, lloyd_cost) = run("lloyd", &w.data, 25, 10, 17);
+    let (mb_e, mb_cost) = run("minibatch", &w.data, 25, 10, 17);
+    assert!(mb_cost < lloyd_cost, "mini-batch must be cheaper per iteration");
+    assert!(
+        mb_e >= lloyd_e * 0.95,
+        "mini-batch should not beat full k-means on distortion (mb {mb_e} vs lloyd {lloyd_e})"
+    );
+}
+
+#[test]
+fn closure_kmeans_cost_is_sublinear_in_k() {
+    // Fig. 6(b): closure k-means' per-iteration cost grows clearly sublinearly
+    // in k (its candidate sets come from fixed-size neighbourhood groups),
+    // whereas Lloyd's cost is linear in k.  k grows 8× here.
+    let w = workload(2_500, 19);
+    let (_, cost_small) = run("closure", &w.data, 16, 6, 23);
+    let (_, cost_large) = run("closure", &w.data, 128, 6, 23);
+    assert!(
+        cost_large < cost_small * 6.5,
+        "closure k-means per-iteration cost grew at least linearly: {cost_small} -> {cost_large}"
+    );
+    let (_, lloyd_small) = run("lloyd", &w.data, 16, 6, 23);
+    let (_, lloyd_large) = run("lloyd", &w.data, 128, 6, 23);
+    assert!(
+        lloyd_large > lloyd_small * 6.5,
+        "lloyd per-iteration cost must grow ~linearly with k: {lloyd_small} -> {lloyd_large}"
+    );
+    // and closure's growth factor must be clearly below Lloyd's
+    let closure_growth = cost_large / cost_small;
+    let lloyd_growth = lloyd_large / lloyd_small;
+    assert!(
+        closure_growth < lloyd_growth * 0.9,
+        "closure growth {closure_growth:.2} vs lloyd growth {lloyd_growth:.2}"
+    );
+}
+
+#[test]
+fn seeding_strategies_are_all_usable_on_paper_workloads() {
+    let w = workload(1_500, 29);
+    for seeding in [
+        Seeding::Random,
+        Seeding::KMeansPlusPlus,
+        Seeding::Parallel { rounds: 3 },
+    ] {
+        let c = LloydKMeans::new(KMeansConfig::with_k(15).max_iters(5).seed(31).record_trace(false))
+            .with_seeding(seeding)
+            .fit(&w.data);
+        assert_eq!(c.k(), 15);
+        assert!(c.non_empty_clusters() >= 14);
+    }
+}
