@@ -113,8 +113,22 @@ mod tests {
         let queries = clustered(20, 4, 60);
         let graph = exact_graph(&base, 5);
         let gt = exact_ground_truth(&base, &queries, 3);
-        let lo = evaluate(&base, &graph, &queries, &gt, 3, SearchParams::default().ef(4).seed(7));
-        let hi = evaluate(&base, &graph, &queries, &gt, 3, SearchParams::default().ef(96).seed(7));
+        let lo = evaluate(
+            &base,
+            &graph,
+            &queries,
+            &gt,
+            3,
+            SearchParams::default().ef(4).seed(7),
+        );
+        let hi = evaluate(
+            &base,
+            &graph,
+            &queries,
+            &gt,
+            3,
+            SearchParams::default().ef(96).seed(7),
+        );
         assert!(hi.recall >= lo.recall - 0.05);
         assert!(hi.avg_distance_evals >= lo.avg_distance_evals);
     }

@@ -12,6 +12,7 @@ use rand::Rng;
 
 use knn_graph::{KnnGraph, Neighbor};
 use vecstore::distance::l2_sq;
+use vecstore::kernels;
 use vecstore::sample::rng_from_seed;
 use vecstore::VectorSet;
 
@@ -129,12 +130,12 @@ impl<'a> GraphSearcher<'a> {
             insert_bounded(&mut pool, Neighbor::new(id, d), ef);
         }
 
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
+        let dim = self.base.dim();
         loop {
             // closest unexpanded candidate in the pool
-            let next = pool
-                .iter()
-                .find(|c| !expanded[c.id as usize])
-                .copied();
+            let next = pool.iter().find(|c| !expanded[c.id as usize]).copied();
             let Some(candidate) = next else { break };
             expanded[candidate.id as usize] = true;
             stats.expansions += 1;
@@ -144,15 +145,31 @@ impl<'a> GraphSearcher<'a> {
             if pool.len() >= ef && candidate.dist > pool[pool.len() - 1].dist {
                 break;
             }
+            // Score all unvisited neighbours of the expansion in one batched
+            // gather; pool insertion keeps the original neighbour order.
+            frontier.clear();
             for nb in self.graph.neighbors(candidate.id as usize).as_slice() {
                 let id = nb.id as usize;
                 if visited[id] {
                     continue;
                 }
                 visited[id] = true;
-                let d = l2_sq(query, self.base.row(id));
-                stats.distance_evals += 1;
-                insert_bounded(&mut pool, Neighbor::new(nb.id, d), ef);
+                frontier.push(nb.id);
+            }
+            if frontier.is_empty() {
+                continue;
+            }
+            dists.resize(frontier.len(), 0.0);
+            kernels::l2_sq_one_to_many_indexed(
+                query,
+                self.base.as_flat(),
+                dim,
+                &frontier,
+                &mut dists,
+            );
+            stats.distance_evals += frontier.len() as u64;
+            for (&id, &d) in frontier.iter().zip(&dists) {
+                insert_bounded(&mut pool, Neighbor::new(id, d), ef);
             }
         }
 
@@ -236,7 +253,8 @@ mod tests {
         let queries = clustered(15, 5, 77);
         let truth = exact_ground_truth(&base, &queries, 5);
         let recall = |ef: usize| -> f64 {
-            let searcher = GraphSearcher::new(&base, &graph, SearchParams::default().ef(ef).seed(5));
+            let searcher =
+                GraphSearcher::new(&base, &graph, SearchParams::default().ef(ef).seed(5));
             let mut total = 0.0;
             for (qi, q) in queries.rows().enumerate() {
                 let res = searcher.search(q, 5);
@@ -248,7 +266,10 @@ mod tests {
         };
         let low = recall(8);
         let high = recall(128);
-        assert!(high >= low - 0.05, "ef=128 recall {high} < ef=8 recall {low}");
+        assert!(
+            high >= low - 0.05,
+            "ef=128 recall {high} < ef=8 recall {low}"
+        );
         assert!(high > 0.85, "high-ef recall should be high, got {high}");
     }
 

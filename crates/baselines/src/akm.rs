@@ -105,12 +105,12 @@ impl ApproximateKMeans {
                 &self.forest.seed(cfg.seed ^ (epoch as u64) << 8),
             );
             let mut changes = 0usize;
-            for i in 0..n {
+            for (i, label) in labels.iter_mut().enumerate() {
                 let (hits, stats) = forest.knn(&centroids, data.row(i), 1, self.max_checks);
                 distance_evals += stats.distance_evals;
                 let best = hits[0].id;
-                if best != labels[i] {
-                    labels[i] = best;
+                if best != *label {
+                    *label = best;
                     changes += 1;
                 }
             }
@@ -183,7 +183,11 @@ mod tests {
             .fit(&data);
         assert_eq!(result.labels.len(), data.len());
         assert_eq!(result.non_empty_clusters(), 5);
-        assert!(result.distortion(&data) < 3.0, "distortion {}", result.distortion(&data));
+        assert!(
+            result.distortion(&data) < 3.0,
+            "distortion {}",
+            result.distortion(&data)
+        );
     }
 
     #[test]
@@ -191,7 +195,9 @@ mod tests {
         let data = blobs(30, 8, 2.0, 3);
         let cfg = KMeansConfig::with_k(8).max_iters(25).seed(4);
         let lloyd = LloydKMeans::new(cfg).fit(&data);
-        let akm = ApproximateKMeans::new(cfg).max_checks(data.len()).fit(&data);
+        let akm = ApproximateKMeans::new(cfg)
+            .max_checks(data.len())
+            .fit(&data);
         // With an unbounded check budget the assignment is exact, so AKM is
         // plain Lloyd up to tie-breaking.
         assert!(akm.distortion(&data) <= lloyd.distortion(&data) * 1.10 + 1e-6);
@@ -200,7 +206,10 @@ mod tests {
     #[test]
     fn bounded_checks_cost_fewer_distance_evals_at_large_k() {
         let data = blobs(10, 40, 1.0, 5); // 400 samples, k = 40
-        let cfg = KMeansConfig::with_k(40).max_iters(8).seed(6).record_trace(false);
+        let cfg = KMeansConfig::with_k(40)
+            .max_iters(8)
+            .seed(6)
+            .record_trace(false);
         let lloyd = LloydKMeans::new(cfg).fit(&data);
         let akm = ApproximateKMeans::new(cfg).max_checks(8).fit(&data);
         assert!(
@@ -214,7 +223,8 @@ mod tests {
     #[test]
     fn trace_and_iteration_bookkeeping() {
         let data = blobs(20, 4, 0.8, 7);
-        let result = ApproximateKMeans::new(KMeansConfig::with_k(4).max_iters(10).seed(8)).fit(&data);
+        let result =
+            ApproximateKMeans::new(KMeansConfig::with_k(4).max_iters(10).seed(8)).fit(&data);
         assert!(result.iterations >= 1 && result.iterations <= 10);
         assert!(!result.trace.is_empty());
         for w in result.trace.windows(2) {

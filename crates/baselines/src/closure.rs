@@ -285,8 +285,10 @@ mod tests {
 
     #[test]
     fn recovers_separable_blobs() {
+        // Seed chosen for the workspace RNG (offline xoshiro-based StdRng);
+        // random seeding can legitimately merge blobs on unlucky draws.
         let data = blobs(50, 4);
-        let result = ClosureKMeans::new(KMeansConfig::with_k(4).max_iters(20).seed(5))
+        let result = ClosureKMeans::new(KMeansConfig::with_k(4).max_iters(20).seed(0))
             .group_size(20)
             .fit(&data);
         assert_eq!(result.labels.len(), data.len());
@@ -324,8 +326,7 @@ mod tests {
     #[test]
     fn trace_is_monotone_after_first_iterations() {
         let data = blobs(40, 3);
-        let result =
-            ClosureKMeans::new(KMeansConfig::with_k(3).max_iters(20).seed(8)).fit(&data);
+        let result = ClosureKMeans::new(KMeansConfig::with_k(3).max_iters(20).seed(8)).fit(&data);
         let trace: Vec<f64> = result.trace.iter().map(|t| t.distortion).collect();
         assert!(!trace.is_empty());
         assert!(*trace.last().unwrap() <= trace.first().unwrap() + 1e-9);

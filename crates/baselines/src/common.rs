@@ -6,7 +6,8 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use vecstore::distance::l2_sq;
-use vecstore::VectorSet;
+use vecstore::kernels;
+use vecstore::{Norms, VectorSet};
 
 /// Convergence and bookkeeping settings shared by all variants.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -86,7 +87,10 @@ impl KMeansConfig {
             return Err("dataset is empty".into());
         }
         if self.k > n {
-            return Err(format!("k ({}) exceeds the number of samples ({n})", self.k));
+            return Err(format!(
+                "k ({}) exceeds the number of samples ({n})",
+                self.k
+            ));
         }
         if !self.tol.is_finite() || self.tol < 0.0 {
             return Err("tol must be finite and non-negative".into());
@@ -175,11 +179,7 @@ pub fn average_distortion(data: &VectorSet, labels: &[usize], centroids: &Vector
 /// Recomputes centroids as the mean of their assigned samples.  Clusters that
 /// end up empty keep their previous centroid (the caller may choose to
 /// re-seed them instead).  Returns the number of empty clusters.
-pub fn recompute_centroids(
-    data: &VectorSet,
-    labels: &[usize],
-    centroids: &mut VectorSet,
-) -> usize {
+pub fn recompute_centroids(data: &VectorSet, labels: &[usize], centroids: &mut VectorSet) -> usize {
     let k = centroids.len();
     let d = centroids.dim();
     let mut sums = vec![0.0f64; k * d];
@@ -208,8 +208,29 @@ pub fn recompute_centroids(
     empty
 }
 
+/// Index of the smallest value, sticky on the current assignment: scanning
+/// starts from `current`, so a tie between the current centroid and any other
+/// keeps the sample where it is (exact convergence is detected instead of
+/// ping-ponging between duplicate centroids).
+#[inline]
+fn argmin_sticky(values: &[f32], current: usize) -> usize {
+    let mut best = current.min(values.len() - 1);
+    let mut best_v = values[best];
+    for (i, &v) in values.iter().enumerate() {
+        if v < best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
 /// Assigns every sample to its closest centroid by exhaustive comparison,
 /// returning the number of label changes and counting distance evaluations.
+///
+/// The per-sample scan goes through the batched one-to-many kernel: one call
+/// scores the sample against the whole (contiguous) centroid matrix, so the
+/// SIMD dispatch is resolved once per sample instead of once per pair.
 pub fn assign_exhaustive(
     data: &VectorSet,
     centroids: &VectorSet,
@@ -217,28 +238,67 @@ pub fn assign_exhaustive(
     distance_evals: &mut u64,
 ) -> usize {
     let k = centroids.len();
+    let mut dists = vec![0.0f32; k];
     let mut changes = 0usize;
-    for i in 0..data.len() {
-        let x = data.row(i);
-        let mut best = labels[i].min(k - 1);
-        let mut best_d = l2_sq(x, centroids.row(best));
-        for c in 0..k {
-            if c == best {
-                continue;
-            }
-            let d = l2_sq(x, centroids.row(c));
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
+    for (i, label) in labels.iter_mut().enumerate() {
+        kernels::l2_sq_one_to_many(data.row(i), centroids.as_flat(), &mut dists);
         *distance_evals += k as u64;
-        if best != labels[i] {
-            labels[i] = best;
+        let best = argmin_sticky(&dists, *label);
+        if best != *label {
+            *label = best;
             changes += 1;
         }
     }
     changes
+}
+
+/// Norm-cached exhaustive assignment: the batched
+/// `‖x‖² − 2·x·c + ‖c‖²` form with `‖x‖²` cached per sample across all
+/// iterations and `‖c‖²` cached once per iteration, so each sample↔centroid
+/// evaluation is a single dot product.
+///
+/// **Precision caveat:** the expansion cancels two large terms in `f32`, so
+/// its absolute error grows with `‖x‖²` (roughly one ulp of the norm, i.e.
+/// `≈ 6e-8 · ‖x‖²`).  That is harmless when vectors are normalised or
+/// centred near the origin, but on large-norm raw descriptors two nearly
+/// tied centroids can be ranked either way.  Use [`assign_exhaustive`]
+/// (direct distances, same flop count) when exact Lloyd semantics matter;
+/// this variant trades that robustness for reusing pre-computed norms.
+pub fn assign_exhaustive_cached(
+    data: &VectorSet,
+    data_norms: &Norms,
+    centroids: &VectorSet,
+    centroid_norms: &[f32],
+    labels: &mut [usize],
+    distance_evals: &mut u64,
+) -> usize {
+    let k = centroids.len();
+    debug_assert_eq!(centroid_norms.len(), k, "centroid norm cache size");
+    let mut dists = vec![0.0f32; k];
+    let mut changes = 0usize;
+    for (i, label) in labels.iter_mut().enumerate() {
+        kernels::l2_sq_one_to_many_cached(
+            data.row(i),
+            data_norms.get(i),
+            centroids.as_flat(),
+            centroid_norms,
+            &mut dists,
+        );
+        *distance_evals += k as u64;
+        let best = argmin_sticky(&dists, *label);
+        if best != *label {
+            *label = best;
+            changes += 1;
+        }
+    }
+    changes
+}
+
+/// Squared norms of every centroid row — the per-iteration half of the
+/// norm cache used by [`assign_exhaustive_cached`].
+pub fn centroid_norms_sq(centroids: &VectorSet, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(centroids.rows().map(vecstore::distance::norm_sq));
 }
 
 /// Reseeds every empty cluster to the sample furthest from its current
@@ -303,7 +363,11 @@ mod tests {
 
     #[test]
     fn config_builder_and_validation() {
-        let cfg = KMeansConfig::with_k(3).max_iters(5).seed(9).tol(1e-4).record_trace(false);
+        let cfg = KMeansConfig::with_k(3)
+            .max_iters(5)
+            .seed(9)
+            .tol(1e-4)
+            .record_trace(false);
         assert_eq!(cfg.k, 3);
         assert_eq!(cfg.max_iters, 5);
         assert_eq!(cfg.seed, 9);
@@ -319,8 +383,7 @@ mod tests {
     #[test]
     fn average_distortion_hand_checked() {
         let data = square_data();
-        let centroids =
-            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let centroids = VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
         let labels = vec![0, 0, 0, 1, 1, 1];
         // distances: 0, .25, .25, 0, .25, .25 → sum=1.0 → avg = 1/6
         let e = average_distortion(&data, &labels, &centroids);
@@ -355,14 +418,17 @@ mod tests {
         let before = centroids.row(1).to_vec();
         let empty = recompute_centroids(&data, &labels, &mut centroids);
         assert_eq!(empty, 1);
-        assert_eq!(centroids.row(1), before.as_slice(), "empty cluster untouched");
+        assert_eq!(
+            centroids.row(1),
+            before.as_slice(),
+            "empty cluster untouched"
+        );
     }
 
     #[test]
     fn assign_exhaustive_moves_to_closest() {
         let data = square_data();
-        let centroids =
-            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let centroids = VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
         let mut labels = vec![1, 1, 1, 0, 0, 0]; // deliberately wrong
         let mut evals = 0u64;
         let changes = assign_exhaustive(&data, &centroids, &mut labels, &mut evals);
@@ -375,11 +441,48 @@ mod tests {
     }
 
     #[test]
+    fn assign_sticks_to_current_label_on_exact_ties() {
+        // duplicate centroids: every sample is equidistant to both
+        let data = square_data();
+        let centroids = VectorSet::from_rows(vec![vec![5.0, 5.0], vec![5.0, 5.0]]).unwrap();
+        let mut labels = vec![0, 1, 0, 1, 0, 1];
+        let mut evals = 0u64;
+        let changes = assign_exhaustive(&data, &centroids, &mut labels, &mut evals);
+        assert_eq!(changes, 0, "ties must not relabel");
+        assert_eq!(labels, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn cached_assignment_matches_direct_assignment() {
+        let data = square_data();
+        let centroids = VectorSet::from_rows(vec![vec![0.2, 0.1], vec![10.1, 10.2]]).unwrap();
+        let norms = Norms::compute(&data);
+        let mut c_norms = Vec::new();
+        centroid_norms_sq(&centroids, &mut c_norms);
+
+        let mut direct = vec![0usize; data.len()];
+        let mut cached = vec![0usize; data.len()];
+        let mut evals_a = 0u64;
+        let mut evals_b = 0u64;
+        let changes_a = assign_exhaustive(&data, &centroids, &mut direct, &mut evals_a);
+        let changes_b = assign_exhaustive_cached(
+            &data,
+            &norms,
+            &centroids,
+            &c_norms,
+            &mut cached,
+            &mut evals_b,
+        );
+        assert_eq!(direct, cached);
+        assert_eq!(changes_a, changes_b);
+        assert_eq!(evals_a, evals_b);
+    }
+
+    #[test]
     fn reseed_empty_clusters_revives_clusters() {
         let data = square_data();
         let mut labels = vec![0, 0, 0, 0, 0, 0];
-        let mut centroids =
-            VectorSet::from_rows(vec![vec![0.2, 0.2], vec![99.0, 99.0]]).unwrap();
+        let mut centroids = VectorSet::from_rows(vec![vec![0.2, 0.2], vec![99.0, 99.0]]).unwrap();
         let reseeded = reseed_empty_clusters(&data, &mut labels, &mut centroids);
         assert_eq!(reseeded, 1);
         let sizes: Vec<usize> = {
@@ -400,16 +503,14 @@ mod tests {
     fn reseed_noop_when_all_populated() {
         let data = square_data();
         let mut labels = vec![0, 0, 0, 1, 1, 1];
-        let mut centroids =
-            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let mut centroids = VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
         assert_eq!(reseed_empty_clusters(&data, &mut labels, &mut centroids), 0);
     }
 
     #[test]
     fn clustering_helpers() {
         let data = square_data();
-        let centroids =
-            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let centroids = VectorSet::from_rows(vec![vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
         let clustering = Clustering {
             labels: vec![0, 0, 0, 1, 1, 1],
             centroids,

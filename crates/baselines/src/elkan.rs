@@ -76,16 +76,19 @@ impl ElkanKMeans {
         let mut lower = vec![0.0f32; n * k];
 
         // Initial assignment with full distance computations, seeding bounds.
+        // The full scan is a one-to-many evaluation against the contiguous
+        // centroid matrix, so it runs through the batched SIMD kernel; the
+        // bound logic needs plain (not squared) distances, hence the sqrt.
         for i in 0..n {
-            let x = data.row(i);
+            let row_bounds = &mut lower[i * k..(i + 1) * k];
+            vecstore::kernels::l2_sq_one_to_many(data.row(i), centroids.as_flat(), row_bounds);
+            distance_evals += k as u64;
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
-            for c in 0..k {
-                let d = l2_sq(x, centroids.row(c)).sqrt();
-                distance_evals += 1;
-                lower[i * k + c] = d;
-                if d < best_d {
-                    best_d = d;
+            for (c, bound) in row_bounds.iter_mut().enumerate() {
+                *bound = bound.sqrt();
+                if *bound < best_d {
+                    best_d = *bound;
                     best = c;
                 }
             }
@@ -166,8 +169,8 @@ impl ElkanKMeans {
             recompute_centroids(data, &labels, &mut new_centroids);
             reseed_empty_clusters(data, &mut labels, &mut new_centroids);
             let mut drift = vec![0.0f32; k];
-            for c in 0..k {
-                drift[c] = l2_sq(centroids.row(c), new_centroids.row(c)).sqrt();
+            for (c, slot) in drift.iter_mut().enumerate() {
+                *slot = l2_sq(centroids.row(c), new_centroids.row(c)).sqrt();
                 distance_evals += 1;
             }
             centroids = new_centroids.clone();
@@ -242,7 +245,10 @@ mod tests {
     #[test]
     fn fewer_distance_evals_than_lloyd() {
         let data = blobs(60, 8);
-        let cfg = KMeansConfig::with_k(8).max_iters(20).seed(1).record_trace(false);
+        let cfg = KMeansConfig::with_k(8)
+            .max_iters(20)
+            .seed(1)
+            .record_trace(false);
         let lloyd = LloydKMeans::new(cfg).fit(&data);
         let elkan = ElkanKMeans::new(cfg).fit(&data);
         assert!(

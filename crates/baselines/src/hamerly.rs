@@ -67,15 +67,17 @@ impl HamerlyKMeans {
         let mut upper = vec![0.0f32; n]; // bound on d(x, owner)
         let mut lower = vec![0.0f32; n]; // bound on d(x, second closest)
 
-        // Initial assignment.
+        // Initial assignment: one batched one-to-many evaluation per sample
+        // against the contiguous centroid matrix.
+        let mut dists = vec![0.0f32; k];
         for i in 0..n {
-            let x = data.row(i);
+            vecstore::kernels::l2_sq_one_to_many(data.row(i), centroids.as_flat(), &mut dists);
+            distance_evals += k as u64;
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             let mut second = f32::INFINITY;
-            for c in 0..k {
-                let d = l2_sq(x, centroids.row(c)).sqrt();
-                distance_evals += 1;
+            for (c, &d_sq) in dists.iter().enumerate() {
+                let d = d_sq.sqrt();
                 if d < best_d {
                     second = best_d;
                     best_d = d;
@@ -95,7 +97,7 @@ impl HamerlyKMeans {
         for it in 0..cfg.max_iters {
             iterations = it + 1;
             // s(c) = ½ distance to the closest other centre.
-            for a in 0..k {
+            for (a, s_slot) in s.iter_mut().enumerate() {
                 let mut min_other = f32::INFINITY;
                 for b in 0..k {
                     if a == b {
@@ -107,7 +109,7 @@ impl HamerlyKMeans {
                         min_other = d;
                     }
                 }
-                s[a] = 0.5 * min_other;
+                *s_slot = 0.5 * min_other;
             }
 
             let mut changes = 0usize;
@@ -156,11 +158,11 @@ impl HamerlyKMeans {
             reseed_empty_clusters(data, &mut labels, &mut new_centroids);
             let mut drift = vec![0.0f32; k];
             let mut max_drift = 0.0f32;
-            for c in 0..k {
-                drift[c] = l2_sq(centroids.row(c), new_centroids.row(c)).sqrt();
+            for (c, slot) in drift.iter_mut().enumerate() {
+                *slot = l2_sq(centroids.row(c), new_centroids.row(c)).sqrt();
                 distance_evals += 1;
-                if drift[c] > max_drift {
-                    max_drift = drift[c];
+                if *slot > max_drift {
+                    max_drift = *slot;
                 }
             }
             centroids = new_centroids;
@@ -230,7 +232,10 @@ mod tests {
     #[test]
     fn fewer_distance_evals_than_lloyd() {
         let data = blobs(80, 6);
-        let cfg = KMeansConfig::with_k(6).max_iters(20).seed(2).record_trace(false);
+        let cfg = KMeansConfig::with_k(6)
+            .max_iters(20)
+            .seed(2)
+            .record_trace(false);
         let lloyd = LloydKMeans::new(cfg).fit(&data);
         let hamerly = HamerlyKMeans::new(cfg).fit(&data);
         assert!(

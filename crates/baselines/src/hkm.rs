@@ -147,7 +147,9 @@ impl HierarchicalKMeans {
         // Working clusters: (member ids, index of the tree node representing
         // them).  Nodes start as leaves and are converted to internal nodes
         // when split.
-        let mut nodes: Vec<HkmNode> = vec![HkmNode::Leaf { cluster: usize::MAX }];
+        let mut nodes: Vec<HkmNode> = vec![HkmNode::Leaf {
+            cluster: usize::MAX,
+        }];
         let root = 0usize;
         let mut open: Vec<(Vec<u32>, usize)> = vec![((0..n as u32).collect(), root)];
         let mut closed: Vec<(Vec<u32>, usize)> = Vec::new();
@@ -194,11 +196,13 @@ impl HierarchicalKMeans {
             }
             // Materialize child nodes and rewrite this node as internal.
             let mut child_nodes = Vec::with_capacity(non_empty.len());
-            let mut child_centroids = VectorSet::zeros(non_empty.len(), data.dim())
-                .expect("non-zero dimensionality");
+            let mut child_centroids =
+                VectorSet::zeros(non_empty.len(), data.dim()).expect("non-zero dimensionality");
             for (slot, (part, original_c)) in non_empty.into_iter().enumerate() {
                 let child_idx = nodes.len();
-                nodes.push(HkmNode::Leaf { cluster: usize::MAX });
+                nodes.push(HkmNode::Leaf {
+                    cluster: usize::MAX,
+                });
                 child_centroids
                     .row_mut(slot)
                     .copy_from_slice(centroids.row(original_c));
@@ -432,8 +436,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let data = blobs(12, 5, 1.5, 12);
-        let a = HierarchicalKMeans::new(KMeansConfig::with_k(5).seed(13)).branching(3).fit(&data);
-        let b = HierarchicalKMeans::new(KMeansConfig::with_k(5).seed(13)).branching(3).fit(&data);
+        let a = HierarchicalKMeans::new(KMeansConfig::with_k(5).seed(13))
+            .branching(3)
+            .fit(&data);
+        let b = HierarchicalKMeans::new(KMeansConfig::with_k(5).seed(13))
+            .branching(3)
+            .fit(&data);
         assert_eq!(a.labels, b.labels);
     }
 

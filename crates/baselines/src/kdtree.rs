@@ -196,7 +196,11 @@ impl KdTreeForest {
             let Some(best_idx) = frontier
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
+                .min_by(|a, b| {
+                    a.1 .0
+                        .partial_cmp(&b.1 .0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .map(|(i, _)| i)
             else {
                 break;
@@ -314,7 +318,11 @@ fn build_node(
 
     // Pick the split dimension at random among the top-variance candidates.
     let mut order: Vec<usize> = (0..dim).collect();
-    order.sort_by(|&a, &b| var[b].partial_cmp(&var[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        var[b]
+            .partial_cmp(&var[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let candidates = params.split_candidates.clamp(1, dim);
     let split_dim = order[rng.gen_range(0..candidates)];
     let threshold = mean[split_dim] as f32;
@@ -409,7 +417,10 @@ mod tests {
         };
         let (r_low, e_low) = recall(16);
         let (r_high, e_high) = recall(500);
-        assert!(r_high >= r_low, "more checks must not hurt: {r_high} < {r_low}");
+        assert!(
+            r_high >= r_low,
+            "more checks must not hurt: {r_high} < {r_low}"
+        );
         assert!(r_high > 0.9, "full-check recall too low: {r_high}");
         assert!(e_low < e_high, "bounded search must evaluate fewer points");
     }
@@ -428,13 +439,17 @@ mod tests {
         let mut ids: Vec<usize> = res.iter().map(|h| h.id).collect();
         ids.dedup();
         assert_eq!(ids.len(), 5, "duplicate hits returned");
-        assert_eq!(res[0].id, 13, "a base point must be its own nearest neighbour");
+        assert_eq!(
+            res[0].id, 13,
+            "a base point must be its own nearest neighbour"
+        );
     }
 
     #[test]
     fn tiny_sets_and_tiny_budgets_still_answer() {
         let data = clustered(3, 4, 7);
-        let forest = KdTreeForest::build(&data, &KdForestParams::with_trees(2).leaf_size(1).seed(8));
+        let forest =
+            KdTreeForest::build(&data, &KdForestParams::with_trees(2).leaf_size(1).seed(8));
         let hit = forest.nearest(&data, data.row(2), 1);
         assert!(hit.id < 3);
         assert!(hit.dist.is_finite());
@@ -443,7 +458,8 @@ mod tests {
     #[test]
     fn constant_data_does_not_recurse_forever() {
         let data = VectorSet::from_rows(vec![vec![1.0, 1.0]; 64]).unwrap();
-        let forest = KdTreeForest::build(&data, &KdForestParams::with_trees(2).leaf_size(4).seed(9));
+        let forest =
+            KdTreeForest::build(&data, &KdForestParams::with_trees(2).leaf_size(4).seed(9));
         let hit = forest.nearest(&data, &[1.0, 1.0], 64);
         assert_eq!(hit.dist, 0.0);
     }

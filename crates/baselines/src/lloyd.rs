@@ -66,6 +66,10 @@ impl LloydKMeans {
 
         for it in 0..cfg.max_iters {
             iterations = it + 1;
+            // Direct batched distances rather than the norm-cached expansion:
+            // same flop count through the SIMD kernel, and exact Lloyd
+            // semantics on large-norm raw descriptors (see the precision
+            // caveat on `assign_exhaustive_cached`).
             let changes = assign_exhaustive(data, &centroids, &mut labels, &mut distance_evals);
             recompute_centroids(data, &labels, &mut centroids);
             reseed_empty_clusters(data, &mut labels, &mut centroids);
@@ -145,8 +149,7 @@ mod tests {
     #[test]
     fn distortion_is_monotonically_non_increasing() {
         let (data, k) = blobs(40);
-        let clustering =
-            LloydKMeans::new(KMeansConfig::with_k(k).max_iters(20).seed(1)).fit(&data);
+        let clustering = LloydKMeans::new(KMeansConfig::with_k(k).max_iters(20).seed(1)).fit(&data);
         let trace: Vec<f64> = clustering.trace.iter().map(|t| t.distortion).collect();
         assert!(!trace.is_empty());
         for w in trace.windows(2) {
@@ -164,7 +167,10 @@ mod tests {
         let (data, k) = blobs(20);
         let clustering =
             LloydKMeans::new(KMeansConfig::with_k(k).max_iters(100).seed(5)).fit(&data);
-        assert!(clustering.iterations < 100, "should stop when assignments stabilise");
+        assert!(
+            clustering.iterations < 100,
+            "should stop when assignments stabilise"
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ mod tests {
         for c in 0..4 {
             for i in 0..per {
                 let base = c as f32 * 25.0;
-                rows.push(vec![base + (i % 6) as f32 * 0.4, base + (i % 3) as f32 * 0.3]);
+                rows.push(vec![
+                    base + (i % 6) as f32 * 0.4,
+                    base + (i % 3) as f32 * 0.3,
+                ]);
             }
         }
         (VectorSet::from_rows(rows).unwrap(), 4)
@@ -158,14 +161,18 @@ mod tests {
     #[test]
     fn recovers_separable_blobs() {
         let (data, k) = blobs(50);
-        let mut mb = MiniBatchKMeans::new(KMeansConfig::with_k(k).max_iters(40).seed(7))
-            .batch_size(32);
+        let mut mb =
+            MiniBatchKMeans::new(KMeansConfig::with_k(k).max_iters(40).seed(7)).batch_size(32);
         // k-means++ seeding keeps the blob-recovery assertion deterministic.
         mb.seeding = Seeding::KMeansPlusPlus;
         let mb = mb.fit(&data);
         assert_eq!(mb.labels.len(), data.len());
         assert!(mb.labels.iter().all(|&l| l < k));
-        assert!(mb.distortion(&data) < 5.0, "distortion {}", mb.distortion(&data));
+        assert!(
+            mb.distortion(&data) < 5.0,
+            "distortion {}",
+            mb.distortion(&data)
+        );
     }
 
     #[test]
@@ -191,7 +198,10 @@ mod tests {
             .fit(&data);
         assert_eq!(mb.trace.len(), 10);
         let off = MiniBatchKMeans::new(
-            KMeansConfig::with_k(k).max_iters(10).seed(1).record_trace(false),
+            KMeansConfig::with_k(k)
+                .max_iters(10)
+                .seed(1)
+                .record_trace(false),
         )
         .batch_size(8)
         .fit(&data);

@@ -56,7 +56,9 @@ fn kmeanspp(data: &VectorSet, k: usize, rng: &mut impl Rng) -> VectorSet {
     let first = rng.gen_range(0..n);
     chosen.push(first);
     // d2[i] = squared distance of sample i to the nearest chosen centre.
-    let mut d2: Vec<f32> = (0..n).map(|i| l2_sq(data.row(i), data.row(first))).collect();
+    let mut d2: Vec<f32> = (0..n)
+        .map(|i| l2_sq(data.row(i), data.row(first)))
+        .collect();
     while chosen.len() < k {
         let total: f64 = d2.iter().map(|&d| f64::from(d)).sum();
         let next = if total <= 0.0 {
@@ -77,10 +79,10 @@ fn kmeanspp(data: &VectorSet, k: usize, rng: &mut impl Rng) -> VectorSet {
         };
         chosen.push(next);
         let centre = data.row(next);
-        for i in 0..n {
+        for (i, best) in d2.iter_mut().enumerate() {
             let d = l2_sq(data.row(i), centre);
-            if d < d2[i] {
-                d2[i] = d;
+            if d < *best {
+                *best = d;
             }
         }
     }
@@ -95,7 +97,9 @@ fn kmeans_parallel(data: &VectorSet, k: usize, rounds: usize, rng: &mut impl Rng
     let oversample = (2 * k).max(2);
     let first = rng.gen_range(0..n);
     let mut candidates: Vec<usize> = vec![first];
-    let mut d2: Vec<f32> = (0..n).map(|i| l2_sq(data.row(i), data.row(first))).collect();
+    let mut d2: Vec<f32> = (0..n)
+        .map(|i| l2_sq(data.row(i), data.row(first)))
+        .collect();
     for _ in 0..rounds {
         let total: f64 = d2.iter().map(|&d| f64::from(d)).sum();
         if total <= 0.0 {
@@ -110,10 +114,10 @@ fn kmeans_parallel(data: &VectorSet, k: usize, rounds: usize, rng: &mut impl Rng
         }
         for &c in &new_candidates {
             let centre = data.row(c);
-            for i in 0..n {
+            for (i, best) in d2.iter_mut().enumerate() {
                 let d = l2_sq(data.row(i), centre);
-                if d < d2[i] {
-                    d2[i] = d;
+                if d < *best {
+                    *best = d;
                 }
             }
         }
@@ -151,7 +155,12 @@ fn kmeans_parallel(data: &VectorSet, k: usize, rounds: usize, rng: &mut impl Rng
 
 /// k-means++ where each point carries a weight (used to reduce the k-means‖
 /// candidate set).
-fn weighted_kmeanspp(points: &VectorSet, weights: &[f64], k: usize, rng: &mut impl Rng) -> VectorSet {
+fn weighted_kmeanspp(
+    points: &VectorSet,
+    weights: &[f64],
+    k: usize,
+    rng: &mut impl Rng,
+) -> VectorSet {
     let n = points.len();
     let total_w: f64 = weights.iter().sum();
     let mut chosen = Vec::with_capacity(k);
@@ -205,7 +214,10 @@ mod tests {
         for c in 0..4 {
             for i in 0..25 {
                 let base = c as f32 * 20.0;
-                rows.push(vec![base + (i % 5) as f32 * 0.1, base + (i / 5) as f32 * 0.1]);
+                rows.push(vec![
+                    base + (i % 5) as f32 * 0.1,
+                    base + (i / 5) as f32 * 0.1,
+                ]);
             }
         }
         VectorSet::from_rows(rows).unwrap()
@@ -247,7 +259,11 @@ mod tests {
     #[test]
     fn seeding_is_deterministic_per_seed() {
         let data = blobs();
-        for s in [Seeding::Random, Seeding::KMeansPlusPlus, Seeding::Parallel { rounds: 2 }] {
+        for s in [
+            Seeding::Random,
+            Seeding::KMeansPlusPlus,
+            Seeding::Parallel { rounds: 2 },
+        ] {
             let a = seed_centroids(&data, 3, s, 11);
             let b = seed_centroids(&data, 3, s, 11);
             assert_eq!(a, b, "strategy {s:?} not deterministic");

@@ -6,6 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use vecstore::distance::{dot, l2_sq, l2_sq_reference};
+use vecstore::kernels;
 
 fn vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
     let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
@@ -19,15 +20,35 @@ fn bench_distance(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for dim in [100usize, 128, 512, 960] {
         let (a, b) = vectors(dim);
-        group.bench_with_input(BenchmarkId::new("l2_sq_unrolled", dim), &dim, |bench, _| {
+        group.bench_with_input(BenchmarkId::new("l2_sq_simd", dim), &dim, |bench, _| {
             bench.iter(|| l2_sq(black_box(&a), black_box(&b)))
         });
-        group.bench_with_input(BenchmarkId::new("l2_sq_reference", dim), &dim, |bench, _| {
-            bench.iter(|| l2_sq_reference(black_box(&a), black_box(&b)))
+        group.bench_with_input(BenchmarkId::new("l2_sq_scalar", dim), &dim, |bench, _| {
+            bench.iter(|| kernels::scalar::l2_sq(black_box(&a), black_box(&b)))
         });
+        group.bench_with_input(
+            BenchmarkId::new("l2_sq_reference", dim),
+            &dim,
+            |bench, _| bench.iter(|| l2_sq_reference(black_box(&a), black_box(&b))),
+        );
         group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
             bench.iter(|| dot(black_box(&a), black_box(&b)))
         });
+
+        // batched one-to-many: 256 candidate rows per call, reported per call
+        let rows = 256usize;
+        let block: Vec<f32> = (0..rows * dim).map(|i| (i as f32 * 0.13).sin()).collect();
+        let mut out = vec![0.0f32; rows];
+        group.bench_with_input(
+            BenchmarkId::new("l2_sq_batched_256", dim),
+            &dim,
+            |bench, _| {
+                bench.iter(|| {
+                    kernels::l2_sq_one_to_many(black_box(&a), &block, &mut out);
+                    out[rows - 1]
+                })
+            },
+        );
     }
     group.finish();
 }

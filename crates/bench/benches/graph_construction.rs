@@ -24,7 +24,12 @@ fn bench_construction(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("alg3_gkmeans", n), &n, |bench, _| {
             bench.iter(|| {
                 let (g, _) = KnnGraphBuilder::new(
-                    GkParams::default().kappa(k).xi(50).tau(5).seed(3).record_trace(false),
+                    GkParams::default()
+                        .kappa(k)
+                        .xi(50)
+                        .tau(5)
+                        .seed(3)
+                        .record_trace(false),
                 )
                 .graph_k(k)
                 .build(&w.data);

@@ -14,14 +14,14 @@
 
 use std::time::Instant;
 
+use baselines::common::recompute_centroids;
 use bench::Options;
 use datagen::{PaperDataset, Workload};
 use eval::{average_distortion, Table};
 use gkmeans::two_means::TwoMeansTree;
 use gkmeans::{GkMeans, GkMode, GkParams, KnnGraphBuilder, ParallelKnnGraphBuilder};
-use knn_graph::recall::graph_recall_at_1;
 use knn_graph::brute::exact_graph;
-use baselines::common::recompute_centroids;
+use knn_graph::recall::graph_recall_at_1;
 use vecstore::VectorSet;
 
 fn main() {
@@ -46,11 +46,17 @@ fn main() {
         "ablation 1: optimisation mode at an identical Alg. 3 graph",
         &["mode", "E", "candidate checks"],
     );
-    for (label, mode) in [("boost (GK-means)", GkMode::Boost), ("traditional (GK-means-)", GkMode::Traditional)] {
+    for (label, mode) in [
+        ("boost (GK-means)", GkMode::Boost),
+        ("traditional (GK-means-)", GkMode::Traditional),
+    ] {
         let clustering = GkMeans::new(params.mode(mode)).fit(&w.data, k, &graph);
         mode_table.row(&[
             label.to_string(),
-            format!("{:.3}", average_distortion(&w.data, &clustering.labels, &clustering.centroids)),
+            format!(
+                "{:.3}",
+                average_distortion(&w.data, &clustering.labels, &clustering.centroids)
+            ),
             clustering.distance_evals.to_string(),
         ]);
     }
@@ -59,12 +65,19 @@ fn main() {
     // ------------------------------------------------------------------ (2)
     let mut dedup_table = Table::new(
         "ablation 2: cross-round pair deduplication in Alg. 3",
-        &["dedup", "refine distance evals", "build (s)", "recall@1 vs exact"],
+        &[
+            "dedup",
+            "refine distance evals",
+            "build (s)",
+            "recall@1 vs exact",
+        ],
     );
     let exact = exact_small(&w.data, 5_000, 10);
     for dedup in [true, false] {
         let start = Instant::now();
-        let (g, stats) = KnnGraphBuilder::new(params.dedup_pairs(dedup)).graph_k(10).build(&w.data);
+        let (g, stats) = KnnGraphBuilder::new(params.dedup_pairs(dedup))
+            .graph_k(10)
+            .build(&w.data);
         let secs = start.elapsed().as_secs_f64();
         let recall = exact
             .as_ref()
@@ -85,7 +98,9 @@ fn main() {
         &["boost refinement", "initial-partition E"],
     );
     for boost in [true, false] {
-        let labels = TwoMeansTree::new(opts.seed).boost_refine(boost).partition(&w.data, k);
+        let labels = TwoMeansTree::new(opts.seed)
+            .boost_refine(boost)
+            .partition(&w.data, k);
         let mut centroids = VectorSet::zeros(k, w.data.dim()).expect("dim > 0");
         recompute_centroids(&w.data, &labels, &mut centroids);
         init_table.row(&[
@@ -108,7 +123,9 @@ fn main() {
         s_seq.graph_updates.to_string(),
     ]);
     let start = Instant::now();
-    let (g_par, s_par) = ParallelKnnGraphBuilder::new(params).graph_k(10).build(&w.data);
+    let (g_par, s_par) = ParallelKnnGraphBuilder::new(params)
+        .graph_k(10)
+        .build(&w.data);
     par_table.row(&[
         "parallel refinement".into(),
         format!("{:.2}", start.elapsed().as_secs_f64()),

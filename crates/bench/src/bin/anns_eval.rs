@@ -26,9 +26,7 @@ fn main() {
     let queries_n = 200.min(w.data.len() / 10);
     let base_n = w.data.len() - queries_n;
     let (base, queries) = w.data.split_at(base_n).expect("split");
-    println!(
-        "ANN search: {base_n} SIFT-like base vectors, {queries_n} queries, recall@10"
-    );
+    println!("ANN search: {base_n} SIFT-like base vectors, {queries_n} queries, recall@10");
 
     println!("computing exact ground truth…");
     let ground_truth = exact_ground_truth(&base, &queries, 10);
@@ -79,7 +77,10 @@ fn main() {
                 &queries,
                 &ground_truth,
                 10,
-                SearchParams::default().ef(ef).entry_points(16).seed(opts.seed),
+                SearchParams::default()
+                    .ef(ef)
+                    .entry_points(16)
+                    .seed(opts.seed),
             );
             table.row(&[
                 name.into(),

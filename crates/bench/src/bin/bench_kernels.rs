@@ -1,0 +1,190 @@
+//! Distance-kernel micro-benchmark emitting `BENCH_kernels.json`.
+//!
+//! Times four variants of the workhorse squared-Euclidean evaluation at the
+//! dimensionalities the paper's datasets use (plus a small d=32 point):
+//!
+//! * `scalar_pair`  — the portable 4-way unrolled pair kernel (the pre-SIMD
+//!   baseline every other number is compared against);
+//! * `simd_pair`    — the runtime-dispatched pair kernel ([`vecstore::distance::l2_sq`]);
+//! * `simd_batched` — the one-to-many kernel over a contiguous block;
+//! * `simd_batched_cached` — the norm-cached one-to-many expansion.
+//!
+//! Usage: `bench_kernels [--out BENCH_kernels.json] [--rows 1024]
+//! [--ms-per-case 200]`.  ns/op figures are per distance evaluation.
+
+use std::time::Instant;
+
+use vecstore::kernels;
+
+const DIMS: [usize; 3] = [32, 128, 960];
+
+struct Case {
+    name: &'static str,
+    dim: usize,
+    ns_per_op: f64,
+}
+
+fn test_block(rows: usize, dim: usize, phase: f32) -> Vec<f32> {
+    (0..rows * dim)
+        .map(|i| ((i as f32 + phase) * 0.37).sin() * 2.0)
+        .collect()
+}
+
+/// Runs `body` (which performs `evals_per_call` distance evaluations)
+/// repeatedly for roughly `budget_ms`, returning mean ns per evaluation.
+fn time_case(budget_ms: u64, evals_per_call: u64, mut body: impl FnMut() -> f32) -> f64 {
+    // warm-up and calibration
+    let mut sink = 0.0f32;
+    for _ in 0..3 {
+        sink += body();
+    }
+    let probe = Instant::now();
+    sink += body();
+    let per_call = probe.elapsed().max(std::time::Duration::from_nanos(100));
+    let calls = ((budget_ms as f64 / 1000.0) / per_call.as_secs_f64()).ceil() as u64;
+    let calls = calls.clamp(5, 1_000_000);
+
+    let start = Instant::now();
+    for _ in 0..calls {
+        sink += body();
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    elapsed.as_nanos() as f64 / (calls * evals_per_call) as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut rows = 1024usize;
+    let mut budget_ms = 200u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    out_path = v.clone();
+                    i += 1;
+                }
+            }
+            "--rows" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    rows = v;
+                    i += 1;
+                }
+            }
+            "--ms-per-case" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    budget_ms = v;
+                    i += 1;
+                }
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                std::process::exit(1);
+            }
+        }
+        i += 1;
+    }
+
+    let dispatch = kernels::active().name;
+    println!("kernel dispatch: {dispatch}");
+
+    let mut cases: Vec<Case> = Vec::new();
+    for dim in DIMS {
+        let query: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.71).cos()).collect();
+        let block = test_block(rows, dim, 1.5);
+        let mut out = vec![0.0f32; rows];
+
+        let scalar = time_case(budget_ms, rows as u64, || {
+            let mut acc = 0.0f32;
+            for r in 0..rows {
+                acc += kernels::scalar::l2_sq(
+                    std::hint::black_box(&query),
+                    &block[r * dim..(r + 1) * dim],
+                );
+            }
+            acc
+        });
+        cases.push(Case {
+            name: "scalar_pair",
+            dim,
+            ns_per_op: scalar,
+        });
+
+        let simd_pair = time_case(budget_ms, rows as u64, || {
+            let mut acc = 0.0f32;
+            for r in 0..rows {
+                acc += vecstore::distance::l2_sq(
+                    std::hint::black_box(&query),
+                    &block[r * dim..(r + 1) * dim],
+                );
+            }
+            acc
+        });
+        cases.push(Case {
+            name: "simd_pair",
+            dim,
+            ns_per_op: simd_pair,
+        });
+
+        let batched = time_case(budget_ms, rows as u64, || {
+            kernels::l2_sq_one_to_many(std::hint::black_box(&query), &block, &mut out);
+            out[rows - 1]
+        });
+        cases.push(Case {
+            name: "simd_batched",
+            dim,
+            ns_per_op: batched,
+        });
+
+        let x_norm: f32 = query.iter().map(|v| v * v).sum();
+        let row_norms: Vec<f32> = (0..rows)
+            .map(|r| block[r * dim..(r + 1) * dim].iter().map(|v| v * v).sum())
+            .collect();
+        let cached = time_case(budget_ms, rows as u64, || {
+            kernels::l2_sq_one_to_many_cached(
+                std::hint::black_box(&query),
+                x_norm,
+                &block,
+                &row_norms,
+                &mut out,
+            );
+            out[rows - 1]
+        });
+        cases.push(Case {
+            name: "simd_batched_cached",
+            dim,
+            ns_per_op: cached,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"dispatch\": \"{dispatch}\",\n"));
+    json.push_str(&format!("  \"rows_per_batch\": {rows},\n"));
+    json.push_str("  \"unit\": \"ns_per_distance_eval\",\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        let speedup = cases
+            .iter()
+            .find(|c| c.name == "scalar_pair" && c.dim == case.dim)
+            .map(|base| base.ns_per_op / case.ns_per_op)
+            .unwrap_or(1.0);
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"dim\": {}, \"ns_per_op\": {:.3}, \"speedup_vs_scalar_pair\": {:.3}}}{}\n",
+            case.name,
+            case.dim,
+            case.ns_per_op,
+            speedup,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+        println!(
+            "{:<22} d={:<4} {:>10.2} ns/op   {:>6.2}x vs scalar pair",
+            case.name, case.dim, case.ns_per_op, speedup
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -13,7 +13,14 @@ fn main() {
     let opts = Options::parse(0.01);
     let mut table = Table::new(
         "Tab. 1 — Overview of datasets (paper vs generated surrogate)",
-        &["dataset", "paper n", "dim", "data type", "surrogate n", "surrogate components"],
+        &[
+            "dataset",
+            "paper n",
+            "dim",
+            "data type",
+            "surrogate n",
+            "surrogate components",
+        ],
     );
     for dataset in PaperDataset::all() {
         let w = Workload::generate(dataset, opts.scale, opts.seed);

@@ -41,29 +41,57 @@ fn main() {
         .record_trace(false);
 
     let mut rows: Vec<(String, Clustering, f64)> = Vec::new();
-    for method in [Method::Bkm, Method::GkMeans, Method::Closure, Method::KMeans] {
+    for method in [
+        Method::Bkm,
+        Method::GkMeans,
+        Method::Closure,
+        Method::KMeans,
+    ] {
         let start = Instant::now();
         let (clustering, _aux) = method.run(&w.data, k, iterations, opts.seed, false);
-        rows.push((method.label().to_string(), clustering, start.elapsed().as_secs_f64()));
+        rows.push((
+            method.label().to_string(),
+            clustering,
+            start.elapsed().as_secs_f64(),
+        ));
     }
     let start = Instant::now();
     let akm = ApproximateKMeans::new(cfg)
         .with_seeding(Seeding::KMeansPlusPlus)
         .max_checks(32)
         .fit(&w.data);
-    rows.push(("AKM (KD-forest, 32 checks)".into(), akm, start.elapsed().as_secs_f64()));
+    rows.push((
+        "AKM (KD-forest, 32 checks)".into(),
+        akm,
+        start.elapsed().as_secs_f64(),
+    ));
 
     let start = Instant::now();
     let hkm = HierarchicalKMeans::new(cfg).branching(8).fit(&w.data);
-    rows.push(("HKM (vocabulary tree)".into(), hkm, start.elapsed().as_secs_f64()));
+    rows.push((
+        "HKM (vocabulary tree)".into(),
+        hkm,
+        start.elapsed().as_secs_f64(),
+    ));
 
     let start = Instant::now();
     let bisect = BisectingKMeans::new(cfg).fit(&w.data);
-    rows.push(("bisecting k-means".into(), bisect, start.elapsed().as_secs_f64()));
+    rows.push((
+        "bisecting k-means".into(),
+        bisect,
+        start.elapsed().as_secs_f64(),
+    ));
 
     let mut table = Table::new(
         "extended comparison (AKM / HKM included)",
-        &["method", "E", "silhouette", "Davies-Bouldin", "time (s)", "distance evals"],
+        &[
+            "method",
+            "E",
+            "silhouette",
+            "Davies-Bouldin",
+            "time (s)",
+            "distance evals",
+        ],
     );
     for (name, clustering, secs) in &rows {
         let e = clustering.distortion(&w.data);

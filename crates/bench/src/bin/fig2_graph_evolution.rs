@@ -54,7 +54,9 @@ fn main() {
         if t > tau {
             continue;
         }
-        let (graph, _) = KnnGraphBuilder::new(params.tau(t)).graph_k(10).build(&w.data);
+        let (graph, _) = KnnGraphBuilder::new(params.tau(t))
+            .graph_k(10)
+            .build(&w.data);
         let recall = graph_recall_at_1(&graph, &exact);
         let distortion = distortions[t - 1];
         table.row(&[

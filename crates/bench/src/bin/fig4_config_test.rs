@@ -45,7 +45,12 @@ fn main() {
     let mut gk_minus_series = Series::new("GK-means-", "recall", "distortion");
     for tau in [1usize, 2, 4, 8, 12] {
         let (graph, _) = KnnGraphBuilder::new(
-            GkParams::default().kappa(kappa).xi(50).tau(tau).seed(opts.seed).record_trace(false),
+            GkParams::default()
+                .kappa(kappa)
+                .xi(50)
+                .tau(tau)
+                .seed(opts.seed)
+                .record_trace(false),
         )
         .graph_k(kappa)
         .build(&w.data);

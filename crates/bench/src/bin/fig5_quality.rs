@@ -19,7 +19,11 @@ use eval::{Series, Table};
 fn main() {
     let opts = Options::parse(0.02);
     let iterations = opts.iterations.min(40);
-    for dataset in [PaperDataset::Sift1M, PaperDataset::Glove1M, PaperDataset::Gist1M] {
+    for dataset in [
+        PaperDataset::Sift1M,
+        PaperDataset::Glove1M,
+        PaperDataset::Gist1M,
+    ] {
         let w = Workload::generate(dataset, opts.scale, opts.seed);
         let n = w.data.len();
         let k = (n / 100).max(10);
@@ -30,12 +34,14 @@ fn main() {
         );
 
         let mut table = Table::new(
-            &format!("Fig. 5 ({}) — final distortion and total time", dataset.name()),
+            &format!(
+                "Fig. 5 ({}) — final distortion and total time",
+                dataset.name()
+            ),
             &["method", "final E", "total time (s)", "iterations"],
         );
         for method in Method::figure5_set() {
-            let (clustering, aux_time) =
-                method.run(&w.data, k, iterations, opts.seed, true);
+            let (clustering, aux_time) = method.run(&w.data, k, iterations, opts.seed, true);
             let final_e = clustering
                 .trace
                 .last()

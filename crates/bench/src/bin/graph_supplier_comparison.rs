@@ -103,7 +103,13 @@ fn main() {
 
     let mut table = Table::new(
         "graph suppliers: construction cost, recall and downstream GK-means quality",
-        &["supplier", "build (s)", "distance evals", "recall@1", "GK-means E"],
+        &[
+            "supplier",
+            "build (s)",
+            "distance evals",
+            "recall@1",
+            "GK-means E",
+        ],
     );
     for s in &suppliers {
         let recall = estimated_recall_at_1(&s.graph, &sample_ids, &truth);

@@ -37,7 +37,11 @@ fn main() {
             .seed(opts.seed)
             .record_trace(false);
         let outcome = GkMeansPipeline::new(params).cluster(&w.data, k);
-        let e = average_distortion(&w.data, &outcome.clustering.labels, &outcome.clustering.centroids);
+        let e = average_distortion(
+            &w.data,
+            &outcome.clustering.labels,
+            &outcome.clustering.centroids,
+        );
         kappa_table.row(&[
             kappa.to_string(),
             format!("{e:.3}"),
@@ -61,7 +65,11 @@ fn main() {
             .seed(opts.seed)
             .record_trace(false);
         let outcome = GkMeansPipeline::new(params).cluster(&w.data, k);
-        let e = average_distortion(&w.data, &outcome.clustering.labels, &outcome.clustering.centroids);
+        let e = average_distortion(
+            &w.data,
+            &outcome.clustering.labels,
+            &outcome.clustering.centroids,
+        );
         xi_table.row(&[
             xi.to_string(),
             format!("{e:.3}"),
@@ -85,7 +93,11 @@ fn main() {
             .seed(opts.seed)
             .record_trace(false);
         let outcome = GkMeansPipeline::new(params).cluster(&w.data, k);
-        let e = average_distortion(&w.data, &outcome.clustering.labels, &outcome.clustering.centroids);
+        let e = average_distortion(
+            &w.data,
+            &outcome.clustering.labels,
+            &outcome.clustering.centroids,
+        );
         tau_table.row(&[
             tau.to_string(),
             format!("{e:.3}"),
@@ -94,6 +106,8 @@ fn main() {
         ]);
     }
     print!("{}", tau_table.render());
-    println!("(expected: E flattens once kappa is large enough; construction cost grows with xi and tau");
+    println!(
+        "(expected: E flattens once kappa is large enough; construction cost grows with xi and tau"
+    );
     println!(" while E improves only marginally past the defaults — matching Sec. 4.4.)");
 }

@@ -31,8 +31,8 @@ use gkmeans::{GkMeansPipeline, GkParams};
 use knn_graph::brute::exact_neighbors_of_subset;
 use knn_graph::nn_descent::{nn_descent, NnDescentParams};
 use knn_graph::recall::estimated_recall_at_1;
-use vecstore::sample::{rng_from_seed, sample_distinct};
 use vecstore::distance::l2_sq;
+use vecstore::sample::{rng_from_seed, sample_distinct};
 
 fn main() {
     let opts = Options::parse(0.003);
@@ -63,7 +63,11 @@ fn main() {
         .seed(opts.seed)
         .record_trace(false);
     let outcome = GkMeansPipeline::new(params).cluster(&w.data, k);
-    let gk_e = average_distortion(&w.data, &outcome.clustering.labels, &outcome.clustering.centroids);
+    let gk_e = average_distortion(
+        &w.data,
+        &outcome.clustering.labels,
+        &outcome.clustering.centroids,
+    );
     let gk_recall = estimated_recall_at_1(&outcome.graph, &probe_ids, &probe_truth);
     table.row(&[
         "GK-means".into(),
@@ -86,7 +90,8 @@ fn main() {
     );
     let nnd_time = start.elapsed();
     let nnd_recall = estimated_recall_at_1(&nnd_graph, &probe_ids, &probe_truth);
-    let outcome_kg = GkMeansPipeline::new(params).cluster_with_graph(&w.data, k, nnd_graph, nnd_time);
+    let outcome_kg =
+        GkMeansPipeline::new(params).cluster_with_graph(&w.data, k, nnd_graph, nnd_time);
     let kg_e = average_distortion(
         &w.data,
         &outcome_kg.clustering.labels,
@@ -146,6 +151,8 @@ fn main() {
     );
     println!("(the paper's estimate for the full-scale task is ~3 years.)");
     println!();
-    println!("(expected: GK-means has the lowest E and the lowest total time; KGraph+GK-means has much");
+    println!(
+        "(expected: GK-means has the lowest E and the lowest total time; KGraph+GK-means has much"
+    );
     println!(" higher graph recall yet slightly worse E and a far more expensive init phase.)");
 }

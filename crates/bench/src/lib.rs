@@ -74,7 +74,11 @@ impl Options {
             i += 1;
         }
         Self {
-            scale: if scale.is_finite() && scale > 0.0 { scale.min(1.0) } else { default_scale },
+            scale: if scale.is_finite() && scale > 0.0 {
+                scale.min(1.0)
+            } else {
+                default_scale
+            },
             seed,
             iterations,
         }
@@ -158,7 +162,9 @@ impl Method {
             .record_trace(record_trace);
         match self {
             Method::MiniBatch => (
-                MiniBatchKMeans::new(cfg).batch_size(1_000.min(data.len())).fit(data),
+                MiniBatchKMeans::new(cfg)
+                    .batch_size(1_000.min(data.len()))
+                    .fit(data),
                 Duration::ZERO,
             ),
             Method::Closure => (ClosureKMeans::new(cfg).fit(data), Duration::ZERO),
@@ -218,10 +224,18 @@ mod tests {
 
     #[test]
     fn options_parse_flags() {
-        let args: Vec<String> = ["prog", "--scale", "0.25", "--seed", "7", "--iterations", "12"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "prog",
+            "--scale",
+            "0.25",
+            "--seed",
+            "7",
+            "--iterations",
+            "12",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = Options::from_args(&args, 0.01);
         assert_eq!(o.scale, 0.25);
         assert_eq!(o.seed, 7);
@@ -237,10 +251,7 @@ mod tests {
 
     #[test]
     fn options_reject_nonsense_scale() {
-        let o = Options::from_args(
-            &["prog".into(), "--scale".into(), "-3".into()],
-            0.05,
-        );
+        let o = Options::from_args(&["prog".into(), "--scale".into(), "-3".into()], 0.05);
         assert_eq!(o.scale, 0.05);
     }
 

@@ -8,16 +8,46 @@ fn main() {
     println!();
     println!("Experiment binaries (cargo run --release -p bench --bin <name> [-- --scale <f>]):");
     for (bin, what) in [
-        ("datasets", "Tab. 1  — dataset overview (paper vs synthetic surrogates)"),
-        ("fig1_cooccurrence", "Fig. 1  — co-occurrence of a sample and its rank-r NN in one cluster"),
-        ("fig2_graph_evolution", "Fig. 2  — KNN-graph recall & clustering distortion vs tau"),
-        ("fig4_config_test", "Fig. 4  — distortion vs graph recall for three GK-means configurations"),
-        ("fig5_quality", "Fig. 5  — distortion vs iteration and vs time for all methods"),
-        ("fig6_scalability_time", "Fig. 6  — time vs data scale (a) and vs cluster count (b)"),
-        ("fig7_scalability_quality", "Fig. 7  — distortion for the same two sweeps"),
-        ("table2_massive_k", "Tab. 2  — partitioning the VLAD-like workload into a massive number of clusters"),
-        ("anns_eval", "Sec.4.3 — ANN search with the Alg. 3 graph vs NN-Descent"),
-        ("param_sweep", "Sec.4.4 — kappa / xi parameter sensitivity (ablation)"),
+        (
+            "datasets",
+            "Tab. 1  — dataset overview (paper vs synthetic surrogates)",
+        ),
+        (
+            "fig1_cooccurrence",
+            "Fig. 1  — co-occurrence of a sample and its rank-r NN in one cluster",
+        ),
+        (
+            "fig2_graph_evolution",
+            "Fig. 2  — KNN-graph recall & clustering distortion vs tau",
+        ),
+        (
+            "fig4_config_test",
+            "Fig. 4  — distortion vs graph recall for three GK-means configurations",
+        ),
+        (
+            "fig5_quality",
+            "Fig. 5  — distortion vs iteration and vs time for all methods",
+        ),
+        (
+            "fig6_scalability_time",
+            "Fig. 6  — time vs data scale (a) and vs cluster count (b)",
+        ),
+        (
+            "fig7_scalability_quality",
+            "Fig. 7  — distortion for the same two sweeps",
+        ),
+        (
+            "table2_massive_k",
+            "Tab. 2  — partitioning the VLAD-like workload into a massive number of clusters",
+        ),
+        (
+            "anns_eval",
+            "Sec.4.3 — ANN search with the Alg. 3 graph vs NN-Descent",
+        ),
+        (
+            "param_sweep",
+            "Sec.4.4 — kappa / xi parameter sensitivity (ablation)",
+        ),
     ] {
         println!("  {bin:<26} {what}");
     }

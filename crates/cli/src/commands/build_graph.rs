@@ -39,26 +39,67 @@ pub fn run(args: &Args) -> Result<(), String> {
     let data = read_fvecs(&base_path).map_err(|e| format!("cannot read {base_path}: {e}"))?;
     println!("loaded {} × {} from {base_path}", data.len(), data.dim());
 
-    let params = GkParams::default().kappa(kappa).xi(xi).tau(tau).seed(seed).record_trace(false);
+    let params = GkParams::default()
+        .kappa(kappa)
+        .xi(xi)
+        .tau(tau)
+        .seed(seed)
+        .record_trace(false);
     let start = Instant::now();
     let (graph, cost_note) = match method.as_str() {
         "alg3" => {
             let (g, stats) = KnnGraphBuilder::new(params).graph_k(graph_k).build(&data);
-            (g, format!("{} refinement distance evals over {} rounds", stats.refine_distance_evals, stats.rounds))
+            (
+                g,
+                format!(
+                    "{} refinement distance evals over {} rounds",
+                    stats.refine_distance_evals, stats.rounds
+                ),
+            )
         }
         "alg3-par" => {
-            let (g, stats) = ParallelKnnGraphBuilder::new(params).graph_k(graph_k).build(&data);
-            (g, format!("{} refinement distance evals over {} rounds (parallel refinement)", stats.refine_distance_evals, stats.rounds))
+            let (g, stats) = ParallelKnnGraphBuilder::new(params)
+                .graph_k(graph_k)
+                .build(&data);
+            (
+                g,
+                format!(
+                    "{} refinement distance evals over {} rounds (parallel refinement)",
+                    stats.refine_distance_evals, stats.rounds
+                ),
+            )
         }
         "nn-descent" => {
-            let (g, stats) = nn_descent_with_stats(&data, &NnDescentParams { k: graph_k, seed, ..Default::default() });
-            (g, format!("{} distance evals over {} rounds", stats.distance_evals, stats.rounds))
+            let (g, stats) = nn_descent_with_stats(
+                &data,
+                &NnDescentParams {
+                    k: graph_k,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            (
+                g,
+                format!(
+                    "{} distance evals over {} rounds",
+                    stats.distance_evals, stats.rounds
+                ),
+            )
         }
         "nsw" => {
             let (g, stats) = nsw_build_with_stats(&data, &NswParams::with_m(graph_k).seed(seed));
-            (truncate_to_k(&g, graph_k), format!("{} distance evals, {} edges added", stats.distance_evals, stats.edges_added))
+            (
+                truncate_to_k(&g, graph_k),
+                format!(
+                    "{} distance evals, {} edges added",
+                    stats.distance_evals, stats.edges_added
+                ),
+            )
         }
-        "exact" => (exact_graph(&data, graph_k), "exhaustive O(n²·d) construction".to_string()),
+        "exact" => (
+            exact_graph(&data, graph_k),
+            "exhaustive O(n²·d) construction".to_string(),
+        ),
         other => {
             return Err(format!(
                 "unknown method `{other}`; expected alg3, alg3-par, nn-descent, nsw or exact"

@@ -55,7 +55,15 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
 
     let (clustering, graph_time) = run_method(
-        &method, &data, k, iterations, kappa, xi, tau, seed, graph_path.as_deref(),
+        &method,
+        &data,
+        k,
+        iterations,
+        kappa,
+        xi,
+        tau,
+        seed,
+        graph_path.as_deref(),
     )?;
 
     let distortion = clustering.distortion(&data);
@@ -75,11 +83,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         });
         println!("{}", serde_json::to_string_pretty(&report).expect("json"));
     } else {
-        println!(
-            "{method}: n = {}, d = {}, k = {k}",
-            data.len(),
-            data.dim()
-        );
+        println!("{method}: n = {}, d = {}, k = {k}", data.len(), data.dim());
         println!(
             "  distortion E = {distortion:.4}   non-empty clusters = {}",
             clustering.non_empty_clusters()
@@ -139,7 +143,9 @@ fn run_method(
         "bkm" => Ok((BoostKMeans::new(cfg).fit(data), Duration::ZERO)),
         "lloyd" => Ok((LloydKMeans::new(cfg).fit(data), Duration::ZERO)),
         "kmeans++" => Ok((
-            LloydKMeans::new(cfg).with_seeding(Seeding::KMeansPlusPlus).fit(data),
+            LloydKMeans::new(cfg)
+                .with_seeding(Seeding::KMeansPlusPlus)
+                .fit(data),
             Duration::ZERO,
         )),
         "minibatch" => Ok((MiniBatchKMeans::new(cfg).fit(data), Duration::ZERO)),

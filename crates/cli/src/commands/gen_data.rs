@@ -64,7 +64,11 @@ pub fn run(args: &Args) -> Result<(), String> {
         );
     } else {
         write_fvecs(&out, &data).map_err(|e| format!("cannot write {out}: {e}"))?;
-        println!("wrote {} vectors of dimension {} to {out}", data.len(), data.dim());
+        println!(
+            "wrote {} vectors of dimension {} to {out}",
+            data.len(),
+            data.dim()
+        );
     }
     Ok(())
 }

@@ -17,9 +17,7 @@ pub fn parse_dataset(name: &str) -> Result<PaperDataset, String> {
         .ok_or_else(|| {
             format!(
                 "unknown dataset `{name}`; expected one of {}",
-                PaperDataset::all()
-                    .map(|d| d.name().to_string())
-                    .join(", ")
+                PaperDataset::all().map(|d| d.name().to_string()).join(", ")
             )
         })
 }

@@ -93,22 +93,70 @@ mod tests {
 
         let cmd = |line: &[&str]| run(&line.iter().map(|s| s.to_string()).collect::<Vec<_>>());
         cmd(&[
-            "gen-data", "--out", &base, "--dataset", "SIFT100K", "--n", "1500", "--queries", "30",
-            "--queries-out", &queries, "--seed", "7",
+            "gen-data",
+            "--out",
+            &base,
+            "--dataset",
+            "SIFT100K",
+            "--n",
+            "1500",
+            "--queries",
+            "30",
+            "--queries-out",
+            &queries,
+            "--seed",
+            "7",
         ])
         .unwrap();
         cmd(&[
-            "build-graph", "--base", &base, "--out", &graph, "--method", "alg3", "--graph-k", "8",
-            "--kappa", "8", "--xi", "25", "--tau", "3", "--estimate-recall", "50",
+            "build-graph",
+            "--base",
+            &base,
+            "--out",
+            &graph,
+            "--method",
+            "alg3",
+            "--graph-k",
+            "8",
+            "--kappa",
+            "8",
+            "--xi",
+            "25",
+            "--tau",
+            "3",
+            "--estimate-recall",
+            "50",
         ])
         .unwrap();
         cmd(&[
-            "cluster", "--base", &base, "--k", "15", "--graph", &graph, "--iterations", "8",
-            "--kappa", "8", "--labels-out", &labels, "--json",
+            "cluster",
+            "--base",
+            &base,
+            "--k",
+            "15",
+            "--graph",
+            &graph,
+            "--iterations",
+            "8",
+            "--kappa",
+            "8",
+            "--labels-out",
+            &labels,
+            "--json",
         ])
         .unwrap();
-        cmd(&["search", "--base", &base, "--graph", &graph, "--queries", &queries, "--r", "5"])
-            .unwrap();
+        cmd(&[
+            "search",
+            "--base",
+            &base,
+            "--graph",
+            &graph,
+            "--queries",
+            &queries,
+            "--r",
+            "5",
+        ])
+        .unwrap();
         cmd(&["info", "--base", &base, "--graph", &graph]).unwrap();
 
         let written = std::fs::read_to_string(&labels).unwrap();

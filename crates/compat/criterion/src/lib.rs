@@ -1,0 +1,228 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements a real (if simple) measurement loop: each benchmark is warmed
+//! up for `warm_up_time`, then timed in batches until `measurement_time`
+//! elapses, and the mean ns/iteration is printed in a criterion-like format.
+//! No statistics beyond the mean, no HTML reports, no baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 0,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.benchmark_group("");
+        let name = name.into();
+        let mut bencher = Bencher {
+            warm_up: group.warm_up,
+            measurement: group.measurement,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        group.report(&name, &bencher);
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered through `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates the id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Accepted for compatibility; this implementation sizes batches by time,
+    /// so the value only marks intent.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with `input` under the given id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        let id_text = id.text.clone();
+        self.report(&id_text, &bencher);
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let name = name.into();
+        self.report(&name, &bencher);
+        self
+    }
+
+    /// Finishes the group (printing happens per benchmark; nothing to do).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        println!(
+            "{full:<50} time: [{:>12.2} ns/iter]  ({} iterations)",
+            bencher.result_ns, bencher.iters
+        );
+    }
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` under the timing loop, recording mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also calibrating the batch size to ~1 ms per batch.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+            if elapsed < Duration::from_millis(1) && batch < 1 << 40 {
+                batch *= 2;
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.result_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Declares a function that runs each benchmark in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_produces_a_positive_estimate() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        let mut measured = 0.0;
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+            measured = b.result_ns;
+        });
+        group.finish();
+        assert!(measured > 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for the subset of `rand_distr` this workspace uses: the
+//! [`Distribution`] trait and the [`Normal`] distribution (sampled with the
+//! Box–Muller transform).  See the `rand` compat crate for why this exists.
+
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore, Standard};
+
+/// Types that can be sampled given a random source.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for non-finite or negative scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Normal (Gaussian) distribution with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Floating-point types [`Normal`] can produce.
+pub trait NormalFloat: Copy {
+    /// `true` when the value is a valid (finite, non-negative) scale.
+    fn valid_scale(self) -> bool;
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// `mean + std_dev * z`.
+    fn scale_shift(self, std_dev: Self, z: f64) -> Self;
+}
+
+impl NormalFloat for f32 {
+    fn valid_scale(self) -> bool {
+        self.is_finite() && self >= 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn scale_shift(self, std_dev: Self, z: f64) -> Self {
+        self + std_dev * z as f32
+    }
+}
+
+impl NormalFloat for f64 {
+    fn valid_scale(self) -> bool {
+        self.is_finite() && self >= 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn scale_shift(self, std_dev: Self, z: f64) -> Self {
+        self + std_dev * z
+    }
+}
+
+impl<F: NormalFloat> Normal<F> {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] when `std_dev` is negative or not finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !std_dev.valid_scale() {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller: two uniforms in (0, 1] -> one standard normal.
+        let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+        let u2: f64 = Standard::standard_sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean.scale_shift(self.std_dev, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_scale() {
+        assert!(Normal::<f32>::new(0.0, -1.0).is_err());
+        assert!(Normal::<f64>::new(0.0, f64::NAN).is_err());
+        assert!(Normal::<f32>::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn mean_and_spread_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = Normal::<f64>::new(5.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+}

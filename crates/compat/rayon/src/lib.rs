@@ -1,0 +1,181 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Parallelism is real: work is split into contiguous chunks, one per worker
+//! thread (`std::thread::scope`), and results are re-assembled in input order
+//! so callers observe the same ordering guarantees as rayon's indexed
+//! parallel iterators.  On a single-core host (or for tiny inputs) execution
+//! simply stays on the calling thread.
+//!
+//! Supported surface: `par_iter()` on slices/`Vec`s, `into_par_iter()` on
+//! `Range<usize>`, then `.map(...)` followed by `.collect()` or `.sum()`.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// The common prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads to use for `len` items.
+fn workers_for(len: usize) -> usize {
+    if len < 2 {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len)
+}
+
+/// Maps `f` over `items`, preserving order, using up to one thread per core.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers_for(items.len());
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut items = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator over `T` items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` (executed in parallel at the sink).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]: a pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Runs the map and collects the results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map and sums the results.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<S>,
+        F: Fn(T) -> S + Sync,
+    {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a shared reference).
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter_sums() {
+        let s: usize = (0..101usize).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn slice_par_iter_works_through_vec_deref() {
+        let nested: Vec<Vec<u32>> = vec![vec![1, 2], vec![3], vec![]];
+        let lens: Vec<usize> = nested.par_iter().map(|v| v.len()).collect();
+        assert_eq!(lens, vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on configuration
+//! types for forward compatibility; nothing routes those types through a
+//! generic serializer (the single JSON emitter builds its document from
+//! primitives via `serde_json::json!`).  The traits are therefore markers,
+//! and the derive macros (re-exported from the `serde_derive` compat crate)
+//! emit empty impls.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}

@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_derive`: derive macros that emit the marker
+//! impls expected by the compat `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain configuration
+//! structs and enums but never feeds them to a generic serializer (the only
+//! JSON produced is built through `serde_json::json!` from primitive values),
+//! so marker impls are sufficient.  The macro extracts the type name by
+//! scanning the token stream — the derived types in this workspace carry no
+//! generic parameters, which keeps that extraction trivial.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the identifier following the `struct` / `enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tok in input {
+        if let TokenTree::Ident(ident) = tok {
+            let text = ident.to_string();
+            if saw_keyword {
+                return text;
+            }
+            if text == "struct" || text == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name");
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}

@@ -1,0 +1,273 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses: a
+//! JSON [`Value`] tree, the [`json!`] macro for flat object literals, and the
+//! [`to_string`] / [`to_string_pretty`] writers.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (unsigned, signed or floating point).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// JSON number, keeping integers exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+/// Serialization error (never produced by this implementation; kept for
+/// call-site signature compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::U(v as u64))
+            }
+        }
+    )*};
+}
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::I(v as i64))
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::F(f64::from(v)))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::F(v))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Value`] from a flat object literal or a single expression.
+///
+/// Supported forms: `json!(null)`, `json!({ "key": expr, ... })` and
+/// `json!(expr)` — the subset the workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($value)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::U(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::I(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        // JSON has no NaN/Inf; serde_json writes null.
+        Number::F(_) => out.push_str("null"),
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_close) = match indent {
+        Some(width) => (
+            "\n",
+            " ".repeat(width * (level + 1)),
+            " ".repeat(width * level),
+        ),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape_into(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes compactly.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the upstream signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    Ok(out)
+}
+
+/// Serializes with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_and_compact_output() {
+        let v = json!({
+            "name": "gk-means",
+            "n": 100usize,
+            "ratio": 0.5f64,
+            "ok": true,
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"gk-means","n":100,"ratio":0.5,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_ordered() {
+        let v = json!({ "b": 1u32, "a": 2u32 });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"b\": 1,\n  \"a\": 2\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({ "msg": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"msg":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+    }
+}

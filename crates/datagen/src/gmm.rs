@@ -168,7 +168,12 @@ mod tests {
 
     #[test]
     fn component_sizes_sum_and_cover() {
-        for &(n, k, s) in &[(100usize, 7usize, 0.0f64), (100, 7, 0.8), (50, 50, 1.2), (1000, 3, 2.0)] {
+        for &(n, k, s) in &[
+            (100usize, 7usize, 0.0f64),
+            (100, 7, 0.8),
+            (50, 50, 1.2),
+            (1000, 3, 2.0),
+        ] {
             let sizes = component_sizes(n, k, s);
             assert_eq!(sizes.len(), k);
             assert_eq!(sizes.iter().sum::<usize>(), n);
@@ -198,7 +203,7 @@ mod tests {
         assert_eq!(ds.centres.len(), 8);
         assert!(ds.labels.iter().all(|&l| l < 8));
         // all components represented
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for &l in &ds.labels {
             seen[l] = true;
         }
@@ -240,7 +245,9 @@ mod tests {
         let spec = DatasetSpec::new(100, 32, 4).with_family(DescriptorFamily::SiftLike);
         let ds = GmmDataset::generate(&spec, 5);
         for row in ds.data.rows() {
-            assert!(row.iter().all(|&v| (0.0..=255.0).contains(&v) && v == v.round()));
+            assert!(row
+                .iter()
+                .all(|&v| (0.0..=255.0).contains(&v) && v == v.round()));
         }
     }
 

@@ -27,7 +27,13 @@ pub fn purity(labels: &[usize], reference: &[usize]) -> f64 {
         contingency[c * r + g] += 1;
     }
     let majority_sum: usize = (0..k)
-        .map(|c| contingency[c * r..(c + 1) * r].iter().copied().max().unwrap_or(0))
+        .map(|c| {
+            contingency[c * r..(c + 1) * r]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+        })
         .sum();
     majority_sum as f64 / labels.len() as f64
 }
@@ -66,7 +72,12 @@ pub fn normalized_mutual_information(labels: &[usize], reference: &[usize]) -> f
             }
         }
     }
-    let entropy = |p: &[f64]| -> f64 { -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>() };
+    let entropy = |p: &[f64]| -> f64 {
+        -p.iter()
+            .filter(|&&x| x > 0.0)
+            .map(|&x| x * x.ln())
+            .sum::<f64>()
+    };
     let hc = entropy(&pc);
     let hg = entropy(&pg);
     let denom = 0.5 * (hc + hg);

@@ -97,7 +97,11 @@ pub fn sampled_silhouette(data: &VectorSet, labels: &[usize], samples: usize, se
 /// does not match the data.
 pub fn davies_bouldin(data: &VectorSet, labels: &[usize], centroids: &VectorSet) -> f64 {
     assert_eq!(data.len(), labels.len(), "label count mismatch");
-    assert_eq!(data.dim(), centroids.dim(), "centroid dimensionality mismatch");
+    assert_eq!(
+        data.dim(),
+        centroids.dim(),
+        "centroid dimensionality mismatch"
+    );
     let k = centroids.len();
     let mut sizes = vec![0usize; k];
     let mut scatter = vec![0.0f64; k];
@@ -203,7 +207,7 @@ mod tests {
     #[test]
     fn silhouette_degenerate_inputs_are_zero() {
         let (data, labels, _) = two_blobs();
-        assert_eq!(sampled_silhouette(&data, &vec![0; 6], 6, 3), 0.0);
+        assert_eq!(sampled_silhouette(&data, &[0; 6], 6, 3), 0.0);
         let one = VectorSet::from_rows(vec![vec![1.0, 1.0]]).unwrap();
         assert_eq!(sampled_silhouette(&one, &[0], 1, 3), 0.0);
         let _ = labels;
@@ -222,7 +226,9 @@ mod tests {
                 acc[0] += data.row(i)[0];
                 acc[1] += data.row(i)[1];
             }
-            bad_centroids.row_mut(c).copy_from_slice(&[acc[0] / 3.0, acc[1] / 3.0]);
+            bad_centroids
+                .row_mut(c)
+                .copy_from_slice(&[acc[0] / 3.0, acc[1] / 3.0]);
         }
         let bad = davies_bouldin(&data, &bad_labels, &bad_centroids);
         assert!(good < bad, "good {good} vs bad {bad}");
@@ -233,7 +239,7 @@ mod tests {
     fn davies_bouldin_degenerate_cases() {
         let (data, _, centroids) = two_blobs();
         // single populated cluster → 0
-        assert_eq!(davies_bouldin(&data, &vec![0; 6], &centroids), 0.0);
+        assert_eq!(davies_bouldin(&data, &[0; 6], &centroids), 0.0);
     }
 
     #[test]

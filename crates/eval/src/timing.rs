@@ -33,10 +33,7 @@ impl PhaseTimer {
 
     /// Duration of the first phase recorded under `name`, if any.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 
     /// Sum of all recorded phases.

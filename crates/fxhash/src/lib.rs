@@ -1,0 +1,137 @@
+//! Fx-style hashing: a fast, non-cryptographic hasher for hot-path hash sets
+//! and maps keyed by small integers.
+//!
+//! The visited-pair sets inside the KNN-graph builders sit in the innermost
+//! refinement loop; `std`'s default SipHash spends more time hashing a `u64`
+//! key than the loop spends on everything else around it.  This crate is a
+//! clean-room implementation of the multiply-rotate scheme popularised by the
+//! Firefox/rustc "FxHash": each word is folded in with a rotate, xor and a
+//! multiplication by a large odd constant.  It is not DoS-resistant — use it
+//! only for internal keys, never for attacker-controlled input.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher for small keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_behaves_like_a_set() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(42));
+        assert!(!set.insert(42));
+        assert!(set.contains(&42));
+        assert!(!set.contains(&43));
+        for i in 0..10_000u64 {
+            set.insert(i.wrapping_mul(0x9e3779b97f4a7c15));
+        }
+        assert_eq!(set.len(), 10_001);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads_sequential_keys() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(7), hash(7));
+        // sequential keys must not collide in the low bits the table uses
+        let low_bits: std::collections::HashSet<u64> =
+            (0..1024u64).map(|v| hash(v) & 0x3ff).collect();
+        assert!(low_bits.len() > 512, "low-bit spread {}", low_bits.len());
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a, h.finish());
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+        assert_eq!(map.len(), 2);
+    }
+}

@@ -184,7 +184,11 @@ mod tests {
         let result = BoostKMeans::new(KMeansConfig::with_k(4).max_iters(30).seed(1)).fit(&data);
         assert_eq!(result.labels.len(), data.len());
         assert_eq!(result.non_empty_clusters(), 4);
-        assert!(result.distortion(&data) < 3.0, "distortion {}", result.distortion(&data));
+        assert!(
+            result.distortion(&data) < 3.0,
+            "distortion {}",
+            result.distortion(&data)
+        );
     }
 
     #[test]

@@ -18,10 +18,10 @@
 //! is why GK-means converges to slightly lower distortion with it (Fig. 4,
 //! Tab. 2).
 
-use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use vecstore::distance::l2_sq;
+use fxhash::FxHashSet;
+use vecstore::kernels;
 use vecstore::VectorSet;
 
 use knn_graph::random::random_graph;
@@ -109,7 +109,11 @@ impl KnnGraphBuilder {
         }
 
         // Alg. 3 line 4: random initial graph.
-        let mut graph = random_graph(data, self.graph_k.min(n.saturating_sub(1)), self.params.seed);
+        let mut graph = random_graph(
+            data,
+            self.graph_k.min(n.saturating_sub(1)),
+            self.params.seed,
+        );
         let k0 = self.construction_clusters(n);
 
         // The GK-means call inside the construction runs a single optimisation
@@ -120,7 +124,12 @@ impl KnnGraphBuilder {
             .record_trace(false)
             .kappa(self.params.kappa.min(self.graph_k));
 
-        let mut visited: HashSet<u64> = HashSet::new();
+        // The visited-pair set sits inside the innermost refinement loop;
+        // Fx hashing keeps the membership test far cheaper than SipHash.
+        let mut visited: FxHashSet<u64> = FxHashSet::default();
+        let mut partners: Vec<u32> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
+        let dim = data.dim();
         for round in 0..self.params.tau {
             stats.rounds = round + 1;
             // Alg. 3 line 7: cluster the data guided by the current graph.
@@ -129,23 +138,36 @@ impl KnnGraphBuilder {
             stats.clustering_distance_evals += clustering.distance_evals;
 
             // Alg. 3 lines 8–14: exhaustive comparison inside every cluster.
+            // For each anchor sample the non-deduplicated partners are scored
+            // in one batched gather, then merged into the graph in the same
+            // order the scalar loop used.
             let mut members: Vec<Vec<u32>> = vec![Vec::new(); k0];
             for (i, &label) in clustering.labels.iter().enumerate() {
                 members[label].push(i as u32);
             }
             for cluster in &members {
                 for (a_idx, &i) in cluster.iter().enumerate() {
+                    partners.clear();
                     for &j in cluster.iter().skip(a_idx + 1) {
-                        if self.params.dedup_pairs {
-                            let key = pair_key(i, j);
-                            if !visited.insert(key) {
-                                continue;
-                            }
+                        if self.params.dedup_pairs && !visited.insert(pair_key(i, j)) {
+                            continue;
                         }
-                        let d = l2_sq(data.row(i as usize), data.row(j as usize));
-                        stats.refine_distance_evals += 1;
-                        stats.graph_updates +=
-                            graph.update_pair(i as usize, j as usize, d) as u64;
+                        partners.push(j);
+                    }
+                    if partners.is_empty() {
+                        continue;
+                    }
+                    dists.resize(partners.len(), 0.0);
+                    kernels::l2_sq_one_to_many_indexed(
+                        data.row(i as usize),
+                        data.as_flat(),
+                        dim,
+                        &partners,
+                        &mut dists,
+                    );
+                    stats.refine_distance_evals += partners.len() as u64;
+                    for (&j, &d) in partners.iter().zip(&dists) {
+                        stats.graph_updates += graph.update_pair(i as usize, j as usize, d) as u64;
                     }
                 }
             }
@@ -175,6 +197,7 @@ mod tests {
     use knn_graph::brute::exact_graph;
     use knn_graph::recall::graph_recall_at_1;
     use rand::Rng;
+    use vecstore::distance::l2_sq;
     use vecstore::sample::rng_from_seed;
 
     fn clustered(n: usize, dim: usize, groups: usize, seed: u64) -> VectorSet {
@@ -217,10 +240,9 @@ mod tests {
 
         let params = GkParams::default().xi(20).tau(6).kappa(5).seed(2);
         let mut per_round = Vec::new();
-        let (graph, stats) = KnnGraphBuilder::new(params).graph_k(5).build_with_observer(
-            &data,
-            |info| per_round.push(info.distortion),
-        );
+        let (graph, stats) = KnnGraphBuilder::new(params)
+            .graph_k(5)
+            .build_with_observer(&data, |info| per_round.push(info.distortion));
         let recall = graph_recall_at_1(&graph, &exact);
         assert!(stats.rounds == 6);
         assert!(stats.refine_distance_evals > 0);

@@ -21,13 +21,12 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use knn_graph::KnnGraph;
-use vecstore::distance::{dot, l2_sq};
+use vecstore::distance::dot;
+use vecstore::kernels;
 use vecstore::sample::{rng_from_seed, shuffled_order};
 use vecstore::VectorSet;
 
-use baselines::common::{
-    average_distortion, recompute_centroids, Clustering, IterationStat,
-};
+use baselines::common::{average_distortion, recompute_centroids, Clustering, IterationStat};
 
 use crate::params::GkParams;
 use crate::state::ClusterState;
@@ -102,6 +101,7 @@ impl GkMeans {
         let mut iterations = 0usize;
         let kappa = p.kappa.min(graph.k().max(1));
         let mut candidates: Vec<usize> = Vec::with_capacity(kappa + 1);
+        let mut gains: Vec<f64> = Vec::with_capacity(kappa + 1);
 
         for epoch in 0..p.iterations {
             iterations = epoch + 1;
@@ -123,14 +123,17 @@ impl GkMeans {
                 if candidates.is_empty() {
                     continue;
                 }
-                // Alg. 2 line 12: seek v ∈ Q maximising ΔI.
+                // Alg. 2 line 12: seek v ∈ Q maximising ΔI.  The whole
+                // candidate set is scored through the batched ΔI kernel.
                 let x = data.row(i);
                 let removal = state.removal_part(i, x);
+                gains.resize(candidates.len(), 0.0);
+                state.addition_parts(x, &candidates, &mut gains);
+                distance_evals += candidates.len() as u64;
                 let mut best_v = u;
                 let mut best_delta = 0.0f64;
-                for &v in &candidates {
-                    let delta = removal + state.addition_part(x, v);
-                    distance_evals += 1;
+                for (&v, &gain) in candidates.iter().zip(&gains) {
+                    let delta = removal + gain;
                     if delta > best_delta {
                         best_delta = delta;
                         best_v = v;
@@ -184,6 +187,8 @@ impl GkMeans {
         let mut iterations = 0usize;
         let kappa = p.kappa.min(graph.k().max(1));
         let mut candidates: Vec<usize> = Vec::with_capacity(kappa + 1);
+        let mut dists: Vec<f32> = Vec::with_capacity(kappa + 1);
+        let dim = data.dim();
 
         for epoch in 0..p.iterations {
             iterations = epoch + 1;
@@ -198,12 +203,21 @@ impl GkMeans {
                         candidates.push(c);
                     }
                 }
+                // One gather-batched evaluation against the candidate
+                // centroids (they are rows of one contiguous matrix).
                 let x = data.row(i);
+                dists.resize(candidates.len(), 0.0);
+                kernels::l2_sq_one_to_many_indexed(
+                    x,
+                    centroids.as_flat(),
+                    dim,
+                    &candidates,
+                    &mut dists,
+                );
+                distance_evals += candidates.len() as u64;
                 let mut best = u;
                 let mut best_d = f32::INFINITY;
-                for &c in &candidates {
-                    let d = l2_sq(x, centroids.row(c));
-                    distance_evals += 1;
+                for (&c, &d) in candidates.iter().zip(&dists) {
                     if d < best_d {
                         best_d = d;
                         best = c;
@@ -243,8 +257,8 @@ impl GkMeans {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use baselines::lloyd::LloydKMeans;
     use baselines::common::KMeansConfig;
+    use baselines::lloyd::LloydKMeans;
     use knn_graph::brute::exact_graph;
 
     fn blobs(per: usize, k: usize, spread: f32) -> VectorSet {
@@ -270,14 +284,19 @@ mod tests {
         let result = GkMeans::new(params).fit(&data, 4, &graph);
         assert_eq!(result.labels.len(), data.len());
         assert_eq!(result.non_empty_clusters(), 4);
-        assert!(result.distortion(&data) < 3.0, "distortion {}", result.distortion(&data));
+        assert!(
+            result.distortion(&data) < 3.0,
+            "distortion {}",
+            result.distortion(&data)
+        );
     }
 
     #[test]
     fn traditional_mode_also_works_but_is_not_better() {
         let data = blobs(40, 4, 2.0);
         let graph = exact_graph(&data, 8);
-        let boost = GkMeans::new(GkParams::default().kappa(8).iterations(20).seed(2)).fit(&data, 4, &graph);
+        let boost =
+            GkMeans::new(GkParams::default().kappa(8).iterations(20).seed(2)).fit(&data, 4, &graph);
         let trad = GkMeans::new(
             GkParams::default()
                 .kappa(8)
@@ -297,10 +316,22 @@ mod tests {
         // The core claim: per-iteration cost depends on κ, not on k.
         let data = blobs(20, 16, 0.5); // 320 samples
         let graph = exact_graph(&data, 6);
-        let small_k = GkMeans::new(GkParams::default().kappa(6).iterations(5).seed(3).record_trace(false))
-            .fit(&data, 4, &graph);
-        let large_k = GkMeans::new(GkParams::default().kappa(6).iterations(5).seed(3).record_trace(false))
-            .fit(&data, 64, &graph);
+        let small_k = GkMeans::new(
+            GkParams::default()
+                .kappa(6)
+                .iterations(5)
+                .seed(3)
+                .record_trace(false),
+        )
+        .fit(&data, 4, &graph);
+        let large_k = GkMeans::new(
+            GkParams::default()
+                .kappa(6)
+                .iterations(5)
+                .seed(3)
+                .record_trace(false),
+        )
+        .fit(&data, 64, &graph);
         let per_iter_small = small_k.distance_evals as f64 / small_k.iterations as f64;
         let per_iter_large = large_k.distance_evals as f64 / large_k.iterations as f64;
         // The candidate set per sample is bounded by κ regardless of k, so the
@@ -317,7 +348,8 @@ mod tests {
         let data = blobs(25, 12, 1.0); // 300 samples, k=12
         let graph = exact_graph(&data, 10);
         let lloyd = LloydKMeans::new(KMeansConfig::with_k(12).max_iters(15).seed(4)).fit(&data);
-        let gk = GkMeans::new(GkParams::default().kappa(10).iterations(15).seed(4)).fit(&data, 12, &graph);
+        let gk = GkMeans::new(GkParams::default().kappa(10).iterations(15).seed(4))
+            .fit(&data, 12, &graph);
         assert!(gk.distance_evals < lloyd.distance_evals / 2);
         assert!(gk.distortion(&data) <= lloyd.distortion(&data) * 1.25 + 0.5);
     }
@@ -326,7 +358,8 @@ mod tests {
     fn trace_distortion_is_non_increasing_in_boost_mode() {
         let data = blobs(30, 3, 0.8);
         let graph = exact_graph(&data, 5);
-        let result = GkMeans::new(GkParams::default().kappa(5).iterations(12).seed(5)).fit(&data, 3, &graph);
+        let result =
+            GkMeans::new(GkParams::default().kappa(5).iterations(12).seed(5)).fit(&data, 3, &graph);
         let d: Vec<f64> = result.trace.iter().map(|t| t.distortion).collect();
         for w in d.windows(2) {
             assert!(w[1] <= w[0] + 1e-6, "{w:?}");
@@ -337,7 +370,8 @@ mod tests {
     fn kappa_larger_than_graph_degree_is_clamped() {
         let data = blobs(15, 3, 0.3);
         let graph = exact_graph(&data, 3);
-        let result = GkMeans::new(GkParams::default().kappa(50).iterations(5).seed(6)).fit(&data, 3, &graph);
+        let result =
+            GkMeans::new(GkParams::default().kappa(50).iterations(5).seed(6)).fit(&data, 3, &graph);
         assert_eq!(result.labels.len(), data.len());
     }
 
@@ -345,8 +379,10 @@ mod tests {
     fn deterministic_per_seed() {
         let data = blobs(20, 3, 0.6);
         let graph = exact_graph(&data, 5);
-        let a = GkMeans::new(GkParams::default().kappa(5).iterations(8).seed(7)).fit(&data, 3, &graph);
-        let b = GkMeans::new(GkParams::default().kappa(5).iterations(8).seed(7)).fit(&data, 3, &graph);
+        let a =
+            GkMeans::new(GkParams::default().kappa(5).iterations(8).seed(7)).fit(&data, 3, &graph);
+        let b =
+            GkMeans::new(GkParams::default().kappa(5).iterations(8).seed(7)).fit(&data, 3, &graph);
         assert_eq!(a.labels, b.labels);
     }
 

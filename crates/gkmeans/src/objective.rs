@@ -138,7 +138,13 @@ mod tests {
                 *c += v;
             }
         }
-        let delta = delta_i_reference(&composites[0], sizes[0], &composites[1], sizes[1], &points[2]);
+        let delta = delta_i_reference(
+            &composites[0],
+            sizes[0],
+            &composites[1],
+            sizes[1],
+            &points[2],
+        );
         assert!(
             (delta - (after - before)).abs() < 1e-6,
             "delta {delta} vs recomputed {}",
@@ -170,8 +176,13 @@ mod tests {
                 let mut after_labels = labels.clone();
                 after_labels[i] = v;
                 let after = objective_from_scratch(&points, &after_labels, k);
-                let delta =
-                    delta_i_reference(&composites[u], sizes[u], &composites[v], sizes[v], &points[i]);
+                let delta = delta_i_reference(
+                    &composites[u],
+                    sizes[u],
+                    &composites[v],
+                    sizes[v],
+                    &points[i],
+                );
                 assert!(
                     (delta - (after - before)).abs() < 1e-6,
                     "sample {i}: {u}->{v}"

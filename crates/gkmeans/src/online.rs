@@ -144,7 +144,9 @@ impl OnlineGkMeans {
         });
 
         // Grow data, state and graph.
-        self.data.push_row(x).expect("dimensionality already checked");
+        self.data
+            .push_row(x)
+            .expect("dimensionality already checked");
         let new_id = self.state.push_sample(x, cluster);
         let node = self.graph.add_node();
         debug_assert_eq!(node, new_id);
@@ -157,7 +159,9 @@ impl OnlineGkMeans {
 
     /// Inserts a batch of samples, returning their assigned clusters.
     pub fn insert_batch(&mut self, batch: &VectorSet) -> Vec<usize> {
-        (0..batch.len()).map(|i| self.insert(batch.row(i))).collect()
+        (0..batch.len())
+            .map(|i| self.insert(batch.row(i)))
+            .collect()
     }
 
     /// Number of samples inserted since the last [`OnlineGkMeans::refine`]
@@ -241,7 +245,11 @@ impl OnlineGkMeans {
                 continue;
             }
             visited[id] = true;
-            insert_bounded(&mut pool, Neighbor::new(id as u32, l2_sq(x, self.data.row(id))), ef);
+            insert_bounded(
+                &mut pool,
+                Neighbor::new(id as u32, l2_sq(x, self.data.row(id))),
+                ef,
+            );
         }
         let mut expanded: Vec<u32> = Vec::with_capacity(ef);
         loop {
@@ -257,7 +265,11 @@ impl OnlineGkMeans {
                     continue;
                 }
                 visited[id] = true;
-                insert_bounded(&mut pool, Neighbor::new(nb.id, l2_sq(x, self.data.row(id))), ef);
+                insert_bounded(
+                    &mut pool,
+                    Neighbor::new(nb.id, l2_sq(x, self.data.row(id))),
+                    ef,
+                );
             }
         }
         pool.truncate(kappa);
@@ -305,7 +317,13 @@ mod tests {
     }
 
     fn params() -> GkParams {
-        GkParams::default().kappa(8).xi(20).tau(4).iterations(8).seed(3).record_trace(false)
+        GkParams::default()
+            .kappa(8)
+            .xi(20)
+            .tau(4)
+            .iterations(8)
+            .seed(3)
+            .record_trace(false)
     }
 
     #[test]
@@ -339,7 +357,7 @@ mod tests {
             assert!(d < 50.0, "probe {g} landed {d} away from its centroid");
         }
         // graph gained nodes with neighbours
-        assert!(online.graph().neighbors(before).len() > 0);
+        assert!(!online.graph().neighbors(before).is_empty());
         assert_eq!(online.pending_refinement(), 4);
     }
 
@@ -362,7 +380,11 @@ mod tests {
             union.push_row(extra.row(i)).unwrap();
         }
         let batch = GkMeansPipeline::new(params()).cluster(&union, 5);
-        let batch_e = average_distortion(&union, &batch.clustering.labels, &batch.clustering.centroids);
+        let batch_e = average_distortion(
+            &union,
+            &batch.clustering.labels,
+            &batch.clustering.centroids,
+        );
         assert!(
             after <= batch_e * 1.25 + 1e-9,
             "online {after} vs batch {batch_e}"

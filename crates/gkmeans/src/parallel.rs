@@ -19,12 +19,13 @@
 //! parallel builder a drop-in replacement whose only observable difference is
 //! wall-clock time.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
+use fxhash::FxHashSet;
 use rayon::prelude::*;
 
 use vecstore::distance::l2_sq;
+use vecstore::kernels;
 use vecstore::VectorSet;
 
 use knn_graph::random::random_graph;
@@ -80,7 +81,11 @@ impl ParallelKnnGraphBuilder {
             return (KnnGraph::empty(0, self.graph_k), stats);
         }
 
-        let mut graph = random_graph(data, self.graph_k.min(n.saturating_sub(1)), self.params.seed);
+        let mut graph = random_graph(
+            data,
+            self.graph_k.min(n.saturating_sub(1)),
+            self.params.seed,
+        );
         let k0 = sequential_equivalent(self).construction_clusters(n);
 
         let inner_params = self
@@ -89,7 +94,7 @@ impl ParallelKnnGraphBuilder {
             .record_trace(false)
             .kappa(self.params.kappa.min(self.graph_k));
 
-        let mut visited: HashSet<u64> = HashSet::new();
+        let mut visited: FxHashSet<u64> = FxHashSet::default();
         for round in 0..self.params.tau {
             stats.rounds = round + 1;
             let clustering = GkMeans::new(inner_params.seed(self.params.seed ^ (round as u64 + 1)))
@@ -107,16 +112,33 @@ impl ParallelKnnGraphBuilder {
 
             let dedup = self.params.dedup_pairs;
             let visited_ref = &visited;
+            let dim = data.dim();
             let per_cluster: Vec<Vec<(u32, u32, f32)>> = members
                 .par_iter()
                 .map(|cluster| {
                     let mut edges = Vec::new();
+                    let mut partners: Vec<u32> = Vec::new();
+                    let mut dists: Vec<f32> = Vec::new();
                     for (a_idx, &i) in cluster.iter().enumerate() {
+                        partners.clear();
                         for &j in cluster.iter().skip(a_idx + 1) {
                             if dedup && visited_ref.contains(&pair_key(i, j)) {
                                 continue;
                             }
-                            let d = l2_sq(data.row(i as usize), data.row(j as usize));
+                            partners.push(j);
+                        }
+                        if partners.is_empty() {
+                            continue;
+                        }
+                        dists.resize(partners.len(), 0.0);
+                        kernels::l2_sq_one_to_many_indexed(
+                            data.row(i as usize),
+                            data.as_flat(),
+                            dim,
+                            &partners,
+                            &mut dists,
+                        );
+                        for (&j, &d) in partners.iter().zip(&dists) {
                             edges.push((i, j, d));
                         }
                     }
@@ -162,11 +184,7 @@ fn pair_key(i: u32, j: u32) -> u64 {
 /// Computes the average distortion of a labelling in parallel — a helper for
 /// harness binaries that need to evaluate large clusterings quickly without
 /// touching the measured code paths.
-pub fn par_average_distortion(
-    data: &VectorSet,
-    labels: &[usize],
-    centroids: &VectorSet,
-) -> f64 {
+pub fn par_average_distortion(data: &VectorSet, labels: &[usize], centroids: &VectorSet) -> f64 {
     assert_eq!(data.len(), labels.len(), "label count mismatch");
     if data.is_empty() {
         return 0.0;
@@ -207,11 +225,24 @@ mod tests {
         let (seq, seq_stats) = KnnGraphBuilder::new(params).graph_k(6).build(&data);
         let (par, par_stats) = ParallelKnnGraphBuilder::new(params).graph_k(6).build(&data);
         assert_eq!(seq_stats.rounds, par_stats.rounds);
-        assert_eq!(seq_stats.refine_distance_evals, par_stats.refine_distance_evals);
+        assert_eq!(
+            seq_stats.refine_distance_evals,
+            par_stats.refine_distance_evals
+        );
         assert_eq!(seq_stats.graph_updates, par_stats.graph_updates);
         for i in 0..data.len() {
-            let a: Vec<(u32, f32)> = seq.neighbors(i).as_slice().iter().map(|n| (n.id, n.dist)).collect();
-            let b: Vec<(u32, f32)> = par.neighbors(i).as_slice().iter().map(|n| (n.id, n.dist)).collect();
+            let a: Vec<(u32, f32)> = seq
+                .neighbors(i)
+                .as_slice()
+                .iter()
+                .map(|n| (n.id, n.dist))
+                .collect();
+            let b: Vec<(u32, f32)> = par
+                .neighbors(i)
+                .as_slice()
+                .iter()
+                .map(|n| (n.id, n.dist))
+                .collect();
             assert_eq!(a, b, "neighbour list of sample {i} differs");
         }
     }
@@ -219,7 +250,12 @@ mod tests {
     #[test]
     fn parallel_builder_matches_without_dedup_too() {
         let data = clustered(300, 6, 6, 5);
-        let params = GkParams::default().xi(15).tau(3).kappa(5).seed(7).dedup_pairs(false);
+        let params = GkParams::default()
+            .xi(15)
+            .tau(3)
+            .kappa(5)
+            .seed(7)
+            .dedup_pairs(false);
         let (seq, _) = KnnGraphBuilder::new(params).graph_k(5).build(&data);
         let (par, _) = ParallelKnnGraphBuilder::new(params).graph_k(5).build(&data);
         for i in 0..data.len() {

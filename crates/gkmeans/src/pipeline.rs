@@ -136,7 +136,12 @@ mod tests {
     #[test]
     fn end_to_end_pipeline_produces_sensible_clusters() {
         let data = clustered(400, 8, 8, 1);
-        let params = GkParams::default().kappa(8).xi(20).tau(4).iterations(10).seed(2);
+        let params = GkParams::default()
+            .kappa(8)
+            .xi(20)
+            .tau(4)
+            .iterations(10)
+            .seed(2);
         let outcome = GkMeansPipeline::new(params).cluster(&data, 8);
         assert_eq!(outcome.clustering.labels.len(), 400);
         assert_eq!(outcome.clustering.k(), 8);
@@ -168,12 +173,22 @@ mod tests {
     #[test]
     fn trace_is_available_for_figure5_style_plots() {
         let data = clustered(200, 6, 4, 5);
-        let params = GkParams::default().kappa(6).xi(20).tau(3).iterations(6).seed(6);
+        let params = GkParams::default()
+            .kappa(6)
+            .xi(20)
+            .tau(3)
+            .iterations(6)
+            .seed(6);
         let outcome = GkMeansPipeline::new(params).cluster(&data, 4);
         assert!(!outcome.clustering.trace.is_empty());
         assert!(outcome.clustering.trace.len() <= 6);
         // elapsed times recorded in the trace are monotone
-        let times: Vec<f64> = outcome.clustering.trace.iter().map(|t| t.elapsed_secs).collect();
+        let times: Vec<f64> = outcome
+            .clustering
+            .trace
+            .iter()
+            .map(|t| t.elapsed_secs)
+            .collect();
         for w in times.windows(2) {
             assert!(w[1] >= w[0]);
         }

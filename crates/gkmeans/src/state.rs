@@ -6,7 +6,8 @@
 //! cluster and updates them in `O(d)` per move.  Centroids are derived as
 //! `C_r = D_r / n_r` only when requested.
 
-use vecstore::distance::dot;
+use vecstore::distance::{dot, dot_f64_f32};
+use vecstore::kernels;
 use vecstore::VectorSet;
 
 use crate::objective::{addition_gain, cluster_term, removal_gain};
@@ -128,8 +129,17 @@ impl ClusterState {
         let x_norm_sq = f64::from(dot(x, x));
         let du_dot_x = dot_f64_f32(self.composite(u), x);
         let dv_dot_x = dot_f64_f32(self.composite(v), x);
-        removal_gain(self.composite_norm_sq[u], du_dot_x, x_norm_sq, self.sizes[u])
-            + addition_gain(self.composite_norm_sq[v], dv_dot_x, x_norm_sq, self.sizes[v])
+        removal_gain(
+            self.composite_norm_sq[u],
+            du_dot_x,
+            x_norm_sq,
+            self.sizes[u],
+        ) + addition_gain(
+            self.composite_norm_sq[v],
+            dv_dot_x,
+            x_norm_sq,
+            self.sizes[v],
+        )
     }
 
     /// Split of [`ClusterState::delta_move`] used when one sample is checked
@@ -139,7 +149,12 @@ impl ClusterState {
         let u = self.labels[i];
         let x_norm_sq = f64::from(dot(x, x));
         let du_dot_x = dot_f64_f32(self.composite(u), x);
-        removal_gain(self.composite_norm_sq[u], du_dot_x, x_norm_sq, self.sizes[u])
+        removal_gain(
+            self.composite_norm_sq[u],
+            du_dot_x,
+            x_norm_sq,
+            self.sizes[u],
+        )
     }
 
     /// Addition part of `ΔI` for candidate cluster `v` (see
@@ -147,7 +162,38 @@ impl ClusterState {
     pub fn addition_part(&self, x: &[f32], v: usize) -> f64 {
         let x_norm_sq = f64::from(dot(x, x));
         let dv_dot_x = dot_f64_f32(self.composite(v), x);
-        addition_gain(self.composite_norm_sq[v], dv_dot_x, x_norm_sq, self.sizes[v])
+        addition_gain(
+            self.composite_norm_sq[v],
+            dv_dot_x,
+            x_norm_sq,
+            self.sizes[v],
+        )
+    }
+
+    /// Batched addition parts for a whole candidate set: `out[j]` receives the
+    /// addition gain of moving `x` into `candidates[j]`.
+    ///
+    /// This is the GK-means inner loop (Alg. 2 line 12).  Compared to calling
+    /// [`ClusterState::addition_part`] per candidate it computes `‖x‖²` once,
+    /// resolves the SIMD dispatch once, and streams the composite·sample dot
+    /// products through the mixed-precision kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != candidates.len()`.
+    pub fn addition_parts(&self, x: &[f32], candidates: &[usize], out: &mut [f64]) {
+        assert_eq!(candidates.len(), out.len(), "candidate/output length");
+        let x_norm_sq = f64::from(dot(x, x));
+        let kernel = kernels::active().dot_f64_f32;
+        for (slot, &v) in out.iter_mut().zip(candidates) {
+            let dv_dot_x = kernel(self.composite(v), x);
+            *slot = addition_gain(
+                self.composite_norm_sq[v],
+                dv_dot_x,
+                x_norm_sq,
+                self.sizes[v],
+            );
+        }
     }
 
     /// Applies the move of sample `i` (row `x`) to cluster `v`, updating
@@ -277,20 +323,16 @@ impl ClusterState {
     }
 }
 
-/// Dot product between an `f64` composite vector and an `f32` sample row.
-#[inline]
-fn dot_f64_f32(a: &[f64], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(x, &y)| x * f64::from(y)).sum()
-}
-
 /// ‖x‖² accumulated in `f64`, matching the precision of the composite
 /// vectors (see [`ClusterState::apply_move`]).
 #[inline]
 fn norm_sq_f64(x: &[f32]) -> f64 {
-    x.iter().map(|&v| {
-        let v = f64::from(v);
-        v * v
-    }).sum()
+    x.iter()
+        .map(|&v| {
+            let v = f64::from(v);
+            v * v
+        })
+        .sum()
 }
 
 #[cfg(test)]
@@ -338,7 +380,10 @@ mod tests {
             .sum::<f64>()
             / d.len() as f64;
         let derived = st.distortion_from_objective(sum_sq);
-        assert!((derived - distortion).abs() < 1e-6, "{derived} vs {distortion}");
+        assert!(
+            (derived - distortion).abs() < 1e-6,
+            "{derived} vs {distortion}"
+        );
     }
 
     #[test]
@@ -412,7 +457,10 @@ mod tests {
         let d = data();
         let st = ClusterState::from_labels(&d, vec![0, 0, 0, 0, 1, 1], 2);
         let delta = st.delta_move(3, d.row(3), 1);
-        assert!(delta > 0.0, "moving the outlier home must increase I, got {delta}");
+        assert!(
+            delta > 0.0,
+            "moving the outlier home must increase I, got {delta}"
+        );
     }
 
     #[test]

@@ -259,7 +259,10 @@ mod tests {
         for c in 0..k {
             for i in 0..per {
                 let base = c as f32 * 30.0;
-                rows.push(vec![base + (i % 6) as f32 * 0.4, base - (i % 4) as f32 * 0.3]);
+                rows.push(vec![
+                    base + (i % 6) as f32 * 0.4,
+                    base - (i % 4) as f32 * 0.3,
+                ]);
             }
         }
         VectorSet::from_rows(rows).unwrap()
@@ -324,7 +327,7 @@ mod tests {
     fn partition_k_equals_n_gives_singletons() {
         let data = blobs(3, 2); // 6 samples
         let labels = TwoMeansTree::new(2).partition(&data, 6);
-        let mut sizes = vec![0usize; 6];
+        let mut sizes = [0usize; 6];
         for &l in &labels {
             sizes[l] += 1;
         }
@@ -342,7 +345,10 @@ mod tests {
     #[test]
     fn boost_refinement_can_be_disabled() {
         let data = blobs(16, 2);
-        let labels = TwoMeansTree::new(4).boost_refine(false).refine_iters(3).partition(&data, 4);
+        let labels = TwoMeansTree::new(4)
+            .boost_refine(false)
+            .refine_iters(3)
+            .partition(&data, 4);
         assert_eq!(labels.len(), 32);
         assert!(labels.iter().all(|&l| l < 4));
     }

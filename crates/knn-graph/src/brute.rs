@@ -3,14 +3,46 @@
 //! Complexity `O(n²·d)` — the paper reports "more than 20 hours" to produce
 //! the SIFT1M ground truth this way (Sec. 5.1).  It is used exclusively for
 //! evaluation: computing graph recall and the ANN-search ground truth.  Since
-//! it is not one of the measured algorithms it is parallelised with rayon.
+//! it is not one of the measured algorithms it is parallelised with rayon,
+//! and each scan streams the base matrix through the batched one-to-many
+//! kernel in contiguous blocks (the matrix is row-major, so a block of rows
+//! is a single slice).
 
 use rayon::prelude::*;
 
-use vecstore::distance::l2_sq;
+use vecstore::kernels;
 use vecstore::VectorSet;
 
 use crate::graph::{KnnGraph, Neighbor, NeighborList};
+
+/// Rows per batched kernel call: large enough to amortise the dispatch,
+/// small enough that the distance buffer stays in L1.
+const SCAN_BLOCK: usize = 256;
+
+/// Streams distances from `query` to every row of `data`, invoking `sink`
+/// with `(row_index, distance)` in ascending row order.
+#[inline]
+fn scan_rows(
+    data: &VectorSet,
+    query: &[f32],
+    buf: &mut Vec<f32>,
+    mut sink: impl FnMut(usize, f32),
+) {
+    let n = data.len();
+    let d = data.dim();
+    let flat = data.as_flat();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + SCAN_BLOCK).min(n);
+        let block = &flat[start * d..end * d];
+        buf.resize(end - start, 0.0);
+        kernels::l2_sq_one_to_many(query, block, buf);
+        for (offset, &dist) in buf.iter().enumerate() {
+            sink(start + offset, dist);
+        }
+        start = end;
+    }
+}
 
 /// Builds the exact KNN graph with `k` neighbours per sample.
 ///
@@ -24,16 +56,12 @@ pub fn exact_graph(data: &VectorSet, k: usize) -> KnnGraph {
         .into_par_iter()
         .map(|i| {
             let mut list = NeighborList::with_capacity(k);
-            let xi = data.row(i);
-            for j in 0..n {
-                if j == i {
-                    continue;
-                }
-                let d = l2_sq(xi, data.row(j));
-                if d < list.upper_bound() {
+            let mut buf = Vec::with_capacity(SCAN_BLOCK);
+            scan_rows(data, data.row(i), &mut buf, |j, d| {
+                if j != i && d < list.upper_bound() {
                     list.insert(Neighbor::new(j as u32, d));
                 }
-            }
+            });
             list
         })
         .collect();
@@ -53,14 +81,13 @@ pub fn exact_ground_truth(base: &VectorSet, queries: &VectorSet, k: usize) -> Ve
     (0..queries.len())
         .into_par_iter()
         .map(|qi| {
-            let q = queries.row(qi);
             let mut list = NeighborList::with_capacity(k);
-            for j in 0..base.len() {
-                let d = l2_sq(q, base.row(j));
+            let mut buf = Vec::with_capacity(SCAN_BLOCK);
+            scan_rows(base, queries.row(qi), &mut buf, |j, d| {
                 if d < list.upper_bound() {
                     list.insert(Neighbor::new(j as u32, d));
                 }
-            }
+            });
             list.as_slice().to_vec()
         })
         .collect()
@@ -80,17 +107,13 @@ pub fn exact_neighbors_of_subset(
     sample_ids
         .par_iter()
         .map(|&i| {
-            let xi = data.row(i);
             let mut list = NeighborList::with_capacity(k);
-            for j in 0..data.len() {
-                if j == i {
-                    continue;
-                }
-                let d = l2_sq(xi, data.row(j));
-                if d < list.upper_bound() {
+            let mut buf = Vec::with_capacity(SCAN_BLOCK);
+            scan_rows(data, data.row(i), &mut buf, |j, d| {
+                if j != i && d < list.upper_bound() {
                     list.insert(Neighbor::new(j as u32, d));
                 }
-            }
+            });
             list.as_slice().to_vec()
         })
         .collect()
@@ -102,14 +125,7 @@ mod tests {
 
     /// Tiny hand-checkable dataset on a line: 0, 1, 3, 7, 15.
     fn line_data() -> VectorSet {
-        VectorSet::from_rows(vec![
-            vec![0.0],
-            vec![1.0],
-            vec![3.0],
-            vec![7.0],
-            vec![15.0],
-        ])
-        .unwrap()
+        VectorSet::from_rows(vec![vec![0.0], vec![1.0], vec![3.0], vec![7.0], vec![15.0]]).unwrap()
     }
 
     #[test]
@@ -177,5 +193,31 @@ mod tests {
         let data = line_data();
         let g = exact_graph(&data, 1);
         assert_eq!(g.neighbors(4).as_slice()[0].dist, 64.0); // (15-7)^2
+    }
+
+    #[test]
+    fn scans_longer_than_one_block_stay_exact() {
+        // 600 rows forces multiple SCAN_BLOCK batches per query.
+        let data = VectorSet::from_rows((0..600).map(|i| vec![i as f32, (i % 7) as f32]).collect())
+            .unwrap();
+        let g = exact_graph(&data, 3);
+        // row 300's nearest neighbours on this lattice are 293 and 307 (the
+        // rows sharing its second coordinate at distance 49) — but 299/301
+        // differ by 1.0 in x and at most 36 in y². Verify against a direct scan.
+        for &i in &[0usize, 299, 300, 599] {
+            let mut best: Vec<(f32, usize)> = (0..600)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    (
+                        vecstore::distance::l2_sq_reference(data.row(i), data.row(j)),
+                        j,
+                    )
+                })
+                .collect();
+            best.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let expect: Vec<u32> = best.iter().take(3).map(|&(_, j)| j as u32).collect();
+            let got: Vec<u32> = g.neighbors(i).ids().collect();
+            assert_eq!(got, expect, "row {i}");
+        }
     }
 }

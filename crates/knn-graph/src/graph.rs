@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn graph_metrics() {
         let mut g = KnnGraph::empty(3, 2);
-        assert!(g.is_empty() == false);
+        assert!(!g.is_empty());
         assert_eq!(g.len(), 3);
         assert_eq!(g.k(), 2);
         assert_eq!(g.mean_degree(), 0.0);

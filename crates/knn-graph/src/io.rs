@@ -96,8 +96,9 @@ pub fn read_graph_from(mut r: impl Read) -> Result<KnnGraph, GraphIoError> {
     let mut len_buf = [0u8; 4];
     let mut entry = [0u8; 8];
     for i in 0..n {
-        r.read_exact(&mut len_buf)
-            .map_err(|e| GraphIoError::Malformed(format!("truncated list header at node {i}: {e}")))?;
+        r.read_exact(&mut len_buf).map_err(|e| {
+            GraphIoError::Malformed(format!("truncated list header at node {i}: {e}"))
+        })?;
         let len = u32::from_le_bytes(len_buf) as usize;
         if len > k {
             return Err(GraphIoError::Malformed(format!(
@@ -106,8 +107,9 @@ pub fn read_graph_from(mut r: impl Read) -> Result<KnnGraph, GraphIoError> {
         }
         let mut list = NeighborList::with_capacity(k);
         for _ in 0..len {
-            r.read_exact(&mut entry)
-                .map_err(|e| GraphIoError::Malformed(format!("truncated entry at node {i}: {e}")))?;
+            r.read_exact(&mut entry).map_err(|e| {
+                GraphIoError::Malformed(format!("truncated entry at node {i}: {e}"))
+            })?;
             let id = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
             let dist = f32::from_le_bytes(entry[4..8].try_into().expect("4 bytes"));
             if id as usize >= n {

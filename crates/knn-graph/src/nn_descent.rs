@@ -14,7 +14,7 @@
 
 use rand::seq::SliceRandom;
 
-use vecstore::distance::l2_sq;
+use vecstore::kernels;
 use vecstore::sample::rng_from_seed;
 use vecstore::VectorSet;
 
@@ -141,6 +141,9 @@ pub fn nn_descent_with_stats(
         }
 
         let mut round_updates: u64 = 0;
+        let mut targets: Vec<u32> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
+        let dim = data.dim();
         for i in 0..n {
             // Mark current entries as old for the next round *before* local
             // joins add new ones.
@@ -171,13 +174,28 @@ pub fn nn_descent_with_stats(
                 old_set.truncate(sample_size * 2);
             }
 
-            // Local join: new × new and new × old.
+            // Local join: new × new and new × old.  All partners of one
+            // anchor are scored in a single batched gather (the graph only
+            // changes list contents, never the data the distances read), then
+            // the list updates run in the original pair order.
             for (ai, &a) in new_set.iter().enumerate() {
-                for &b in new_set.iter().skip(ai + 1) {
-                    round_updates += join(data, &mut graph, &mut flags, a, b, &mut stats);
+                targets.clear();
+                targets.extend(new_set.iter().skip(ai + 1).copied().filter(|&b| b != a));
+                targets.extend(old_set.iter().copied().filter(|&b| b != a));
+                if targets.is_empty() {
+                    continue;
                 }
-                for &b in &old_set {
-                    round_updates += join(data, &mut graph, &mut flags, a, b, &mut stats);
+                dists.resize(targets.len(), 0.0);
+                kernels::l2_sq_one_to_many_indexed(
+                    data.row(a as usize),
+                    data.as_flat(),
+                    dim,
+                    &targets,
+                    &mut dists,
+                );
+                stats.distance_evals += targets.len() as u64;
+                for (&b, &d) in targets.iter().zip(&dists) {
+                    round_updates += apply_join(&mut graph, &mut flags, a, b, d);
                 }
             }
         }
@@ -189,22 +207,10 @@ pub fn nn_descent_with_stats(
     (graph, stats)
 }
 
-/// Compares samples `a` and `b`, updating both lists; returns how many lists
-/// changed.
-fn join(
-    data: &VectorSet,
-    graph: &mut KnnGraph,
-    flags: &mut Flags,
-    a: u32,
-    b: u32,
-    stats: &mut NnDescentStats,
-) -> u64 {
-    if a == b {
-        return 0;
-    }
+/// Applies a scored pair `a ↔ b` (distance `d`) to both lists; returns how
+/// many lists changed.
+fn apply_join(graph: &mut KnnGraph, flags: &mut Flags, a: u32, b: u32, d: f32) -> u64 {
     let (ai, bi) = (a as usize, b as usize);
-    let d = l2_sq(data.row(ai), data.row(bi));
-    stats.distance_evals += 1;
     let mut changed = 0u64;
     if insert_tracked(graph, flags, ai, Neighbor::new(b, d)) {
         changed += 1;
@@ -249,6 +255,7 @@ mod tests {
     use crate::brute::exact_graph;
     use crate::recall::graph_recall_at_1;
     use rand::Rng;
+    use vecstore::distance::l2_sq;
 
     fn clustered(n: usize, seed: u64) -> VectorSet {
         // Simple two-moons-ish clustered data without depending on datagen
@@ -259,7 +266,11 @@ mod tests {
             let centre = (i % 8) as f32 * 10.0;
             let jitter: f32 = rng.gen_range(-1.0..1.0);
             let jitter2: f32 = rng.gen_range(-1.0..1.0);
-            rows.push(vec![centre + jitter, centre * 0.5 + jitter2, jitter * jitter2]);
+            rows.push(vec![
+                centre + jitter,
+                centre * 0.5 + jitter2,
+                jitter * jitter2,
+            ]);
         }
         VectorSet::from_rows(rows).unwrap()
     }

@@ -21,6 +21,7 @@
 use rand::seq::SliceRandom;
 
 use vecstore::distance::l2_sq;
+use vecstore::kernels;
 use vecstore::sample::rng_from_seed;
 use vecstore::VectorSet;
 
@@ -198,25 +199,35 @@ fn search_inserted(
     // dense per-node map local to this search; the pool is tiny (≤ ef), so a
     // linear scan keeps the code simple.
     let mut expanded_ids: Vec<u32> = Vec::with_capacity(ef);
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut dists: Vec<f32> = Vec::new();
+    let dim = data.dim();
     loop {
-        let next = pool
-            .iter()
-            .find(|c| !expanded_ids.contains(&c.id))
-            .copied();
+        let next = pool.iter().find(|c| !expanded_ids.contains(&c.id)).copied();
         let Some(candidate) = next else { break };
         expanded_ids.push(candidate.id);
         if pool.len() >= ef && candidate.dist > pool[pool.len() - 1].dist {
             break;
         }
+        // Score all unvisited neighbours of the expanded node in one batched
+        // gather, then feed the pool in the original neighbour order.
+        frontier.clear();
         for nb in graph.neighbors(candidate.id as usize).as_slice() {
             let id = nb.id as usize;
             if visited[id] == epoch {
                 continue;
             }
             visited[id] = epoch;
-            let d = l2_sq(query, data.row(id));
-            stats.distance_evals += 1;
-            insert_bounded(&mut pool, Neighbor::new(nb.id, d), ef);
+            frontier.push(nb.id);
+        }
+        if frontier.is_empty() {
+            continue;
+        }
+        dists.resize(frontier.len(), 0.0);
+        kernels::l2_sq_one_to_many_indexed(query, data.as_flat(), dim, &frontier, &mut dists);
+        stats.distance_evals += frontier.len() as u64;
+        for (&id, &d) in frontier.iter().zip(&dists) {
+            insert_bounded(&mut pool, Neighbor::new(id, d), ef);
         }
     }
     pool
@@ -297,7 +308,10 @@ mod tests {
         let r_low = graph_recall_at_1(&truncate_to_k(&low, 5), &exact);
         let r_high = graph_recall_at_1(&truncate_to_k(&high, 5), &exact);
         assert!(r_high > 0.6, "high-ef recall too low: {r_high}");
-        assert!(r_high >= r_low - 0.05, "ef=96 ({r_high}) worse than ef=8 ({r_low})");
+        assert!(
+            r_high >= r_low - 0.05,
+            "ef=96 ({r_high}) worse than ef=8 ({r_low})"
+        );
     }
 
     #[test]

@@ -2,9 +2,36 @@
 //!
 //! All algorithms in the paper operate on squared Euclidean distance; the
 //! average-distortion measure (Eqn. 4) is likewise defined on squared
-//! distances, so [`l2_sq`] is the workhorse of the whole workspace.  The
-//! kernel is written with a 4-way unrolled accumulator which the compiler
-//! auto-vectorises; a naive reference implementation is kept for testing.
+//! distances, so [`l2_sq`] is the workhorse of the whole workspace.
+//!
+//! # Kernel dispatch design
+//!
+//! The functions in this module are thin wrappers over the
+//! [`crate::kernels`] subsystem, which holds one [`crate::kernels::Kernels`]
+//! table of function pointers per instruction-set level:
+//!
+//! * `avx2+fma` on x86-64 (8-lane `f32` FMA), selected at runtime with
+//!   `is_x86_feature_detected!`;
+//! * `neon` on aarch64 (4-lane `f32` FMA), selected with
+//!   `is_aarch64_feature_detected!`;
+//! * `scalar`, the portable 4-way unrolled fallback (also the testing
+//!   reference baseline, see [`l2_sq_reference`] for the naive ground truth).
+//!
+//! Detection runs **once per process**: the chosen table is cached in a
+//! `OnceLock`, so a call here costs one atomic load plus one indirect call.
+//! For tight loops that score one query against many candidates, prefer the
+//! **batched one-to-many API** ([`crate::kernels::l2_sq_one_to_many`],
+//! [`crate::kernels::l2_sq_one_to_many_indexed`],
+//! [`crate::kernels::l2_sq_one_to_many_cached`]): it resolves the dispatch
+//! once per block, keeps the query hot across candidates, and the
+//! norm-cached variant turns each evaluation into a single dot product via
+//! `‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖²`.
+//!
+//! SIMD results differ from the scalar path only by floating-point
+//! reassociation; the property suite pins all levels to the naive reference
+//! within 1e-3 relative tolerance across all remainder lane counts.
+
+use crate::kernels;
 
 /// Squared Euclidean distance between two equally sized slices.
 ///
@@ -15,30 +42,7 @@
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let chunks = n / 4;
-    let mut acc0 = 0.0f32;
-    let mut acc1 = 0.0f32;
-    let mut acc2 = 0.0f32;
-    let mut acc3 = 0.0f32;
-    for i in 0..chunks {
-        let j = i * 4;
-        let d0 = a[j] - b[j];
-        let d1 = a[j + 1] - b[j + 1];
-        let d2 = a[j + 2] - b[j + 2];
-        let d3 = a[j + 3] - b[j + 3];
-        acc0 += d0 * d0;
-        acc1 += d1 * d1;
-        acc2 += d2 * d2;
-        acc3 += d3 * d3;
-    }
-    let mut acc = (acc0 + acc1) + (acc2 + acc3);
-    for j in chunks * 4..n {
-        let d = a[j] - b[j];
-        acc += d * d;
-    }
-    acc
+    (kernels::active().l2_sq)(a, b)
 }
 
 /// Naive reference implementation of [`l2_sq`], used by tests.
@@ -57,46 +61,54 @@ pub fn l2(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let chunks = n / 4;
-    let mut acc0 = 0.0f32;
-    let mut acc1 = 0.0f32;
-    let mut acc2 = 0.0f32;
-    let mut acc3 = 0.0f32;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc0 += a[j] * b[j];
-        acc1 += a[j + 1] * b[j + 1];
-        acc2 += a[j + 2] * b[j + 2];
-        acc3 += a[j + 3] * b[j + 3];
-    }
-    let mut acc = (acc0 + acc1) + (acc2 + acc3);
-    for j in chunks * 4..n {
-        acc += a[j] * b[j];
-    }
-    acc
+    (kernels::active().dot)(a, b)
+}
+
+/// Mixed-precision dot product between an `f64` accumulator vector and an
+/// `f32` row — the `D_r · x` product at the heart of every boost-k-means
+/// `ΔI` evaluation (see `gkmeans::ClusterState`).
+#[inline]
+pub fn dot_f64_f32(a: &[f64], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    (kernels::active().dot_f64_f32)(a, b)
 }
 
 /// Squared ℓ² norm of a slice.
 #[inline]
 pub fn norm_sq(a: &[f32]) -> f32 {
-    dot(a, a)
+    (kernels::active().dot)(a, a)
 }
 
 /// Cosine distance `1 - cos(a, b)`; returns `1.0` when either vector is zero.
+///
+/// Computed in a **single fused pass** producing `a·b`, `‖a‖²` and `‖b‖²`
+/// together, instead of the three separate passes the naive formulation
+/// needs.  For normalised-embedding workloads where the norms are already
+/// cached, use [`cosine_distance_cached`].
 ///
 /// Not used by the clustering algorithms themselves (they are ℓ²-based) but
 /// provided for the GloVe-like workloads where cosine recall is a common
 /// sanity metric.
 #[inline]
 pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
-    let na = norm_sq(a).sqrt();
-    let nb = norm_sq(b).sqrt();
+    let f = (kernels::active().fused_dot_norms)(a, b);
+    let na = f.norm_a_sq.sqrt();
+    let nb = f.norm_b_sq.sqrt();
     if na == 0.0 || nb == 0.0 {
         return 1.0;
     }
-    1.0 - dot(a, b) / (na * nb)
+    1.0 - f.dot / (na * nb)
+}
+
+/// Norm-cached cosine distance: one dot product given pre-computed squared
+/// norms (`crate::Norms` caches exactly these).  Returns `1.0` when either
+/// cached norm is zero.
+#[inline]
+pub fn cosine_distance_cached(a: &[f32], b: &[f32], norm_a_sq: f32, norm_b_sq: f32) -> f32 {
+    if norm_a_sq == 0.0 || norm_b_sq == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (norm_a_sq.sqrt() * norm_b_sq.sqrt())
 }
 
 /// Squared Euclidean distance computed through the inner-product expansion
@@ -181,6 +193,20 @@ mod tests {
     }
 
     #[test]
+    fn dot_f64_f32_matches_widened_dot() {
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 64, 129] {
+            let a: Vec<f64> = (0..len).map(|i| i as f64 * 0.25 - 3.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+            let fast = dot_f64_f32(&a, &b);
+            let slow: f64 = a.iter().zip(&b).map(|(x, &y)| x * f64::from(y)).sum();
+            assert!(
+                (fast - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                "len={len}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
     fn cosine_distance_basics() {
         let a = [1.0, 0.0];
         let b = [0.0, 1.0];
@@ -189,6 +215,16 @@ mod tests {
         assert!(cosine_distance(&a, &c).abs() < 1e-6);
         // zero vector convention
         assert_eq!(cosine_distance(&a, &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn cached_cosine_matches_direct() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32 * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32 * 0.7).cos()).collect();
+        let direct = cosine_distance(&a, &b);
+        let cached = cosine_distance_cached(&a, &b, norm_sq(&a), norm_sq(&b));
+        assert!((direct - cached).abs() < 1e-5, "{direct} vs {cached}");
+        assert_eq!(cosine_distance_cached(&a, &b, 0.0, norm_sq(&b)), 1.0);
     }
 
     #[test]

@@ -80,7 +80,7 @@ mod tests {
             Error::EmptyInput("rows"),
             Error::IndexOutOfBounds { index: 7, len: 3 },
             Error::InvalidParameter("k must be > 0".into()),
-            Error::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom")),
+            Error::Io(std::io::Error::other("boom")),
             Error::MalformedFile("truncated".into()),
         ];
         for c in cases {

@@ -1,0 +1,348 @@
+//! Runtime-dispatched SIMD distance kernels.
+//!
+//! Every hot loop in the workspace — GK-means candidate evaluation (Alg. 2),
+//! the intra-cluster refinement of graph construction (Alg. 3), NN-Descent
+//! local joins, NSW/greedy ANN search and the Lloyd/Elkan/Hamerly baselines —
+//! bottoms out in a handful of dense `f32` primitives.  This module provides
+//! explicit SIMD implementations of those primitives behind one-time runtime
+//! CPU-feature detection:
+//!
+//! * **x86-64**: AVX2 + FMA (8-lane `f32`, fused multiply-add), selected via
+//!   `is_x86_feature_detected!` on first use;
+//! * **aarch64**: NEON (4-lane `f32`), selected via
+//!   `is_aarch64_feature_detected!`;
+//! * **everything else** (or when detection fails): the portable 4-way
+//!   unrolled scalar kernels the workspace originally shipped.
+//!
+//! The selected [`Kernels`] table is cached in a [`OnceLock`], so detection
+//! happens exactly once per process and every later call is a single indirect
+//! call.  On top of the pairwise kernels the table carries **batched
+//! one-to-many** kernels (`l2_sq_one_to_many`, `dot_one_to_many`) that score
+//! one query against a whole block of candidate rows inside a single
+//! feature-enabled function — amortising both the dispatch and the query
+//! loads across the block.  The free functions in this module add shape
+//! checking, an indexed (gather) variant for non-contiguous candidate sets,
+//! and a norm-cached variant exploiting `‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖²`.
+//!
+//! # Numerical contract
+//!
+//! All kernels compute the same mathematical quantity as the scalar
+//! reference; only the summation order differs (lane-parallel instead of
+//! 4-way unrolled), so results may differ by normal floating-point
+//! reassociation error.  The property suite (`tests/kernel_properties.rs`)
+//! pins the agreement to a 1e-3 relative tolerance across every remainder
+//! lane count and unaligned slices.
+
+use std::sync::OnceLock;
+
+pub mod scalar;
+
+// The SIMD levels are crate-private: their safe entry points are only sound
+// after feature detection, so the only way to reach them is through
+// [`active`] / [`available`], which perform that detection.
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
+
+/// Result of the fused dot-product/norms kernel: one pass over a pair of
+/// vectors yielding `a·b`, `‖a‖²` and `‖b‖²` (the three quantities cosine
+/// distance needs).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DotNorms {
+    /// `a · b`
+    pub dot: f32,
+    /// `‖a‖²`
+    pub norm_a_sq: f32,
+    /// `‖b‖²`
+    pub norm_b_sq: f32,
+}
+
+/// A dispatch table of distance kernels for one instruction-set level.
+///
+/// Pairwise entries take two equal-length slices (callers guarantee the
+/// shorter length wins, mirroring [`crate::distance::l2_sq`]).  One-to-many
+/// entries take a query `x` of length `d`, a row-major block `rows` of
+/// `out.len()` rows of length `d`, and write one result per row.
+#[derive(Clone, Copy, Debug)]
+pub struct Kernels {
+    /// Human-readable name of the instruction-set level (`"scalar"`,
+    /// `"avx2+fma"`, `"neon"`).
+    pub name: &'static str,
+    /// Squared Euclidean distance between two slices.
+    pub l2_sq: fn(&[f32], &[f32]) -> f32,
+    /// Dot product of two slices.
+    pub dot: fn(&[f32], &[f32]) -> f32,
+    /// Mixed-precision dot product between an `f64` accumulator vector and an
+    /// `f32` sample row (the boost-k-means composite·sample product).
+    pub dot_f64_f32: fn(&[f64], &[f32]) -> f64,
+    /// One-pass `a·b`, `‖a‖²`, `‖b‖²`.
+    pub fused_dot_norms: fn(&[f32], &[f32]) -> DotNorms,
+    /// Squared Euclidean distances from one query to a contiguous block of
+    /// rows.
+    pub l2_sq_one_to_many: fn(&[f32], &[f32], &mut [f32]),
+    /// Dot products from one query to a contiguous block of rows.
+    pub dot_one_to_many: fn(&[f32], &[f32], &mut [f32]),
+}
+
+static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+
+/// The kernel table selected for this process.
+///
+/// The first call performs CPU-feature detection; every later call is a
+/// cached load.  The selection is deterministic per process (and per
+/// machine): the widest supported level wins.
+#[inline]
+pub fn active() -> &'static Kernels {
+    ACTIVE.get_or_init(select)
+}
+
+/// Detection logic behind [`active`]; kept separate so tests can assert that
+/// repeated evaluation is stable.
+fn select() -> &'static Kernels {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return &x86::KERNELS;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return &neon::KERNELS;
+        }
+    }
+    &scalar::KERNELS
+}
+
+/// Every kernel table usable on this machine: the scalar fallback plus the
+/// SIMD level when the CPU supports it.  Used by the property suite to check
+/// all implementations against the reference, whatever machine runs the
+/// tests.
+pub fn available() -> Vec<&'static Kernels> {
+    let mut sets: Vec<&'static Kernels> = vec![&scalar::KERNELS];
+    let selected = active();
+    if !std::ptr::eq(selected, &scalar::KERNELS) {
+        sets.push(selected);
+    }
+    sets
+}
+
+/// Index types accepted by the indexed one-to-many kernels.
+pub trait RowIndex: Copy {
+    /// The index as `usize`.
+    fn as_index(self) -> usize;
+}
+
+impl RowIndex for usize {
+    #[inline]
+    fn as_index(self) -> usize {
+        self
+    }
+}
+
+impl RowIndex for u32 {
+    #[inline]
+    fn as_index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Squared Euclidean distances from `x` to every row of the contiguous
+/// row-major block `rows`, written into `out` (one value per row).
+///
+/// # Panics
+///
+/// Panics when `rows.len() != x.len() * out.len()`.
+#[inline]
+pub fn l2_sq_one_to_many(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    assert_eq!(
+        rows.len(),
+        x.len() * out.len(),
+        "block shape mismatch: {} values is not {} rows of dim {}",
+        rows.len(),
+        out.len(),
+        x.len()
+    );
+    (active().l2_sq_one_to_many)(x, rows, out);
+}
+
+/// Dot products from `x` to every row of the contiguous row-major block
+/// `rows`, written into `out`.
+///
+/// # Panics
+///
+/// Panics when `rows.len() != x.len() * out.len()`.
+#[inline]
+pub fn dot_one_to_many(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    assert_eq!(
+        rows.len(),
+        x.len() * out.len(),
+        "block shape mismatch: {} values is not {} rows of dim {}",
+        rows.len(),
+        out.len(),
+        x.len()
+    );
+    (active().dot_one_to_many)(x, rows, out);
+}
+
+/// Squared Euclidean distances from `x` to the rows of `flat` (row-major,
+/// dimensionality `dim`) selected by `indices`, written into `out`.
+///
+/// This is the gather form used when the candidate set is not contiguous
+/// (GK-means candidate clusters, graph neighbour expansions): the dispatch is
+/// resolved once for the whole batch and each row goes through the SIMD
+/// pairwise kernel.
+///
+/// # Panics
+///
+/// Panics when `out.len() != indices.len()` or an index is out of range.
+#[inline]
+pub fn l2_sq_one_to_many_indexed<I: RowIndex>(
+    x: &[f32],
+    flat: &[f32],
+    dim: usize,
+    indices: &[I],
+    out: &mut [f32],
+) {
+    assert_eq!(indices.len(), out.len(), "index/output length mismatch");
+    let kernel = active().l2_sq;
+    for (slot, &index) in out.iter_mut().zip(indices) {
+        let i = index.as_index();
+        *slot = kernel(x, &flat[i * dim..(i + 1) * dim]);
+    }
+}
+
+/// Norm-cached batched distances: `out[i] = max(0, ‖x‖² − 2·x·rows[i] +
+/// row_norms[i])` with `‖x‖²` and the row norms supplied by the caller.
+///
+/// The assignment steps cache `‖x‖²` per sample across all iterations and the
+/// centroid norms once per iteration, so each sample↔centroid evaluation
+/// costs a single dot product.  Cancellation can drive the expansion slightly
+/// negative; results are clamped to zero like
+/// [`crate::distance::l2_sq_via_dot`].
+///
+/// # Panics
+///
+/// Panics when the block shape or the norm count disagrees with `out`.
+#[inline]
+pub fn l2_sq_one_to_many_cached(
+    x: &[f32],
+    x_norm_sq: f32,
+    rows: &[f32],
+    row_norms: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(
+        rows.len(),
+        x.len() * out.len(),
+        "block shape mismatch: {} values is not {} rows of dim {}",
+        rows.len(),
+        out.len(),
+        x.len()
+    );
+    assert_eq!(row_norms.len(), out.len(), "norm cache length mismatch");
+    (active().dot_one_to_many)(x, rows, out);
+    for (o, &c_norm) in out.iter_mut().zip(row_norms) {
+        *o = (x_norm_sq - 2.0 * *o + c_norm).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::l2_sq_reference;
+
+    fn vectors(len: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.71).cos() * 2.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn dispatch_is_deterministic_per_process() {
+        let first = active() as *const Kernels;
+        for _ in 0..10 {
+            assert!(std::ptr::eq(first, active()));
+            assert_eq!(unsafe { &*first }.name, active().name);
+        }
+        assert!(std::ptr::eq(select(), active()), "re-selection must agree");
+    }
+
+    #[test]
+    fn every_available_set_matches_the_reference() {
+        for kernels in available() {
+            for len in [0usize, 1, 3, 7, 8, 9, 31, 32, 33, 100, 128, 257] {
+                let (a, b) = vectors(len);
+                let fast = (kernels.l2_sq)(&a, &b);
+                let slow = l2_sq_reference(&a, &b);
+                assert!(
+                    (fast - slow).abs() <= 1e-3 * slow.max(1.0),
+                    "{} len={len}: {fast} vs {slow}",
+                    kernels.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_many_matches_pairwise() {
+        let dim = 33;
+        let n = 7;
+        let (x, _) = vectors(dim);
+        let rows: Vec<f32> = (0..n * dim).map(|i| (i as f32 * 0.13).sin()).collect();
+        let mut batched = vec![0.0f32; n];
+        l2_sq_one_to_many(&x, &rows, &mut batched);
+        for (i, &got) in batched.iter().enumerate() {
+            let expect = l2_sq_reference(&x, &rows[i * dim..(i + 1) * dim]);
+            assert!((got - expect).abs() <= 1e-3 * expect.max(1.0), "row {i}");
+        }
+    }
+
+    #[test]
+    fn indexed_variant_gathers_rows() {
+        let dim = 12;
+        let flat: Vec<f32> = (0..8 * dim).map(|i| i as f32 * 0.05).collect();
+        let (x, _) = vectors(dim);
+        let idx: Vec<u32> = vec![5, 0, 7, 5];
+        let mut out = vec![0.0f32; idx.len()];
+        l2_sq_one_to_many_indexed(&x, &flat, dim, &idx, &mut out);
+        for (slot, &i) in out.iter().zip(&idx) {
+            let expect = l2_sq_reference(&x, &flat[i as usize * dim..(i as usize + 1) * dim]);
+            assert!((slot - expect).abs() <= 1e-3 * expect.max(1.0));
+        }
+    }
+
+    #[test]
+    fn cached_variant_matches_direct() {
+        let dim = 48;
+        let n = 5;
+        let (x, _) = vectors(dim);
+        let rows: Vec<f32> = (0..n * dim).map(|i| (i as f32 * 0.29).cos()).collect();
+        let x_norm: f32 = x.iter().map(|v| v * v).sum();
+        let row_norms: Vec<f32> = (0..n)
+            .map(|i| rows[i * dim..(i + 1) * dim].iter().map(|v| v * v).sum())
+            .collect();
+        let mut cached = vec![0.0f32; n];
+        l2_sq_one_to_many_cached(&x, x_norm, &rows, &row_norms, &mut cached);
+        let mut direct = vec![0.0f32; n];
+        l2_sq_one_to_many(&x, &rows, &mut direct);
+        for (c, d) in cached.iter().zip(&direct) {
+            assert!((c - d).abs() <= 1e-2 * d.max(1.0), "{c} vs {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut out = vec![0.0f32; 2];
+        l2_sq_one_to_many(&[1.0, 2.0], &[0.0; 5], &mut out);
+    }
+
+    #[test]
+    fn zero_dimension_blocks_are_all_zero() {
+        let mut out = vec![9.0f32; 4];
+        l2_sq_one_to_many(&[], &[], &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+}

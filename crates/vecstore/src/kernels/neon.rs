@@ -1,0 +1,202 @@
+//! NEON kernels for aarch64.
+//!
+//! Four `f32` lanes per vector with fused multiply-add (`vfmaq_f32`), four
+//! independent accumulator chains (16 floats per main-loop step), a 4-lane
+//! loop and a scalar tail.  NEON is architecturally guaranteed on every
+//! aarch64 target Rust supports, but selection still goes through
+//! `is_aarch64_feature_detected!` for symmetry with the x86 level.
+//!
+//! Safety model mirrors `x86.rs`: the inner `#[target_feature]` functions are
+//! only reachable through the safe `*_entry` wrappers in [`KERNELS`], which
+//! [`super::active`] installs only after feature detection succeeds.
+
+#![allow(unsafe_code)]
+
+use core::arch::aarch64::{
+    vaddq_f32, vaddq_f64, vaddvq_f32, vaddvq_f64, vcvt_f64_f32, vdupq_n_f32, vdupq_n_f64,
+    vfmaq_f32, vfmaq_f64, vget_high_f32, vget_low_f32, vld1q_f32, vld1q_f64, vsubq_f32,
+};
+
+use super::{DotNorms, Kernels};
+
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_body(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut acc2 = vdupq_n_f32(0.0);
+    let mut acc3 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let d0 = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        let d1 = vsubq_f32(vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+        let d2 = vsubq_f32(vld1q_f32(pa.add(i + 8)), vld1q_f32(pb.add(i + 8)));
+        let d3 = vsubq_f32(vld1q_f32(pa.add(i + 12)), vld1q_f32(pb.add(i + 12)));
+        acc0 = vfmaq_f32(acc0, d0, d0);
+        acc1 = vfmaq_f32(acc1, d1, d1);
+        acc2 = vfmaq_f32(acc2, d2, d2);
+        acc3 = vfmaq_f32(acc3, d3, d3);
+        i += 16;
+    }
+    while i + 4 <= n {
+        let d = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        acc0 = vfmaq_f32(acc0, d, d);
+        i += 4;
+    }
+    let mut total = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+    while i < n {
+        let d = *pa.add(i) - *pb.add(i);
+        total += d * d;
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_body(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut acc2 = vdupq_n_f32(0.0);
+    let mut acc3 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+        acc2 = vfmaq_f32(acc2, vld1q_f32(pa.add(i + 8)), vld1q_f32(pb.add(i + 8)));
+        acc3 = vfmaq_f32(acc3, vld1q_f32(pa.add(i + 12)), vld1q_f32(pb.add(i + 12)));
+        i += 16;
+    }
+    while i + 4 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        i += 4;
+    }
+    let mut total = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+    while i < n {
+        total += *pa.add(i) * *pb.add(i);
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_f64_f32_body(a: &[f64], b: &[f32]) -> f64 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = vdupq_n_f64(0.0);
+    let mut acc1 = vdupq_n_f64(0.0);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        // widen four f32 lanes to two f64 pairs and fold them in
+        let x = vld1q_f32(pb.add(i));
+        let x_lo = vcvt_f64_f32(vget_low_f32(x));
+        let x_hi = vcvt_f64_f32(vget_high_f32(x));
+        acc0 = vfmaq_f64(acc0, vld1q_f64(pa.add(i)), x_lo);
+        acc1 = vfmaq_f64(acc1, vld1q_f64(pa.add(i + 2)), x_hi);
+        i += 4;
+    }
+    let mut total = vaddvq_f64(vaddq_f64(acc0, acc1));
+    while i < n {
+        total += *pa.add(i) * f64::from(*pb.add(i));
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn fused_dot_norms_body(a: &[f32], b: &[f32]) -> DotNorms {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut dot0 = vdupq_n_f32(0.0);
+    let mut na0 = vdupq_n_f32(0.0);
+    let mut nb0 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = vld1q_f32(pa.add(i));
+        let y = vld1q_f32(pb.add(i));
+        dot0 = vfmaq_f32(dot0, x, y);
+        na0 = vfmaq_f32(na0, x, x);
+        nb0 = vfmaq_f32(nb0, y, y);
+        i += 4;
+    }
+    let mut dot = vaddvq_f32(dot0);
+    let mut na = vaddvq_f32(na0);
+    let mut nb = vaddvq_f32(nb0);
+    while i < n {
+        let x = *pa.add(i);
+        let y = *pb.add(i);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+        i += 1;
+    }
+    DotNorms {
+        dot,
+        norm_a_sq: na,
+        norm_b_sq: nb,
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_one_to_many_body(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    let d = x.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
+        *slot = l2_sq_body(x, row);
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_one_to_many_body(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    let d = x.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
+        *slot = dot_body(x, row);
+    }
+}
+
+// Safe entry points: sound because `KERNELS` is only selected after feature
+// detection (see module docs).
+
+fn l2_sq_entry(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { l2_sq_body(a, b) }
+}
+
+fn dot_entry(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { dot_body(a, b) }
+}
+
+fn dot_f64_f32_entry(a: &[f64], b: &[f32]) -> f64 {
+    unsafe { dot_f64_f32_body(a, b) }
+}
+
+fn fused_dot_norms_entry(a: &[f32], b: &[f32]) -> DotNorms {
+    unsafe { fused_dot_norms_body(a, b) }
+}
+
+fn l2_sq_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    unsafe { l2_sq_one_to_many_body(x, rows, out) }
+}
+
+fn dot_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    unsafe { dot_one_to_many_body(x, rows, out) }
+}
+
+/// The NEON level.
+pub static KERNELS: Kernels = Kernels {
+    name: "neon",
+    l2_sq: l2_sq_entry,
+    dot: dot_entry,
+    dot_f64_f32: dot_f64_f32_entry,
+    fused_dot_norms: fused_dot_norms_entry,
+    l2_sq_one_to_many: l2_sq_one_to_many_entry,
+    dot_one_to_many: dot_one_to_many_entry,
+};

@@ -1,0 +1,138 @@
+//! Portable scalar kernels: the 4-way unrolled loops the workspace originally
+//! shipped, kept both as the fallback level of the dispatch table and as the
+//! ground truth the SIMD levels are tested against.
+//!
+//! The 4-way unroll gives the compiler independent accumulator chains to
+//! auto-vectorise; on targets without a dedicated SIMD level this is already
+//! within a small factor of optimal.
+
+use super::{DotNorms, Kernels};
+
+/// Squared Euclidean distance, 4-way unrolled.
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let chunks = n / 4;
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        acc0 += d0 * d0;
+        acc1 += d1 * d1;
+        acc2 += d2 * d2;
+        acc3 += d3 * d3;
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..n {
+        let d = a[j] - b[j];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Dot product, 4-way unrolled.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let chunks = n / 4;
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += a[j] * b[j];
+        acc1 += a[j + 1] * b[j + 1];
+        acc2 += a[j + 2] * b[j + 2];
+        acc3 += a[j + 3] * b[j + 3];
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..n {
+        acc += a[j] * b[j];
+    }
+    acc
+}
+
+/// Mixed-precision dot product (`f64` accumulator vector × `f32` row), 4-way
+/// unrolled in `f64`.
+pub fn dot_f64_f32(a: &[f64], b: &[f32]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let chunks = n / 4;
+    let mut acc0 = 0.0f64;
+    let mut acc1 = 0.0f64;
+    let mut acc2 = 0.0f64;
+    let mut acc3 = 0.0f64;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += a[j] * f64::from(b[j]);
+        acc1 += a[j + 1] * f64::from(b[j + 1]);
+        acc2 += a[j + 2] * f64::from(b[j + 2]);
+        acc3 += a[j + 3] * f64::from(b[j + 3]);
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..n {
+        acc += a[j] * f64::from(b[j]);
+    }
+    acc
+}
+
+/// One pass producing `a·b`, `‖a‖²` and `‖b‖²`.
+pub fn fused_dot_norms(a: &[f32], b: &[f32]) -> DotNorms {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    DotNorms {
+        dot,
+        norm_a_sq: na,
+        norm_b_sq: nb,
+    }
+}
+
+/// Batched squared distances from `x` to every row of `rows`.
+pub fn l2_sq_one_to_many(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    let d = x.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
+        *slot = l2_sq(x, row);
+    }
+}
+
+/// Batched dot products from `x` to every row of `rows`.
+pub fn dot_one_to_many(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    let d = x.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
+        *slot = dot(x, row);
+    }
+}
+
+/// The portable fallback level.
+pub static KERNELS: Kernels = Kernels {
+    name: "scalar",
+    l2_sq,
+    dot,
+    dot_f64_f32,
+    fused_dot_norms,
+    l2_sq_one_to_many,
+    dot_one_to_many,
+};

@@ -1,0 +1,274 @@
+//! AVX2 + FMA kernels for x86-64.
+//!
+//! Eight `f32` lanes per vector with fused multiply-add, four independent
+//! accumulator chains (32 floats per main-loop step) to cover the FMA
+//! latency, then an 8-lane loop and a scalar tail for the remainder — so
+//! every length, alignment and remainder lane count is handled.  All loads
+//! are unaligned (`loadu`); callers never need to align their slices.
+//!
+//! Safety model: the inner `#[target_feature]` functions are only reachable
+//! through the safe `*_entry` wrappers stored in [`KERNELS`], and that table
+//! is only ever selected by [`super::active`] after
+//! `is_x86_feature_detected!("avx2")`/`("fma")` both succeed, which makes the
+//! `unsafe` calls sound.
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m256, _mm256_add_ps, _mm256_castps256_ps128, _mm256_cvtps_pd, _mm256_extractf128_ps,
+    _mm256_fmadd_pd, _mm256_fmadd_ps, _mm256_loadu_pd, _mm256_loadu_ps, _mm256_setzero_pd,
+    _mm256_setzero_ps, _mm256_storeu_pd, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32,
+    _mm_loadu_ps, _mm_movehdup_ps, _mm_movehl_ps,
+};
+
+use super::{DotNorms, Kernels};
+
+/// Horizontal sum of the eight lanes of an AVX register.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn hsum256(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let sum4 = _mm_add_ps(lo, hi);
+    let shuf = _mm_movehdup_ps(sum4);
+    let sum2 = _mm_add_ps(sum4, shuf);
+    let hi2 = _mm_movehl_ps(shuf, sum2);
+    _mm_cvtss_f32(_mm_add_ss(sum2, hi2))
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn l2_sq_body(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+        let d1 = _mm256_sub_ps(
+            _mm256_loadu_ps(pa.add(i + 8)),
+            _mm256_loadu_ps(pb.add(i + 8)),
+        );
+        let d2 = _mm256_sub_ps(
+            _mm256_loadu_ps(pa.add(i + 16)),
+            _mm256_loadu_ps(pb.add(i + 16)),
+        );
+        let d3 = _mm256_sub_ps(
+            _mm256_loadu_ps(pa.add(i + 24)),
+            _mm256_loadu_ps(pb.add(i + 24)),
+        );
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+        acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+        i += 32;
+    }
+    while i + 8 <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+        acc0 = _mm256_fmadd_ps(d, d, acc0);
+        i += 8;
+    }
+    let mut total = hsum256(_mm256_add_ps(
+        _mm256_add_ps(acc0, acc1),
+        _mm256_add_ps(acc2, acc3),
+    ));
+    while i < n {
+        let d = *pa.add(i) - *pb.add(i);
+        total += d * d;
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_body(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 8)),
+            _mm256_loadu_ps(pb.add(i + 8)),
+            acc1,
+        );
+        acc2 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 16)),
+            _mm256_loadu_ps(pb.add(i + 16)),
+            acc2,
+        );
+        acc3 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 24)),
+            _mm256_loadu_ps(pb.add(i + 24)),
+            acc3,
+        );
+        i += 32;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        i += 8;
+    }
+    let mut total = hsum256(_mm256_add_ps(
+        _mm256_add_ps(acc0, acc1),
+        _mm256_add_ps(acc2, acc3),
+    ));
+    while i < n {
+        total += *pa.add(i) * *pb.add(i);
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_f64_f32_body(a: &[f64], b: &[f32]) -> f64 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // widen two groups of four f32 lanes to f64 and fold them in
+        let x0 = _mm256_cvtps_pd(_mm_loadu_ps(pb.add(i)));
+        let x1 = _mm256_cvtps_pd(_mm_loadu_ps(pb.add(i + 4)));
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(pa.add(i)), x0, acc0);
+        acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(pa.add(i + 4)), x1, acc1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(pb.add(i)));
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(pa.add(i)), x, acc0);
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    let folded = {
+        let mut sum = [0.0f64; 4];
+        _mm256_storeu_pd(sum.as_mut_ptr(), acc0);
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc1);
+        (sum[0] + sum[1]) + (sum[2] + sum[3]) + (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    };
+    let mut total = folded;
+    while i < n {
+        total += *pa.add(i) * f64::from(*pb.add(i));
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn fused_dot_norms_body(a: &[f32], b: &[f32]) -> DotNorms {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut dot0 = _mm256_setzero_ps();
+    let mut na0 = _mm256_setzero_ps();
+    let mut nb0 = _mm256_setzero_ps();
+    let mut dot1 = _mm256_setzero_ps();
+    let mut na1 = _mm256_setzero_ps();
+    let mut nb1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let x0 = _mm256_loadu_ps(pa.add(i));
+        let y0 = _mm256_loadu_ps(pb.add(i));
+        let x1 = _mm256_loadu_ps(pa.add(i + 8));
+        let y1 = _mm256_loadu_ps(pb.add(i + 8));
+        dot0 = _mm256_fmadd_ps(x0, y0, dot0);
+        na0 = _mm256_fmadd_ps(x0, x0, na0);
+        nb0 = _mm256_fmadd_ps(y0, y0, nb0);
+        dot1 = _mm256_fmadd_ps(x1, y1, dot1);
+        na1 = _mm256_fmadd_ps(x1, x1, na1);
+        nb1 = _mm256_fmadd_ps(y1, y1, nb1);
+        i += 16;
+    }
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(pa.add(i));
+        let y = _mm256_loadu_ps(pb.add(i));
+        dot0 = _mm256_fmadd_ps(x, y, dot0);
+        na0 = _mm256_fmadd_ps(x, x, na0);
+        nb0 = _mm256_fmadd_ps(y, y, nb0);
+        i += 8;
+    }
+    let mut dot = hsum256(_mm256_add_ps(dot0, dot1));
+    let mut na = hsum256(_mm256_add_ps(na0, na1));
+    let mut nb = hsum256(_mm256_add_ps(nb0, nb1));
+    while i < n {
+        let x = *pa.add(i);
+        let y = *pb.add(i);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+        i += 1;
+    }
+    DotNorms {
+        dot,
+        norm_a_sq: na,
+        norm_b_sq: nb,
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn l2_sq_one_to_many_body(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    let d = x.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    // One feature-enabled frame for the whole block: the per-row kernel call
+    // below is a direct (inlinable) call, and the query stays hot in L1.
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
+        *slot = l2_sq_body(x, row);
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_one_to_many_body(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    let d = x.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (slot, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
+        *slot = dot_body(x, row);
+    }
+}
+
+// Safe entry points: sound because `KERNELS` is only selected after feature
+// detection (see module docs).
+
+fn l2_sq_entry(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { l2_sq_body(a, b) }
+}
+
+fn dot_entry(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { dot_body(a, b) }
+}
+
+fn dot_f64_f32_entry(a: &[f64], b: &[f32]) -> f64 {
+    unsafe { dot_f64_f32_body(a, b) }
+}
+
+fn fused_dot_norms_entry(a: &[f32], b: &[f32]) -> DotNorms {
+    unsafe { fused_dot_norms_body(a, b) }
+}
+
+fn l2_sq_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    unsafe { l2_sq_one_to_many_body(x, rows, out) }
+}
+
+fn dot_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
+    unsafe { dot_one_to_many_body(x, rows, out) }
+}
+
+/// The AVX2 + FMA level.
+pub static KERNELS: Kernels = Kernels {
+    name: "avx2+fma",
+    l2_sq: l2_sq_entry,
+    dot: dot_entry,
+    dot_f64_f32: dot_f64_f32_entry,
+    fused_dot_norms: fused_dot_norms_entry,
+    l2_sq_one_to_many: l2_sq_one_to_many_entry,
+    dot_one_to_many: dot_one_to_many_entry,
+};

@@ -6,10 +6,13 @@
 //! * [`VectorSet`] — an owned, row-major `n × d` matrix of `f32` values, the
 //!   canonical in-memory representation of a descriptor collection such as
 //!   SIFT1M or VLAD10M (Tab. 1 of the paper).
-//! * [`distance`] — scalar and unrolled squared-Euclidean / dot-product /
-//!   cosine kernels plus the [`distance::Metric`] abstraction.  All clustering
-//!   algorithms in the paper operate in the ℓ² space, so squared Euclidean is
-//!   the default metric throughout the workspace.
+//! * [`distance`] — squared-Euclidean / dot-product / cosine kernels plus the
+//!   [`distance::Metric`] abstraction.  All clustering algorithms in the
+//!   paper operate in the ℓ² space, so squared Euclidean is the default
+//!   metric throughout the workspace.
+//! * [`kernels`] — the SIMD engine behind [`distance`]: runtime-dispatched
+//!   AVX2+FMA / NEON / scalar implementations and the batched one-to-many
+//!   API used by every hot loop.
 //! * [`norms`] — pre-computed squared norms that let the assignment step use
 //!   the `‖x-c‖² = ‖x‖² - 2·x·c + ‖c‖²` expansion.
 //! * [`io`] — readers and writers for the TexMex `fvecs`/`ivecs`/`bvecs`
@@ -35,6 +38,7 @@
 pub mod distance;
 pub mod error;
 pub mod io;
+pub mod kernels;
 pub mod matrix;
 pub mod norms;
 pub mod sample;

@@ -56,8 +56,8 @@ mod tests {
 
     #[test]
     fn norms_match_direct_computation() {
-        let vs = VectorSet::from_rows(vec![vec![3.0, 4.0], vec![1.0, 1.0], vec![0.0, 0.0]])
-            .unwrap();
+        let vs =
+            VectorSet::from_rows(vec![vec![3.0, 4.0], vec![1.0, 1.0], vec![0.0, 0.0]]).unwrap();
         let norms = Norms::compute(&vs);
         assert_eq!(norms.len(), 3);
         assert!(!norms.is_empty());

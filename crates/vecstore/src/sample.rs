@@ -88,7 +88,11 @@ pub fn subsample(data: &VectorSet, count: usize, seed: u64) -> Result<VectorSet>
 /// # Errors
 ///
 /// Returns [`Error::InvalidParameter`] when `queries >= data.len()`.
-pub fn split_base_query(data: &VectorSet, queries: usize, seed: u64) -> Result<(VectorSet, VectorSet)> {
+pub fn split_base_query(
+    data: &VectorSet,
+    queries: usize,
+    seed: u64,
+) -> Result<(VectorSet, VectorSet)> {
     if queries >= data.len() {
         return Err(Error::InvalidParameter(format!(
             "query count {queries} must be smaller than the dataset size {}",
@@ -167,8 +171,7 @@ mod tests {
 
     #[test]
     fn split_base_query_partitions_without_overlap() {
-        let vs =
-            VectorSet::from_rows((0..20).map(|i| vec![i as f32]).collect::<Vec<_>>()).unwrap();
+        let vs = VectorSet::from_rows((0..20).map(|i| vec![i as f32]).collect::<Vec<_>>()).unwrap();
         let (base, query) = split_base_query(&vs, 5, 11).unwrap();
         assert_eq!(base.len(), 15);
         assert_eq!(query.len(), 5);

@@ -1,0 +1,225 @@
+//! Property suite for the SIMD kernel subsystem.
+//!
+//! Every kernel table available on the build machine (scalar always; AVX2+FMA
+//! or NEON when the CPU supports it) must agree with the naive reference
+//! within 1e-3 relative tolerance:
+//!
+//! * across **every length 0..=257**, covering all remainder lane counts of
+//!   the 32-, 16-, 8- and 4-wide main loops;
+//! * on **unaligned slices** (the kernels use unaligned loads; sub-slicing at
+//!   odd offsets must not change results beyond reassociation error);
+//! * between the **batched one-to-many paths and the pairwise kernels**;
+//! * and the **dispatch must be deterministic** within a process.
+
+use vecstore::distance::l2_sq_reference;
+use vecstore::kernels::{self, Kernels};
+
+/// Deterministic pseudo-random test vector; `phase` decorrelates the streams.
+fn test_vector(len: usize, phase: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i as f32 + phase) * 0.718).sin() * 7.3 + (i as f32 * 0.131 + phase).cos())
+        .collect()
+}
+
+fn dot_reference(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn close(fast: f32, slow: f32) -> bool {
+    (fast - slow).abs() <= 1e-3 * slow.abs().max(1.0)
+}
+
+fn for_each_kernel_set(mut f: impl FnMut(&'static Kernels)) {
+    let sets = kernels::available();
+    assert!(!sets.is_empty(), "the scalar set is always available");
+    for set in sets {
+        f(set);
+    }
+}
+
+#[test]
+fn l2_sq_matches_reference_for_all_remainder_lanes() {
+    for_each_kernel_set(|set| {
+        for len in 0..=257usize {
+            let a = test_vector(len, 0.0);
+            let b = test_vector(len, 3.7);
+            let fast = (set.l2_sq)(&a, &b);
+            let slow = l2_sq_reference(&a, &b);
+            assert!(
+                close(fast, slow),
+                "{} len={len}: {fast} vs {slow}",
+                set.name
+            );
+        }
+    });
+}
+
+#[test]
+fn dot_matches_reference_for_all_remainder_lanes() {
+    for_each_kernel_set(|set| {
+        for len in 0..=257usize {
+            let a = test_vector(len, 1.0);
+            let b = test_vector(len, 5.1);
+            let fast = (set.dot)(&a, &b);
+            let slow = dot_reference(&a, &b);
+            assert!(
+                close(fast, slow),
+                "{} len={len}: {fast} vs {slow}",
+                set.name
+            );
+        }
+    });
+}
+
+#[test]
+fn dot_f64_f32_matches_reference_for_all_remainder_lanes() {
+    for_each_kernel_set(|set| {
+        for len in 0..=257usize {
+            let a: Vec<f64> = test_vector(len, 2.0)
+                .iter()
+                .map(|&v| f64::from(v))
+                .collect();
+            let b = test_vector(len, 6.9);
+            let fast = (set.dot_f64_f32)(&a, &b);
+            let slow: f64 = a.iter().zip(&b).map(|(x, &y)| x * f64::from(y)).sum();
+            assert!(
+                (fast - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                "{} len={len}: {fast} vs {slow}",
+                set.name
+            );
+        }
+    });
+}
+
+#[test]
+fn fused_dot_norms_matches_three_reference_passes() {
+    for_each_kernel_set(|set| {
+        for len in 0..=257usize {
+            let a = test_vector(len, 4.0);
+            let b = test_vector(len, 8.3);
+            let f = (set.fused_dot_norms)(&a, &b);
+            assert!(
+                close(f.dot, dot_reference(&a, &b)),
+                "{} len={len} dot",
+                set.name
+            );
+            assert!(
+                close(f.norm_a_sq, dot_reference(&a, &a)),
+                "{} len={len} ‖a‖²",
+                set.name
+            );
+            assert!(
+                close(f.norm_b_sq, dot_reference(&b, &b)),
+                "{} len={len} ‖b‖²",
+                set.name
+            );
+        }
+    });
+}
+
+#[test]
+fn unaligned_subslices_agree_with_reference() {
+    // Slicing at odd offsets guarantees the loads are not 32-byte aligned.
+    let backing_a = test_vector(300, 0.5);
+    let backing_b = test_vector(300, 9.2);
+    for_each_kernel_set(|set| {
+        for offset in 1..=7usize {
+            for len in [0usize, 1, 5, 8, 15, 31, 33, 64, 127, 250] {
+                let a = &backing_a[offset..offset + len];
+                let b = &backing_b[offset + 1..offset + 1 + len];
+                let fast = (set.l2_sq)(a, b);
+                let slow = l2_sq_reference(a, b);
+                assert!(
+                    close(fast, slow),
+                    "{} offset={offset} len={len}: {fast} vs {slow}",
+                    set.name
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn batched_paths_match_pairwise_paths() {
+    for dim in [0usize, 1, 3, 8, 17, 32, 100, 128, 257] {
+        for n in [1usize, 2, 7, 19] {
+            let x = test_vector(dim, 0.0);
+            let rows: Vec<f32> = (0..n)
+                .flat_map(|r| test_vector(dim, r as f32 + 1.5))
+                .collect();
+            let mut batched = vec![0.0f32; n];
+            kernels::l2_sq_one_to_many(&x, &rows, &mut batched);
+            for (r, &got) in batched.iter().enumerate() {
+                let row = &rows[r * dim..(r + 1) * dim];
+                assert!(
+                    close(got, l2_sq_reference(&x, row)),
+                    "l2 dim={dim} n={n} row={r}"
+                );
+            }
+            let mut dots = vec![0.0f32; n];
+            kernels::dot_one_to_many(&x, &rows, &mut dots);
+            for (r, &got) in dots.iter().enumerate() {
+                let row = &rows[r * dim..(r + 1) * dim];
+                assert!(
+                    close(got, dot_reference(&x, row)),
+                    "dot dim={dim} n={n} row={r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn indexed_and_cached_batches_match_direct_evaluation() {
+    let dim = 129; // odd remainder on every lane width
+    let n_rows = 23;
+    let flat: Vec<f32> = (0..n_rows)
+        .flat_map(|r| test_vector(dim, r as f32 * 2.2))
+        .collect();
+    let x = test_vector(dim, 11.0);
+    let indices: Vec<u32> = vec![22, 0, 7, 7, 13, 1];
+
+    let mut indexed = vec![0.0f32; indices.len()];
+    kernels::l2_sq_one_to_many_indexed(&x, &flat, dim, &indices, &mut indexed);
+    for (slot, &i) in indexed.iter().zip(&indices) {
+        let row = &flat[i as usize * dim..(i as usize + 1) * dim];
+        assert!(close(*slot, l2_sq_reference(&x, row)), "index {i}");
+    }
+
+    let x_norm: f32 = dot_reference(&x, &x);
+    let row_norms: Vec<f32> = (0..n_rows)
+        .map(|r| {
+            let row = &flat[r * dim..(r + 1) * dim];
+            dot_reference(row, row)
+        })
+        .collect();
+    let mut cached = vec![0.0f32; n_rows];
+    kernels::l2_sq_one_to_many_cached(&x, x_norm, &flat, &row_norms, &mut cached);
+    for (r, &got) in cached.iter().enumerate() {
+        let row = &flat[r * dim..(r + 1) * dim];
+        let expect = l2_sq_reference(&x, row);
+        // the expansion amplifies cancellation, hence the looser bound
+        assert!(
+            (got - expect).abs() <= 1e-2 * expect.max(1.0),
+            "cached row {r}: {got} vs {expect}"
+        );
+        assert!(got >= 0.0, "cached distances must clamp to zero");
+    }
+}
+
+#[test]
+fn dispatch_is_deterministic_within_a_process() {
+    let first = kernels::active();
+    let first_name = first.name;
+    for _ in 0..100 {
+        let again = kernels::active();
+        assert!(std::ptr::eq(first, again), "dispatch table must be cached");
+        assert_eq!(first_name, again.name);
+    }
+    // the distance wrappers observe the same table
+    let a = test_vector(64, 0.1);
+    let b = test_vector(64, 7.7);
+    let via_wrapper = vecstore::distance::l2_sq(&a, &b);
+    let via_table = (kernels::active().l2_sq)(&a, &b);
+    assert_eq!(via_wrapper.to_bits(), via_table.to_bits());
+}

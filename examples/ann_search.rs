@@ -25,7 +25,12 @@ fn main() {
     // Graph from the paper's Alg. 3.
     let t = Instant::now();
     let (gk_graph, _) = KnnGraphBuilder::new(
-        GkParams::default().kappa(20).xi(50).tau(8).seed(3).record_trace(false),
+        GkParams::default()
+            .kappa(20)
+            .xi(50)
+            .tau(8)
+            .seed(3)
+            .record_trace(false),
     )
     .graph_k(20)
     .build(&base);
@@ -45,7 +50,14 @@ fn main() {
 
     let mut table = Table::new(
         "graph-based ANN search (recall@10)",
-        &["graph", "build", "ef", "recall", "avg ms/query", "dist evals/query"],
+        &[
+            "graph",
+            "build",
+            "ef",
+            "recall",
+            "avg ms/query",
+            "dist evals/query",
+        ],
     );
     for (name, graph, build) in [
         ("Alg.3 (GK-means)", &gk_graph, gk_build),

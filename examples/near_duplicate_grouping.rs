@@ -54,7 +54,10 @@ fn main() {
     // A photo collection of VLAD-like global descriptors.
     let distinct = 6_000;
     let workload = Workload::generate_with_n(PaperDataset::Vlad10M, distinct, 11);
-    println!("collection: {distinct} distinct VLAD-like descriptors (dim {})", workload.data.dim());
+    println!(
+        "collection: {distinct} distinct VLAD-like descriptors (dim {})",
+        workload.data.dim()
+    );
 
     // Plant 150 duplicate bursts of 4 copies each.
     let (data, bursts) = plant_duplicates(&workload.data, 150, 4, 0.01, 13);
@@ -95,7 +98,10 @@ fn main() {
             split += 1;
         }
     }
-    println!("duplicate bursts kept in one cluster: {intact}/{}", bursts.len());
+    println!(
+        "duplicate bursts kept in one cluster: {intact}/{}",
+        bursts.len()
+    );
     println!("duplicate bursts split across clusters: {split}");
 
     // A random grouping of the same data would almost never keep a burst

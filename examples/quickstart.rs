@@ -51,14 +51,10 @@ fn main() {
             .record_trace(false),
     )
     .fit(&workload.data);
-    let lloyd_distortion =
-        average_distortion(&workload.data, &lloyd.labels, &lloyd.centroids);
+    let lloyd_distortion = average_distortion(&workload.data, &lloyd.labels, &lloyd.centroids);
     println!(
         "k-means  : E = {:.4}   init {:.2?} + iter {:.2?}   distance evals {}",
-        lloyd_distortion,
-        lloyd.init_time,
-        lloyd.iter_time,
-        lloyd.distance_evals
+        lloyd_distortion, lloyd.init_time, lloyd.iter_time, lloyd.distance_evals
     );
 
     let speedup = lloyd.distance_evals as f64 / outcome.clustering.distance_evals.max(1) as f64;

@@ -38,22 +38,34 @@ fn main() {
         .cluster(&workload.data, k);
 
         let closure = ClosureKMeans::new(
-            KMeansConfig::with_k(k).max_iters(iterations).seed(1).record_trace(false),
+            KMeansConfig::with_k(k)
+                .max_iters(iterations)
+                .seed(1)
+                .record_trace(false),
         )
         .fit(&workload.data);
 
         let lloyd = LloydKMeans::new(
-            KMeansConfig::with_k(k).max_iters(iterations).seed(1).record_trace(false),
+            KMeansConfig::with_k(k)
+                .max_iters(iterations)
+                .seed(1)
+                .record_trace(false),
         )
         .fit(&workload.data);
 
         let bkm = BoostKMeans::new(
-            KMeansConfig::with_k(k).max_iters(iterations).seed(1).record_trace(false),
+            KMeansConfig::with_k(k)
+                .max_iters(iterations)
+                .seed(1)
+                .record_trace(false),
         )
         .fit(&workload.data);
 
         let minibatch = MiniBatchKMeans::new(
-            KMeansConfig::with_k(k).max_iters(iterations).seed(1).record_trace(false),
+            KMeansConfig::with_k(k)
+                .max_iters(iterations)
+                .seed(1)
+                .record_trace(false),
         )
         .batch_size(512)
         .fit(&workload.data);

@@ -60,7 +60,10 @@ fn main() {
     .fit(&workload.data);
     table.row(&[
         "boost k-means".into(),
-        format!("{:.4}", average_distortion(&workload.data, &bkm.labels, &bkm.centroids)),
+        format!(
+            "{:.4}",
+            average_distortion(&workload.data, &bkm.labels, &bkm.centroids)
+        ),
         format!("{:.2?}", bkm.total_time()),
         bkm.distance_evals.to_string(),
     ]);
@@ -112,7 +115,10 @@ fn main() {
     .fit(&workload.data);
     table.row(&[
         "k-means".into(),
-        format!("{:.4}", average_distortion(&workload.data, &lloyd.labels, &lloyd.centroids)),
+        format!(
+            "{:.4}",
+            average_distortion(&workload.data, &lloyd.labels, &lloyd.centroids)
+        ),
         format!("{:.2?}", lloyd.total_time()),
         lloyd.distance_evals.to_string(),
     ]);

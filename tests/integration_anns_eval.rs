@@ -8,7 +8,12 @@ fn ann_search_recall_improves_with_ef_on_gk_graph() {
     let w = Workload::generate_with_n(PaperDataset::Sift100K, 3_000, 31);
     let (base, queries) = w.data.split_at(2_900).unwrap();
     let (graph, _) = KnnGraphBuilder::new(
-        GkParams::default().kappa(10).xi(25).tau(5).seed(3).record_trace(false),
+        GkParams::default()
+            .kappa(10)
+            .xi(25)
+            .tau(5)
+            .seed(3)
+            .record_trace(false),
     )
     .graph_k(10)
     .build(&base);
@@ -30,7 +35,12 @@ fn ann_search_recall_improves_with_ef_on_gk_graph() {
         10,
         SearchParams::default().ef(128).entry_points(16).seed(1),
     );
-    assert!(high.recall >= low.recall - 0.02, "ef=128 {} vs ef=8 {}", high.recall, low.recall);
+    assert!(
+        high.recall >= low.recall - 0.02,
+        "ef=128 {} vs ef=8 {}",
+        high.recall,
+        low.recall
+    );
     assert!(high.avg_distance_evals > low.avg_distance_evals);
     assert!(high.recall > 0.45, "recall at ef=128: {}", high.recall);
 }
@@ -43,7 +53,12 @@ fn exact_graph_search_is_an_upper_bound_for_approximate_graph_search() {
 
     let exact = exact_graph(&base, 10);
     let (approx, _) = KnnGraphBuilder::new(
-        GkParams::default().kappa(10).xi(25).tau(3).seed(41).record_trace(false),
+        GkParams::default()
+            .kappa(10)
+            .xi(25)
+            .tau(3)
+            .seed(41)
+            .record_trace(false),
     )
     .graph_k(10)
     .build(&base);
@@ -61,7 +76,10 @@ fn exact_graph_search_is_an_upper_bound_for_approximate_graph_search() {
 
 #[test]
 fn report_tables_and_series_render_for_harness_output() {
-    let mut table = Table::new("Tab. 2 (miniature)", &["method", "init", "iter", "total", "E"]);
+    let mut table = Table::new(
+        "Tab. 2 (miniature)",
+        &["method", "init", "iter", "total", "E"],
+    );
     table.row(&[
         "GK-means".into(),
         "2.7".into(),
@@ -94,14 +112,27 @@ fn phase_timer_supports_table2_style_accounting() {
     let mut timer = PhaseTimer::new();
     let w = Workload::generate_with_n(PaperDataset::Sift100K, 1_000, 47);
     let graph = timer.phase("graph", || {
-        KnnGraphBuilder::new(GkParams::default().kappa(8).xi(20).tau(2).seed(5).record_trace(false))
-            .graph_k(8)
-            .build(&w.data)
-            .0
+        KnnGraphBuilder::new(
+            GkParams::default()
+                .kappa(8)
+                .xi(20)
+                .tau(2)
+                .seed(5)
+                .record_trace(false),
+        )
+        .graph_k(8)
+        .build(&w.data)
+        .0
     });
     let clustering = timer.phase("cluster", || {
-        GkMeans::new(GkParams::default().kappa(8).iterations(5).seed(5).record_trace(false))
-            .fit(&w.data, 10, &graph)
+        GkMeans::new(
+            GkParams::default()
+                .kappa(8)
+                .iterations(5)
+                .seed(5)
+                .record_trace(false),
+        )
+        .fit(&w.data, 10, &graph)
     });
     assert_eq!(clustering.k(), 10);
     assert!(timer.get("graph").is_some());
@@ -113,7 +144,10 @@ fn phase_timer_supports_table2_style_accounting() {
 fn distortion_helpers_agree_between_eval_and_baselines() {
     let w = Workload::generate_with_n(PaperDataset::Gist1M, 800, 53);
     let clustering = LloydKMeans::new(
-        KMeansConfig::with_k(8).max_iters(5).seed(3).record_trace(false),
+        KMeansConfig::with_k(8)
+            .max_iters(5)
+            .seed(3)
+            .record_trace(false),
     )
     .fit(&w.data);
     let via_eval = average_distortion(&w.data, &clustering.labels, &clustering.centroids);

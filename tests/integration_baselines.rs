@@ -10,10 +10,15 @@ fn workload(n: usize, seed: u64) -> Workload {
 
 /// Runs one variant and returns (distortion, per-iteration distance evals).
 fn run(name: &str, data: &VectorSet, k: usize, iters: usize, seed: u64) -> (f64, f64) {
-    let cfg = KMeansConfig::with_k(k).max_iters(iters).seed(seed).record_trace(false);
+    let cfg = KMeansConfig::with_k(k)
+        .max_iters(iters)
+        .seed(seed)
+        .record_trace(false);
     let c: Clustering = match name {
         "lloyd" => LloydKMeans::new(cfg).fit(data),
-        "lloyd++" => LloydKMeans::new(cfg).with_seeding(Seeding::KMeansPlusPlus).fit(data),
+        "lloyd++" => LloydKMeans::new(cfg)
+            .with_seeding(Seeding::KMeansPlusPlus)
+            .fit(data),
         "elkan" => ElkanKMeans::new(cfg).fit(data),
         "hamerly" => HamerlyKMeans::new(cfg).fit(data),
         "minibatch" => MiniBatchKMeans::new(cfg).batch_size(256).fit(data),
@@ -23,7 +28,10 @@ fn run(name: &str, data: &VectorSet, k: usize, iters: usize, seed: u64) -> (f64,
         other => panic!("unknown variant {other}"),
     };
     assert_eq!(c.labels.len(), data.len(), "{name}: wrong label count");
-    assert!(c.labels.iter().all(|&l| l < c.k()), "{name}: label out of range");
+    assert!(
+        c.labels.iter().all(|&l| l < c.k()),
+        "{name}: label out of range"
+    );
     assert_eq!(
         c.cluster_sizes().iter().sum::<usize>(),
         data.len(),
@@ -38,7 +46,14 @@ fn run(name: &str, data: &VectorSet, k: usize, iters: usize, seed: u64) -> (f64,
 fn every_baseline_produces_a_valid_clustering() {
     let w = workload(2_000, 1);
     for name in [
-        "lloyd", "lloyd++", "elkan", "hamerly", "minibatch", "closure", "bisecting", "bkm",
+        "lloyd",
+        "lloyd++",
+        "elkan",
+        "hamerly",
+        "minibatch",
+        "closure",
+        "bisecting",
+        "bkm",
     ] {
         let (e, _) = run(name, &w.data, 20, 8, 3);
         assert!(e > 0.0, "{name} reported zero distortion on noisy data");
@@ -51,7 +66,10 @@ fn exact_accelerations_match_lloyd_quality() {
     let (lloyd_e, _) = run("lloyd", &w.data, 25, 12, 7);
     let (elkan_e, _) = run("elkan", &w.data, 25, 12, 7);
     let (hamerly_e, _) = run("hamerly", &w.data, 25, 12, 7);
-    assert!((elkan_e - lloyd_e).abs() <= 0.1 * lloyd_e, "elkan {elkan_e} vs lloyd {lloyd_e}");
+    assert!(
+        (elkan_e - lloyd_e).abs() <= 0.1 * lloyd_e,
+        "elkan {elkan_e} vs lloyd {lloyd_e}"
+    );
     assert!(
         (hamerly_e - lloyd_e).abs() <= 0.1 * lloyd_e,
         "hamerly {hamerly_e} vs lloyd {lloyd_e}"
@@ -76,7 +94,10 @@ fn minibatch_is_cheapest_but_lossiest() {
     let w = workload(2_500, 13);
     let (lloyd_e, lloyd_cost) = run("lloyd", &w.data, 25, 10, 17);
     let (mb_e, mb_cost) = run("minibatch", &w.data, 25, 10, 17);
-    assert!(mb_cost < lloyd_cost, "mini-batch must be cheaper per iteration");
+    assert!(
+        mb_cost < lloyd_cost,
+        "mini-batch must be cheaper per iteration"
+    );
     assert!(
         mb_e >= lloyd_e * 0.95,
         "mini-batch should not beat full k-means on distortion (mb {mb_e} vs lloyd {lloyd_e})"
@@ -118,9 +139,14 @@ fn seeding_strategies_are_all_usable_on_paper_workloads() {
         Seeding::KMeansPlusPlus,
         Seeding::Parallel { rounds: 3 },
     ] {
-        let c = LloydKMeans::new(KMeansConfig::with_k(15).max_iters(5).seed(31).record_trace(false))
-            .with_seeding(seeding)
-            .fit(&w.data);
+        let c = LloydKMeans::new(
+            KMeansConfig::with_k(15)
+                .max_iters(5)
+                .seed(31)
+                .record_trace(false),
+        )
+        .with_seeding(seeding)
+        .fit(&w.data);
         assert_eq!(c.k(), 15);
         assert!(c.non_empty_clusters() >= 14);
     }

@@ -40,7 +40,10 @@ fn negative_or_zero_dimension_headers_are_rejected() {
             read_fvecs_from(Cursor::new(buf.clone())).is_err(),
             "dim {dim} accepted"
         );
-        assert!(read_ivecs_from(Cursor::new(buf)).is_err(), "ivecs dim {dim} accepted");
+        assert!(
+            read_ivecs_from(Cursor::new(buf)).is_err(),
+            "ivecs dim {dim} accepted"
+        );
     }
 }
 
@@ -75,7 +78,10 @@ fn mismatched_query_dimensionality_is_rejected_by_ground_truth() {
     let base = VectorSet::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
     let queries = VectorSet::from_rows(vec![vec![0.0, 0.0, 0.0]]).unwrap();
     let result = std::panic::catch_unwind(|| exact_ground_truth(&base, &queries, 1));
-    assert!(result.is_err(), "dimensionality mismatch must not pass silently");
+    assert!(
+        result.is_err(),
+        "dimensionality mismatch must not pass silently"
+    );
 }
 
 // --------------------------------------------------------- degenerate data
@@ -83,11 +89,24 @@ fn mismatched_query_dimensionality_is_rejected_by_ground_truth() {
 #[test]
 fn all_identical_points_cluster_without_crashing() {
     let data = VectorSet::from_rows(vec![vec![3.0, 3.0, 3.0]; 200]).unwrap();
-    let params = GkParams::default().kappa(5).xi(20).tau(2).iterations(3).seed(3).record_trace(false);
+    let params = GkParams::default()
+        .kappa(5)
+        .xi(20)
+        .tau(2)
+        .iterations(3)
+        .seed(3)
+        .record_trace(false);
     let outcome = GkMeansPipeline::new(params).cluster(&data, 4);
     assert_eq!(outcome.clustering.labels.len(), 200);
-    let e = average_distortion(&data, &outcome.clustering.labels, &outcome.clustering.centroids);
-    assert!(e.abs() < 1e-6, "identical points must have zero distortion, got {e}");
+    let e = average_distortion(
+        &data,
+        &outcome.clustering.labels,
+        &outcome.clustering.centroids,
+    );
+    assert!(
+        e.abs() < 1e-6,
+        "identical points must have zero distortion, got {e}"
+    );
 
     for result in [
         LloydKMeans::new(KMeansConfig::with_k(4).max_iters(3).seed(1)).fit(&data),
@@ -116,7 +135,12 @@ fn graph_construction_on_fewer_samples_than_xi_still_works() {
     let w = Workload::generate_with_n(PaperDataset::Sift100K, 1_000, 11);
     let (tiny, _) = w.data.split_at(30).unwrap();
     let (graph, stats) = KnnGraphBuilder::new(
-        GkParams::default().xi(50).tau(2).kappa(5).seed(4).record_trace(false),
+        GkParams::default()
+            .xi(50)
+            .tau(2)
+            .kappa(5)
+            .seed(4)
+            .record_trace(false),
     )
     .graph_k(5)
     .build(&tiny);
@@ -124,7 +148,10 @@ fn graph_construction_on_fewer_samples_than_xi_still_works() {
     assert!(stats.refine_distance_evals > 0);
     let exact = exact_graph(&tiny, 5);
     let recall = graph_recall_at_1(&graph, &exact);
-    assert!(recall > 0.95, "single-cluster construction must be near exact, got {recall}");
+    assert!(
+        recall > 0.95,
+        "single-cluster construction must be near exact, got {recall}"
+    );
 }
 
 #[test]
@@ -142,9 +169,18 @@ fn zero_queries_and_zero_k_are_handled_by_the_searcher() {
 #[test]
 fn invalid_parameters_are_rejected_before_any_work() {
     let w = Workload::generate_with_n(PaperDataset::Sift100K, 1_000, 17);
-    assert!(GkParams::default().kappa(0).validate(w.data.len(), 10).is_err());
-    assert!(GkParams::default().xi(1).validate(w.data.len(), 10).is_err());
-    assert!(GkParams::default().tau(0).validate(w.data.len(), 10).is_err());
+    assert!(GkParams::default()
+        .kappa(0)
+        .validate(w.data.len(), 10)
+        .is_err());
+    assert!(GkParams::default()
+        .xi(1)
+        .validate(w.data.len(), 10)
+        .is_err());
+    assert!(GkParams::default()
+        .tau(0)
+        .validate(w.data.len(), 10)
+        .is_err());
     assert!(GkParams::default().validate(0, 10).is_err());
     assert!(GkParams::default().validate(100, 0).is_err());
     assert!(GkParams::default().validate(100, 101).is_err());

@@ -11,7 +11,12 @@ fn alg3_graph_recall_improves_monotonically_enough_over_rounds() {
     let exact = exact_graph(&w.data, 5);
 
     let mut distortions = Vec::new();
-    let params = GkParams::default().kappa(5).xi(25).tau(6).seed(7).record_trace(false);
+    let params = GkParams::default()
+        .kappa(5)
+        .xi(25)
+        .tau(6)
+        .seed(7)
+        .record_trace(false);
     let (graph, stats) = KnnGraphBuilder::new(params)
         .graph_k(5)
         .build_with_observer(&w.data, |info| distortions.push(info.distortion));
@@ -31,7 +36,12 @@ fn alg3_and_nn_descent_graphs_are_both_usable_and_costs_are_comparable() {
     let exact = exact_graph(&w.data, 10);
 
     let (gk_graph, _) = KnnGraphBuilder::new(
-        GkParams::default().kappa(10).xi(25).tau(6).seed(9).record_trace(false),
+        GkParams::default()
+            .kappa(10)
+            .xi(25)
+            .tau(6)
+            .seed(9)
+            .record_trace(false),
     )
     .graph_k(10)
     .build(&w.data);
@@ -60,7 +70,10 @@ fn cooccurrence_statistic_reproduces_figure1_shape() {
     let w = Workload::generate_with_n(PaperDataset::Sift100K, 2_000, 11);
     let k = w.data.len() / 50; // cluster size ≈ 50, as in Fig. 1
     let clustering = LloydKMeans::new(
-        KMeansConfig::with_k(k).max_iters(10).seed(13).record_trace(false),
+        KMeansConfig::with_k(k)
+            .max_iters(10)
+            .seed(13)
+            .record_trace(false),
     )
     .fit(&w.data);
 

@@ -16,7 +16,10 @@ use vecstore::distance::l2_sq;
 fn clustered_rows() -> impl Strategy<Value = Vec<Vec<f32>>> {
     (2usize..6, 2usize..5, 30usize..90).prop_flat_map(|(groups, dim, n)| {
         proptest::collection::vec(
-            (0..groups, proptest::collection::vec(-1.0f32..1.0, dim..=dim)),
+            (
+                0..groups,
+                proptest::collection::vec(-1.0f32..1.0, dim..=dim),
+            ),
             n..=n,
         )
         .prop_map(move |samples| {
@@ -171,10 +174,18 @@ fn nsw_graph_feeds_gkmeans_like_any_other_supplier() {
     let nsw = nsw_build(&w.data, &NswParams::with_m(10).seed(5));
     let graph = truncate_to_k(&nsw, 10);
     let outcome = GkMeansPipeline::new(
-        GkParams::default().kappa(10).iterations(8).seed(5).record_trace(false),
+        GkParams::default()
+            .kappa(10)
+            .iterations(8)
+            .seed(5)
+            .record_trace(false),
     )
     .cluster_with_graph(&w.data, 20, graph, std::time::Duration::ZERO);
     assert_eq!(outcome.clustering.k(), 20);
-    let e = average_distortion(&w.data, &outcome.clustering.labels, &outcome.clustering.centroids);
+    let e = average_distortion(
+        &w.data,
+        &outcome.clustering.labels,
+        &outcome.clustering.centroids,
+    );
     assert!(e.is_finite() && e > 0.0);
 }
