@@ -208,29 +208,49 @@ pub fn recompute_centroids(data: &VectorSet, labels: &[usize], centroids: &mut V
     empty
 }
 
-/// Index of the smallest value, sticky on the current assignment: scanning
-/// starts from `current`, so a tie between the current centroid and any other
-/// keeps the sample where it is (exact convergence is detected instead of
-/// ping-ponging between duplicate centroids).
-#[inline]
-fn argmin_sticky(values: &[f32], current: usize) -> usize {
-    let mut best = current.min(values.len() - 1);
-    let mut best_v = values[best];
-    for (i, &v) in values.iter().enumerate() {
-        if v < best_v {
-            best_v = v;
-            best = i;
+/// Scratch buffers of a blocked assignment pass: the current labels in the
+/// `u32` form the fused kernel consumes plus its three per-sample outputs.
+struct AssignScratch {
+    current: Vec<u32>,
+    idx: Vec<u32>,
+    dist: Vec<f32>,
+    second: Vec<f32>,
+}
+
+impl AssignScratch {
+    fn from_labels(labels: &[usize]) -> Self {
+        Self {
+            current: labels.iter().map(|&l| l as u32).collect(),
+            idx: vec![0u32; labels.len()],
+            dist: vec![0.0f32; labels.len()],
+            second: vec![0.0f32; labels.len()],
         }
     }
-    best
+
+    /// Writes the winning indices back into `labels`, returning how many
+    /// changed.
+    fn commit(&self, labels: &mut [usize]) -> usize {
+        let mut changes = 0usize;
+        for (label, &best) in labels.iter_mut().zip(&self.idx) {
+            if *label != best as usize {
+                *label = best as usize;
+                changes += 1;
+            }
+        }
+        changes
+    }
 }
 
 /// Assigns every sample to its closest centroid by exhaustive comparison,
 /// returning the number of label changes and counting distance evaluations.
 ///
-/// The per-sample scan goes through the batched one-to-many kernel: one call
-/// scores the sample against the whole (contiguous) centroid matrix, so the
-/// SIMD dispatch is resolved once per sample instead of once per pair.
+/// The whole dataset goes through the argmin-fused blocked kernel
+/// ([`kernels::assign_block`]): distances are produced by the register-
+/// blocked, cache-tiled many-to-many tile, so at large `k` the centroid
+/// matrix streams from L2 once per query block instead of once per sample.
+/// Tie-breaking is sticky on the incoming labels — a tie between the current
+/// centroid and any other keeps the sample where it is, so exact convergence
+/// is detected instead of ping-ponging between duplicate centroids.
 pub fn assign_exhaustive(
     data: &VectorSet,
     centroids: &VectorSet,
@@ -238,32 +258,33 @@ pub fn assign_exhaustive(
     distance_evals: &mut u64,
 ) -> usize {
     let k = centroids.len();
-    let mut dists = vec![0.0f32; k];
-    let mut changes = 0usize;
-    for (i, label) in labels.iter_mut().enumerate() {
-        kernels::l2_sq_one_to_many(data.row(i), centroids.as_flat(), &mut dists);
-        *distance_evals += k as u64;
-        let best = argmin_sticky(&dists, *label);
-        if best != *label {
-            *label = best;
-            changes += 1;
-        }
-    }
-    changes
+    let mut scratch = AssignScratch::from_labels(labels);
+    kernels::assign_block(
+        data.as_flat(),
+        centroids.as_flat(),
+        data.dim(),
+        &scratch.current,
+        &mut scratch.idx,
+        &mut scratch.dist,
+        &mut scratch.second,
+    );
+    *distance_evals += data.len() as u64 * k as u64;
+    scratch.commit(labels)
 }
 
-/// Norm-cached exhaustive assignment: the batched
-/// `‖x‖² − 2·x·c + ‖c‖²` form with `‖x‖²` cached per sample across all
-/// iterations and `‖c‖²` cached once per iteration, so each sample↔centroid
-/// evaluation is a single dot product.
+/// Norm-cached exhaustive assignment: the blocked
+/// `‖x‖² − 2·X·Cᵀ + ‖c‖²` form with `‖x‖²` cached per sample across all
+/// iterations and `‖c‖²` cached once per iteration, so the bulk of the work
+/// is one GEMM-style dot tile.
 ///
-/// **Precision caveat:** the expansion cancels two large terms in `f32`, so
-/// its absolute error grows with `‖x‖²` (roughly one ulp of the norm, i.e.
-/// `≈ 6e-8 · ‖x‖²`).  That is harmless when vectors are normalised or
-/// centred near the origin, but on large-norm raw descriptors two nearly
-/// tied centroids can be ranked either way.  Use [`assign_exhaustive`]
-/// (direct distances, same flop count) when exact Lloyd semantics matter;
-/// this variant trades that robustness for reusing pre-computed norms.
+/// The `f32` cancellation risk of the expansion is *compensated*, not merely
+/// documented: negative expansions are clamped to zero and every sample whose
+/// best/second-best gap falls inside the cancellation error bound is
+/// re-scored through the direct-subtraction tile
+/// (see [`kernels::assign_block_cached`]).  The resulting labels therefore
+/// match [`assign_exhaustive`] even on large-norm raw descriptors — the
+/// property suite enforces this — making the cached form safe wherever the
+/// norms are already available.
 pub fn assign_exhaustive_cached(
     data: &VectorSet,
     data_norms: &Norms,
@@ -274,24 +295,20 @@ pub fn assign_exhaustive_cached(
 ) -> usize {
     let k = centroids.len();
     debug_assert_eq!(centroid_norms.len(), k, "centroid norm cache size");
-    let mut dists = vec![0.0f32; k];
-    let mut changes = 0usize;
-    for (i, label) in labels.iter_mut().enumerate() {
-        kernels::l2_sq_one_to_many_cached(
-            data.row(i),
-            data_norms.get(i),
-            centroids.as_flat(),
-            centroid_norms,
-            &mut dists,
-        );
-        *distance_evals += k as u64;
-        let best = argmin_sticky(&dists, *label);
-        if best != *label {
-            *label = best;
-            changes += 1;
-        }
-    }
-    changes
+    let mut scratch = AssignScratch::from_labels(labels);
+    kernels::assign_block_cached(
+        data.as_flat(),
+        data_norms.as_slice(),
+        centroids.as_flat(),
+        centroid_norms,
+        data.dim(),
+        &scratch.current,
+        &mut scratch.idx,
+        &mut scratch.dist,
+        &mut scratch.second,
+    );
+    *distance_evals += data.len() as u64 * k as u64;
+    scratch.commit(labels)
 }
 
 /// Squared norms of every centroid row — the per-iteration half of the
@@ -476,6 +493,52 @@ mod tests {
         assert_eq!(direct, cached);
         assert_eq!(changes_a, changes_b);
         assert_eq!(evals_a, evals_b);
+    }
+
+    #[test]
+    fn cached_assignment_matches_direct_on_large_norm_descriptors() {
+        // The enforced form of the old doc caveat: raw descriptors sitting
+        // ~3e3 from the origin make `‖x‖² ≈ 1e7`, so the f32 expansion's
+        // cancellation error (~eps·‖x‖² ≈ 1) dwarfs the true intra-cluster
+        // distances (≤ ~1e-2).  Without the compensation fallback the cached
+        // path scrambles these labels; with it the two paths must agree
+        // exactly, sticky ties included.
+        let offset = 3.0e3f32;
+        let dim = 16;
+        let mut rows = Vec::new();
+        for c in 0..4 {
+            for i in 0..25 {
+                let mut row = vec![offset; dim];
+                row[c] += 1.0e-1 * (1.0 + c as f32);
+                row[(c + 1) % dim] += 1.0e-3 * (i % 7) as f32;
+                rows.push(row);
+            }
+        }
+        let data = VectorSet::from_rows(rows).unwrap();
+        let mut centroids_rows = Vec::new();
+        for c in 0..4 {
+            let mut row = vec![offset; dim];
+            row[c] += 1.0e-1 * (1.0 + c as f32);
+            centroids_rows.push(row);
+        }
+        // plus an exact duplicate centroid to exercise sticky ties
+        centroids_rows.push(centroids_rows[0].clone());
+        let centroids = VectorSet::from_rows(centroids_rows).unwrap();
+
+        let norms = Norms::compute(&data);
+        let mut c_norms = Vec::new();
+        centroid_norms_sq(&centroids, &mut c_norms);
+
+        for start in [0usize, 4] {
+            // start=4: every sample currently on the duplicate of centroid 0,
+            // where stickiness must hold it against the equal-distance twin.
+            let mut direct = vec![start; data.len()];
+            let mut cached = vec![start; data.len()];
+            let mut evals = 0u64;
+            assign_exhaustive(&data, &centroids, &mut direct, &mut evals);
+            assign_exhaustive_cached(&data, &norms, &centroids, &c_norms, &mut cached, &mut evals);
+            assert_eq!(direct, cached, "start label {start}");
+        }
     }
 
     #[test]

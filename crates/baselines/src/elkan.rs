@@ -76,13 +76,19 @@ impl ElkanKMeans {
         let mut lower = vec![0.0f32; n * k];
 
         // Initial assignment with full distance computations, seeding bounds.
-        // The full scan is a one-to-many evaluation against the contiguous
-        // centroid matrix, so it runs through the batched SIMD kernel; the
-        // bound logic needs plain (not squared) distances, hence the sqrt.
+        // The `n × k` lower-bound matrix is exactly an `n × k` distance tile,
+        // so one blocked many-to-many call fills it through the register-
+        // tiled kernel; the bound logic needs plain (not squared) distances,
+        // hence the sqrt pass that also extracts the argmin.
+        vecstore::kernels::l2_sq_many_to_many(
+            data.as_flat(),
+            centroids.as_flat(),
+            data.dim(),
+            &mut lower,
+        );
+        distance_evals += n as u64 * k as u64;
         for i in 0..n {
             let row_bounds = &mut lower[i * k..(i + 1) * k];
-            vecstore::kernels::l2_sq_one_to_many(data.row(i), centroids.as_flat(), row_bounds);
-            distance_evals += k as u64;
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for (c, bound) in row_bounds.iter_mut().enumerate() {

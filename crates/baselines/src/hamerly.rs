@@ -67,28 +67,31 @@ impl HamerlyKMeans {
         let mut upper = vec![0.0f32; n]; // bound on d(x, owner)
         let mut lower = vec![0.0f32; n]; // bound on d(x, second closest)
 
-        // Initial assignment: one batched one-to-many evaluation per sample
-        // against the contiguous centroid matrix.
-        let mut dists = vec![0.0f32; k];
-        for i in 0..n {
-            vecstore::kernels::l2_sq_one_to_many(data.row(i), centroids.as_flat(), &mut dists);
-            distance_evals += k as u64;
-            let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            let mut second = f32::INFINITY;
-            for (c, &d_sq) in dists.iter().enumerate() {
-                let d = d_sq.sqrt();
-                if d < best_d {
-                    second = best_d;
-                    best_d = d;
-                    best = c;
-                } else if d < second {
-                    second = d;
-                }
+        // Initial assignment through the argmin-fused blocked kernel, whose
+        // second-best output is exactly the seed of Hamerly's lower bound
+        // (sqrt is monotone, so folding in squared space selects the same
+        // owner/second pair; the bounds are then converted to plain
+        // distances).
+        {
+            let current = vec![0u32; n];
+            let mut best_idx = vec![0u32; n];
+            let mut best_sq = vec![0.0f32; n];
+            let mut second_sq = vec![0.0f32; n];
+            vecstore::kernels::assign_block(
+                data.as_flat(),
+                centroids.as_flat(),
+                data.dim(),
+                &current,
+                &mut best_idx,
+                &mut best_sq,
+                &mut second_sq,
+            );
+            distance_evals += n as u64 * k as u64;
+            for i in 0..n {
+                labels[i] = best_idx[i] as usize;
+                upper[i] = best_sq[i].sqrt();
+                lower[i] = second_sq[i].sqrt();
             }
-            labels[i] = best;
-            upper[i] = best_d;
-            lower[i] = second;
         }
 
         let mut trace = Vec::new();

@@ -66,10 +66,12 @@ impl LloydKMeans {
 
         for it in 0..cfg.max_iters {
             iterations = it + 1;
-            // Direct batched distances rather than the norm-cached expansion:
-            // same flop count through the SIMD kernel, and exact Lloyd
-            // semantics on large-norm raw descriptors (see the precision
-            // caveat on `assign_exhaustive_cached`).
+            // Direct blocked distances (the cancellation-free subtraction
+            // tile) rather than the norm-cached expansion: the argmin-fused
+            // blocked kernel streams the centroid matrix from cache once per
+            // query block, and exact Lloyd semantics hold on large-norm raw
+            // descriptors without ever leaning on the cached path's
+            // compensation fallback.
             let changes = assign_exhaustive(data, &centroids, &mut labels, &mut distance_evals);
             recompute_centroids(data, &labels, &mut centroids);
             reseed_empty_clusters(data, &mut labels, &mut centroids);

@@ -49,6 +49,23 @@ fn bench_distance(c: &mut Criterion) {
                 })
             },
         );
+
+        // register-blocked tile: 16 queries × the same 256 candidate rows
+        let queries = 16usize;
+        let qs: Vec<f32> = (0..queries * dim)
+            .map(|i| (i as f32 * 0.29).cos())
+            .collect();
+        let mut tile = vec![0.0f32; queries * rows];
+        group.bench_with_input(
+            BenchmarkId::new("l2_sq_tile_16x256", dim),
+            &dim,
+            |bench, _| {
+                bench.iter(|| {
+                    kernels::l2_sq_many_to_many(black_box(&qs), &block, dim, &mut tile);
+                    tile[queries * rows - 1]
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,13 +1,24 @@
 //! Distance-kernel micro-benchmark emitting `BENCH_kernels.json`.
 //!
-//! Times four variants of the workhorse squared-Euclidean evaluation at the
-//! dimensionalities the paper's datasets use (plus a small d=32 point):
+//! Times the workhorse squared-Euclidean evaluations at the dimensionalities
+//! the paper's datasets use (plus a small d=32 point):
 //!
 //! * `scalar_pair`  — the portable 4-way unrolled pair kernel (the pre-SIMD
 //!   baseline every other number is compared against);
 //! * `simd_pair`    — the runtime-dispatched pair kernel ([`vecstore::distance::l2_sq`]);
 //! * `simd_batched` — the one-to-many kernel over a contiguous block;
-//! * `simd_batched_cached` — the norm-cached one-to-many expansion.
+//! * `simd_batched_cached` — the norm-cached one-to-many expansion;
+//! * `simd_indexed_gather` — the prefetching indexed-gather form over a
+//!   shuffled candidate list;
+//!
+//! plus, per `(d, k)` assignment shape, the multi-query tier:
+//!
+//! * `batched_loop` — the pre-tiling assignment inner loop: one one-to-many
+//!   sweep per query plus an argmin scan (the baseline the tile must beat);
+//! * `many_to_many` — the register-blocked, cache-tiled distance tile,
+//!   materialised;
+//! * `assign_block` — the argmin-fused tile (never materialises the `m × k`
+//!   matrix).
 //!
 //! Usage: `bench_kernels [--out BENCH_kernels.json] [--rows 1024]
 //! [--ms-per-case 200]`.  ns/op figures are per distance evaluation.
@@ -18,9 +29,18 @@ use vecstore::kernels;
 
 const DIMS: [usize; 3] = [32, 128, 960];
 
+/// Centroid counts of the assignment-shape cases (`k` of the clustering).
+const ASSIGN_KS: [usize; 2] = [64, 1024];
+
+/// Query rows per assignment-shape call (one Lloyd block's worth).
+const ASSIGN_QUERIES: usize = 256;
+
 struct Case {
     name: &'static str,
     dim: usize,
+    /// Candidate rows of the assignment-shape cases (`None` for the
+    /// pair/one-to-many cases, which have no `k`).
+    k: Option<usize>,
     ns_per_op: f64,
 }
 
@@ -109,6 +129,7 @@ fn main() {
         cases.push(Case {
             name: "scalar_pair",
             dim,
+            k: None,
             ns_per_op: scalar,
         });
 
@@ -125,6 +146,7 @@ fn main() {
         cases.push(Case {
             name: "simd_pair",
             dim,
+            k: None,
             ns_per_op: simd_pair,
         });
 
@@ -135,6 +157,7 @@ fn main() {
         cases.push(Case {
             name: "simd_batched",
             dim,
+            k: None,
             ns_per_op: batched,
         });
 
@@ -155,32 +178,163 @@ fn main() {
         cases.push(Case {
             name: "simd_batched_cached",
             dim,
+            k: None,
             ns_per_op: cached,
         });
+
+        // Prefetching indexed gather over a shuffled candidate list — the
+        // non-contiguous access pattern of GK-means candidate scoring and the
+        // Alg. 3 refinement.
+        let indices: Vec<u32> = {
+            // deterministic shuffle: walk candidate strides from rows/2 + 1
+            // until one is coprime to `rows`, so the map is a permutation for
+            // every --rows value
+            fn gcd(mut a: usize, mut b: usize) -> usize {
+                while b != 0 {
+                    (a, b) = (b, a % b);
+                }
+                a
+            }
+            let mut stride = rows / 2 + 1;
+            while gcd(stride, rows) != 1 {
+                stride += 1;
+            }
+            (0..rows).map(|r| ((r * stride) % rows) as u32).collect()
+        };
+        let indexed = time_case(budget_ms, rows as u64, || {
+            kernels::l2_sq_one_to_many_indexed(
+                std::hint::black_box(&query),
+                &block,
+                dim,
+                &indices,
+                &mut out,
+            );
+            out[rows - 1]
+        });
+        cases.push(Case {
+            name: "simd_indexed_gather",
+            dim,
+            k: None,
+            ns_per_op: indexed,
+        });
+    }
+
+    // Multi-query assignment shapes: ASSIGN_QUERIES query rows against k
+    // centroid rows, the Lloyd/Elkan/Hamerly hot loop.
+    for dim in DIMS {
+        for k in ASSIGN_KS {
+            let m = ASSIGN_QUERIES;
+            let xs = test_block(m, dim, 0.7);
+            let centroids = test_block(k, dim, 9.1);
+            let evals = (m * k) as u64;
+
+            let mut dists = vec![0.0f32; k];
+            let batched_loop = time_case(budget_ms, evals, || {
+                let mut acc = 0.0f32;
+                for q in 0..m {
+                    kernels::l2_sq_one_to_many(
+                        std::hint::black_box(&xs[q * dim..(q + 1) * dim]),
+                        &centroids,
+                        &mut dists,
+                    );
+                    let mut best = 0usize;
+                    let mut best_v = f32::INFINITY;
+                    for (c, &v) in dists.iter().enumerate() {
+                        if v < best_v {
+                            best_v = v;
+                            best = c;
+                        }
+                    }
+                    acc += best as f32;
+                }
+                acc
+            });
+            cases.push(Case {
+                name: "batched_loop",
+                dim,
+                k: Some(k),
+                ns_per_op: batched_loop,
+            });
+
+            let mut tile = vec![0.0f32; m * k];
+            let many = time_case(budget_ms, evals, || {
+                kernels::l2_sq_many_to_many(std::hint::black_box(&xs), &centroids, dim, &mut tile);
+                tile[m * k - 1]
+            });
+            cases.push(Case {
+                name: "many_to_many",
+                dim,
+                k: Some(k),
+                ns_per_op: many,
+            });
+
+            let current = vec![0u32; m];
+            let mut idx = vec![0u32; m];
+            let mut best_d = vec![0.0f32; m];
+            let mut second_d = vec![0.0f32; m];
+            let fused = time_case(budget_ms, evals, || {
+                kernels::assign_block(
+                    std::hint::black_box(&xs),
+                    &centroids,
+                    dim,
+                    &current,
+                    &mut idx,
+                    &mut best_d,
+                    &mut second_d,
+                );
+                idx[m - 1] as f32
+            });
+            cases.push(Case {
+                name: "assign_block",
+                dim,
+                k: Some(k),
+                ns_per_op: fused,
+            });
+        }
     }
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"dispatch\": \"{dispatch}\",\n"));
     json.push_str(&format!("  \"rows_per_batch\": {rows},\n"));
+    json.push_str(&format!("  \"assign_queries\": {ASSIGN_QUERIES},\n"));
     json.push_str("  \"unit\": \"ns_per_distance_eval\",\n");
     json.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
-        let speedup = cases
+        let vs_scalar = cases
             .iter()
             .find(|c| c.name == "scalar_pair" && c.dim == case.dim)
             .map(|base| base.ns_per_op / case.ns_per_op)
             .unwrap_or(1.0);
+        let vs_batched_loop = case.k.and_then(|k| {
+            cases
+                .iter()
+                .find(|c| c.name == "batched_loop" && c.dim == case.dim && c.k == Some(k))
+                .map(|base| base.ns_per_op / case.ns_per_op)
+        });
+        let k_field = case.k.map(|k| format!("\"k\": {k}, ")).unwrap_or_default();
+        let loop_field = vs_batched_loop
+            .map(|s| format!(", \"speedup_vs_batched_loop\": {s:.3}"))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"dim\": {}, \"ns_per_op\": {:.3}, \"speedup_vs_scalar_pair\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"dim\": {}, {}\"ns_per_op\": {:.3}, \"speedup_vs_scalar_pair\": {:.3}{}}}{}\n",
             case.name,
             case.dim,
+            k_field,
             case.ns_per_op,
-            speedup,
+            vs_scalar,
+            loop_field,
             if i + 1 == cases.len() { "" } else { "," }
         ));
+        let shape = case
+            .k
+            .map(|k| format!("k={k:<5}"))
+            .unwrap_or_else(|| "       ".to_string());
+        let vs_loop = vs_batched_loop
+            .map(|s| format!("   {s:>6.2}x vs batched loop"))
+            .unwrap_or_default();
         println!(
-            "{:<22} d={:<4} {:>10.2} ns/op   {:>6.2}x vs scalar pair",
-            case.name, case.dim, case.ns_per_op, speedup
+            "{:<22} d={:<4} {shape} {:>10.2} ns/op   {:>6.2}x vs scalar pair{vs_loop}",
+            case.name, case.dim, case.ns_per_op, vs_scalar
         );
     }
     json.push_str("  ]\n}\n");

@@ -35,8 +35,14 @@ use crate::construct::{GraphBuildStats, KnnGraphBuilder, RoundInfo};
 use crate::gk::GkMeans;
 use crate::params::GkParams;
 
+/// Anchor rows per parallel work item: small enough that a skewed cluster
+/// splits into many items (load balance), large enough to amortise the
+/// per-item bookkeeping.
+const REFINE_ANCHOR_BLOCK: usize = 64;
+
 /// Parallel counterpart of [`KnnGraphBuilder`]: same algorithm, same output,
-/// refinement distances computed on a rayon thread pool.
+/// refinement distances computed on a rayon thread pool, parallelised over
+/// blocks of anchor rows rather than whole clusters.
 #[derive(Clone, Debug)]
 pub struct ParallelKnnGraphBuilder {
     /// Pipeline parameters (the same fields as the sequential builder).
@@ -101,25 +107,44 @@ impl ParallelKnnGraphBuilder {
                 .fit(data, k0, &graph);
             stats.clustering_distance_evals += clustering.distance_evals;
 
-            // Gather cluster membership, then compute every cluster's candidate
-            // edges in parallel.  `visited` is only *read* during the parallel
-            // phase; the clusters are disjoint so no pair can be produced twice
-            // within a round, and insertion happens at the sequential merge.
+            // Gather cluster membership, then split every cluster's anchor
+            // rows into fixed-size row blocks and compute the blocks'
+            // candidate edges in parallel.  Row blocks (rather than whole
+            // clusters) keep the workers load-balanced when the clustering is
+            // skewed: one oversized cluster becomes many independent work
+            // items instead of one straggler.  `visited` is only *read*
+            // during the parallel phase; the clusters are disjoint so no pair
+            // can be produced twice within a round, and insertion happens at
+            // the sequential merge.
             let mut members: Vec<Vec<u32>> = vec![Vec::new(); k0];
             for (i, &label) in clustering.labels.iter().enumerate() {
                 members[label].push(i as u32);
             }
+            // Work items in (cluster, anchor block) order — the same order the
+            // sequential builder walks, so the merge below reproduces its
+            // graph bit for bit.
+            let mut work: Vec<(usize, usize, usize)> = Vec::new();
+            for (ci, cluster) in members.iter().enumerate() {
+                let mut start = 0usize;
+                while start < cluster.len() {
+                    let end = (start + REFINE_ANCHOR_BLOCK).min(cluster.len());
+                    work.push((ci, start, end));
+                    start = end;
+                }
+            }
 
             let dedup = self.params.dedup_pairs;
             let visited_ref = &visited;
+            let members_ref = &members;
             let dim = data.dim();
-            let per_cluster: Vec<Vec<(u32, u32, f32)>> = members
+            let per_block: Vec<Vec<(u32, u32, f32)>> = work
                 .par_iter()
-                .map(|cluster| {
+                .map(|&(ci, start, end)| {
+                    let cluster = &members_ref[ci];
                     let mut edges = Vec::new();
                     let mut partners: Vec<u32> = Vec::new();
                     let mut dists: Vec<f32> = Vec::new();
-                    for (a_idx, &i) in cluster.iter().enumerate() {
+                    for (a_idx, &i) in cluster.iter().enumerate().take(end).skip(start) {
                         partners.clear();
                         for &j in cluster.iter().skip(a_idx + 1) {
                             if dedup && visited_ref.contains(&pair_key(i, j)) {
@@ -146,7 +171,7 @@ impl ParallelKnnGraphBuilder {
                 })
                 .collect();
 
-            for edges in &per_cluster {
+            for edges in &per_block {
                 for &(i, j, d) in edges {
                     if dedup && !visited.insert(pair_key(i, j)) {
                         continue;

@@ -174,9 +174,11 @@ impl ClusterState {
     /// addition gain of moving `x` into `candidates[j]`.
     ///
     /// This is the GK-means inner loop (Alg. 2 line 12).  Compared to calling
-    /// [`ClusterState::addition_part`] per candidate it computes `‖x‖²` once,
-    /// resolves the SIMD dispatch once, and streams the composite·sample dot
-    /// products through the mixed-precision kernel.
+    /// [`ClusterState::addition_part`] per candidate it computes `‖x‖²` once
+    /// and streams the composite·sample dot products through the prefetching
+    /// mixed-precision gather kernel — the candidate clusters are
+    /// data-dependent, so the next composite row is software-prefetched while
+    /// the current one is scored.
     ///
     /// # Panics
     ///
@@ -184,15 +186,9 @@ impl ClusterState {
     pub fn addition_parts(&self, x: &[f32], candidates: &[usize], out: &mut [f64]) {
         assert_eq!(candidates.len(), out.len(), "candidate/output length");
         let x_norm_sq = f64::from(dot(x, x));
-        let kernel = kernels::active().dot_f64_f32;
+        kernels::dot_f64_f32_one_to_many_indexed(x, &self.composite, self.dim, candidates, out);
         for (slot, &v) in out.iter_mut().zip(candidates) {
-            let dv_dot_x = kernel(self.composite(v), x);
-            *slot = addition_gain(
-                self.composite_norm_sq[v],
-                dv_dot_x,
-                x_norm_sq,
-                self.sizes[v],
-            );
+            *slot = addition_gain(self.composite_norm_sq[v], *slot, x_norm_sq, self.sizes[v]);
         }
     }
 

@@ -3,10 +3,11 @@
 //! Complexity `O(n²·d)` — the paper reports "more than 20 hours" to produce
 //! the SIFT1M ground truth this way (Sec. 5.1).  It is used exclusively for
 //! evaluation: computing graph recall and the ANN-search ground truth.  Since
-//! it is not one of the measured algorithms it is parallelised with rayon,
-//! and each scan streams the base matrix through the batched one-to-many
-//! kernel in contiguous blocks (the matrix is row-major, so a block of rows
-//! is a single slice).
+//! it is not one of the measured algorithms it is parallelised with rayon
+//! over *query row blocks*, and each block scans the base matrix through the
+//! register-blocked many-to-many tile kernel — the base rows loaded for one
+//! tile are reused across the whole query block instead of being re-streamed
+//! once per query.
 
 use rayon::prelude::*;
 
@@ -15,33 +16,77 @@ use vecstore::VectorSet;
 
 use crate::graph::{KnnGraph, Neighbor, NeighborList};
 
-/// Rows per batched kernel call: large enough to amortise the dispatch,
-/// small enough that the distance buffer stays in L1.
+/// Base rows per distance tile: large enough to amortise the dispatch, small
+/// enough that the tile panel stays in L1 next to the neighbour lists.
 const SCAN_BLOCK: usize = 256;
 
-/// Streams distances from `query` to every row of `data`, invoking `sink`
-/// with `(row_index, distance)` in ascending row order.
+/// Query rows per tile / per parallel work item.
+const QUERY_BLOCK: usize = 16;
+
+/// Streams the distance tiles between the contiguous query rows
+/// `queries[q0..q1)` and every row of `base`, invoking `sink` with
+/// `(query_offset, base_row, distance)` — base rows in ascending order per
+/// query, queries interleaved tile by tile.
 #[inline]
-fn scan_rows(
-    data: &VectorSet,
-    query: &[f32],
-    buf: &mut Vec<f32>,
-    mut sink: impl FnMut(usize, f32),
+fn scan_tiles(
+    base: &VectorSet,
+    queries_flat: &[f32],
+    panel: &mut [f32],
+    mut sink: impl FnMut(usize, usize, f32),
 ) {
-    let n = data.len();
-    let d = data.dim();
-    let flat = data.as_flat();
+    let n = base.len();
+    let d = base.dim();
+    let mb = queries_flat.len() / d.max(1);
+    let flat = base.as_flat();
     let mut start = 0usize;
     while start < n {
         let end = (start + SCAN_BLOCK).min(n);
-        let block = &flat[start * d..end * d];
-        buf.resize(end - start, 0.0);
-        kernels::l2_sq_one_to_many(query, block, buf);
-        for (offset, &dist) in buf.iter().enumerate() {
-            sink(start + offset, dist);
+        let kb = end - start;
+        let panel = &mut panel[..mb * kb];
+        kernels::l2_sq_many_to_many(queries_flat, &flat[start * d..end * d], d, panel);
+        for (qi, tile_row) in panel.chunks_exact(kb).enumerate() {
+            for (offset, &dist) in tile_row.iter().enumerate() {
+                sink(qi, start + offset, dist);
+            }
         }
         start = end;
     }
+}
+
+/// Runs the blocked exhaustive scan of `queries` against `base`, returning
+/// one `k`-nearest list per query row.  `exclude(query_index)` names a base
+/// row to skip (self-matches); parallelism is over query blocks.
+fn scan_blocked(
+    base: &VectorSet,
+    queries: &VectorSet,
+    k: usize,
+    exclude: impl Fn(usize) -> Option<usize> + Sync,
+) -> Vec<NeighborList> {
+    let m = queries.len();
+    let d = queries.dim();
+    let starts: Vec<usize> = (0..m).step_by(QUERY_BLOCK.max(1)).collect();
+    let per_block: Vec<Vec<NeighborList>> = starts
+        .par_iter()
+        .map(|&q0| {
+            let q1 = (q0 + QUERY_BLOCK).min(m);
+            let mut lists: Vec<NeighborList> =
+                (q0..q1).map(|_| NeighborList::with_capacity(k)).collect();
+            let skip: Vec<Option<usize>> = (q0..q1).map(&exclude).collect();
+            let mut panel = vec![0.0f32; (q1 - q0) * SCAN_BLOCK];
+            let queries_flat = &queries.as_flat()[q0 * d..q1 * d];
+            scan_tiles(base, queries_flat, &mut panel, |qi, j, dist| {
+                if skip[qi] == Some(j) {
+                    return;
+                }
+                let list = &mut lists[qi];
+                if dist < list.upper_bound() {
+                    list.insert(Neighbor::new(j as u32, dist));
+                }
+            });
+            lists
+        })
+        .collect();
+    per_block.into_iter().flatten().collect()
 }
 
 /// Builds the exact KNN graph with `k` neighbours per sample.
@@ -52,19 +97,7 @@ fn scan_rows(
 pub fn exact_graph(data: &VectorSet, k: usize) -> KnnGraph {
     assert!(k > 0, "k must be positive");
     let n = data.len();
-    let lists: Vec<NeighborList> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let mut list = NeighborList::with_capacity(k);
-            let mut buf = Vec::with_capacity(SCAN_BLOCK);
-            scan_rows(data, data.row(i), &mut buf, |j, d| {
-                if j != i && d < list.upper_bound() {
-                    list.insert(Neighbor::new(j as u32, d));
-                }
-            });
-            list
-        })
-        .collect();
+    let lists = scan_blocked(data, data, k, Some);
     let mut graph = KnnGraph::empty(n, k);
     for (i, list) in lists.into_iter().enumerate() {
         graph.set_list(i, list);
@@ -78,18 +111,9 @@ pub fn exact_graph(data: &VectorSet, k: usize) -> KnnGraph {
 pub fn exact_ground_truth(base: &VectorSet, queries: &VectorSet, k: usize) -> Vec<Vec<Neighbor>> {
     assert!(k > 0, "k must be positive");
     assert_eq!(base.dim(), queries.dim(), "dimensionality mismatch");
-    (0..queries.len())
-        .into_par_iter()
-        .map(|qi| {
-            let mut list = NeighborList::with_capacity(k);
-            let mut buf = Vec::with_capacity(SCAN_BLOCK);
-            scan_rows(base, queries.row(qi), &mut buf, |j, d| {
-                if d < list.upper_bound() {
-                    list.insert(Neighbor::new(j as u32, d));
-                }
-            });
-            list.as_slice().to_vec()
-        })
+    scan_blocked(base, queries, k, |_| None)
+        .into_iter()
+        .map(|list| list.as_slice().to_vec())
         .collect()
 }
 
@@ -98,24 +122,22 @@ pub fn exact_ground_truth(base: &VectorSet, queries: &VectorSet, k: usize) -> Ve
 /// `sample_ids`.  This implements the estimation protocol of Sec. 5.1:
 /// "the recall is estimated by only considering nearest neighbors of 100
 /// randomly selected samples".
+///
+/// # Panics
+///
+/// Panics when `k == 0` or a sample id is out of range.
 pub fn exact_neighbors_of_subset(
     data: &VectorSet,
     sample_ids: &[usize],
     k: usize,
 ) -> Vec<Vec<Neighbor>> {
     assert!(k > 0, "k must be positive");
-    sample_ids
-        .par_iter()
-        .map(|&i| {
-            let mut list = NeighborList::with_capacity(k);
-            let mut buf = Vec::with_capacity(SCAN_BLOCK);
-            scan_rows(data, data.row(i), &mut buf, |j, d| {
-                if j != i && d < list.upper_bound() {
-                    list.insert(Neighbor::new(j as u32, d));
-                }
-            });
-            list.as_slice().to_vec()
-        })
+    // Gather the subset rows into a contiguous query block so the scan can
+    // tile them; self-exclusion goes by the *original* row id.
+    let queries = data.gather(sample_ids).expect("sample id out of range");
+    scan_blocked(data, &queries, k, |qi| Some(sample_ids[qi]))
+        .into_iter()
+        .map(|list| list.as_slice().to_vec())
         .collect()
 }
 

@@ -126,6 +126,32 @@ pub fn dot_one_to_many(x: &[f32], rows: &[f32], out: &mut [f32]) {
     }
 }
 
+/// `m × k` tile of squared distances: one one-to-many sweep per query row.
+/// The scalar level has no register file worth tiling for, so this doubles
+/// as the naive reference the SIMD tiles are pinned against.
+pub fn l2_sq_many_to_many(xs: &[f32], rows: &[f32], d: usize, out: &mut [f32]) {
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let k = rows.len() / d;
+    for (q, tile_row) in xs.chunks_exact(d).zip(out.chunks_exact_mut(k)) {
+        l2_sq_one_to_many(q, rows, tile_row);
+    }
+}
+
+/// `m × k` tile of dot products: one one-to-many sweep per query row.
+pub fn dot_many_to_many(xs: &[f32], rows: &[f32], d: usize, out: &mut [f32]) {
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let k = rows.len() / d;
+    for (q, tile_row) in xs.chunks_exact(d).zip(out.chunks_exact_mut(k)) {
+        dot_one_to_many(q, rows, tile_row);
+    }
+}
+
 /// The portable fallback level.
 pub static KERNELS: Kernels = Kernels {
     name: "scalar",
@@ -135,4 +161,6 @@ pub static KERNELS: Kernels = Kernels {
     fused_dot_norms,
     l2_sq_one_to_many,
     dot_one_to_many,
+    l2_sq_many_to_many,
+    dot_many_to_many,
 };
