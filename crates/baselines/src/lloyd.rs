@@ -11,8 +11,8 @@ use std::time::Instant;
 use vecstore::VectorSet;
 
 use crate::common::{
-    assign_exhaustive, average_distortion, recompute_centroids, reseed_empty_clusters, Clustering,
-    IterationStat, KMeansConfig,
+    assign_accumulate_exhaustive, average_distortion, reseed_empty_clusters, CentroidAccumulator,
+    Clustering, IterationStat, KMeansConfig,
 };
 use crate::seeding::{seed_centroids, Seeding};
 
@@ -64,16 +64,27 @@ impl LloydKMeans {
         let iter_start = Instant::now();
         let mut iterations = 0usize;
 
+        let threads = vecstore::parallel::effective_threads(cfg.threads);
+        let mut accum = CentroidAccumulator::zero(cfg.k, data.dim());
+
         for it in 0..cfg.max_iters {
             iterations = it + 1;
-            // Direct blocked distances (the cancellation-free subtraction
-            // tile) rather than the norm-cached expansion: the argmin-fused
-            // blocked kernel streams the centroid matrix from cache once per
-            // query block, and exact Lloyd semantics hold on large-norm raw
-            // descriptors without ever leaning on the cached path's
-            // compensation fallback.
-            let changes = assign_exhaustive(data, &centroids, &mut labels, &mut distance_evals);
-            recompute_centroids(data, &labels, &mut centroids);
+            // Fused single-pass epoch: the argmin-fused blocked kernel (direct
+            // cancellation-free subtraction tile, so exact Lloyd semantics
+            // hold on large-norm raw descriptors) accumulates each sample into
+            // its winning centroid's sum while the row is still cache-hot —
+            // the data is streamed once per iteration, not twice.  Fixed row
+            // blocks merged in block order keep the result bit-identical at
+            // any thread count.
+            let changes = assign_accumulate_exhaustive(
+                data,
+                &centroids,
+                &mut labels,
+                &mut accum,
+                &mut distance_evals,
+                threads,
+            );
+            accum.write_centroids(&mut centroids);
             reseed_empty_clusters(data, &mut labels, &mut centroids);
 
             if cfg.record_trace {

@@ -18,14 +18,33 @@
 //! * `many_to_many` — the register-blocked, cache-tiled distance tile,
 //!   materialised;
 //! * `assign_block` — the argmin-fused tile (never materialises the `m × k`
-//!   matrix).
+//!   matrix);
+//!
+//! plus the epoch tier (the `(d, k)` shapes at a full epoch block's worth of
+//! queries):
+//!
+//! * `assign_two_pass` — one epoch's pre-fusion structure: the argmin-fused
+//!   assignment sweep followed by a second pass over the data accumulating
+//!   the centroid update (the old `recompute_centroids` inner loop);
+//! * `assign_accumulate` — the fused single-pass sweep
+//!   ([`kernels::assign_accumulate_block`]): the update accumulates while the
+//!   query rows are still cache-hot, so the second data pass disappears;
+//!
+//! and one end-to-end measurement, `threaded_epoch` in the JSON: the GK-means
+//! boost epoch (delta-batched engine) at `--epoch-threads` workers vs the
+//! sequential epoch on the same data/graph/seed — output is bit-identical,
+//! only wall-clock differs.
 //!
 //! Usage: `bench_kernels [--out BENCH_kernels.json] [--rows 1024]
-//! [--ms-per-case 200]`.  ns/op figures are per distance evaluation.
+//! [--ms-per-case 200] [--epoch-threads 4] [--skip-epoch]`.  ns/op figures
+//! are per distance evaluation.
 
 use std::time::Instant;
 
+use gkmeans::{GkMeans, GkParams};
+use knn_graph::random::random_graph;
 use vecstore::kernels;
+use vecstore::VectorSet;
 
 const DIMS: [usize; 3] = [32, 128, 960];
 
@@ -34,6 +53,23 @@ const ASSIGN_KS: [usize; 2] = [64, 1024];
 
 /// Query rows per assignment-shape call (one Lloyd block's worth).
 const ASSIGN_QUERIES: usize = 256;
+
+/// Values per epoch-shape call (8 MiB of query rows at every dim): big
+/// enough that the two-pass baseline's second sweep re-streams the data from
+/// beyond L2, the regime a real epoch over a large dataset lives in.
+const EPOCH_VALUES: usize = 2 * 1024 * 1024;
+
+/// Query rows per epoch-shape call at dimensionality `dim`.
+fn epoch_queries(dim: usize) -> usize {
+    EPOCH_VALUES / dim
+}
+
+/// Shape of the end-to-end threaded boost-epoch measurement.
+const EPOCH_N: usize = 16384;
+const EPOCH_D: usize = 128;
+const EPOCH_K: usize = 256;
+const EPOCH_KAPPA: usize = 16;
+const EPOCH_ITERS: usize = 5;
 
 struct Case {
     name: &'static str,
@@ -50,8 +86,31 @@ fn test_block(rows: usize, dim: usize, phase: f32) -> Vec<f32> {
         .collect()
 }
 
+/// Deterministic clustered dataset for the end-to-end epoch measurement:
+/// `EPOCH_K` groups with sub-unit jitter, so boost moves behave like a real
+/// mid-flight clustering run.
+fn epoch_dataset() -> VectorSet {
+    let mut rows = Vec::with_capacity(EPOCH_N);
+    for i in 0..EPOCH_N {
+        let g = i % EPOCH_K;
+        let mut row = Vec::with_capacity(EPOCH_D);
+        for d in 0..EPOCH_D {
+            let centre = ((g * 13 + d * 7) % 31) as f32 * 3.0;
+            row.push(centre + ((i * 31 + d) as f32 * 0.37).sin() * 0.8);
+        }
+        rows.push(row);
+    }
+    VectorSet::from_rows(rows).expect("non-empty epoch dataset")
+}
+
+/// Measurement chunks per case: the reported figure is the **minimum** mean
+/// over the chunks, which discards scheduler/noisy-neighbour interference
+/// spikes that a single long mean would average in.
+const TIME_CHUNKS: usize = 4;
+
 /// Runs `body` (which performs `evals_per_call` distance evaluations)
-/// repeatedly for roughly `budget_ms`, returning mean ns per evaluation.
+/// repeatedly for roughly `budget_ms`, returning the noise-robust (min over
+/// [`TIME_CHUNKS`] chunks) mean ns per evaluation.
 fn time_case(budget_ms: u64, evals_per_call: u64, mut body: impl FnMut() -> f32) -> f64 {
     // warm-up and calibration
     let mut sink = 0.0f32;
@@ -62,15 +121,19 @@ fn time_case(budget_ms: u64, evals_per_call: u64, mut body: impl FnMut() -> f32)
     sink += body();
     let per_call = probe.elapsed().max(std::time::Duration::from_nanos(100));
     let calls = ((budget_ms as f64 / 1000.0) / per_call.as_secs_f64()).ceil() as u64;
-    let calls = calls.clamp(5, 1_000_000);
+    let calls_per_chunk = (calls / TIME_CHUNKS as u64).clamp(2, 250_000);
 
-    let start = Instant::now();
-    for _ in 0..calls {
-        sink += body();
+    let mut best = f64::INFINITY;
+    for _ in 0..TIME_CHUNKS {
+        let start = Instant::now();
+        for _ in 0..calls_per_chunk {
+            sink += body();
+        }
+        let elapsed = start.elapsed();
+        best = best.min(elapsed.as_nanos() as f64 / (calls_per_chunk * evals_per_call) as f64);
     }
-    let elapsed = start.elapsed();
     std::hint::black_box(sink);
-    elapsed.as_nanos() as f64 / (calls * evals_per_call) as f64
+    best
 }
 
 fn main() {
@@ -78,6 +141,8 @@ fn main() {
     let mut out_path = "BENCH_kernels.json".to_string();
     let mut rows = 1024usize;
     let mut budget_ms = 200u64;
+    let mut epoch_threads = 4usize;
+    let mut skip_epoch = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -99,6 +164,13 @@ fn main() {
                     i += 1;
                 }
             }
+            "--epoch-threads" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    epoch_threads = v;
+                    i += 1;
+                }
+            }
+            "--skip-epoch" => skip_epoch = true,
             other => {
                 eprintln!("unknown option `{other}`");
                 std::process::exit(1);
@@ -293,11 +365,129 @@ fn main() {
         }
     }
 
+    // Epoch shapes: the fused single-pass assign+accumulate sweep vs its
+    // pre-fusion structure (assignment sweep, then a second pass over the
+    // data accumulating the centroid update the way `recompute_centroids`
+    // used to).
+    for dim in DIMS {
+        for k in ASSIGN_KS {
+            let m = epoch_queries(dim);
+            let xs = test_block(m, dim, 0.7);
+            let centroids = test_block(k, dim, 9.1);
+            let evals = (m * k) as u64;
+            let current = vec![0u32; m];
+            let mut idx = vec![0u32; m];
+            let mut best_d = vec![0.0f32; m];
+            let mut second_d = vec![0.0f32; m];
+            let mut sums = vec![0.0f64; k * dim];
+            let mut counts = vec![0u64; k];
+
+            let two_pass = time_case(budget_ms, evals, || {
+                kernels::assign_block(
+                    std::hint::black_box(&xs),
+                    &centroids,
+                    dim,
+                    &current,
+                    &mut idx,
+                    &mut best_d,
+                    &mut second_d,
+                );
+                // Second pass: re-stream the data to accumulate the update
+                // (the pre-fusion `recompute_centroids` inner loop).
+                sums.fill(0.0);
+                counts.fill(0);
+                for q in 0..m {
+                    let c = idx[q] as usize;
+                    counts[c] += 1;
+                    for (slot, &x) in sums[c * dim..(c + 1) * dim]
+                        .iter_mut()
+                        .zip(&xs[q * dim..(q + 1) * dim])
+                    {
+                        *slot += f64::from(x);
+                    }
+                }
+                sums[0] as f32
+            });
+            cases.push(Case {
+                name: "assign_two_pass",
+                dim,
+                k: Some(k),
+                ns_per_op: two_pass,
+            });
+
+            let fused_sweep = time_case(budget_ms, evals, || {
+                sums.fill(0.0);
+                counts.fill(0);
+                kernels::assign_accumulate_block(
+                    std::hint::black_box(&xs),
+                    &centroids,
+                    dim,
+                    &current,
+                    &mut idx,
+                    &mut best_d,
+                    &mut second_d,
+                    &mut sums,
+                    &mut counts,
+                );
+                sums[0] as f32
+            });
+            cases.push(Case {
+                name: "assign_accumulate",
+                dim,
+                k: Some(k),
+                ns_per_op: fused_sweep,
+            });
+        }
+    }
+
+    // End-to-end threaded boost epoch: same data, graph and seed, so the
+    // sequential and threaded runs do bit-identical work — only wall-clock
+    // may differ.  `iter_time` isolates the epochs from init.
+    let threaded_epoch_json = if skip_epoch {
+        String::new()
+    } else {
+        let data = epoch_dataset();
+        let graph = random_graph(&data, EPOCH_KAPPA, 7);
+        let base = GkParams::default()
+            .kappa(EPOCH_KAPPA)
+            .iterations(EPOCH_ITERS)
+            .seed(11)
+            .record_trace(false);
+        let time_fit = |threads: usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let result = GkMeans::new(base.threads(threads)).fit(&data, EPOCH_K, &graph);
+                best = best.min(result.iter_time.as_secs_f64());
+            }
+            best
+        };
+        let seq_secs = time_fit(1);
+        let thr_secs = time_fit(epoch_threads);
+        let speedup = seq_secs / thr_secs;
+        println!(
+            "threaded_epoch         gk-boost n={EPOCH_N} d={EPOCH_D} k={EPOCH_K} kappa={EPOCH_KAPPA}: \
+             seq {:.1} ms, {} threads {:.1} ms ({speedup:.2}x)",
+            seq_secs * 1e3,
+            epoch_threads,
+            thr_secs * 1e3
+        );
+        format!(
+            "  \"threaded_epoch\": {{\"algo\": \"gk_boost\", \"n\": {EPOCH_N}, \"dim\": {EPOCH_D}, \
+             \"k\": {EPOCH_K}, \"kappa\": {EPOCH_KAPPA}, \"iterations\": {EPOCH_ITERS}, \
+             \"threads\": {epoch_threads}, \"seq_epochs_ms\": {:.3}, \"threaded_epochs_ms\": {:.3}, \
+             \"speedup\": {speedup:.3}}},\n",
+            seq_secs * 1e3,
+            thr_secs * 1e3
+        )
+    };
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"dispatch\": \"{dispatch}\",\n"));
     json.push_str(&format!("  \"rows_per_batch\": {rows},\n"));
     json.push_str(&format!("  \"assign_queries\": {ASSIGN_QUERIES},\n"));
+    json.push_str(&format!("  \"epoch_values_per_call\": {EPOCH_VALUES},\n"));
     json.push_str("  \"unit\": \"ns_per_distance_eval\",\n");
+    json.push_str(&threaded_epoch_json);
     json.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         let vs_scalar = cases
@@ -306,23 +496,39 @@ fn main() {
             .map(|base| base.ns_per_op / case.ns_per_op)
             .unwrap_or(1.0);
         let vs_batched_loop = case.k.and_then(|k| {
+            if case.name == "assign_two_pass" || case.name == "assign_accumulate" {
+                return None;
+            }
             cases
                 .iter()
                 .find(|c| c.name == "batched_loop" && c.dim == case.dim && c.k == Some(k))
+                .map(|base| base.ns_per_op / case.ns_per_op)
+        });
+        let vs_two_pass = case.k.and_then(|k| {
+            if case.name != "assign_accumulate" {
+                return None;
+            }
+            cases
+                .iter()
+                .find(|c| c.name == "assign_two_pass" && c.dim == case.dim && c.k == Some(k))
                 .map(|base| base.ns_per_op / case.ns_per_op)
         });
         let k_field = case.k.map(|k| format!("\"k\": {k}, ")).unwrap_or_default();
         let loop_field = vs_batched_loop
             .map(|s| format!(", \"speedup_vs_batched_loop\": {s:.3}"))
             .unwrap_or_default();
+        let two_pass_field = vs_two_pass
+            .map(|s| format!(", \"speedup_vs_two_pass\": {s:.3}"))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"dim\": {}, {}\"ns_per_op\": {:.3}, \"speedup_vs_scalar_pair\": {:.3}{}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"dim\": {}, {}\"ns_per_op\": {:.3}, \"speedup_vs_scalar_pair\": {:.3}{}{}}}{}\n",
             case.name,
             case.dim,
             k_field,
             case.ns_per_op,
             vs_scalar,
             loop_field,
+            two_pass_field,
             if i + 1 == cases.len() { "" } else { "," }
         ));
         let shape = case
@@ -332,8 +538,11 @@ fn main() {
         let vs_loop = vs_batched_loop
             .map(|s| format!("   {s:>6.2}x vs batched loop"))
             .unwrap_or_default();
+        let vs_2p = vs_two_pass
+            .map(|s| format!("   {s:>6.2}x vs two-pass"))
+            .unwrap_or_default();
         println!(
-            "{:<22} d={:<4} {shape} {:>10.2} ns/op   {:>6.2}x vs scalar pair{vs_loop}",
+            "{:<22} d={:<4} {shape} {:>10.2} ns/op   {:>6.2}x vs scalar pair{vs_loop}{vs_2p}",
             case.name, case.dim, case.ns_per_op, vs_scalar
         );
     }

@@ -26,6 +26,10 @@ pub const USAGE: &str = "\
 cluster --base <base.fvecs> --k <clusters> [--labels-out <labels.txt>]
         [--method gk|gk-trad|bkm|lloyd|kmeans++|minibatch|closure|bisecting|elkan|hamerly|akm|hkm]
         [--iterations <t>] [--kappa <k>] [--xi <size>] [--tau <rounds>] [--seed <u64>]
+        [--threads <n>]                (opt-in threaded epoch engine for
+                                        gk/gk-trad/lloyd; output is
+                                        bit-identical at any thread count,
+                                        default 1 = paper-faithful)
         [--graph <graph.bin>]          (pre-built graph for gk/gk-trad)
         [--json]                       (machine-readable report on stdout)
 Clusters the base set and prints the distortion, per-phase timing and distance
@@ -41,6 +45,13 @@ pub fn run(args: &Args) -> Result<(), String> {
     let xi = args.usize_or("xi", 50)?;
     let tau = args.usize_or("tau", 10)?;
     let seed = args.u64_or("seed", 0)?;
+    let threads = match args.optional("threads") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--threads expects a non-negative integer, got `{v}`"))?,
+        ),
+        None => None,
+    };
     let labels_out = args.optional("labels-out");
     let graph_path = args.optional("graph");
     let json = args.flag("json");
@@ -63,6 +74,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         xi,
         tau,
         seed,
+        threads,
         graph_path.as_deref(),
     )?;
 
@@ -116,15 +128,20 @@ fn run_method(
     xi: usize,
     tau: usize,
     seed: u64,
+    threads: Option<usize>,
     graph_path: Option<&str>,
 ) -> Result<(Clustering, Duration), String> {
-    let cfg = KMeansConfig::with_k(k).max_iters(iterations).seed(seed);
-    let gk_params = GkParams::default()
+    let mut cfg = KMeansConfig::with_k(k).max_iters(iterations).seed(seed);
+    let mut gk_params = GkParams::default()
         .kappa(kappa)
         .xi(xi)
         .tau(tau)
         .iterations(iterations)
         .seed(seed);
+    if let Some(t) = threads {
+        cfg = cfg.threads(t);
+        gk_params = gk_params.threads(t);
+    }
 
     let run_pipeline = |params: GkParams| -> Result<(Clustering, Duration), String> {
         let pipeline = GkMeansPipeline::new(params);

@@ -1,0 +1,681 @@
+//! Threaded epoch engine for the GK-means iteration (Alg. 2).
+//!
+//! The paper's measured loop is single-threaded and order-dependent: boost
+//! moves are applied one sample at a time, and every decision reads state
+//! (composite vectors, sizes, labels) left behind by the previous one.  This
+//! module parallelises both optimisation modes **without changing a single
+//! output bit**, FastGraph-style (see PAPERS.md): the expensive part of each
+//! decision is computed ahead of time as a *message*, and a cheap sequential
+//! phase replays the paper's exact visit order, committing messages that are
+//! still valid and recomputing the few that are not.
+//!
+//! Concretely, an epoch is cut into **delta-batched rounds**:
+//!
+//! 1. *Parallel scoring* — row blocks of the next `threads ×`
+//!    [`BATCH_PER_THREAD`] samples in the (shuffled, for boost) visit order
+//!    score their κ-candidate gains against a state snapshot through the
+//!    existing indexed-gather kernels, emitting one decomposed `ΔI` message
+//!    per sample: the folded decision plus its removal part and
+//!    per-candidate addition gains.
+//! 2. *Sequential conflict-resolving apply* — samples are visited in the
+//!    same order the single-threaded loop would use, with three tiers.
+//!    When nothing an earlier move of the *same round* modified can reach
+//!    the decision (own cluster and all candidate clusters untouched, no κ
+//!    graph neighbour moved), the folded decision commits untouched — its
+//!    inputs equal what the sequential loop would have read, so the values
+//!    are bit-equal.  When some candidate clusters were modified but the
+//!    candidate set itself is intact (no neighbour moved), only those
+//!    clusters' gains (and the removal part, if the own cluster changed) are
+//!    re-scored and the fold is replayed over the repaired components.  Only
+//!    when a κ-neighbour moved within the round — the candidate set may
+//!    differ — is the full sequential decision redone from current state.
+//!
+//! Because staleness is detected (cluster/sample generation stamps) rather
+//! than assumed away, the result is bit-identical to the sequential loop *by
+//! construction* — for any batch size and any thread count — and
+//! `distance_evals` counts only the apply-phase decisions, i.e. exactly what
+//! the paper's cost model counts.  Moves are rare after the first epochs, so
+//! in steady state ~all distance work runs in the parallel phase and the
+//! apply phase degenerates to generation-stamp probes.
+//!
+//! The traditional mode (GK-means⁻) batches the same way against the epoch's
+//! fixed centroids and additionally **fuses the centroid update** into the
+//! apply phase: each sample's row is accumulated into its winning cluster's
+//! `f64` sum the moment it is assigned, so the batch update at the end of the
+//! epoch is a division, not a second pass over the data.
+
+use knn_graph::KnnGraph;
+use vecstore::kernels;
+use vecstore::parallel::run_blocks;
+use vecstore::VectorSet;
+
+use baselines::common::CentroidAccumulator;
+
+use crate::state::ClusterState;
+
+/// Epochs between [`ClusterState::refresh_norm_cache`] calls in long boost
+/// runs.  The cached `‖D_r‖²` values drift by accumulated rounding across
+/// millions of incremental `O(d)` updates; recomputing them from the `f64`
+/// composite vectors every fixed number of epochs bounds that drift without
+/// measurable cost (one `O(k·d)` pass per interval).  The schedule is fixed,
+/// so it is identical at every thread count.
+pub const NORM_REFRESH_INTERVAL: usize = 16;
+
+/// Samples scored per delta-batched round and worker thread.  Each round
+/// forks and joins the scoped workers once, so this is the main overhead
+/// lever: larger rounds amortise the fork/join further but let more moves
+/// accumulate against the snapshot.  Staleness is repaired per *component*
+/// (only the touched candidates' gains are re-scored), so larger rounds cost
+/// little rework; determinism is unaffected either way.
+const BATCH_PER_THREAD: usize = 1024;
+
+/// Samples per parallel scoring work item (block of the round's batch).
+const SCORE_BLOCK: usize = 64;
+
+/// One sample's message from the parallel scoring phase of a boost round:
+/// the folded decision, its `ΔI` decomposition (removal part plus, in the
+/// round's shared flat buffers, the snapshot candidate set and per-candidate
+/// addition gains).  The apply phase commits the folded decision untouched
+/// when nothing this round's earlier moves modified can reach it, repairs
+/// individual components when they can, and falls back to the full
+/// sequential decision only when the candidate set itself may have changed —
+/// every reused value provably equals what the sequential loop would have
+/// computed, so the committed decision is bit-identical.
+#[derive(Clone, Copy)]
+struct Proposal {
+    /// `false` when the snapshot skipped the sample (singleton cluster or no
+    /// foreign candidate clusters).
+    scored: bool,
+    /// Best destination cluster of the snapshot fold.
+    best_v: u32,
+    /// `ΔI` of the snapshot fold (`0.0` when staying is best).
+    best_delta: f64,
+    /// Removal part of `ΔI` (valid when `scored`).
+    removal: f64,
+    /// Offset of the candidate/gain run in the round's flat buffers.
+    offset: u32,
+    /// Number of candidates scored.
+    len: u32,
+}
+
+const SKIPPED: Proposal = Proposal {
+    scored: false,
+    best_v: 0,
+    best_delta: 0.0,
+    removal: 0.0,
+    offset: 0,
+    len: 0,
+};
+
+/// One scoring block's output: proposals with block-local offsets into the
+/// block's own candidate/gain buffers (rebased when blocks are concatenated
+/// in batch order).
+struct BlockScore {
+    proposals: Vec<Proposal>,
+    candidates: Vec<u32>,
+    gains: Vec<f64>,
+}
+
+/// Scores one block of the round's batch against the snapshot state: Alg. 2
+/// lines 7–12 per sample, emitting the decomposed `ΔI` message.
+fn score_boost_block(
+    data: &VectorSet,
+    graph: &KnnGraph,
+    kappa: usize,
+    state: &ClusterState,
+    batch: &[usize],
+) -> BlockScore {
+    let mut out = BlockScore {
+        proposals: Vec::with_capacity(batch.len()),
+        candidates: Vec::new(),
+        gains: Vec::new(),
+    };
+    let mut scratch: Vec<usize> = Vec::with_capacity(kappa + 1);
+    let mut gains: Vec<f64> = Vec::with_capacity(kappa + 1);
+    for &i in batch {
+        let u = state.label(i);
+        if state.size(u) <= 1 {
+            out.proposals.push(SKIPPED);
+            continue;
+        }
+        scratch.clear();
+        for nb in graph.neighbors(i).as_slice().iter().take(kappa) {
+            let c = state.label(nb.id as usize);
+            if c != u && !scratch.contains(&c) {
+                scratch.push(c);
+            }
+        }
+        if scratch.is_empty() {
+            out.proposals.push(SKIPPED);
+            continue;
+        }
+        let x = data.row(i);
+        let removal = state.removal_part(i, x);
+        gains.resize(scratch.len(), 0.0);
+        state.addition_parts(x, &scratch, &mut gains);
+        let mut best_v = u;
+        let mut best_delta = 0.0f64;
+        for (&v, &gain) in scratch.iter().zip(gains.iter()) {
+            let delta = removal + gain;
+            if delta > best_delta {
+                best_delta = delta;
+                best_v = v;
+            }
+        }
+        out.proposals.push(Proposal {
+            scored: true,
+            best_v: best_v as u32,
+            best_delta,
+            removal,
+            offset: out.candidates.len() as u32,
+            len: scratch.len() as u32,
+        });
+        out.candidates.extend(scratch.iter().map(|&c| c as u32));
+        out.gains.extend_from_slice(&gains[..scratch.len()]);
+    }
+    out
+}
+
+/// Boost-mode epoch engine (Alg. 2 with incremental `ΔI` moves).
+///
+/// Owns the cross-epoch scratch (proposals, generation stamps) so an entire
+/// `fit` run allocates it once.  `threads <= 1` runs the paper's sequential
+/// loop directly; `threads > 1` runs the delta-batched rounds described in
+/// the [module docs](self) — both produce bit-identical labels, centroids,
+/// trace and `distance_evals`.
+pub struct BoostEpochEngine<'a> {
+    data: &'a VectorSet,
+    graph: &'a KnnGraph,
+    kappa: usize,
+    threads: usize,
+    /// Generation stamp of the last round that modified each cluster.
+    touched: Vec<u64>,
+    /// Generation stamp of the last round in which each sample moved.
+    moved: Vec<u64>,
+    generation: u64,
+    proposals: Vec<Proposal>,
+    /// Flat candidate runs of the current round's proposals.
+    round_candidates: Vec<u32>,
+    /// Flat addition-gain runs matching `round_candidates`.
+    round_gains: Vec<f64>,
+    candidates: Vec<usize>,
+    gains: Vec<f64>,
+}
+
+impl<'a> BoostEpochEngine<'a> {
+    /// Creates an engine for clustering `data` into `k` clusters guided by
+    /// `graph`, consulting `kappa` neighbours per sample, on `threads`
+    /// workers (1 = the paper's sequential loop).
+    pub fn new(
+        data: &'a VectorSet,
+        graph: &'a KnnGraph,
+        kappa: usize,
+        threads: usize,
+        k: usize,
+    ) -> Self {
+        Self {
+            data,
+            graph,
+            kappa,
+            threads,
+            touched: vec![0; k],
+            moved: vec![0; data.len()],
+            generation: 0,
+            proposals: Vec::new(),
+            round_candidates: Vec::new(),
+            round_gains: Vec::new(),
+            candidates: Vec::with_capacity(kappa + 1),
+            gains: Vec::with_capacity(kappa + 1),
+        }
+    }
+
+    /// Runs one epoch over `order` (the epoch's shuffled visit order),
+    /// applying moves to `state` and counting the paper's cost model into
+    /// `distance_evals`.  Returns the number of moves applied.
+    pub fn run_epoch(
+        &mut self,
+        state: &mut ClusterState,
+        order: &[usize],
+        distance_evals: &mut u64,
+    ) -> usize {
+        if self.threads <= 1 {
+            self.run_epoch_sequential(state, order, distance_evals)
+        } else {
+            self.run_epoch_batched(state, order, distance_evals)
+        }
+    }
+
+    /// The full Alg. 2 per-sample decision against the *current* state
+    /// (lines 7–12): singleton guard, candidate collection, `ΔI` scoring and
+    /// fold.  Returns `None` when the sample is skipped (singleton cluster or
+    /// no foreign candidates), otherwise `(best_v, best_delta, candidates)` —
+    /// the candidate count is what the paper's cost model charges.
+    ///
+    /// This is the single source of truth for the decision: the sequential
+    /// loop and the batched slow path both call it, and the batched fast
+    /// paths must reproduce it value-for-value (which the invariance property
+    /// tests pin).
+    fn decide_current(&mut self, state: &ClusterState, i: usize) -> Option<(usize, f64, usize)> {
+        let u = state.label(i);
+        if state.size(u) <= 1 {
+            return None;
+        }
+        self.candidates.clear();
+        for nb in self.graph.neighbors(i).as_slice().iter().take(self.kappa) {
+            let c = state.label(nb.id as usize);
+            if c != u && !self.candidates.contains(&c) {
+                self.candidates.push(c);
+            }
+        }
+        if self.candidates.is_empty() {
+            return None;
+        }
+        let x = self.data.row(i);
+        let removal = state.removal_part(i, x);
+        self.gains.resize(self.candidates.len(), 0.0);
+        state.addition_parts(x, &self.candidates, &mut self.gains);
+        let mut best_v = u;
+        let mut best_delta = 0.0f64;
+        for (&v, &gain) in self.candidates.iter().zip(self.gains.iter()) {
+            let delta = removal + gain;
+            if delta > best_delta {
+                best_delta = delta;
+                best_v = v;
+            }
+        }
+        Some((best_v, best_delta, self.candidates.len()))
+    }
+
+    /// The paper's single-threaded loop (Alg. 2 lines 5–15), verbatim.
+    fn run_epoch_sequential(
+        &mut self,
+        state: &mut ClusterState,
+        order: &[usize],
+        distance_evals: &mut u64,
+    ) -> usize {
+        let mut moves = 0usize;
+        for &i in order {
+            let Some((best_v, best_delta, scored)) = self.decide_current(state, i) else {
+                continue;
+            };
+            *distance_evals += scored as u64;
+            let u = state.label(i);
+            if best_v != u && best_delta > 0.0 {
+                state.apply_move(i, self.data.row(i), best_v);
+                moves += 1;
+            }
+        }
+        moves
+    }
+
+    /// Delta-batched rounds: parallel snapshot scoring, sequential
+    /// conflict-resolving apply in the same shuffled order.
+    fn run_epoch_batched(
+        &mut self,
+        state: &mut ClusterState,
+        order: &[usize],
+        distance_evals: &mut u64,
+    ) -> usize {
+        let mut moves = 0usize;
+        let round_len = self.threads * BATCH_PER_THREAD;
+        let mut pos = 0usize;
+        while pos < order.len() {
+            let end = (pos + round_len).min(order.len());
+            let batch = &order[pos..end];
+            self.generation += 1;
+            let gen = self.generation;
+
+            // Parallel scoring against the round-start snapshot.  The blocks
+            // only *read* the state; proposals come back in batch order, with
+            // each block's candidate/gain runs rebased into the round's flat
+            // buffers.
+            let (data, graph, kappa) = (self.data, self.graph, self.kappa);
+            let snapshot: &ClusterState = state;
+            let n_blocks = batch.len().div_ceil(SCORE_BLOCK);
+            let per_block: Vec<BlockScore> = run_blocks(self.threads, n_blocks, |b| {
+                let lo = b * SCORE_BLOCK;
+                let hi = ((b + 1) * SCORE_BLOCK).min(batch.len());
+                score_boost_block(data, graph, kappa, snapshot, &batch[lo..hi])
+            });
+            self.proposals.clear();
+            self.round_candidates.clear();
+            self.round_gains.clear();
+            for block in per_block {
+                let base = self.round_candidates.len() as u32;
+                self.proposals
+                    .extend(block.proposals.iter().map(|p| Proposal {
+                        offset: p.offset + base,
+                        ..*p
+                    }));
+                self.round_candidates.extend_from_slice(&block.candidates);
+                self.round_gains.extend_from_slice(&block.gains);
+            }
+
+            // Sequential conflict-resolving apply in the paper's visit order.
+            for (pos_in_batch, &i) in batch.iter().enumerate() {
+                let prop = self.proposals[pos_in_batch];
+                let u = state.label(i);
+                // Did any κ-neighbour of `i` move earlier this round?  If
+                // not, the current candidate set is the snapshot's (same
+                // entries, same order) and never needs re-collecting.
+                let mut neighbor_moved = false;
+                for nb in self.graph.neighbors(i).as_slice().iter().take(self.kappa) {
+                    if self.moved[nb.id as usize] == gen {
+                        neighbor_moved = true;
+                        break;
+                    }
+                }
+                if !neighbor_moved {
+                    if !prop.scored {
+                        if self.touched[u] != gen {
+                            // The snapshot's skip conditions (singleton
+                            // cluster / no foreign candidates) still hold.
+                            continue;
+                        }
+                        // u was modified this round: the sequential loop
+                        // might now score this sample — fall through to the
+                        // full decision below.
+                    } else {
+                        // The sequential loop's singleton guard runs before
+                        // anything else.  When u is untouched this round its
+                        // size equals the snapshot's (where `scored` proves it
+                        // was > 1); when u *was* modified — e.g. another
+                        // member left it — the guard must be re-evaluated, or
+                        // this sample would be scored (and possibly moved,
+                        // emptying u) where the sequential loop skips it.
+                        if self.touched[u] == gen && state.size(u) <= 1 {
+                            continue;
+                        }
+                        let off = prop.offset as usize;
+                        let len = prop.len as usize;
+                        let mut any_touched = self.touched[u] == gen;
+                        if !any_touched {
+                            for j in 0..len {
+                                if self.touched[self.round_candidates[off + j] as usize] == gen {
+                                    any_touched = true;
+                                    break;
+                                }
+                            }
+                        }
+                        // The paper's cost model: one evaluation per
+                        // candidate of the decision actually taken (the
+                        // parallel phase's discarded stale work is
+                        // implementation overhead, not algorithm cost).
+                        *distance_evals += len as u64;
+                        let (best_v, best_delta) = if !any_touched {
+                            // Nothing the decision reads changed: the
+                            // snapshot fold IS the sequential decision.
+                            (prop.best_v as usize, prop.best_delta)
+                        } else {
+                            // Repair per component: reuse the removal part
+                            // and every gain whose cluster is unmodified
+                            // (equal inputs ⇒ bit-equal values), re-score
+                            // only what earlier moves of this round touched.
+                            let x = self.data.row(i);
+                            let removal = if self.touched[u] == gen {
+                                state.removal_part(i, x)
+                            } else {
+                                prop.removal
+                            };
+                            let mut best_v = u;
+                            let mut best_delta = 0.0f64;
+                            for j in 0..len {
+                                let v = self.round_candidates[off + j] as usize;
+                                let gain = if self.touched[v] == gen {
+                                    state.addition_part(x, v)
+                                } else {
+                                    self.round_gains[off + j]
+                                };
+                                let delta = removal + gain;
+                                if delta > best_delta {
+                                    best_delta = delta;
+                                    best_v = v;
+                                }
+                            }
+                            (best_v, best_delta)
+                        };
+                        if best_v != u && best_delta > 0.0 {
+                            state.apply_move(i, self.data.row(i), best_v);
+                            self.touched[u] = gen;
+                            self.touched[best_v] = gen;
+                            self.moved[i] = gen;
+                            moves += 1;
+                        }
+                        continue;
+                    }
+                }
+                // Slow path — a neighbour moved (candidate set may differ
+                // from the snapshot's) or a skipped sample's cluster was
+                // modified: redo the exact sequential decision.
+                let Some((best_v, best_delta, scored)) = self.decide_current(state, i) else {
+                    continue;
+                };
+                *distance_evals += scored as u64;
+                if best_v != u && best_delta > 0.0 {
+                    state.apply_move(i, self.data.row(i), best_v);
+                    self.touched[u] = gen;
+                    self.touched[best_v] = gen;
+                    self.moved[i] = gen;
+                    moves += 1;
+                }
+            }
+            pos = end;
+        }
+        moves
+    }
+}
+
+/// Traditional-mode (GK-means⁻) epoch engine: closest-candidate-centroid
+/// assignment against the epoch's fixed centroids, with the centroid update
+/// fused into the sweep.
+///
+/// The sequential apply phase accumulates every sample into its winning
+/// cluster's `f64` sum (ascending sample order) as it is assigned, so the
+/// end-of-epoch "batch centroid update" is just
+/// [`CentroidAccumulator::write_centroids`] — the data is streamed **once**
+/// per epoch.  Threading follows the same delta-batched scheme as
+/// [`BoostEpochEngine`]; since centroids are fixed within an epoch, a
+/// proposal is stale only when a κ-neighbour changed label during the same
+/// round (the candidate set is the only moving part).
+pub struct TraditionalEpochEngine<'a> {
+    data: &'a VectorSet,
+    graph: &'a KnnGraph,
+    kappa: usize,
+    threads: usize,
+    moved: Vec<u64>,
+    generation: u64,
+    proposals: Vec<u32>,
+    candidates: Vec<usize>,
+    dists: Vec<f32>,
+}
+
+impl<'a> TraditionalEpochEngine<'a> {
+    /// Creates an engine (see [`BoostEpochEngine::new`] for the parameters).
+    pub fn new(data: &'a VectorSet, graph: &'a KnnGraph, kappa: usize, threads: usize) -> Self {
+        Self {
+            data,
+            graph,
+            kappa,
+            threads,
+            moved: vec![0; data.len()],
+            generation: 0,
+            proposals: Vec::new(),
+            candidates: Vec::with_capacity(kappa + 1),
+            dists: Vec::with_capacity(kappa + 1),
+        }
+    }
+
+    /// Runs one epoch: assigns every sample (in ascending index order, as the
+    /// paper's loop does) to the closest of its candidate centroids,
+    /// accumulating the fused centroid update into `accum` (reset at entry).
+    /// Returns the number of label changes.
+    pub fn run_epoch(
+        &mut self,
+        labels: &mut [usize],
+        centroids: &VectorSet,
+        accum: &mut CentroidAccumulator,
+        distance_evals: &mut u64,
+    ) -> usize {
+        accum.reset();
+        if self.threads <= 1 {
+            self.run_epoch_sequential(labels, centroids, accum, distance_evals)
+        } else {
+            self.run_epoch_batched(labels, centroids, accum, distance_evals)
+        }
+    }
+
+    /// Collects the current candidate clusters of sample `i` (its own label
+    /// first, then the labels of its κ neighbours, deduplicated) into the
+    /// scratch, reporting whether any of those neighbours moved in round
+    /// `gen` (`gen == 0` skips the staleness probe).
+    fn collect_candidates(&mut self, labels: &[usize], i: usize, gen: u64) -> bool {
+        let u = labels[i];
+        self.candidates.clear();
+        self.candidates.push(u);
+        let mut neighbor_moved = false;
+        for nb in self.graph.neighbors(i).as_slice().iter().take(self.kappa) {
+            let nbi = nb.id as usize;
+            if gen != 0 && self.moved[nbi] == gen {
+                neighbor_moved = true;
+            }
+            let c = labels[nbi];
+            if !self.candidates.contains(&c) {
+                self.candidates.push(c);
+            }
+        }
+        neighbor_moved
+    }
+
+    /// Scores the scratch candidate set against the centroids, returning the
+    /// winner (first-best, so the sample's own cluster wins exact ties).
+    fn score_candidates(&mut self, centroids: &VectorSet, i: usize) -> usize {
+        let x = self.data.row(i);
+        self.dists.resize(self.candidates.len(), 0.0);
+        kernels::l2_sq_one_to_many_indexed(
+            x,
+            centroids.as_flat(),
+            centroids.dim(),
+            &self.candidates,
+            &mut self.dists,
+        );
+        let mut best = self.candidates[0];
+        let mut best_d = f32::INFINITY;
+        for (&c, &d) in self.candidates.iter().zip(self.dists.iter()) {
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn run_epoch_sequential(
+        &mut self,
+        labels: &mut [usize],
+        centroids: &VectorSet,
+        accum: &mut CentroidAccumulator,
+        distance_evals: &mut u64,
+    ) -> usize {
+        let mut changes = 0usize;
+        for i in 0..labels.len() {
+            let u = labels[i];
+            self.collect_candidates(labels, i, 0);
+            let best = self.score_candidates(centroids, i);
+            *distance_evals += self.candidates.len() as u64;
+            if best != u {
+                labels[i] = best;
+                changes += 1;
+            }
+            accum.add_sample(best, self.data.row(i));
+        }
+        changes
+    }
+
+    fn run_epoch_batched(
+        &mut self,
+        labels: &mut [usize],
+        centroids: &VectorSet,
+        accum: &mut CentroidAccumulator,
+        distance_evals: &mut u64,
+    ) -> usize {
+        let mut changes = 0usize;
+        let n = labels.len();
+        let round_len = self.threads * BATCH_PER_THREAD;
+        let mut pos = 0usize;
+        while pos < n {
+            let end = (pos + round_len).min(n);
+            self.generation += 1;
+            let gen = self.generation;
+
+            // Parallel scoring against the round-start label snapshot.
+            let (data, graph, kappa) = (self.data, self.graph, self.kappa);
+            let snapshot: &[usize] = labels;
+            let c_flat = centroids.as_flat();
+            let dim = centroids.dim();
+            let n_blocks = (end - pos).div_ceil(SCORE_BLOCK);
+            let per_block: Vec<Vec<u32>> = run_blocks(self.threads, n_blocks, |b| {
+                let lo = pos + b * SCORE_BLOCK;
+                let hi = (lo + SCORE_BLOCK).min(end);
+                let mut candidates: Vec<usize> = Vec::with_capacity(kappa + 1);
+                let mut dists: Vec<f32> = Vec::with_capacity(kappa + 1);
+                (lo..hi)
+                    .map(|i| {
+                        let u = snapshot[i];
+                        candidates.clear();
+                        candidates.push(u);
+                        for nb in graph.neighbors(i).as_slice().iter().take(kappa) {
+                            let c = snapshot[nb.id as usize];
+                            if !candidates.contains(&c) {
+                                candidates.push(c);
+                            }
+                        }
+                        dists.resize(candidates.len(), 0.0);
+                        kernels::l2_sq_one_to_many_indexed(
+                            data.row(i),
+                            c_flat,
+                            dim,
+                            &candidates,
+                            &mut dists,
+                        );
+                        let mut best = u;
+                        let mut best_d = f32::INFINITY;
+                        for (&c, &d) in candidates.iter().zip(dists.iter()) {
+                            if d < best_d {
+                                best_d = d;
+                                best = c;
+                            }
+                        }
+                        best as u32
+                    })
+                    .collect()
+            });
+            self.proposals.clear();
+            for block in per_block {
+                self.proposals.extend(block);
+            }
+
+            // Sequential apply in ascending index order with fused
+            // accumulation.
+            for i in pos..end {
+                let u = labels[i];
+                let neighbor_moved = self.collect_candidates(labels, i, gen);
+                // Centroids are fixed within the epoch, so the proposal is
+                // stale only when the candidate set changed this round.
+                let best = if neighbor_moved {
+                    self.score_candidates(centroids, i)
+                } else {
+                    self.proposals[i - pos] as usize
+                };
+                *distance_evals += self.candidates.len() as u64;
+                if best != u {
+                    labels[i] = best;
+                    self.moved[i] = gen;
+                    changes += 1;
+                }
+                accum.add_sample(best, self.data.row(i));
+            }
+            pos = end;
+        }
+        changes
+    }
+}

@@ -22,12 +22,15 @@ use serde::{Deserialize, Serialize};
 
 use knn_graph::KnnGraph;
 use vecstore::distance::dot;
-use vecstore::kernels;
+use vecstore::parallel::effective_threads;
 use vecstore::sample::{rng_from_seed, shuffled_order};
 use vecstore::VectorSet;
 
-use baselines::common::{average_distortion, recompute_centroids, Clustering, IterationStat};
+use baselines::common::{
+    average_distortion, recompute_centroids, CentroidAccumulator, Clustering, IterationStat,
+};
 
+use crate::epoch::{BoostEpochEngine, TraditionalEpochEngine, NORM_REFRESH_INTERVAL};
 use crate::params::GkParams;
 use crate::state::ClusterState;
 use crate::two_means::TwoMeansTree;
@@ -100,50 +103,20 @@ impl GkMeans {
         let iter_start = Instant::now();
         let mut iterations = 0usize;
         let kappa = p.kappa.min(graph.k().max(1));
-        let mut candidates: Vec<usize> = Vec::with_capacity(kappa + 1);
-        let mut gains: Vec<f64> = Vec::with_capacity(kappa + 1);
+        // Alg. 2 lines 5–15 live in the epoch engine: the sequential loop at
+        // threads <= 1, delta-batched rounds (bit-identical by construction)
+        // above that.
+        let mut engine = BoostEpochEngine::new(data, graph, kappa, effective_threads(p.threads), k);
 
         for epoch in 0..p.iterations {
             iterations = epoch + 1;
             let order = shuffled_order(&mut rng, n);
-            let mut moves = 0usize;
-            for &i in &order {
-                let u = state.label(i);
-                if state.size(u) <= 1 {
-                    continue;
-                }
-                // Alg. 2 lines 7–11: collect the clusters of the κ neighbours.
-                candidates.clear();
-                for nb in graph.neighbors(i).as_slice().iter().take(kappa) {
-                    let c = state.label(nb.id as usize);
-                    if c != u && !candidates.contains(&c) {
-                        candidates.push(c);
-                    }
-                }
-                if candidates.is_empty() {
-                    continue;
-                }
-                // Alg. 2 line 12: seek v ∈ Q maximising ΔI.  The whole
-                // candidate set is scored through the batched ΔI kernel.
-                let x = data.row(i);
-                let removal = state.removal_part(i, x);
-                gains.resize(candidates.len(), 0.0);
-                state.addition_parts(x, &candidates, &mut gains);
-                distance_evals += candidates.len() as u64;
-                let mut best_v = u;
-                let mut best_delta = 0.0f64;
-                for (&v, &gain) in candidates.iter().zip(&gains) {
-                    let delta = removal + gain;
-                    if delta > best_delta {
-                        best_delta = delta;
-                        best_v = v;
-                    }
-                }
-                // Alg. 2 lines 13–15: move when the gain is positive.
-                if best_v != u && best_delta > 0.0 {
-                    state.apply_move(i, x, best_v);
-                    moves += 1;
-                }
+            let moves = engine.run_epoch(&mut state, &order, &mut distance_evals);
+            if iterations % NORM_REFRESH_INTERVAL == 0 {
+                // Bound f64 drift of the cached composite norms in long runs;
+                // the schedule is fixed, so every thread count sees it at the
+                // same epochs.
+                state.refresh_norm_cache();
             }
 
             if p.record_trace {
@@ -173,7 +146,6 @@ impl GkMeans {
     /// clusters, batch centroid update per epoch.
     fn fit_traditional(&self, data: &VectorSet, k: usize, graph: &KnnGraph) -> Clustering {
         let p = &self.params;
-        let n = data.len();
 
         let start = Instant::now();
         let mut labels = TwoMeansTree::new(p.seed).partition(data, k);
@@ -186,49 +158,21 @@ impl GkMeans {
         let iter_start = Instant::now();
         let mut iterations = 0usize;
         let kappa = p.kappa.min(graph.k().max(1));
-        let mut candidates: Vec<usize> = Vec::with_capacity(kappa + 1);
-        let mut dists: Vec<f32> = Vec::with_capacity(kappa + 1);
-        let dim = data.dim();
+        // The epoch engine assigns each sample to the closest candidate
+        // centroid and fuses the batch centroid update into the sweep (the
+        // accumulator below holds the epoch's sums), so the data streams once
+        // per epoch.
+        let mut engine =
+            TraditionalEpochEngine::new(data, graph, kappa, effective_threads(p.threads));
+        let mut accum = CentroidAccumulator::zero(k, data.dim());
 
         for epoch in 0..p.iterations {
             iterations = epoch + 1;
-            let mut changes = 0usize;
-            for i in 0..n {
-                let u = labels[i];
-                candidates.clear();
-                candidates.push(u);
-                for nb in graph.neighbors(i).as_slice().iter().take(kappa) {
-                    let c = labels[nb.id as usize];
-                    if !candidates.contains(&c) {
-                        candidates.push(c);
-                    }
-                }
-                // One gather-batched evaluation against the candidate
-                // centroids (they are rows of one contiguous matrix).
-                let x = data.row(i);
-                dists.resize(candidates.len(), 0.0);
-                kernels::l2_sq_one_to_many_indexed(
-                    x,
-                    centroids.as_flat(),
-                    dim,
-                    &candidates,
-                    &mut dists,
-                );
-                distance_evals += candidates.len() as u64;
-                let mut best = u;
-                let mut best_d = f32::INFINITY;
-                for (&c, &d) in candidates.iter().zip(&dists) {
-                    if d < best_d {
-                        best_d = d;
-                        best = c;
-                    }
-                }
-                if best != u {
-                    labels[i] = best;
-                    changes += 1;
-                }
-            }
-            recompute_centroids(data, &labels, &mut centroids);
+            let changes =
+                engine.run_epoch(&mut labels, &centroids, &mut accum, &mut distance_evals);
+            // Batch update from the fused sums; empty clusters keep their
+            // previous centroid, as recompute_centroids would.
+            accum.write_centroids(&mut centroids);
 
             if p.record_trace {
                 trace.push(IterationStat {

@@ -13,7 +13,10 @@
 //!    partition in `O(d·n·log k)`;
 //! 4. [`gk`] — **GK-means** (Alg. 2): the BKM iteration restricted, for every
 //!    sample, to the clusters where its κ graph neighbours live, plus the
-//!    traditional-k-means variant "GK-means⁻" evaluated in Fig. 4;
+//!    traditional-k-means variant "GK-means⁻" evaluated in Fig. 4, both
+//!    driven by [`epoch`] — the threaded epoch engine whose delta-batched
+//!    rounds parallelise the iteration behind the opt-in `threads` knob with
+//!    bit-identical output at any thread count;
 //! 5. [`construct`] — **KNN-graph construction by fast k-means** (Alg. 3):
 //!    the intertwined process that alternately clusters the data into
 //!    fixed-size groups and refines the graph by exhaustive in-cluster
@@ -51,6 +54,7 @@
 
 pub mod boost;
 pub mod construct;
+pub mod epoch;
 pub mod gk;
 pub mod objective;
 pub mod online;
@@ -62,6 +66,7 @@ pub mod two_means;
 
 pub use boost::BoostKMeans;
 pub use construct::{GraphBuildStats, KnnGraphBuilder};
+pub use epoch::{BoostEpochEngine, TraditionalEpochEngine, NORM_REFRESH_INTERVAL};
 pub use gk::{GkMeans, GkMode};
 pub use online::OnlineGkMeans;
 pub use parallel::ParallelKnnGraphBuilder;

@@ -38,6 +38,24 @@ pub struct GkParams {
     /// line 10 "if <i,j> is NOT visited"); costs memory proportional to the
     /// number of compared pairs.
     pub dedup_pairs: bool,
+    /// Worker threads for the GK-means epoch engine, `None` (or `Some(0|1)`)
+    /// meaning the paper-faithful single-threaded iteration ("simulations are
+    /// conducted by single thread", Sec. 5).
+    ///
+    /// **Determinism guarantee:** labels, centroids, the distortion trace and
+    /// `distance_evals` are bit-identical at every thread count.  Boost
+    /// epochs are delta-batched — row blocks score their κ-candidate gains in
+    /// parallel against a state snapshot, and a sequential conflict-resolving
+    /// apply phase commits the moves in the exact shuffled order the
+    /// single-threaded loop would, re-scoring any sample whose candidate
+    /// clusters were touched by an earlier move of the same batch.
+    /// Traditional (GK-means⁻) epochs batch the same way against the epoch's
+    /// fixed centroids.  Threads change wall-clock time and nothing else.
+    ///
+    /// Defaults to the `GKM_THREADS` environment override when set (see
+    /// [`vecstore::parallel::threads_from_env`]), which is how CI re-runs the
+    /// whole suite threaded.
+    pub threads: Option<usize>,
 }
 
 impl Default for GkParams {
@@ -51,6 +69,7 @@ impl Default for GkParams {
             seed: 0,
             record_trace: true,
             dedup_pairs: true,
+            threads: vecstore::parallel::threads_from_env(),
         }
     }
 }
@@ -113,6 +132,15 @@ impl GkParams {
         self
     }
 
+    /// Sets the worker thread count of the epoch engine (see
+    /// [`GkParams::threads`] for the determinism guarantee; `0` and `1` both
+    /// mean sequential).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Validates the parameters against a dataset size and cluster count.
     pub fn validate(&self, n: usize, k: usize) -> Result<(), String> {
         if n == 0 {
@@ -154,6 +182,9 @@ mod tests {
         assert_eq!(p.mode, GkMode::Boost);
         assert!(p.record_trace);
         assert!(p.dedup_pairs);
+        // the default honours the CI matrix override and is otherwise the
+        // paper-faithful single thread
+        assert_eq!(p.threads, vecstore::parallel::threads_from_env());
     }
 
     #[test]
@@ -166,7 +197,8 @@ mod tests {
             .mode(GkMode::Traditional)
             .seed(99)
             .record_trace(false)
-            .dedup_pairs(false);
+            .dedup_pairs(false)
+            .threads(4);
         assert_eq!(p.kappa, 10);
         assert_eq!(p.xi, 20);
         assert_eq!(p.tau, 5);
@@ -175,6 +207,7 @@ mod tests {
         assert_eq!(p.seed, 99);
         assert!(!p.record_trace);
         assert!(!p.dedup_pairs);
+        assert_eq!(p.threads, Some(4));
     }
 
     #[test]

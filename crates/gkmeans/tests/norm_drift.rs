@@ -1,0 +1,64 @@
+//! Regression guard for the scheduled norm-cache refresh in long boost runs.
+//!
+//! The boost state caches `‖D_r‖²` per cluster and updates it incrementally
+//! on every move (`‖D ± x‖² = ‖D‖² ± 2·D·x + ‖x‖²`).  On adversarial
+//! large-norm data (raw descriptors far from the origin) each update's
+//! rounding error scales with `‖x‖² ≈ 1e8`, so over many epochs the cached
+//! norms — and with them the objective, the trace, and every `ΔI` decision —
+//! would drift away from the composites they summarise.  `fit_boost` now
+//! calls [`gkmeans::ClusterState::refresh_norm_cache`] every
+//! [`gkmeans::NORM_REFRESH_INTERVAL`] epochs; this test drives the epoch
+//! engine the same way and asserts the drift diagnostic stays bounded.
+
+use gkmeans::{BoostEpochEngine, ClusterState, NORM_REFRESH_INTERVAL};
+use knn_graph::brute::exact_graph;
+use vecstore::sample::{rng_from_seed, shuffled_order};
+use vecstore::VectorSet;
+
+/// Adversarial large-norm corpus: four tight groups offset ~3e3 from the
+/// origin, so `‖x‖² ≈ 1e8` dwarfs the inter-sample structure (~1e-1).
+fn large_norm_blobs(per: usize) -> VectorSet {
+    let offset = 3.0e3f32;
+    let dim = 12;
+    let mut rows = Vec::new();
+    for c in 0..4 {
+        for i in 0..per {
+            let mut row = vec![offset; dim];
+            row[c] += 0.5 * (1.0 + c as f32);
+            row[(c + 2) % dim] += 1.0e-2 * (i % 9) as f32;
+            rows.push(row);
+        }
+    }
+    VectorSet::from_rows(rows).unwrap()
+}
+
+#[test]
+fn norm_cache_drift_stays_bounded_over_many_epochs() {
+    let data = large_norm_blobs(40);
+    let n = data.len();
+    let k = 4;
+    let graph = exact_graph(&data, 8);
+    // A deliberately scrambled initial labelling so early epochs perform many
+    // moves (each move is one incremental norm update — the drift source).
+    let labels: Vec<usize> = (0..n).map(|i| (i * 7 + 3) % k).collect();
+    let mut state = ClusterState::from_labels(&data, labels, k);
+    let mut engine = BoostEpochEngine::new(&data, &graph, 8, 1, k);
+    let mut rng = rng_from_seed(11);
+    let mut evals = 0u64;
+
+    let epochs = 3 * NORM_REFRESH_INTERVAL;
+    for epoch in 0..epochs {
+        let order = shuffled_order(&mut rng, n);
+        let _ = engine.run_epoch(&mut state, &order, &mut evals);
+        // The fit_boost schedule: refresh every NORM_REFRESH_INTERVAL epochs.
+        if (epoch + 1) % NORM_REFRESH_INTERVAL == 0 {
+            state.refresh_norm_cache();
+        }
+        assert!(
+            state.norm_cache_drift() < 1e-9,
+            "epoch {epoch}: relative drift {} exceeds bound",
+            state.norm_cache_drift()
+        );
+    }
+    assert!(evals > 0, "the run must actually have scored candidates");
+}

@@ -34,9 +34,13 @@
 //! structure of `‖x‖² − 2·X·Cᵀ + ‖c‖²` without giving up the
 //! cancellation-free direct-subtraction form.  On top of the tile kernels sit
 //! [`assign_block`] (argmin-fused assignment that never materialises the full
-//! `n × k` distance matrix, with sticky tie-breaking and second-best output)
-//! and [`assign_block_cached`] (the fused dot expansion with a per-sample
-//! fallback to the direct tile when cancellation could flip the argmin).
+//! `n × k` distance matrix, with sticky tie-breaking and second-best output),
+//! [`assign_block_cached`] (the fused dot expansion with a per-sample
+//! fallback to the direct tile when cancellation could flip the argmin) and
+//! [`assign_accumulate_block`] (the single-pass epoch sweep: while the argmin
+//! tile folds, each query row is added — widened to `f64` through the
+//! element-wise [`add_assign_f64_f32`] kernel — into its winning centroid's
+//! sum, so k-means epochs never re-stream the data for the update step).
 //!
 //! **Tiling invariant:** inside a tile every `(query, candidate)` pair is
 //! accumulated in its own register chain with a fixed summation order (wide
@@ -114,6 +118,11 @@ pub struct Kernels {
     /// `X·Cᵀ` of the fused norm expansion): same shape contract as
     /// [`Kernels::l2_sq_many_to_many`].
     pub dot_many_to_many: fn(&[f32], &[f32], usize, &mut [f32]),
+    /// Element-wise accumulate `acc[i] += row[i]` with the `f32` row widened
+    /// to `f64` — the centroid-sum update of the fused assignment sweep.
+    /// Purely element-wise (no reduction), so every dispatch level produces
+    /// bit-identical accumulators; only throughput differs.
+    pub add_assign_f64_f32: fn(&mut [f64], &[f32]),
 }
 
 static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
@@ -512,9 +521,14 @@ fn fold_panel_row(
     }
 }
 
-/// Shared panel loop of [`assign_block`] / [`assign_block_cached`]:
-/// `fill_panel(query_range, candidate_range, panel)` materialises one
-/// distance panel; the fold never keeps more than one panel alive.
+/// Shared panel loop of [`assign_block`] / [`assign_block_cached`] /
+/// [`assign_accumulate_block`]: `fill_panel(query_range, candidate_range,
+/// panel)` materialises one distance panel; the fold never keeps more than
+/// one panel alive.  `after_panel(q0, winners)` fires once per query panel
+/// after its outputs are final (sticky-tie correction applied), with
+/// `winners[qi]` the committed candidate index of query `q0 + qi` — the hook
+/// the fused accumulation rides on while the query rows are still cache-hot.
+#[allow(clippy::too_many_arguments)]
 fn assign_block_core(
     m: usize,
     k: usize,
@@ -523,6 +537,7 @@ fn assign_block_core(
     out_dist: &mut [f32],
     out_second: &mut [f32],
     mut fill_panel: impl FnMut(core::ops::Range<usize>, core::ops::Range<usize>, &mut [f32]),
+    mut after_panel: impl FnMut(usize, &[usize]),
 ) {
     let mut panel = [0.0f32; ASSIGN_M_PANEL * ASSIGN_K_PANEL];
     // Per-panel fold state lives on the stack (the panel height is the
@@ -572,6 +587,7 @@ fn assign_block_core(
             out_dist[q0 + qi] = best_d[qi];
             out_second[q0 + qi] = second_d[qi];
         }
+        after_panel(q0, &best[..mb]);
         q0 = q1;
     }
 }
@@ -638,6 +654,111 @@ pub fn assign_block(
                 d,
                 panel,
             );
+        },
+        |_, _| {},
+    );
+}
+
+/// Element-wise `acc[i] += row[i]` with the `f32` row widened to `f64`,
+/// through the dispatched kernel — the accumulation primitive shared by the
+/// fused assignment sweep and the centroid recomputation.  Element-wise adds
+/// have no summation order, so all dispatch levels agree bit for bit.
+///
+/// Accumulates over the shorter of the two lengths, mirroring the pairwise
+/// distance kernels.
+#[inline]
+pub fn add_assign_f64_f32(acc: &mut [f64], row: &[f32]) {
+    (active().add_assign_f64_f32)(acc, row);
+}
+
+/// Argmin-fused blocked assignment that **also accumulates the centroid
+/// update**: behaves exactly like [`assign_block`] (same outputs, same sticky
+/// tie-breaking, bit-identical labels) and additionally, for every query row
+/// `q` with winning candidate `c`, performs `sums[c*d..] += xs[q*d..]`
+/// (widened to `f64`) and `counts[c] += 1`.
+///
+/// The accumulation happens panel-by-panel right after each 16-query panel
+/// commits its winners, while those query rows are still in L1/L2 from the
+/// distance tile — so a Lloyd/GK-means⁻ epoch makes **one pass over the data
+/// instead of two** (no re-streaming for the centroid update step).
+///
+/// Within one call the accumulation order is ascending query index; callers
+/// that split a dataset into row blocks and merge per-block partial
+/// accumulators in fixed block order therefore obtain `f64` sums that are
+/// independent of how blocks were scheduled across threads.
+///
+/// `sums` and `counts` are accumulated into, not overwritten: zero them for a
+/// fresh epoch.
+///
+/// # Panics
+///
+/// Panics on the [`assign_block`] contract violations, or when
+/// `sums.len() != k * d` or `counts.len() != k`.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_accumulate_block(
+    xs: &[f32],
+    rows: &[f32],
+    d: usize,
+    current: &[u32],
+    out_idx: &mut [u32],
+    out_dist: &mut [f32],
+    out_second: &mut [f32],
+    sums: &mut [f64],
+    counts: &mut [u64],
+) {
+    assert!(
+        d > 0,
+        "assign_accumulate_block requires a positive dimensionality"
+    );
+    assert_eq!(xs.len() % d, 0, "query block is not whole rows of dim {d}");
+    assert_eq!(
+        rows.len() % d,
+        0,
+        "candidate block is not whole rows of dim {d}"
+    );
+    let m = xs.len() / d;
+    let k = rows.len() / d;
+    assert!(
+        k > 0,
+        "assign_accumulate_block requires at least one candidate row"
+    );
+    assert_eq!(current.len(), m, "current assignment length mismatch");
+    assert_eq!(out_idx.len(), m, "index output length mismatch");
+    assert_eq!(out_dist.len(), m, "distance output length mismatch");
+    assert_eq!(out_second.len(), m, "second-best output length mismatch");
+    assert_eq!(
+        sums.len(),
+        k * d,
+        "centroid sum accumulator length mismatch"
+    );
+    assert_eq!(
+        counts.len(),
+        k,
+        "centroid count accumulator length mismatch"
+    );
+    let kernel = active().l2_sq_many_to_many;
+    let add = active().add_assign_f64_f32;
+    assign_block_core(
+        m,
+        k,
+        current,
+        out_idx,
+        out_dist,
+        out_second,
+        |qs, cs, panel| {
+            kernel(
+                &xs[qs.start * d..qs.end * d],
+                &rows[cs.start * d..cs.end * d],
+                d,
+                panel,
+            );
+        },
+        |q0, winners| {
+            for (qi, &c) in winners.iter().enumerate() {
+                let q = q0 + qi;
+                counts[c] += 1;
+                add(&mut sums[c * d..(c + 1) * d], &xs[q * d..(q + 1) * d]);
+            }
         },
     );
 }
@@ -730,14 +851,22 @@ pub fn assign_block_cached(
                 }
             }
         },
+        |_, _| {},
     );
     // Compensation pass: re-run any query whose winning margin the expansion
     // cannot certify through the exact (direct-subtraction) tile.  Each
     // fallback is a 1 × k call into the same tile kernel `assign_block`
     // uses, so fallen-back queries agree with the direct path bit-for-bit.
+    // The guard is evaluated against the *largest* candidate norm, not the
+    // winner's: the ranking error of a near-tie is dominated by whichever of
+    // the two contenders cancels hardest, and the runner-up's index is not
+    // tracked — bounding by the panel maximum is conservative (it can only
+    // trigger extra exact re-scores, never miss one the winner-norm form
+    // would have caught).
+    let max_row_norm = row_norms.iter().fold(0.0f32, |acc, &v| acc.max(v));
     let direct_kernel = active().l2_sq_many_to_many;
     for q in 0..m {
-        let guard = cancellation_guard(x_norms[q], row_norms[out_idx[q] as usize], d);
+        let guard = cancellation_guard(x_norms[q], max_row_norm, d);
         if out_second[q] - out_dist[q] > guard {
             continue;
         }
@@ -756,6 +885,7 @@ pub fn assign_block_cached(
                     panel,
                 );
             },
+            |_, _| {},
         );
     }
 }
@@ -975,6 +1105,65 @@ mod tests {
             &mut sec_b,
         );
         assert_eq!(idx_a, idx_b);
+    }
+
+    #[test]
+    fn assign_accumulate_matches_assign_plus_manual_accumulate() {
+        let d = 5;
+        let (m, k) = (37, 6);
+        let xs: Vec<f32> = (0..m * d).map(|i| (i as f32 * 0.19).sin() * 3.0).collect();
+        let rows: Vec<f32> = (0..k * d).map(|i| (i as f32 * 0.43).cos() * 2.0).collect();
+        let current = vec![2u32; m];
+
+        let mut idx_a = vec![0u32; m];
+        let mut dist_a = vec![0.0f32; m];
+        let mut sec_a = vec![0.0f32; m];
+        assign_block(&xs, &rows, d, &current, &mut idx_a, &mut dist_a, &mut sec_a);
+
+        let mut idx_b = vec![0u32; m];
+        let mut dist_b = vec![0.0f32; m];
+        let mut sec_b = vec![0.0f32; m];
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0u64; k];
+        assign_accumulate_block(
+            &xs,
+            &rows,
+            d,
+            &current,
+            &mut idx_b,
+            &mut dist_b,
+            &mut sec_b,
+            &mut sums,
+            &mut counts,
+        );
+        assert_eq!(idx_a, idx_b, "fused accumulation must not change labels");
+        assert_eq!(dist_a, dist_b);
+        assert_eq!(sec_a, sec_b);
+
+        // Reference accumulation in ascending query order.
+        let mut ref_sums = vec![0.0f64; k * d];
+        let mut ref_counts = vec![0u64; k];
+        for q in 0..m {
+            let c = idx_a[q] as usize;
+            ref_counts[c] += 1;
+            for (slot, &x) in ref_sums[c * d..(c + 1) * d].iter_mut().zip(&xs[q * d..]) {
+                *slot += f64::from(x);
+            }
+        }
+        assert_eq!(counts, ref_counts);
+        for (got, expect) in sums.iter().zip(&ref_sums) {
+            assert_eq!(got.to_bits(), expect.to_bits(), "sums must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn add_assign_widens_and_accumulates() {
+        let mut acc = vec![1.0f64; 11];
+        let row: Vec<f32> = (0..11).map(|i| i as f32 * 0.5).collect();
+        add_assign_f64_f32(&mut acc, &row);
+        for (i, &a) in acc.iter().enumerate() {
+            assert_eq!(a, 1.0 + f64::from(row[i]));
+        }
     }
 
     #[test]

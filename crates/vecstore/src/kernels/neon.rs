@@ -14,7 +14,7 @@
 
 use core::arch::aarch64::{
     vaddq_f32, vaddq_f64, vaddvq_f32, vaddvq_f64, vcvt_f64_f32, vdupq_n_f32, vdupq_n_f64,
-    vfmaq_f32, vfmaq_f64, vget_high_f32, vget_low_f32, vld1q_f32, vld1q_f64, vsubq_f32,
+    vfmaq_f32, vfmaq_f64, vget_high_f32, vget_low_f32, vld1q_f32, vld1q_f64, vst1q_f64, vsubq_f32,
 };
 
 use super::{DotNorms, Kernels};
@@ -449,6 +449,32 @@ unsafe fn dot_many_to_many_body(xs: &[f32], rows: &[f32], d: usize, out: &mut [f
     }
 }
 
+/// Element-wise `acc[i] += row[i]` with the `f32` row widened to `f64`:
+/// 4 floats per step (one 128-bit `f32` load split into two `f64` pairs).
+/// Element-wise adds carry no summation order, so the result is bit-identical
+/// to the scalar level.
+#[target_feature(enable = "neon")]
+unsafe fn add_assign_f64_f32_body(acc: &mut [f64], row: &[f32]) {
+    let n = acc.len().min(row.len());
+    let pa = acc.as_mut_ptr();
+    let pr = row.as_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let r = vld1q_f32(pr.add(i));
+        let lo = vcvt_f64_f32(vget_low_f32(r));
+        let hi = vcvt_f64_f32(vget_high_f32(r));
+        let a0 = vld1q_f64(pa.add(i));
+        let a1 = vld1q_f64(pa.add(i + 2));
+        vst1q_f64(pa.add(i), vaddq_f64(a0, lo));
+        vst1q_f64(pa.add(i + 2), vaddq_f64(a1, hi));
+        i += 4;
+    }
+    while i < n {
+        *pa.add(i) += f64::from(*pr.add(i));
+        i += 1;
+    }
+}
+
 // Safe entry points: sound because `KERNELS` is only selected after feature
 // detection (see module docs).
 
@@ -484,6 +510,10 @@ fn dot_many_to_many_entry(xs: &[f32], rows: &[f32], d: usize, out: &mut [f32]) {
     unsafe { dot_many_to_many_body(xs, rows, d, out) }
 }
 
+fn add_assign_f64_f32_entry(acc: &mut [f64], row: &[f32]) {
+    unsafe { add_assign_f64_f32_body(acc, row) }
+}
+
 /// The NEON level.
 pub static KERNELS: Kernels = Kernels {
     name: "neon",
@@ -495,4 +525,5 @@ pub static KERNELS: Kernels = Kernels {
     dot_one_to_many: dot_one_to_many_entry,
     l2_sq_many_to_many: l2_sq_many_to_many_entry,
     dot_many_to_many: dot_many_to_many_entry,
+    add_assign_f64_f32: add_assign_f64_f32_entry,
 };

@@ -140,6 +140,25 @@ pub fn l2_sq_many_to_many(xs: &[f32], rows: &[f32], d: usize, out: &mut [f32]) {
     }
 }
 
+/// Element-wise `acc[i] += row[i]` with the row widened to `f64`, 4-way
+/// unrolled.  No reduction is involved, so this is the exact arithmetic every
+/// SIMD level must reproduce bit for bit.
+pub fn add_assign_f64_f32(acc: &mut [f64], row: &[f32]) {
+    let n = acc.len().min(row.len());
+    let (acc, row) = (&mut acc[..n], &row[..n]);
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[j] += f64::from(row[j]);
+        acc[j + 1] += f64::from(row[j + 1]);
+        acc[j + 2] += f64::from(row[j + 2]);
+        acc[j + 3] += f64::from(row[j + 3]);
+    }
+    for j in chunks * 4..n {
+        acc[j] += f64::from(row[j]);
+    }
+}
+
 /// `m × k` tile of dot products: one one-to-many sweep per query row.
 pub fn dot_many_to_many(xs: &[f32], rows: &[f32], d: usize, out: &mut [f32]) {
     if d == 0 {
@@ -163,4 +182,5 @@ pub static KERNELS: Kernels = Kernels {
     dot_one_to_many,
     l2_sq_many_to_many,
     dot_many_to_many,
+    add_assign_f64_f32,
 };

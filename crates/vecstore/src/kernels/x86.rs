@@ -15,10 +15,10 @@
 #![allow(unsafe_code)]
 
 use core::arch::x86_64::{
-    __m256, _mm256_add_ps, _mm256_castps256_ps128, _mm256_cvtps_pd, _mm256_extractf128_ps,
-    _mm256_fmadd_pd, _mm256_fmadd_ps, _mm256_loadu_pd, _mm256_loadu_ps, _mm256_setzero_pd,
-    _mm256_setzero_ps, _mm256_storeu_pd, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32,
-    _mm_loadu_ps, _mm_movehdup_ps, _mm_movehl_ps,
+    __m256, _mm256_add_pd, _mm256_add_ps, _mm256_castps256_ps128, _mm256_cvtps_pd,
+    _mm256_extractf128_ps, _mm256_fmadd_pd, _mm256_fmadd_ps, _mm256_loadu_pd, _mm256_loadu_ps,
+    _mm256_setzero_pd, _mm256_setzero_ps, _mm256_storeu_pd, _mm256_sub_ps, _mm_add_ps, _mm_add_ss,
+    _mm_cvtss_f32, _mm_loadu_ps, _mm_movehdup_ps, _mm_movehl_ps,
 };
 
 use super::{DotNorms, Kernels};
@@ -555,8 +555,38 @@ fn dot_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
     unsafe { dot_one_to_many_body(x, rows, out) }
 }
 
+/// Element-wise `acc[i] += row[i]` with the `f32` row widened to `f64`:
+/// 8 floats per step (one 256-bit `f32` load split into two `f64` quads).
+/// Element-wise adds carry no summation order, so the result is bit-identical
+/// to the scalar level.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn add_assign_f64_f32_body(acc: &mut [f64], row: &[f32]) {
+    let n = acc.len().min(row.len());
+    let pa = acc.as_mut_ptr();
+    let pr = row.as_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let r = _mm256_loadu_ps(pr.add(i));
+        let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(r));
+        let hi = _mm256_cvtps_pd(_mm256_extractf128_ps(r, 1));
+        let a0 = _mm256_loadu_pd(pa.add(i));
+        let a1 = _mm256_loadu_pd(pa.add(i + 4));
+        _mm256_storeu_pd(pa.add(i), _mm256_add_pd(a0, lo));
+        _mm256_storeu_pd(pa.add(i + 4), _mm256_add_pd(a1, hi));
+        i += 8;
+    }
+    while i < n {
+        *pa.add(i) += f64::from(*pr.add(i));
+        i += 1;
+    }
+}
+
 fn l2_sq_many_to_many_entry(xs: &[f32], rows: &[f32], d: usize, out: &mut [f32]) {
     unsafe { l2_sq_many_to_many_body(xs, rows, d, out) }
+}
+
+fn add_assign_f64_f32_entry(acc: &mut [f64], row: &[f32]) {
+    unsafe { add_assign_f64_f32_body(acc, row) }
 }
 
 fn dot_many_to_many_entry(xs: &[f32], rows: &[f32], d: usize, out: &mut [f32]) {
@@ -574,4 +604,5 @@ pub static KERNELS: Kernels = Kernels {
     dot_one_to_many: dot_one_to_many_entry,
     l2_sq_many_to_many: l2_sq_many_to_many_entry,
     dot_many_to_many: dot_many_to_many_entry,
+    add_assign_f64_f32: add_assign_f64_f32_entry,
 };

@@ -15,6 +15,9 @@
 //!   API used by every hot loop.
 //! * [`norms`] — pre-computed squared norms that let the assignment step use
 //!   the `‖x-c‖² = ‖x‖² - 2·x·c + ‖c‖²` expansion.
+//! * [`parallel`] — the deterministic block executor behind the opt-in
+//!   threaded epoch engines (fixed block boundaries, results merged in block
+//!   order, bit-identical output at any thread count).
 //! * [`io`] — readers and writers for the TexMex `fvecs`/`ivecs`/`bvecs`
 //!   formats used to distribute the paper's datasets, plus a compact native
 //!   binary format.
@@ -41,6 +44,7 @@ pub mod io;
 pub mod kernels;
 pub mod matrix;
 pub mod norms;
+pub mod parallel;
 pub mod sample;
 
 pub use distance::Metric;

@@ -1,0 +1,129 @@
+//! Deterministic block-parallel execution for the threaded epoch engines.
+//!
+//! The k-means epoch engines (fused Lloyd sweeps, delta-batched GK-means
+//! rounds) guarantee **bit-identical output at any thread count**.  They get
+//! that guarantee from one structural rule: work is cut into *fixed* blocks
+//! whose boundaries never depend on how many threads run, each block produces
+//! a self-contained result, and results are consumed **in block order** by
+//! the (sequential) caller.  Threads only decide *when* a block is computed,
+//! never *what* it computes or *where* its result lands.
+//!
+//! [`run_blocks`] is that rule as an executor: a scoped thread pool with a
+//! dynamic (atomic-counter) block queue — stragglers are load-balanced — that
+//! hands the results back as a `Vec` indexed by block, so the caller's merge
+//! loop is the same code whether 1 or 64 threads ran.
+//!
+//! [`threads_from_env`] reads the `GKM_THREADS` override that the CI matrix
+//! uses to re-run the entire test suite with threading enabled: because
+//! threaded output is bit-identical, every test must pass unchanged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Resolves an optional thread-count knob to an effective worker count:
+/// `None` (the paper-faithful default) and `Some(0)` both mean sequential
+/// execution on the calling thread.
+#[inline]
+pub fn effective_threads(threads: Option<usize>) -> usize {
+    threads.unwrap_or(1).max(1)
+}
+
+/// The `GKM_THREADS` environment override, read once per process.
+///
+/// When set to a positive integer, the `threads` fields of `KMeansConfig`
+/// and `GkParams` default to it instead of `None`.  Output is unaffected by
+/// design (the epoch engines are bit-identical at any thread count), which is
+/// exactly why CI runs the full test suite under `GKM_THREADS=4`: any
+/// divergence fails an existing test rather than needing a dedicated one.
+pub fn threads_from_env() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("GKM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+    })
+}
+
+/// Runs `f(block)` for every block in `0..n_blocks` on up to `threads`
+/// workers and returns the results **in block order**.
+///
+/// Blocks are pulled from a shared atomic counter, so a slow block does not
+/// stall the queue; determinism is unaffected because the result vector is
+/// indexed by block, not by completion order.  With one worker (or one
+/// block) everything runs on the calling thread — no threads are spawned, so
+/// the sequential path has zero synchronisation cost and, crucially,
+/// produces the *same* per-block results the threaded path reassembles.
+pub fn run_blocks<R, F>(threads: usize, n_blocks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(n_blocks);
+    if workers <= 1 {
+        return (0..n_blocks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n_blocks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_blocks {
+                            break;
+                        }
+                        produced.push((b, f(b)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (b, r) in handle.join().expect("worker thread panicked") {
+                slots[b] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every block index below n_blocks is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolves_the_knob() {
+        assert_eq!(effective_threads(None), 1);
+        assert_eq!(effective_threads(Some(0)), 1);
+        assert_eq!(effective_threads(Some(1)), 1);
+        assert_eq!(effective_threads(Some(7)), 7);
+    }
+
+    #[test]
+    fn run_blocks_returns_results_in_block_order() {
+        for threads in [1usize, 2, 4, 7] {
+            let out = run_blocks(threads, 23, |b| b * b);
+            let expect: Vec<usize> = (0..23).map(|b| b * b).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_blocks_handles_empty_and_single() {
+        assert_eq!(run_blocks(4, 0, |b| b), Vec::<usize>::new());
+        assert_eq!(run_blocks(4, 1, |b| b + 10), vec![10]);
+    }
+
+    #[test]
+    fn threads_from_env_is_stable() {
+        assert_eq!(threads_from_env(), threads_from_env());
+    }
+}

@@ -482,3 +482,88 @@ fn cached_assignment_falls_back_and_matches_direct_on_large_norms() {
         assert_eq!(a.to_bits(), b.to_bits());
     }
 }
+
+#[test]
+fn add_assign_is_bit_identical_across_dispatch_levels() {
+    // Element-wise widening adds carry no summation order: every level must
+    // reproduce the scalar result exactly, at every remainder lane count.
+    for len in 0..=67usize {
+        let row = test_vector(len, 5.1);
+        let init: Vec<f64> = (0..len).map(|i| (i as f64 * 0.77).sin() * 1e3).collect();
+        let mut reference = init.clone();
+        kernels::scalar::add_assign_f64_f32(&mut reference, &row);
+        for_each_kernel_set(|set| {
+            let mut acc = init.clone();
+            (set.add_assign_f64_f32)(&mut acc, &row);
+            for (j, (a, b)) in acc.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} len={len} lane={j}", set.name);
+            }
+        });
+    }
+}
+
+#[test]
+fn fused_accumulate_sweep_matches_assign_then_accumulate_exactly() {
+    // The fused sweep must change nothing about the assignment (labels,
+    // distances, second-best — all bit-identical to `assign_block`) and its
+    // sums/counts must equal a reference accumulation of the winners in
+    // ascending query order, across the tile-edge shapes of the blocked
+    // kernels.
+    let d = 24;
+    for &m in &[1usize, 7, 8, 9, 16, 17, 63, 64, 65] {
+        for &k in &[1usize, 7, 9, 64, 65] {
+            let xs = test_vector(m * d, 0.3);
+            let rows = test_vector(k * d, 8.9);
+            let current: Vec<u32> = (0..m).map(|q| (q % k) as u32).collect();
+
+            let mut idx_a = vec![0u32; m];
+            let mut dist_a = vec![0.0f32; m];
+            let mut sec_a = vec![0.0f32; m];
+            kernels::assign_block(&xs, &rows, d, &current, &mut idx_a, &mut dist_a, &mut sec_a);
+
+            let mut idx_b = vec![0u32; m];
+            let mut dist_b = vec![0.0f32; m];
+            let mut sec_b = vec![0.0f32; m];
+            let mut sums = vec![0.0f64; k * d];
+            let mut counts = vec![0u64; k];
+            kernels::assign_accumulate_block(
+                &xs,
+                &rows,
+                d,
+                &current,
+                &mut idx_b,
+                &mut dist_b,
+                &mut sec_b,
+                &mut sums,
+                &mut counts,
+            );
+            assert_eq!(idx_a, idx_b, "m={m} k={k}: labels");
+            for q in 0..m {
+                assert_eq!(
+                    dist_a[q].to_bits(),
+                    dist_b[q].to_bits(),
+                    "m={m} k={k} q={q}"
+                );
+                assert_eq!(sec_a[q].to_bits(), sec_b[q].to_bits(), "m={m} k={k} q={q}");
+            }
+
+            let mut ref_sums = vec![0.0f64; k * d];
+            let mut ref_counts = vec![0u64; k];
+            for q in 0..m {
+                let c = idx_a[q] as usize;
+                ref_counts[c] += 1;
+                for (slot, &x) in ref_sums[c * d..(c + 1) * d]
+                    .iter_mut()
+                    .zip(&xs[q * d..(q + 1) * d])
+                {
+                    *slot += f64::from(x);
+                }
+            }
+            assert_eq!(counts, ref_counts, "m={m} k={k}: counts");
+            for (j, (a, b)) in sums.iter().zip(&ref_sums).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "m={m} k={k}: sum lane {j}");
+            }
+            assert_eq!(counts.iter().sum::<u64>(), m as u64);
+        }
+    }
+}
