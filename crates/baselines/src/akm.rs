@@ -1,4 +1,4 @@
-//! AKM — approximate k-means (Philbin et al., CVPR 2007; ref. [22]).
+//! AKM — approximate k-means (Philbin et al., CVPR 2007; ref. \[22\]).
 //!
 //! The classic large-vocabulary variant used for visual-word construction:
 //! the assignment step is accelerated by indexing the *current centroids* in a
@@ -7,9 +7,9 @@
 //! rebuilds the forest (the centroids moved) and then performs an approximate
 //! assignment followed by the usual mean update.
 //!
-//! The paper cites AKM in its related work (Sec. 2.1, Sec. 5: "AKM [22] and
-//! HKM [45] are not considered [in the plots] as inferior performance to
-//! closure k-means is reported in [27]"), so it is provided here as an
+//! The paper cites AKM in its related work (Sec. 2.1, Sec. 5: "AKM \[22\] and
+//! HKM \[45\] are not considered [in the plots] as inferior performance to
+//! closure k-means is reported in \[27\]"), so it is provided here as an
 //! optional, fully working comparator rather than one of the headline
 //! baselines: the extended-comparison bench exercises it and reports where it
 //! falls between Lloyd and closure k-means.

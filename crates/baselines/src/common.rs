@@ -10,6 +10,15 @@ use vecstore::kernels;
 use vecstore::{Norms, VectorSet};
 
 /// Convergence and bookkeeping settings shared by all variants.
+///
+/// ```
+/// use baselines::common::KMeansConfig;
+///
+/// let cfg = KMeansConfig::with_k(16).max_iters(10).seed(7).threads(4);
+/// assert_eq!(cfg.k, 16);
+/// assert!(cfg.validate(1_000).is_ok());
+/// assert!(cfg.validate(3).is_err()); // k must not exceed the sample count
+/// ```
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct KMeansConfig {
     /// Number of clusters `k`.
@@ -31,12 +40,14 @@ pub struct KMeansConfig {
     /// the paper-faithful single-threaded iteration.
     ///
     /// **Determinism guarantee:** labels, centroids, the distortion trace and
-    /// `distance_evals` are bit-identical at every thread count — the fused
-    /// assignment sweep cuts the data into fixed row blocks
-    /// ([`EPOCH_ROW_BLOCK`]) whose partial accumulators are merged in block
-    /// order, so threads change wall-clock time and nothing else.  Currently
-    /// honoured by Lloyd's k-means (the fused single-pass epoch); the bounds-
-    /// based variants (Elkan, Hamerly) remain single-threaded.
+    /// `distance_evals` are bit-identical at every thread count — all the
+    /// threaded sweeps cut their work into fixed row blocks
+    /// ([`EPOCH_ROW_BLOCK`], [`BOUND_ROW_BLOCK`]) whose results are merged in
+    /// block order, so threads change wall-clock time and nothing else.
+    /// Honoured by Lloyd's k-means (the fused single-pass epoch), Elkan
+    /// (initial bound seeding and the per-epoch drift maintenance of the
+    /// `n × k` bound matrix) and Hamerly (drift maintenance of its two
+    /// per-sample bounds).
     ///
     /// Defaults to the `GKM_THREADS` environment override when set (see
     /// [`vecstore::parallel::threads_from_env`]), which is how CI re-runs the
@@ -200,6 +211,14 @@ pub fn average_distortion(data: &VectorSet, labels: &[usize], centroids: &Vector
     }
     sum / data.len() as f64
 }
+
+/// Rows per fixed block of the threaded bound-maintenance sweeps of the
+/// accelerated baselines (Elkan's initial bound seeding and per-epoch drift
+/// adjustment, Hamerly's drift adjustment).  Every sample's update is
+/// independent, so any fixed block size yields bit-identical bounds; this
+/// one keeps a block's slice of the `n × k` lower-bound matrix comfortably
+/// inside L2 at the paper's dimensionalities.
+pub const BOUND_ROW_BLOCK: usize = 1024;
 
 /// Rows per fixed block of the fused assign+accumulate sweep.
 ///

@@ -1,4 +1,4 @@
-//! Elkan's triangle-inequality accelerated k-means (ICML 2003) — ref. [29] of
+//! Elkan's triangle-inequality accelerated k-means (ICML 2003) — ref. \[29\] of
 //! the paper.
 //!
 //! Elkan's algorithm produces exactly the same sequence of assignments as
@@ -13,15 +13,26 @@
 //! Distances inside the bound logic are plain Euclidean (the triangle
 //! inequality does not hold for squared distances); reported distortion uses
 //! squared distances like every other variant.
+//!
+//! The `O(n·k)` bound-maintenance sweeps — seeding the bound matrix from the
+//! initial distance tile and shifting every bound by the per-epoch centroid
+//! drift — honour [`KMeansConfig::threads`]: fixed
+//! [`crate::common::BOUND_ROW_BLOCK`]-row blocks run on the process worker
+//! pool and merge in block order, so the bounds (and therefore every skip
+//! decision, label, and `distance_evals` count) are bit-identical at any
+//! thread count.  The per-sample decision loop itself stays sequential: it is
+//! where the algorithm's data-dependent skip structure lives, and the paper's
+//! cost model counts exactly its distance evaluations.
 
 use std::time::Instant;
 
 use vecstore::distance::l2_sq;
+use vecstore::parallel::{effective_threads, run_mut_blocks};
 use vecstore::VectorSet;
 
 use crate::common::{
     average_distortion, recompute_centroids, reseed_empty_clusters, Clustering, IterationStat,
-    KMeansConfig,
+    KMeansConfig, BOUND_ROW_BLOCK,
 };
 use crate::seeding::{seed_centroids, Seeding};
 
@@ -62,6 +73,7 @@ impl ElkanKMeans {
         let cfg = &self.config;
         let n = data.len();
         let k = cfg.k;
+        let threads = effective_threads(cfg.threads);
 
         let start = Instant::now();
         let mut centroids = seed_centroids(data, k, self.seeding, cfg.seed);
@@ -87,19 +99,39 @@ impl ElkanKMeans {
             &mut lower,
         );
         distance_evals += n as u64 * k as u64;
-        for i in 0..n {
-            let row_bounds = &mut lower[i * k..(i + 1) * k];
-            let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            for (c, bound) in row_bounds.iter_mut().enumerate() {
-                *bound = bound.sqrt();
-                if *bound < best_d {
-                    best_d = *bound;
-                    best = c;
-                }
-            }
-            labels[i] = best;
-            upper[i] = best_d;
+        // Per-row sqrt + argmin over fixed row blocks: every row is
+        // independent, so the blocked sweep is bit-identical at any thread
+        // count; the block labels come back in block order.
+        let block_labels: Vec<Vec<usize>> = run_mut_blocks(
+            threads,
+            &mut upper,
+            BOUND_ROW_BLOCK,
+            &mut lower,
+            BOUND_ROW_BLOCK * k,
+            |_, upper_rows, lower_rows| {
+                upper_rows
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(r, u)| {
+                        let row_bounds = &mut lower_rows[r * k..(r + 1) * k];
+                        let mut best = 0usize;
+                        let mut best_d = f32::INFINITY;
+                        for (c, bound) in row_bounds.iter_mut().enumerate() {
+                            *bound = bound.sqrt();
+                            if *bound < best_d {
+                                best_d = *bound;
+                                best = c;
+                            }
+                        }
+                        *u = best_d;
+                        best
+                    })
+                    .collect()
+            },
+        );
+        for (blk, block) in block_labels.iter().enumerate() {
+            labels[blk * BOUND_ROW_BLOCK..blk * BOUND_ROW_BLOCK + block.len()]
+                .copy_from_slice(block);
         }
 
         let mut trace = Vec::new();
@@ -180,13 +212,29 @@ impl ElkanKMeans {
                 distance_evals += 1;
             }
             centroids = new_centroids.clone();
-            for i in 0..n {
-                upper[i] += drift[labels[i]];
-                for c in 0..k {
-                    let l = &mut lower[i * k + c];
-                    *l = (*l - drift[c]).max(0.0);
-                }
-            }
+            // Bounds maintenance: shift every sample's bounds by its owner's
+            // (upper) and each centre's (lower) drift, in fixed row blocks on
+            // the worker pool — the `O(n·k)` sweep that dominates an epoch
+            // once the skip conditions have warmed up.
+            let labels_ref = &labels;
+            let drift_ref = &drift;
+            run_mut_blocks(
+                threads,
+                &mut upper,
+                BOUND_ROW_BLOCK,
+                &mut lower,
+                BOUND_ROW_BLOCK * k,
+                |blk, upper_rows, lower_rows| {
+                    let base = blk * BOUND_ROW_BLOCK;
+                    for (r, u) in upper_rows.iter_mut().enumerate() {
+                        *u += drift_ref[labels_ref[base + r]];
+                        let row = &mut lower_rows[r * k..(r + 1) * k];
+                        for (l, &d) in row.iter_mut().zip(drift_ref) {
+                            *l = (*l - d).max(0.0);
+                        }
+                    }
+                },
+            );
 
             if cfg.record_trace {
                 trace.push(IterationStat {

@@ -4,18 +4,24 @@
 //! the *second* closest centre) instead of Elkan's `n × k` bound matrix, so
 //! its memory footprint is `O(n)` while still skipping most distance
 //! computations.  Together with [`crate::elkan::ElkanKMeans`] it represents
-//! the triangle-inequality family (ref. [29]) the paper positions GK-means
+//! the triangle-inequality family (ref. \[29\]) the paper positions GK-means
 //! against: exact, memory-hungry (Elkan) or bound-maintenance-heavy (Hamerly),
 //! and — unlike GK-means — still `O(k)` per sample in the worst case.
+//!
+//! The per-epoch bound maintenance (shifting both per-sample bounds by the
+//! centroid drift) honours [`KMeansConfig::threads`] through the same
+//! fixed-block worker-pool sweep as Elkan's — bit-identical bounds, labels
+//! and `distance_evals` at any thread count.
 
 use std::time::Instant;
 
 use vecstore::distance::l2_sq;
+use vecstore::parallel::{effective_threads, run_mut_blocks};
 use vecstore::VectorSet;
 
 use crate::common::{
     average_distortion, recompute_centroids, reseed_empty_clusters, Clustering, IterationStat,
-    KMeansConfig,
+    KMeansConfig, BOUND_ROW_BLOCK,
 };
 use crate::seeding::{seed_centroids, Seeding};
 
@@ -56,6 +62,7 @@ impl HamerlyKMeans {
         let cfg = &self.config;
         let n = data.len();
         let k = cfg.k;
+        let threads = effective_threads(cfg.threads);
 
         let start = Instant::now();
         let mut centroids = seed_centroids(data, k, self.seeding, cfg.seed);
@@ -169,10 +176,25 @@ impl HamerlyKMeans {
                 }
             }
             centroids = new_centroids;
-            for i in 0..n {
-                upper[i] += drift[labels[i]];
-                lower[i] = (lower[i] - max_drift).max(0.0);
-            }
+            // Bounds maintenance on the worker pool: both per-sample bounds
+            // shift independently, so fixed row blocks are bit-identical at
+            // any thread count.
+            let labels_ref = &labels;
+            let drift_ref = &drift;
+            run_mut_blocks(
+                threads,
+                &mut upper,
+                BOUND_ROW_BLOCK,
+                &mut lower,
+                BOUND_ROW_BLOCK,
+                |blk, upper_rows, lower_rows| {
+                    let base = blk * BOUND_ROW_BLOCK;
+                    for (r, (u, l)) in upper_rows.iter_mut().zip(lower_rows).enumerate() {
+                        *u += drift_ref[labels_ref[base + r]];
+                        *l = (*l - max_drift).max(0.0);
+                    }
+                },
+            );
 
             if cfg.record_trace {
                 trace.push(IterationStat {

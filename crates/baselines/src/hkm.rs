@@ -1,4 +1,4 @@
-//! HKM — hierarchical k-means ("vocabulary tree"), ref. [45] (Muja & Lowe,
+//! HKM — hierarchical k-means ("vocabulary tree"), ref. \[45\] (Muja & Lowe,
 //! FLANN) and the Nistér–Stewénius vocabulary tree the paper's related work
 //! builds on.
 //!

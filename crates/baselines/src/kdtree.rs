@@ -1,8 +1,8 @@
 //! Randomized KD-tree forest for approximate nearest-centroid queries.
 //!
 //! This is the indexing structure behind AKM — "approximate k-means" of
-//! Philbin et al., CVPR 2007 (ref. [22] of the paper) — and the FLANN-style
-//! baselines of Muja & Lowe (ref. [45]).  The paper's related-work discussion
+//! Philbin et al., CVPR 2007 (ref. \[22\] of the paper) — and the FLANN-style
+//! baselines of Muja & Lowe (ref. \[45\]).  The paper's related-work discussion
 //! (Sec. 2.1) covers this family: index the *centroids* in a tree, then
 //! replace the exhaustive closest-centroid scan by an approximate tree search
 //! with a bounded number of leaf checks.  The well-known weakness — which the

@@ -7,21 +7,25 @@
 //! | [`minibatch`] | Mini-Batch k-means (Sculley, WWW 2010) | the "Mini-Batch" curve |
 //! | [`closure`] | Closure k-means (Wang et al., CVPR 2012) | the "closure k-means" curve |
 //! | [`bisecting`] | Top-down bisecting k-means | the hierarchical baseline of Sec. 2.1 |
-//! | [`elkan`] | Elkan's triangle-inequality k-means (ICML 2003) | ref. [29]: fast but `O(k²)` memory |
+//! | [`elkan`] | Elkan's triangle-inequality k-means (ICML 2003) | ref. \[29\]: fast but `O(k²)` memory |
 //! | [`hamerly`] | Hamerly's single-bound accelerated k-means | the standard lighter-memory variant of Elkan |
-//! | [`kdtree`] | Randomized KD-tree forest | the centroid index behind AKM / FLANN (refs. [22], [45]) |
-//! | [`akm`] | Approximate k-means (Philbin et al., CVPR 2007) | ref. [22], mentioned in Sec. 5 as an excluded-but-known comparator |
-//! | [`hkm`] | Hierarchical k-means / vocabulary tree | ref. [45], same |
+//! | [`kdtree`] | Randomized KD-tree forest | the centroid index behind AKM / FLANN (refs. \[22\], \[45\]) |
+//! | [`akm`] | Approximate k-means (Philbin et al., CVPR 2007) | ref. \[22\], mentioned in Sec. 5 as an excluded-but-known comparator |
+//! | [`hkm`] | Hierarchical k-means / vocabulary tree | ref. \[45\], same |
 //!
 //! All variants share the [`common::Clustering`] result type and the
 //! [`common::KMeansConfig`] convergence settings so the experiment harness can
 //! drive them uniformly and record per-iteration distortion/time traces (the
 //! x-axes of Fig. 5).
 //!
-//! The implementations are intentionally single-threaded: the paper's
-//! measurements are single-thread (Sec. 5, "simulations are conducted by
-//! single thread"), and keeping every measured code path serial preserves the
-//! relative speed-ups the benchmark harness reports.
+//! The implementations default to the paper's single-threaded protocol
+//! (Sec. 5, "simulations are conducted by single thread"), which keeps the
+//! relative speed-ups the benchmark harness reports honest.  Threading is
+//! opt-in through [`common::KMeansConfig::threads`] and **bit-identical at
+//! any thread count**: Lloyd's fused assign+accumulate epoch, Elkan's bound
+//! seeding and drift maintenance, and Hamerly's drift maintenance all run as
+//! fixed blocks on the persistent worker pool ([`vecstore::parallel`]),
+//! merged in block order.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -2,8 +2,8 @@
 //!
 //! The paper's baselines are seeded in the conventional ways: random sample
 //! selection for plain k-means and Mini-Batch, and k-means++ (Arthur &
-//! Vassilvitskii, SODA 2007, ref. [14]) where a careful seeding baseline is
-//! needed.  k-means‖ (Bahmani et al., VLDB 2012, ref. [21]) is provided as
+//! Vassilvitskii, SODA 2007, ref. \[14\]) where a careful seeding baseline is
+//! needed.  k-means‖ (Bahmani et al., VLDB 2012, ref. \[21\]) is provided as
 //! the over-sampled variant the related-work section discusses.
 
 use rand::Rng;
@@ -17,10 +17,10 @@ use vecstore::VectorSet;
 pub enum Seeding {
     /// `k` distinct samples chosen uniformly at random.
     Random,
-    /// k-means++ D² weighting (ref. [14]).
+    /// k-means++ D² weighting (ref. \[14\]).
     KMeansPlusPlus,
     /// k-means‖ over-sampling with `rounds` passes and over-sampling factor
-    /// `l ≈ 2k` (ref. [21]); reduced to `k` centres with a weighted
+    /// `l ≈ 2k` (ref. \[21\]); reduced to `k` centres with a weighted
     /// k-means++ pass.
     Parallel {
         /// Number of over-sampling rounds (the paper's related work uses ~5).

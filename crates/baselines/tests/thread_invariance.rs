@@ -1,0 +1,90 @@
+//! Thread-count invariance of the accelerated baselines.
+//!
+//! Elkan and Hamerly run their bound-maintenance sweeps (and, for Elkan, the
+//! initial bound seeding) on the persistent worker pool when
+//! `KMeansConfig::threads` asks for it.  Because bounds feed every skip
+//! decision, the guarantee must be pinned end to end: labels, centroids, the
+//! distortion trace *and* `distance_evals` (each skipped distance is a skip
+//! at every thread count) bit-identical for threads ∈ {1, 2, 4, 7}.  The
+//! corpus mixes an integer lattice (exactly representable distances, real
+//! ties) with enough rows to span several [`BOUND_ROW_BLOCK`]-sized blocks,
+//! so the blocked sweeps genuinely split.
+
+use baselines::common::{Clustering, KMeansConfig, BOUND_ROW_BLOCK};
+use baselines::elkan::ElkanKMeans;
+use baselines::hamerly::HamerlyKMeans;
+use vecstore::VectorSet;
+
+/// Integer-lattice corpus wide enough to split into multiple bound blocks.
+fn lattice(n: usize, d: usize) -> VectorSet {
+    assert!(n > BOUND_ROW_BLOCK, "corpus must span several blocks");
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 7 + j * 5 + i / 13) % 11) as f32)
+                .collect()
+        })
+        .collect();
+    VectorSet::from_rows(rows).unwrap()
+}
+
+/// Asserts two clusterings are bit-identical in every output the determinism
+/// guarantee covers.
+fn assert_bit_identical(a: &Clustering, b: &Clustering, what: &str) {
+    assert_eq!(a.labels, b.labels, "{what}: labels");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.distance_evals, b.distance_evals, "{what}: distance_evals");
+    let fa: Vec<u32> = a.centroids.as_flat().iter().map(|v| v.to_bits()).collect();
+    let fb: Vec<u32> = b.centroids.as_flat().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(fa, fb, "{what}: centroid bits");
+    assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace length");
+    for (ta, tb) in a.trace.iter().zip(&b.trace) {
+        assert_eq!(
+            ta.distortion.to_bits(),
+            tb.distortion.to_bits(),
+            "{what}: trace distortion bits at iteration {}",
+            ta.iteration
+        );
+    }
+}
+
+#[test]
+fn elkan_is_bit_identical_at_any_thread_count() {
+    let data = lattice(2600, 8);
+    let base = KMeansConfig::with_k(13).max_iters(10).seed(42);
+    let reference = ElkanKMeans::new(base.threads(1)).fit(&data);
+    assert!(reference.distance_evals > 0);
+    for threads in [2usize, 4, 7] {
+        let threaded = ElkanKMeans::new(base.threads(threads)).fit(&data);
+        assert_bit_identical(&reference, &threaded, &format!("elkan threads={threads}"));
+    }
+}
+
+#[test]
+fn hamerly_is_bit_identical_at_any_thread_count() {
+    let data = lattice(2600, 8);
+    let base = KMeansConfig::with_k(13).max_iters(10).seed(9);
+    let reference = HamerlyKMeans::new(base.threads(1)).fit(&data);
+    assert!(reference.distance_evals > 0);
+    for threads in [2usize, 4, 7] {
+        let threaded = HamerlyKMeans::new(base.threads(threads)).fit(&data);
+        assert_bit_identical(&reference, &threaded, &format!("hamerly threads={threads}"));
+    }
+}
+
+#[test]
+fn threaded_elkan_still_matches_threaded_hamerly_quality() {
+    // Beyond bit-equality: with threading on, the two exact accelerations
+    // must still agree with each other (they are exact reformulations of the
+    // same Lloyd iteration).
+    let data = lattice(1100, 6);
+    let cfg = KMeansConfig::with_k(7).max_iters(12).seed(3).threads(4);
+    let elkan = ElkanKMeans::new(cfg).fit(&data);
+    let hamerly = HamerlyKMeans::new(cfg).fit(&data);
+    let de = elkan.distortion(&data);
+    let dh = hamerly.distortion(&data);
+    assert!(
+        (de - dh).abs() <= 0.1 * de.max(1e-9),
+        "elkan {de} vs hamerly {dh}"
+    );
+}

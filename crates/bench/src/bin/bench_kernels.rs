@@ -30,20 +30,36 @@
 //!   ([`kernels::assign_accumulate_block`]): the update accumulates while the
 //!   query rows are still cache-hot, so the second data pass disappears;
 //!
-//! and one end-to-end measurement, `threaded_epoch` in the JSON: the GK-means
-//! boost epoch (delta-batched engine) at `--epoch-threads` workers vs the
-//! sequential epoch on the same data/graph/seed — output is bit-identical,
-//! only wall-clock differs.
+//! plus the executor tier:
+//!
+//! * `executor_round` in the JSON — one near-empty `run_blocks` round on the
+//!   **persistent worker pool** vs the same round on the pre-pool scoped
+//!   fork/join executor (`run_blocks_scoped`), at `--epoch-threads` workers.
+//!   This isolates the per-round overhead the pool amortises: the scoped
+//!   executor pays `threads − 1` thread spawns and joins every round, the
+//!   pool a wake and a park;
+//!
+//! and two end-to-end measurements:
+//!
+//! * `threaded_epoch` in the JSON: the GK-means boost epoch (delta-batched
+//!   engine) at `--epoch-threads` workers vs the sequential epoch on the same
+//!   data/graph/seed — output is bit-identical, only wall-clock differs;
+//! * `threaded_init` in the JSON: the two-means-tree initialisation
+//!   (blocked bisections + delta-batched boost refinement) at
+//!   `--epoch-threads` workers vs sequential, same bit-identical contract.
 //!
 //! Usage: `bench_kernels [--out BENCH_kernels.json] [--rows 1024]
 //! [--ms-per-case 200] [--epoch-threads 4] [--skip-epoch]`.  ns/op figures
-//! are per distance evaluation.
+//! are per distance evaluation.  `docs/BENCHMARKS.md` documents the emitted
+//! JSON schema and the CI gate thresholds.
 
 use std::time::Instant;
 
+use gkmeans::two_means::TwoMeansTree;
 use gkmeans::{GkMeans, GkParams};
 use knn_graph::random::random_graph;
 use vecstore::kernels;
+use vecstore::parallel::{run_blocks, run_blocks_scoped};
 use vecstore::VectorSet;
 
 const DIMS: [usize; 3] = [32, 128, 960];
@@ -63,6 +79,11 @@ const EPOCH_VALUES: usize = 2 * 1024 * 1024;
 fn epoch_queries(dim: usize) -> usize {
     EPOCH_VALUES / dim
 }
+
+/// Blocks per executor-overhead round: enough that the dynamic claim queue
+/// actually cycles, few enough that the round is dominated by executor cost,
+/// not work.
+const EXECUTOR_BLOCKS: usize = 64;
 
 /// Shape of the end-to-end threaded boost-epoch measurement.
 const EPOCH_N: usize = 16384;
@@ -440,9 +461,91 @@ fn main() {
         }
     }
 
+    // Executor round overhead: a near-empty round on the persistent pool vs
+    // the scoped fork/join executor it replaced.  The block body is a few ns
+    // of arithmetic, so the measured time is almost entirely the executor's
+    // per-round cost (pool: wake + park; scoped: spawn + join per worker).
+    let executor_round_json = {
+        let time_round = |body: &dyn Fn() -> usize| -> f64 {
+            // warm-up (also spawns the pool workers once, like a real fit)
+            let mut sink = 0usize;
+            for _ in 0..8 {
+                sink += body();
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..TIME_CHUNKS {
+                let rounds = 50u32;
+                let start = Instant::now();
+                for _ in 0..rounds {
+                    sink += body();
+                }
+                best = best.min(start.elapsed().as_secs_f64() * 1e6 / f64::from(rounds));
+            }
+            std::hint::black_box(sink);
+            best
+        };
+        let pool_us = time_round(&|| {
+            run_blocks(epoch_threads, EXECUTOR_BLOCKS, |b| b * b)
+                .iter()
+                .sum()
+        });
+        let scoped_us = time_round(&|| {
+            run_blocks_scoped(epoch_threads, EXECUTOR_BLOCKS, |b| b * b)
+                .iter()
+                .sum()
+        });
+        let speedup = scoped_us / pool_us;
+        println!(
+            "executor_round         {EXECUTOR_BLOCKS} blocks @ {epoch_threads} threads: \
+             scoped {scoped_us:.1} us/round, pool {pool_us:.1} us/round ({speedup:.2}x)"
+        );
+        format!(
+            "  \"executor_round\": {{\"threads\": {epoch_threads}, \"blocks\": {EXECUTOR_BLOCKS}, \
+             \"scoped_us\": {scoped_us:.3}, \"pool_us\": {pool_us:.3}, \"speedup\": {speedup:.3}}},\n"
+        )
+    };
+
     // End-to-end threaded boost epoch: same data, graph and seed, so the
     // sequential and threaded runs do bit-identical work — only wall-clock
     // may differ.  `iter_time` isolates the epochs from init.
+    // Threaded two-means-tree initialisation on the same dataset shape: the
+    // init is the sequential fraction the epochs cannot touch, so its own
+    // speedup decides how far the whole fit can scale (Amdahl).
+    let threaded_init_json = if skip_epoch {
+        String::new()
+    } else {
+        let data = epoch_dataset();
+        let time_partition = |threads: usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = Instant::now();
+                let labels = TwoMeansTree::new(11)
+                    .threads(threads)
+                    .partition(&data, EPOCH_K);
+                best = best.min(start.elapsed().as_secs_f64());
+                std::hint::black_box(labels);
+            }
+            best
+        };
+        let seq_secs = time_partition(1);
+        let thr_secs = time_partition(epoch_threads);
+        let speedup = seq_secs / thr_secs;
+        println!(
+            "threaded_init          two-means n={EPOCH_N} d={EPOCH_D} k={EPOCH_K}: \
+             seq {:.1} ms, {} threads {:.1} ms ({speedup:.2}x)",
+            seq_secs * 1e3,
+            epoch_threads,
+            thr_secs * 1e3
+        );
+        format!(
+            "  \"threaded_init\": {{\"algo\": \"two_means_tree\", \"n\": {EPOCH_N}, \"dim\": {EPOCH_D}, \
+             \"k\": {EPOCH_K}, \"threads\": {epoch_threads}, \"seq_ms\": {:.3}, \
+             \"threaded_ms\": {:.3}, \"speedup\": {speedup:.3}}},\n",
+            seq_secs * 1e3,
+            thr_secs * 1e3
+        )
+    };
+
     let threaded_epoch_json = if skip_epoch {
         String::new()
     } else {
@@ -487,6 +590,8 @@ fn main() {
     json.push_str(&format!("  \"assign_queries\": {ASSIGN_QUERIES},\n"));
     json.push_str(&format!("  \"epoch_values_per_call\": {EPOCH_VALUES},\n"));
     json.push_str("  \"unit\": \"ns_per_distance_eval\",\n");
+    json.push_str(&executor_round_json);
+    json.push_str(&threaded_init_json);
     json.push_str(&threaded_epoch_json);
     json.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {

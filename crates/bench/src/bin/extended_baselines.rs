@@ -1,9 +1,9 @@
 //! Sec. 5 (excluded comparators) — an extended comparison including AKM
-//! (approximate k-means, ref. [22]) and HKM (hierarchical k-means /
-//! vocabulary tree, ref. [45]).
+//! (approximate k-means, ref. \[22\]) and HKM (hierarchical k-means /
+//! vocabulary tree, ref. \[45\]).
 //!
 //! The paper drops both from its plots because "inferior performance to
-//! closure k-means is reported in [27]".  This harness reproduces that
+//! closure k-means is reported in \[27\]".  This harness reproduces that
 //! statement directly: at matched iteration budgets the distortion ordering
 //! should come out roughly
 //! `BKM ≤ GK-means ≤ closure k-means ≤ AKM ≤ HKM / bisecting`,

@@ -1,6 +1,6 @@
 //! Sec. 4.3 — construction-cost and downstream-quality comparison of the KNN
 //! graph suppliers the paper discusses: Alg. 3 (GK-means-driven), NN-Descent
-//! ("KGraph"), the navigable-small-world construction (ref. [34]) and the
+//! ("KGraph"), the navigable-small-world construction (ref. \[34\]) and the
 //! exact graph.
 //!
 //! Expected shape (Sec. 4.3, Fig. 4, Tab. 2): Alg. 3 is the cheapest

@@ -26,8 +26,9 @@ pub const USAGE: &str = "\
 cluster --base <base.fvecs> --k <clusters> [--labels-out <labels.txt>]
         [--method gk|gk-trad|bkm|lloyd|kmeans++|minibatch|closure|bisecting|elkan|hamerly|akm|hkm]
         [--iterations <t>] [--kappa <k>] [--xi <size>] [--tau <rounds>] [--seed <u64>]
-        [--threads <n>]                (opt-in threaded epoch engine for
-                                        gk/gk-trad/lloyd; output is
+        [--threads <n>]                (opt-in worker pool for gk/gk-trad
+                                        epochs + two-means init, lloyd,
+                                        elkan and hamerly; output is
                                         bit-identical at any thread count,
                                         default 1 = paper-faithful)
         [--graph <graph.bin>]          (pre-built graph for gk/gk-trad)

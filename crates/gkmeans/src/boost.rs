@@ -1,4 +1,4 @@
-//! Boost k-means (BKM) — Zhao, Deng & Ngo, arXiv 2016 (ref. [16] of the
+//! Boost k-means (BKM) — Zhao, Deng & Ngo, arXiv 2016 (ref. \[16\] of the
 //! paper, reviewed in Sec. 3.1).
 //!
 //! The "egg-chicken" loop of Lloyd's k-means is replaced by a stochastic
@@ -82,7 +82,9 @@ impl BoostKMeans {
                 }
                 labels
             }
-            BoostInit::TwoMeansTree => TwoMeansTree::new(cfg.seed).partition(data, k),
+            BoostInit::TwoMeansTree => TwoMeansTree::new(cfg.seed)
+                .threads(vecstore::parallel::effective_threads(cfg.threads))
+                .partition(data, k),
         };
         let mut state = ClusterState::from_labels(data, initial_labels, k);
         let init_time = start.elapsed();

@@ -11,8 +11,8 @@
 //!
 //! Concretely, an epoch is cut into **delta-batched rounds**:
 //!
-//! 1. *Parallel scoring* — row blocks of the next `threads ×`
-//!    [`BATCH_PER_THREAD`] samples in the (shuffled, for boost) visit order
+//! 1. *Parallel scoring* — row blocks of the next `threads ×
+//!    BATCH_PER_THREAD` samples in the (shuffled, for boost) visit order
 //!    score their κ-candidate gains against a state snapshot through the
 //!    existing indexed-gather kernels, emitting one decomposed `ΔI` message
 //!    per sample: the folded decision plus its removal part and
@@ -61,9 +61,10 @@ use crate::state::ClusterState;
 /// so it is identical at every thread count.
 pub const NORM_REFRESH_INTERVAL: usize = 16;
 
-/// Samples scored per delta-batched round and worker thread.  Each round
-/// forks and joins the scoped workers once, so this is the main overhead
-/// lever: larger rounds amortise the fork/join further but let more moves
+/// Samples scored per delta-batched round and worker thread.  Each round is
+/// one wake/park cycle of the resident worker pool
+/// ([`vecstore::parallel::WorkerPool`]), so this is the main overhead lever:
+/// larger rounds amortise the round barrier further but let more moves
 /// accumulate against the snapshot.  Staleness is repaired per *component*
 /// (only the touched candidates' gains are re-scored), so larger rounds cost
 /// little rework; determinism is unaffected either way.
@@ -484,9 +485,20 @@ pub struct TraditionalEpochEngine<'a> {
     threads: usize,
     moved: Vec<u64>,
     generation: u64,
-    proposals: Vec<u32>,
+    proposals: Vec<TraditionalProposal>,
     candidates: Vec<usize>,
     dists: Vec<f32>,
+}
+
+/// One sample's message from a traditional-mode scoring block: the winning
+/// cluster plus the snapshot candidate count.  Storing the count lets the
+/// apply phase charge the paper's cost model and commit the winner with only
+/// an `O(κ)` moved-stamp probe — the `O(κ²)` dedup of candidate collection
+/// reruns only on the stale (neighbour-moved) path.
+#[derive(Clone, Copy)]
+struct TraditionalProposal {
+    best: u32,
+    scored: u32,
 }
 
 impl<'a> TraditionalEpochEngine<'a> {
@@ -526,24 +538,29 @@ impl<'a> TraditionalEpochEngine<'a> {
 
     /// Collects the current candidate clusters of sample `i` (its own label
     /// first, then the labels of its κ neighbours, deduplicated) into the
-    /// scratch, reporting whether any of those neighbours moved in round
-    /// `gen` (`gen == 0` skips the staleness probe).
-    fn collect_candidates(&mut self, labels: &[usize], i: usize, gen: u64) -> bool {
+    /// scratch.
+    fn collect_candidates(&mut self, labels: &[usize], i: usize) {
         let u = labels[i];
         self.candidates.clear();
         self.candidates.push(u);
-        let mut neighbor_moved = false;
         for nb in self.graph.neighbors(i).as_slice().iter().take(self.kappa) {
-            let nbi = nb.id as usize;
-            if gen != 0 && self.moved[nbi] == gen {
-                neighbor_moved = true;
-            }
-            let c = labels[nbi];
+            let c = labels[nb.id as usize];
             if !self.candidates.contains(&c) {
                 self.candidates.push(c);
             }
         }
-        neighbor_moved
+    }
+
+    /// Whether any κ-neighbour of `i` moved in round `gen` — the staleness
+    /// probe of the apply phase, deliberately free of the candidate
+    /// collection's dedup scans.
+    fn any_neighbor_moved(&self, i: usize, gen: u64) -> bool {
+        self.graph
+            .neighbors(i)
+            .as_slice()
+            .iter()
+            .take(self.kappa)
+            .any(|nb| self.moved[nb.id as usize] == gen)
     }
 
     /// Scores the scratch candidate set against the centroids, returning the
@@ -579,7 +596,7 @@ impl<'a> TraditionalEpochEngine<'a> {
         let mut changes = 0usize;
         for i in 0..labels.len() {
             let u = labels[i];
-            self.collect_candidates(labels, i, 0);
+            self.collect_candidates(labels, i);
             let best = self.score_candidates(centroids, i);
             *distance_evals += self.candidates.len() as u64;
             if best != u {
@@ -613,60 +630,68 @@ impl<'a> TraditionalEpochEngine<'a> {
             let c_flat = centroids.as_flat();
             let dim = centroids.dim();
             let n_blocks = (end - pos).div_ceil(SCORE_BLOCK);
-            let per_block: Vec<Vec<u32>> = run_blocks(self.threads, n_blocks, |b| {
-                let lo = pos + b * SCORE_BLOCK;
-                let hi = (lo + SCORE_BLOCK).min(end);
-                let mut candidates: Vec<usize> = Vec::with_capacity(kappa + 1);
-                let mut dists: Vec<f32> = Vec::with_capacity(kappa + 1);
-                (lo..hi)
-                    .map(|i| {
-                        let u = snapshot[i];
-                        candidates.clear();
-                        candidates.push(u);
-                        for nb in graph.neighbors(i).as_slice().iter().take(kappa) {
-                            let c = snapshot[nb.id as usize];
-                            if !candidates.contains(&c) {
-                                candidates.push(c);
+            let per_block: Vec<Vec<TraditionalProposal>> =
+                run_blocks(self.threads, n_blocks, |b| {
+                    let lo = pos + b * SCORE_BLOCK;
+                    let hi = (lo + SCORE_BLOCK).min(end);
+                    let mut candidates: Vec<usize> = Vec::with_capacity(kappa + 1);
+                    let mut dists: Vec<f32> = Vec::with_capacity(kappa + 1);
+                    (lo..hi)
+                        .map(|i| {
+                            let u = snapshot[i];
+                            candidates.clear();
+                            candidates.push(u);
+                            for nb in graph.neighbors(i).as_slice().iter().take(kappa) {
+                                let c = snapshot[nb.id as usize];
+                                if !candidates.contains(&c) {
+                                    candidates.push(c);
+                                }
                             }
-                        }
-                        dists.resize(candidates.len(), 0.0);
-                        kernels::l2_sq_one_to_many_indexed(
-                            data.row(i),
-                            c_flat,
-                            dim,
-                            &candidates,
-                            &mut dists,
-                        );
-                        let mut best = u;
-                        let mut best_d = f32::INFINITY;
-                        for (&c, &d) in candidates.iter().zip(dists.iter()) {
-                            if d < best_d {
-                                best_d = d;
-                                best = c;
+                            dists.resize(candidates.len(), 0.0);
+                            kernels::l2_sq_one_to_many_indexed(
+                                data.row(i),
+                                c_flat,
+                                dim,
+                                &candidates,
+                                &mut dists,
+                            );
+                            let mut best = u;
+                            let mut best_d = f32::INFINITY;
+                            for (&c, &d) in candidates.iter().zip(dists.iter()) {
+                                if d < best_d {
+                                    best_d = d;
+                                    best = c;
+                                }
                             }
-                        }
-                        best as u32
-                    })
-                    .collect()
-            });
+                            TraditionalProposal {
+                                best: best as u32,
+                                scored: candidates.len() as u32,
+                            }
+                        })
+                        .collect()
+                });
             self.proposals.clear();
             for block in per_block {
                 self.proposals.extend(block);
             }
 
             // Sequential apply in ascending index order with fused
-            // accumulation.
+            // accumulation.  Centroids are fixed within the epoch, so a
+            // proposal is stale only when the candidate set changed this
+            // round; the fresh path commits with just the O(κ) moved-stamp
+            // probe (the snapshot candidate set — and therefore the cost
+            // charged — provably equals the current one).
             for i in pos..end {
                 let u = labels[i];
-                let neighbor_moved = self.collect_candidates(labels, i, gen);
-                // Centroids are fixed within the epoch, so the proposal is
-                // stale only when the candidate set changed this round.
-                let best = if neighbor_moved {
-                    self.score_candidates(centroids, i)
+                let (best, scored) = if self.any_neighbor_moved(i, gen) {
+                    self.collect_candidates(labels, i);
+                    let best = self.score_candidates(centroids, i);
+                    (best, self.candidates.len())
                 } else {
-                    self.proposals[i - pos] as usize
+                    let prop = self.proposals[i - pos];
+                    (prop.best as usize, prop.scored as usize)
                 };
-                *distance_evals += self.candidates.len() as u64;
+                *distance_evals += scored as u64;
                 if best != u {
                     labels[i] = best;
                     self.moved[i] = gen;

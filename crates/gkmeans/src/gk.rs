@@ -91,9 +91,12 @@ impl GkMeans {
         let n = data.len();
         let mut rng = rng_from_seed(p.seed);
 
-        // Alg. 2 line 3: initial clusters from the two-means tree.
+        // Alg. 2 line 3: initial clusters from the two-means tree, on the
+        // same worker pool as the epochs (bit-identical at any thread count).
         let start = Instant::now();
-        let labels = TwoMeansTree::new(p.seed).partition(data, k);
+        let labels = TwoMeansTree::new(p.seed)
+            .threads(effective_threads(p.threads))
+            .partition(data, k);
         let mut state = ClusterState::from_labels(data, labels, k);
         let init_time = start.elapsed();
 
@@ -148,7 +151,9 @@ impl GkMeans {
         let p = &self.params;
 
         let start = Instant::now();
-        let mut labels = TwoMeansTree::new(p.seed).partition(data, k);
+        let mut labels = TwoMeansTree::new(p.seed)
+            .threads(effective_threads(p.threads))
+            .partition(data, k);
         let mut centroids = VectorSet::zeros(k, data.dim()).expect("non-zero dim");
         recompute_centroids(data, &labels, &mut centroids);
         let init_time = start.elapsed();

@@ -10,7 +10,8 @@
 //!    optimisation of `I`, the quality backbone GK-means is built on;
 //! 3. [`two_means`] — the **two-means tree** (Alg. 1, Sec. 3.2): hierarchical
 //!    bisection with equal-size adjustment, used to produce the initial `k`
-//!    partition in `O(d·n·log k)`;
+//!    partition in `O(d·n·log k)`; its loops ride the same worker pool as
+//!    the epochs, bit-identical at any thread count;
 //! 4. [`gk`] — **GK-means** (Alg. 2): the BKM iteration restricted, for every
 //!    sample, to the clusters where its κ graph neighbours live, plus the
 //!    traditional-k-means variant "GK-means⁻" evaluated in Fig. 4, both

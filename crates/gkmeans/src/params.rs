@@ -14,6 +14,18 @@ use serde::{Deserialize, Serialize};
 use crate::gk::GkMode;
 
 /// Full parameter set of the GK-means pipeline.
+///
+/// Built fluently; unset fields keep the paper's defaults (κ = ξ = 50,
+/// τ = 10, 30 iterations, boost mode, single thread):
+///
+/// ```
+/// use gkmeans::{GkMode, GkParams};
+///
+/// let p = GkParams::default().kappa(20).tau(5).threads(4).mode(GkMode::Traditional);
+/// assert_eq!(p.kappa, 20);
+/// assert_eq!(p.xi, 50); // untouched fields keep the paper's values
+/// assert_eq!(p.threads, Some(4)); // bit-identical output at any thread count
+/// ```
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct GkParams {
     /// Number of neighbours κ consulted per sample during clustering.
@@ -38,7 +50,7 @@ pub struct GkParams {
     /// line 10 "if <i,j> is NOT visited"); costs memory proportional to the
     /// number of compared pairs.
     pub dedup_pairs: bool,
-    /// Worker threads for the GK-means epoch engine, `None` (or `Some(0|1)`)
+    /// Worker threads for the GK-means pipeline, `None` (or `Some(0|1)`)
     /// meaning the paper-faithful single-threaded iteration ("simulations are
     /// conducted by single thread", Sec. 5).
     ///
@@ -50,7 +62,10 @@ pub struct GkParams {
     /// single-threaded loop would, re-scoring any sample whose candidate
     /// clusters were touched by an earlier move of the same batch.
     /// Traditional (GK-means⁻) epochs batch the same way against the epoch's
-    /// fixed centroids.  Threads change wall-clock time and nothing else.
+    /// fixed centroids.  The two-means-tree initialisation rides the same
+    /// worker pool (fixed-block merges plus delta-batched refinement rounds
+    /// that re-snapshot after every committed move).  Threads change
+    /// wall-clock time and nothing else.
     ///
     /// Defaults to the `GKM_THREADS` environment override when set (see
     /// [`vecstore::parallel::threads_from_env`]), which is how CI re-runs the

@@ -13,14 +13,43 @@
 //! bisection is refined with boost-k-means-style incremental moves before the
 //! equal-size adjustment (Sec. 3.2: "the aforementioned boost k-means is
 //! integrated in the bisecting operation").
+//!
+//! # Threading
+//!
+//! The partitioner rides the same deterministic substrate as the epoch
+//! engines ([`vecstore::parallel`]): every loop over a cluster's members is
+//! cut into fixed `BISECT_BLOCK`-sized blocks whose partial results (side
+//! decisions, `f64` centroid sums, margin argmins) are merged in block order,
+//! and the boost-refinement pass runs delta-batched rounds — parallel
+//! snapshot scoring, ordered apply that ends the round at the first committed
+//! move (a move invalidates every later snapshot score, and with two clusters
+//! *every* move touches both).  Labels are therefore **bit-identical at any
+//! thread count**, which the thread-invariance suite pins; the single block
+//! structure is shared by the sequential and threaded paths.
 
 use rand::Rng;
 
 use vecstore::distance::l2_sq;
+use vecstore::parallel::run_blocks;
 use vecstore::sample::rng_from_seed;
 use vecstore::VectorSet;
 
 use crate::objective::delta_i_reference;
+
+/// Rows per fixed block of the bisection loops (assignment, centroid
+/// accumulation, margin argmin).  Block boundaries — and therefore the
+/// floating-point merge grouping — depend only on the member count, never on
+/// the thread count.
+const BISECT_BLOCK: usize = 1024;
+
+/// Samples scored per boost-refinement round and worker thread.  Rounds
+/// re-snapshot after every committed move, so the round length only bounds
+/// how much snapshot scoring a move can invalidate — committed decisions are
+/// bit-identical for any value.
+const REFINE_BATCH_PER_THREAD: usize = 256;
+
+/// Samples per parallel scoring work item inside a refinement round.
+const REFINE_SCORE_BLOCK: usize = 64;
 
 /// Two-means tree partitioner.
 #[derive(Clone, Debug)]
@@ -31,16 +60,30 @@ pub struct TwoMeansTree {
     /// Whether to run the boost-k-means incremental refinement pass on each
     /// bisection before the equal-size adjustment.
     boost_refine: bool,
+    /// Worker threads (1 = everything on the calling thread).
+    threads: usize,
+}
+
+/// One fixed block's contribution to a 2-means assignment sweep: the block's
+/// new side decisions plus its partial centroid accumulators.
+struct AssignBlock {
+    side: Vec<bool>,
+    changed: bool,
+    acc0: Vec<f64>,
+    acc1: Vec<f64>,
+    n0: usize,
+    n1: usize,
 }
 
 impl TwoMeansTree {
     /// Creates a partitioner with the workspace defaults (5 refinement
-    /// iterations, boost refinement on).
+    /// iterations, boost refinement on, single-threaded).
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
             refine_iters: 5,
             boost_refine: true,
+            threads: 1,
         }
     }
 
@@ -55,6 +98,15 @@ impl TwoMeansTree {
     #[must_use]
     pub fn boost_refine(mut self, on: bool) -> Self {
         self.boost_refine = on;
+        self
+    }
+
+    /// Sets the worker thread count (`0` and `1` both mean sequential).
+    /// Labels are bit-identical at any thread count — threads change
+    /// wall-clock time and nothing else.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -108,6 +160,8 @@ impl TwoMeansTree {
     ) -> (Vec<u32>, Vec<u32>) {
         assert!(members.len() >= 2, "cannot bisect fewer than two samples");
         let dim = data.dim();
+        let threads = self.threads;
+        let n_blocks = members.len().div_ceil(BISECT_BLOCK);
 
         // --- plain 2-means ----------------------------------------------------
         let a = members[rng.gen_range(0..members.len())] as usize;
@@ -121,33 +175,59 @@ impl TwoMeansTree {
         let mut c1 = data.row(b).to_vec();
         let mut side = vec![false; members.len()]; // false → cluster 0
         for _ in 0..self.refine_iters {
+            // Fused assignment + centroid accumulation in fixed blocks: every
+            // block decides its members against the iteration's frozen
+            // centroids and accumulates its own f64 partials, merged below in
+            // block order.
+            let blocks: Vec<AssignBlock> = {
+                let (c0, c1, side) = (&c0, &c1, &side);
+                run_blocks(threads, n_blocks, |blk| {
+                    let lo = blk * BISECT_BLOCK;
+                    let hi = ((blk + 1) * BISECT_BLOCK).min(members.len());
+                    let mut out = AssignBlock {
+                        side: Vec::with_capacity(hi - lo),
+                        changed: false,
+                        acc0: vec![0.0f64; dim],
+                        acc1: vec![0.0f64; dim],
+                        n0: 0,
+                        n1: 0,
+                    };
+                    for (slot, &s) in members[lo..hi].iter().enumerate() {
+                        let x = data.row(s as usize);
+                        let to_one = l2_sq(x, c1) < l2_sq(x, c0);
+                        out.changed |= to_one != side[lo + slot];
+                        out.side.push(to_one);
+                        let acc = if to_one {
+                            out.n1 += 1;
+                            &mut out.acc1
+                        } else {
+                            out.n0 += 1;
+                            &mut out.acc0
+                        };
+                        for (a, &v) in acc.iter_mut().zip(x) {
+                            *a += f64::from(v);
+                        }
+                    }
+                    out
+                })
+            };
             let mut changed = false;
-            for (slot, &s) in members.iter().enumerate() {
-                let x = data.row(s as usize);
-                let to_one = l2_sq(x, &c1) < l2_sq(x, &c0);
-                if to_one != side[slot] {
-                    side[slot] = to_one;
-                    changed = true;
-                }
-            }
-            // recompute the two centroids
             let mut acc0 = vec![0.0f64; dim];
             let mut acc1 = vec![0.0f64; dim];
             let mut n0 = 0usize;
             let mut n1 = 0usize;
-            for (slot, &s) in members.iter().enumerate() {
-                let x = data.row(s as usize);
-                if side[slot] {
-                    n1 += 1;
-                    for (acc, &v) in acc1.iter_mut().zip(x) {
-                        *acc += f64::from(v);
-                    }
-                } else {
-                    n0 += 1;
-                    for (acc, &v) in acc0.iter_mut().zip(x) {
-                        *acc += f64::from(v);
-                    }
+            for (blk, block) in blocks.iter().enumerate() {
+                let lo = blk * BISECT_BLOCK;
+                side[lo..lo + block.side.len()].copy_from_slice(&block.side);
+                changed |= block.changed;
+                for (a, &v) in acc0.iter_mut().zip(&block.acc0) {
+                    *a += v;
                 }
+                for (a, &v) in acc1.iter_mut().zip(&block.acc1) {
+                    *a += v;
+                }
+                n0 += block.n0;
+                n1 += block.n1;
             }
             if n0 > 0 {
                 for (c, acc) in c0.iter_mut().zip(&acc0) {
@@ -167,34 +247,99 @@ impl TwoMeansTree {
         // --- boost-k-means refinement (incremental ΔI moves on the 2-cluster
         //     subproblem) -------------------------------------------------------
         if self.boost_refine {
+            // Composite vectors and sizes, accumulated per fixed block and
+            // merged in block order (the same grouping at every thread count).
             let mut comp = [vec![0.0f32; dim], vec![0.0f32; dim]];
             let mut sizes = [0usize, 0usize];
-            for (slot, &s) in members.iter().enumerate() {
-                let which = usize::from(side[slot]);
-                sizes[which] += 1;
-                for (c, &v) in comp[which].iter_mut().zip(data.row(s as usize)) {
-                    *c += v;
+            {
+                let side = &side;
+                let partials: Vec<([Vec<f32>; 2], [usize; 2])> =
+                    run_blocks(threads, n_blocks, |blk| {
+                        let lo = blk * BISECT_BLOCK;
+                        let hi = ((blk + 1) * BISECT_BLOCK).min(members.len());
+                        let mut comp = [vec![0.0f32; dim], vec![0.0f32; dim]];
+                        let mut sizes = [0usize, 0usize];
+                        for (slot, &s) in members[lo..hi].iter().enumerate() {
+                            let which = usize::from(side[lo + slot]);
+                            sizes[which] += 1;
+                            for (c, &v) in comp[which].iter_mut().zip(data.row(s as usize)) {
+                                *c += v;
+                            }
+                        }
+                        (comp, sizes)
+                    });
+                for (pcomp, psizes) in &partials {
+                    for which in 0..2 {
+                        sizes[which] += psizes[which];
+                        for (c, &v) in comp[which].iter_mut().zip(&pcomp[which]) {
+                            *c += v;
+                        }
+                    }
                 }
             }
-            for (slot, &s) in members.iter().enumerate() {
-                let from = usize::from(side[slot]);
-                let to = 1 - from;
-                if sizes[from] <= 1 {
-                    continue;
-                }
-                let x = data.row(s as usize);
-                let delta = delta_i_reference(&comp[from], sizes[from], &comp[to], sizes[to], x);
-                if delta > 0.0 {
-                    for (c, &v) in comp[from].iter_mut().zip(x) {
-                        *c -= v;
+            // Delta-batched incremental moves: rounds score their ΔI against
+            // a snapshot in parallel; the ordered apply phase commits
+            // decisions while the state still equals the snapshot and ends
+            // the round at the first move (with two clusters, every move
+            // invalidates every later snapshot score).  Each committed
+            // decision is therefore evaluated against exactly the state the
+            // sequential loop would see — bit-identical by construction.
+            let round_len = threads * REFINE_BATCH_PER_THREAD;
+            let mut pos = 0usize;
+            while pos < members.len() {
+                let end = (pos + round_len).min(members.len());
+                let proposals: Vec<Option<f64>> = {
+                    let (comp, sizes, side) = (&comp, &sizes, &side);
+                    let score_blocks = (end - pos).div_ceil(REFINE_SCORE_BLOCK);
+                    run_blocks(threads, score_blocks, |blk| {
+                        let lo = pos + blk * REFINE_SCORE_BLOCK;
+                        let hi = (lo + REFINE_SCORE_BLOCK).min(end);
+                        (lo..hi)
+                            .map(|slot| {
+                                let from = usize::from(side[slot]);
+                                if sizes[from] <= 1 {
+                                    return None;
+                                }
+                                let to = 1 - from;
+                                let x = data.row(members[slot] as usize);
+                                Some(delta_i_reference(
+                                    &comp[from],
+                                    sizes[from],
+                                    &comp[to],
+                                    sizes[to],
+                                    x,
+                                ))
+                            })
+                            .collect::<Vec<Option<f64>>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
+                };
+                let mut next_pos = end;
+                for (off, proposal) in proposals.iter().enumerate() {
+                    let slot = pos + off;
+                    let Some(delta) = *proposal else { continue };
+                    if delta > 0.0 {
+                        let from = usize::from(side[slot]);
+                        let to = 1 - from;
+                        let x = data.row(members[slot] as usize);
+                        for (c, &v) in comp[from].iter_mut().zip(x) {
+                            *c -= v;
+                        }
+                        for (c, &v) in comp[to].iter_mut().zip(x) {
+                            *c += v;
+                        }
+                        sizes[from] -= 1;
+                        sizes[to] += 1;
+                        side[slot] = !side[slot];
+                        // State diverged from the snapshot: restart scoring
+                        // right after this sample.
+                        next_pos = slot + 1;
+                        break;
                     }
-                    for (c, &v) in comp[to].iter_mut().zip(x) {
-                        *c += v;
-                    }
-                    sizes[from] -= 1;
-                    sizes[to] += 1;
-                    side[slot] = !side[slot];
                 }
+                pos = next_pos;
             }
         }
 
@@ -210,12 +355,25 @@ impl TwoMeansTree {
                 left.push(s);
             }
         }
-        // Recompute the final centroids of both halves for the margin ordering.
+        // Recompute the final centroids of both halves for the margin
+        // ordering: fixed-block f64 partials merged in block order.
         let centroid_of = |part: &[u32]| -> Vec<f32> {
+            let part_blocks = part.len().div_ceil(BISECT_BLOCK).max(1);
+            let partials: Vec<Vec<f64>> = run_blocks(threads, part_blocks, |blk| {
+                let lo = blk * BISECT_BLOCK;
+                let hi = ((blk + 1) * BISECT_BLOCK).min(part.len());
+                let mut acc = vec![0.0f64; dim];
+                for &s in &part[lo..hi] {
+                    for (a, &v) in acc.iter_mut().zip(data.row(s as usize)) {
+                        *a += f64::from(v);
+                    }
+                }
+                acc
+            });
             let mut acc = vec![0.0f64; dim];
-            for &s in part {
-                for (a, &v) in acc.iter_mut().zip(data.row(s as usize)) {
-                    *a += f64::from(v);
+            for partial in &partials {
+                for (a, &v) in acc.iter_mut().zip(partial) {
+                    *a += v;
                 }
             }
             let inv = 1.0 / part.len().max(1) as f64;
@@ -232,12 +390,32 @@ impl TwoMeansTree {
             let big_c = centroid_of(big);
             let small_c = centroid_of(small);
             // margin = d(x, small centroid) − d(x, own centroid); smallest margin
-            // samples sit on the boundary and are the cheapest to move.
+            // samples sit on the boundary and are the cheapest to move.  The
+            // per-block argmins keep the first strict minimum, and the block-
+            // order merge below keeps the earliest block's — together exactly
+            // the sequential scan's first-occurrence rule.
+            let argmin_blocks = big.len().div_ceil(BISECT_BLOCK);
+            let block_mins: Vec<(f32, usize)> = {
+                let big = &*big;
+                run_blocks(threads, argmin_blocks, |blk| {
+                    let lo = blk * BISECT_BLOCK;
+                    let hi = ((blk + 1) * BISECT_BLOCK).min(big.len());
+                    let mut best_slot = lo;
+                    let mut best_margin = f32::INFINITY;
+                    for (slot, &s) in big[lo..hi].iter().enumerate() {
+                        let x = data.row(s as usize);
+                        let margin = l2_sq(x, &small_c) - l2_sq(x, &big_c);
+                        if margin < best_margin {
+                            best_margin = margin;
+                            best_slot = lo + slot;
+                        }
+                    }
+                    (best_margin, best_slot)
+                })
+            };
             let mut best_slot = 0usize;
             let mut best_margin = f32::INFINITY;
-            for (slot, &s) in big.iter().enumerate() {
-                let x = data.row(s as usize);
-                let margin = l2_sq(x, &small_c) - l2_sq(x, &big_c);
+            for &(margin, slot) in &block_mins {
                 if margin < best_margin {
                     best_margin = margin;
                     best_slot = slot;
@@ -340,6 +518,26 @@ mod tests {
         let a = TwoMeansTree::new(11).partition(&data, 6);
         let b = TwoMeansTree::new(11).partition(&data, 6);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_is_bit_identical_at_any_thread_count() {
+        // Wide enough that a top-level bisection spans several fixed blocks,
+        // so the blocked merges and the delta-batched refinement rounds all
+        // actually split.
+        let rows: Vec<Vec<f32>> = (0..2600)
+            .map(|i| {
+                (0..6)
+                    .map(|j| ((i * 13 + j * 7 + i / 31) % 17) as f32)
+                    .collect()
+            })
+            .collect();
+        let data = VectorSet::from_rows(rows).unwrap();
+        let reference = TwoMeansTree::new(21).threads(1).partition(&data, 9);
+        for threads in [2usize, 4, 7] {
+            let threaded = TwoMeansTree::new(21).threads(threads).partition(&data, 9);
+            assert_eq!(reference, threaded, "threads={threads}");
+        }
     }
 
     #[test]

@@ -65,6 +65,38 @@ fn boost_epochs_are_bit_identical_at_any_thread_count() {
 }
 
 #[test]
+fn boost_fit_with_multi_block_init_is_bit_identical_at_any_thread_count() {
+    // Wide enough that the two-means-tree bisections span several fixed
+    // 1024-row blocks, so the pool-backed init (blocked assignment merges,
+    // delta-batched boost refinement, blocked margin argmins) genuinely
+    // splits — the 700-sample tests above keep the init single-block.
+    let data = lattice(2600, 8);
+    let graph = exact_graph(&data, 6);
+    let base = GkParams::default().kappa(6).iterations(6).seed(17);
+    let reference = GkMeans::new(base.threads(1)).fit(&data, 11, &graph);
+    for threads in [2usize, 4, 7] {
+        let threaded = GkMeans::new(base.threads(threads)).fit(&data, 11, &graph);
+        assert_bit_identical(
+            &reference,
+            &threaded,
+            &format!("boost multi-block threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn two_means_partition_is_bit_identical_at_any_thread_count() {
+    use gkmeans::two_means::TwoMeansTree;
+
+    let data = lattice(2600, 8);
+    let reference = TwoMeansTree::new(5).threads(1).partition(&data, 12);
+    for threads in [2usize, 4, 7] {
+        let threaded = TwoMeansTree::new(5).threads(threads).partition(&data, 12);
+        assert_eq!(reference, threaded, "two-means threads={threads}");
+    }
+}
+
+#[test]
 fn traditional_epochs_are_bit_identical_at_any_thread_count() {
     let data = lattice(700, 12);
     let graph = exact_graph(&data, 8);

@@ -17,7 +17,7 @@
 //! * [`nn_descent`] — an NN-Descent ("KGraph") implementation used for the
 //!   "KGraph+GK-means" baseline runs;
 //! * [`nsw`] — navigable-small-world incremental construction (Malkov &
-//!   Yashunin, ref. [34]), the other third-party construction method the
+//!   Yashunin, ref. \[34\]), the other third-party construction method the
 //!   paper compares against;
 //! * [`recall`] — graph-vs-ground-truth recall measures.
 

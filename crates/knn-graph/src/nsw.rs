@@ -1,7 +1,7 @@
 //! Navigable-small-world (NSW) graph construction.
 //!
 //! Re-implementation of the incremental small-world construction of Malkov &
-//! Yashunin (ref. [34] of the paper, the single-layer core of HNSW).  The
+//! Yashunin (ref. \[34\] of the paper, the single-layer core of HNSW).  The
 //! paper compares the cost of its Alg. 3 against "small world graph
 //! construction" (Sec. 4.3: *"it is at least two times faster than NN Descent
 //! and small world graph construction"*) and against graph-based ANN search

@@ -611,6 +611,19 @@ fn assign_block_core(
 /// [`l2_sq_many_to_many`] and scanning, for every dispatch level (see the
 /// module docs for why).
 ///
+/// ```
+/// use vecstore::kernels::assign_block;
+///
+/// // two 2-d queries against two candidate rows
+/// let xs = [0.0f32, 0.1, 5.0, 5.0];
+/// let rows = [0.0f32, 0.0, 5.0, 4.0];
+/// let current = [1u32, 1];
+/// let (mut idx, mut dist, mut second) = ([0u32; 2], [0.0f32; 2], [0.0f32; 2]);
+/// assign_block(&xs, &rows, 2, &current, &mut idx, &mut dist, &mut second);
+/// assert_eq!(idx, [0, 1]); // each query lands on its nearest row
+/// assert_eq!(dist, [0.1f32 * 0.1, 1.0]);
+/// ```
+///
 /// # Panics
 ///
 /// Panics when `d == 0`, when a block is not whole rows of `d` values, when
@@ -689,6 +702,22 @@ pub fn add_assign_f64_f32(acc: &mut [f64], row: &[f32]) {
 ///
 /// `sums` and `counts` are accumulated into, not overwritten: zero them for a
 /// fresh epoch.
+///
+/// ```
+/// use vecstore::kernels::assign_accumulate_block;
+///
+/// let xs = [0.0f32, 0.2, 4.0, 4.0]; // two 2-d queries
+/// let rows = [0.0f32, 0.0, 4.0, 4.0]; // two candidate rows
+/// let current = [0u32, 0];
+/// let (mut idx, mut dist, mut second) = ([0u32; 2], [0.0f32; 2], [0.0f32; 2]);
+/// let (mut sums, mut counts) = ([0.0f64; 4], [0u64; 2]);
+/// assign_accumulate_block(
+///     &xs, &rows, 2, &current, &mut idx, &mut dist, &mut second, &mut sums, &mut counts,
+/// );
+/// assert_eq!(idx, [0, 1]);
+/// assert_eq!(counts, [1, 1]); // each winner received its query row
+/// assert_eq!(&sums[2..], &[4.0, 4.0]); // cluster 1's sum is query 1
+/// ```
 ///
 /// # Panics
 ///
@@ -781,7 +810,7 @@ fn cancellation_guard(x_norm_sq: f32, c_norm_sq: f32, d: usize) -> f32 {
 /// norm expansion (clamped at zero), which makes each evaluation a single
 /// fused multiply-add stream.  Because the expansion cancels two large terms
 /// in `f32`, a query whose best/second-best gap falls inside the
-/// [`cancellation_guard`] error bound is **re-scored through the direct
+/// `cancellation_guard` error bound is **re-scored through the direct
 /// subtraction tile**, so the returned assignment always matches
 /// [`assign_block`] — the property suite enforces this on large-norm
 /// descriptors where the naive expansion demonstrably flips labels.

@@ -16,8 +16,10 @@
 //! * [`norms`] — pre-computed squared norms that let the assignment step use
 //!   the `‖x-c‖² = ‖x‖² - 2·x·c + ‖c‖²` expansion.
 //! * [`parallel`] — the deterministic block executor behind the opt-in
-//!   threaded epoch engines (fixed block boundaries, results merged in block
-//!   order, bit-identical output at any thread count).
+//!   threaded epoch engines: a persistent worker pool (spawned lazily once
+//!   per process, parked between rounds) running fixed block boundaries with
+//!   results merged in block order — bit-identical output at any thread
+//!   count.
 //! * [`io`] — readers and writers for the TexMex `fvecs`/`ivecs`/`bvecs`
 //!   formats used to distribute the paper's datasets, plus a compact native
 //!   binary format.

@@ -1,24 +1,42 @@
-//! Deterministic block-parallel execution for the threaded epoch engines.
+//! Deterministic block-parallel execution on a persistent worker pool.
 //!
 //! The k-means epoch engines (fused Lloyd sweeps, delta-batched GK-means
-//! rounds) guarantee **bit-identical output at any thread count**.  They get
-//! that guarantee from one structural rule: work is cut into *fixed* blocks
-//! whose boundaries never depend on how many threads run, each block produces
-//! a self-contained result, and results are consumed **in block order** by
-//! the (sequential) caller.  Threads only decide *when* a block is computed,
-//! never *what* it computes or *where* its result lands.
+//! rounds, the two-means-tree bisections, the Elkan/Hamerly bounds
+//! maintenance) guarantee **bit-identical output at any thread count**.  They
+//! get that guarantee from one structural rule: work is cut into *fixed*
+//! blocks whose boundaries never depend on how many threads run, each block
+//! produces a self-contained result, and results are consumed **in block
+//! order** by the (sequential) caller.  Threads only decide *when* a block is
+//! computed, never *what* it computes or *where* its result lands.
 //!
-//! [`run_blocks`] is that rule as an executor: a scoped thread pool with a
-//! dynamic (atomic-counter) block queue — stragglers are load-balanced — that
-//! hands the results back as a `Vec` indexed by block, so the caller's merge
-//! loop is the same code whether 1 or 64 threads ran.
+//! [`run_blocks`] is that rule as an executor.  Work is carried out by a
+//! [`WorkerPool`]: resident worker threads spawned lazily once per process
+//! and **parked between rounds**, so an epoch engine that calls the executor
+//! thousands of times per fit pays the thread-creation cost zero times
+//! instead of once per round.  Each call publishes one *round* — a
+//! type-erased job plus a shared atomic block counter — through a
+//! round-sequence barrier; parked workers wake, claim blocks from the
+//! counter (stragglers are load-balanced), and park again once the round's
+//! counter is exhausted.  Results land in a slot vector indexed by block, so
+//! the caller's merge loop is the same code whether 1 or 64 threads ran.
+//! [`run_blocks_scoped`] keeps the previous fork/join implementation as the
+//! measured baseline for the pool-overhead benchmark (`bench_kernels`'s
+//! `executor_round` entry).
+//!
+//! [`run_mut_blocks`] extends the same rule to in-place updates over two
+//! parallel slices cut into matching fixed blocks — the shape of the
+//! Elkan/Hamerly per-epoch bound maintenance (`upper` rows next to an
+//! `n × k` or `n`-length `lower` array).
 //!
 //! [`threads_from_env`] reads the `GKM_THREADS` override that the CI matrix
 //! uses to re-run the entire test suite with threading enabled: because
 //! threaded output is bit-identical, every test must pass unchanged.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Resolves an optional thread-count knob to an effective worker count:
 /// `None` (the paper-faithful default) and `Some(0)` both mean sequential
@@ -45,16 +63,360 @@ pub fn threads_from_env() -> Option<usize> {
     })
 }
 
-/// Runs `f(block)` for every block in `0..n_blocks` on up to `threads`
-/// workers and returns the results **in block order**.
+/// Upper bound on resident workers a pool will spawn, a backstop against
+/// pathological `threads` requests; real requests (CI uses 4, the property
+/// suite up to 8) sit far below it.
+const MAX_POOL_WORKERS: usize = 64;
+
+/// One round's job: the type-erased block body plus the block count.  The
+/// pointer is only dereferenced between the round's publication and its
+/// completion, both of which happen inside [`WorkerPool::run`]'s borrow of
+/// the real closure — see the safety notes there.
+#[derive(Clone, Copy)]
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+    n_blocks: usize,
+}
+
+// SAFETY: the pointer is only dereferenced by workers participating in the
+// round that published it, and `WorkerPool::run` does not return (or unwind
+// past its guard) until every participant has finished — the pointee is a
+// live stack closure for the entire window in which the pointer is used.
+unsafe impl Send for Job {}
+
+/// Pool state guarded by the round mutex.
+struct State {
+    /// Monotonic round sequence number; workers use it to recognise a round
+    /// they have not joined yet.
+    round: u64,
+    /// The published job of the in-flight round (`None` between rounds).
+    job: Option<Job>,
+    /// Worker slots still claimable in the in-flight round.
+    helpers_left: usize,
+    /// Workers currently executing the in-flight round.
+    active: usize,
+    /// Set when any participant's block body panicked this round.
+    panicked: bool,
+    /// Worker threads spawned so far.
+    spawned: usize,
+    /// Tells workers to exit (pool drop).
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between rounds.
+    work_cv: Condvar,
+    /// Callers wait here for round completion and for the job slot.
+    done_cv: Condvar,
+    /// Block-claim counter of the in-flight round.
+    next_block: AtomicUsize,
+}
+
+thread_local! {
+    /// Set while this thread is executing pool work (as a resident worker or
+    /// as a caller participating in its own round).  A nested executor call
+    /// made from inside a block body runs sequentially instead of deadlocking
+    /// on the single job slot.
+    static POOL_BUSY: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII flag for [`POOL_BUSY`], exception-safe under unwinding.
+struct BusyGuard;
+
+impl BusyGuard {
+    fn enter() -> Self {
+        POOL_BUSY.with(|b| b.set(true));
+        BusyGuard
+    }
+}
+
+impl Drop for BusyGuard {
+    fn drop(&mut self) {
+        POOL_BUSY.with(|b| b.set(false));
+    }
+}
+
+/// A persistent pool of parked worker threads executing fixed-block rounds.
 ///
-/// Blocks are pulled from a shared atomic counter, so a slow block does not
+/// Workers are spawned lazily (first round that needs them) and then stay
+/// resident, parked on a condition variable between rounds — the per-round
+/// cost is a wake-up and a park instead of `threads − 1` thread creations
+/// and joins.  One round runs at a time; concurrent callers queue on the job
+/// slot, and a caller that is itself a pool worker (nested use) degrades to
+/// sequential execution instead of deadlocking.
+///
+/// Determinism is structural and identical to the scoped executor's: block
+/// boundaries are fixed by the caller, blocks are claimed dynamically from an
+/// atomic counter (so stragglers are load-balanced), and every result is
+/// written to the slot its block index owns — the merge order the caller
+/// observes never depends on the thread count.
+///
+/// Most code should use the free function [`run_blocks`], which runs on the
+/// process-wide [`WorkerPool::global`] pool:
+///
+/// ```
+/// use vecstore::parallel::run_blocks;
+///
+/// let squares = run_blocks(4, 8, |block| block * block);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; workers are spawned on first demand.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    round: 0,
+                    job: None,
+                    helpers_left: 0,
+                    active: 0,
+                    panicked: false,
+                    spawned: 0,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                next_block: AtomicUsize::new(0),
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide pool every [`run_blocks`] call executes on.  Workers
+    /// accumulate to the largest `threads − 1` ever requested (capped) and
+    /// stay parked when idle, so the pool costs nothing while no round runs.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Runs `f(block)` for every block in `0..n_blocks` on up to `threads`
+    /// participants (the calling thread plus parked pool workers) and returns
+    /// the results **in block order**.
+    ///
+    /// With one effective worker (or at most one block, or when called from
+    /// inside another round's block body) everything runs on the calling
+    /// thread — no synchronisation, and, crucially, the *same* per-block
+    /// results the threaded path reassembles.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any block body (after the round has fully
+    /// completed, so no worker still references the caller's stack).
+    pub fn run<R, F>(&self, threads: usize, n_blocks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = threads.max(1).min(n_blocks);
+        if workers <= 1 || POOL_BUSY.with(|b| b.get()) {
+            return (0..n_blocks).map(f).collect();
+        }
+        let helpers = workers - 1;
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n_blocks);
+        slots.resize_with(n_blocks, || None);
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        let runner = move |b: usize| {
+            let r = f(b);
+            // SAFETY: the claim counter hands each block index to exactly one
+            // participant, so this slot is written once, and `slots` outlives
+            // the round (the guard below blocks until every participant is
+            // done).  The slot holds `None`, so the drop-free write leaks
+            // nothing.
+            unsafe { slots_ptr.get().add(b).write(Some(r)) };
+        };
+
+        let _busy = BusyGuard::enter();
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            // One round at a time: queue behind any in-flight round.
+            while st.job.is_some() {
+                st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+            }
+            while st.spawned < helpers.min(MAX_POOL_WORKERS) {
+                st.spawned += 1;
+                let shared = Arc::clone(&self.shared);
+                let handle = std::thread::Builder::new()
+                    .name("gkm-pool-worker".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker");
+                self.handles
+                    .lock()
+                    .expect("pool handles poisoned")
+                    .push(handle);
+            }
+            self.shared.next_block.store(0, Ordering::Relaxed);
+            st.round = st.round.wrapping_add(1);
+            st.helpers_left = helpers;
+            st.panicked = false;
+            let erased: &(dyn Fn(usize) + Sync) = &runner;
+            // SAFETY: erases the borrow of `runner` (and through it `f` and
+            // `slots`); the guard below keeps this function's frame alive
+            // until the round completes and the job slot is cleared, so the
+            // pointer never outlives its pointee.
+            let func = unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    erased,
+                )
+            };
+            st.job = Some(Job { func, n_blocks });
+            self.shared.work_cv.notify_all();
+        }
+
+        // From here on, the guard *must* run before `runner`/`slots` drop —
+        // it waits out the round on every exit path, including unwinding.
+        let guard = RoundGuard {
+            shared: &self.shared,
+        };
+        loop {
+            let b = self.shared.next_block.fetch_add(1, Ordering::Relaxed);
+            if b >= n_blocks {
+                break;
+            }
+            runner(b);
+        }
+        drop(guard);
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("every block index below n_blocks is claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self
+            .handles
+            .lock()
+            .expect("pool handles poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Waits out the in-flight round, clears the job slot and re-raises worker
+/// panics.  Created right after a round is published so the wait runs on
+/// every exit path of [`WorkerPool::run`], including caller-side unwinding —
+/// the published job pointer must never outlive the caller's frame.
+struct RoundGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for RoundGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        // Workers that have not joined yet must not pick the job up while we
+        // are tearing the round down.
+        st.helpers_left = 0;
+        while st.active > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        st.panicked = false;
+        drop(st);
+        // Wake callers queued on the job slot.
+        self.shared.done_cv.notify_all();
+        if panicked && !std::thread::panicking() {
+            panic!("worker thread panicked");
+        }
+    }
+}
+
+/// Body of a resident worker: park on the round barrier, join rounds newer
+/// than the last one seen (while helper slots remain), claim blocks until the
+/// round's counter is exhausted, park again.
+fn worker_loop(shared: &Shared) {
+    POOL_BUSY.with(|b| b.set(true));
+    let mut last_round = 0u64;
+    let mut st = shared.state.lock().expect("pool state poisoned");
+    loop {
+        if st.shutdown {
+            return;
+        }
+        if st.round != last_round {
+            last_round = st.round;
+            let claimable = if st.helpers_left > 0 { st.job } else { None };
+            if let Some(job) = claimable {
+                st.helpers_left -= 1;
+                st.active += 1;
+                drop(st);
+                let ok = catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: `active` was incremented under the lock, so the
+                    // publishing caller's round guard blocks until this
+                    // worker decrements it — the closure behind the pointer
+                    // stays alive for the whole dereference window.
+                    let f = unsafe { &*job.func };
+                    loop {
+                        let b = shared.next_block.fetch_add(1, Ordering::Relaxed);
+                        if b >= job.n_blocks {
+                            break;
+                        }
+                        f(b);
+                    }
+                }))
+                .is_ok();
+                st = shared.state.lock().expect("pool state poisoned");
+                if !ok {
+                    st.panicked = true;
+                }
+                st.active -= 1;
+                if st.active == 0 {
+                    shared.done_cv.notify_all();
+                }
+                continue;
+            }
+        }
+        st = shared.work_cv.wait(st).expect("pool state poisoned");
+    }
+}
+
+/// Runs `f(block)` for every block in `0..n_blocks` on up to `threads`
+/// participants of the process-wide [`WorkerPool`] and returns the results
+/// **in block order**.
+///
+/// Blocks are claimed from a shared atomic counter, so a slow block does not
 /// stall the queue; determinism is unaffected because the result vector is
 /// indexed by block, not by completion order.  With one worker (or one
-/// block) everything runs on the calling thread — no threads are spawned, so
-/// the sequential path has zero synchronisation cost and, crucially,
-/// produces the *same* per-block results the threaded path reassembles.
+/// block) everything runs on the calling thread — no synchronisation, and,
+/// crucially, the *same* per-block results the threaded path reassembles.
 pub fn run_blocks<R, F>(threads: usize, n_blocks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    WorkerPool::global().run(threads, n_blocks, f)
+}
+
+/// The pre-pool executor: forks a scoped thread team, runs the round, joins.
+///
+/// Functionally identical to [`run_blocks`] (same fixed blocks, same
+/// block-order results) but pays `threads − 1` thread spawns and joins on
+/// **every call** — the ~0.2 ms/round overhead the persistent pool
+/// amortises away.  Kept as the measured baseline of the `executor_round`
+/// benchmark case; production paths should always use [`run_blocks`].
+pub fn run_blocks_scoped<R, F>(threads: usize, n_blocks: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -95,6 +457,91 @@ where
         .collect()
 }
 
+/// A raw pointer asserted to be safe to move across threads.  Every use in
+/// this module hands each thread a *disjoint* region behind the pointer
+/// (slot `b`, or block `b`'s sub-slice), with the round-completion barrier
+/// ordering the writes before the caller reads them back.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derives would add unwanted `T: Clone`/`T: Copy` bounds.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor method (rather than direct field reads) so closures capture
+    /// the whole wrapper — edition-2021 disjoint capture would otherwise pull
+    /// in only the bare `*mut T`, which is deliberately not `Send`/`Sync`.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: see the type docs — disjoint per-block access plus the round
+// barrier make the raw accesses race-free.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Runs `f(block, a_chunk, b_chunk)` over two mutable slices cut into
+/// matching fixed blocks (`a_block` elements of `a` next to `b_block`
+/// elements of `b` per block), on up to `threads` pool participants, and
+/// returns the per-block results **in block order**.
+///
+/// This is the in-place flavour of [`run_blocks`] for the bounds-maintenance
+/// pattern of the accelerated k-means baselines: per row block, Elkan updates
+/// `upper[lo..hi]` alongside the `lower[lo*k..hi*k]` bound matrix rows, and
+/// Hamerly updates `upper` alongside the same-length `lower`.  Block
+/// boundaries depend only on the slice lengths, each block's chunks are
+/// disjoint from every other block's, and the final chunk is simply shorter
+/// when the lengths are not multiples of the block sizes — so the result (and
+/// the slice contents) is bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics when a block length is zero or the two slices disagree on the
+/// number of blocks they form.
+pub fn run_mut_blocks<A, B, R, F>(
+    threads: usize,
+    a: &mut [A],
+    a_block: usize,
+    b: &mut [B],
+    b_block: usize,
+    f: F,
+) -> Vec<R>
+where
+    A: Send,
+    B: Send,
+    R: Send,
+    F: Fn(usize, &mut [A], &mut [B]) -> R + Sync,
+{
+    assert!(a_block > 0 && b_block > 0, "block lengths must be positive");
+    let n_blocks = a.len().div_ceil(a_block);
+    assert_eq!(
+        n_blocks,
+        b.len().div_ceil(b_block),
+        "the two slices must form the same number of blocks"
+    );
+    let (a_len, b_len) = (a.len(), b.len());
+    let pa = SendPtr(a.as_mut_ptr());
+    let pb = SendPtr(b.as_mut_ptr());
+    run_blocks(threads, n_blocks, move |blk| {
+        let a_lo = blk * a_block;
+        let a_hi = ((blk + 1) * a_block).min(a_len);
+        let b_lo = blk * b_block;
+        let b_hi = ((blk + 1) * b_block).min(b_len);
+        // SAFETY: each block index is claimed exactly once and the half-open
+        // ranges of distinct blocks never overlap, so these are disjoint
+        // exclusive borrows; the round barrier orders them before the
+        // caller's slices are touched again.
+        let ca = unsafe { std::slice::from_raw_parts_mut(pa.get().add(a_lo), a_hi - a_lo) };
+        let cb = unsafe { std::slice::from_raw_parts_mut(pb.get().add(b_lo), b_hi - b_lo) };
+        f(blk, ca, cb)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,9 +564,110 @@ mod tests {
     }
 
     #[test]
+    fn run_blocks_scoped_matches_pool_executor() {
+        for threads in [1usize, 2, 4, 7] {
+            assert_eq!(
+                run_blocks_scoped(threads, 23, |b| b * 3 + 1),
+                run_blocks(threads, 23, |b| b * 3 + 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn run_blocks_handles_empty_and_single() {
         assert_eq!(run_blocks(4, 0, |b| b), Vec::<usize>::new());
         assert_eq!(run_blocks(4, 1, |b| b + 10), vec![10]);
+        assert_eq!(run_blocks_scoped(4, 0, |b| b), Vec::<usize>::new());
+        assert_eq!(run_blocks_scoped(4, 1, |b| b + 10), vec![10]);
+    }
+
+    #[test]
+    fn pool_workers_survive_many_rounds() {
+        // The whole point of the pool: thousands of rounds reuse the same
+        // parked workers.  Each round must still merge in block order.
+        let pool = WorkerPool::new();
+        for round in 0..500usize {
+            let out = pool.run(4, 9, |b| b + round);
+            let expect: Vec<usize> = (0..9).map(|b| b + round).collect();
+            assert_eq!(out, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn dedicated_pool_shuts_down_cleanly_on_drop() {
+        let pool = WorkerPool::new();
+        assert_eq!(pool.run(3, 5, |b| b), vec![0, 1, 2, 3, 4]);
+        drop(pool); // joins the resident workers; must not hang or panic
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_sequential_instead_of_deadlocking() {
+        let out = run_blocks(4, 6, |outer| {
+            let inner = run_blocks(4, 3, move |b| outer * 10 + b);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..6).map(|outer| outer * 30 + 3).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panics_propagate_and_leave_the_pool_usable() {
+        let pool = WorkerPool::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, 16, |b| {
+                if b == 7 {
+                    panic!("block body failed");
+                }
+                b
+            })
+        }));
+        assert!(result.is_err(), "the panic must propagate to the caller");
+        // The failed round must not wedge the job slot.
+        assert_eq!(pool.run(4, 4, |b| b * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn run_mut_blocks_updates_matching_chunks_at_any_thread_count() {
+        // Elkan's maintenance shape: n "upper" values next to n*k "lower"
+        // values, k = 3, cut into 4-row blocks (final block short).
+        let k = 3usize;
+        let n = 10usize;
+        let reference: (Vec<f32>, Vec<f32>) = {
+            let mut upper: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let mut lower: Vec<f32> = (0..n * k).map(|i| i as f32 * 0.5).collect();
+            for i in 0..n {
+                upper[i] += 1.0;
+                for c in 0..k {
+                    lower[i * k + c] -= 0.25;
+                }
+            }
+            (upper, lower)
+        };
+        for threads in [1usize, 2, 4, 7] {
+            let mut upper: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let mut lower: Vec<f32> = (0..n * k).map(|i| i as f32 * 0.5).collect();
+            let rows = run_mut_blocks(threads, &mut upper, 4, &mut lower, 4 * k, |_, up, lo| {
+                for u in up.iter_mut() {
+                    *u += 1.0;
+                }
+                for l in lo.iter_mut() {
+                    *l -= 0.25;
+                }
+                up.len()
+            });
+            assert_eq!(rows, vec![4, 4, 2], "threads={threads}");
+            assert_eq!(upper, reference.0, "threads={threads}");
+            assert_eq!(lower, reference.1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of blocks")]
+    fn run_mut_blocks_rejects_mismatched_shapes() {
+        let mut a = [0u8; 10];
+        let mut b = [0u8; 4];
+        let _ = run_mut_blocks(2, &mut a, 2, &mut b, 3, |_, _, _| ());
     }
 
     #[test]
