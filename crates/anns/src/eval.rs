@@ -1,6 +1,10 @@
 //! Batch evaluation of graph-based ANN search: recall@R and throughput.
+//!
+//! The knob-agnostic part of the report lives in [`SearchReport`], which the
+//! IVF serving layer (`crates/ivf`) reuses — running both searchers against
+//! the **same** ground truth yields directly comparable recall/QPS numbers.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use knn_graph::recall::list_recall;
 use knn_graph::{KnnGraph, Neighbor};
@@ -8,11 +12,14 @@ use vecstore::VectorSet;
 
 use crate::search::{GraphSearcher, SearchParams};
 
-/// Result of evaluating a query batch at one `ef` setting.
+/// Recall/throughput figures of one query batch, independent of which
+/// searcher (graph-based or IVF) produced the results.
+///
+/// Both `anns::evaluate` and `ivf::evaluate` build this from the same inputs
+/// (result id lists, exact ground truth, wall-clock, distance evaluations),
+/// so reports from the two serving paths are comparable side by side.
 #[derive(Clone, Copy, Debug)]
-pub struct AnnsReport {
-    /// Candidate-pool size used.
-    pub ef: usize,
+pub struct SearchReport {
     /// Recall@R against the exact ground truth.
     pub recall: f64,
     /// Average query latency in milliseconds.
@@ -21,6 +28,47 @@ pub struct AnnsReport {
     pub qps: f64,
     /// Average number of distance evaluations per query.
     pub avg_distance_evals: f64,
+}
+
+impl SearchReport {
+    /// Builds the report from a measured batch run.
+    ///
+    /// `results[q]` holds the retrieved ids of query `q`; `ground_truth[q]`
+    /// its exact nearest neighbours (at least `r` of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `results` and `ground_truth` disagree on the query count.
+    pub fn from_batch(
+        results: &[Vec<u32>],
+        ground_truth: &[Vec<Neighbor>],
+        r: usize,
+        elapsed: Duration,
+        distance_evals: u64,
+    ) -> Self {
+        assert_eq!(
+            results.len(),
+            ground_truth.len(),
+            "ground truth must cover every query"
+        );
+        let recall = list_recall(results, ground_truth, r);
+        let nq = results.len().max(1) as f64;
+        Self {
+            recall,
+            avg_query_ms: elapsed.as_secs_f64() * 1000.0 / nq,
+            qps: nq / elapsed.as_secs_f64().max(1e-12),
+            avg_distance_evals: distance_evals as f64 / nq,
+        }
+    }
+}
+
+/// Result of evaluating a query batch at one `ef` setting.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnsReport {
+    /// Candidate-pool size used.
+    pub ef: usize,
+    /// The searcher-agnostic recall/throughput figures.
+    pub stats: SearchReport,
 }
 
 /// Runs every query through the searcher and reports recall@`r` plus timing.
@@ -51,14 +99,9 @@ pub fn evaluate(
         results.push(res.into_iter().map(|n| n.id).collect());
     }
     let elapsed = start.elapsed();
-    let recall = list_recall(&results, ground_truth, r);
-    let nq = queries.len().max(1) as f64;
     AnnsReport {
         ef: params.ef,
-        recall,
-        avg_query_ms: elapsed.as_secs_f64() * 1000.0 / nq,
-        qps: nq / elapsed.as_secs_f64().max(1e-12),
-        avg_distance_evals: evals as f64 / nq,
+        stats: SearchReport::from_batch(&results, ground_truth, r, elapsed, evals),
     }
 }
 
@@ -98,12 +141,12 @@ mod tests {
             5,
             SearchParams::default().ef(64).seed(2),
         );
-        assert!(report.recall > 0.85, "recall {}", report.recall);
-        assert!(report.qps > 0.0);
-        assert!(report.avg_query_ms > 0.0);
-        assert!(report.avg_distance_evals > 0.0);
+        assert!(report.stats.recall > 0.85, "recall {}", report.stats.recall);
+        assert!(report.stats.qps > 0.0);
+        assert!(report.stats.avg_query_ms > 0.0);
+        assert!(report.stats.avg_distance_evals > 0.0);
         // graph search must touch far fewer points than brute force
-        assert!(report.avg_distance_evals < base.len() as f64 * 0.9);
+        assert!(report.stats.avg_distance_evals < base.len() as f64 * 0.9);
         assert_eq!(report.ef, 64);
     }
 
@@ -129,8 +172,22 @@ mod tests {
             3,
             SearchParams::default().ef(96).seed(7),
         );
-        assert!(hi.recall >= lo.recall - 0.05);
-        assert!(hi.avg_distance_evals >= lo.avg_distance_evals);
+        assert!(hi.stats.recall >= lo.stats.recall - 0.05);
+        assert!(hi.stats.avg_distance_evals >= lo.stats.avg_distance_evals);
+    }
+
+    #[test]
+    fn search_report_from_batch_computes_averages() {
+        let results = vec![vec![0u32], vec![5]];
+        let truth = vec![
+            vec![Neighbor::new(0, 0.0)],
+            vec![Neighbor::new(4, 0.0)], // miss
+        ];
+        let report = SearchReport::from_batch(&results, &truth, 1, Duration::from_millis(10), 200);
+        assert_eq!(report.recall, 0.5);
+        assert!((report.avg_query_ms - 5.0).abs() < 1e-9);
+        assert_eq!(report.avg_distance_evals, 100.0);
+        assert!(report.qps > 0.0);
     }
 
     #[test]

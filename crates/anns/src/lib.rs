@@ -4,14 +4,30 @@
 //! only useful for clustering but "achieves similar or even better performance
 //! than [HNSW / other graph methods]" when used for ANN search, answering a
 //! query on 100M SIFT descriptors in under 3 ms at recall above 0.9.  This
-//! crate provides the search procedure needed to reproduce that claim at the
-//! harness scale:
+//! crate provides the graph-based search procedure needed to reproduce that
+//! claim at the harness scale:
 //!
 //! * [`search::GraphSearcher`] — greedy best-first search with a bounded
-//!   candidate pool (`ef`), seeded from random entry points, over any
-//!   [`knn_graph::KnnGraph`];
+//!   candidate pool (`ef`), seeded from distinct random entry points, over
+//!   any [`knn_graph::KnnGraph`];
 //! * [`eval`] — batch query evaluation producing recall@R and query
-//!   throughput against an exact ground truth.
+//!   throughput against an exact ground truth, through the searcher-agnostic
+//!   [`eval::SearchReport`].
+//!
+//! # The other query path: the IVF serving index
+//!
+//! Graph search is **not** the only way the workspace serves queries: the
+//! `crates/ivf` subsystem turns any clustering result (GK-means, Lloyd,
+//! Elkan/Hamerly) into an inverted-file index with batched multi-probe
+//! search, and its `ivf::evaluate` produces the same [`eval::SearchReport`]
+//! against the same ground truth, so the two are directly comparable.
+//! Rules of thumb: graph search wins on single-query latency at high recall
+//! targets (it touches a data-dependent neighbourhood and stops early); IVF
+//! wins on batched throughput and operational simplicity — deterministic
+//! cluster-bounded scan cost, contiguous gather-free list panels, trivial
+//! on-disk persistence, and recall dialled by `nprobe` instead of graph
+//! quality.  An IVF index is also the natural way to *serve* the clustering
+//! itself, since its coarse level is exactly the fitted centroids.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

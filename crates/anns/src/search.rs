@@ -7,6 +7,10 @@
 //! does not prescribe a particular search routine — it only states that its
 //! graph supports ANN search competitively — so this is the standard
 //! formulation.
+//!
+//! This is the low-latency single-query path; for batched, cluster-backed
+//! serving of the same data see the `crates/ivf` inverted-file index (the
+//! crate docs compare the two).
 
 use rand::Rng;
 
@@ -118,13 +122,20 @@ impl<'a> GraphSearcher<'a> {
         let mut visited = vec![false; n];
         let mut expanded = vec![false; n];
 
+        // Deduplicated entry seeding: a duplicate draw is re-sampled instead
+        // of consumed, so the pool always starts from `entries` *distinct*
+        // nodes.  (Consuming duplicates silently seeded fewer entry points on
+        // small corpora, starving the pool of diversity.)  Termination is
+        // guaranteed because `entries <= n` distinct unvisited nodes exist.
         let entries = self.params.entry_points.min(n);
-        for _ in 0..entries {
+        let mut seeded = 0usize;
+        while seeded < entries {
             let id = rng.gen_range(0..n) as u32;
             if visited[id as usize] {
                 continue;
             }
             visited[id as usize] = true;
+            seeded += 1;
             let d = l2_sq(query, self.base.row(id as usize));
             stats.distance_evals += 1;
             insert_bounded(&mut pool, Neighbor::new(id, d), ef);
@@ -303,6 +314,35 @@ mod tests {
         let empty_graph = knn_graph::KnnGraph::empty(0, 4);
         let s = GraphSearcher::new(&empty, &empty_graph, SearchParams::default());
         assert!(s.search(&[0.0, 0.0, 0.0], 5).is_empty());
+    }
+
+    #[test]
+    fn entry_points_are_deduplicated() {
+        // Tiny corpus + as many entry points as nodes: duplicate draws are
+        // near-certain, and with an edgeless graph the result depends
+        // *entirely* on the seeded entries.  Deduplicated seeding must visit
+        // every node exactly once, turning the search into an exact scan;
+        // seeding that consumes duplicate draws returns fewer nodes.
+        let n = 6usize;
+        let base = clustered(n, 3, 21);
+        let graph = knn_graph::KnnGraph::empty(n, 4);
+        for seed in 0..20u64 {
+            let params = SearchParams::default().entry_points(n).ef(n).seed(seed);
+            let searcher = GraphSearcher::new(&base, &graph, params);
+            let (res, stats) = searcher.search_with_stats(base.row(0), n);
+            assert_eq!(
+                stats.distance_evals, n as u64,
+                "seed {seed}: every node must be scored exactly once"
+            );
+            let mut ids: Vec<u32> = res.iter().map(|nb| nb.id).collect();
+            ids.sort_unstable();
+            assert_eq!(
+                ids,
+                (0..n as u32).collect::<Vec<_>>(),
+                "seed {seed}: all {n} nodes must be seeded despite duplicate draws"
+            );
+            assert_eq!(res[0].id, 0, "seed {seed}: the query point itself wins");
+        }
     }
 
     #[test]

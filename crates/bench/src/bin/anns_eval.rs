@@ -85,11 +85,11 @@ fn main() {
             table.row(&[
                 name.into(),
                 ef.to_string(),
-                format!("{:.3}", report.recall),
-                format!("{:.3}", report.avg_query_ms),
-                format!("{:.0}", report.avg_distance_evals),
+                format!("{:.3}", report.stats.recall),
+                format!("{:.3}", report.stats.avg_query_ms),
+                format!("{:.0}", report.stats.avg_distance_evals),
             ]);
-            curve.push(report.recall, report.avg_query_ms);
+            curve.push(report.stats.recall, report.stats.avg_query_ms);
         }
         curves.push(curve);
     }

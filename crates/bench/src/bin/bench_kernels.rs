@@ -39,6 +39,14 @@
 //!   executor pays `threads − 1` thread spawns and joins every round, the
 //!   pool a wake and a park;
 //!
+//! plus the serving tier:
+//!
+//! * `ivf_search` in the JSON — batched multi-probe IVF search
+//!   ([`ivf::IvfIndex::batch_search`], block-tiled coarse routing) vs the
+//!   per-query loop over [`ivf::IvfIndex::search`] on the same index at
+//!   d = 128, k = 1024, nprobe = 8.  The two return bit-identical results;
+//!   the batched form amortises the routing tile across the query block;
+//!
 //! and two end-to-end measurements:
 //!
 //! * `threaded_epoch` in the JSON: the GK-means boost epoch (delta-batched
@@ -57,6 +65,7 @@ use std::time::Instant;
 
 use gkmeans::two_means::TwoMeansTree;
 use gkmeans::{GkMeans, GkParams};
+use ivf::{IvfIndex, IvfSearchParams};
 use knn_graph::random::random_graph;
 use vecstore::kernels;
 use vecstore::parallel::{run_blocks, run_blocks_scoped};
@@ -84,6 +93,15 @@ fn epoch_queries(dim: usize) -> usize {
 /// actually cycles, few enough that the round is dominated by executor cost,
 /// not work.
 const EXECUTOR_BLOCKS: usize = 64;
+
+/// Shape of the IVF serving-tier measurement: SIFT dimensionality at the
+/// large-k assignment shape, probing the CI-gated `nprobe`.
+const IVF_N: usize = 16384;
+const IVF_D: usize = 128;
+const IVF_K: usize = 1024;
+const IVF_NPROBE: usize = 8;
+const IVF_R: usize = 10;
+const IVF_QUERIES: usize = 256;
 
 /// Shape of the end-to-end threaded boost-epoch measurement.
 const EPOCH_N: usize = 16384;
@@ -505,6 +523,60 @@ fn main() {
         )
     };
 
+    // Serving tier: batched multi-probe IVF search vs the per-query loop on
+    // the same index.  Results are bit-identical (kernel tiling invariant);
+    // the batched form amortises the m × k routing tile across the block.
+    let ivf_search_json = {
+        let data = VectorSet::from_flat(test_block(IVF_N, IVF_D, 0.7), IVF_D).expect("whole rows");
+        let centroids =
+            VectorSet::from_flat(test_block(IVF_K, IVF_D, 9.1), IVF_D).expect("whole rows");
+        // real nearest-centroid labels so probed lists have genuine locality
+        let mut idx = vec![0u32; IVF_N];
+        let mut best_d = vec![0.0f32; IVF_N];
+        let mut second_d = vec![0.0f32; IVF_N];
+        kernels::assign_block(
+            data.as_flat(),
+            centroids.as_flat(),
+            IVF_D,
+            &vec![0u32; IVF_N],
+            &mut idx,
+            &mut best_d,
+            &mut second_d,
+        );
+        let labels: Vec<usize> = idx.iter().map(|&c| c as usize).collect();
+        let index = IvfIndex::build(&data, &centroids, &labels).expect("well-formed inputs");
+        let queries =
+            VectorSet::from_flat(test_block(IVF_QUERIES, IVF_D, 4.3), IVF_D).expect("whole rows");
+        let params = IvfSearchParams::default().nprobe(IVF_NPROBE).threads(1);
+
+        let per_query_us = time_case(budget_ms, IVF_QUERIES as u64, || {
+            let mut acc = 0.0f32;
+            for q in queries.rows() {
+                let res = index.search(std::hint::black_box(q), IVF_R, params);
+                acc += res.first().map(|n| n.dist).unwrap_or(0.0);
+            }
+            acc
+        }) / 1000.0;
+        let batched_us = time_case(budget_ms, IVF_QUERIES as u64, || {
+            let res = index.batch_search(std::hint::black_box(&queries), IVF_R, params);
+            res.last()
+                .and_then(|r| r.first())
+                .map(|n| n.dist)
+                .unwrap_or(0.0)
+        }) / 1000.0;
+        let speedup = per_query_us / batched_us;
+        println!(
+            "ivf_search             n={IVF_N} d={IVF_D} k={IVF_K} nprobe={IVF_NPROBE} r={IVF_R}: \
+             per-query {per_query_us:.1} us/query, batched {batched_us:.1} us/query ({speedup:.2}x)"
+        );
+        format!(
+            "  \"ivf_search\": {{\"n\": {IVF_N}, \"dim\": {IVF_D}, \"k\": {IVF_K}, \
+             \"nprobe\": {IVF_NPROBE}, \"r\": {IVF_R}, \"queries\": {IVF_QUERIES}, \
+             \"per_query_us\": {per_query_us:.3}, \"batched_us\": {batched_us:.3}, \
+             \"speedup\": {speedup:.3}}},\n"
+        )
+    };
+
     // End-to-end threaded boost epoch: same data, graph and seed, so the
     // sequential and threaded runs do bit-identical work — only wall-clock
     // may differ.  `iter_time` isolates the epochs from init.
@@ -591,6 +663,7 @@ fn main() {
     json.push_str(&format!("  \"epoch_values_per_call\": {EPOCH_VALUES},\n"));
     json.push_str("  \"unit\": \"ns_per_distance_eval\",\n");
     json.push_str(&executor_round_json);
+    json.push_str(&ivf_search_json);
     json.push_str(&threaded_init_json);
     json.push_str(&threaded_epoch_json);
     json.push_str("  \"cases\": [\n");

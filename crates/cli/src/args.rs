@@ -108,6 +108,18 @@ impl Args {
         }
     }
 
+    /// The optional `--threads` knob shared by every worker-pool subcommand:
+    /// absent means "use the `GKM_THREADS` environment default".
+    pub fn threads_opt(&self) -> Result<Option<usize>, String> {
+        match self.optional("threads") {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("--threads expects a non-negative integer, got `{v}`")),
+        }
+    }
+
     /// `true` when the switch was present.
     pub fn flag(&self, key: &str) -> bool {
         self.mark(key);

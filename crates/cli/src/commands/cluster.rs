@@ -46,13 +46,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let xi = args.usize_or("xi", 50)?;
     let tau = args.usize_or("tau", 10)?;
     let seed = args.u64_or("seed", 0)?;
-    let threads = match args.optional("threads") {
-        Some(v) => Some(
-            v.parse::<usize>()
-                .map_err(|_| format!("--threads expects a non-negative integer, got `{v}`"))?,
-        ),
-        None => None,
-    };
+    let threads = args.threads_opt()?;
     let labels_out = args.optional("labels-out");
     let graph_path = args.optional("graph");
     let json = args.flag("json");
@@ -118,9 +112,10 @@ pub fn run(args: &Args) -> Result<(), String> {
 }
 
 /// Dispatches on the method name; returns the clustering plus the graph-
-/// construction time (zero for graph-free methods).
+/// construction time (zero for graph-free methods).  Shared with
+/// `index build`, which turns the fit into an IVF serving index.
 #[allow(clippy::too_many_arguments)]
-fn run_method(
+pub(crate) fn run_method(
     method: &str,
     data: &VectorSet,
     k: usize,

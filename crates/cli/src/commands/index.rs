@@ -1,0 +1,211 @@
+//! `index` — build and query the IVF serving index: `index build` clusters a
+//! base set (any method the `cluster` subcommand supports) and persists the
+//! inverted-file index; `index search` answers query batches from it.
+
+use ivf::{evaluate, IvfIndex, IvfSearchParams};
+use knn_graph::Neighbor;
+use vecstore::io::read_fvecs;
+
+use crate::args::Args;
+use crate::commands::cluster::run_method;
+
+/// Usage text for `index build`.
+pub const BUILD_USAGE: &str = "\
+index build --base <base.fvecs> --k <clusters> --out <index.ivf>
+            [--method gk|gk-trad|bkm|lloyd|kmeans++|minibatch|closure|bisecting|elkan|hamerly|akm|hkm]
+            [--iterations <t>] [--kappa <k>] [--xi <size>] [--tau <rounds>] [--seed <u64>]
+            [--threads <n>] [--graph <graph.bin>]  (same knobs as `cluster`)
+            [--json]                               (machine-readable report)
+Clusters the base set, re-orders it into contiguous per-cluster panels with an
+id remap, and writes the IVF index (centroids + list offsets + ids + panel) as
+a chunked-section file.";
+
+/// Usage text for `index search`.
+pub const SEARCH_USAGE: &str = "\
+index search --index <index.ivf> --queries <queries.fvecs>
+             [--r <neighbours per query>] [--nprobe <lists per query>]
+             [--threads <n>]     (batched search on the worker pool; results
+                                  are bit-identical at any thread count)
+             [--base <base.fvecs>] (compute the exact ground truth from the
+                                  original base set — the same input the
+                                  graph `search` subcommand uses; without it
+                                  the index's own exhaustive nprobe=k scan
+                                  serves as ground truth)
+             [--no-recall]       (timing only, skip the ground truth)
+             [--json]            (machine-readable report)
+Runs every query through the index (batched multi-probe search) and reports
+recall@R, latency, QPS and distance evaluations per query.";
+
+/// Runs `index build`.
+pub fn run_build(args: &Args) -> Result<(), String> {
+    let base_path = args.required("base")?;
+    let k = args.usize_required("k")?;
+    let out = args.required("out")?;
+    let method = args.string_or("method", "lloyd");
+    let iterations = args.usize_or("iterations", 30)?;
+    let kappa = args.usize_or("kappa", 50)?;
+    let xi = args.usize_or("xi", 50)?;
+    let tau = args.usize_or("tau", 10)?;
+    let seed = args.u64_or("seed", 0)?;
+    let threads = args.threads_opt()?;
+    let graph_path = args.optional("graph");
+    let json = args.flag("json");
+    args.finish()?;
+
+    let data = read_fvecs(&base_path).map_err(|e| format!("cannot read {base_path}: {e}"))?;
+    if k == 0 || k > data.len() {
+        return Err(format!(
+            "--k must be between 1 and the number of samples ({})",
+            data.len()
+        ));
+    }
+    let (clustering, _) = run_method(
+        &method,
+        &data,
+        k,
+        iterations,
+        kappa,
+        xi,
+        tau,
+        seed,
+        threads,
+        graph_path.as_deref(),
+    )?;
+    let index = IvfIndex::build(&data, &clustering.centroids, &clustering.labels)
+        .map_err(|e| format!("cannot build the IVF index: {e}"))?;
+    index
+        .save(&out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    let sizes: Vec<usize> = (0..index.nlist()).map(|c| index.list_len(c)).collect();
+    let max_list = sizes.iter().copied().max().unwrap_or(0);
+    let empty_lists = sizes.iter().filter(|&&s| s == 0).count();
+    if json {
+        let report = serde_json::json!({
+            "method": method,
+            "n": index.len(),
+            "dim": index.dim(),
+            "nlist": index.nlist(),
+            "max_list_len": max_list,
+            "empty_lists": empty_lists,
+            "out": out,
+        });
+        println!("{}", serde_json::to_string_pretty(&report).expect("json"));
+    } else {
+        println!(
+            "ivf index: n = {}, d = {}, {} lists (avg {:.1}, max {max_list}, {empty_lists} empty), method {method}",
+            index.len(),
+            index.dim(),
+            index.nlist(),
+            index.len() as f64 / index.nlist() as f64,
+        );
+        println!("written to {out}");
+    }
+    Ok(())
+}
+
+/// Runs `index search`.
+pub fn run_search(args: &Args) -> Result<(), String> {
+    let index_path = args.required("index")?;
+    let query_path = args.required("queries")?;
+    let r = args.usize_or("r", 10)?;
+    let nprobe = args.usize_or("nprobe", 8)?;
+    let threads = args.threads_opt()?;
+    let base_path = args.optional("base");
+    let skip_recall = args.flag("no-recall");
+    let json = args.flag("json");
+    args.finish()?;
+
+    let index =
+        IvfIndex::load(&index_path).map_err(|e| format!("cannot read {index_path}: {e}"))?;
+    let queries = read_fvecs(&query_path).map_err(|e| format!("cannot read {query_path}: {e}"))?;
+    if queries.dim() != index.dim() {
+        return Err(format!(
+            "query dimensionality {} does not match the index's {}",
+            queries.dim(),
+            index.dim()
+        ));
+    }
+    let mut params = IvfSearchParams::default().nprobe(nprobe);
+    if let Some(t) = threads {
+        params = params.threads(t);
+    }
+    // Report the lists a query actually probes (the knob clamped to
+    // 1..=nlist), so text and JSON output agree on the work performed.
+    let nprobe = index.effective_nprobe(nprobe);
+
+    if skip_recall {
+        let start = std::time::Instant::now();
+        let (_, stats) = index.batch_search_with_stats(&queries, r, params);
+        let elapsed = start.elapsed().as_secs_f64();
+        let nq = queries.len();
+        let avg_query_ms = elapsed * 1000.0 / nq as f64;
+        let qps = nq as f64 / elapsed.max(1e-12);
+        let avg_evals = stats.distance_evals as f64 / nq as f64;
+        if json {
+            let out = serde_json::json!({
+                "queries": nq,
+                "r": r,
+                "nprobe": nprobe,
+                "avg_query_ms": avg_query_ms,
+                "qps": qps,
+                "avg_distance_evals": avg_evals,
+            });
+            println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+        } else {
+            println!(
+                "{nq} queries, r = {r}, nprobe = {nprobe}: {avg_query_ms:.3} ms/query, \
+                 {qps:.0} qps, {avg_evals:.1} distance evals/query"
+            );
+        }
+        return Ok(());
+    }
+
+    let truth: Vec<Vec<Neighbor>> = match base_path {
+        Some(path) => {
+            let base = read_fvecs(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            if base.dim() != index.dim() {
+                return Err(format!(
+                    "base dimensionality {} does not match the index's {}",
+                    base.dim(),
+                    index.dim()
+                ));
+            }
+            knn_graph::brute::exact_ground_truth(&base, &queries, r)
+        }
+        // Probing every list is an exhaustive scan, so the index can serve
+        // as its own exact ground truth.  The thread knob (or its
+        // GKM_THREADS default) applies here too — results are bit-identical
+        // at any thread count, so only wall-clock changes.
+        None => {
+            let mut gt_params = IvfSearchParams::default().nprobe(index.nlist());
+            if let Some(t) = threads {
+                gt_params = gt_params.threads(t);
+            }
+            index.batch_search(&queries, r, gt_params)
+        }
+    };
+    let report = evaluate(&index, &queries, &truth, r, params);
+    if json {
+        let out = serde_json::json!({
+            "queries": queries.len(),
+            "r": r,
+            "nprobe": report.nprobe,
+            "recall": report.stats.recall,
+            "avg_query_ms": report.stats.avg_query_ms,
+            "qps": report.stats.qps,
+            "avg_distance_evals": report.stats.avg_distance_evals,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else {
+        println!(
+            "{} queries, r = {r}, nprobe = {nprobe}: recall@{r} = {:.3}, {:.3} ms/query, {:.0} qps, {:.1} distance evals/query",
+            queries.len(),
+            report.stats.recall,
+            report.stats.avg_query_ms,
+            report.stats.qps,
+            report.stats.avg_distance_evals
+        );
+    }
+    Ok(())
+}

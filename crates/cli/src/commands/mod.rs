@@ -3,6 +3,7 @@
 pub mod build_graph;
 pub mod cluster;
 pub mod gen_data;
+pub mod index;
 pub mod info;
 pub mod search;
 

@@ -69,10 +69,10 @@ pub fn run(args: &Args) -> Result<(), String> {
         println!(
             "{} queries, r = {r}, ef = {ef}: recall@{r} = {:.3}, {:.3} ms/query, {:.0} qps, {:.1} distance evals/query",
             queries.len(),
-            report.recall,
-            report.avg_query_ms,
-            report.qps,
-            report.avg_distance_evals
+            report.stats.recall,
+            report.stats.avg_query_ms,
+            report.stats.qps,
+            report.stats.avg_distance_evals
         );
     }
     Ok(())

@@ -1,11 +1,13 @@
 //! `gkm-cli` — command-line front-end for the GK-means reproduction.
 //!
 //! ```text
-//! gkm-cli gen-data    --out base.fvecs --dataset SIFT100K --n 20000
-//! gkm-cli build-graph --base base.fvecs --out graph.bin --method alg3
-//! gkm-cli cluster     --base base.fvecs --k 200 --graph graph.bin --labels-out labels.txt
-//! gkm-cli search      --base base.fvecs --graph graph.bin --queries q.fvecs --r 10
-//! gkm-cli info        --base base.fvecs --graph graph.bin
+//! gkm-cli gen-data     --out base.fvecs --dataset SIFT100K --n 20000
+//! gkm-cli build-graph  --base base.fvecs --out graph.bin --method alg3
+//! gkm-cli cluster      --base base.fvecs --k 200 --graph graph.bin --labels-out labels.txt
+//! gkm-cli search       --base base.fvecs --graph graph.bin --queries q.fvecs --r 10
+//! gkm-cli index build  --base base.fvecs --k 200 --out index.ivf
+//! gkm-cli index search --index index.ivf --queries q.fvecs --r 10 --nprobe 8
+//! gkm-cli info         --base base.fvecs --graph graph.bin
 //! ```
 //!
 //! Every subcommand prints its usage with `gkm-cli help <subcommand>`.
@@ -23,8 +25,13 @@ Subcommands:
   build-graph   build an approximate KNN graph (Alg. 3, NN-Descent, NSW, exact)
   cluster       run GK-means or a baseline k-means variant
   search        ANN search over a saved graph, with recall evaluation
+  index build   cluster a base set and persist an IVF serving index
+  index search  batched multi-probe ANN search over a saved IVF index
   info          inspect a dataset / graph file
   help          show this message or a subcommand's options";
+
+const INDEX_USAGE_HINT: &str =
+    "usage: `index build …` or `index search …`; see `gkm-cli help index`";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +55,14 @@ fn run(argv: &[String]) -> Result<(), String> {
         "build-graph" => commands::build_graph::run(&Args::parse(rest)?),
         "cluster" => commands::cluster::run(&Args::parse(rest)?),
         "search" => commands::search::run(&Args::parse(rest)?),
+        "index" => match rest.first().map(String::as_str) {
+            Some("build") => commands::index::run_build(&Args::parse(&rest[1..])?),
+            Some("search") => commands::index::run_search(&Args::parse(&rest[1..])?),
+            Some(other) => Err(format!(
+                "unknown index action `{other}`; {INDEX_USAGE_HINT}"
+            )),
+            None => Err(format!("missing index action; {INDEX_USAGE_HINT}")),
+        },
         "info" => commands::info::run(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
@@ -55,6 +70,11 @@ fn run(argv: &[String]) -> Result<(), String> {
                 Some("build-graph") => println!("{}", commands::build_graph::USAGE),
                 Some("cluster") => println!("{}", commands::cluster::USAGE),
                 Some("search") => println!("{}", commands::search::USAGE),
+                Some("index") => println!(
+                    "{}\n\n{}",
+                    commands::index::BUILD_USAGE,
+                    commands::index::SEARCH_USAGE
+                ),
                 Some("info") => println!("{}", commands::info::USAGE),
                 _ => println!("{GLOBAL_USAGE}"),
             }
@@ -77,9 +97,112 @@ mod tests {
     fn help_paths_succeed() {
         assert!(run(&[]).is_ok());
         assert!(run(&["help".to_string()]).is_ok());
-        for sub in ["gen-data", "build-graph", "cluster", "search", "info"] {
+        for sub in [
+            "gen-data",
+            "build-graph",
+            "cluster",
+            "search",
+            "index",
+            "info",
+        ] {
             assert!(run(&["help".to_string(), sub.to_string()]).is_ok());
         }
+    }
+
+    #[test]
+    fn index_requires_a_valid_action() {
+        assert!(run(&["index".to_string()]).is_err());
+        assert!(run(&["index".to_string(), "frobnicate".to_string()]).is_err());
+    }
+
+    #[test]
+    fn index_build_then_search_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("gkm-cli-ivf-e2e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.fvecs").to_str().unwrap().to_string();
+        let queries = dir.join("q.fvecs").to_str().unwrap().to_string();
+        let index = dir.join("x.ivf").to_str().unwrap().to_string();
+
+        let cmd = |line: &[&str]| run(&line.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        cmd(&[
+            "gen-data",
+            "--out",
+            &base,
+            "--dataset",
+            "SIFT100K",
+            "--n",
+            "1200",
+            "--queries",
+            "25",
+            "--queries-out",
+            &queries,
+            "--seed",
+            "13",
+        ])
+        .unwrap();
+        cmd(&[
+            "index",
+            "build",
+            "--base",
+            &base,
+            "--k",
+            "20",
+            "--out",
+            &index,
+            "--method",
+            "lloyd",
+            "--iterations",
+            "8",
+            "--seed",
+            "5",
+            "--json",
+        ])
+        .unwrap();
+        assert!(std::fs::metadata(&index).unwrap().len() > 0);
+        // self-ground-truth recall path, ground truth from the base set, the
+        // timing-only path, and the threaded batched path must all succeed
+        cmd(&[
+            "index",
+            "search",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--r",
+            "5",
+            "--nprobe",
+            "4",
+        ])
+        .unwrap();
+        cmd(&[
+            "index",
+            "search",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--r",
+            "5",
+            "--nprobe",
+            "4",
+            "--base",
+            &base,
+            "--json",
+        ])
+        .unwrap();
+        cmd(&[
+            "index",
+            "search",
+            "--index",
+            &index,
+            "--queries",
+            &queries,
+            "--no-recall",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

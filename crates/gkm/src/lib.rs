@@ -11,6 +11,8 @@
 //! * [`gkmeans`] — the paper's contribution: boost k-means, the two-means
 //!   tree, GK-means (Alg. 2) and graph construction by fast k-means (Alg. 3);
 //! * [`anns`] — graph-based approximate nearest-neighbour search;
+//! * [`ivf`] — the cluster-backed inverted-file serving index (batched
+//!   multi-probe search with on-disk persistence);
 //! * [`eval`] — distortion, recall, co-occurrence and reporting utilities.
 //!
 //! The [`prelude`] pulls in the handful of types most programs need.
@@ -37,11 +39,13 @@ pub use baselines;
 pub use datagen;
 pub use eval;
 pub use gkmeans;
+pub use ivf;
 pub use knn_graph;
 pub use vecstore;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use anns::eval::SearchReport;
     pub use anns::{evaluate as evaluate_anns, AnnsReport, GraphSearcher, SearchParams};
     pub use baselines::akm::ApproximateKMeans;
     pub use baselines::bisecting::BisectingKMeans;
@@ -60,6 +64,7 @@ pub mod prelude {
         BoostKMeans, ClusterState, GkMeans, GkMeansPipeline, GkMode, GkParams, KnnGraphBuilder,
         OnlineGkMeans, ParallelKnnGraphBuilder, PipelineOutcome,
     };
+    pub use ivf::{evaluate as evaluate_ivf, IvfIndex, IvfReport, IvfSearchParams};
     pub use knn_graph::brute::{exact_graph, exact_ground_truth};
     pub use knn_graph::nn_descent::{nn_descent, NnDescentParams};
     pub use knn_graph::nsw::{nsw_build, NswParams};

@@ -1,0 +1,168 @@
+//! Batch evaluation of IVF search: recall@R and throughput, comparable with
+//! [`anns::evaluate`] on the same ground truth.
+
+use std::time::Instant;
+
+use anns::eval::SearchReport;
+use knn_graph::Neighbor;
+use vecstore::VectorSet;
+
+use crate::index::IvfIndex;
+use crate::search::IvfSearchParams;
+
+/// Result of evaluating a query batch at one `nprobe` setting.
+///
+/// The knob-agnostic figures live in the shared [`SearchReport`], the same
+/// type [`anns::AnnsReport`] embeds — run both searchers against the same
+/// [`knn_graph::brute::exact_ground_truth`] and the reports are directly
+/// comparable.
+#[derive(Clone, Copy, Debug)]
+pub struct IvfReport {
+    /// Number of probed lists the search **actually used** (the requested
+    /// `nprobe` clamped to `1..=nlist`), so recall-vs-`nprobe` curves plot
+    /// the work performed, not the knob as typed.
+    pub nprobe: usize,
+    /// The searcher-agnostic recall/throughput figures.
+    pub stats: SearchReport,
+}
+
+/// Runs every query through the index (batched) and reports recall@`r` plus
+/// timing.
+///
+/// `ground_truth[q]` must hold the exact nearest neighbours of query `q` (at
+/// least `r` of them), e.g. from [`knn_graph::brute::exact_ground_truth`] —
+/// the same input [`anns::evaluate`] takes.
+///
+/// # Panics
+///
+/// Panics when the ground truth does not cover every query.
+pub fn evaluate(
+    index: &IvfIndex,
+    queries: &VectorSet,
+    ground_truth: &[Vec<Neighbor>],
+    r: usize,
+    params: IvfSearchParams,
+) -> IvfReport {
+    assert_eq!(
+        queries.len(),
+        ground_truth.len(),
+        "ground truth must cover every query"
+    );
+    let start = Instant::now();
+    let (batch, stats) = index.batch_search_with_stats(queries, r, params);
+    let elapsed = start.elapsed();
+    let results: Vec<Vec<u32>> = batch
+        .into_iter()
+        .map(|res| res.into_iter().map(|n| n.id).collect())
+        .collect();
+    IvfReport {
+        nprobe: index.effective_nprobe(params.nprobe),
+        stats: SearchReport::from_batch(&results, ground_truth, r, elapsed, stats.distance_evals),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_graph::brute::exact_ground_truth;
+    use rand::Rng;
+    use vecstore::sample::rng_from_seed;
+
+    /// Connected, mildly clustered data (the corpus shape `anns` evaluates
+    /// on, so the two reports exercise comparable workloads).
+    fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = (i % 8) as f32 * 1.2;
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                row.push(g + rng.gen_range(-1.0..1.0));
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    fn nearest_centroid_labels(data: &VectorSet, centroids: &VectorSet) -> Vec<usize> {
+        use vecstore::distance::l2_sq;
+        data.rows()
+            .map(|row| {
+                (0..centroids.len())
+                    .min_by(|&a, &b| {
+                        l2_sq(row, centroids.row(a))
+                            .partial_cmp(&l2_sq(row, centroids.row(b)))
+                            .unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_probe_evaluation_reports_perfect_recall() {
+        let base = clustered(300, 4, 1);
+        let queries = clustered(20, 4, 50);
+        let centroids = base.gather(&(0..10).collect::<Vec<_>>()).unwrap();
+        let labels = nearest_centroid_labels(&base, &centroids);
+        let index = IvfIndex::build(&base, &centroids, &labels).unwrap();
+        let gt = exact_ground_truth(&base, &queries, 5);
+        let report = evaluate(
+            &index,
+            &queries,
+            &gt,
+            5,
+            IvfSearchParams::default().nprobe(index.nlist()).threads(1),
+        );
+        assert_eq!(report.nprobe, 10);
+        assert_eq!(report.stats.recall, 1.0, "full probe is an exact scan");
+        assert!(report.stats.qps > 0.0);
+        assert!(report.stats.avg_query_ms > 0.0);
+        // routing + full panel scan per query
+        assert_eq!(
+            report.stats.avg_distance_evals,
+            (index.nlist() + base.len()) as f64
+        );
+    }
+
+    #[test]
+    fn recall_is_monotone_in_nprobe_and_cost_grows() {
+        let base = clustered(400, 4, 3);
+        let queries = clustered(25, 4, 60);
+        let centroids = base.gather(&(0..16).collect::<Vec<_>>()).unwrap();
+        let labels = nearest_centroid_labels(&base, &centroids);
+        let index = IvfIndex::build(&base, &centroids, &labels).unwrap();
+        let gt = exact_ground_truth(&base, &queries, 5);
+        let mut last_recall = -1.0f64;
+        let mut last_evals = 0.0f64;
+        for nprobe in [1usize, 2, 4, 8, 16] {
+            let report = evaluate(
+                &index,
+                &queries,
+                &gt,
+                5,
+                IvfSearchParams::default().nprobe(nprobe).threads(1),
+            );
+            assert!(
+                report.stats.recall >= last_recall,
+                "recall dropped from {last_recall} to {} at nprobe {nprobe}",
+                report.stats.recall
+            );
+            assert!(report.stats.avg_distance_evals >= last_evals);
+            last_recall = report.stats.recall;
+            last_evals = report.stats.avg_distance_evals;
+        }
+        assert_eq!(last_recall, 1.0, "nprobe = k must reach exact recall");
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth must cover every query")]
+    fn mismatched_ground_truth_panics() {
+        let base = clustered(50, 3, 5);
+        let queries = clustered(5, 3, 6);
+        let centroids = base.gather(&[0, 1]).unwrap();
+        let labels = nearest_centroid_labels(&base, &centroids);
+        let index = IvfIndex::build(&base, &centroids, &labels).unwrap();
+        let _ = evaluate(&index, &queries, &[], 1, IvfSearchParams::default());
+    }
+}

@@ -1,0 +1,262 @@
+//! The inverted-file index structure: centroids + contiguous list panels.
+
+use vecstore::{Error, Result, VectorSet};
+
+/// A cluster-backed inverted-file ANN index.
+///
+/// Construction re-orders the base vectors into one contiguous row panel per
+/// cluster (ascending original id within a list, so layout is deterministic)
+/// together with an id remap, which makes every list scan a straight
+/// streaming pass — no gather, no indirection — through the batched
+/// one-to-many kernels.
+///
+/// ```
+/// use ivf::{IvfIndex, IvfSearchParams};
+/// use vecstore::VectorSet;
+///
+/// // Four 2-d points in two obvious clusters, plus the fitted centroids.
+/// let data = VectorSet::from_rows(vec![
+///     vec![0.0, 0.0], vec![9.0, 9.0], vec![0.0, 1.0], vec![9.0, 8.0],
+/// ]).unwrap();
+/// let centroids = VectorSet::from_rows(vec![vec![0.0, 0.5], vec![9.0, 8.5]]).unwrap();
+/// let index = IvfIndex::build(&data, &centroids, &[0, 1, 0, 1]).unwrap();
+///
+/// let hits = index.search(&[8.8, 8.9], 1, IvfSearchParams::default().nprobe(1));
+/// assert_eq!(hits[0].id, 1); // the original id, not the panel position
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct IvfIndex {
+    /// `k × d` coarse level: the fitted centroids, row `c` owning list `c`.
+    pub(crate) centroids: VectorSet,
+    /// `k + 1` prefix offsets: list `c` occupies panel rows
+    /// `offsets[c]..offsets[c + 1]`.
+    pub(crate) offsets: Vec<usize>,
+    /// `n × d` re-ordered base vectors, each list contiguous.
+    pub(crate) panel: VectorSet,
+    /// Panel row → original base row (`ids[p]` is the id reported for panel
+    /// row `p`).
+    pub(crate) ids: Vec<u32>,
+}
+
+impl IvfIndex {
+    /// Builds an index from a clustering result: the base vectors, the fitted
+    /// `k × d` centroids and one label per base row (`labels[i] ∈ 0..k`).
+    ///
+    /// Any of the workspace's fitters produces suitable inputs — e.g. a
+    /// `baselines::common::Clustering` via its `centroids`/`labels` fields,
+    /// or a GK-means outcome.  Empty clusters are fine (their lists are
+    /// empty); `k` need not be smaller than `n`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] when data and centroids disagree on `d`;
+    /// * [`Error::EmptyInput`] when there are no centroids;
+    /// * [`Error::InvalidParameter`] when the label count differs from the
+    ///   row count, a label is out of range, or `n` exceeds `u32::MAX`
+    ///   (ids are stored as `u32`).
+    pub fn build(data: &VectorSet, centroids: &VectorSet, labels: &[usize]) -> Result<Self> {
+        if centroids.is_empty() {
+            return Err(Error::EmptyInput(
+                "IVF index requires at least one centroid",
+            ));
+        }
+        if data.dim() != centroids.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: centroids.dim(),
+                found: data.dim(),
+            });
+        }
+        if labels.len() != data.len() {
+            return Err(Error::InvalidParameter(format!(
+                "{} labels for {} base rows",
+                labels.len(),
+                data.len()
+            )));
+        }
+        if data.len() > u32::MAX as usize {
+            return Err(Error::InvalidParameter(format!(
+                "{} base rows exceed the u32 id space",
+                data.len()
+            )));
+        }
+        let k = centroids.len();
+        let d = data.dim();
+
+        // Counting sort by label, stable in ascending original id: cluster
+        // sizes → prefix offsets → one placement sweep.
+        let mut sizes = vec![0usize; k];
+        for (i, &l) in labels.iter().enumerate() {
+            if l >= k {
+                return Err(Error::InvalidParameter(format!(
+                    "label {l} of row {i} is out of range for k = {k}"
+                )));
+            }
+            sizes[l] += 1;
+        }
+        let mut offsets = Vec::with_capacity(k + 1);
+        offsets.push(0usize);
+        for &s in &sizes {
+            offsets.push(offsets.last().expect("non-empty") + s);
+        }
+
+        let mut panel_flat = vec![0.0f32; data.len() * d];
+        let mut ids = vec![0u32; data.len()];
+        let mut cursor = offsets[..k].to_vec();
+        for (i, &l) in labels.iter().enumerate() {
+            let p = cursor[l];
+            cursor[l] += 1;
+            panel_flat[p * d..(p + 1) * d].copy_from_slice(data.row(i));
+            ids[p] = i as u32;
+        }
+        let panel = VectorSet::from_flat(panel_flat, d)?;
+
+        Ok(Self {
+            centroids: centroids.clone(),
+            offsets,
+            panel,
+            ids,
+        })
+    }
+
+    /// Number of inverted lists (the clustering's `k`).
+    #[inline]
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Dimensionality of the indexed vectors.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.centroids.dim()
+    }
+
+    /// Number of indexed base vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no vectors are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of vectors in list `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= self.nlist()`.
+    #[inline]
+    pub fn list_len(&self, c: usize) -> usize {
+        self.offsets[c + 1] - self.offsets[c]
+    }
+
+    /// The contiguous vector panel and original ids of list `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= self.nlist()`.
+    pub fn list(&self, c: usize) -> (&[f32], &[u32]) {
+        let d = self.dim();
+        let (lo, hi) = (self.offsets[c], self.offsets[c + 1]);
+        (&self.panel.as_flat()[lo * d..hi * d], &self.ids[lo..hi])
+    }
+
+    /// The coarse level: the fitted centroids.
+    #[inline]
+    pub fn centroids(&self) -> &VectorSet {
+        &self.centroids
+    }
+
+    /// The number of lists a search with the requested `nprobe` actually
+    /// probes: the value clamped to `1..=nlist`.  The single source of truth
+    /// for the clamp — the scan loop, the evaluation report and the CLI all
+    /// derive the effective value from here.
+    #[inline]
+    pub fn effective_nprobe(&self, requested: usize) -> usize {
+        requested.clamp(1, self.nlist())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (VectorSet, VectorSet, Vec<usize>) {
+        let data = VectorSet::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![9.0, 9.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+            vec![9.0, 8.0],
+        ])
+        .unwrap();
+        let centroids =
+            VectorSet::from_rows(vec![vec![0.0, 0.5], vec![5.0, 5.0], vec![9.0, 8.5]]).unwrap();
+        let labels = vec![0usize, 2, 0, 1, 2];
+        (data, centroids, labels)
+    }
+
+    #[test]
+    fn build_remaps_rows_into_contiguous_lists() {
+        let (data, centroids, labels) = sample();
+        let index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+        assert_eq!(index.nlist(), 3);
+        assert_eq!(index.len(), 5);
+        assert_eq!(index.dim(), 2);
+        assert_eq!(index.list_len(0), 2);
+        assert_eq!(index.list_len(1), 1);
+        assert_eq!(index.list_len(2), 2);
+
+        // within a list, ascending original id; panel rows match the remap
+        let (rows0, ids0) = index.list(0);
+        assert_eq!(ids0, &[0, 2]);
+        assert_eq!(rows0, &[0.0, 0.0, 0.0, 1.0]);
+        let (rows2, ids2) = index.list(2);
+        assert_eq!(ids2, &[1, 4]);
+        assert_eq!(rows2, &[9.0, 9.0, 9.0, 8.0]);
+    }
+
+    #[test]
+    fn build_allows_empty_lists_and_empty_data() {
+        let data = VectorSet::from_rows(vec![vec![1.0], vec![2.0]]).unwrap();
+        let centroids = VectorSet::from_rows(vec![vec![0.0], vec![1.5], vec![9.0]]).unwrap();
+        let index = IvfIndex::build(&data, &centroids, &[1, 1]).unwrap();
+        assert_eq!(index.list_len(0), 0);
+        assert_eq!(index.list_len(1), 2);
+        assert_eq!(index.list_len(2), 0);
+
+        let empty = VectorSet::zeros(0, 1).unwrap();
+        let index = IvfIndex::build(&empty, &centroids, &[]).unwrap();
+        assert!(index.is_empty());
+        assert_eq!(index.nlist(), 3);
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        let (data, centroids, labels) = sample();
+        // wrong label count
+        assert!(matches!(
+            IvfIndex::build(&data, &centroids, &labels[..3]).unwrap_err(),
+            Error::InvalidParameter(_)
+        ));
+        // out-of-range label
+        assert!(matches!(
+            IvfIndex::build(&data, &centroids, &[0, 1, 2, 3, 0]).unwrap_err(),
+            Error::InvalidParameter(_)
+        ));
+        // dim mismatch
+        let wrong_d = VectorSet::from_rows(vec![vec![0.0, 0.5, 1.0]]).unwrap();
+        assert!(matches!(
+            IvfIndex::build(&data, &wrong_d, &[0, 0, 0, 0, 0]).unwrap_err(),
+            Error::DimensionMismatch { .. }
+        ));
+        // no centroids
+        let no_c = VectorSet::zeros(0, 2).unwrap();
+        assert!(matches!(
+            IvfIndex::build(&data, &no_c, &labels).unwrap_err(),
+            Error::EmptyInput(_)
+        ));
+    }
+}

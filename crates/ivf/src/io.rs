@@ -1,0 +1,249 @@
+//! Index persistence: the IVF index as a chunked-section file.
+//!
+//! The on-disk form is `vecstore::io`'s sectioned container
+//! ([`vecstore::io::write_sections_to`]) holding four sections:
+//!
+//! | tag        | payload |
+//! |------------|---------|
+//! | `IVFCENTR` | the `k × d` centroid matrix, native [`vecstore::VectorSet`] encoding |
+//! | `IVFOFFS`  | `k + 1` little-endian `u64` prefix list offsets |
+//! | `IVFIDS`   | `n` little-endian `u32` panel-row → original-id entries |
+//! | `IVFPANEL` | the `n × d` re-ordered vector panel, native encoding |
+//!
+//! Readers validate the cross-section invariants (monotonic offsets covering
+//! exactly the panel, matching dimensionalities) so a corrupted file fails
+//! loudly instead of serving wrong neighbours.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use vecstore::io::{
+    read_sections_from, vector_set_from_bytes, vector_set_to_bytes, write_sections_to, Section,
+};
+use vecstore::{Error, Result};
+
+use crate::index::IvfIndex;
+
+const TAG_CENTROIDS: &str = "IVFCENTR";
+const TAG_OFFSETS: &str = "IVFOFFS";
+const TAG_IDS: &str = "IVFIDS";
+const TAG_PANEL: &str = "IVFPANEL";
+
+fn u64s_to_bytes(values: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    out
+}
+
+fn u64s_from_bytes(bytes: &[u8], what: &str) -> Result<Vec<usize>> {
+    if bytes.len() % 8 != 0 {
+        return Err(Error::MalformedFile(format!(
+            "{what} payload of {} bytes is not whole u64 values",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
+        .collect())
+}
+
+fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn u32s_from_bytes(bytes: &[u8], what: &str) -> Result<Vec<u32>> {
+    if bytes.len() % 4 != 0 {
+        return Err(Error::MalformedFile(format!(
+            "{what} payload of {} bytes is not whole u32 values",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect())
+}
+
+impl IvfIndex {
+    /// Writes the index to `path` (see the module docs for the layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] for underlying I/O failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = File::create(path)?;
+        self.write_to(BufWriter::new(file))
+    }
+
+    /// Writes the index to an arbitrary writer.
+    pub fn write_to(&self, writer: impl Write) -> Result<()> {
+        let sections = vec![
+            Section::new(TAG_CENTROIDS, vector_set_to_bytes(&self.centroids)),
+            Section::new(TAG_OFFSETS, u64s_to_bytes(&self.offsets)),
+            Section::new(TAG_IDS, u32s_to_bytes(&self.ids)),
+            Section::new(TAG_PANEL, vector_set_to_bytes(&self.panel)),
+        ];
+        write_sections_to(writer, &sections)
+    }
+
+    /// Reads an index written by [`IvfIndex::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedFile`] when a section is missing, malformed
+    /// or the cross-section invariants do not hold, and [`Error::Io`] for
+    /// underlying I/O failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let file = File::open(path)?;
+        Self::read_from(BufReader::new(file))
+    }
+
+    /// Reads an index from an arbitrary reader.
+    pub fn read_from(reader: impl Read) -> Result<Self> {
+        let sections = read_sections_from(reader)?;
+        let find = |tag: &str| -> Result<&Section> {
+            sections
+                .iter()
+                .find(|s| s.has_tag(tag))
+                .ok_or_else(|| Error::MalformedFile(format!("missing `{tag}` section")))
+        };
+        let centroids = vector_set_from_bytes(&find(TAG_CENTROIDS)?.payload)?;
+        let offsets = u64s_from_bytes(&find(TAG_OFFSETS)?.payload, TAG_OFFSETS)?;
+        let ids = u32s_from_bytes(&find(TAG_IDS)?.payload, TAG_IDS)?;
+        let panel = vector_set_from_bytes(&find(TAG_PANEL)?.payload)?;
+
+        // Cross-section invariants: a violated one means the file cannot
+        // describe a well-formed index, whatever the individual sections say.
+        if centroids.is_empty() {
+            return Err(Error::MalformedFile("index holds no centroids".into()));
+        }
+        if panel.dim() != centroids.dim() {
+            return Err(Error::MalformedFile(format!(
+                "panel dimensionality {} does not match centroids' {}",
+                panel.dim(),
+                centroids.dim()
+            )));
+        }
+        if offsets.len() != centroids.len() + 1 {
+            return Err(Error::MalformedFile(format!(
+                "{} offsets for {} lists (expected k + 1)",
+                offsets.len(),
+                centroids.len()
+            )));
+        }
+        if offsets[0] != 0
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || *offsets.last().expect("k + 1 >= 2 entries") != panel.len()
+        {
+            return Err(Error::MalformedFile(
+                "list offsets are not a monotone prefix covering the panel".into(),
+            ));
+        }
+        if ids.len() != panel.len() {
+            return Err(Error::MalformedFile(format!(
+                "{} id remap entries for {} panel rows",
+                ids.len(),
+                panel.len()
+            )));
+        }
+        Ok(Self {
+            centroids,
+            offsets,
+            panel,
+            ids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IvfSearchParams;
+    use vecstore::VectorSet;
+
+    fn sample_index() -> IvfIndex {
+        let data = VectorSet::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![9.0, 9.0],
+            vec![0.0, 1.0],
+            vec![9.0, 8.0],
+        ])
+        .unwrap();
+        let centroids = VectorSet::from_rows(vec![vec![0.0, 0.5], vec![9.0, 8.5]]).unwrap();
+        IvfIndex::build(&data, &centroids, &[0, 1, 0, 1]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_index_and_answers() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        let back = IvfIndex::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, index);
+        let params = IvfSearchParams::default().nprobe(2).threads(1);
+        assert_eq!(
+            back.search(&[8.5, 8.5], 2, params),
+            index.search(&[8.5, 8.5], 2, params)
+        );
+    }
+
+    #[test]
+    fn round_trip_with_empty_lists_and_empty_panel() {
+        let centroids = VectorSet::from_rows(vec![vec![0.0], vec![5.0]]).unwrap();
+        let empty = VectorSet::zeros(0, 1).unwrap();
+        let index = IvfIndex::build(&empty, &centroids, &[]).unwrap();
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        assert_eq!(IvfIndex::read_from(buf.as_slice()).unwrap(), index);
+    }
+
+    #[test]
+    fn load_rejects_missing_sections_and_broken_invariants() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+
+        // drop the ids section
+        let sections: Vec<Section> = read_sections_from(buf.as_slice())
+            .unwrap()
+            .into_iter()
+            .filter(|s| !s.has_tag(TAG_IDS))
+            .collect();
+        let mut missing = Vec::new();
+        write_sections_to(&mut missing, &sections).unwrap();
+        assert!(matches!(
+            IvfIndex::read_from(missing.as_slice()).unwrap_err(),
+            Error::MalformedFile(_)
+        ));
+
+        // corrupt the offsets so they no longer cover the panel
+        let mut sections = read_sections_from(buf.as_slice()).unwrap();
+        for s in &mut sections {
+            if s.has_tag(TAG_OFFSETS) {
+                s.payload = u64s_to_bytes(&[0, 1, 999]);
+            }
+        }
+        let mut broken = Vec::new();
+        write_sections_to(&mut broken, &sections).unwrap();
+        assert!(IvfIndex::read_from(broken.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("ivf-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.ivf");
+        let index = sample_index();
+        index.save(&path).unwrap();
+        assert_eq!(IvfIndex::load(&path).unwrap(), index);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

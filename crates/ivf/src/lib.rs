@@ -1,0 +1,63 @@
+//! IVF serving subsystem: a cluster-backed inverted-file ANN index.
+//!
+//! Sec. 4.3 of the paper argues that the GK-means output is not just a
+//! clustering but a *search structure*.  This crate makes that concrete: an
+//! [`IvfIndex`] is built from **any** fit result of the workspace — GK-means,
+//! Lloyd, Elkan/Hamerly; anything that yields centroids plus per-sample
+//! labels — and serves nearest-neighbour queries with the canonical
+//! cluster-then-search (FAISS-style inverted file) structure:
+//!
+//! * **Build** ([`IvfIndex::build`]) — the base vectors are re-ordered into
+//!   one contiguous panel per cluster with an id remap, so a list scan is a
+//!   straight streaming pass over memory (gather-free) through the batched
+//!   one-to-many kernels.
+//! * **Route** — a query block is scored against all `k` centroids in one
+//!   register-blocked `m × k` distance tile
+//!   ([`vecstore::kernels::l2_sq_many_to_many`]); each query probes its
+//!   `nprobe` closest lists.
+//! * **Scan** — every probed list streams through
+//!   [`vecstore::kernels::l2_sq_one_to_many`] into a bounded top-`R` pool
+//!   ordered by `(distance, original id)`.
+//! * **Batch** ([`IvfIndex::batch_search`]) — queries are cut into fixed
+//!   [`search::QUERY_BLOCK`]-row blocks executed on
+//!   [`vecstore::parallel::WorkerPool`] and merged in block order, the same
+//!   discipline as the training engines: results are **bit-identical at any
+//!   thread count**.  Per-query work is independent and the kernel tiling
+//!   invariant makes the 1-query routing tile agree bit-for-bit with the
+//!   blocked tile, so the batched API also returns exactly what a per-query
+//!   loop returns — threading and batching change wall-clock only.
+//! * **Persist** ([`IvfIndex::save`] / [`IvfIndex::load`]) — the index is a
+//!   chunked-section file in `vecstore::io`'s native container format
+//!   (centroids, list offsets, id remap, vector panel — one section each).
+//! * **Evaluate** ([`evaluate`]) — batch recall@R / QPS against the same
+//!   exact ground truth `anns::evaluate` consumes, reported through the
+//!   shared [`anns::eval::SearchReport`], so graph search and IVF search are
+//!   directly comparable.
+//!
+//! # Exactness and monotonicity
+//!
+//! Because every base vector lives in exactly one list, probing all lists
+//! (`nprobe = k`) *is* an exhaustive scan: the result equals brute-force
+//! top-`R` exactly.  Growing `nprobe` only ever adds candidates to a pool
+//! keyed by a total order, so recall@R is non-decreasing in `nprobe`.  Both
+//! properties are pinned by the test suite.
+//!
+//! # When to use which searcher
+//!
+//! The graph searcher ([`anns::GraphSearcher`]) wins on single-query latency
+//! at high recall (data-dependent neighbourhood expansion, early stopping);
+//! the IVF index wins on batched throughput, bounded per-query cost
+//! (`k + nprobe · avg_list_len` evaluations, known in advance), trivial
+//! persistence, and serving the clustering itself.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod eval;
+pub mod index;
+pub mod io;
+pub mod search;
+
+pub use eval::{evaluate, IvfReport};
+pub use index::IvfIndex;
+pub use search::{IvfSearchParams, IvfSearchStats};

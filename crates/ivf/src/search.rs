@@ -1,0 +1,382 @@
+//! Multi-probe IVF search: tiled coarse routing + streaming list scans,
+//! batched over the persistent worker pool.
+
+use knn_graph::Neighbor;
+use vecstore::kernels;
+use vecstore::parallel::{effective_threads, run_blocks, threads_from_env};
+use vecstore::VectorSet;
+
+use crate::index::IvfIndex;
+
+/// Query rows per fixed batch block.
+///
+/// The block is both the routing-tile height (64 queries against all `k`
+/// centroids per [`kernels::l2_sq_many_to_many`] call) and the unit of work
+/// the worker pool schedules.  The boundary depends only on the query count,
+/// never on the thread count — the structural rule behind the bit-identical
+/// guarantee.
+pub const QUERY_BLOCK: usize = 64;
+
+/// Search-time parameters of the IVF index.
+#[derive(Clone, Copy, Debug)]
+pub struct IvfSearchParams {
+    /// Number of closest lists each query probes.  Clamped to `1..=nlist`;
+    /// `nprobe = nlist` is an exhaustive (exact) scan.
+    pub nprobe: usize,
+    /// Worker threads for the batched API (`None` = the `GKM_THREADS`
+    /// environment default, like every other engine knob).  Results are
+    /// bit-identical at any thread count; threads change wall-clock only.
+    pub threads: Option<usize>,
+}
+
+impl Default for IvfSearchParams {
+    fn default() -> Self {
+        Self {
+            nprobe: 8,
+            threads: threads_from_env(),
+        }
+    }
+}
+
+impl IvfSearchParams {
+    /// Sets the number of probed lists.
+    #[must_use]
+    pub fn nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count of the batched API.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+}
+
+/// Aggregate cost counters of a (batch) search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IvfSearchStats {
+    /// Total distance evaluations: `nlist` coarse evaluations per query plus
+    /// every scanned list row.
+    pub distance_evals: u64,
+}
+
+/// Inserts into an ascending pool bounded to `cap` entries, ordered by
+/// `(dist, id)` — a total order, so the retained top-`cap` set is independent
+/// of insertion order (what makes `nprobe = nlist` exactly brute force).
+///
+/// Deliberately *not* shared with the similar helpers in `anns`/`knn-graph`:
+/// those reject an at-capacity candidate on a distance tie (`cand.dist >=
+/// worst.dist`), which is fine for approximate pools but would make the
+/// retained set depend on scan order here and break the exactness invariant.
+/// This one applies the full `(dist, id)` order on the rejection path too.
+fn insert_bounded(pool: &mut Vec<Neighbor>, cand: Neighbor, cap: usize) {
+    if pool.len() >= cap {
+        if let Some(worst) = pool.last() {
+            if (cand.dist, cand.id) >= (worst.dist, worst.id) {
+                return;
+            }
+        }
+    }
+    let pos = pool.partition_point(|n| (n.dist, n.id) < (cand.dist, cand.id));
+    pool.insert(pos, cand);
+    if pool.len() > cap {
+        pool.pop();
+    }
+}
+
+impl IvfIndex {
+    /// Returns the (approximate) `r` nearest indexed vectors of `query`,
+    /// ascending by `(distance, id)` with original base ids.
+    ///
+    /// Equivalent to a one-query batch; see [`IvfIndex::batch_search`] for
+    /// the throughput-oriented form.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `query.len() != self.dim()`.
+    pub fn search(&self, query: &[f32], r: usize, params: IvfSearchParams) -> Vec<Neighbor> {
+        self.search_with_stats(query, r, params).0
+    }
+
+    /// [`IvfIndex::search`] plus cost counters.
+    pub fn search_with_stats(
+        &self,
+        query: &[f32],
+        r: usize,
+        params: IvfSearchParams,
+    ) -> (Vec<Neighbor>, IvfSearchStats) {
+        assert_eq!(
+            query.len(),
+            self.dim(),
+            "query dimensionality {} does not match the index's {}",
+            query.len(),
+            self.dim()
+        );
+        let mut results = Vec::with_capacity(1);
+        let evals = self.search_block(query, r, params.nprobe, &mut results);
+        (
+            results.pop().unwrap_or_default(),
+            IvfSearchStats {
+                distance_evals: evals,
+            },
+        )
+    }
+
+    /// Batched multi-probe search: every query row of `queries` is answered
+    /// with its `r` nearest indexed vectors (ascending by `(distance, id)`,
+    /// original base ids).
+    ///
+    /// Queries are cut into fixed [`QUERY_BLOCK`]-row blocks executed on the
+    /// process-wide [`vecstore::parallel::WorkerPool`] and merged in block
+    /// order.  Per-query work is independent and the routing tile is
+    /// bit-identical across blockings (the kernel tiling invariant), so the
+    /// output equals a sequential per-query loop **bit for bit** at any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries.dim() != self.dim()` (unless `queries` is empty).
+    pub fn batch_search(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        params: IvfSearchParams,
+    ) -> Vec<Vec<Neighbor>> {
+        self.batch_search_with_stats(queries, r, params).0
+    }
+
+    /// [`IvfIndex::batch_search`] plus aggregate cost counters.
+    pub fn batch_search_with_stats(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        params: IvfSearchParams,
+    ) -> (Vec<Vec<Neighbor>>, IvfSearchStats) {
+        if queries.is_empty() {
+            return (Vec::new(), IvfSearchStats::default());
+        }
+        assert_eq!(
+            queries.dim(),
+            self.dim(),
+            "query dimensionality {} does not match the index's {}",
+            queries.dim(),
+            self.dim()
+        );
+        let nq = queries.len();
+        let d = self.dim();
+        let n_blocks = nq.div_ceil(QUERY_BLOCK);
+        let threads = effective_threads(params.threads);
+        let flat = queries.as_flat();
+        let per_block = run_blocks(threads, n_blocks, |b| {
+            let lo = b * QUERY_BLOCK;
+            let hi = ((b + 1) * QUERY_BLOCK).min(nq);
+            let mut results = Vec::with_capacity(hi - lo);
+            let evals = self.search_block(&flat[lo * d..hi * d], r, params.nprobe, &mut results);
+            (results, evals)
+        });
+        let mut results = Vec::with_capacity(nq);
+        let mut stats = IvfSearchStats::default();
+        for (block_results, evals) in per_block {
+            results.extend(block_results);
+            stats.distance_evals += evals;
+        }
+        (results, stats)
+    }
+
+    /// Answers one block of queries (`qs` holding whole rows of `self.dim()`
+    /// values): routes the block through one `m × k` centroid tile, then
+    /// streams each probed list through the batched one-to-many kernel into a
+    /// bounded top-`r` pool.  Appends one result vector per query to
+    /// `results` and returns the distance evaluations spent.
+    fn search_block(
+        &self,
+        qs: &[f32],
+        r: usize,
+        nprobe: usize,
+        results: &mut Vec<Vec<Neighbor>>,
+    ) -> u64 {
+        let d = self.dim();
+        let m = qs.len() / d;
+        let k = self.nlist();
+        let nprobe = self.effective_nprobe(nprobe);
+        if r == 0 {
+            results.extend(std::iter::repeat_with(Vec::new).take(m));
+            return 0;
+        }
+
+        // Coarse routing: one register-blocked distance tile for the whole
+        // block (for m = 1 this is bit-identical to the blocked form, so the
+        // per-query loop and the batched API agree exactly).
+        let mut tile = vec![0.0f32; m * k];
+        kernels::l2_sq_many_to_many(qs, self.centroids.as_flat(), d, &mut tile);
+        let mut evals = (m as u64) * (k as u64);
+
+        let panel = self.panel.as_flat();
+        let mut probes: Vec<Neighbor> = Vec::with_capacity(nprobe + 1);
+        let mut dists: Vec<f32> = Vec::new();
+        for (q, tile_row) in tile.chunks_exact(k).enumerate() {
+            // `nprobe` closest lists by (distance, list id) — a total order,
+            // so the probe set is independent of the fold order.
+            probes.clear();
+            for (c, &dist) in tile_row.iter().enumerate() {
+                insert_bounded(&mut probes, Neighbor::new(c as u32, dist), nprobe);
+            }
+
+            let query = &qs[q * d..(q + 1) * d];
+            let mut pool: Vec<Neighbor> = Vec::with_capacity(r + 1);
+            for probe in &probes {
+                let c = probe.id as usize;
+                let (lo, hi) = (self.offsets[c], self.offsets[c + 1]);
+                if lo == hi {
+                    continue;
+                }
+                dists.resize(hi - lo, 0.0);
+                kernels::l2_sq_one_to_many(query, &panel[lo * d..hi * d], &mut dists);
+                evals += (hi - lo) as u64;
+                for (p, &dist) in (lo..hi).zip(&dists) {
+                    insert_bounded(&mut pool, Neighbor::new(self.ids[p], dist), r);
+                }
+            }
+            results.push(pool);
+        }
+        evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use vecstore::distance::l2_sq;
+    use vecstore::sample::rng_from_seed;
+
+    /// Integer-lattice corpus: distances are exact small integers in f32, so
+    /// every kernel tier agrees bit for bit and brute-force comparisons are
+    /// exact rather than tolerance-based.
+    fn lattice(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            rows.push((0..dim).map(|_| rng.gen_range(0..7) as f32).collect());
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    /// Exhaustive top-`r` by `(dist, id)` through the pairwise kernel.
+    fn brute_top_r(data: &VectorSet, query: &[f32], r: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = data
+            .rows()
+            .enumerate()
+            .map(|(i, row)| Neighbor::new(i as u32, l2_sq(query, row)))
+            .collect();
+        all.sort_by(|a, b| (a.dist, a.id).partial_cmp(&(b.dist, b.id)).unwrap());
+        all.truncate(r);
+        all
+    }
+
+    /// A small fitted index: k lists over a lattice corpus, labels from a
+    /// nearest-centroid assignment so lists have real locality.
+    fn fitted_index(n: usize, dim: usize, k: usize, seed: u64) -> (VectorSet, IvfIndex) {
+        let data = lattice(n, dim, seed);
+        let centroids = data.gather(&(0..k).collect::<Vec<_>>()).unwrap();
+        let labels: Vec<usize> = data
+            .rows()
+            .map(|row| {
+                brute_top_r(&centroids, row, 1)
+                    .first()
+                    .map(|n| n.id as usize)
+                    .unwrap()
+            })
+            .collect();
+        let index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+        (data, index)
+    }
+
+    #[test]
+    fn full_probe_equals_brute_force_exactly() {
+        let (data, index) = fitted_index(120, 4, 9, 3);
+        let queries = lattice(17, 4, 77);
+        let params = IvfSearchParams::default().nprobe(index.nlist()).threads(1);
+        let results = index.batch_search(&queries, 5, params);
+        for (q, query) in queries.rows().enumerate() {
+            let truth = brute_top_r(&data, query, 5);
+            assert_eq!(results[q], truth, "query {q}");
+        }
+    }
+
+    #[test]
+    fn batched_equals_per_query_loop_bit_for_bit() {
+        let (_, index) = fitted_index(150, 3, 8, 5);
+        let queries = lattice(70, 3, 99); // > QUERY_BLOCK with a short tail
+        let params = IvfSearchParams::default().nprobe(3).threads(1);
+        let batched = index.batch_search(&queries, 4, params);
+        for (q, query) in queries.rows().enumerate() {
+            assert_eq!(batched[q], index.search(query, 4, params), "query {q}");
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_with_original_ids_and_exact_distances() {
+        let (data, index) = fitted_index(90, 5, 6, 8);
+        let q = data.row(31).to_vec();
+        let (res, stats) = index.search_with_stats(&q, 7, IvfSearchParams::default().nprobe(2));
+        assert!(!res.is_empty());
+        assert_eq!(res[0].id, 31, "the query point itself must win");
+        assert_eq!(res[0].dist, 0.0);
+        for w in res.windows(2) {
+            assert!((w[0].dist, w[0].id) <= (w[1].dist, w[1].id));
+        }
+        for nb in &res {
+            assert_eq!(nb.dist, l2_sq(&q, data.row(nb.id as usize)));
+        }
+        // routing cost (nlist) plus at least one scanned row
+        assert!(stats.distance_evals > index.nlist() as u64);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (_, index) = fitted_index(40, 3, 5, 11);
+        // r = 0
+        assert!(index
+            .search(&[0.0, 0.0, 0.0], 0, IvfSearchParams::default())
+            .is_empty());
+        // no queries
+        let empty = VectorSet::zeros(0, 3).unwrap();
+        assert!(index
+            .batch_search(&empty, 3, IvfSearchParams::default())
+            .is_empty());
+        // r larger than the probed candidate count still returns what exists
+        let res = index.search(
+            &[1.0, 1.0, 1.0],
+            1000,
+            IvfSearchParams::default().nprobe(index.nlist()),
+        );
+        assert_eq!(res.len(), index.len());
+        // empty index: routing works, every result list is empty
+        let data = VectorSet::zeros(0, 2).unwrap();
+        let centroids = VectorSet::from_rows(vec![vec![0.0, 0.0]]).unwrap();
+        let idx = IvfIndex::build(&data, &centroids, &[]).unwrap();
+        assert!(idx
+            .search(&[1.0, 2.0], 3, IvfSearchParams::default())
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality")]
+    fn mismatched_query_dim_panics() {
+        let (_, index) = fitted_index(20, 3, 4, 13);
+        let _ = index.search(&[0.0, 0.0], 1, IvfSearchParams::default());
+    }
+
+    #[test]
+    fn nprobe_is_clamped() {
+        let (_, index) = fitted_index(30, 2, 4, 17);
+        let q = [1.0f32, 2.0];
+        // nprobe far above nlist behaves as an exhaustive scan
+        let a = index.search(&q, 3, IvfSearchParams::default().nprobe(10_000));
+        let b = index.search(&q, 3, IvfSearchParams::default().nprobe(index.nlist()));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! IVF serving invariants on real clustering fits:
+//!
+//! * recall@R is **non-decreasing in `nprobe`**;
+//! * `nprobe = k` equals brute-force top-R **exactly**;
+//! * batched multi-threaded search is **bit-identical** for
+//!   threads ∈ {1, 2, 4, 7} and equals the per-query loop;
+//! * save → load round-trips every index shape (empty lists, d = 1,
+//!   unaligned record counts) and preserves answers.
+
+use baselines::common::KMeansConfig;
+use baselines::lloyd::LloydKMeans;
+use ivf::{evaluate, IvfIndex, IvfSearchParams};
+use knn_graph::brute::exact_ground_truth;
+use knn_graph::Neighbor;
+use proptest::prelude::*;
+use rand::Rng;
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+/// Integer-lattice corpus: distances are exact small integers in f32, so
+/// every kernel tier agrees bit for bit and "exactly" means `==`.
+fn lattice(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut rng = rng_from_seed(seed);
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push((0..dim).map(|_| rng.gen_range(0..6) as f32).collect());
+    }
+    VectorSet::from_rows(rows).unwrap()
+}
+
+/// Clustered float corpus (the shape the anns tests use).
+fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut rng = rng_from_seed(seed);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = (i % 10) as f32 * 1.3;
+        rows.push((0..dim).map(|_| g + rng.gen_range(-1.0..1.0)).collect());
+    }
+    VectorSet::from_rows(rows).unwrap()
+}
+
+/// An index built from a real Lloyd fit — the "any clustering result" the
+/// serving layer is specified against.
+fn lloyd_index(data: &VectorSet, k: usize, seed: u64) -> IvfIndex {
+    let fit = LloydKMeans::new(KMeansConfig::with_k(k).max_iters(15).seed(seed)).fit(data);
+    IvfIndex::build(data, &fit.centroids, &fit.labels).unwrap()
+}
+
+fn brute_top_r(data: &VectorSet, query: &[f32], r: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = data
+        .rows()
+        .enumerate()
+        .map(|(i, row)| Neighbor::new(i as u32, l2_sq(query, row)))
+        .collect();
+    all.sort_by(|a, b| (a.dist, a.id).partial_cmp(&(b.dist, b.id)).unwrap());
+    all.truncate(r);
+    all
+}
+
+#[test]
+fn recall_is_non_decreasing_in_nprobe_on_a_lloyd_fit() {
+    let base = clustered(600, 6, 2);
+    let queries = clustered(40, 6, 91);
+    let index = lloyd_index(&base, 20, 7);
+    let gt = exact_ground_truth(&base, &queries, 10);
+    let mut last = -1.0f64;
+    for nprobe in [1usize, 2, 3, 5, 8, 13, 20] {
+        let report = evaluate(
+            &index,
+            &queries,
+            &gt,
+            10,
+            IvfSearchParams::default().nprobe(nprobe).threads(1),
+        );
+        assert!(
+            report.stats.recall >= last,
+            "recall dropped from {last} to {} at nprobe = {nprobe}",
+            report.stats.recall
+        );
+        last = report.stats.recall;
+    }
+    assert_eq!(last, 1.0, "probing every list must reach recall 1.0");
+}
+
+#[test]
+fn full_probe_equals_brute_force_exactly_on_a_lloyd_fit() {
+    let base = lattice(500, 8, 4);
+    let queries = lattice(30, 8, 71);
+    let index = lloyd_index(&base, 16, 3);
+    let params = IvfSearchParams::default().nprobe(index.nlist()).threads(1);
+    let results = index.batch_search(&queries, 10, params);
+    for (q, query) in queries.rows().enumerate() {
+        assert_eq!(results[q], brute_top_r(&base, query, 10), "query {q}");
+    }
+}
+
+#[test]
+fn batched_search_is_bit_identical_at_any_thread_count() {
+    let base = clustered(900, 5, 6);
+    // enough queries for several QUERY_BLOCK blocks plus an unaligned tail
+    let queries = clustered(333, 5, 17);
+    let index = lloyd_index(&base, 24, 9);
+    let reference =
+        index.batch_search(&queries, 7, IvfSearchParams::default().nprobe(4).threads(1));
+    for threads in [2usize, 4, 7] {
+        let got = index.batch_search(
+            &queries,
+            7,
+            IvfSearchParams::default().nprobe(4).threads(threads),
+        );
+        assert_eq!(got.len(), reference.len());
+        for (q, (a, b)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(a, b, "threads = {threads}, query {q}");
+        }
+    }
+    // the batched API also equals the sequential per-query loop bit for bit
+    let params = IvfSearchParams::default().nprobe(4).threads(1);
+    for (q, query) in queries.rows().enumerate() {
+        assert_eq!(reference[q], index.search(query, 7, params), "query {q}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Save → load round-trips arbitrary index shapes, including d = 1,
+    /// k > n (guaranteed empty lists) and unaligned record counts, and the
+    /// loaded index answers queries identically.
+    #[test]
+    fn save_load_round_trip_preserves_index_and_answers(
+        n in 0usize..40,
+        d in 1usize..9,
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let data = lattice(n, d, seed);
+        let centroids = lattice(k, d, seed ^ 0xc0ffee);
+        let mut rng = rng_from_seed(seed ^ 0xbeef);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+        let index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        let back = IvfIndex::read_from(buf.as_slice()).unwrap();
+        prop_assert_eq!(&back, &index);
+
+        let query: Vec<f32> = (0..d).map(|i| (i % 5) as f32).collect();
+        let params = IvfSearchParams::default().nprobe(2).threads(1);
+        prop_assert_eq!(
+            back.search(&query, 3, params),
+            index.search(&query, 3, params)
+        );
+    }
+}

@@ -7,6 +7,17 @@
 //! available and the synthetic generators otherwise; the writers make the
 //! synthetic workloads exportable so they can be compared against the
 //! original C++ implementation.
+//!
+//! On top of the flat record formats this module provides a **chunked
+//! container** extension of the native format ([`write_sections_to`] /
+//! [`read_sections_from`]): a magic/version header followed by tagged,
+//! length-prefixed sections.  Composite on-disk artefacts — the IVF serving
+//! index is the first — store each constituent (centroid matrix, list
+//! offsets, id remap, vector panels) as its own section, so readers can
+//! validate shapes section by section and future fields extend the format
+//! without breaking old readers' framing.  [`vector_set_to_bytes`] /
+//! [`vector_set_from_bytes`] round-trip a [`VectorSet`] through the native
+//! encoding for use as a section payload.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -171,6 +182,35 @@ pub fn read_bvecs_from(mut reader: impl Read) -> Result<VectorSet> {
     VectorSet::from_flat(data, dim)
 }
 
+/// Writes `bvecs` records (byte-quantised descriptors).
+///
+/// The inverse of [`read_bvecs_from`]: every component must already be an
+/// integer in `0..=255` (the widened form the reader produces), otherwise the
+/// set is not representable in the format.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when a component is not a `u8`-exact
+/// value, and [`Error::Io`] for underlying I/O failures.
+pub fn write_bvecs_to(mut writer: impl Write, data: &VectorSet) -> Result<()> {
+    let dim = data.dim() as i32;
+    let mut record = vec![0u8; data.dim()];
+    for (i, row) in data.rows().enumerate() {
+        for (slot, &v) in record.iter_mut().zip(row) {
+            if !(0.0..=255.0).contains(&v) || v.fract() != 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "bvecs component {v} of row {i} is not an integer in 0..=255"
+                )));
+            }
+            *slot = v as u8;
+        }
+        writer.write_all(&dim.to_le_bytes())?;
+        writer.write_all(&record)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
 /// Native compact binary format: `u64 n`, `u64 d`, then `n·d` little-endian
 /// `f32` values.  Roughly 4 bytes/component with an 16-byte header, used by
 /// the harness to cache generated workloads between runs.
@@ -216,6 +256,153 @@ pub fn read_native_from(mut reader: impl Read) -> Result<VectorSet> {
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
     VectorSet::from_flat(data, d)
+}
+
+/// Magic bytes opening a chunked (sectioned) container file.
+pub const SECTION_MAGIC: [u8; 4] = *b"GKSC";
+
+/// Current version of the chunked container framing.
+pub const SECTION_VERSION: u32 = 1;
+
+/// One tagged, length-prefixed chunk of a sectioned container.
+///
+/// The tag is a fixed 8-byte field (short ASCII names padded with spaces);
+/// the payload is opaque to the framing layer — composite formats such as the
+/// IVF index define their own payload encodings per tag (typically the native
+/// [`VectorSet`] encoding via [`vector_set_to_bytes`], or packed
+/// little-endian integers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// 8-byte section tag (space-padded ASCII by convention).
+    pub tag: [u8; 8],
+    /// Raw section payload.
+    pub payload: Vec<u8>,
+}
+
+impl Section {
+    /// Creates a section, space-padding `tag` to 8 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tag` is longer than 8 bytes — tags are compile-time
+    /// constants of the composite format, so a long tag is a programming
+    /// error, not an input error.
+    pub fn new(tag: &str, payload: Vec<u8>) -> Self {
+        assert!(tag.len() <= 8, "section tag `{tag}` exceeds 8 bytes");
+        let mut t = [b' '; 8];
+        t[..tag.len()].copy_from_slice(tag.as_bytes());
+        Self { tag: t, payload }
+    }
+
+    /// `true` when this section carries the (space-padded) tag `tag`.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        Self::new(tag, Vec::new()).tag == self.tag
+    }
+}
+
+/// Writes a chunked container: [`SECTION_MAGIC`], [`SECTION_VERSION`], the
+/// section count, then each section as `tag (8 bytes) · payload length (u64)
+/// · payload`.
+pub fn write_sections_to(mut writer: impl Write, sections: &[Section]) -> Result<()> {
+    writer.write_all(&SECTION_MAGIC)?;
+    writer.write_all(&SECTION_VERSION.to_le_bytes())?;
+    writer.write_all(&(sections.len() as u64).to_le_bytes())?;
+    for section in sections {
+        writer.write_all(&section.tag)?;
+        writer.write_all(&(section.payload.len() as u64).to_le_bytes())?;
+        writer.write_all(&section.payload)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Classifies a framing-read failure: a clean end-of-file means the file is
+/// truncated ([`Error::MalformedFile`]); any other kind is a genuine I/O
+/// failure ([`Error::Io`]) that callers may retry rather than treat as
+/// permanent corruption.
+fn framing_error(e: std::io::Error, what: &str) -> Error {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        Error::MalformedFile(format!("truncated {what}: {e}"))
+    } else {
+        Error::Io(e)
+    }
+}
+
+/// Reads a chunked container written by [`write_sections_to`], returning the
+/// sections in file order (duplicate tags are preserved; consumers decide
+/// their semantics).
+///
+/// # Errors
+///
+/// Returns [`Error::MalformedFile`] on a bad magic, an unsupported version or
+/// truncated framing, and [`Error::Io`] for underlying I/O failures.
+pub fn read_sections_from(mut reader: impl Read) -> Result<Vec<Section>> {
+    let mut header = [0u8; 16];
+    reader
+        .read_exact(&mut header)
+        .map_err(|e| framing_error(e, "container header"))?;
+    if header[0..4] != SECTION_MAGIC {
+        return Err(Error::MalformedFile(format!(
+            "bad container magic {:?}",
+            &header[0..4]
+        )));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+    if version != SECTION_VERSION {
+        return Err(Error::MalformedFile(format!(
+            "unsupported container version {version} (expected {SECTION_VERSION})"
+        )));
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice")) as usize;
+    let mut sections = Vec::with_capacity(count.min(1024));
+    for i in 0..count {
+        let mut tag = [0u8; 8];
+        reader
+            .read_exact(&mut tag)
+            .map_err(|e| framing_error(e, &format!("tag of section {i}")))?;
+        let mut len_buf = [0u8; 8];
+        reader
+            .read_exact(&mut len_buf)
+            .map_err(|e| framing_error(e, &format!("length of section {i}")))?;
+        let len = u64::from_le_bytes(len_buf);
+        // Read through `take` into a growable buffer rather than
+        // pre-allocating `len` bytes: a corrupted length field then fails
+        // with MalformedFile below instead of aborting on a huge allocation.
+        let mut payload = Vec::new();
+        let took = reader.by_ref().take(len).read_to_end(&mut payload)?;
+        if (took as u64) < len {
+            return Err(Error::MalformedFile(format!(
+                "truncated payload of section {i}: {took} of {len} bytes"
+            )));
+        }
+        sections.push(Section { tag, payload });
+    }
+    Ok(sections)
+}
+
+/// Encodes a [`VectorSet`] with the native format into an in-memory buffer,
+/// the canonical payload encoding for matrix-valued sections.
+pub fn vector_set_to_bytes(data: &VectorSet) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + data.as_flat().len() * 4);
+    write_native_to(&mut buf, data).expect("in-memory write cannot fail");
+    buf
+}
+
+/// Decodes a [`VectorSet`] from a native-format section payload.
+///
+/// # Errors
+///
+/// Returns [`Error::MalformedFile`] on truncated or trailing bytes.
+pub fn vector_set_from_bytes(bytes: &[u8]) -> Result<VectorSet> {
+    let mut cursor = std::io::Cursor::new(bytes);
+    let set = read_native_from(&mut cursor)?;
+    if cursor.position() != bytes.len() as u64 {
+        return Err(Error::MalformedFile(format!(
+            "{} trailing bytes after the vector-set payload",
+            bytes.len() as u64 - cursor.position()
+        )));
+    }
+    Ok(set)
 }
 
 enum ReadStatus {
@@ -343,6 +530,86 @@ mod tests {
         write_native_to(&mut buf, &vs).unwrap();
         buf.truncate(buf.len() - 1);
         assert!(read_native_from(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn bvecs_round_trip_and_validation() {
+        let vs = VectorSet::from_rows(vec![vec![0.0, 255.0, 17.0], vec![3.0, 4.0, 5.0]]).unwrap();
+        let mut buf = Vec::new();
+        write_bvecs_to(&mut buf, &vs).unwrap();
+        assert_eq!(buf.len(), 2 * (4 + 3));
+        assert_eq!(read_bvecs_from(Cursor::new(buf)).unwrap(), vs);
+
+        let bad = VectorSet::from_rows(vec![vec![0.5, 1.0]]).unwrap();
+        assert!(matches!(
+            write_bvecs_to(Vec::new(), &bad).unwrap_err(),
+            Error::InvalidParameter(_)
+        ));
+        let out_of_range = VectorSet::from_rows(vec![vec![256.0, 1.0]]).unwrap();
+        assert!(write_bvecs_to(Vec::new(), &out_of_range).is_err());
+    }
+
+    #[test]
+    fn sections_round_trip_preserving_order_and_duplicates() {
+        let sections = vec![
+            Section::new("CENTROID", vector_set_to_bytes(&sample())),
+            Section::new("EMPTY", Vec::new()),
+            Section::new("EMPTY", vec![1, 2, 3]),
+        ];
+        let mut buf = Vec::new();
+        write_sections_to(&mut buf, &sections).unwrap();
+        let back = read_sections_from(Cursor::new(buf)).unwrap();
+        assert_eq!(back, sections);
+        assert!(back[0].has_tag("CENTROID"));
+        assert!(back[1].has_tag("EMPTY") && back[2].has_tag("EMPTY"));
+        assert_eq!(vector_set_from_bytes(&back[0].payload).unwrap(), sample());
+    }
+
+    #[test]
+    fn sections_allow_zero_sections() {
+        let mut buf = Vec::new();
+        write_sections_to(&mut buf, &[]).unwrap();
+        assert!(read_sections_from(Cursor::new(buf)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sections_reject_bad_magic_version_and_truncation() {
+        let mut buf = Vec::new();
+        write_sections_to(&mut buf, &[Section::new("X", vec![9; 32])]).unwrap();
+
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'!';
+        assert!(matches!(
+            read_sections_from(Cursor::new(bad_magic)).unwrap_err(),
+            Error::MalformedFile(_)
+        ));
+
+        let mut bad_version = buf.clone();
+        bad_version[4] = 0xfe;
+        assert!(read_sections_from(Cursor::new(bad_version)).is_err());
+
+        let mut truncated = buf.clone();
+        truncated.truncate(buf.len() - 5);
+        assert!(read_sections_from(Cursor::new(truncated)).is_err());
+    }
+
+    #[test]
+    fn vector_set_bytes_reject_trailing_garbage() {
+        let mut bytes = vector_set_to_bytes(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            vector_set_from_bytes(&bytes).unwrap_err(),
+            Error::MalformedFile(_)
+        ));
+    }
+
+    #[test]
+    fn vector_set_bytes_round_trip_empty_set() {
+        let empty = VectorSet::zeros(0, 5).unwrap();
+        let bytes = vector_set_to_bytes(&empty);
+        let back = vector_set_from_bytes(&bytes).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(back.dim(), 5);
     }
 
     #[test]

@@ -76,9 +76,9 @@ fn main() {
                 name.into(),
                 format!("{build:.2?}"),
                 ef.to_string(),
-                format!("{:.3}", report.recall),
-                format!("{:.3}", report.avg_query_ms),
-                format!("{:.0}", report.avg_distance_evals),
+                format!("{:.3}", report.stats.recall),
+                format!("{:.3}", report.stats.avg_query_ms),
+                format!("{:.0}", report.stats.avg_distance_evals),
             ]);
         }
     }

@@ -36,13 +36,17 @@ fn ann_search_recall_improves_with_ef_on_gk_graph() {
         SearchParams::default().ef(128).entry_points(16).seed(1),
     );
     assert!(
-        high.recall >= low.recall - 0.02,
+        high.stats.recall >= low.stats.recall - 0.02,
         "ef=128 {} vs ef=8 {}",
-        high.recall,
-        low.recall
+        high.stats.recall,
+        low.stats.recall
     );
-    assert!(high.avg_distance_evals > low.avg_distance_evals);
-    assert!(high.recall > 0.45, "recall at ef=128: {}", high.recall);
+    assert!(high.stats.avg_distance_evals > low.stats.avg_distance_evals);
+    assert!(
+        high.stats.recall > 0.45,
+        "recall at ef=128: {}",
+        high.stats.recall
+    );
 }
 
 #[test]
@@ -67,11 +71,69 @@ fn exact_graph_search_is_an_upper_bound_for_approximate_graph_search() {
     let on_exact = evaluate_anns(&base, &exact, &queries, &gt, 5, params);
     let on_approx = evaluate_anns(&base, &approx, &queries, &gt, 5, params);
     assert!(
-        on_exact.recall >= on_approx.recall - 0.05,
+        on_exact.stats.recall >= on_approx.stats.recall - 0.05,
         "exact-graph search ({}) should not trail approximate-graph search ({})",
-        on_exact.recall,
-        on_approx.recall
+        on_exact.stats.recall,
+        on_approx.stats.recall
     );
+}
+
+#[test]
+fn graph_and_ivf_reports_are_comparable_on_the_same_ground_truth() {
+    // One GK-means pipeline run feeds *both* serving paths: its graph drives
+    // the greedy graph searcher, its clustering becomes the IVF index.  Both
+    // evaluations consume the identical exact ground truth and produce the
+    // shared `SearchReport`, so the numbers are directly comparable.
+    let w = Workload::generate_with_n(PaperDataset::Sift100K, 2_200, 61);
+    let (base, queries) = w.data.split_at(2_150).unwrap();
+    let gt = exact_ground_truth(&base, &queries, 10);
+
+    let params = GkParams::default()
+        .kappa(10)
+        .xi(25)
+        .tau(4)
+        .iterations(8)
+        .seed(11)
+        .record_trace(false);
+    let outcome = GkMeansPipeline::new(params).cluster(&base, 24);
+    let graph = outcome.graph;
+    let clustering = &outcome.clustering;
+
+    let graph_report = evaluate_anns(
+        &base,
+        &graph,
+        &queries,
+        &gt,
+        10,
+        SearchParams::default().ef(64).entry_points(16).seed(5),
+    );
+
+    let index = IvfIndex::build(&base, &clustering.centroids, &clustering.labels).unwrap();
+    let ivf_report = evaluate_ivf(
+        &index,
+        &queries,
+        &gt,
+        10,
+        IvfSearchParams::default().nprobe(6).threads(1),
+    );
+
+    // Both paths must be genuinely serving: sub-brute-force cost, usable
+    // recall, and a full-probe IVF run is exact by construction.
+    assert!(
+        graph_report.stats.recall > 0.4,
+        "{}",
+        graph_report.stats.recall
+    );
+    assert!(ivf_report.stats.recall > 0.4, "{}", ivf_report.stats.recall);
+    assert!(ivf_report.stats.avg_distance_evals < base.len() as f64 * 0.9);
+    let exact = evaluate_ivf(
+        &index,
+        &queries,
+        &gt,
+        10,
+        IvfSearchParams::default().nprobe(index.nlist()).threads(1),
+    );
+    assert_eq!(exact.stats.recall, 1.0);
 }
 
 #[test]

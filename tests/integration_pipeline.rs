@@ -185,11 +185,11 @@ fn graph_built_by_pipeline_supports_ann_search() {
         SearchParams::default().ef(64).entry_points(16).seed(19),
     );
     assert!(
-        report.recall > 0.5,
+        report.stats.recall > 0.5,
         "ANN recall through the Alg.3 graph too low: {}",
-        report.recall
+        report.stats.recall
     );
-    assert!(report.avg_distance_evals < base.len() as f64 * 0.5);
+    assert!(report.stats.avg_distance_evals < base.len() as f64 * 0.5);
 }
 
 #[test]
