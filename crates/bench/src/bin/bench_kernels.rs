@@ -47,6 +47,13 @@
 //!   d = 128, k = 1024, nprobe = 8.  The two return bit-identical results;
 //!   the batched form amortises the routing tile across the query block;
 //!
+//! plus the durability tier:
+//!
+//! * `gksc_load` in the JSON — [`ivf::IvfIndex::load`] throughput on the
+//!   checksummed GKSC v2 container vs a legacy unchecksummed v1 image of the
+//!   same index; the CI gate holds the v2 ratio at ≥ 0.8× (hardware CRC-32C
+//!   keeps verification in the noise of the parse);
+//!
 //! and two end-to-end measurements:
 //!
 //! * `threaded_epoch` in the JSON: the GK-means boost epoch (delta-batched
@@ -577,6 +584,64 @@ fn main() {
         )
     };
 
+    // Durable-container load throughput: the checksummed GKSC v2 read path
+    // vs a legacy unchecksummed v1 image of the same index.  The CI gate
+    // holds v2 at ≥ 0.8× the v1 throughput: the CRC pass must stay in the
+    // noise of the parse + copy work, which is what the hardware CRC-32C
+    // dispatch buys.
+    let gksc_load_json = {
+        use std::io::Write as _;
+
+        let data = VectorSet::from_flat(test_block(IVF_N, IVF_D, 0.7), IVF_D).expect("whole rows");
+        let centroids =
+            VectorSet::from_flat(test_block(IVF_K, IVF_D, 9.1), IVF_D).expect("whole rows");
+        let labels: Vec<usize> = (0..IVF_N).map(|i| i % IVF_K).collect();
+        let index = IvfIndex::build(&data, &centroids, &labels).expect("well-formed inputs");
+
+        let dir = std::env::temp_dir().join(format!("gkm-bench-gksc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create bench temp dir");
+        let v2_path = dir.join("index_v2.ivf");
+        let v1_path = dir.join("index_v1.ivf");
+        index
+            .save(v2_path.to_str().expect("utf-8 path"))
+            .expect("save v2");
+        let sections =
+            vecstore::io::read_sections_from(std::fs::File::open(&v2_path).expect("reopen v2"))
+                .expect("parse v2");
+        let mut v1_file =
+            std::io::BufWriter::new(std::fs::File::create(&v1_path).expect("create v1"));
+        vecstore::io::write_sections_v1_to(&mut v1_file, &sections).expect("write v1");
+        v1_file.flush().expect("flush v1");
+        drop(v1_file);
+        let bytes = std::fs::metadata(&v2_path).expect("stat v2").len();
+
+        let time_load = |path: &std::path::Path| -> f64 {
+            let p = path.to_str().expect("utf-8 path");
+            std::hint::black_box(IvfIndex::load(p).expect("load")); // warm the page cache
+            let mut best = f64::INFINITY;
+            for _ in 0..TIME_CHUNKS {
+                let start = Instant::now();
+                let loaded = IvfIndex::load(p).expect("load");
+                best = best.min(start.elapsed().as_secs_f64());
+                std::hint::black_box(loaded);
+            }
+            best
+        };
+        let v2_ms = time_load(&v2_path) * 1e3;
+        let v1_ms = time_load(&v1_path) * 1e3;
+        let ratio = v1_ms / v2_ms;
+        std::fs::remove_dir_all(&dir).ok();
+        let crc_impl = vecstore::checksum::active_impl();
+        println!(
+            "gksc_load              {bytes} bytes via {crc_impl}: \
+             v1 {v1_ms:.2} ms, v2 {v2_ms:.2} ms ({ratio:.2}x of v1 throughput)"
+        );
+        format!(
+            "  \"gksc_load\": {{\"bytes\": {bytes}, \"checksum_impl\": \"{crc_impl}\", \
+             \"v1_ms\": {v1_ms:.3}, \"v2_ms\": {v2_ms:.3}, \"ratio_vs_v1\": {ratio:.3}}},\n"
+        )
+    };
+
     // End-to-end threaded boost epoch: same data, graph and seed, so the
     // sequential and threaded runs do bit-identical work — only wall-clock
     // may differ.  `iter_time` isolates the epochs from init.
@@ -664,6 +729,7 @@ fn main() {
     json.push_str("  \"unit\": \"ns_per_distance_eval\",\n");
     json.push_str(&executor_round_json);
     json.push_str(&ivf_search_json);
+    json.push_str(&gksc_load_json);
     json.push_str(&threaded_init_json);
     json.push_str(&threaded_epoch_json);
     json.push_str("  \"cases\": [\n");

@@ -13,6 +13,7 @@ use vecstore::io::read_fvecs;
 use vecstore::sample::{rng_from_seed, sample_distinct};
 
 use crate::args::Args;
+use crate::error::CliError;
 
 /// Usage text for `build-graph`.
 pub const USAGE: &str = "\
@@ -24,7 +25,7 @@ Builds the KNN graph with Alg. 3 (GK-means-driven construction), NN-Descent,
 NSW or exhaustive search, and reports the construction cost.";
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> Result<(), String> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     let base_path = args.required("base")?;
     let out = args.required("out")?;
     let method = args.string_or("method", "alg3");
@@ -36,7 +37,8 @@ pub fn run(args: &Args) -> Result<(), String> {
     let recall_samples = args.usize_or("estimate-recall", 0)?;
     args.finish()?;
 
-    let data = read_fvecs(&base_path).map_err(|e| format!("cannot read {base_path}: {e}"))?;
+    let data = read_fvecs(&base_path)
+        .map_err(|e| CliError::store(format!("cannot read {base_path}"), e))?;
     println!("loaded {} × {} from {base_path}", data.len(), data.dim());
 
     let params = GkParams::default()
@@ -101,14 +103,14 @@ pub fn run(args: &Args) -> Result<(), String> {
             "exhaustive O(n²·d) construction".to_string(),
         ),
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown method `{other}`; expected alg3, alg3-par, nn-descent, nsw or exact"
-            ))
+            )))
         }
     };
     let elapsed = start.elapsed();
 
-    write_graph(&out, &graph).map_err(|e| format!("cannot write {out}: {e}"))?;
+    write_graph(&out, &graph).map_err(|e| CliError::graph(format!("cannot write {out}"), e))?;
     println!(
         "built `{method}` graph (k = {}, mean degree {:.1}) in {:.2}s — {cost_note}",
         graph.k(),
@@ -121,7 +123,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         let mut rng = rng_from_seed(seed ^ 0x7ec);
         let count = recall_samples.min(data.len());
         let sample_ids = sample_distinct(&mut rng, data.len(), count)
-            .map_err(|e| format!("cannot sample recall subset: {e}"))?;
+            .map_err(|e| CliError::Internal(format!("cannot sample recall subset: {e}")))?;
         let truth = exact_neighbors_of_subset(&data, &sample_ids, 1);
         let recall = estimated_recall_at_1(&graph, &sample_ids, &truth);
         println!("estimated recall@1 over {count} samples: {recall:.3}");

@@ -20,6 +20,7 @@ use vecstore::VectorSet;
 
 use crate::args::Args;
 use crate::commands::write_labels;
+use crate::error::CliError;
 
 /// Usage text for `cluster`.
 pub const USAGE: &str = "\
@@ -37,7 +38,7 @@ Clusters the base set and prints the distortion, per-phase timing and distance
 evaluation counts (the cost model the paper reports).";
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> Result<(), String> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     let base_path = args.required("base")?;
     let k = args.usize_required("k")?;
     let method = args.string_or("method", "gk");
@@ -52,12 +53,13 @@ pub fn run(args: &Args) -> Result<(), String> {
     let json = args.flag("json");
     args.finish()?;
 
-    let data = read_fvecs(&base_path).map_err(|e| format!("cannot read {base_path}: {e}"))?;
+    let data = read_fvecs(&base_path)
+        .map_err(|e| CliError::store(format!("cannot read {base_path}"), e))?;
     if k == 0 || k > data.len() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--k must be between 1 and the number of samples ({})",
             data.len()
-        ));
+        )));
     }
 
     let (clustering, graph_time) = run_method(
@@ -126,7 +128,7 @@ pub(crate) fn run_method(
     seed: u64,
     threads: Option<usize>,
     graph_path: Option<&str>,
-) -> Result<(Clustering, Duration), String> {
+) -> Result<(Clustering, Duration), CliError> {
     let mut cfg = KMeansConfig::with_k(k).max_iters(iterations).seed(seed);
     let mut gk_params = GkParams::default()
         .kappa(kappa)
@@ -139,10 +141,11 @@ pub(crate) fn run_method(
         gk_params = gk_params.threads(t);
     }
 
-    let run_pipeline = |params: GkParams| -> Result<(Clustering, Duration), String> {
+    let run_pipeline = |params: GkParams| -> Result<(Clustering, Duration), CliError> {
         let pipeline = GkMeansPipeline::new(params);
         let outcome = if let Some(path) = graph_path {
-            let graph = read_graph(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let graph =
+                read_graph(path).map_err(|e| CliError::graph(format!("cannot read {path}"), e))?;
             pipeline.cluster_with_graph(data, k, graph, Duration::ZERO)
         } else {
             pipeline.cluster(data, k)
@@ -168,8 +171,8 @@ pub(crate) fn run_method(
         "hamerly" => Ok((HamerlyKMeans::new(cfg).fit(data), Duration::ZERO)),
         "akm" => Ok((ApproximateKMeans::new(cfg).fit(data), Duration::ZERO)),
         "hkm" => Ok((HierarchicalKMeans::new(cfg).fit(data), Duration::ZERO)),
-        other => Err(format!(
+        other => Err(CliError::Usage(format!(
             "unknown method `{other}`; see `gkm-cli help cluster` for the list"
-        )),
+        ))),
     }
 }

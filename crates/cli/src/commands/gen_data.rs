@@ -7,6 +7,7 @@ use vecstore::sample::split_base_query;
 
 use crate::args::Args;
 use crate::commands::parse_dataset;
+use crate::error::CliError;
 
 /// Usage text for `gen-data`.
 pub const USAGE: &str = "\
@@ -18,7 +19,7 @@ Writes a synthetic clustered dataset with the same dimensionality and value
 range as the paper's collections (Tab. 1).";
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> Result<(), String> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     let out = args.required("out")?;
     let seed = args.u64_or("seed", 42)?;
     let queries = args.usize_or("queries", 0)?;
@@ -52,10 +53,10 @@ pub fn run(args: &Args) -> Result<(), String> {
         let queries_out =
             queries_out.ok_or_else(|| "--queries requires --queries-out".to_string())?;
         let (base, query_set) = split_base_query(&data, queries, seed ^ 0x51_u64)
-            .map_err(|e| format!("cannot split queries: {e}"))?;
-        write_fvecs(&out, &base).map_err(|e| format!("cannot write {out}: {e}"))?;
+            .map_err(|e| CliError::Usage(format!("cannot split queries: {e}")))?;
+        write_fvecs(&out, &base).map_err(|e| CliError::store(format!("cannot write {out}"), e))?;
         write_fvecs(&queries_out, &query_set)
-            .map_err(|e| format!("cannot write {queries_out}: {e}"))?;
+            .map_err(|e| CliError::store(format!("cannot write {queries_out}"), e))?;
         println!(
             "wrote {} base vectors to {out} and {} queries to {queries_out} ({} dims)",
             base.len(),
@@ -63,7 +64,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             base.dim()
         );
     } else {
-        write_fvecs(&out, &data).map_err(|e| format!("cannot write {out}: {e}"))?;
+        write_fvecs(&out, &data).map_err(|e| CliError::store(format!("cannot write {out}"), e))?;
         println!(
             "wrote {} vectors of dimension {} to {out}",
             data.len(),

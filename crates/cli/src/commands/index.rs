@@ -8,6 +8,7 @@ use vecstore::io::read_fvecs;
 
 use crate::args::Args;
 use crate::commands::cluster::run_method;
+use crate::error::CliError;
 
 /// Usage text for `index build`.
 pub const BUILD_USAGE: &str = "\
@@ -36,8 +37,21 @@ index search --index <index.ivf> --queries <queries.fvecs>
 Runs every query through the index (batched multi-probe search) and reports
 recall@R, latency, QPS and distance evaluations per query.";
 
+/// Usage text for `index verify`.
+pub const VERIFY_USAGE: &str = "\
+index verify --index <index.ivf>
+             [--strict]          (require the checksummed v2 container;
+                                  legacy v1 files are rejected)
+             [--spot-check <n>]  (exhaustively search n stored vectors and
+                                  require each to come back at distance 0)
+             [--json]            (machine-readable report)
+Validates a saved IVF index: container checksums, framing, and cross-section
+invariants are checked on load; --spot-check additionally replays stored
+vectors through an exact scan.  Exits 0 when the index is sound, 4 when it is
+corrupt, 3 on i/o failure.";
+
 /// Runs `index build`.
-pub fn run_build(args: &Args) -> Result<(), String> {
+pub fn run_build(args: &Args) -> Result<(), CliError> {
     let base_path = args.required("base")?;
     let k = args.usize_required("k")?;
     let out = args.required("out")?;
@@ -52,12 +66,13 @@ pub fn run_build(args: &Args) -> Result<(), String> {
     let json = args.flag("json");
     args.finish()?;
 
-    let data = read_fvecs(&base_path).map_err(|e| format!("cannot read {base_path}: {e}"))?;
+    let data = read_fvecs(&base_path)
+        .map_err(|e| CliError::store(format!("cannot read {base_path}"), e))?;
     if k == 0 || k > data.len() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--k must be between 1 and the number of samples ({})",
             data.len()
-        ));
+        )));
     }
     let (clustering, _) = run_method(
         &method,
@@ -72,10 +87,10 @@ pub fn run_build(args: &Args) -> Result<(), String> {
         graph_path.as_deref(),
     )?;
     let index = IvfIndex::build(&data, &clustering.centroids, &clustering.labels)
-        .map_err(|e| format!("cannot build the IVF index: {e}"))?;
+        .map_err(|e| CliError::store("cannot build the IVF index", e))?;
     index
         .save(&out)
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
+        .map_err(|e| CliError::store(format!("cannot write {out}"), e))?;
 
     let sizes: Vec<usize> = (0..index.nlist()).map(|c| index.list_len(c)).collect();
     let max_list = sizes.iter().copied().max().unwrap_or(0);
@@ -105,7 +120,7 @@ pub fn run_build(args: &Args) -> Result<(), String> {
 }
 
 /// Runs `index search`.
-pub fn run_search(args: &Args) -> Result<(), String> {
+pub fn run_search(args: &Args) -> Result<(), CliError> {
     let index_path = args.required("index")?;
     let query_path = args.required("queries")?;
     let r = args.usize_or("r", 10)?;
@@ -116,15 +131,16 @@ pub fn run_search(args: &Args) -> Result<(), String> {
     let json = args.flag("json");
     args.finish()?;
 
-    let index =
-        IvfIndex::load(&index_path).map_err(|e| format!("cannot read {index_path}: {e}"))?;
-    let queries = read_fvecs(&query_path).map_err(|e| format!("cannot read {query_path}: {e}"))?;
+    let index = IvfIndex::load(&index_path)
+        .map_err(|e| CliError::store(format!("cannot read {index_path}"), e))?;
+    let queries = read_fvecs(&query_path)
+        .map_err(|e| CliError::store(format!("cannot read {query_path}"), e))?;
     if queries.dim() != index.dim() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "query dimensionality {} does not match the index's {}",
             queries.dim(),
             index.dim()
-        ));
+        )));
     }
     let mut params = IvfSearchParams::default().nprobe(nprobe);
     if let Some(t) = threads {
@@ -163,13 +179,14 @@ pub fn run_search(args: &Args) -> Result<(), String> {
 
     let truth: Vec<Vec<Neighbor>> = match base_path {
         Some(path) => {
-            let base = read_fvecs(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let base =
+                read_fvecs(&path).map_err(|e| CliError::store(format!("cannot read {path}"), e))?;
             if base.dim() != index.dim() {
-                return Err(format!(
+                return Err(CliError::Usage(format!(
                     "base dimensionality {} does not match the index's {}",
                     base.dim(),
                     index.dim()
-                ));
+                )));
             }
             knn_graph::brute::exact_ground_truth(&base, &queries, r)
         }
@@ -205,6 +222,87 @@ pub fn run_search(args: &Args) -> Result<(), String> {
             report.stats.avg_query_ms,
             report.stats.qps,
             report.stats.avg_distance_evals
+        );
+    }
+    Ok(())
+}
+
+/// Runs `index verify`.
+///
+/// Loading already validates every container checksum and cross-section
+/// invariant (the typed [`vecstore::StoreError`] taxonomy), so a successful
+/// load *is* the structural verification; `--spot-check n` additionally
+/// replays `n` evenly-spaced stored vectors through an exhaustive
+/// `nprobe = nlist` scan and requires each to come back at distance zero —
+/// a semantic end-to-end check that the panel, ids and centroids agree.
+pub fn run_verify(args: &Args) -> Result<(), CliError> {
+    let index_path = args.required("index")?;
+    let strict = args.flag("strict");
+    let spot_check = args.usize_or("spot-check", 0)?;
+    let json = args.flag("json");
+    args.finish()?;
+
+    let index = if strict {
+        IvfIndex::load_strict(&index_path)
+    } else {
+        IvfIndex::load(&index_path)
+    }
+    .map_err(|e| CliError::store(format!("cannot verify {index_path}"), e))?;
+
+    let spot = spot_check.min(index.len());
+    let mut checked = 0usize;
+    if let Some(step) = index.len().checked_div(spot) {
+        let step = step.max(1);
+        let params = IvfSearchParams::default().nprobe(index.nlist());
+        let d = index.dim();
+        let mut global = 0usize;
+        'lists: for c in 0..index.nlist() {
+            let (rows, ids) = index.list(c);
+            for (j, &id) in ids.iter().enumerate() {
+                if global % step == 0 {
+                    let row = &rows[j * d..(j + 1) * d];
+                    let hit = index.search(row, 1, params).first().copied();
+                    if !hit.is_some_and(|h| h.dist == 0.0) {
+                        return Err(CliError::Corrupt(format!(
+                            "spot-check failed: stored vector id {id} (list {c}) \
+                             did not return at distance 0 under an exhaustive scan"
+                        )));
+                    }
+                    checked += 1;
+                    if checked == spot {
+                        break 'lists;
+                    }
+                }
+                global += 1;
+            }
+        }
+    }
+
+    if json {
+        let out = serde_json::json!({
+            "index": index_path,
+            "status": "ok",
+            "strict": strict,
+            "n": index.len(),
+            "dim": index.dim(),
+            "nlist": index.nlist(),
+            "spot_checked": checked,
+            "checksum_impl": vecstore::checksum::active_impl(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else {
+        println!(
+            "{index_path}: ok{} — n = {}, d = {}, {} lists ({} via {})",
+            if strict { " (strict)" } else { "" },
+            index.len(),
+            index.dim(),
+            index.nlist(),
+            if checked > 0 {
+                format!("{checked} vectors spot-checked")
+            } else {
+                "no spot-check".to_string()
+            },
+            vecstore::checksum::active_impl(),
         );
     }
     Ok(())

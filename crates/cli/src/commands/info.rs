@@ -5,6 +5,7 @@ use vecstore::distance::norm_sq;
 use vecstore::io::read_fvecs;
 
 use crate::args::Args;
+use crate::error::CliError;
 
 /// Usage text for `info`.
 pub const USAGE: &str = "\
@@ -12,16 +13,17 @@ info [--base <base.fvecs>] [--graph <graph.bin>]
 Prints shape and basic statistics of a dataset and/or a saved graph.";
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> Result<(), String> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     let base = args.optional("base");
     let graph = args.optional("graph");
     args.finish()?;
     if base.is_none() && graph.is_none() {
-        return Err("info needs --base and/or --graph".into());
+        return Err(CliError::Usage("info needs --base and/or --graph".into()));
     }
 
     if let Some(path) = base {
-        let data = read_fvecs(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let data =
+            read_fvecs(&path).map_err(|e| CliError::store(format!("cannot read {path}"), e))?;
         let n = data.len();
         let mut min_norm = f64::INFINITY;
         let mut max_norm: f64 = 0.0;
@@ -42,7 +44,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
 
     if let Some(path) = graph {
-        let g = read_graph(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let g = read_graph(&path).map_err(|e| CliError::graph(format!("cannot read {path}"), e))?;
         println!(
             "{path}: KNN graph over {} samples, k = {}, mean degree {:.1}, {} stored edges",
             g.len(),

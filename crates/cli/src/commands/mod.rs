@@ -9,6 +9,8 @@ pub mod search;
 
 use datagen::PaperDataset;
 
+use crate::error::CliError;
+
 /// Parses a dataset name as printed in Tab. 1 (case-insensitive).
 pub fn parse_dataset(name: &str) -> Result<PaperDataset, String> {
     let lower = name.to_ascii_lowercase();
@@ -24,13 +26,14 @@ pub fn parse_dataset(name: &str) -> Result<PaperDataset, String> {
 }
 
 /// Writes cluster labels as a text file, one label per line.
-pub fn write_labels(path: &str, labels: &[usize]) -> Result<(), String> {
+pub fn write_labels(path: &str, labels: &[usize]) -> Result<(), CliError> {
     use std::io::Write;
     let mut out = std::io::BufWriter::new(
-        std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        std::fs::File::create(path)
+            .map_err(|e| CliError::io(format!("cannot create {path}"), e))?,
     );
     for &l in labels {
-        writeln!(out, "{l}").map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "{l}").map_err(|e| CliError::io(format!("cannot write {path}"), e))?;
     }
     Ok(())
 }

@@ -7,6 +7,7 @@ use knn_graph::io::read_graph;
 use vecstore::io::read_fvecs;
 
 use crate::args::Args;
+use crate::error::CliError;
 
 /// Usage text for `search`.
 pub const USAGE: &str = "\
@@ -17,7 +18,7 @@ Searches every query through the graph and reports recall@R, latency and the
 average number of distance evaluations per query.";
 
 /// Runs the subcommand.
-pub fn run(args: &Args) -> Result<(), String> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     let base_path = args.required("base")?;
     let graph_path = args.required("graph")?;
     let query_path = args.required("queries")?;
@@ -27,22 +28,25 @@ pub fn run(args: &Args) -> Result<(), String> {
     let skip_recall = args.flag("no-recall");
     args.finish()?;
 
-    let base = read_fvecs(&base_path).map_err(|e| format!("cannot read {base_path}: {e}"))?;
-    let graph = read_graph(&graph_path).map_err(|e| format!("cannot read {graph_path}: {e}"))?;
-    let queries = read_fvecs(&query_path).map_err(|e| format!("cannot read {query_path}: {e}"))?;
+    let base = read_fvecs(&base_path)
+        .map_err(|e| CliError::store(format!("cannot read {base_path}"), e))?;
+    let graph = read_graph(&graph_path)
+        .map_err(|e| CliError::graph(format!("cannot read {graph_path}"), e))?;
+    let queries = read_fvecs(&query_path)
+        .map_err(|e| CliError::store(format!("cannot read {query_path}"), e))?;
     if graph.len() != base.len() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "graph covers {} nodes but the base set holds {}",
             graph.len(),
             base.len()
-        ));
+        )));
     }
     if queries.dim() != base.dim() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "query dimensionality {} does not match the base set's {}",
             queries.dim(),
             base.dim()
-        ));
+        )));
     }
     let params = SearchParams::default().ef(ef).seed(seed);
 

@@ -7,15 +7,22 @@
 //! gkm-cli search       --base base.fvecs --graph graph.bin --queries q.fvecs --r 10
 //! gkm-cli index build  --base base.fvecs --k 200 --out index.ivf
 //! gkm-cli index search --index index.ivf --queries q.fvecs --r 10 --nprobe 8
+//! gkm-cli index verify --index index.ivf --strict --spot-check 32
 //! gkm-cli info         --base base.fvecs --graph graph.bin
 //! ```
 //!
 //! Every subcommand prints its usage with `gkm-cli help <subcommand>`.
+//!
+//! Failures exit with a classified code — usage 2, I/O 3, corruption 4,
+//! internal 5 (see [`error::CliError`]) — so scripts can distinguish "you
+//! typo'd a flag" from "your index file is damaged".
 
 mod args;
 mod commands;
+mod error;
 
 use args::Args;
+use error::CliError;
 
 const GLOBAL_USAGE: &str = "\
 gkm-cli <subcommand> [options]
@@ -27,24 +34,27 @@ Subcommands:
   search        ANN search over a saved graph, with recall evaluation
   index build   cluster a base set and persist an IVF serving index
   index search  batched multi-probe ANN search over a saved IVF index
+  index verify  validate a saved IVF index (checksums, invariants, spot-check)
   info          inspect a dataset / graph file
-  help          show this message or a subcommand's options";
+  help          show this message or a subcommand's options
+
+Exit codes: 0 ok, 2 usage, 3 i/o, 4 corrupt artefact, 5 internal error";
 
 const INDEX_USAGE_HINT: &str =
-    "usage: `index build …` or `index search …`; see `gkm-cli help index`";
+    "usage: `index build …`, `index search …` or `index verify …`; see `gkm-cli help index`";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(match run(&argv) {
         Ok(()) => 0,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            1
+        Err(e) => {
+            eprintln!("error ({}): {e}", e.class());
+            e.exit_code()
         }
     });
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
         println!("{GLOBAL_USAGE}");
         return Ok(());
@@ -58,10 +68,13 @@ fn run(argv: &[String]) -> Result<(), String> {
         "index" => match rest.first().map(String::as_str) {
             Some("build") => commands::index::run_build(&Args::parse(&rest[1..])?),
             Some("search") => commands::index::run_search(&Args::parse(&rest[1..])?),
-            Some(other) => Err(format!(
+            Some("verify") => commands::index::run_verify(&Args::parse(&rest[1..])?),
+            Some(other) => Err(CliError::Usage(format!(
                 "unknown index action `{other}`; {INDEX_USAGE_HINT}"
-            )),
-            None => Err(format!("missing index action; {INDEX_USAGE_HINT}")),
+            ))),
+            None => Err(CliError::Usage(format!(
+                "missing index action; {INDEX_USAGE_HINT}"
+            ))),
         },
         "info" => commands::info::run(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
@@ -71,16 +84,19 @@ fn run(argv: &[String]) -> Result<(), String> {
                 Some("cluster") => println!("{}", commands::cluster::USAGE),
                 Some("search") => println!("{}", commands::search::USAGE),
                 Some("index") => println!(
-                    "{}\n\n{}",
+                    "{}\n\n{}\n\n{}",
                     commands::index::BUILD_USAGE,
-                    commands::index::SEARCH_USAGE
+                    commands::index::SEARCH_USAGE,
+                    commands::index::VERIFY_USAGE
                 ),
                 Some("info") => println!("{}", commands::info::USAGE),
                 _ => println!("{GLOBAL_USAGE}"),
             }
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}`\n\n{GLOBAL_USAGE}")),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}`\n\n{GLOBAL_USAGE}"
+        ))),
     }
 }
 
@@ -89,8 +105,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn unknown_subcommand_is_an_error() {
-        assert!(run(&["frobnicate".to_string()]).is_err());
+    fn unknown_subcommand_is_a_usage_error() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
@@ -202,6 +219,39 @@ mod tests {
             "4",
         ])
         .unwrap();
+
+        // `index verify` accepts the freshly-built index on every path:
+        // lenient, strict, with an exact-scan spot-check, and as JSON.
+        cmd(&["index", "verify", "--index", &index]).unwrap();
+        cmd(&[
+            "index",
+            "verify",
+            "--index",
+            &index,
+            "--strict",
+            "--spot-check",
+            "8",
+            "--json",
+        ])
+        .unwrap();
+
+        // Failures are classified: missing file → i/o (3), damaged file →
+        // corruption (4), unknown flag → usage (2).
+        let missing = dir.join("nope.ivf").to_str().unwrap().to_string();
+        let err = cmd(&["index", "verify", "--index", &missing]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        let bad = dir.join("bad.ivf").to_str().unwrap().to_string();
+        let mut bytes = std::fs::read(&index).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&bad, &bytes).unwrap();
+        let err = cmd(&["index", "verify", "--index", &bad]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        let err = cmd(&["index", "verify", "--index", &index, "--frobnicate"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = cmd(&["index", "search", "--index", &bad, "--queries", &queries]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

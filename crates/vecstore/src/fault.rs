@@ -1,0 +1,261 @@
+//! Fault-injection test support: readers and writers that corrupt on purpose.
+//!
+//! The durability claims of the GKSC v2 container ([`crate::io`]) are only as
+//! good as the adversarial inputs they are tested against.  This module
+//! provides deterministic corruption adapters used by the fault-injection
+//! suites (and usable by downstream crates' tests) to drive the **"no panic,
+//! no garbage"** invariant: every injected corruption must surface as a typed
+//! [`crate::error::StoreError`], never as a panic, an allocation abort, or a
+//! silently wrong artefact.
+//!
+//! * [`FaultyReader`] wraps any [`Read`] and injects truncation at an exact
+//!   byte, a single bit-flip at an exact byte, or pathologically short reads.
+//! * [`FaultyWriter`] wraps any [`Write`] and fails (or silently drops bytes)
+//!   after an exact byte count, modelling a crash or a full disk mid-save.
+//! * [`corrupt`] applies a [`Fault`] to an in-memory image, for sweeps that
+//!   mutate a saved file byte by byte.
+//!
+//! The adapters live in the library (not `#[cfg(test)]`) so integration tests
+//! and downstream crates can reuse them; they have no unsafe code and no
+//! cost when unused.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::io::{Read, Write};
+
+/// A deterministic corruption to inject into a byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Deliver only the first `n` bytes, then report end-of-file.
+    Truncate(usize),
+    /// Flip bit `bit` (0–7) of byte `byte`, delivering everything else
+    /// unchanged.
+    FlipBit {
+        /// Byte offset of the corrupted byte.
+        byte: usize,
+        /// Bit index within the byte (0 = least significant).
+        bit: u8,
+    },
+    /// Deliver the stream unmodified (the control arm of a sweep).
+    None,
+}
+
+/// Applies `fault` to an in-memory file image, returning the corrupted copy.
+///
+/// Offsets beyond the image are clamped: truncation past the end is a no-op,
+/// and a bit-flip past the end returns the image unchanged (sweeps over
+/// sampled offsets need not bounds-check).
+pub fn corrupt(image: &[u8], fault: Fault) -> Vec<u8> {
+    match fault {
+        Fault::Truncate(n) => image[..n.min(image.len())].to_vec(),
+        Fault::FlipBit { byte, bit } => {
+            let mut out = image.to_vec();
+            if let Some(b) = out.get_mut(byte) {
+                *b ^= 1 << (bit & 7);
+            }
+            out
+        }
+        Fault::None => image.to_vec(),
+    }
+}
+
+/// A [`Read`] adapter that injects a [`Fault`] and/or pathologically short
+/// reads into the wrapped stream.
+///
+/// Short reads (`max_chunk`) exercise the framing code's handling of partial
+/// `read` returns — a correct reader must loop, not assume one call fills the
+/// buffer.
+pub struct FaultyReader<R> {
+    inner: R,
+    fault: Fault,
+    /// Bytes delivered so far (pre-corruption position in the stream).
+    pos: usize,
+    /// Upper bound on bytes returned per `read` call (`usize::MAX` = off).
+    max_chunk: usize,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner`, injecting `fault`.
+    pub fn new(inner: R, fault: Fault) -> Self {
+        Self {
+            inner,
+            fault,
+            pos: 0,
+            max_chunk: usize::MAX,
+        }
+    }
+
+    /// Limits every `read` call to at most `max_chunk` bytes, simulating a
+    /// drip-feeding transport.  `max_chunk` is clamped to at least 1.
+    pub fn with_short_reads(mut self, max_chunk: usize) -> Self {
+        self.max_chunk = max_chunk.max(1);
+        self
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut limit = buf.len().min(self.max_chunk);
+        if let Fault::Truncate(n) = self.fault {
+            limit = limit.min(n.saturating_sub(self.pos));
+            if limit == 0 {
+                return Ok(0);
+            }
+        }
+        let got = self.inner.read(&mut buf[..limit])?;
+        if let Fault::FlipBit { byte, bit } = self.fault {
+            if byte >= self.pos && byte < self.pos + got {
+                buf[byte - self.pos] ^= 1 << (bit & 7);
+            }
+        }
+        self.pos += got;
+        Ok(got)
+    }
+}
+
+/// A [`Write`] adapter that models a crash or full disk: after `limit` bytes
+/// every further write fails with [`std::io::ErrorKind::WriteZero`] (or, in
+/// silent mode, is dropped while reporting success — the torn-write case a
+/// checksummed format must catch on read-back).
+pub struct FaultyWriter<W> {
+    inner: W,
+    limit: usize,
+    written: usize,
+    silent: bool,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, failing after `limit` bytes.
+    pub fn new(inner: W, limit: usize) -> Self {
+        Self {
+            inner,
+            limit,
+            written: 0,
+            silent: false,
+        }
+    }
+
+    /// Switches to silent mode: bytes past the limit are dropped while the
+    /// writer keeps reporting success, producing a torn file.
+    pub fn silently(mut self) -> Self {
+        self.silent = true;
+        self
+    }
+
+    /// Bytes actually forwarded to the wrapped writer.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Consumes the adapter, returning the wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let room = self.limit.saturating_sub(self.written);
+        if room == 0 {
+            return if self.silent {
+                Ok(buf.len())
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected write failure",
+                ))
+            };
+        }
+        let n = self.inner.write(&buf[..buf.len().min(room)])?;
+        self.written += n;
+        Ok(if self.silent && n == room {
+            buf.len()
+        } else {
+            n
+        })
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn corrupt_truncates_flips_and_passes_through() {
+        let image: Vec<u8> = (0..16).collect();
+        assert_eq!(corrupt(&image, Fault::Truncate(4)), vec![0, 1, 2, 3]);
+        assert_eq!(corrupt(&image, Fault::Truncate(999)), image);
+        let flipped = corrupt(&image, Fault::FlipBit { byte: 3, bit: 0 });
+        assert_eq!(flipped[3], 2);
+        assert_eq!(&flipped[..3], &image[..3]);
+        assert_eq!(corrupt(&image, Fault::FlipBit { byte: 99, bit: 0 }), image);
+        assert_eq!(corrupt(&image, Fault::None), image);
+    }
+
+    #[test]
+    fn faulty_reader_truncates_at_exact_byte() {
+        let data: Vec<u8> = (0..100).collect();
+        for cut in [0usize, 1, 37, 99, 100, 150] {
+            let mut out = Vec::new();
+            FaultyReader::new(Cursor::new(&data), Fault::Truncate(cut))
+                .read_to_end(&mut out)
+                .unwrap();
+            assert_eq!(out, &data[..cut.min(data.len())], "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn faulty_reader_flips_exactly_one_bit_across_chunk_sizes() {
+        let data: Vec<u8> = (0..64).collect();
+        for chunk in [1usize, 3, 8, 64] {
+            let mut out = Vec::new();
+            FaultyReader::new(Cursor::new(&data), Fault::FlipBit { byte: 17, bit: 5 })
+                .with_short_reads(chunk)
+                .read_to_end(&mut out)
+                .unwrap();
+            let diffs: Vec<usize> = (0..data.len()).filter(|&i| out[i] != data[i]).collect();
+            assert_eq!(diffs, vec![17], "chunk={chunk}");
+            assert_eq!(out[17], data[17] ^ (1 << 5));
+        }
+    }
+
+    #[test]
+    fn short_reads_never_exceed_chunk() {
+        let data = vec![7u8; 40];
+        let mut reader = FaultyReader::new(Cursor::new(&data), Fault::None).with_short_reads(3);
+        let mut buf = [0u8; 16];
+        let mut total = 0;
+        loop {
+            let n = reader.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 3);
+            total += n;
+        }
+        assert_eq!(total, data.len());
+    }
+
+    #[test]
+    fn faulty_writer_fails_after_limit() {
+        let mut w = FaultyWriter::new(Vec::new(), 10);
+        w.write_all(&[1; 6]).unwrap();
+        let err = w.write_all(&[2; 6]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+        assert_eq!(w.written(), 10);
+        assert_eq!(w.into_inner().len(), 10);
+    }
+
+    #[test]
+    fn silent_faulty_writer_produces_torn_file() {
+        let mut w = FaultyWriter::new(Vec::new(), 10).silently();
+        w.write_all(&[3; 25]).unwrap();
+        assert_eq!(w.written(), 10);
+        assert_eq!(w.into_inner(), vec![3; 10]);
+    }
+}

@@ -22,7 +22,12 @@
 //!   count.
 //! * [`io`] — readers and writers for the TexMex `fvecs`/`ivecs`/`bvecs`
 //!   formats used to distribute the paper's datasets, plus a compact native
-//!   binary format.
+//!   binary format and the checksummed GKSC sectioned container with atomic
+//!   saves; corruption surfaces as the typed [`error::StoreError`] taxonomy.
+//! * [`checksum`] — hand-rolled CRC-32C (SSE4.2 / ARMv8-CRC / slicing-by-8)
+//!   behind the same one-time runtime dispatch as [`kernels`].
+//! * [`fault`] — fault-injection adapters ([`fault::FaultyReader`] /
+//!   [`fault::FaultyWriter`]) used by the robustness test suites.
 //! * [`sample`] — reproducible sub-sampling and shuffling helpers used by the
 //!   workload generators and the mini-batch baseline.
 //!
@@ -40,8 +45,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checksum;
 pub mod distance;
 pub mod error;
+pub mod fault;
 pub mod io;
 pub mod kernels;
 pub mod matrix;
@@ -50,6 +57,6 @@ pub mod parallel;
 pub mod sample;
 
 pub use distance::Metric;
-pub use error::{Error, Result};
+pub use error::{Error, Result, StoreError};
 pub use matrix::VectorSet;
 pub use norms::Norms;

@@ -31,11 +31,28 @@
 //! [`threads_from_env`] reads the `GKM_THREADS` override that the CI matrix
 //! uses to re-run the entire test suite with threading enabled: because
 //! threaded output is bit-identical, every test must pass unchanged.
+//!
+//! # Panic safety
+//!
+//! A panicking block body must never take the serving process down or wedge
+//! the resident pool.  Panics are contained **per round**: each participant
+//! catches a block-body panic, records the first one (block index plus
+//! payload) in the round state, and the round drains normally.  Callers
+//! choose the reporting style — [`run_blocks`] re-raises the original
+//! payload after the round has fully completed (the historical behaviour),
+//! while the opt-in [`run_blocks_checked`] / [`WorkerPool::try_run`] return
+//! a structured [`RoundPanic`] instead so long-running servers can log and
+//! keep serving.  A resident worker whose block panicked retires after the
+//! round and is respawned on the next one, and all pool locks are
+//! poison-tolerant — a panic can never poison the round state for later
+//! rounds.
 
+use std::any::Any;
 use std::cell::Cell;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// Resolves an optional thread-count knob to an effective worker count:
@@ -95,12 +112,89 @@ struct State {
     helpers_left: usize,
     /// Workers currently executing the in-flight round.
     active: usize,
-    /// Set when any participant's block body panicked this round.
-    panicked: bool,
-    /// Worker threads spawned so far.
-    spawned: usize,
+    /// First contained block-body panic of the in-flight round: block index
+    /// plus the original payload, re-raised or converted by the caller.
+    panic_payload: Option<(usize, Box<dyn Any + Send>)>,
+    /// Worker threads currently alive (parked or executing).  Falls when a
+    /// worker retires after a contained panic; the next round respawns up to
+    /// its target.
+    alive: usize,
     /// Tells workers to exit (pool drop).
     shutdown: bool,
+}
+
+/// Locks the pool state, tolerating poison: the state is kept consistent by
+/// RAII guards on every unwind path, so a panic elsewhere must not convert
+/// later rounds into lock panics.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant condvar wait, pairing with [`lock_state`].
+fn wait_on<'a>(cv: &Condvar, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A block body panicked during a pool round; the round itself completed
+/// (every other block ran) and the pool remains usable.
+///
+/// Returned by the opt-in [`WorkerPool::try_run`] / [`run_blocks_checked`];
+/// the panicking APIs re-raise the original payload via
+/// [`RoundPanic::resume`].  Converts into [`crate::error::Error::Internal`]
+/// for propagation through `Result` pipelines (the conversion drops the
+/// payload and keeps the message).
+pub struct RoundPanic {
+    /// Index of the first block whose body panicked.
+    pub block: usize,
+    /// Human-readable panic message (`&str`/`String` payloads; a placeholder
+    /// otherwise).
+    pub message: String,
+    payload: Box<dyn Any + Send>,
+}
+
+impl RoundPanic {
+    fn new(block: usize, payload: Box<dyn Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Self {
+            block,
+            message,
+            payload,
+        }
+    }
+
+    /// Re-raises the original panic payload on the calling thread.
+    pub fn resume(self) -> ! {
+        resume_unwind(self.payload)
+    }
+}
+
+impl fmt::Debug for RoundPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoundPanic")
+            .field("block", &self.block)
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Display for RoundPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {} panicked: {}", self.block, self.message)
+    }
+}
+
+impl std::error::Error for RoundPanic {}
+
+impl From<RoundPanic> for crate::error::Error {
+    fn from(rp: RoundPanic) -> Self {
+        crate::error::Error::Internal(format!("worker pool round failed: {rp}"))
+    }
 }
 
 struct Shared {
@@ -182,8 +276,8 @@ impl WorkerPool {
                     job: None,
                     helpers_left: 0,
                     active: 0,
-                    panicked: false,
-                    spawned: 0,
+                    panic_payload: None,
+                    alive: 0,
                     shutdown: false,
                 }),
                 work_cv: Condvar::new(),
@@ -213,8 +307,10 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any block body (after the round has fully
-    /// completed, so no worker still references the caller's stack).
+    /// Re-raises a panic from any block body with its original payload —
+    /// after the round has fully completed, so no worker still references
+    /// the caller's stack and the pool stays usable.  Callers that must not
+    /// unwind (long-running servers) should use [`WorkerPool::try_run`].
     pub fn run<R, F>(&self, threads: usize, n_blocks: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -222,8 +318,55 @@ impl WorkerPool {
     {
         let workers = threads.max(1).min(n_blocks);
         if workers <= 1 || POOL_BUSY.with(|b| b.get()) {
+            // Catch-free sequential fast path: the epoch engines run it once
+            // per round at `threads = 1`, and a panic here propagates
+            // naturally.
             return (0..n_blocks).map(f).collect();
         }
+        match self.run_threaded(workers, n_blocks, f) {
+            Ok(out) => out,
+            Err(rp) => rp.resume(),
+        }
+    }
+
+    /// Panic-containing flavour of [`WorkerPool::run`]: a panicking block
+    /// body yields `Err(`[`RoundPanic`]`)` (first panicking block index +
+    /// message) instead of unwinding, and the pool remains fully usable —
+    /// the next round completes and stays bit-identical to sequential.
+    pub fn try_run<R, F>(
+        &self,
+        threads: usize,
+        n_blocks: usize,
+        f: F,
+    ) -> std::result::Result<Vec<R>, RoundPanic>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = threads.max(1).min(n_blocks);
+        if workers <= 1 || POOL_BUSY.with(|b| b.get()) {
+            let mut out = Vec::with_capacity(n_blocks);
+            for b in 0..n_blocks {
+                match catch_unwind(AssertUnwindSafe(|| f(b))) {
+                    Ok(r) => out.push(r),
+                    Err(p) => return Err(RoundPanic::new(b, p)),
+                }
+            }
+            return Ok(out);
+        }
+        self.run_threaded(workers, n_blocks, f)
+    }
+
+    fn run_threaded<R, F>(
+        &self,
+        workers: usize,
+        n_blocks: usize,
+        f: F,
+    ) -> std::result::Result<Vec<R>, RoundPanic>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         let helpers = workers - 1;
 
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n_blocks);
@@ -241,13 +384,15 @@ impl WorkerPool {
 
         let _busy = BusyGuard::enter();
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(&self.shared);
             // One round at a time: queue behind any in-flight round.
             while st.job.is_some() {
-                st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+                st = wait_on(&self.shared.done_cv, st);
             }
-            while st.spawned < helpers.min(MAX_POOL_WORKERS) {
-                st.spawned += 1;
+            // Respawn up to the round's target: workers retired by a
+            // contained panic are replaced here, before the round publishes.
+            while st.alive < helpers.min(MAX_POOL_WORKERS) {
+                st.alive += 1;
                 let shared = Arc::clone(&self.shared);
                 let handle = std::thread::Builder::new()
                     .name("gkm-pool-worker".into())
@@ -255,13 +400,13 @@ impl WorkerPool {
                     .expect("spawn pool worker");
                 self.handles
                     .lock()
-                    .expect("pool handles poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .push(handle);
             }
             self.shared.next_block.store(0, Ordering::Relaxed);
             st.round = st.round.wrapping_add(1);
             st.helpers_left = helpers;
-            st.panicked = false;
+            st.panic_payload = None;
             let erased: &(dyn Fn(usize) + Sync) = &runner;
             // SAFETY: erases the borrow of `runner` (and through it `f` and
             // `slots`); the guard below keeps this function's frame alive
@@ -280,34 +425,42 @@ impl WorkerPool {
         // it waits out the round on every exit path, including unwinding.
         let guard = RoundGuard {
             shared: &self.shared,
+            finished: false,
         };
+        let mut caller_failure: Option<(usize, Box<dyn Any + Send>)> = None;
         loop {
             let b = self.shared.next_block.fetch_add(1, Ordering::Relaxed);
             if b >= n_blocks {
                 break;
             }
-            runner(b);
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| runner(b))) {
+                caller_failure = Some((b, p));
+                break;
+            }
         }
-        drop(guard);
+        let worker_failure = guard.finish();
 
-        slots
+        if let Some((b, p)) = caller_failure.or(worker_failure) {
+            return Err(RoundPanic::new(b, p));
+        }
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every block index below n_blocks is claimed exactly once"))
-            .collect()
+            .collect())
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_state(&self.shared);
             st.shutdown = true;
         }
         self.shared.work_cv.notify_all();
         for handle in self
             .handles
             .lock()
-            .expect("pool handles poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain(..)
         {
             let _ = handle.join();
@@ -315,42 +468,77 @@ impl Drop for WorkerPool {
     }
 }
 
-/// Waits out the in-flight round, clears the job slot and re-raises worker
-/// panics.  Created right after a round is published so the wait runs on
-/// every exit path of [`WorkerPool::run`], including caller-side unwinding —
-/// the published job pointer must never outlive the caller's frame.
+/// Waits out the in-flight round, clears the job slot and collects the first
+/// contained panic.  Created right after a round is published so the wait
+/// runs on every exit path of the publishing call, including caller-side
+/// unwinding — the published job pointer must never outlive the caller's
+/// frame.
 struct RoundGuard<'a> {
     shared: &'a Shared,
+    finished: bool,
 }
 
-impl Drop for RoundGuard<'_> {
-    fn drop(&mut self) {
-        let mut st = self.shared.state.lock().expect("pool state poisoned");
+impl<'a> RoundGuard<'a> {
+    /// Normal-path teardown: drains the round and hands back the first
+    /// contained panic for the caller to report.
+    fn finish(mut self) -> Option<(usize, Box<dyn Any + Send>)> {
+        self.finished = true;
+        Self::drain(self.shared)
+    }
+
+    fn drain(shared: &Shared) -> Option<(usize, Box<dyn Any + Send>)> {
+        let mut st = lock_state(shared);
         // Workers that have not joined yet must not pick the job up while we
         // are tearing the round down.
         st.helpers_left = 0;
         while st.active > 0 {
-            st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+            st = wait_on(&shared.done_cv, st);
         }
         st.job = None;
-        let panicked = st.panicked;
-        st.panicked = false;
+        let payload = st.panic_payload.take();
         drop(st);
         // Wake callers queued on the job slot.
-        self.shared.done_cv.notify_all();
-        if panicked && !std::thread::panicking() {
-            panic!("worker thread panicked");
+        shared.done_cv.notify_all();
+        payload
+    }
+}
+
+impl Drop for RoundGuard<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Unwind path: still wait the round out (the job pointer borrows
+            // the dying frame), but discard any recorded panic — the caller
+            // is already propagating one.
+            let _ = Self::drain(self.shared);
         }
+    }
+}
+
+/// RAII decrement of the pool's live-worker count, so even an unexpected
+/// unwind out of [`worker_loop`] lets the next round respawn a replacement.
+struct AliveGuard<'a>(&'a Shared);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock_state(self.0);
+        st.alive -= 1;
     }
 }
 
 /// Body of a resident worker: park on the round barrier, join rounds newer
 /// than the last one seen (while helper slots remain), claim blocks until the
 /// round's counter is exhausted, park again.
+///
+/// A block-body panic is caught per block: the worker records the first
+/// (block, payload) pair in the round state, leaves the rest of the round to
+/// the other participants, and retires — the next published round respawns a
+/// replacement.  The worker thread itself never unwinds, so a panicking job
+/// can neither abort the process nor poison the pool.
 fn worker_loop(shared: &Shared) {
     POOL_BUSY.with(|b| b.set(true));
+    let _alive = AliveGuard(shared);
     let mut last_round = 0u64;
-    let mut st = shared.state.lock().expect("pool state poisoned");
+    let mut st = lock_state(shared);
     loop {
         if st.shutdown {
             return;
@@ -362,7 +550,8 @@ fn worker_loop(shared: &Shared) {
                 st.helpers_left -= 1;
                 st.active += 1;
                 drop(st);
-                let ok = catch_unwind(AssertUnwindSafe(|| {
+                let mut failure: Option<(usize, Box<dyn Any + Send>)> = None;
+                {
                     // SAFETY: `active` was incremented under the lock, so the
                     // publishing caller's round guard blocks until this
                     // worker decrements it — the closure behind the pointer
@@ -373,22 +562,32 @@ fn worker_loop(shared: &Shared) {
                         if b >= job.n_blocks {
                             break;
                         }
-                        f(b);
+                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(b))) {
+                            failure = Some((b, p));
+                            break;
+                        }
                     }
-                }))
-                .is_ok();
-                st = shared.state.lock().expect("pool state poisoned");
-                if !ok {
-                    st.panicked = true;
+                }
+                st = lock_state(shared);
+                let retire = failure.is_some();
+                if let Some((b, p)) = failure {
+                    if st.panic_payload.is_none() {
+                        st.panic_payload = Some((b, p));
+                    }
                 }
                 st.active -= 1;
                 if st.active == 0 {
                     shared.done_cv.notify_all();
                 }
+                if retire {
+                    // Retire after a contained panic; `AliveGuard` lets the
+                    // next round spawn a replacement.
+                    return;
+                }
                 continue;
             }
         }
-        st = shared.work_cv.wait(st).expect("pool state poisoned");
+        st = wait_on(&shared.work_cv, st);
     }
 }
 
@@ -407,6 +606,23 @@ where
     F: Fn(usize) -> R + Sync,
 {
     WorkerPool::global().run(threads, n_blocks, f)
+}
+
+/// Panic-containing flavour of [`run_blocks`] on the process-wide pool: a
+/// panicking block body becomes `Err(`[`RoundPanic`]`)` — which converts into
+/// [`crate::error::Error::Internal`] via `?` — instead of unwinding into the
+/// caller.  Results are identical to [`run_blocks`] on the `Ok` path, and the
+/// pool stays fully usable after an `Err`.
+pub fn run_blocks_checked<R, F>(
+    threads: usize,
+    n_blocks: usize,
+    f: F,
+) -> std::result::Result<Vec<R>, RoundPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    WorkerPool::global().try_run(threads, n_blocks, f)
 }
 
 /// The pre-pool executor: forks a scoped thread team, runs the round, joins.
@@ -623,8 +839,151 @@ mod tests {
             })
         }));
         assert!(result.is_err(), "the panic must propagate to the caller");
+        // The original payload must survive the containment round trip.
+        let payload = result.unwrap_err();
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        assert_eq!(message, Some("block body failed"));
         // The failed round must not wedge the job slot.
         assert_eq!(pool.run(4, 4, |b| b * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn try_run_contains_panics_and_reports_the_block() {
+        let pool = WorkerPool::new();
+        let err = pool
+            .try_run(4, 16, |b| {
+                if b == 5 {
+                    panic!("bad block {b}");
+                }
+                b
+            })
+            .unwrap_err();
+        assert_eq!(err.block, 5);
+        assert_eq!(err.message, "bad block 5");
+        assert!(err.to_string().contains("block 5 panicked"));
+        let as_error: crate::error::Error = pool
+            .try_run(4, 16, |b| {
+                if b == 5 {
+                    panic!("bad block {b}");
+                }
+                b
+            })
+            .unwrap_err()
+            .into();
+        assert!(matches!(as_error, crate::error::Error::Internal(_)));
+    }
+
+    #[test]
+    fn pool_reuse_after_panic_is_bit_identical_to_sequential() {
+        // The satellite regression: a panicking job must not poison the
+        // resident pool — the next round must complete and match the
+        // sequential result exactly, at several thread counts, repeatedly.
+        let pool = WorkerPool::new();
+        for attempt in 0..5usize {
+            for threads in [2usize, 4, 7] {
+                assert!(
+                    pool.try_run(threads, 32, |b| {
+                        if b % 11 == 3 {
+                            panic!("injected failure");
+                        }
+                        b
+                    })
+                    .is_err(),
+                    "attempt {attempt} threads {threads}"
+                );
+                let expect: Vec<u64> = (0..32u64).map(|b| b * b + attempt as u64).collect();
+                let got = pool
+                    .try_run(threads, 32, |b| (b as u64) * (b as u64) + attempt as u64)
+                    .unwrap();
+                assert_eq!(got, expect, "attempt {attempt} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn retired_workers_are_respawned_for_the_next_round() {
+        let pool = WorkerPool::new();
+        // 4 participants × 4 blocks, and every block body spins until all
+        // four have entered before panicking: each participant is pinned in
+        // its one block, so all three helpers are guaranteed to take part —
+        // and all three retire.
+        let entered = AtomicUsize::new(0);
+        let err = pool
+            .try_run(4, 4, |b| -> usize {
+                entered.fetch_add(1, Ordering::SeqCst);
+                while entered.load(Ordering::SeqCst) < 4 {
+                    std::hint::spin_loop();
+                }
+                panic!("kill block {b}")
+            })
+            .unwrap_err();
+        assert!(err.message.starts_with("kill block"));
+        // Retirement (the `alive` decrement) completes shortly after the
+        // round returns; wait it out rather than racing the worker exits.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if lock_state(&pool.shared).alive == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never retired"
+            );
+            std::thread::yield_now();
+        }
+        // The next round respawns to target and completes correctly.
+        assert_eq!(
+            pool.try_run(4, 6, |b| b + 1).unwrap(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        assert_eq!(
+            lock_state(&pool.shared).alive,
+            3,
+            "round with threads=4 must respawn its 3 helpers"
+        );
+    }
+
+    #[test]
+    fn try_run_sequential_paths_also_contain_panics() {
+        let pool = WorkerPool::new();
+        // threads = 1 → sequential catching path.
+        let err = pool
+            .try_run(1, 4, |b| {
+                if b == 2 {
+                    panic!("sequential failure");
+                }
+                b
+            })
+            .unwrap_err();
+        assert_eq!(err.block, 2);
+        // Nested inside a pool round → POOL_BUSY sequential degradation.
+        let outer = pool.try_run(4, 3, |outer| {
+            let inner = WorkerPool::global().try_run(4, 3, move |b| {
+                if outer == 1 && b == 1 {
+                    panic!("nested failure");
+                }
+                b
+            });
+            match inner {
+                Ok(v) => v.iter().sum::<usize>(),
+                Err(rp) => 100 + rp.block,
+            }
+        });
+        assert_eq!(outer.unwrap(), vec![3, 101, 3]);
+    }
+
+    #[test]
+    fn run_blocks_checked_matches_run_blocks_on_success() {
+        for threads in [1usize, 2, 4] {
+            assert_eq!(
+                run_blocks_checked(threads, 17, |b| b * 5).unwrap(),
+                run_blocks(threads, 17, |b| b * 5),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]
