@@ -47,6 +47,17 @@
 //!   d = 128, k = 1024, nprobe = 8.  The two return bit-identical results;
 //!   the batched form amortises the routing tile across the query block;
 //!
+//! plus the full serving stack:
+//!
+//! * `serve_latency` in the JSON — the dynamic-batching TCP server end to
+//!   end, over loopback.  The **closed loop** runs a few synchronous clients
+//!   back to back and reports p50/p99 request latency and the sustained
+//!   throughput; the **open loop** paces a pipelined sender at a multiple of
+//!   that throughput against a deliberately small admission queue, so the
+//!   shed/deadline paths are exercised, and reports the answered-request
+//!   accounting (every sent request must come back with exactly one typed
+//!   response — the CI gate) plus the p99 over everything answered;
+//!
 //! plus the durability tier:
 //!
 //! * `gksc_load` in the JSON — [`ivf::IvfIndex::load`] throughput on the
@@ -584,6 +595,209 @@ fn main() {
         )
     };
 
+    // Serving-stack latency: the dynamic-batching TCP server end to end.
+    // Closed loop first (a few synchronous clients establish the sustained
+    // throughput and the uncontended latency profile), then an open loop
+    // paced at a multiple of that throughput against a small admission
+    // queue, so shedding and deadline expiry are part of the measurement.
+    // The open loop's accounting — every request answered exactly once,
+    // every answer typed — is what the CI bench-smoke gate checks.
+    let serve_latency_json = {
+        use serve::batcher::{BatcherConfig, IvfBackend};
+        use serve::client::Client;
+        use serve::protocol::{
+            read_frame, write_search, FrameKind, SearchRequest, SearchResponse, Status,
+            DEFAULT_MAX_PAYLOAD,
+        };
+        use serve::server::{Server, ServerConfig};
+        use std::sync::{Arc, Mutex};
+        use std::time::Duration;
+
+        const CLOSED_CLIENTS: usize = 4;
+        const CLOSED_REQUESTS: usize = 150; // per client
+        const CLOSED_QPR: usize = 8; // queries per request
+        const OPEN_REQUESTS: usize = 2000; // 1 query each
+        const OPEN_OVERLOAD: f64 = 3.0; // offered rate vs closed-loop qps
+        const OPEN_DEADLINE_MS: u32 = 20;
+
+        let data = VectorSet::from_flat(test_block(IVF_N, IVF_D, 0.7), IVF_D).expect("whole rows");
+        let centroids =
+            VectorSet::from_flat(test_block(IVF_K, IVF_D, 9.1), IVF_D).expect("whole rows");
+        let labels: Vec<usize> = (0..IVF_N).map(|i| i % IVF_K).collect();
+        let index = IvfIndex::build(&data, &centroids, &labels).expect("well-formed inputs");
+        let query_flat: Arc<Vec<f32>> = Arc::new(test_block(IVF_QUERIES, IVF_D, 4.3));
+
+        // Closed loop: every client waits for its response before sending
+        // the next request, so the server runs at its natural batch rhythm.
+        let mut server = Server::start(
+            Arc::new(IvfBackend::new(index.clone(), Some(epoch_threads))),
+            ServerConfig {
+                batcher: BatcherConfig {
+                    max_delay: Duration::from_millis(1),
+                    ..BatcherConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind the closed-loop server");
+        let addr = server.local_addr();
+        let started = Instant::now();
+        let clients: Vec<_> = (0..CLOSED_CLIENTS)
+            .map(|c| {
+                let flat = Arc::clone(&query_flat);
+                std::thread::spawn(move || {
+                    let mut client =
+                        Client::connect(addr, Duration::from_secs(10)).expect("connect");
+                    let mut latencies_ms = Vec::with_capacity(CLOSED_REQUESTS);
+                    for i in 0..CLOSED_REQUESTS {
+                        let off =
+                            ((c * CLOSED_REQUESTS + i) * CLOSED_QPR) % (IVF_QUERIES - CLOSED_QPR);
+                        let req = SearchRequest {
+                            id: (c * CLOSED_REQUESTS + i + 1) as u64,
+                            deadline_ms: 0,
+                            r: IVF_R as u16,
+                            nprobe: IVF_NPROBE as u16,
+                            dim: IVF_D as u32,
+                            queries: flat[off * IVF_D..(off + CLOSED_QPR) * IVF_D].to_vec(),
+                        };
+                        let sent = Instant::now();
+                        client.search(&req).expect("closed-loop search");
+                        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies_ms
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = clients
+            .into_iter()
+            .flat_map(|h| h.join().expect("closed-loop client"))
+            .collect();
+        let closed_elapsed = started.elapsed().as_secs_f64();
+        server.shutdown();
+        latencies.sort_by(f64::total_cmp);
+        let pct = |sorted: &[f64], p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+        let closed_p50 = pct(&latencies, 0.50);
+        let closed_p99 = pct(&latencies, 0.99);
+        let closed_qps =
+            (CLOSED_CLIENTS * CLOSED_REQUESTS * CLOSED_QPR) as f64 / closed_elapsed.max(1e-9);
+
+        // Open loop: a timer-paced pipelined sender fires regardless of
+        // completions — the arrival process real overload has — against a
+        // small admission queue, so OVERLOADED sheds and deadline expiry
+        // join the latency distribution instead of hiding behind sender
+        // back-off (coordinated omission).
+        let mut server = Server::start(
+            Arc::new(IvfBackend::new(index, Some(epoch_threads))),
+            ServerConfig {
+                batcher: BatcherConfig {
+                    max_delay: Duration::from_millis(1),
+                    queue_cap: 64,
+                    resume_depth: 16,
+                    ..BatcherConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind the open-loop server");
+        let addr = server.local_addr();
+        let offered_qps = closed_qps * OPEN_OVERLOAD;
+        let stream = std::net::TcpStream::connect(addr).expect("connect the open-loop sender");
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream.try_clone().expect("clone the open-loop stream");
+        let send_times: Arc<Mutex<Vec<Option<Instant>>>> =
+            Arc::new(Mutex::new(vec![None; OPEN_REQUESTS + 1]));
+        let reader_times = Arc::clone(&send_times);
+        let reader = std::thread::spawn(move || {
+            let mut reader_stream = reader_stream;
+            reader_stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("read timeout");
+            let (mut ok, mut shed, mut deadline, mut other) = (0u64, 0u64, 0u64, 0u64);
+            let mut answered_ms: Vec<f64> = Vec::with_capacity(OPEN_REQUESTS);
+            while (ok + shed + deadline + other) < OPEN_REQUESTS as u64 {
+                let frame = match read_frame(&mut reader_stream, DEFAULT_MAX_PAYLOAD) {
+                    Ok(Some(f)) => f,
+                    // EOF or a stall: stop counting; the gate catches the
+                    // deficit as answered < sent.
+                    Ok(None) | Err(_) => break,
+                };
+                if frame.kind != FrameKind::Response {
+                    continue;
+                }
+                let resp = SearchResponse::decode(&frame.payload).expect("decodable response");
+                match resp.status {
+                    Status::Ok => ok += 1,
+                    Status::Overloaded => shed += 1,
+                    Status::DeadlineExceeded => deadline += 1,
+                    _ => other += 1,
+                }
+                if let Some(Some(sent)) = reader_times
+                    .lock()
+                    .expect("send times")
+                    .get(resp.id as usize)
+                {
+                    answered_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            (ok, shed, deadline, other, answered_ms)
+        });
+        // Pace in 1 ms ticks; each tick sends the offered-rate quantum.
+        let per_tick = ((offered_qps / 1000.0).ceil() as usize).max(1);
+        let mut sender_stream = stream;
+        let mut sent = 0usize;
+        let open_started = Instant::now();
+        let mut tick = 0u32;
+        while sent < OPEN_REQUESTS {
+            let burst = per_tick.min(OPEN_REQUESTS - sent);
+            for _ in 0..burst {
+                sent += 1;
+                let off = sent % IVF_QUERIES;
+                let req = SearchRequest {
+                    id: sent as u64,
+                    deadline_ms: OPEN_DEADLINE_MS,
+                    r: IVF_R as u16,
+                    nprobe: IVF_NPROBE as u16,
+                    dim: IVF_D as u32,
+                    queries: query_flat[off * IVF_D..(off + 1) * IVF_D].to_vec(),
+                };
+                send_times.lock().expect("send times")[sent] = Some(Instant::now());
+                write_search(&mut sender_stream, &req).expect("open-loop send");
+            }
+            tick += 1;
+            let next = open_started + Duration::from_millis(u64::from(tick));
+            if let Some(wait) = next.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let (ok, shed, deadline, other, mut answered_ms) = reader.join().expect("open-loop reader");
+        server.shutdown();
+        let answered = ok + shed + deadline + other;
+        answered_ms.sort_by(f64::total_cmp);
+        let open_p99 = if answered_ms.is_empty() {
+            f64::NAN
+        } else {
+            pct(&answered_ms, 0.99)
+        };
+
+        println!(
+            "serve_latency          closed {CLOSED_CLIENTS} clients: p50 {closed_p50:.3} ms, \
+             p99 {closed_p99:.3} ms, {closed_qps:.0} qps; open @{offered_qps:.0} qps offered: \
+             {answered}/{OPEN_REQUESTS} answered ({ok} ok, {shed} shed, {deadline} deadline, \
+             {other} other), p99 {open_p99:.3} ms"
+        );
+        format!(
+            "  \"serve_latency\": {{\"n\": {IVF_N}, \"dim\": {IVF_D}, \"k\": {IVF_K}, \
+             \"nprobe\": {IVF_NPROBE}, \"r\": {IVF_R}, \
+             \"closed_loop\": {{\"clients\": {CLOSED_CLIENTS}, \"requests\": {}, \
+             \"queries_per_request\": {CLOSED_QPR}, \"p50_ms\": {closed_p50:.3}, \
+             \"p99_ms\": {closed_p99:.3}, \"qps\": {closed_qps:.1}}}, \
+             \"open_loop\": {{\"offered_qps\": {offered_qps:.1}, \"deadline_ms\": {OPEN_DEADLINE_MS}, \
+             \"sent\": {OPEN_REQUESTS}, \"answered\": {answered}, \"ok\": {ok}, \"shed\": {shed}, \
+             \"deadline_expired\": {deadline}, \"other\": {other}, \"p99_ms\": {open_p99:.3}}}}},\n",
+            CLOSED_CLIENTS * CLOSED_REQUESTS,
+        )
+    };
+
     // Durable-container load throughput: the checksummed GKSC v2 read path
     // vs a legacy unchecksummed v1 image of the same index.  The CI gate
     // holds v2 at ≥ 0.8× the v1 throughput: the CRC pass must stay in the
@@ -729,6 +943,7 @@ fn main() {
     json.push_str("  \"unit\": \"ns_per_distance_eval\",\n");
     json.push_str(&executor_round_json);
     json.push_str(&ivf_search_json);
+    json.push_str(&serve_latency_json);
     json.push_str(&gksc_load_json);
     json.push_str(&threaded_init_json);
     json.push_str(&threaded_epoch_json);

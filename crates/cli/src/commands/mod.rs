@@ -5,7 +5,9 @@ pub mod cluster;
 pub mod gen_data;
 pub mod index;
 pub mod info;
+pub mod query;
 pub mod search;
+pub mod serve;
 
 use datagen::PaperDataset;
 

@@ -1,0 +1,186 @@
+//! `query` — client for a running `gkm-cli serve` instance.
+//!
+//! Reads a query file, chunks it into protocol-sized requests and sends each
+//! through the classification-aware retry helper: `OVERLOADED` sheds and
+//! transport failures are retried with jittered exponential backoff (the
+//! request never ran, so a retry is sound), while `DEADLINE_EXCEEDED` and
+//! every other rejection fail fast.  `--ping` and `--shutdown` speak the
+//! control frames instead of searching.
+
+use std::time::Duration;
+
+use serve::client::{retry_search, Client, ClientError, RetryPolicy, ThreadSleeper};
+use serve::protocol::{SearchRequest, MAX_QUERIES_PER_REQUEST};
+use vecstore::io::read_fvecs;
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// Usage text for `query`.
+pub const USAGE: &str = "\
+query --addr <host:port> --queries <queries.fvecs>
+      [--r <neighbours per query>] [--nprobe <lists per query>]
+      [--deadline-ms <ms>]        (per-request budget; expired requests are
+                                  answered DEADLINE_EXCEEDED, never retried)
+      [--retries <n>]             (attempts per request, default 4; only
+                                  OVERLOADED sheds and transport failures
+                                  are retried, with jittered backoff)
+      [--timeout-ms <ms>]         (connect/read/write timeout, default 5000)
+      [--json]                    (machine-readable results)
+      [--ping]                    (liveness round-trip instead of searching)
+      [--shutdown]                (ask the server to drain and exit)
+Sends query batches to a running `gkm-cli serve` over the GKSQ protocol.";
+
+/// Classifies a [`ClientError`]: transport → i/o (3), undecodable bytes →
+/// corruption (4), typed server rejections and id mismatches → internal (5).
+fn classify(context: &str, e: ClientError) -> CliError {
+    let msg = format!("{context}: {e}");
+    match e {
+        ClientError::Io(_) => CliError::Io(msg),
+        ClientError::Wire(_) => CliError::Corrupt(msg),
+        ClientError::Rejected { .. } | ClientError::Mismatch { .. } => CliError::Internal(msg),
+    }
+}
+
+/// Runs `query`.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("addr")?;
+    let ping = args.flag("ping");
+    let shutdown = args.flag("shutdown");
+    let query_path = args.optional("queries");
+    let r = args.usize_or("r", 10)?;
+    let nprobe = args.usize_or("nprobe", 8)?;
+    let deadline_ms = args.u64_or("deadline-ms", 0)?;
+    let retries = args.usize_or("retries", 4)?;
+    let timeout_ms = args.u64_or("timeout-ms", 5000)?;
+    let json = args.flag("json");
+    args.finish()?;
+
+    if deadline_ms > u64::from(u32::MAX) {
+        return Err(CliError::Usage(format!(
+            "--deadline-ms must fit in 32 bits, got {deadline_ms}"
+        )));
+    }
+    if r == 0 || r > usize::from(u16::MAX) {
+        return Err(CliError::Usage(format!(
+            "--r must be between 1 and {}, got {r}",
+            u16::MAX
+        )));
+    }
+    if nprobe > usize::from(u16::MAX) {
+        return Err(CliError::Usage(format!(
+            "--nprobe must fit in 16 bits, got {nprobe}"
+        )));
+    }
+    let timeout = Duration::from_millis(timeout_ms);
+
+    if ping || shutdown {
+        let mut client = Client::connect(addr.as_str(), timeout)
+            .map_err(|e| classify(&format!("cannot connect to {addr}"), e))?;
+        if ping {
+            client
+                .ping()
+                .map_err(|e| classify(&format!("ping to {addr} failed"), e))?;
+            println!("pong from {addr}");
+        }
+        if shutdown {
+            client
+                .shutdown_server()
+                .map_err(|e| classify(&format!("shutdown of {addr} failed"), e))?;
+            println!("{addr} acknowledged the shutdown and is draining");
+        }
+        return Ok(());
+    }
+
+    let query_path = query_path.ok_or_else(|| {
+        CliError::Usage("--queries is required unless --ping or --shutdown is given".into())
+    })?;
+    let queries = read_fvecs(&query_path)
+        .map_err(|e| CliError::store(format!("cannot read {query_path}"), e))?;
+    if queries.is_empty() {
+        return Err(CliError::Usage(format!("{query_path} contains no queries")));
+    }
+
+    let policy = RetryPolicy {
+        max_attempts: (retries as u32).max(1),
+        ..RetryPolicy::default()
+    };
+    let mut sleeper = ThreadSleeper;
+    // One connection, re-established on transport failure: the retry closure
+    // drops a broken client so the next attempt reconnects, which also
+    // covers "the server was not up yet" connect errors.
+    let mut client: Option<Client> = None;
+    let dim = queries.dim();
+    let flat = queries.as_flat();
+    let mut results = Vec::with_capacity(queries.len());
+    let mut requests = 0u64;
+    let start = std::time::Instant::now();
+    let mut offset = 0usize;
+    while offset < queries.len() {
+        let take = (queries.len() - offset).min(MAX_QUERIES_PER_REQUEST as usize);
+        requests += 1;
+        let req = SearchRequest {
+            id: requests,
+            deadline_ms: deadline_ms as u32,
+            r: r as u16,
+            nprobe: nprobe as u16,
+            dim: dim as u32,
+            queries: flat[offset * dim..(offset + take) * dim].to_vec(),
+        };
+        let chunk = retry_search(&policy, &mut sleeper, |_attempt| {
+            if client.is_none() {
+                client = Some(Client::connect(addr.as_str(), timeout)?);
+            }
+            let connected = client.as_mut().ok_or_else(|| {
+                ClientError::Io(std::io::Error::other("client unexpectedly missing"))
+            })?;
+            let out = connected.search(&req);
+            if matches!(out, Err(ClientError::Io(_) | ClientError::Wire(_))) {
+                client = None; // broken stream: reconnect on the next attempt
+            }
+            out
+        })
+        .map_err(|e| classify(&format!("search against {addr} failed"), e))?;
+        results.extend(chunk);
+        offset += take;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    if json {
+        let out = serde_json::json!({
+            "addr": addr,
+            "queries": queries.len(),
+            "requests": requests,
+            "r": r,
+            "nprobe": nprobe,
+            "deadline_ms": deadline_ms,
+            "elapsed_s": elapsed,
+            "qps": queries.len() as f64 / elapsed.max(1e-12),
+            "results": results
+                .iter()
+                .map(|neighbours| {
+                    neighbours
+                        .iter()
+                        .map(|n| serde_json::json!({"id": n.id, "dist": n.dist}))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else {
+        for (q, neighbours) in results.iter().enumerate() {
+            let line: Vec<String> = neighbours
+                .iter()
+                .map(|n| format!("{}:{:.4}", n.id, n.dist))
+                .collect();
+            println!("query {q}: {}", line.join(" "));
+        }
+        println!(
+            "{} queries in {requests} request(s), r = {r}, nprobe = {nprobe}: {:.3} ms/query, {:.0} qps",
+            queries.len(),
+            elapsed * 1000.0 / queries.len() as f64,
+            queries.len() as f64 / elapsed.max(1e-12),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! `serve` — run the fault-tolerant dynamic-batching TCP query server over a
+//! saved IVF index.
+//!
+//! The command loads the index, binds the GKSQ server and then parks in a
+//! poll loop watching two stop conditions: the SIGINT/SIGTERM latch
+//! ([`serve::signal`]) and a `Shutdown` control frame from a client (sent by
+//! `gkm-cli query --shutdown`).  Either one triggers the same graceful drain
+//! — stop accepting, answer everything admitted, join every thread — after
+//! which the command prints a counter summary and exits 0.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ivf::IvfIndex;
+use serve::batcher::{BatcherConfig, IvfBackend};
+use serve::server::{Server, ServerConfig, StopReason};
+use serve::signal;
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// Usage text for `serve`.
+pub const USAGE: &str = "\
+serve --index <index.ivf> [--addr <host:port>]   (default 127.0.0.1:0 —
+                                  an ephemeral port, printed once bound)
+      [--max-delay-ms <ms>]       (batching window, default 2)
+      [--max-batch <n>]           (queries per backend call, default 64)
+      [--queue-cap <n>]           (admission bound in queued queries;
+                                  beyond it requests are shed OVERLOADED)
+      [--resume-depth <n>]        (shedding stops once the queue drains
+                                  to this depth; default queue-cap / 4)
+      [--max-conns <n>]           (connection cap, default 256)
+      [--threads <n>]             (worker threads per batch search)
+      [--port-file <path>]        (write the bound port for scripts/tests)
+Serves batched ANN queries over TCP (GKSQ protocol) until SIGINT/SIGTERM or a
+client Shutdown frame, then drains gracefully: every admitted request is
+answered before the process exits.";
+
+/// How often the serve loop polls the signal latch and the server state.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Runs `serve`.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let index_path = args.required("index")?;
+    let addr = args.string_or("addr", "127.0.0.1:0");
+    let max_delay_ms = args.u64_or("max-delay-ms", 2)?;
+    let max_batch = args.usize_or("max-batch", 64)?;
+    let defaults = BatcherConfig::default();
+    let queue_cap = args.usize_or("queue-cap", defaults.queue_cap)?;
+    let resume_depth = args.usize_or("resume-depth", (queue_cap / 4).max(1))?;
+    let max_connections = args.usize_or("max-conns", 256)?;
+    let threads = args.threads_opt()?;
+    let port_file = args.optional("port-file");
+    args.finish()?;
+
+    let index = IvfIndex::load(&index_path)
+        .map_err(|e| CliError::store(format!("cannot read {index_path}"), e))?;
+    println!(
+        "loaded {index_path}: n = {}, d = {}, {} lists",
+        index.len(),
+        index.dim(),
+        index.nlist()
+    );
+
+    let config = ServerConfig {
+        addr: addr.clone(),
+        batcher: BatcherConfig {
+            max_batch,
+            max_delay: Duration::from_millis(max_delay_ms),
+            queue_cap,
+            resume_depth,
+        },
+        max_connections,
+        ..ServerConfig::default()
+    };
+    let backend = Arc::new(IvfBackend::new(index, threads));
+    let mut server = Server::start(backend, config)
+        .map_err(|e| CliError::io(format!("cannot bind {addr}"), e))?;
+
+    signal::install();
+    let bound = server.local_addr();
+    println!("serving on {bound} (Ctrl-C or `gkm-cli query --addr {bound} --shutdown` to drain)");
+    if let Some(path) = &port_file {
+        // Written after the bind so a watching script sees a usable port.
+        std::fs::write(path, format!("{}\n", bound.port()))
+            .map_err(|e| CliError::io(format!("cannot write {path}"), e))?;
+    }
+
+    let reason = loop {
+        if signal::shutdown_requested() {
+            break server.shutdown();
+        }
+        if server.is_finished() {
+            break server.join();
+        }
+        std::thread::sleep(POLL_TICK);
+    };
+
+    let stats = server.stats();
+    println!(
+        "drained ({}) — {} accepted / {} served / {} shed / {} deadline-expired / {} internal; \
+         {} connections ({} refused), {} protocol errors",
+        match reason {
+            StopReason::CtlFrame => "shutdown frame",
+            StopReason::Requested => "signal",
+        },
+        stats.batcher.accepted,
+        stats.batcher.served,
+        stats.batcher.shed,
+        stats.batcher.deadline_expired,
+        stats.batcher.internal_errors,
+        stats.connections_accepted,
+        stats.connections_refused,
+        stats.protocol_errors,
+    );
+    Ok(())
+}

@@ -6,7 +6,8 @@
 //! |-----------------------|-----------|------------------------------------------|
 //! | [`CliError::Usage`]   | 2         | bad flag, missing option, unknown method |
 //! | [`CliError::Io`]      | 3         | file not found, permission denied        |
-//! | [`CliError::Corrupt`] | 4         | checksum mismatch, truncated container   |
+//! | [`CliError::Corrupt`] | 4         | checksum mismatch, truncated container,  |
+//! |                       |           | failed `index verify --spot-check`       |
 //! | [`CliError::Internal`]| 5         | invariant failures inside the library    |
 //!
 //! Exit code 1 is deliberately unused (it is what a panic-induced abort or a
@@ -22,8 +23,18 @@ pub enum CliError {
     Usage(String),
     /// The OS refused an I/O operation (exit 3).
     Io(String),
-    /// An artefact failed validation: checksum, framing or cross-section
-    /// invariants (exit 4).
+    /// An artefact failed validation (exit 4).
+    ///
+    /// Covers both *structural* damage — checksum, framing or cross-section
+    /// invariants caught while loading — and *semantic* damage that the
+    /// container checks cannot see: `index verify --spot-check n` replays
+    /// `n` stored vectors through an exhaustive `nprobe = nlist` scan and
+    /// classifies any vector that fails to return itself at distance zero
+    /// as this variant.  The file parsed and every checksum matched, but
+    /// centroids, ids and panel no longer agree (e.g. a NaN-poisoned panel
+    /// written by a buggy producer and then dutifully re-checksummed).
+    /// Scripts can therefore treat exit 4 uniformly as "the artefact is
+    /// damaged — rebuild it", whichever layer caught the damage.
     Corrupt(String),
     /// An unexpected internal failure (exit 5).
     Internal(String),

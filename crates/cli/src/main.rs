@@ -8,6 +8,8 @@
 //! gkm-cli index build  --base base.fvecs --k 200 --out index.ivf
 //! gkm-cli index search --index index.ivf --queries q.fvecs --r 10 --nprobe 8
 //! gkm-cli index verify --index index.ivf --strict --spot-check 32
+//! gkm-cli serve        --index index.ivf --addr 127.0.0.1:7171
+//! gkm-cli query        --addr 127.0.0.1:7171 --queries q.fvecs --r 10
 //! gkm-cli info         --base base.fvecs --graph graph.bin
 //! ```
 //!
@@ -35,6 +37,8 @@ Subcommands:
   index build   cluster a base set and persist an IVF serving index
   index search  batched multi-probe ANN search over a saved IVF index
   index verify  validate a saved IVF index (checksums, invariants, spot-check)
+  serve         run the dynamic-batching TCP query server over a saved index
+  query         send query batches (or ping/shutdown) to a running server
   info          inspect a dataset / graph file
   help          show this message or a subcommand's options
 
@@ -76,6 +80,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
                 "missing index action; {INDEX_USAGE_HINT}"
             ))),
         },
+        "serve" => commands::serve::run(&Args::parse(rest)?),
+        "query" => commands::query::run(&Args::parse(rest)?),
         "info" => commands::info::run(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
@@ -89,6 +95,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
                     commands::index::SEARCH_USAGE,
                     commands::index::VERIFY_USAGE
                 ),
+                Some("serve") => println!("{}", commands::serve::USAGE),
+                Some("query") => println!("{}", commands::query::USAGE),
                 Some("info") => println!("{}", commands::info::USAGE),
                 _ => println!("{GLOBAL_USAGE}"),
             }
@@ -120,10 +128,206 @@ mod tests {
             "cluster",
             "search",
             "index",
+            "serve",
+            "query",
             "info",
         ] {
             assert!(run(&["help".to_string(), sub.to_string()]).is_ok());
         }
+    }
+
+    #[test]
+    fn spot_check_classifies_semantic_corruption_as_exit_4() {
+        let dir = std::env::temp_dir().join(format!("gkm-cli-spot-e2e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.fvecs").to_str().unwrap().to_string();
+        let index = dir.join("x.ivf").to_str().unwrap().to_string();
+        let cmd = |line: &[&str]| run(&line.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        cmd(&[
+            "gen-data",
+            "--out",
+            &base,
+            "--dataset",
+            "SIFT100K",
+            "--n",
+            "400",
+            "--seed",
+            "11",
+        ])
+        .unwrap();
+        cmd(&[
+            "index",
+            "build",
+            "--base",
+            &base,
+            "--k",
+            "8",
+            "--out",
+            &index,
+            "--method",
+            "lloyd",
+            "--iterations",
+            "5",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+
+        // NaN-poison the first panel row, re-framing the container so every
+        // checksum is valid again: the damage a buggy producer would write,
+        // invisible to structural verification.
+        let bytes = std::fs::read(&index).unwrap();
+        let mut sections = vecstore::io::read_sections_from(&bytes[..]).unwrap();
+        let panel = sections
+            .iter_mut()
+            .find(|s| s.has_tag("IVFPANEL"))
+            .expect("the index container carries a panel section");
+        // Payload layout: n (u64) | dim (u64) | row-major f32 data.  Row 0 is
+        // spot-check global index 0, replayed by any --spot-check n >= 1.
+        panel.payload[16..20].copy_from_slice(&f32::NAN.to_le_bytes());
+        let mut reframed = Vec::new();
+        vecstore::io::write_sections_to(&mut reframed, &sections).unwrap();
+        std::fs::write(&index, &reframed).unwrap();
+
+        // Structural verification (checksums, framing, invariants) passes…
+        cmd(&["index", "verify", "--index", &index]).unwrap();
+        cmd(&["index", "verify", "--index", &index, "--strict"]).unwrap();
+        // …but the semantic spot-check classifies it as corruption (exit 4):
+        // the poisoned vector cannot return itself at distance zero.
+        let err = cmd(&["index", "verify", "--index", &index, "--spot-check", "1"]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("spot-check failed"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_query_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("gkm-cli-serve-e2e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.fvecs").to_str().unwrap().to_string();
+        let queries = dir.join("q.fvecs").to_str().unwrap().to_string();
+        let index = dir.join("x.ivf").to_str().unwrap().to_string();
+        let port_file = dir.join("port").to_str().unwrap().to_string();
+        let cmd = |line: &[&str]| run(&line.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        cmd(&[
+            "gen-data",
+            "--out",
+            &base,
+            "--dataset",
+            "SIFT100K",
+            "--n",
+            "600",
+            "--queries",
+            "20",
+            "--queries-out",
+            &queries,
+            "--seed",
+            "17",
+        ])
+        .unwrap();
+        cmd(&[
+            "index",
+            "build",
+            "--base",
+            &base,
+            "--k",
+            "10",
+            "--out",
+            &index,
+            "--method",
+            "lloyd",
+            "--iterations",
+            "5",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+
+        // `serve` binds an ephemeral port and publishes it via --port-file.
+        let serve_line: Vec<String> = [
+            "serve",
+            "--index",
+            &index,
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file,
+            "--max-delay-ms",
+            "1",
+            "--threads",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || run(&serve_line));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let port = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve never published its port"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let addr = format!("127.0.0.1:{port}");
+
+        cmd(&["query", "--addr", &addr, "--ping"]).unwrap();
+        cmd(&[
+            "query",
+            "--addr",
+            &addr,
+            "--queries",
+            &queries,
+            "--r",
+            "5",
+            "--nprobe",
+            "4",
+            "--json",
+        ])
+        .unwrap();
+        // A generous deadline still succeeds; the budget rides the request.
+        cmd(&[
+            "query",
+            "--addr",
+            &addr,
+            "--queries",
+            &queries,
+            "--r",
+            "3",
+            "--deadline-ms",
+            "5000",
+        ])
+        .unwrap();
+        // Missing --queries without a control flag is a usage error (exit 2).
+        let err = cmd(&["query", "--addr", &addr]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+
+        // The shutdown control frame drains the server; `serve` exits 0.
+        cmd(&["query", "--addr", &addr, "--shutdown"]).unwrap();
+        server
+            .join()
+            .expect("the serve thread panicked")
+            .expect("serve must exit cleanly after a drain");
+        // Against the stopped server the client fails as i/o (exit 3).
+        let err = cmd(&[
+            "query",
+            "--addr",
+            &addr,
+            "--queries",
+            &queries,
+            "--retries",
+            "2",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use knn_graph::Neighbor;
 use vecstore::kernels;
-use vecstore::parallel::{effective_threads, run_blocks, run_blocks_checked, threads_from_env};
+use vecstore::parallel::{effective_threads, run_blocks_checked, threads_from_env};
 use vecstore::{Error, Result, VectorSet};
 
 use crate::index::IvfIndex;
@@ -137,7 +137,10 @@ impl IvfIndex {
     ///
     /// # Panics
     ///
-    /// Panics when `queries.dim() != self.dim()` (unless `queries` is empty).
+    /// Panics when `queries.dim() != self.dim()` (unless `queries` is empty)
+    /// and re-raises a contained worker panic as a structured panic; see
+    /// [`IvfIndex::batch_search_with_stats`].  Serving callers use
+    /// [`IvfIndex::try_batch_search`], which reports both as typed errors.
     pub fn batch_search(
         &self,
         queries: &VectorSet,
@@ -148,41 +151,31 @@ impl IvfIndex {
     }
 
     /// [`IvfIndex::batch_search`] plus aggregate cost counters.
+    ///
+    /// A thin panicking wrapper over [`IvfIndex::try_batch_search_with_stats`]
+    /// — both APIs share one executor loop, so the checked path is the *only*
+    /// path and the serving guarantees (pool stays healthy after a contained
+    /// worker panic) hold for every caller.  Serving code should call the
+    /// `try_` form directly and map the error to a typed response instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries.dim() != self.dim()` (unless `queries` is
+    /// empty), or when a worker panic was contained by the pool (the
+    /// [`Error::Internal`] case of the checked API).
     pub fn batch_search_with_stats(
         &self,
         queries: &VectorSet,
         r: usize,
         params: IvfSearchParams,
     ) -> (Vec<Vec<Neighbor>>, IvfSearchStats) {
-        if queries.is_empty() {
-            return (Vec::new(), IvfSearchStats::default());
+        match self.try_batch_search_with_stats(queries, r, params) {
+            Ok(out) => out,
+            Err(Error::DimensionMismatch { expected, found }) => {
+                panic!("query dimensionality {found} does not match the index's {expected}")
+            }
+            Err(e) => panic!("ivf batch search failed: {e}"),
         }
-        assert_eq!(
-            queries.dim(),
-            self.dim(),
-            "query dimensionality {} does not match the index's {}",
-            queries.dim(),
-            self.dim()
-        );
-        let nq = queries.len();
-        let d = self.dim();
-        let n_blocks = nq.div_ceil(QUERY_BLOCK);
-        let threads = effective_threads(params.threads);
-        let flat = queries.as_flat();
-        let per_block = run_blocks(threads, n_blocks, |b| {
-            let lo = b * QUERY_BLOCK;
-            let hi = ((b + 1) * QUERY_BLOCK).min(nq);
-            let mut results = Vec::with_capacity(hi - lo);
-            let evals = self.search_block(&flat[lo * d..hi * d], r, params.nprobe, &mut results);
-            (results, evals)
-        });
-        let mut results = Vec::with_capacity(nq);
-        let mut stats = IvfSearchStats::default();
-        for (block_results, evals) in per_block {
-            results.extend(block_results);
-            stats.distance_evals += evals;
-        }
-        (results, stats)
     }
 
     /// Non-panicking flavour of [`IvfIndex::batch_search`] for serving
@@ -419,6 +412,16 @@ mod tests {
     fn mismatched_query_dim_panics() {
         let (_, index) = fitted_index(20, 3, 4, 13);
         let _ = index.search(&[0.0, 0.0], 1, IvfSearchParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality")]
+    fn mismatched_batch_query_dim_panics_via_checked_path() {
+        // batch_search is a wrapper over the checked executor; the legacy
+        // panic contract (message included) must survive the delegation.
+        let (_, index) = fitted_index(20, 3, 4, 13);
+        let queries = lattice(3, 2, 1);
+        let _ = index.batch_search(&queries, 1, IvfSearchParams::default());
     }
 
     #[test]

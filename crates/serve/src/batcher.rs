@@ -1,0 +1,944 @@
+//! Dynamic batcher: coalesces in-flight requests into IVF query blocks under
+//! a latency deadline, with bounded admission, typed shedding and drain.
+//!
+//! # Deadline math
+//!
+//! A request enters the queue stamped with its enqueue time and an optional
+//! absolute deadline (`now + deadline_ms` at frame-read time).  The batcher
+//! thread flushes the queue when *either*
+//!
+//! * depth reaches `max_batch` (a full IVF block — no reason to wait), or
+//! * `now ≥ flush_at`, where `flush_at = min(oldest.enqueued + max_delay,
+//!   min over queued requests of their serve-by point)`.
+//!
+//! A request's *serve-by point* sits at 75% of its deadline budget: the last
+//! quarter is reserved for the backend call, so a deadline that tightens the
+//! flush schedule still leaves time to actually serve the request (flushing
+//! *at* the deadline would expire the very request the flush was for).  So a
+//! queued request waits at most `max_delay` for company, and never past the
+//! tightest serve-by point in the queue.  Before assembling a batch the
+//! queue is swept for requests whose full deadline has already passed, which
+//! are answered `DEADLINE_EXCEEDED` immediately — a request is *never*
+//! silently dropped, and never burns backend work after its client has given
+//! up.
+//!
+//! # Shedding state machine
+//!
+//! Admission is bounded by `queue_cap` queued *queries* (not requests, so a
+//! 64-query frame counts 64).  The batcher runs a two-watermark hysteresis:
+//!
+//! ```text
+//!             depth > queue_cap                   depth ≤ resume_depth
+//!  ┌────────┐ ──────────────────► ┌──────────────┐ ──────────────────► ┌────────┐
+//!  │ OPEN   │                     │   SHEDDING   │                     │ OPEN   │
+//!  └────────┘  admit everything   └──────────────┘  shed OVERLOADED    └────────┘
+//! ```
+//!
+//! Without the low watermark an overloaded server oscillates admit/shed per
+//! request; with it, shedding persists until the backlog has actually
+//! drained to `resume_depth`, giving bursts a clean recovery edge.
+//!
+//! # Failure containment
+//!
+//! The backend is called through [`SearchBackend::search_batch`], whose IVF
+//! implementation uses [`ivf::IvfIndex::try_batch_search`] — a worker panic
+//! is contained by the pool and surfaces as `Err`, which fails *only the
+//! requests in that batch* with `INTERNAL`.  A defensive `catch_unwind`
+//! around the call turns any direct backend panic into the same typed
+//! outcome, so the batcher thread itself never dies.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ivf::{IvfIndex, IvfSearchParams};
+use knn_graph::Neighbor;
+use vecstore::VectorSet;
+
+use crate::protocol::{SearchResponse, Status};
+
+/// Abstraction over the thing that answers query batches, so the chaos tests
+/// can wrap the real index with slow / panicking / failing shims.
+pub trait SearchBackend: Send + Sync + 'static {
+    /// Dimensionality the backend expects.
+    fn dim(&self) -> usize;
+    /// Answers every row of `queries` with its `r` nearest neighbours.
+    /// Errors must leave the backend serviceable (fail the batch, not the
+    /// process).
+    fn search_batch(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        nprobe: usize,
+    ) -> vecstore::Result<Vec<Vec<Neighbor>>>;
+}
+
+/// The production backend: an [`IvfIndex`] searched through the checked
+/// (panic-containing) batch API.
+pub struct IvfBackend {
+    index: IvfIndex,
+    threads: Option<usize>,
+}
+
+impl IvfBackend {
+    /// Wraps `index`; `threads = None` inherits the `GKM_THREADS` default.
+    pub fn new(index: IvfIndex, threads: Option<usize>) -> Self {
+        IvfBackend { index, threads }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &IvfIndex {
+        &self.index
+    }
+}
+
+impl SearchBackend for IvfBackend {
+    fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    fn search_batch(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        nprobe: usize,
+    ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+        let mut params = IvfSearchParams::default().nprobe(nprobe.max(1));
+        if let Some(t) = self.threads {
+            params = params.threads(t);
+        }
+        self.index.try_batch_search(queries, r, params)
+    }
+}
+
+/// Batcher tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Queries per backend call (defaults to one IVF block).
+    pub max_batch: usize,
+    /// Longest a queued request waits for company before the batch flushes.
+    pub max_delay: Duration,
+    /// Admission bound in queued queries; beyond it requests are shed.
+    pub queue_cap: usize,
+    /// Low watermark: once shedding starts it persists until the queue
+    /// drains to this depth.
+    pub resume_depth: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 1024,
+            resume_depth: 256,
+        }
+    }
+}
+
+impl BatcherConfig {
+    /// Clamps inconsistent knobs into a usable state (resume below cap,
+    /// non-zero batch).
+    fn normalized(mut self) -> Self {
+        self.max_batch = self.max_batch.max(1);
+        self.queue_cap = self.queue_cap.max(self.max_batch);
+        self.resume_depth = self.resume_depth.min(self.queue_cap.saturating_sub(1));
+        self
+    }
+}
+
+/// One admitted request waiting for a batch.
+struct Pending {
+    id: u64,
+    queries: Vec<f32>,
+    n: usize,
+    dim: usize,
+    r: usize,
+    nprobe: usize,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    /// 75% point of the deadline budget — the flush schedule honours this,
+    /// reserving the final quarter for the backend call.
+    serve_by: Option<Instant>,
+    reply: mpsc::Sender<SearchResponse>,
+}
+
+/// Monotonic counters exported for the stats endpoint / load generator.
+#[derive(Default)]
+pub struct BatcherCounters {
+    /// Requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests shed with `OVERLOADED`.
+    pub shed: AtomicU64,
+    /// Requests answered `DEADLINE_EXCEEDED`.
+    pub deadline_expired: AtomicU64,
+    /// Requests answered `INTERNAL`.
+    pub internal_errors: AtomicU64,
+    /// Backend batches executed.
+    pub batches: AtomicU64,
+    /// Requests answered `OK`.
+    pub served: AtomicU64,
+}
+
+/// Point-in-time snapshot of [`BatcherCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests shed with `OVERLOADED`.
+    pub shed: u64,
+    /// Requests answered `DEADLINE_EXCEEDED`.
+    pub deadline_expired: u64,
+    /// Requests answered `INTERNAL`.
+    pub internal_errors: u64,
+    /// Backend batches executed.
+    pub batches: u64,
+    /// Requests answered `OK`.
+    pub served: u64,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    wake: Condvar,
+    counters: BatcherCounters,
+    config: BatcherConfig,
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    /// Queued queries (sum of `Pending::n`), the unit `queue_cap` bounds.
+    depth: usize,
+    /// Hysteresis flag: true between the high-watermark trip and the
+    /// low-watermark recovery.
+    shedding: bool,
+    /// Drain mode: no further admission, flush whatever is queued.
+    closing: bool,
+}
+
+/// The dynamic batcher: admission control on callers' threads, batch
+/// assembly and backend execution on one dedicated thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+/// Outcome of [`Batcher::submit`].
+pub enum Admission {
+    /// Admitted; the response arrives on the channel given to `submit`.
+    Queued,
+    /// Rejected immediately with the enclosed typed response (shed,
+    /// draining, or malformed) — the caller forwards it and is done.
+    Rejected(SearchResponse),
+}
+
+impl Batcher {
+    /// Starts the batcher thread over `backend`.
+    pub fn start(backend: Arc<dyn SearchBackend>, config: BatcherConfig) -> Self {
+        let config = config.normalized();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                depth: 0,
+                shedding: false,
+                closing: false,
+            }),
+            wake: Condvar::new(),
+            counters: BatcherCounters::default(),
+            config,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("gkm-batcher".into())
+            .spawn(move || batcher_loop(&worker_shared, backend.as_ref()))
+            .unwrap_or_else(|e| panic!("cannot spawn the batcher thread: {e}"));
+        Batcher {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Offers a request for admission.  `queries` is `n × dim` row-major;
+    /// the response (result or typed rejection) is delivered exactly once on
+    /// `reply`, unless this returns [`Admission::Rejected`], in which case
+    /// the caller already holds the sole response.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit(
+        &self,
+        id: u64,
+        queries: Vec<f32>,
+        dim: usize,
+        r: usize,
+        nprobe: usize,
+        deadline: Option<Instant>,
+        reply: mpsc::Sender<SearchResponse>,
+    ) -> Admission {
+        let n = queries.len().checked_div(dim).unwrap_or(0);
+        let cfg = &self.shared.config;
+        let mut q = lock(&self.shared.queue);
+        if q.closing {
+            return Admission::Rejected(SearchResponse::rejection(
+                id,
+                Status::ShuttingDown,
+                "server is draining",
+            ));
+        }
+        // Two-watermark admission: trip at the cap, recover at resume_depth.
+        if q.shedding {
+            if q.depth <= cfg.resume_depth {
+                q.shedding = false;
+            }
+        } else if q.depth + n > cfg.queue_cap {
+            q.shedding = true;
+        }
+        if q.shedding {
+            drop(q);
+            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Admission::Rejected(SearchResponse::rejection(
+                id,
+                Status::Overloaded,
+                format!("admission queue full ({} queries queued)", cfg.queue_cap),
+            ));
+        }
+        q.depth += n;
+        let enqueued = Instant::now();
+        let serve_by = deadline.map(|d| {
+            let budget = d.saturating_duration_since(enqueued);
+            enqueued + budget.mul_f64(0.75)
+        });
+        q.pending.push_back(Pending {
+            id,
+            queries,
+            n,
+            dim,
+            r,
+            nprobe,
+            enqueued,
+            deadline,
+            serve_by,
+            reply,
+        });
+        drop(q);
+        self.shared
+            .counters
+            .accepted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.wake.notify_one();
+        Admission::Queued
+    }
+
+    /// Current queued-query depth (for tests and the stats endpoint).
+    pub fn depth(&self) -> usize {
+        lock(&self.shared.queue).depth
+    }
+
+    /// Snapshot of the monotonic counters.
+    pub fn stats(&self) -> BatcherStats {
+        let c = &self.shared.counters;
+        BatcherStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            internal_errors: c.internal_errors.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            served: c.served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops admission and drains: every already-queued request is still
+    /// served (or expired), then the batcher thread exits.  Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            q.closing = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(worker) = self.worker.take() {
+            // The batcher thread contains every panic via catch_unwind, so
+            // join only fails if the thread died to a bug; propagate loudly.
+            if worker.join().is_err() {
+                panic!("the batcher thread panicked outside containment");
+            }
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Poison-tolerant lock: queue state is plain data plus counters, always
+/// valid, so a panicking peer must not wedge admission.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn batcher_loop(shared: &Shared, backend: &dyn SearchBackend) {
+    let cfg = shared.config;
+    loop {
+        let batch = {
+            let mut q = lock(&shared.queue);
+            loop {
+                // Expired requests are answered immediately, even mid-wait:
+                // a deadline storm must not occupy queue depth.
+                expire(&mut q, &shared.counters);
+                if q.depth >= cfg.max_batch || (q.closing && !q.pending.is_empty()) {
+                    break;
+                }
+                if q.pending.is_empty() {
+                    if q.closing {
+                        return;
+                    }
+                    // Parked until `submit` or `shutdown` notifies — the
+                    // idle batcher burns no CPU.
+                    q = match shared.wake.wait(q) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    continue;
+                }
+                let now = Instant::now();
+                let flush_at = flush_deadline(&q, cfg.max_delay);
+                if now >= flush_at {
+                    break;
+                }
+                let (guard, _timeout) = match shared.wake.wait_timeout(q, flush_at - now) {
+                    Ok(pair) => pair,
+                    Err(poisoned) => {
+                        let pair = poisoned.into_inner();
+                        (pair.0, pair.1)
+                    }
+                };
+                q = guard;
+            }
+            take_batch(&mut q, cfg.max_batch)
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        run_batch(batch, backend, &shared.counters);
+    }
+}
+
+/// Answers and removes every expired request in the queue.
+fn expire(q: &mut QueueState, counters: &BatcherCounters) {
+    let now = Instant::now();
+    let mut kept = VecDeque::with_capacity(q.pending.len());
+    while let Some(p) = q.pending.pop_front() {
+        match p.deadline {
+            Some(d) if now >= d => {
+                q.depth -= p.n;
+                counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                let _ = p.reply.send(SearchResponse::rejection(
+                    p.id,
+                    Status::DeadlineExceeded,
+                    format!("deadline expired after {:?} in queue", now - p.enqueued),
+                ));
+            }
+            _ => kept.push_back(p),
+        }
+    }
+    q.pending = kept;
+}
+
+/// When the current queue must flush: the oldest request's `max_delay`
+/// budget, tightened by the earliest serve-by point (75% of a deadline
+/// budget — see the module docs).
+fn flush_deadline(q: &QueueState, max_delay: Duration) -> Instant {
+    let mut flush_at = match q.pending.front() {
+        Some(oldest) => oldest.enqueued + max_delay,
+        None => Instant::now() + max_delay,
+    };
+    for p in &q.pending {
+        if let Some(s) = p.serve_by {
+            flush_at = flush_at.min(s);
+        }
+    }
+    flush_at
+}
+
+/// Pops requests off the queue front into one batch.  Requests are grouped
+/// by the `(r, nprobe)` of the oldest queued request — later requests with
+/// different knobs stay queued for the next batch, preserving arrival order
+/// within each group.
+fn take_batch(q: &mut QueueState, max_batch: usize) -> Vec<Pending> {
+    let mut batch = Vec::new();
+    let (mut r, mut nprobe, mut dim) = (0usize, 0usize, 0usize);
+    let mut taken_queries = 0usize;
+    let mut i = 0;
+    while i < q.pending.len() {
+        let p = &q.pending[i];
+        if batch.is_empty() {
+            (r, nprobe, dim) = (p.r, p.nprobe, p.dim);
+        }
+        if p.r != r || p.nprobe != nprobe || p.dim != dim {
+            i += 1;
+            continue;
+        }
+        if !batch.is_empty() && taken_queries + p.n > max_batch {
+            break;
+        }
+        taken_queries += p.n;
+        q.depth -= p.n;
+        if let Some(p) = q.pending.remove(i) {
+            batch.push(p);
+        }
+        if taken_queries >= max_batch {
+            break;
+        }
+    }
+    batch
+}
+
+/// Executes one batch and fans the results (or a typed failure) back out.
+fn run_batch(batch: Vec<Pending>, backend: &dyn SearchBackend, counters: &BatcherCounters) {
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    let dim = batch[0].dim;
+    let r = batch[0].r;
+    let nprobe = batch[0].nprobe;
+    let mut flat = Vec::with_capacity(batch.iter().map(|p| p.queries.len()).sum());
+    for p in &batch {
+        flat.extend_from_slice(&p.queries);
+    }
+    let outcome = VectorSet::from_flat(flat, dim).and_then(|queries| {
+        // The IVF backend already contains worker panics via the
+        // checked pool API; this catch_unwind is belt-and-braces for
+        // backend implementations that panic on the batcher thread
+        // itself.
+        match catch_unwind(AssertUnwindSafe(|| {
+            backend.search_batch(&queries, r, nprobe)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                Err(vecstore::Error::Internal(format!(
+                    "backend panicked: {msg}"
+                )))
+            }
+        }
+    });
+    match outcome {
+        Ok(results) => {
+            let expected: usize = batch.iter().map(|p| p.n).sum();
+            if results.len() != expected {
+                fail_batch(
+                    &batch,
+                    counters,
+                    format!(
+                        "backend returned {} result lists for {expected} queries",
+                        results.len()
+                    ),
+                );
+                return;
+            }
+            let mut rest = results;
+            for p in &batch {
+                let tail = rest.split_off(p.n);
+                let own = std::mem::replace(&mut rest, tail);
+                counters.served.fetch_add(1, Ordering::Relaxed);
+                let _ = p.reply.send(SearchResponse::ok(p.id, own));
+            }
+        }
+        Err(e) => fail_batch(&batch, counters, format!("search failed: {e}")),
+    }
+}
+
+/// Answers every request of a failed batch with `INTERNAL`.
+fn fail_batch(batch: &[Pending], counters: &BatcherCounters, message: String) {
+    for p in batch {
+        counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+        let _ = p.reply.send(SearchResponse::rejection(
+            p.id,
+            Status::Internal,
+            message.clone(),
+        ));
+    }
+}
+
+/// Best-effort panic payload text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic toy backend: neighbour id = floor of the first query
+    /// coordinate, distance = fractional part.
+    struct EchoBackend {
+        dim: usize,
+    }
+
+    impl SearchBackend for EchoBackend {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+
+        fn search_batch(
+            &self,
+            queries: &VectorSet,
+            r: usize,
+            _nprobe: usize,
+        ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+            Ok(queries
+                .rows()
+                .map(|row| {
+                    (0..r)
+                        .map(|j| Neighbor::new(row[0] as u32 + j as u32, row[0].fract()))
+                        .collect()
+                })
+                .collect())
+        }
+    }
+
+    fn submit_one(b: &Batcher, id: u64, x: f32) -> mpsc::Receiver<SearchResponse> {
+        let (tx, rx) = mpsc::channel();
+        match b.submit(id, vec![x, 0.0], 2, 3, 1, None, tx.clone()) {
+            Admission::Queued => {}
+            Admission::Rejected(resp) => {
+                let _ = tx.send(resp);
+            }
+        }
+        rx
+    }
+
+    #[test]
+    fn serves_and_correlates_interleaved_requests() {
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let mut b = Batcher::start(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_millis(1),
+                ..BatcherConfig::default()
+            },
+        );
+        let rxs: Vec<_> = (0..20).map(|i| submit_one(&b, i, i as f32)).collect();
+        for (i, rx) in rxs.iter().enumerate() {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.id, i as u64);
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.results.len(), 1);
+            assert_eq!(resp.results[0][0].id, i as u32);
+        }
+        let stats = b.stats();
+        assert_eq!(stats.served, 20);
+        assert_eq!(stats.accepted, 20);
+        b.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_not_dropped() {
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let mut b = Batcher::start(
+            backend,
+            BatcherConfig {
+                // Long flush delay: without deadline handling the request
+                // would sit for a second.
+                max_delay: Duration::from_secs(1),
+                max_batch: 64,
+                ..BatcherConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        // Already expired at admission (e.g. the client set a 1 ms budget
+        // that elapsed during frame parsing): the sweep must answer it, not
+        // drop it, and must not burn a backend call on it.
+        let deadline = Some(Instant::now());
+        assert!(matches!(
+            b.submit(42, vec![1.0, 2.0], 2, 3, 1, deadline, tx),
+            Admission::Queued
+        ));
+        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.id, 42);
+        assert_eq!(resp.status, Status::DeadlineExceeded);
+        assert_eq!(b.stats().deadline_expired, 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn deadline_tightens_the_flush_not_just_expiry() {
+        // A request whose deadline is *after* now but *before* max_delay
+        // must be served promptly (flush_at = deadline), not expired.
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let mut b = Batcher::start(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_secs(5),
+                ..BatcherConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        let deadline = Some(Instant::now() + Duration::from_millis(200));
+        assert!(matches!(
+            b.submit(7, vec![3.0, 0.0], 2, 2, 1, deadline, tx),
+            Admission::Queued
+        ));
+        let start = Instant::now();
+        let resp = rx.recv_timeout(Duration::from_secs(4)).unwrap();
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.message);
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "flush did not honour the deadline-tightened schedule"
+        );
+        b.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_hysteresis_and_recovers() {
+        /// Backend that blocks until released, to pile up a backlog.
+        struct GatedBackend {
+            gate: Mutex<bool>,
+            cv: Condvar,
+        }
+        impl SearchBackend for GatedBackend {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn search_batch(
+                &self,
+                queries: &VectorSet,
+                r: usize,
+                _nprobe: usize,
+            ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+                let mut open = self.gate.lock().unwrap();
+                while !*open {
+                    open = self.cv.wait(open).unwrap();
+                }
+                Ok(vec![vec![Neighbor::new(0, 0.0); r]; queries.len()])
+            }
+        }
+        let backend = Arc::new(GatedBackend {
+            gate: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let backend2 = Arc::clone(&backend);
+        let mut b = Batcher::start(
+            backend,
+            BatcherConfig {
+                max_batch: 2,
+                max_delay: Duration::from_micros(100),
+                queue_cap: 4,
+                resume_depth: 0,
+            },
+        );
+        // Fill: the batcher takes up to one batch (2 queries) into flight
+        // and blocks on the gate; then the queue fills to its cap of 4.
+        let mut rxs = Vec::new();
+        let mut shed = 0usize;
+        for i in 0..32u64 {
+            let (tx, rx) = mpsc::channel();
+            match b.submit(i, vec![1.0, 0.0], 2, 1, 1, None, tx.clone()) {
+                Admission::Queued => rxs.push(rx),
+                Admission::Rejected(resp) => {
+                    assert_eq!(resp.status, Status::Overloaded);
+                    shed += 1;
+                }
+            }
+            // Give the batcher a moment to pull the first batch into flight.
+            if i == 0 {
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+        assert!(shed > 0, "cap 4 must shed under 32 one-query requests");
+        assert_eq!(b.stats().shed, shed as u64);
+
+        // Release the gate: everything admitted must complete.
+        {
+            let mut open = backend2.gate.lock().unwrap();
+            *open = true;
+            backend2.cv.notify_all();
+        }
+        for rx in &rxs {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.status, Status::Ok);
+        }
+        // Hysteresis has recovered (resume_depth 0, queue drained): new
+        // requests are admitted again.
+        let rx = submit_one(&b, 999, 1.5);
+        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.id, 999);
+        b.shutdown();
+    }
+
+    #[test]
+    fn backend_error_fails_only_that_batch() {
+        /// Fails batches containing a negative first coordinate.
+        struct FlakyBackend;
+        impl SearchBackend for FlakyBackend {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn search_batch(
+                &self,
+                queries: &VectorSet,
+                r: usize,
+                _nprobe: usize,
+            ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+                if queries.rows().any(|row| row[0] < 0.0) {
+                    return Err(vecstore::Error::Internal("worker panicked".into()));
+                }
+                Ok(vec![vec![Neighbor::new(1, 0.5); r]; queries.len()])
+            }
+        }
+        let mut b = Batcher::start(
+            Arc::new(FlakyBackend),
+            BatcherConfig {
+                max_batch: 1, // one request per batch → failures are isolated
+                max_delay: Duration::from_micros(100),
+                ..BatcherConfig::default()
+            },
+        );
+        let bad = submit_one(&b, 1, -1.0);
+        let good = submit_one(&b, 2, 1.0);
+        let bad_resp = bad.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(bad_resp.status, Status::Internal);
+        assert!(bad_resp.message.contains("worker panicked"));
+        let good_resp = good.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(good_resp.status, Status::Ok);
+        assert_eq!(b.stats().internal_errors, 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn panicking_backend_is_contained_and_batcher_survives() {
+        struct PanickyBackend;
+        impl SearchBackend for PanickyBackend {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn search_batch(
+                &self,
+                queries: &VectorSet,
+                r: usize,
+                _nprobe: usize,
+            ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+                if queries.rows().any(|row| row[0] < 0.0) {
+                    panic!("injected backend panic");
+                }
+                Ok(vec![vec![Neighbor::new(4, 0.25); r]; queries.len()])
+            }
+        }
+        let mut b = Batcher::start(
+            Arc::new(PanickyBackend),
+            BatcherConfig {
+                max_batch: 1,
+                max_delay: Duration::from_micros(100),
+                ..BatcherConfig::default()
+            },
+        );
+        let bad = submit_one(&b, 5, -2.0);
+        let resp = bad.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, Status::Internal);
+        assert!(resp.message.contains("injected backend panic"));
+        // The batcher thread is still alive and serving.
+        let good = submit_one(&b, 6, 3.0);
+        assert_eq!(
+            good.recv_timeout(Duration::from_secs(5)).unwrap().status,
+            Status::Ok
+        );
+        b.shutdown();
+    }
+
+    #[test]
+    fn mixed_knobs_are_batched_separately_but_all_answered() {
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let mut b = Batcher::start(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_millis(1),
+                ..BatcherConfig::default()
+            },
+        );
+        let mut rxs = Vec::new();
+        for i in 0..12u64 {
+            let (tx, rx) = mpsc::channel();
+            let r = if i % 2 == 0 { 2 } else { 5 };
+            match b.submit(i, vec![i as f32, 0.0], 2, r, 1, None, tx.clone()) {
+                Admission::Queued => {}
+                Admission::Rejected(resp) => {
+                    let _ = tx.send(resp);
+                }
+            }
+            rxs.push((rx, r));
+        }
+        for (i, (rx, r)) in rxs.iter().enumerate() {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.id, i as u64);
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.results[0].len(), *r);
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        /// Slow backend so requests are still queued when shutdown lands.
+        struct SlowBackend;
+        impl SearchBackend for SlowBackend {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn search_batch(
+                &self,
+                queries: &VectorSet,
+                r: usize,
+                _nprobe: usize,
+            ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+                thread::sleep(Duration::from_millis(20));
+                Ok(vec![vec![Neighbor::new(9, 1.0); r]; queries.len()])
+            }
+        }
+        let mut b = Batcher::start(
+            Arc::new(SlowBackend),
+            BatcherConfig {
+                max_batch: 1,
+                max_delay: Duration::from_secs(10), // would stall without drain
+                ..BatcherConfig::default()
+            },
+        );
+        let rxs: Vec<_> = (0..4).map(|i| submit_one(&b, i, 1.0)).collect();
+        b.shutdown();
+        for rx in &rxs {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.status, Status::Ok, "drain must serve queued work");
+        }
+        // Post-shutdown submission is rejected as SHUTTING_DOWN.
+        let (tx, _rx) = mpsc::channel();
+        match b.submit(99, vec![0.0, 0.0], 2, 1, 1, None, tx) {
+            Admission::Rejected(resp) => assert_eq!(resp.status, Status::ShuttingDown),
+            Admission::Queued => panic!("draining batcher must not admit"),
+        }
+    }
+
+    #[test]
+    fn config_normalization_keeps_knobs_consistent() {
+        let cfg = BatcherConfig {
+            max_batch: 0,
+            queue_cap: 0,
+            resume_depth: 100,
+            max_delay: Duration::from_millis(1),
+        }
+        .normalized();
+        assert_eq!(cfg.max_batch, 1);
+        assert!(cfg.queue_cap >= cfg.max_batch);
+        assert!(cfg.resume_depth < cfg.queue_cap);
+    }
+}

@@ -1,0 +1,446 @@
+//! Blocking client for the GKSQ protocol, plus the retry policy for
+//! idempotent searches.
+//!
+//! Retries are **classification-driven**: a search is idempotent, so
+//! [`retry_search`] retries on `OVERLOADED` (the server shed it unprocessed)
+//! and on connect/transport failures (the request may never have arrived) —
+//! but *never* on `DEADLINE_EXCEEDED`: the client's time budget is spent, and
+//! retrying a deadline miss under load is how retry storms start.  Backoff is
+//! exponential with equal-jitter (`[delay/2, delay]`) from a deterministic
+//! xorshift stream, so tests can pin the seed and assert exact schedules.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use knn_graph::Neighbor;
+
+use crate::protocol::{
+    read_frame, write_frame, write_search, FrameKind, SearchRequest, SearchResponse, Status,
+    WireError, DEFAULT_MAX_PAYLOAD,
+};
+
+/// Client-side failure classification.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect or transport failure — the request may not have reached the
+    /// server (retryable for idempotent operations).
+    Io(io::Error),
+    /// The server's bytes did not parse as protocol frames.
+    Wire(WireError),
+    /// The server answered with a typed non-`OK` status.
+    Rejected {
+        /// The classification the server returned.
+        status: Status,
+        /// Human-readable reason from the response frame.
+        message: String,
+    },
+    /// The server answered a different request id than asked.
+    Mismatch {
+        /// Id the client sent.
+        sent: u64,
+        /// Id the server echoed.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failure: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Rejected { status, message } => {
+                write!(f, "{status}: {message}")
+            }
+            ClientError::Mismatch { sent, got } => {
+                write!(f, "response id {got} does not match request id {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(inner) => ClientError::Io(inner),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+impl ClientError {
+    /// True when retrying an *idempotent* request is sound: the server shed
+    /// it unprocessed (`OVERLOADED`) or transport failed.  Deadline misses,
+    /// protocol errors and every other rejection are terminal.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Rejected { status, .. } => *status == Status::Overloaded,
+            _ => false,
+        }
+    }
+}
+
+/// A connected GKSQ client.
+pub struct Client {
+    stream: TcpStream,
+    max_payload: u32,
+}
+
+impl Client {
+    /// Connects with a timeout (applied to connect, reads and writes).
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client, ClientError> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing")
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Frames are small and request/response-shaped; Nagle + delayed ACK
+        // would add tens of milliseconds per round trip.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Sends one search request and blocks for its response.
+    pub fn search(&mut self, req: &SearchRequest) -> Result<Vec<Vec<Neighbor>>, ClientError> {
+        write_search(&mut self.stream, req)?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload)?
+                .ok_or(ClientError::Wire(WireError::Truncated))?;
+            match frame.kind {
+                FrameKind::Response => {
+                    let resp = SearchResponse::decode(&frame.payload)?;
+                    if resp.status != Status::Ok {
+                        return Err(ClientError::Rejected {
+                            status: resp.status,
+                            message: resp.message,
+                        });
+                    }
+                    if resp.id != req.id {
+                        return Err(ClientError::Mismatch {
+                            sent: req.id,
+                            got: resp.id,
+                        });
+                    }
+                    return Ok(resp.results);
+                }
+                // Stray control frames (e.g. a pong from an earlier ping
+                // crossing this request) are skipped.
+                FrameKind::Pong | FrameKind::ShutdownAck => continue,
+                other => {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "unexpected frame kind {other:?} while awaiting a response"
+                    ))))
+                }
+            }
+        }
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, FrameKind::Ping, &[])?;
+        let frame = read_frame(&mut self.stream, self.max_payload)?
+            .ok_or(ClientError::Wire(WireError::Truncated))?;
+        match frame.kind {
+            FrameKind::Pong => Ok(()),
+            other => Err(ClientError::Wire(WireError::Malformed(format!(
+                "expected a pong, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Asks the server to drain and exit; resolves once the drain has begun.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, FrameKind::Shutdown, &[])?;
+        let frame = read_frame(&mut self.stream, self.max_payload)?
+            .ok_or(ClientError::Wire(WireError::Truncated))?;
+        match frame.kind {
+            FrameKind::ShutdownAck => Ok(()),
+            other => Err(ClientError::Wire(WireError::Malformed(format!(
+                "expected a shutdown ack, got {other:?}"
+            )))),
+        }
+    }
+}
+
+/// Exponential backoff with equal-jitter and a cap.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound any single backoff is clamped to.
+    pub cap: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Injection point for time so the retry schedule is unit-testable without
+/// sleeping: production uses [`ThreadSleeper`], tests record durations.
+pub trait Sleeper {
+    /// Waits for `d` (or records it, in tests).
+    fn sleep(&mut self, d: Duration);
+}
+
+/// Real wall-clock sleeper.
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&mut self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// splitmix64 — tiny deterministic generator for jitter (no rand dep on the
+/// client path).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The backoff before retry number `retry` (1-based), jittered into
+/// `[delay/2, delay]` where `delay = min(base · 2^(retry-1), cap)`.
+fn backoff(policy: &RetryPolicy, retry: u32, jitter_state: &mut u64) -> Duration {
+    let exp = retry.saturating_sub(1).min(32);
+    let delay = policy
+        .base
+        .saturating_mul(1u32 << exp.min(31))
+        .min(policy.cap);
+    let half = delay / 2;
+    if half.is_zero() {
+        return delay;
+    }
+    let span_nanos = (delay - half).as_nanos() as u64;
+    let jitter = splitmix64(jitter_state) % (span_nanos + 1);
+    half + Duration::from_nanos(jitter)
+}
+
+/// Runs `attempt` up to `policy.max_attempts` times, backing off between
+/// tries.  Retries only errors whose [`ClientError::is_retryable`] is true —
+/// `OVERLOADED` rejections and transport failures — and returns the last
+/// error when attempts are exhausted.  `DEADLINE_EXCEEDED` and every other
+/// classification fail fast on the first occurrence.
+pub fn retry_search<T>(
+    policy: &RetryPolicy,
+    sleeper: &mut impl Sleeper,
+    mut attempt: impl FnMut(u32) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut jitter_state = policy.jitter_seed;
+    let mut tries = 0;
+    loop {
+        tries += 1;
+        match attempt(tries) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && tries < attempts => {
+                sleeper.sleep(backoff(policy, tries, &mut jitter_state));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fake clock: records every sleep instead of waiting.
+    struct FakeSleeper {
+        slept: Vec<Duration>,
+    }
+
+    impl Sleeper for FakeSleeper {
+        fn sleep(&mut self, d: Duration) {
+            self.slept.push(d);
+        }
+    }
+
+    fn overloaded() -> ClientError {
+        ClientError::Rejected {
+            status: Status::Overloaded,
+            message: "shed".into(),
+        }
+    }
+
+    fn deadline_exceeded() -> ClientError {
+        ClientError::Rejected {
+            status: Status::DeadlineExceeded,
+            message: "late".into(),
+        }
+    }
+
+    #[test]
+    fn retries_overloaded_until_success() {
+        let mut sleeper = FakeSleeper { slept: Vec::new() };
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let out = retry_search(&policy, &mut sleeper, |attempt| {
+            calls += 1;
+            assert_eq!(attempt, calls);
+            if calls < 3 {
+                Err(overloaded())
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(calls, 3);
+        assert_eq!(sleeper.slept.len(), 2, "one backoff per failed attempt");
+    }
+
+    #[test]
+    fn never_retries_deadline_exceeded() {
+        let mut sleeper = FakeSleeper { slept: Vec::new() };
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let err = retry_search::<()>(&policy, &mut sleeper, |_| {
+            calls += 1;
+            Err(deadline_exceeded())
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "a deadline miss must fail fast");
+        assert!(sleeper.slept.is_empty(), "no backoff for a terminal error");
+        assert!(matches!(
+            err,
+            ClientError::Rejected {
+                status: Status::DeadlineExceeded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn retries_transport_failures_and_exhausts() {
+        let mut sleeper = FakeSleeper { slept: Vec::new() };
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let err = retry_search::<()>(&policy, &mut sleeper, |_| {
+            calls += 1;
+            Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "nope",
+            )))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 5);
+        assert_eq!(sleeper.slept.len(), 4);
+        assert!(matches!(err, ClientError::Io(_)));
+    }
+
+    #[test]
+    fn other_rejections_fail_fast() {
+        for status in [Status::Internal, Status::BadRequest, Status::ShuttingDown] {
+            let mut sleeper = FakeSleeper { slept: Vec::new() };
+            let mut calls = 0;
+            let _ = retry_search::<()>(&RetryPolicy::default(), &mut sleeper, |_| {
+                calls += 1;
+                Err(ClientError::Rejected {
+                    status,
+                    message: String::new(),
+                })
+            });
+            assert_eq!(calls, 1, "{status} must not be retried");
+            assert!(sleeper.slept.is_empty());
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered_within_bounds() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            jitter_seed: 7,
+        };
+        let mut sleeper = FakeSleeper { slept: Vec::new() };
+        let _ = retry_search::<()>(&policy, &mut sleeper, |_| Err(overloaded()));
+        assert_eq!(sleeper.slept.len(), 7);
+        for (i, &d) in sleeper.slept.iter().enumerate() {
+            let raw = policy
+                .base
+                .saturating_mul(1u32 << i.min(31))
+                .min(policy.cap);
+            assert!(
+                d >= raw / 2 && d <= raw,
+                "retry {} slept {d:?}, expected within [{:?}, {raw:?}]",
+                i + 1,
+                raw / 2
+            );
+        }
+        // The tail is capped.
+        let last = *sleeper.slept.last().unwrap();
+        assert!(last <= policy.cap);
+    }
+
+    #[test]
+    fn jitter_schedule_is_deterministic_per_seed() {
+        let policy = RetryPolicy {
+            jitter_seed: 99,
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        };
+        let run = |policy: &RetryPolicy| {
+            let mut sleeper = FakeSleeper { slept: Vec::new() };
+            let _ = retry_search::<()>(policy, &mut sleeper, |_| Err(overloaded()));
+            sleeper.slept
+        };
+        assert_eq!(run(&policy), run(&policy), "same seed, same schedule");
+        let other = RetryPolicy {
+            jitter_seed: 100,
+            ..policy
+        };
+        assert_ne!(
+            run(&policy),
+            run(&other),
+            "different seed, different jitter"
+        );
+    }
+
+    #[test]
+    fn classification_is_retryable_matches_the_contract() {
+        assert!(overloaded().is_retryable());
+        assert!(ClientError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x")).is_retryable());
+        assert!(!deadline_exceeded().is_retryable());
+        assert!(!ClientError::Wire(WireError::ChecksumMismatch).is_retryable());
+        assert!(!ClientError::Mismatch { sent: 1, got: 2 }.is_retryable());
+        assert!(!ClientError::Rejected {
+            status: Status::Internal,
+            message: String::new()
+        }
+        .is_retryable());
+    }
+}

@@ -1,0 +1,742 @@
+//! The GKSQ wire protocol: length-prefixed, versioned, checksummed frames.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     4  magic  "GKSQ"
+//!      4     2  version (little-endian u16, currently 1)
+//!      6     1  kind    (FrameKind discriminant)
+//!      7     1  reserved (must be 0)
+//!      8     4  payload length (little-endian u32)
+//!     12     4  CRC-32C of header bytes 0..12 ‖ payload (little-endian u32)
+//!     16     …  payload
+//! ```
+//!
+//! The checksum reuses [`vecstore::checksum::crc32c`] — the same hardware
+//! dispatched Castagnoli polynomial the GKSC container uses — folded over the
+//! first twelve header bytes and the payload, so a flipped bit anywhere in
+//! the frame (including in the declared length) surfaces as a typed
+//! [`WireError::ChecksumMismatch`] instead of a garbage search.  The declared
+//! length is bounds-checked against the receiver's limit *before* any
+//! allocation, so a hostile 4 GiB length cannot OOM the process.
+//!
+//! Frames carry either a control message (ping/pong, shutdown) or a search
+//! request/response; payload encodings live in [`SearchRequest`] and
+//! [`SearchResponse`].  All integers are little-endian, matching the rest of
+//! the workspace's on-disk formats.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use knn_graph::Neighbor;
+use vecstore::checksum::crc32c_append;
+
+/// Frame magic: "GKSQ" (GK-means Serving Query).
+pub const MAGIC: [u8; 4] = *b"GKSQ";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Default cap on a single frame payload (16 MiB) — generous for query
+/// batches, small enough that a hostile length cannot exhaust memory.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 16 << 20;
+/// Cap on queries carried by one request frame (one batcher block).
+pub const MAX_QUERIES_PER_REQUEST: u32 = 64;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A [`SearchRequest`] payload.
+    Search = 1,
+    /// A [`SearchResponse`] payload.
+    Response = 2,
+    /// Liveness probe; empty payload.
+    Ping = 3,
+    /// Reply to [`FrameKind::Ping`]; empty payload.
+    Pong = 4,
+    /// Control frame asking the server to drain and exit; empty payload.
+    Shutdown = 5,
+    /// Acknowledgement that the drain has begun; empty payload.
+    ShutdownAck = 6,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => FrameKind::Search,
+            2 => FrameKind::Response,
+            3 => FrameKind::Ping,
+            4 => FrameKind::Pong,
+            5 => FrameKind::Shutdown,
+            6 => FrameKind::ShutdownAck,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed outcome of a search request.  Every accepted request is answered
+/// with exactly one of these — results on `Ok`, a classified rejection
+/// otherwise.  Discriminants are wire-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The request was served; results follow.
+    Ok = 0,
+    /// The request's deadline expired before a batch could serve it.
+    DeadlineExceeded = 1,
+    /// The admission queue was full; the request was shed unprocessed.
+    Overloaded = 2,
+    /// The serving backend failed (e.g. a contained worker panic).
+    Internal = 3,
+    /// The request itself was malformed (dimension mismatch, zero queries…).
+    BadRequest = 4,
+    /// The server is draining and no longer admits work.
+    ShuttingDown = 5,
+}
+
+impl Status {
+    /// Decodes a wire discriminant.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => Status::Ok,
+            1 => Status::DeadlineExceeded,
+            2 => Status::Overloaded,
+            3 => Status::Internal,
+            4 => Status::BadRequest,
+            5 => Status::ShuttingDown,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case name (used in logs and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            Status::Overloaded => "OVERLOADED",
+            Status::Internal => "INTERNAL",
+            Status::BadRequest => "BAD_REQUEST",
+            Status::ShuttingDown => "SHUTTING_DOWN",
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything that can go wrong reading a frame off the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// The first four bytes were not `GKSQ`.
+    BadMagic([u8; 4]),
+    /// The version field is newer than this implementation speaks.
+    UnsupportedVersion(u16),
+    /// The kind byte does not name a known [`FrameKind`].
+    UnknownKind(u8),
+    /// The declared payload length exceeds the receiver's limit.
+    Oversized {
+        /// Length the frame header declared.
+        declared: u32,
+        /// The receiver's configured cap.
+        limit: u32,
+    },
+    /// The connection ended mid-frame (header or payload cut short).
+    Truncated,
+    /// The frame checksum did not match header+payload.
+    ChecksumMismatch,
+    /// The payload decoded to something structurally invalid.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?} (expected \"GKSQ\")"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (speaking {VERSION})")
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversized { declared, limit } => {
+                write!(
+                    f,
+                    "frame declares {declared} payload bytes, limit is {limit}"
+                )
+            }
+            WireError::Truncated => f.write_str("connection closed mid-frame"),
+            WireError::ChecksumMismatch => f.write_str("frame checksum mismatch"),
+            WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        // A clean EOF at a frame boundary is reported by `read_frame` before
+        // this conversion; an UnexpectedEof inside a frame is a torn frame.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+impl WireError {
+    /// True when the error means the peer went away (as opposed to speaking
+    /// the protocol incorrectly) — callers close quietly instead of
+    /// attempting an error reply.
+    pub fn is_disconnect(&self) -> bool {
+        match self {
+            WireError::Truncated => true,
+            WireError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+            ),
+            _ => false,
+        }
+    }
+}
+
+/// A decoded frame: its kind and raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload encodes.
+    pub kind: FrameKind,
+    /// Raw payload (decode with [`SearchRequest::decode`] /
+    /// [`SearchResponse::decode`] as appropriate).
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame (header, checksum, payload) to `w`.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6] = kind as u8;
+    header[7] = 0;
+    header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = crc32c_append(crc32c_append(!0u32, &header[..12]), payload) ^ !0u32;
+    header[12..16].copy_from_slice(&crc.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame from `r`, enforcing `max_payload` before allocating.
+///
+/// Returns `Ok(None)` on a clean EOF *at a frame boundary* (the peer hung up
+/// between requests); every other short read is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Option<Frame>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Hand-rolled first read so EOF-before-any-byte is distinguishable from
+    // EOF-mid-header.
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if header[..4] != MAGIC {
+        return Err(WireError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = FrameKind::from_u8(header[6]).ok_or(WireError::UnknownKind(header[6]))?;
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if len > max_payload {
+        return Err(WireError::Oversized {
+            declared: len,
+            limit: max_payload,
+        });
+    }
+    let declared_crc = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let crc = crc32c_append(crc32c_append(!0u32, &header[..12]), &payload) ^ !0u32;
+    if crc != declared_crc {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// A batch of queries from one client, tagged with a correlation id and an
+/// optional deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Milliseconds the client is willing to wait (0 = no deadline).  The
+    /// server starts the clock when it *reads* the frame.
+    pub deadline_ms: u32,
+    /// Neighbours requested per query.
+    pub r: u16,
+    /// Inverted lists probed per query.
+    pub nprobe: u16,
+    /// Query dimensionality.
+    pub dim: u32,
+    /// Flattened row-major query vectors, `count × dim` values.
+    pub queries: Vec<f32>,
+}
+
+impl SearchRequest {
+    /// Number of query vectors carried.
+    pub fn count(&self) -> u32 {
+        if self.dim == 0 {
+            0
+        } else {
+            (self.queries.len() / self.dim as usize) as u32
+        }
+    }
+
+    /// Encodes the request payload.
+    ///
+    /// Layout: `id u64 | deadline_ms u32 | r u16 | nprobe u16 | dim u32 |
+    /// count u32 | count×dim f32`, all little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.queries.len() * 4);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        out.extend_from_slice(&self.r.to_le_bytes());
+        out.extend_from_slice(&self.nprobe.to_le_bytes());
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        out.extend_from_slice(&self.count().to_le_bytes());
+        for v in &self.queries {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a request payload, validating counts against the buffer.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let id = c.u64()?;
+        let deadline_ms = c.u32()?;
+        let r = c.u16()?;
+        let nprobe = c.u16()?;
+        let dim = c.u32()?;
+        let count = c.u32()?;
+        if count == 0 || dim == 0 {
+            return Err(WireError::Malformed(format!(
+                "request must carry at least one query of non-zero dimension \
+                 (count = {count}, dim = {dim})"
+            )));
+        }
+        if count > MAX_QUERIES_PER_REQUEST {
+            return Err(WireError::Malformed(format!(
+                "request carries {count} queries, cap is {MAX_QUERIES_PER_REQUEST}"
+            )));
+        }
+        let values = (count as usize)
+            .checked_mul(dim as usize)
+            .ok_or_else(|| WireError::Malformed("count × dim overflows".into()))?;
+        if c.remaining() != values * 4 {
+            return Err(WireError::Malformed(format!(
+                "expected {} query bytes, payload has {}",
+                values * 4,
+                c.remaining()
+            )));
+        }
+        let mut queries = Vec::with_capacity(values);
+        for _ in 0..values {
+            queries.push(f32::from_le_bytes(c.array()?));
+        }
+        Ok(SearchRequest {
+            id,
+            deadline_ms,
+            r,
+            nprobe,
+            dim,
+            queries,
+        })
+    }
+}
+
+/// The answer to one [`SearchRequest`]: either neighbour lists or a typed
+/// rejection with a human-readable reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// Correlation id copied from the request (0 for connection-level errors
+    /// emitted before a request id could be parsed).
+    pub id: u64,
+    /// Outcome classification.
+    pub status: Status,
+    /// Per-query neighbour lists (empty unless `status == Ok`).
+    pub results: Vec<Vec<Neighbor>>,
+    /// Reason text (empty when `status == Ok`).
+    pub message: String,
+}
+
+impl SearchResponse {
+    /// Builds a success response.
+    pub fn ok(id: u64, results: Vec<Vec<Neighbor>>) -> Self {
+        SearchResponse {
+            id,
+            status: Status::Ok,
+            results,
+            message: String::new(),
+        }
+    }
+
+    /// Builds a typed rejection.
+    pub fn rejection(id: u64, status: Status, message: impl Into<String>) -> Self {
+        SearchResponse {
+            id,
+            status,
+            results: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// Encodes the response payload.
+    ///
+    /// Layout: `id u64 | status u8`, then for `Ok`: `nq u32 | per query
+    /// (len u32 | len × (id u32, dist f32))`; otherwise `msg_len u32 |
+    /// msg_len UTF-8 bytes`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.push(self.status as u8);
+        if self.status == Status::Ok {
+            out.extend_from_slice(&(self.results.len() as u32).to_le_bytes());
+            for list in &self.results {
+                out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for n in list {
+                    out.extend_from_slice(&n.id.to_le_bytes());
+                    out.extend_from_slice(&n.dist.to_le_bytes());
+                }
+            }
+        } else {
+            out.extend_from_slice(&(self.message.len() as u32).to_le_bytes());
+            out.extend_from_slice(self.message.as_bytes());
+        }
+        out
+    }
+
+    /// Decodes a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let id = c.u64()?;
+        let status_byte = c.u8()?;
+        let status = Status::from_u8(status_byte)
+            .ok_or_else(|| WireError::Malformed(format!("unknown status {status_byte}")))?;
+        if status == Status::Ok {
+            let nq = c.u32()? as usize;
+            // Each query needs at least its 4-byte length on the wire.
+            if nq > c.remaining() / 4 + 1 {
+                return Err(WireError::Malformed(format!(
+                    "response declares {nq} result lists, payload too short"
+                )));
+            }
+            let mut results = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                let len = c.u32()? as usize;
+                if len > c.remaining() / 8 {
+                    return Err(WireError::Malformed(format!(
+                        "result list declares {len} neighbours, payload too short"
+                    )));
+                }
+                let mut list = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let nid = c.u32()?;
+                    let dist = f32::from_le_bytes(c.array()?);
+                    list.push(Neighbor::new(nid, dist));
+                }
+                results.push(list);
+            }
+            if c.remaining() != 0 {
+                return Err(WireError::Malformed(format!(
+                    "{} trailing bytes after result lists",
+                    c.remaining()
+                )));
+            }
+            Ok(SearchResponse::ok(id, results))
+        } else {
+            let len = c.u32()? as usize;
+            if len != c.remaining() {
+                return Err(WireError::Malformed(format!(
+                    "message declares {len} bytes, payload has {}",
+                    c.remaining()
+                )));
+            }
+            let message = String::from_utf8_lossy(c.rest()).into_owned();
+            Ok(SearchResponse::rejection(id, status, message))
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        if self.remaining() < N {
+            return Err(WireError::Malformed(format!(
+                "payload truncated at offset {} (need {N} more bytes)",
+                self.pos
+            )));
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.array()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+}
+
+/// Convenience: frames a [`SearchRequest`].
+pub fn write_search(w: &mut impl Write, req: &SearchRequest) -> io::Result<()> {
+    write_frame(w, FrameKind::Search, &req.encode())
+}
+
+/// Convenience: frames a [`SearchResponse`].
+pub fn write_response(w: &mut impl Write, resp: &SearchResponse) -> io::Result<()> {
+    write_frame(w, FrameKind::Response, &resp.encode())
+}
+
+/// Computes the canonical frame checksum for externally-assembled frames
+/// (test helpers, fuzzers).
+pub fn frame_crc(header12: &[u8; 12], payload: &[u8]) -> u32 {
+    crc32c_append(crc32c_append(!0u32, header12), payload) ^ !0u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> SearchRequest {
+        SearchRequest {
+            id: 0xDEAD_BEEF_1234,
+            deadline_ms: 250,
+            r: 10,
+            nprobe: 8,
+            dim: 4,
+            queries: vec![0.0, 1.0, -2.5, 3.25, 4.0, 5.0, 6.0, 7.0],
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = sample_request();
+        let decoded = SearchRequest::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(decoded.count(), 2);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = SearchResponse::ok(
+            7,
+            vec![vec![Neighbor::new(3, 0.5), Neighbor::new(9, 1.25)], vec![]],
+        );
+        assert_eq!(SearchResponse::decode(&resp.encode()).unwrap(), resp);
+
+        let rej = SearchResponse::rejection(9, Status::Overloaded, "queue full");
+        assert_eq!(SearchResponse::decode(&rej.encode()).unwrap(), rej);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_search(&mut buf, &sample_request()).unwrap();
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.kind, FrameKind::Search);
+        assert_eq!(
+            SearchRequest::decode(&frame.payload).unwrap(),
+            sample_request()
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none_torn_frame_is_truncated() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut { empty }, 1024).unwrap().is_none());
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Ping, &[]).unwrap();
+        for cut in 1..buf.len() {
+            let torn = &buf[..cut];
+            match read_frame(&mut { torn }, 1024) {
+                Err(WireError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let mut clean = Vec::new();
+        write_search(&mut clean, &sample_request()).unwrap();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut evil = clean.clone();
+                evil[byte] ^= 1 << bit;
+                let got = read_frame(&mut evil.as_slice(), DEFAULT_MAX_PAYLOAD);
+                assert!(
+                    got.is_err(),
+                    "flip at byte {byte} bit {bit} went undetected: {got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_before_allocation() {
+        let mut header = [0u8; HEADER_LEN];
+        header[..4].copy_from_slice(&MAGIC);
+        header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        header[6] = FrameKind::Search as u8;
+        header[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut h12 = [0u8; 12];
+        h12.copy_from_slice(&header[..12]);
+        header[12..16].copy_from_slice(&frame_crc(&h12, &[]).to_le_bytes());
+        match read_frame(&mut header.as_slice(), DEFAULT_MAX_PAYLOAD) {
+            Err(WireError::Oversized { declared, limit }) => {
+                assert_eq!(declared, u32::MAX);
+                assert_eq!(limit, DEFAULT_MAX_PAYLOAD);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_bad_version_and_bad_kind() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Ping, &[]).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bad.as_slice(), 1024),
+            Err(WireError::BadMagic(_))
+        ));
+
+        // Version and kind live under the checksum, so craft valid frames.
+        let mut vheader = [0u8; HEADER_LEN];
+        vheader[..4].copy_from_slice(&MAGIC);
+        vheader[4..6].copy_from_slice(&99u16.to_le_bytes());
+        vheader[6] = FrameKind::Ping as u8;
+        let mut h12 = [0u8; 12];
+        h12.copy_from_slice(&vheader[..12]);
+        vheader[12..16].copy_from_slice(&frame_crc(&h12, &[]).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut vheader.as_slice(), 1024),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+
+        let mut kheader = [0u8; HEADER_LEN];
+        kheader[..4].copy_from_slice(&MAGIC);
+        kheader[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        kheader[6] = 200;
+        h12.copy_from_slice(&kheader[..12]);
+        kheader[12..16].copy_from_slice(&frame_crc(&h12, &[]).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut kheader.as_slice(), 1024),
+            Err(WireError::UnknownKind(200))
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed() {
+        // Zero queries.
+        let mut req = sample_request();
+        req.queries.clear();
+        let mut payload = req.encode();
+        assert!(matches!(
+            SearchRequest::decode(&payload),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Count over the per-request cap.
+        req = sample_request();
+        payload = req.encode();
+        payload[20..24].copy_from_slice(&(MAX_QUERIES_PER_REQUEST + 1).to_le_bytes());
+        assert!(matches!(
+            SearchRequest::decode(&payload),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Declared count disagrees with the buffer.
+        payload = sample_request().encode();
+        payload[20..24].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            SearchRequest::decode(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn status_names_round_trip() {
+        for s in [
+            Status::Ok,
+            Status::DeadlineExceeded,
+            Status::Overloaded,
+            Status::Internal,
+            Status::BadRequest,
+            Status::ShuttingDown,
+        ] {
+            assert_eq!(Status::from_u8(s as u8), Some(s));
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(Status::from_u8(77), None);
+    }
+}

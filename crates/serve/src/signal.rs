@@ -1,0 +1,58 @@
+//! Minimal SIGINT/SIGTERM latch for the `serve` CLI.
+//!
+//! The workspace is fully offline (no signal-handling crate), so this binds
+//! `signal(2)` directly — std already links libc on unix.  The handler only
+//! sets a process-wide [`AtomicBool`]; the serve loop polls it from the same
+//! tick that watches for `Shutdown` control frames, turning Ctrl-C into the
+//! same graceful drain path.  On non-unix targets installation is a no-op
+//! and the latch simply never trips.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been observed (sticky).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test/CLI hook: trips the latch as if a signal had arrived.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent; no-op off unix).
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        // SAFETY: the handler is async-signal-safe — it performs exactly one
+        // relaxed-compatible atomic store and returns.  `signal` itself is
+        // only called from this one installation point.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(_signum: i32) {
+            SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_sticky_and_installable() {
+        install();
+        install(); // idempotent
+        assert!(!shutdown_requested() || shutdown_requested()); // no crash either way
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}
