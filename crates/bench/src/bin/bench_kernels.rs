@@ -64,6 +64,12 @@
 //!   checksummed GKSC v2 container vs a legacy unchecksummed v1 image of the
 //!   same index; the CI gate holds the v2 ratio at ≥ 0.8× (hardware CRC-32C
 //!   keeps verification in the noise of the parse);
+//! * `mutate_throughput` / `wal_replay` in the JSON — the crash-consistent
+//!   mutation tier: journalled insert throughput under group-commit fsync
+//!   batching (one fsync per batch), and the journal's decode bandwidth plus
+//!   a full checkpoint-and-replay recovery; the CI gate pins the
+//!   *accounting*, not the speed — a 16384-record log must recover exactly,
+//!   with sequence cursor, applied cursor and live count all balancing;
 //!
 //! and two end-to-end measurements:
 //!
@@ -856,6 +862,95 @@ fn main() {
         )
     };
 
+    // Mutation tier: journalled insert throughput (group commit — one fsync
+    // per batch) and WAL replay bandwidth over the log those inserts wrote.
+    // The CI gate checks the accounting, not the speed: a 16384-record
+    // journal must recover exactly, with the sequence cursor, the applied
+    // cursor and the live count all balancing the record count.
+    let (mutate_throughput_json, wal_replay_json) = {
+        use ivf::MutableStore;
+
+        const MUT_N: usize = 2048;
+        const MUT_K: usize = 64;
+        const MUT_BATCH: usize = 64;
+        const MUT_BATCHES: usize = 256; // 16384 records total
+        let records = MUT_BATCH * MUT_BATCHES;
+
+        let data = VectorSet::from_flat(test_block(MUT_N, IVF_D, 0.7), IVF_D).expect("whole rows");
+        let centroids =
+            VectorSet::from_flat(test_block(MUT_K, IVF_D, 9.1), IVF_D).expect("whole rows");
+        let labels: Vec<usize> = (0..MUT_N).map(|i| i % MUT_K).collect();
+        let index = IvfIndex::build(&data, &centroids, &labels).expect("well-formed inputs");
+
+        let dir = std::env::temp_dir().join(format!("gkm-bench-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create bench temp dir");
+        let index_path = dir.join("mutable.ivf");
+        let mut store = MutableStore::create(&index_path, index).expect("attach journal");
+
+        let batch_rows =
+            VectorSet::from_flat(test_block(MUT_BATCH, IVF_D, 3.3), IVF_D).expect("whole rows");
+        let started = Instant::now();
+        for _ in 0..MUT_BATCHES {
+            store.insert_batch(&batch_rows).expect("journalled insert");
+        }
+        let insert_secs = started.elapsed().as_secs_f64();
+        let inserts_per_sec = records as f64 / insert_secs.max(1e-9);
+        drop(store); // release the journal handle before replaying it
+
+        let wal = ivf::store::wal_path(&index_path);
+        let wal_bytes = std::fs::read(&wal).expect("read journal");
+        let replay_secs = {
+            let mut best = f64::INFINITY;
+            for _ in 0..TIME_CHUNKS {
+                let start = Instant::now();
+                let replay = vecstore::wal::replay_wal(&wal_bytes).expect("replay journal");
+                best = best.min(start.elapsed().as_secs_f64());
+                std::hint::black_box(replay);
+            }
+            best
+        };
+        let replay_mb_per_s = wal_bytes.len() as f64 / replay_secs.max(1e-9) / 1e6;
+
+        // Full recovery (checkpoint load + replay + apply), with the
+        // accounting the CI gate pins.
+        let rec_started = Instant::now();
+        let (recovered, report) = MutableStore::open(&index_path).expect("recover the store");
+        let recovery_ms = rec_started.elapsed().as_secs_f64() * 1e3;
+        let balanced = report.replayed == records
+            && report.skipped == 0
+            && !report.torn_tail_dropped
+            && recovered.next_seq() == records as u64
+            && recovered.index().applied_seq() == recovered.next_seq()
+            && recovered.index().live_len() == MUT_N + records;
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).ok();
+
+        println!(
+            "mutate_throughput      d={IVF_D} batch={MUT_BATCH}: {records} journalled inserts \
+             in {:.1} ms ({inserts_per_sec:.0} inserts/s, {MUT_BATCHES} fsyncs)",
+            insert_secs * 1e3
+        );
+        println!(
+            "wal_replay             {} bytes / {records} records: decode {replay_mb_per_s:.0} MB/s, \
+             full recovery {recovery_ms:.1} ms, accounting balanced: {balanced}",
+            wal_bytes.len()
+        );
+        (
+            format!(
+                "  \"mutate_throughput\": {{\"dim\": {IVF_D}, \"batch\": {MUT_BATCH}, \
+                 \"batches\": {MUT_BATCHES}, \"records\": {records}, \"fsyncs\": {MUT_BATCHES}, \
+                 \"inserts_per_sec\": {inserts_per_sec:.1}}},\n"
+            ),
+            format!(
+                "  \"wal_replay\": {{\"records\": {records}, \"bytes\": {}, \
+                 \"replay_mb_per_s\": {replay_mb_per_s:.1}, \"recovery_ms\": {recovery_ms:.3}, \
+                 \"recovered_records\": {}, \"recovery_balanced\": {balanced}}},\n",
+                wal_bytes.len(),
+                report.replayed,
+            ),
+        )
+    };
+
     // End-to-end threaded boost epoch: same data, graph and seed, so the
     // sequential and threaded runs do bit-identical work — only wall-clock
     // may differ.  `iter_time` isolates the epochs from init.
@@ -945,6 +1040,8 @@ fn main() {
     json.push_str(&ivf_search_json);
     json.push_str(&serve_latency_json);
     json.push_str(&gksc_load_json);
+    json.push_str(&mutate_throughput_json);
+    json.push_str(&wal_replay_json);
     json.push_str(&threaded_init_json);
     json.push_str(&threaded_epoch_json);
     json.push_str("  \"cases\": [\n");

@@ -1,10 +1,14 @@
 //! `index` — build and query the IVF serving index: `index build` clusters a
 //! base set (any method the `cluster` subcommand supports) and persists the
-//! inverted-file index; `index search` answers query batches from it.
+//! inverted-file index; `index search` answers query batches from it;
+//! `index compact` folds a mutation journal into the next clean checkpoint
+//! generation; `index verify` audits both the checkpoint and its journal.
 
-use ivf::{evaluate, IvfIndex, IvfSearchParams};
+use ivf::store::{decode_op, wal_path};
+use ivf::{evaluate, IvfIndex, IvfSearchParams, MutableStore};
 use knn_graph::Neighbor;
 use vecstore::io::read_fvecs;
+use vecstore::wal::replay_wal;
 
 use crate::args::Args;
 use crate::commands::cluster::run_method;
@@ -41,14 +45,30 @@ recall@R, latency, QPS and distance evaluations per query.";
 pub const VERIFY_USAGE: &str = "\
 index verify --index <index.ivf>
              [--strict]          (require the checksummed v2 container;
-                                  legacy v1 files are rejected)
+                                  legacy v1 files are rejected, and a torn
+                                  journal tail is treated as corruption)
              [--spot-check <n>]  (exhaustively search n stored vectors and
                                   require each to come back at distance 0)
              [--json]            (machine-readable report)
 Validates a saved IVF index: container checksums, framing, and cross-section
 invariants are checked on load; --spot-check additionally replays stored
-vectors through an exact scan.  Exits 0 when the index is sound, 4 when it is
-corrupt, 3 on i/o failure.";
+vectors through an exact scan.  When a mutation journal (<index>.wal) rides
+beside the checkpoint it is audited too — record CRCs, length complements,
+dense monotone sequence numbers, decodable mutation ops, and a start sequence
+the checkpoint can anchor.  Exits 0 when the pair is sound, 4 when either
+file is corrupt, 3 on i/o failure.";
+
+/// Usage text for `index compact`.
+pub const COMPACT_USAGE: &str = "\
+index compact --index <index.ivf>
+              [--json]           (machine-readable report)
+Folds the mutation journal (<index>.wal) into the next clean checkpoint
+generation: replays the journal's valid prefix onto the checkpoint, rebuilds
+contiguous per-cluster panels from the live set (appends folded in,
+tombstones dropped), atomically publishes the new generation, and truncates
+the journal.  Search over the compacted index is bit-identical to the dirty
+index it replaces.  Exits 0 on success, 4 when either file is corrupt, 3 on
+i/o failure.";
 
 /// Runs `index build`.
 pub fn run_build(args: &Args) -> Result<(), CliError> {
@@ -278,6 +298,42 @@ pub fn run_verify(args: &Args) -> Result<(), CliError> {
         }
     }
 
+    // Audit the mutation journal riding beside the checkpoint, read-only:
+    // replay validates record CRCs, length complements and dense monotone
+    // sequences; decoding every body validates the op taxonomy; the header's
+    // start sequence must not outrun the checkpoint's applied cursor (that
+    // would mean acknowledged records are missing).
+    let wal = wal_path(&index_path);
+    let mut wal_audit: Option<(usize, bool)> = None;
+    if wal.exists() {
+        let bytes = std::fs::read(&wal)
+            .map_err(|e| CliError::io(format!("cannot read {}", wal.display()), e))?;
+        let replay = replay_wal(&bytes)
+            .map_err(|e| CliError::store(format!("cannot verify {}", wal.display()), e))?;
+        if replay.valid_len > 0 && replay.start_seq > index.applied_seq() {
+            return Err(CliError::Corrupt(format!(
+                "journal {} starts at sequence {} but the checkpoint only covers up to {} — \
+                 acknowledged records are missing",
+                wal.display(),
+                replay.start_seq,
+                index.applied_seq()
+            )));
+        }
+        for record in &replay.records {
+            decode_op(&record.body, index.dim())
+                .map_err(|e| CliError::store(format!("cannot verify {}", wal.display()), e))?;
+        }
+        if strict && replay.torn {
+            return Err(CliError::Corrupt(format!(
+                "journal {} has a torn tail (an unacknowledged partial append); \
+                 strict verification rejects it — recover by opening the store, \
+                 or compact to truncate the journal",
+                wal.display()
+            )));
+        }
+        wal_audit = Some((replay.records.len(), replay.torn));
+    }
+
     if json {
         let out = serde_json::json!({
             "index": index_path,
@@ -287,12 +343,20 @@ pub fn run_verify(args: &Args) -> Result<(), CliError> {
             "dim": index.dim(),
             "nlist": index.nlist(),
             "spot_checked": checked,
+            "wal": match wal_audit {
+                Some((records, torn)) => serde_json::json!({
+                    "path": wal.display().to_string(),
+                    "records": records,
+                    "torn_tail": torn,
+                }),
+                None => serde_json::Value::Null,
+            },
             "checksum_impl": vecstore::checksum::active_impl(),
         });
         println!("{}", serde_json::to_string_pretty(&out).expect("json"));
     } else {
         println!(
-            "{index_path}: ok{} — n = {}, d = {}, {} lists ({} via {})",
+            "{index_path}: ok{} — n = {}, d = {}, {} lists ({} via {}){}",
             if strict { " (strict)" } else { "" },
             index.len(),
             index.dim(),
@@ -303,6 +367,69 @@ pub fn run_verify(args: &Args) -> Result<(), CliError> {
                 "no spot-check".to_string()
             },
             vecstore::checksum::active_impl(),
+            match wal_audit {
+                Some((records, torn)) => format!(
+                    "; journal ok — {records} records{}",
+                    if torn {
+                        ", torn tail pending truncation"
+                    } else {
+                        ""
+                    }
+                ),
+                None => String::new(),
+            },
+        );
+    }
+    Ok(())
+}
+
+/// Runs `index compact`.
+pub fn run_compact(args: &Args) -> Result<(), CliError> {
+    let index_path = args.required("index")?;
+    let json = args.flag("json");
+    args.finish()?;
+
+    let (mut store, report) = MutableStore::open(&index_path)
+        .map_err(|e| CliError::store(format!("cannot open {index_path}"), e))?;
+    let appends = store.index().pending_appends();
+    let tombstones = store.index().tombstoned();
+    store
+        .compact()
+        .map_err(|e| CliError::store(format!("cannot compact {index_path}"), e))?;
+    let index = store.index();
+    if json {
+        let out = serde_json::json!({
+            "index": index_path,
+            "replayed": report.replayed,
+            "skipped": report.skipped,
+            "torn_tail_dropped": report.torn_tail_dropped,
+            "appends_folded": appends,
+            "tombstones_dropped": tombstones,
+            "n": index.live_len(),
+            "dim": index.dim(),
+            "nlist": index.nlist(),
+            "applied_seq": index.applied_seq(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else {
+        println!(
+            "{index_path}: compacted — replayed {} journal records{}{}, folded {appends} \
+             appends, dropped {tombstones} tombstones; new generation has n = {}, {} lists, \
+             journal truncated at sequence {}",
+            report.replayed,
+            if report.skipped > 0 {
+                format!(" ({} already checkpointed)", report.skipped)
+            } else {
+                String::new()
+            },
+            if report.torn_tail_dropped {
+                " (torn tail dropped)"
+            } else {
+                ""
+            },
+            index.live_len(),
+            index.nlist(),
+            index.applied_seq(),
         );
     }
     Ok(())

@@ -11,10 +11,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ivf::IvfIndex;
-use serve::batcher::{BatcherConfig, IvfBackend};
+use ivf::store::wal_path;
+use ivf::{IvfIndex, MutableStore};
+use serve::batcher::{BatcherConfig, IvfBackend, MutableIvfBackend};
 use serve::server::{Server, ServerConfig, StopReason};
 use serve::signal;
+use serve::MutableBackend;
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -23,6 +25,10 @@ use crate::error::CliError;
 pub const USAGE: &str = "\
 serve --index <index.ivf> [--addr <host:port>]   (default 127.0.0.1:0 —
                                   an ephemeral port, printed once bound)
+      [--mutable]                 (serve INSERT/DELETE/COMPACT frames too:
+                                  attaches a crash-consistent journal beside
+                                  the checkpoint; implied when <index>.wal
+                                  already exists — recovery replays it)
       [--max-delay-ms <ms>]       (batching window, default 2)
       [--max-batch <n>]           (queries per backend call, default 64)
       [--queue-cap <n>]           (admission bound in queued queries;
@@ -34,7 +40,9 @@ serve --index <index.ivf> [--addr <host:port>]   (default 127.0.0.1:0 —
       [--port-file <path>]        (write the bound port for scripts/tests)
 Serves batched ANN queries over TCP (GKSQ protocol) until SIGINT/SIGTERM or a
 client Shutdown frame, then drains gracefully: every admitted request is
-answered before the process exits.";
+answered before the process exits.  In mutable mode every acknowledged
+mutation is journalled and fsynced before it is applied, so a crash loses
+nothing that was acked.";
 
 /// How often the serve loop polls the signal latch and the server state.
 const POLL_TICK: Duration = Duration::from_millis(50);
@@ -51,16 +59,8 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let max_connections = args.usize_or("max-conns", 256)?;
     let threads = args.threads_opt()?;
     let port_file = args.optional("port-file");
+    let mutable = args.flag("mutable");
     args.finish()?;
-
-    let index = IvfIndex::load(&index_path)
-        .map_err(|e| CliError::store(format!("cannot read {index_path}"), e))?;
-    println!(
-        "loaded {index_path}: n = {}, d = {}, {} lists",
-        index.len(),
-        index.dim(),
-        index.nlist()
-    );
 
     let config = ServerConfig {
         addr: addr.clone(),
@@ -73,9 +73,54 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         max_connections,
         ..ServerConfig::default()
     };
-    let backend = Arc::new(IvfBackend::new(index, threads));
-    let mut server = Server::start(backend, config)
-        .map_err(|e| CliError::io(format!("cannot bind {addr}"), e))?;
+
+    // An existing journal beside the checkpoint implies mutable serving:
+    // ignoring it would silently discard acknowledged mutations.
+    let wal = wal_path(&index_path);
+    let mut server = if mutable || wal.exists() {
+        let (store, report) = if wal.exists() {
+            MutableStore::open(&index_path)
+                .map_err(|e| CliError::store(format!("cannot recover {index_path}"), e))?
+        } else {
+            let index = IvfIndex::load(&index_path)
+                .map_err(|e| CliError::store(format!("cannot read {index_path}"), e))?;
+            let store = MutableStore::create(&index_path, index).map_err(|e| {
+                CliError::store(format!("cannot attach a journal to {index_path}"), e)
+            })?;
+            (store, ivf::RecoveryReport::default())
+        };
+        println!(
+            "loaded {index_path}: n = {}, d = {}, {} lists (mutable; journal replayed \
+             {} records{}{})",
+            store.index().live_len(),
+            store.index().dim(),
+            store.index().nlist(),
+            report.replayed,
+            if report.skipped > 0 {
+                format!(", {} already checkpointed", report.skipped)
+            } else {
+                String::new()
+            },
+            if report.torn_tail_dropped {
+                ", torn tail dropped"
+            } else {
+                ""
+            },
+        );
+        let backend: Arc<dyn MutableBackend> = Arc::new(MutableIvfBackend::new(store, threads));
+        Server::start_mutable(backend, config)
+    } else {
+        let index = IvfIndex::load(&index_path)
+            .map_err(|e| CliError::store(format!("cannot read {index_path}"), e))?;
+        println!(
+            "loaded {index_path}: n = {}, d = {}, {} lists",
+            index.len(),
+            index.dim(),
+            index.nlist()
+        );
+        Server::start(Arc::new(IvfBackend::new(index, threads)), config)
+    }
+    .map_err(|e| CliError::io(format!("cannot bind {addr}"), e))?;
 
     signal::install();
     let bound = server.local_addr();
@@ -99,6 +144,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let stats = server.stats();
     println!(
         "drained ({}) — {} accepted / {} served / {} shed / {} deadline-expired / {} internal; \
+         {} mutations journalled / {} applied / {} compactions; \
          {} connections ({} refused), {} protocol errors",
         match reason {
             StopReason::CtlFrame => "shutdown frame",
@@ -109,6 +155,9 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         stats.batcher.shed,
         stats.batcher.deadline_expired,
         stats.batcher.internal_errors,
+        stats.batcher.mutations_journaled,
+        stats.batcher.mutations_applied,
+        stats.batcher.compactions,
         stats.connections_accepted,
         stats.connections_refused,
         stats.protocol_errors,

@@ -1,6 +1,97 @@
-//! The inverted-file index structure: centroids + contiguous list panels.
+//! The inverted-file index structure: centroids + contiguous list panels,
+//! plus the in-memory mutable tier (per-list append regions and a deletion
+//! tombstone set) behind online inserts/deletes and checkpointed compaction.
 
-use vecstore::{Error, Result, VectorSet};
+use vecstore::{kernels, Error, Result, VectorSet};
+
+/// The mutable tail of one inverted list: vectors inserted since the last
+/// build/compaction, stored contiguously so the scan streams them through the
+/// same batched one-to-many kernel as the panel.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct AppendList {
+    /// Row-major appended vectors (`ids.len() × d` values).
+    pub(crate) flat: Vec<f32>,
+    /// External id of each appended row, ascending (ids are assigned
+    /// monotonically, so append order is id order).
+    pub(crate) ids: Vec<u32>,
+}
+
+/// Live-id bitmap over the external id space `0..next_id`: bit set = the id
+/// is indexed and not deleted.  The complement view is the deletion tombstone
+/// set the scan filters against.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct LiveSet {
+    words: Vec<u64>,
+    live: usize,
+}
+
+impl LiveSet {
+    /// All of `0..n` live (a fresh build indexes ids densely).
+    pub(crate) fn full(n: usize) -> Self {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if n % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        Self { words, live: n }
+    }
+
+    /// Exactly the given ids live, over an id space of `capacity` bits.
+    /// Returns `None` when an id repeats (a corrupt remap).
+    pub(crate) fn from_ids(capacity: usize, ids: &[u32]) -> Option<Self> {
+        let mut set = Self {
+            words: vec![0u64; capacity.div_ceil(64)],
+            live: 0,
+        };
+        for &id in ids {
+            let (w, b) = (id as usize / 64, id as usize % 64);
+            if set.words[w] & (1 << b) != 0 {
+                return None;
+            }
+            set.words[w] |= 1 << b;
+            set.live += 1;
+        }
+        Some(set)
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Grows the id space to `bits` and marks `id` live.
+    fn insert(&mut self, id: u32) {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.live += 1;
+        }
+    }
+
+    /// Clears `id`; `true` when it was live.
+    fn remove(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        match self.words.get_mut(w) {
+            Some(word) if *word & (1 << b) != 0 => {
+                *word &= !(1 << b);
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of live ids.
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        self.live
+    }
+}
 
 /// A cluster-backed inverted-file ANN index.
 ///
@@ -36,6 +127,22 @@ pub struct IvfIndex {
     /// Panel row → original base row (`ids[p]` is the id reported for panel
     /// row `p`).
     pub(crate) ids: Vec<u32>,
+    /// Mutable tier: one append region per list, holding vectors inserted
+    /// since the last build/compaction (empty on a clean index).
+    pub(crate) appends: Vec<AppendList>,
+    /// Live-id bitmap; its complement over `0..next_id` is the deletion
+    /// tombstone set.
+    pub(crate) live: LiveSet,
+    /// Deletions since the last build/compaction — when zero, the scan skips
+    /// the tombstone filter entirely.
+    pub(crate) tombstoned: usize,
+    /// Next external id to assign (ids are monotone: every appended id is
+    /// larger than every id already in the panel).
+    pub(crate) next_id: u32,
+    /// Sequence number of the last journalled mutation applied to this
+    /// in-memory state (persisted at checkpoints so recovery knows where in
+    /// the WAL to resume).
+    pub(crate) applied_seq: u64,
 }
 
 impl IvfIndex {
@@ -114,7 +221,12 @@ impl IvfIndex {
             centroids: centroids.clone(),
             offsets,
             panel,
+            live: LiveSet::full(ids.len()),
+            next_id: ids.len() as u32,
             ids,
+            appends: vec![AppendList::default(); k],
+            tombstoned: 0,
+            applied_seq: 0,
         })
     }
 
@@ -130,7 +242,8 @@ impl IvfIndex {
         self.centroids.dim()
     }
 
-    /// Number of indexed base vectors.
+    /// Number of vectors in the contiguous panel (excluding append regions;
+    /// see [`IvfIndex::live_len`] for the serving count).
     #[inline]
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -176,6 +289,190 @@ impl IvfIndex {
     #[inline]
     pub fn effective_nprobe(&self, requested: usize) -> usize {
         requested.clamp(1, self.nlist())
+    }
+
+    // ---- the mutable tier -------------------------------------------------
+
+    /// Number of **live** vectors: indexed (panel or append region) and not
+    /// tombstoned.  Equals [`IvfIndex::len`] on a clean index.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.live.count()
+    }
+
+    /// Vectors sitting in append regions, waiting for the next compaction.
+    pub fn pending_appends(&self) -> usize {
+        self.appends.iter().map(|a| a.ids.len()).sum()
+    }
+
+    /// Deletions recorded since the last build/compaction.
+    #[inline]
+    pub fn tombstoned(&self) -> usize {
+        self.tombstoned
+    }
+
+    /// `true` when the index carries un-compacted mutations (non-empty
+    /// append regions or tombstones).  A dirty index cannot be saved — it
+    /// must be compacted into a clean generation first (the checkpoint
+    /// protocol of [`crate::store::MutableStore`]).
+    pub fn is_dirty(&self) -> bool {
+        self.tombstoned > 0 || self.appends.iter().any(|a| !a.ids.is_empty())
+    }
+
+    /// The external id the next [`IvfIndex::insert`] will assign.
+    #[inline]
+    pub fn next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Sequence number of the last journalled mutation applied to this
+    /// in-memory state.
+    #[inline]
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// `true` when external id `id` is indexed and not deleted.
+    #[inline]
+    pub fn is_live(&self, id: u32) -> bool {
+        self.live.get(id)
+    }
+
+    /// Inserts `vector`, assigning the next monotone external id and routing
+    /// it to the nearest centroid's append region (by `(distance, list id)` —
+    /// the same total order as the coarse routing at search time).  Returns
+    /// the assigned id.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] when `vector.len() != self.dim()`;
+    /// * [`Error::InvalidParameter`] when the `u32` id space is exhausted.
+    pub fn insert(&mut self, vector: &[f32]) -> Result<u32> {
+        let id = self.next_id;
+        if id == u32::MAX {
+            return Err(Error::InvalidParameter(
+                "u32 id space exhausted; compact and re-shard".to_string(),
+            ));
+        }
+        self.apply_insert(id, vector)?;
+        Ok(id)
+    }
+
+    /// Replay-path insert: applies an insert journalled under a specific
+    /// `id`.  The id must be at or above [`IvfIndex::next_id`] (ids are
+    /// monotone); `next_id` advances past it.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] on a wrong-length vector;
+    /// * [`Error::InvalidParameter`] when `id` is below `next_id` (a replay
+    ///   ordering violation) or at `u32::MAX`.
+    pub fn apply_insert(&mut self, id: u32, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                found: vector.len(),
+            });
+        }
+        if id < self.next_id {
+            return Err(Error::InvalidParameter(format!(
+                "insert id {id} is below the next monotone id {}",
+                self.next_id
+            )));
+        }
+        if id == u32::MAX {
+            return Err(Error::InvalidParameter(
+                "u32 id space exhausted; compact and re-shard".to_string(),
+            ));
+        }
+        // Route to the nearest centroid under the same total order the
+        // search-time coarse tile uses (the kernel tiling invariant keeps
+        // the one-to-many and many-to-many forms bit-identical).
+        let mut dists = vec![0.0f32; self.nlist()];
+        kernels::l2_sq_one_to_many(vector, self.centroids.as_flat(), &mut dists);
+        let mut best = 0usize;
+        for (c, &dist) in dists.iter().enumerate() {
+            if dist < dists[best] {
+                best = c;
+            }
+        }
+        let list = &mut self.appends[best];
+        list.flat.extend_from_slice(vector);
+        list.ids.push(id);
+        self.live.insert(id);
+        self.next_id = id + 1;
+        Ok(())
+    }
+
+    /// Deletes external id `id` by tombstoning it: the scan filters it out
+    /// immediately; the next compaction reclaims the space.  Returns `true`
+    /// when the id was live (idempotent: a repeat delete returns `false`).
+    pub fn delete(&mut self, id: u32) -> bool {
+        if self.live.remove(id) {
+            self.tombstoned += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rebuilds contiguous per-list panels from the live set, producing a
+    /// **clean** next generation: empty append regions, no tombstones, same
+    /// centroids, same external ids, same list membership.
+    ///
+    /// Within each list the surviving panel rows (already ascending by id)
+    /// are followed by the surviving appended rows (also ascending, and all
+    /// above every panel id because ids are assigned monotonically) — so the
+    /// compacted panel is ascending-id per list, exactly the layout
+    /// [`IvfIndex::build`] produces.  Search over the compacted index is
+    /// bit-identical to a fresh build over the live set (pinned by the
+    /// property suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on an internal shape violation (impossible for
+    /// an index produced by this crate's own constructors).
+    pub fn compact(&self) -> Result<IvfIndex> {
+        let d = self.dim();
+        let k = self.nlist();
+        let n_live = self.live.count();
+        let panel = self.panel.as_flat();
+        let mut offsets = Vec::with_capacity(k + 1);
+        offsets.push(0usize);
+        let mut flat = Vec::with_capacity(n_live * d);
+        let mut ids = Vec::with_capacity(n_live);
+        for c in 0..k {
+            let (lo, hi) = (self.offsets[c], self.offsets[c + 1]);
+            for p in lo..hi {
+                let id = self.ids[p];
+                if !self.live.get(id) {
+                    continue;
+                }
+                flat.extend_from_slice(&panel[p * d..(p + 1) * d]);
+                ids.push(id);
+            }
+            let ap = &self.appends[c];
+            for (j, &id) in ap.ids.iter().enumerate() {
+                if !self.live.get(id) {
+                    continue;
+                }
+                flat.extend_from_slice(&ap.flat[j * d..(j + 1) * d]);
+                ids.push(id);
+            }
+            offsets.push(ids.len());
+        }
+        let panel = VectorSet::from_flat(flat, d)?;
+        Ok(IvfIndex {
+            centroids: self.centroids.clone(),
+            offsets,
+            panel,
+            ids,
+            appends: vec![AppendList::default(); k],
+            live: self.live.clone(),
+            tombstoned: 0,
+            next_id: self.next_id,
+            applied_seq: self.applied_seq,
+        })
     }
 }
 
@@ -258,5 +555,85 @@ mod tests {
             IvfIndex::build(&data, &no_c, &labels).unwrap_err(),
             Error::EmptyInput(_)
         ));
+    }
+
+    #[test]
+    fn insert_routes_to_nearest_centroid_with_monotone_ids() {
+        let (data, centroids, labels) = sample();
+        let mut index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+        assert!(!index.is_dirty());
+        assert_eq!(index.live_len(), 5);
+        assert_eq!(index.next_id(), 5);
+
+        let id = index.insert(&[0.1, 0.4]).unwrap();
+        assert_eq!(id, 5);
+        let id = index.insert(&[8.9, 8.6]).unwrap();
+        assert_eq!(id, 6);
+        assert!(index.is_dirty());
+        assert_eq!(index.pending_appends(), 2);
+        assert_eq!(index.live_len(), 7);
+        // near (0, 0.5) → list 0; near (9, 8.5) → list 2
+        assert_eq!(index.appends[0].ids, vec![5]);
+        assert_eq!(index.appends[2].ids, vec![6]);
+
+        // wrong dimensionality and replay-ordering violations are typed
+        assert!(matches!(
+            index.insert(&[1.0]).unwrap_err(),
+            Error::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            index.apply_insert(3, &[0.0, 0.0]).unwrap_err(),
+            Error::InvalidParameter(_)
+        ));
+        // replay with a gap is allowed; next_id jumps past it
+        index.apply_insert(10, &[5.0, 5.1]).unwrap();
+        assert_eq!(index.next_id(), 11);
+    }
+
+    #[test]
+    fn delete_is_idempotent_and_tracks_liveness() {
+        let (data, centroids, labels) = sample();
+        let mut index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+        assert!(index.is_live(3));
+        assert!(index.delete(3));
+        assert!(!index.is_live(3));
+        assert!(!index.delete(3), "repeat delete must be a no-op");
+        assert!(!index.delete(99), "unknown id must be a no-op");
+        assert_eq!(index.tombstoned(), 1);
+        assert_eq!(index.live_len(), 4);
+        assert!(index.is_dirty());
+        // deleting a freshly appended vector works too
+        let id = index.insert(&[4.9, 5.2]).unwrap();
+        assert!(index.delete(id));
+        assert_eq!(index.live_len(), 4);
+    }
+
+    #[test]
+    fn compact_produces_a_clean_equal_serving_generation() {
+        let (data, centroids, labels) = sample();
+        let mut index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+        index.delete(1);
+        let a = index.insert(&[0.2, 0.3]).unwrap();
+        let b = index.insert(&[9.1, 8.4]).unwrap();
+        index.delete(a);
+
+        let compacted = index.compact().unwrap();
+        assert!(!compacted.is_dirty());
+        assert_eq!(compacted.live_len(), index.live_len());
+        assert_eq!(compacted.len(), 5); // 5 original - 1 deleted - 1 deleted append + 2 inserts - ... = live set
+        assert_eq!(compacted.next_id(), index.next_id());
+        // external ids survive; within-list order stays ascending
+        let (_, ids2) = compacted.list(2);
+        assert_eq!(ids2, &[4, b]);
+        for c in 0..compacted.nlist() {
+            let (_, ids) = compacted.list(c);
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "list {c} not ascending"
+            );
+        }
+        // compacting a clean index is the identity
+        let again = compacted.compact().unwrap();
+        assert_eq!(again, compacted);
     }
 }

@@ -9,6 +9,16 @@
 //! | `IVFOFFS`  | `k + 1` little-endian `u64` prefix list offsets |
 //! | `IVFIDS`   | `n` little-endian `u32` panel-row → original-id entries |
 //! | `IVFPANEL` | the `n × d` re-ordered vector panel, native encoding |
+//! | `IVFMUT`   | mutation cursor: `next_id` and `applied_seq`, little-endian `u64` each |
+//!
+//! `IVFMUT` ties a checkpoint to its WAL ([`vecstore::wal`]): `applied_seq`
+//! is the sequence number *after* the last journalled mutation folded into
+//! the panels, so recovery replays exactly the WAL records at or beyond it —
+//! a crash between checkpoint publication and WAL truncation cannot
+//! double-apply.  Files written before the mutable tier lack the section and
+//! load with `next_id = max(id) + 1`, `applied_seq = 0`.  Only **clean**
+//! indexes are saved: un-compacted append regions or tombstones are an
+//! error, because a checkpoint *is* a compacted generation by definition.
 //!
 //! [`IvfIndex::save`] writes atomically (temp file + fsync + rename via
 //! [`vecstore::io::atomic_write`]), so a crash mid-save always leaves the
@@ -38,6 +48,7 @@ pub(crate) const TAG_CENTROIDS: &str = "IVFCENTR";
 pub(crate) const TAG_OFFSETS: &str = "IVFOFFS";
 pub(crate) const TAG_IDS: &str = "IVFIDS";
 pub(crate) const TAG_PANEL: &str = "IVFPANEL";
+pub(crate) const TAG_MUT: &str = "IVFMUT";
 
 /// Shorthand for a cross-section invariant violation in `section`.
 fn invariant(section: &str, detail: String) -> Error {
@@ -112,12 +123,31 @@ impl IvfIndex {
     }
 
     /// Writes the index to an arbitrary writer (checksummed v2 framing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the index is dirty (pending
+    /// append regions or tombstones): a persisted index is a *checkpoint*,
+    /// and a checkpoint is by definition a compacted generation — call
+    /// [`IvfIndex::compact`] first.
     pub fn write_to(&self, writer: impl Write) -> Result<()> {
+        if self.is_dirty() {
+            return Err(Error::InvalidParameter(format!(
+                "refusing to persist a dirty index ({} pending appends, {} tombstones): \
+                 compact into a clean generation first",
+                self.pending_appends(),
+                self.tombstoned()
+            )));
+        }
+        let mut mut_payload = Vec::with_capacity(16);
+        mut_payload.extend_from_slice(&u64::from(self.next_id).to_le_bytes());
+        mut_payload.extend_from_slice(&self.applied_seq.to_le_bytes());
         let sections = vec![
             Section::new(TAG_CENTROIDS, vector_set_to_bytes(&self.centroids)),
             Section::new(TAG_OFFSETS, u64s_to_bytes(&self.offsets)),
             Section::new(TAG_IDS, u32s_to_bytes(&self.ids)),
             Section::new(TAG_PANEL, vector_set_to_bytes(&self.panel)),
+            Section::new(TAG_MUT, mut_payload),
         ];
         write_sections_to(writer, &sections)
     }
@@ -214,11 +244,52 @@ impl IvfIndex {
                 ),
             ));
         }
+
+        // Mutation cursor: absent on pre-mutable-tier files, where the id
+        // space is dense and nothing was ever journalled.
+        let (next_id, applied_seq) = match sections.iter().find(|s| s.has_tag(TAG_MUT)) {
+            Some(s) => {
+                if s.payload.len() != 16 {
+                    return Err(invariant(
+                        TAG_MUT,
+                        format!("payload of {} bytes (expected 16)", s.payload.len()),
+                    ));
+                }
+                let mut a = [0u8; 8];
+                a.copy_from_slice(&s.payload[..8]);
+                let next_id = u64::from_le_bytes(a);
+                a.copy_from_slice(&s.payload[8..]);
+                let applied_seq = u64::from_le_bytes(a);
+                if next_id > u64::from(u32::MAX) {
+                    return Err(invariant(
+                        TAG_MUT,
+                        format!("next_id {next_id} exceeds the u32 id space"),
+                    ));
+                }
+                (next_id as u32, applied_seq)
+            }
+            None => (ids.iter().max().map(|&m| m + 1).unwrap_or(0), 0),
+        };
+        if let Some(&beyond) = ids.iter().find(|&&id| id >= next_id) {
+            return Err(invariant(
+                TAG_MUT,
+                format!("panel id {beyond} is at or beyond next_id {next_id}"),
+            ));
+        }
+        let live = crate::index::LiveSet::from_ids(next_id as usize, &ids)
+            .ok_or_else(|| invariant(TAG_IDS, "id remap contains a duplicate id".to_string()))?;
+        let appends = vec![crate::index::AppendList::default(); centroids.len()];
+
         Ok(Self {
             centroids,
             offsets,
             panel,
             ids,
+            appends,
+            live,
+            tombstoned: 0,
+            next_id,
+            applied_seq,
         })
     }
 }

@@ -57,7 +57,9 @@ pub mod eval;
 pub mod index;
 pub mod io;
 pub mod search;
+pub mod store;
 
 pub use eval::{evaluate, IvfReport};
 pub use index::IvfIndex;
 pub use search::{IvfSearchParams, IvfSearchStats};
+pub use store::{MutableStore, RecoveryReport};

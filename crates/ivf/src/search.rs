@@ -258,6 +258,9 @@ impl IvfIndex {
         let mut evals = (m as u64) * (k as u64);
 
         let panel = self.panel.as_flat();
+        // Tombstone filtering costs a bitmap probe per candidate; skip it
+        // entirely on the (common) tombstone-free index.
+        let filtering = self.tombstoned > 0;
         let mut probes: Vec<Neighbor> = Vec::with_capacity(nprobe + 1);
         let mut dists: Vec<f32> = Vec::new();
         for (q, tile_row) in tile.chunks_exact(k).enumerate() {
@@ -273,14 +276,33 @@ impl IvfIndex {
             for probe in &probes {
                 let c = probe.id as usize;
                 let (lo, hi) = (self.offsets[c], self.offsets[c + 1]);
-                if lo == hi {
-                    continue;
+                if lo < hi {
+                    dists.resize(hi - lo, 0.0);
+                    kernels::l2_sq_one_to_many(query, &panel[lo * d..hi * d], &mut dists);
+                    evals += (hi - lo) as u64;
+                    for (p, &dist) in (lo..hi).zip(&dists) {
+                        let id = self.ids[p];
+                        if filtering && !self.live.get(id) {
+                            continue;
+                        }
+                        insert_bounded(&mut pool, Neighbor::new(id, dist), r);
+                    }
                 }
-                dists.resize(hi - lo, 0.0);
-                kernels::l2_sq_one_to_many(query, &panel[lo * d..hi * d], &mut dists);
-                evals += (hi - lo) as u64;
-                for (p, &dist) in (lo..hi).zip(&dists) {
-                    insert_bounded(&mut pool, Neighbor::new(self.ids[p], dist), r);
+                // The list's append region — vectors inserted since the last
+                // compaction — streams through the same kernel into the same
+                // pool: one total order over panel + appends, so every
+                // exactness/monotonicity property survives mutation.
+                let ap = &self.appends[c];
+                if !ap.ids.is_empty() {
+                    dists.resize(ap.ids.len(), 0.0);
+                    kernels::l2_sq_one_to_many(query, &ap.flat, &mut dists);
+                    evals += ap.ids.len() as u64;
+                    for (&id, &dist) in ap.ids.iter().zip(&dists) {
+                        if filtering && !self.live.get(id) {
+                            continue;
+                        }
+                        insert_bounded(&mut pool, Neighbor::new(id, dist), r);
+                    }
                 }
             }
             results.push(pool);

@@ -96,8 +96,21 @@ fn re_checksummed_invariant_violations_are_rejected() {
         IvfIndex::read_from(Cursor::new(buf)).unwrap_err()
     };
 
-    // Dropping any one section breaks the container contract.
+    // Dropping any one *required* section breaks the container contract.
+    // (`IVFMUT` is the optional mutation cursor kept for pre-mutable-tier
+    // compatibility: without it the index must still load, with the legacy
+    // dense-id defaults.)
     for i in 0..sections.len() {
+        if sections[i].has_tag("IVFMUT") {
+            let mut s = sections.clone();
+            s.remove(i);
+            let mut buf = Vec::new();
+            write_sections_to(&mut buf, &s).unwrap();
+            let loaded = IvfIndex::read_from(Cursor::new(buf))
+                .expect("an index without the optional IVFMUT section must load");
+            assert_eq!(loaded, sample_index());
+            continue;
+        }
         let err = mutate(&|s: &mut Vec<Section>| {
             s.remove(i);
         });
@@ -106,6 +119,31 @@ fn re_checksummed_invariant_violations_are_rejected() {
             "missing section {i}: unexpected error {err}"
         );
     }
+
+    // A malformed IVFMUT payload (wrong size, or a next_id below an id that
+    // actually occurs in the remap) is typed corruption, not a default.
+    let err = mutate(&|s: &mut Vec<Section>| {
+        for sec in s.iter_mut() {
+            if sec.has_tag("IVFMUT") {
+                sec.payload.truncate(7);
+            }
+        }
+    });
+    assert!(
+        matches!(&err, Error::Store(StoreError::Invariant { .. })),
+        "short IVFMUT: unexpected error {err}"
+    );
+    let err = mutate(&|s: &mut Vec<Section>| {
+        for sec in s.iter_mut() {
+            if sec.has_tag("IVFMUT") {
+                sec.payload[..8].copy_from_slice(&1u64.to_le_bytes());
+            }
+        }
+    });
+    assert!(
+        matches!(&err, Error::Store(StoreError::Invariant { .. })),
+        "stale next_id: unexpected error {err}"
+    );
 
     // Breaking the offsets array (non-monotone prefix sums) with a valid CRC.
     let err = mutate(&|s: &mut Vec<Section>| {

@@ -1,0 +1,270 @@
+//! Property suite for the mutable IVF tier.
+//!
+//! The contracts pinned here are the mutation design's acceptance bar:
+//!
+//! * **Compaction bit-identity** — after any insert/delete storm, `compact()`
+//!   answers every query bit-for-bit like a *fresh* `IvfIndex::build` over
+//!   the surviving vectors, and like the dirty pre-compaction index itself;
+//! * **Tombstone exclusion** — a deleted id is never returned, at *any*
+//!   `nprobe`, for any query;
+//! * **Monotone recall** — with non-empty append regions, recall@R against
+//!   brute force over the live set is non-decreasing in `nprobe`, and
+//!   probing every list is exact;
+//! * **Thread invariance** — batched search over a dirty (appends +
+//!   tombstones) index is bit-identical at every thread count.
+
+use std::collections::HashMap;
+
+use ivf::{IvfIndex, IvfSearchParams};
+use rand::Rng;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+const DIM: usize = 6;
+
+/// Random corpus, nearest-centroid labels, plus a row archive by id.
+struct Fixture {
+    index: IvfIndex,
+    rows: HashMap<u32, Vec<f32>>,
+    centroids: VectorSet,
+}
+
+fn fixture(n: usize, k: usize, seed: u64) -> Fixture {
+    let mut rng = rng_from_seed(seed);
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-8..9) as f32).collect())
+        .collect();
+    let data = VectorSet::from_rows(rows.clone()).unwrap();
+    let centroids = data.gather(&(0..k).collect::<Vec<_>>()).unwrap();
+    let labels: Vec<usize> = data
+        .rows()
+        .map(|row| {
+            centroids
+                .rows()
+                .enumerate()
+                .map(|(c, cent)| {
+                    let d: f32 = row.iter().zip(cent).map(|(a, b)| (a - b) * (a - b)).sum();
+                    (d, c)
+                })
+                .min_by(|a, b| a.partial_cmp(b).unwrap())
+                .unwrap()
+                .1
+        })
+        .collect();
+    let index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+    let rows = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (i as u32, r))
+        .collect();
+    Fixture {
+        index,
+        rows,
+        centroids,
+    }
+}
+
+/// Deterministic mutation storm: interleaved inserts and deletes.
+fn storm(fx: &mut Fixture, inserts: usize, deletes: usize, seed: u64) {
+    let mut rng = rng_from_seed(seed);
+    for i in 0..inserts.max(deletes) {
+        if i < inserts {
+            let v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-20..21) as f32).collect();
+            let id = fx.index.insert(&v).unwrap();
+            fx.rows.insert(id, v);
+        }
+        if i < deletes {
+            let bound = fx.index.next_id();
+            let victim = rng.gen_range(0..bound);
+            if fx.index.delete(victim) {
+                fx.rows.remove(&victim);
+            }
+        }
+    }
+}
+
+fn queries(m: usize, seed: u64) -> VectorSet {
+    let mut rng = rng_from_seed(seed);
+    VectorSet::from_rows(
+        (0..m)
+            .map(|_| (0..DIM).map(|_| rng.gen_range(-20..21) as f32).collect())
+            .collect::<Vec<Vec<f32>>>(),
+    )
+    .unwrap()
+}
+
+/// Exact top-`r` over the live archive, ordered by `(distance, id)` — the
+/// same total order the IVF pool uses.
+fn brute_force(fx: &Fixture, query: &[f32], r: usize) -> Vec<u32> {
+    let mut scored: Vec<(f32, u32)> = fx
+        .rows
+        .iter()
+        .map(|(&id, row)| {
+            let d: f32 = query.iter().zip(row).map(|(a, b)| (a - b) * (a - b)).sum();
+            (d, id)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scored.into_iter().take(r).map(|(_, id)| id).collect()
+}
+
+#[test]
+fn compaction_is_bit_identical_to_a_fresh_build_over_the_live_set() {
+    let mut fx = fixture(160, 8, 31);
+    storm(&mut fx, 48, 30, 77);
+    assert!(
+        fx.index.is_dirty(),
+        "the storm must leave appends/tombstones"
+    );
+
+    let compacted = fx.index.compact().unwrap();
+    assert!(!compacted.is_dirty());
+    assert_eq!(compacted.live_len(), fx.rows.len());
+
+    // Recover per-vector list assignments from the compacted index itself:
+    // a fresh build fed the same labels reproduces the same panel layout.
+    let mut external: Vec<u32> = fx.rows.keys().copied().collect();
+    external.sort_unstable();
+    let mut label_of: HashMap<u32, usize> = HashMap::new();
+    for c in 0..compacted.nlist() {
+        for &id in compacted.list(c).1 {
+            label_of.insert(id, c);
+        }
+    }
+    let data_fresh = VectorSet::from_rows(
+        external
+            .iter()
+            .map(|id| fx.rows[id].clone())
+            .collect::<Vec<Vec<f32>>>(),
+    )
+    .unwrap();
+    let labels_fresh: Vec<usize> = external.iter().map(|id| label_of[id]).collect();
+    let fresh = IvfIndex::build(&data_fresh, &fx.centroids, &labels_fresh).unwrap();
+
+    let qs = queries(24, 5);
+    for nprobe in [1, 3, 8] {
+        let params = IvfSearchParams::default().nprobe(nprobe).threads(1);
+        let got = compacted.batch_search(&qs, 6, params);
+        // The dirty index must already answer identically: compaction only
+        // rewrites the layout, never the answers.
+        assert_eq!(
+            fx.index.batch_search(&qs, 6, params),
+            got,
+            "nprobe={nprobe}: compaction changed answers"
+        );
+        // The fresh build answers with dense ids; map through the monotone
+        // remap (dense id = rank of external id) and require *bit* equality
+        // of distances.
+        let fresh_res = fresh.batch_search(&qs, 6, params);
+        for (q, (fresh_list, got_list)) in fresh_res.iter().zip(&got).enumerate() {
+            assert_eq!(fresh_list.len(), got_list.len());
+            for (f, g) in fresh_list.iter().zip(got_list) {
+                assert_eq!(
+                    external[f.id as usize], g.id,
+                    "query {q} nprobe {nprobe}: id mismatch"
+                );
+                assert_eq!(
+                    f.dist.to_bits(),
+                    g.dist.to_bits(),
+                    "query {q} nprobe {nprobe}: distance bits differ"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tombstoned_ids_are_never_returned_at_any_nprobe() {
+    let mut fx = fixture(120, 6, 13);
+    storm(&mut fx, 30, 0, 99);
+    // Delete a targeted set including appended vectors, then aim queries
+    // *directly at* the deleted vectors — the worst case for exclusion.
+    let victims: Vec<u32> = (0..fx.index.next_id()).step_by(7).collect();
+    let mut deleted = Vec::new();
+    for &v in &victims {
+        if fx.index.delete(v) {
+            deleted.push(v);
+            fx.rows.remove(&v);
+        }
+    }
+    assert!(!deleted.is_empty());
+
+    let mut probe_rows = Vec::new();
+    let mut rng = rng_from_seed(3);
+    for _ in 0..16 {
+        probe_rows.push((0..DIM).map(|_| rng.gen_range(-20..21) as f32).collect());
+    }
+    let qs = VectorSet::from_rows(probe_rows).unwrap();
+
+    for nprobe in 1..=fx.index.nlist() {
+        let params = IvfSearchParams::default().nprobe(nprobe).threads(1);
+        for list in fx.index.batch_search(&qs, 10, params) {
+            for n in list {
+                assert!(
+                    !deleted.contains(&n.id),
+                    "tombstoned id {} surfaced at nprobe {nprobe}",
+                    n.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recall_is_monotone_in_nprobe_and_exact_at_full_probe() {
+    let mut fx = fixture(140, 7, 21);
+    storm(&mut fx, 40, 20, 55);
+    assert!(fx.index.pending_appends() > 0);
+
+    let qs = queries(20, 17);
+    let r = 8;
+    let truth: Vec<Vec<u32>> = qs.rows().map(|q| brute_force(&fx, q, r)).collect();
+
+    let mut last = -1.0f64;
+    for nprobe in 1..=fx.index.nlist() {
+        let params = IvfSearchParams::default().nprobe(nprobe).threads(1);
+        let results = fx.index.batch_search(&qs, r, params);
+        let mut hits = 0usize;
+        let mut want = 0usize;
+        for (got, expect) in results.iter().zip(&truth) {
+            want += expect.len();
+            hits += got.iter().filter(|n| expect.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / want as f64;
+        assert!(
+            recall >= last - 1e-12,
+            "recall regressed at nprobe {nprobe}: {recall} < {last}"
+        );
+        last = recall;
+        if nprobe == fx.index.nlist() {
+            assert_eq!(
+                (hits, want),
+                (want, want),
+                "full probe over appends+tombstones must be exact"
+            );
+        }
+    }
+}
+
+#[test]
+fn dirty_index_search_is_bit_identical_at_every_thread_count() {
+    let mut fx = fixture(200, 8, 41);
+    storm(&mut fx, 64, 32, 23);
+    assert!(fx.index.is_dirty());
+
+    let qs = queries(96, 29);
+    let baseline = fx
+        .index
+        .batch_search(&qs, 7, IvfSearchParams::default().nprobe(4).threads(1));
+    for threads in [2, 4, 7] {
+        let got = fx.index.batch_search(
+            &qs,
+            7,
+            IvfSearchParams::default().nprobe(4).threads(threads),
+        );
+        assert_eq!(
+            baseline, got,
+            "thread count {threads} changed results on a dirty index"
+        );
+    }
+}

@@ -53,15 +53,38 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ivf::{IvfIndex, IvfSearchParams};
+use ivf::{IvfIndex, IvfSearchParams, MutableStore};
 use knn_graph::Neighbor;
 use vecstore::VectorSet;
 
-use crate::protocol::{SearchResponse, Status};
+use crate::protocol::{MutateResponse, SearchResponse, Status, WireMutation};
+
+/// What flows back to a connection's writer: a search answer or a mutation
+/// ack.  One channel per connection carries both, preserving the order the
+/// batcher produced them in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to a search (or a control frame riding the search path).
+    Search(SearchResponse),
+    /// Ack of an insert/delete/compact.
+    Mutate(MutateResponse),
+}
+
+impl From<SearchResponse> for Reply {
+    fn from(r: SearchResponse) -> Self {
+        Reply::Search(r)
+    }
+}
+
+impl From<MutateResponse> for Reply {
+    fn from(r: MutateResponse) -> Self {
+        Reply::Mutate(r)
+    }
+}
 
 /// Abstraction over the thing that answers query batches, so the chaos tests
 /// can wrap the real index with slow / panicking / failing shims.
@@ -117,6 +140,177 @@ impl SearchBackend for IvfBackend {
     }
 }
 
+/// Outcome of one applied mutation: the ids it touched (assigned ids for an
+/// insert, actually-deleted ids for a delete, empty for a compaction) plus
+/// the live count afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// Ids the mutation touched.
+    pub ids: Vec<u32>,
+    /// Live vectors after the mutation.
+    pub live: u64,
+}
+
+/// A search backend that additionally accepts journalled mutations.
+///
+/// `mutate` must uphold the durability contract: an `Ok` return means the
+/// mutation is journalled (fsynced) *and* applied; an `Err` before anything
+/// was journalled is a clean rejection.  An `Err` after a partial journal
+/// write is allowed (the record may replay after a restart) — which is
+/// exactly why clients must never retry a mutation whose outcome is unknown.
+pub trait MutableBackend: SearchBackend {
+    /// Journals, applies and acks one wire mutation.
+    fn mutate(&self, op: &WireMutation) -> vecstore::Result<MutationOutcome>;
+}
+
+/// The production mutable backend: a [`MutableStore`] behind an `RwLock`.
+///
+/// Searches take the read lock, mutations the write lock, so a compaction's
+/// generation swap waits for in-flight searches to finish on the old
+/// generation and every later search sees the new one — the hot-swap is a
+/// pointer swap under the write lock, never a torn view.
+pub struct MutableIvfBackend {
+    store: RwLock<MutableStore>,
+    threads: Option<usize>,
+    dim: usize,
+}
+
+impl MutableIvfBackend {
+    /// Wraps `store`; `threads = None` inherits the `GKM_THREADS` default.
+    pub fn new(store: MutableStore, threads: Option<usize>) -> Self {
+        let dim = store.index().dim();
+        MutableIvfBackend {
+            store: RwLock::new(store),
+            threads,
+            dim,
+        }
+    }
+
+    /// Runs `f` over the store under the read lock (stats endpoints, drain
+    /// summaries).
+    pub fn with_store<T>(&self, f: impl FnOnce(&MutableStore) -> T) -> T {
+        f(&read_lock(&self.store))
+    }
+
+    /// Consumes the backend and returns the store (final checkpoint at
+    /// shutdown).
+    pub fn into_store(self) -> MutableStore {
+        match self.store.into_inner() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl SearchBackend for MutableIvfBackend {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search_batch(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        nprobe: usize,
+    ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+        let mut params = IvfSearchParams::default().nprobe(nprobe.max(1));
+        if let Some(t) = self.threads {
+            params = params.threads(t);
+        }
+        read_lock(&self.store)
+            .index()
+            .try_batch_search(queries, r, params)
+    }
+}
+
+impl MutableBackend for MutableIvfBackend {
+    fn mutate(&self, op: &WireMutation) -> vecstore::Result<MutationOutcome> {
+        let mut store = write_lock(&self.store);
+        match op {
+            WireMutation::Insert { dim, vectors } => {
+                if *dim as usize != self.dim {
+                    return Err(vecstore::Error::DimensionMismatch {
+                        expected: self.dim,
+                        found: *dim as usize,
+                    });
+                }
+                let set = VectorSet::from_flat(vectors.clone(), self.dim)?;
+                let ids = store.insert_batch(&set)?;
+                Ok(MutationOutcome {
+                    ids,
+                    live: store.index().live_len() as u64,
+                })
+            }
+            WireMutation::Delete { ids } => {
+                let hits = store.delete_batch(ids)?;
+                let deleted = ids
+                    .iter()
+                    .zip(&hits)
+                    .filter(|(_, &was_live)| was_live)
+                    .map(|(&id, _)| id)
+                    .collect();
+                Ok(MutationOutcome {
+                    ids: deleted,
+                    live: store.index().live_len() as u64,
+                })
+            }
+            WireMutation::Compact => {
+                store.compact()?;
+                Ok(MutationOutcome {
+                    ids: Vec::new(),
+                    live: store.index().live_len() as u64,
+                })
+            }
+        }
+    }
+}
+
+/// Poison-tolerant read lock (mirrors [`lock`]): the store's invariants are
+/// upheld by `MutableStore` itself, not by guard scopes.
+fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Poison-tolerant write lock (mirrors [`lock`]).
+fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The two backend flavours a batcher can drive.  Kept as an enum (rather
+/// than trait upcasting) so an immutable deployment pays nothing for the
+/// mutation path and rejects mutation frames with a typed `BAD_REQUEST`.
+enum AnyBackend {
+    Immutable(Arc<dyn SearchBackend>),
+    Mutable(Arc<dyn MutableBackend>),
+}
+
+impl AnyBackend {
+    fn search_batch(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        nprobe: usize,
+    ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+        match self {
+            AnyBackend::Immutable(b) => b.search_batch(queries, r, nprobe),
+            AnyBackend::Mutable(b) => b.search_batch(queries, r, nprobe),
+        }
+    }
+
+    fn mutable(&self) -> Option<&dyn MutableBackend> {
+        match self {
+            AnyBackend::Immutable(_) => None,
+            AnyBackend::Mutable(b) => Some(b.as_ref()),
+        }
+    }
+}
+
 /// Batcher tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct BatcherConfig {
@@ -166,7 +360,34 @@ struct Pending {
     /// 75% point of the deadline budget — the flush schedule honours this,
     /// reserving the final quarter for the backend call.
     serve_by: Option<Instant>,
-    reply: mpsc::Sender<SearchResponse>,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// One admitted mutation waiting its turn in the queue.  Mutations carry no
+/// deadline: once admitted they will be journalled, and expiring a journalled
+/// mutation would break exactly-once semantics.
+struct PendingMutation {
+    id: u64,
+    op: WireMutation,
+    weight: usize,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// A queue entry: searches batch together, mutations act as fences.
+enum Work {
+    Search(Pending),
+    Mutation(PendingMutation),
+}
+
+/// Admission weight of a wire mutation: rows for an insert, requested ids
+/// for a delete, so a 64-vector insert occupies as much admission budget as
+/// a 64-query search.
+fn mutation_weight(op: &WireMutation) -> usize {
+    match op {
+        WireMutation::Insert { dim, vectors } => (vectors.len() / (*dim).max(1) as usize).max(1),
+        WireMutation::Delete { ids } => ids.len().max(1),
+        WireMutation::Compact => 1,
+    }
 }
 
 /// Monotonic counters exported for the stats endpoint / load generator.
@@ -184,6 +405,14 @@ pub struct BatcherCounters {
     pub batches: AtomicU64,
     /// Requests answered `OK`.
     pub served: AtomicU64,
+    /// Mutation records journalled (fsynced) — rows for inserts, requested
+    /// ids for deletes.
+    pub mutations_journaled: AtomicU64,
+    /// Mutation records that changed serving state (all insert rows; deletes
+    /// that hit a live id).
+    pub mutations_applied: AtomicU64,
+    /// Checkpointed compactions published.
+    pub compactions: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`BatcherCounters`].
@@ -201,6 +430,12 @@ pub struct BatcherStats {
     pub batches: u64,
     /// Requests answered `OK`.
     pub served: u64,
+    /// Mutation records journalled (fsynced).
+    pub mutations_journaled: u64,
+    /// Mutation records that changed serving state.
+    pub mutations_applied: u64,
+    /// Checkpointed compactions published.
+    pub compactions: u64,
 }
 
 struct Shared {
@@ -211,8 +446,9 @@ struct Shared {
 }
 
 struct QueueState {
-    pending: VecDeque<Pending>,
-    /// Queued queries (sum of `Pending::n`), the unit `queue_cap` bounds.
+    pending: VecDeque<Work>,
+    /// Queued work weight (queries plus mutation rows), the unit `queue_cap`
+    /// bounds.
     depth: usize,
     /// Hysteresis flag: true between the high-watermark trip and the
     /// low-watermark recovery.
@@ -226,6 +462,33 @@ struct QueueState {
 pub struct Batcher {
     shared: Arc<Shared>,
     worker: Option<thread::JoinHandle<()>>,
+    /// Whether the backend accepts mutations (set at `start_*` time).
+    mutable: bool,
+}
+
+/// Why admission refused a work item.
+enum AdmitRejection {
+    Closing,
+    Shedding,
+}
+
+/// Two-watermark admission check under the queue lock; `Err` means reject.
+fn admit(q: &mut QueueState, cfg: &BatcherConfig, weight: usize) -> Result<(), AdmitRejection> {
+    if q.closing {
+        return Err(AdmitRejection::Closing);
+    }
+    // Trip at the cap, recover at resume_depth.
+    if q.shedding {
+        if q.depth <= cfg.resume_depth {
+            q.shedding = false;
+        }
+    } else if q.depth + weight > cfg.queue_cap {
+        q.shedding = true;
+    }
+    if q.shedding {
+        return Err(AdmitRejection::Shedding);
+    }
+    Ok(())
 }
 
 /// Outcome of [`Batcher::submit`].
@@ -237,9 +500,32 @@ pub enum Admission {
     Rejected(SearchResponse),
 }
 
+/// Outcome of [`Batcher::submit_mutation`].
+pub enum MutationAdmission {
+    /// Admitted; the ack arrives on the channel given to `submit_mutation`
+    /// only after the mutation is journalled and applied.
+    Queued,
+    /// Rejected *before* anything was journalled — the one rejection class
+    /// a client may safely retry (when the status is `OVERLOADED`).
+    Rejected(MutateResponse),
+}
+
 impl Batcher {
-    /// Starts the batcher thread over `backend`.
+    /// Starts the batcher thread over an immutable `backend`.  Mutation
+    /// frames are answered `BAD_REQUEST`.
     pub fn start(backend: Arc<dyn SearchBackend>, config: BatcherConfig) -> Self {
+        Self::start_any(AnyBackend::Immutable(backend), config)
+    }
+
+    /// Starts the batcher thread over a mutable `backend`: searches batch as
+    /// usual, and insert/delete/compact frames are journalled, applied and
+    /// acked in arrival order.
+    pub fn start_mutable(backend: Arc<dyn MutableBackend>, config: BatcherConfig) -> Self {
+        Self::start_any(AnyBackend::Mutable(backend), config)
+    }
+
+    fn start_any(backend: AnyBackend, config: BatcherConfig) -> Self {
+        let mutable = backend.mutable().is_some();
         let config = config.normalized();
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
@@ -255,11 +541,12 @@ impl Batcher {
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
             .name("gkm-batcher".into())
-            .spawn(move || batcher_loop(&worker_shared, backend.as_ref()))
+            .spawn(move || batcher_loop(&worker_shared, &backend))
             .unwrap_or_else(|e| panic!("cannot spawn the batcher thread: {e}"));
         Batcher {
             shared,
             worker: Some(worker),
+            mutable,
         }
     }
 
@@ -276,34 +563,29 @@ impl Batcher {
         r: usize,
         nprobe: usize,
         deadline: Option<Instant>,
-        reply: mpsc::Sender<SearchResponse>,
+        reply: mpsc::Sender<Reply>,
     ) -> Admission {
         let n = queries.len().checked_div(dim).unwrap_or(0);
         let cfg = &self.shared.config;
         let mut q = lock(&self.shared.queue);
-        if q.closing {
-            return Admission::Rejected(SearchResponse::rejection(
-                id,
-                Status::ShuttingDown,
-                "server is draining",
-            ));
-        }
-        // Two-watermark admission: trip at the cap, recover at resume_depth.
-        if q.shedding {
-            if q.depth <= cfg.resume_depth {
-                q.shedding = false;
+        match admit(&mut q, cfg, n) {
+            Err(AdmitRejection::Closing) => {
+                return Admission::Rejected(SearchResponse::rejection(
+                    id,
+                    Status::ShuttingDown,
+                    "server is draining",
+                ));
             }
-        } else if q.depth + n > cfg.queue_cap {
-            q.shedding = true;
-        }
-        if q.shedding {
-            drop(q);
-            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
-            return Admission::Rejected(SearchResponse::rejection(
-                id,
-                Status::Overloaded,
-                format!("admission queue full ({} queries queued)", cfg.queue_cap),
-            ));
+            Err(AdmitRejection::Shedding) => {
+                drop(q);
+                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Admission::Rejected(SearchResponse::rejection(
+                    id,
+                    Status::Overloaded,
+                    format!("admission queue full ({} queries queued)", cfg.queue_cap),
+                ));
+            }
+            Ok(()) => {}
         }
         q.depth += n;
         let enqueued = Instant::now();
@@ -311,7 +593,7 @@ impl Batcher {
             let budget = d.saturating_duration_since(enqueued);
             enqueued + budget.mul_f64(0.75)
         });
-        q.pending.push_back(Pending {
+        q.pending.push_back(Work::Search(Pending {
             id,
             queries,
             n,
@@ -322,7 +604,7 @@ impl Batcher {
             deadline,
             serve_by,
             reply,
-        });
+        }));
         drop(q);
         self.shared
             .counters
@@ -330,6 +612,64 @@ impl Batcher {
             .fetch_add(1, Ordering::Relaxed);
         self.shared.wake.notify_one();
         Admission::Queued
+    }
+
+    /// Offers a mutation for admission.  Rejections here are *pre-journal*:
+    /// nothing durable happened, so a `Status::Overloaded` rejection is the
+    /// only mutation failure a client may safely retry.
+    pub fn submit_mutation(
+        &self,
+        id: u64,
+        op: WireMutation,
+        reply: mpsc::Sender<Reply>,
+    ) -> MutationAdmission {
+        if !self.mutable {
+            return MutationAdmission::Rejected(MutateResponse::rejection(
+                id,
+                Status::BadRequest,
+                "this server is immutable: no journal is attached to the index",
+            ));
+        }
+        let weight = mutation_weight(&op);
+        let cfg = &self.shared.config;
+        let mut q = lock(&self.shared.queue);
+        match admit(&mut q, cfg, weight) {
+            Err(AdmitRejection::Closing) => {
+                return MutationAdmission::Rejected(MutateResponse::rejection(
+                    id,
+                    Status::ShuttingDown,
+                    "server is draining",
+                ));
+            }
+            Err(AdmitRejection::Shedding) => {
+                drop(q);
+                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return MutationAdmission::Rejected(MutateResponse::rejection(
+                    id,
+                    Status::Overloaded,
+                    format!(
+                        "admission queue full ({} queries queued); \
+                         nothing was journalled — safe to retry",
+                        cfg.queue_cap
+                    ),
+                ));
+            }
+            Ok(()) => {}
+        }
+        q.depth += weight;
+        q.pending.push_back(Work::Mutation(PendingMutation {
+            id,
+            op,
+            weight,
+            reply,
+        }));
+        drop(q);
+        self.shared
+            .counters
+            .accepted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.wake.notify_one();
+        MutationAdmission::Queued
     }
 
     /// Current queued-query depth (for tests and the stats endpoint).
@@ -347,7 +687,15 @@ impl Batcher {
             internal_errors: c.internal_errors.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             served: c.served.load(Ordering::Relaxed),
+            mutations_journaled: c.mutations_journaled.load(Ordering::Relaxed),
+            mutations_applied: c.mutations_applied.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether this batcher accepts mutations.
+    pub fn is_mutable(&self) -> bool {
+        self.mutable
     }
 
     /// Stops admission and drains: every already-queued request is still
@@ -383,7 +731,23 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
-fn batcher_loop(shared: &Shared, backend: &dyn SearchBackend) {
+/// One unit of work the batcher thread executes between lock drops: either a
+/// block of compatible searches or a run of consecutive mutations.
+enum Batch {
+    Searches(Vec<Pending>),
+    Mutations(Vec<PendingMutation>),
+}
+
+impl Batch {
+    fn is_empty(&self) -> bool {
+        match self {
+            Batch::Searches(b) => b.is_empty(),
+            Batch::Mutations(b) => b.is_empty(),
+        }
+    }
+}
+
+fn batcher_loop(shared: &Shared, backend: &AnyBackend) {
     let cfg = shared.config;
     loop {
         let batch = {
@@ -407,6 +771,12 @@ fn batcher_loop(shared: &Shared, backend: &dyn SearchBackend) {
                     };
                     continue;
                 }
+                // A mutation at the queue front flushes immediately: it is
+                // acked only once durable, so waiting for batch company buys
+                // nothing and costs ack latency.
+                if matches!(q.pending.front(), Some(Work::Mutation(_))) {
+                    break;
+                }
                 let now = Instant::now();
                 let flush_at = flush_deadline(&q, cfg.max_delay);
                 if now >= flush_at {
@@ -426,26 +796,37 @@ fn batcher_loop(shared: &Shared, backend: &dyn SearchBackend) {
         if batch.is_empty() {
             continue;
         }
-        run_batch(batch, backend, &shared.counters);
+        match batch {
+            Batch::Searches(b) => run_batch(b, backend, &shared.counters),
+            Batch::Mutations(b) => run_mutations(b, backend, &shared.counters),
+        }
     }
 }
 
-/// Answers and removes every expired request in the queue.
+/// Answers and removes every expired request in the queue.  Mutations never
+/// expire: an admitted mutation is always journalled and acked.
 fn expire(q: &mut QueueState, counters: &BatcherCounters) {
     let now = Instant::now();
     let mut kept = VecDeque::with_capacity(q.pending.len());
-    while let Some(p) = q.pending.pop_front() {
+    while let Some(work) = q.pending.pop_front() {
+        let p = match work {
+            Work::Search(p) => p,
+            m @ Work::Mutation(_) => {
+                kept.push_back(m);
+                continue;
+            }
+        };
         match p.deadline {
             Some(d) if now >= d => {
                 q.depth -= p.n;
                 counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
-                let _ = p.reply.send(SearchResponse::rejection(
+                let _ = p.reply.send(Reply::Search(SearchResponse::rejection(
                     p.id,
                     Status::DeadlineExceeded,
                     format!("deadline expired after {:?} in queue", now - p.enqueued),
-                ));
+                )));
             }
-            _ => kept.push_back(p),
+            _ => kept.push_back(Work::Search(p)),
         }
     }
     q.pending = kept;
@@ -453,31 +834,58 @@ fn expire(q: &mut QueueState, counters: &BatcherCounters) {
 
 /// When the current queue must flush: the oldest request's `max_delay`
 /// budget, tightened by the earliest serve-by point (75% of a deadline
-/// budget — see the module docs).
+/// budget — see the module docs).  Queued mutations flush immediately —
+/// their ack latency is bounded by the journal fsync, not by batching.
 fn flush_deadline(q: &QueueState, max_delay: Duration) -> Instant {
     let mut flush_at = match q.pending.front() {
-        Some(oldest) => oldest.enqueued + max_delay,
-        None => Instant::now() + max_delay,
+        Some(Work::Search(oldest)) => oldest.enqueued + max_delay,
+        Some(Work::Mutation(_)) | None => Instant::now(),
     };
-    for p in &q.pending {
-        if let Some(s) = p.serve_by {
-            flush_at = flush_at.min(s);
+    for work in &q.pending {
+        match work {
+            Work::Search(p) => {
+                if let Some(s) = p.serve_by {
+                    flush_at = flush_at.min(s);
+                }
+            }
+            Work::Mutation(_) => {
+                flush_at = flush_at.min(Instant::now());
+            }
         }
     }
     flush_at
 }
 
-/// Pops requests off the queue front into one batch.  Requests are grouped
-/// by the `(r, nprobe)` of the oldest queued request — later requests with
-/// different knobs stay queued for the next batch, preserving arrival order
-/// within each group.
-fn take_batch(q: &mut QueueState, max_batch: usize) -> Vec<Pending> {
+/// Pops work off the queue front into one batch.
+///
+/// Searches are grouped by the `(r, nprobe, dim)` of the oldest queued
+/// search — later searches with different knobs stay queued for the next
+/// batch, preserving arrival order within each group.  **Mutations are
+/// fences**: a search batch never reaches past a queued mutation (a search
+/// admitted after a delete must not be answered from the pre-delete
+/// snapshot), and a mutation batch is the maximal run of consecutive
+/// mutations at the queue front, executed in arrival order.
+fn take_batch(q: &mut QueueState, max_batch: usize) -> Batch {
+    if matches!(q.pending.front(), Some(Work::Mutation(_))) {
+        let mut batch = Vec::new();
+        while matches!(q.pending.front(), Some(Work::Mutation(_))) {
+            if let Some(Work::Mutation(m)) = q.pending.pop_front() {
+                q.depth -= m.weight;
+                batch.push(m);
+            }
+        }
+        return Batch::Mutations(batch);
+    }
     let mut batch = Vec::new();
     let (mut r, mut nprobe, mut dim) = (0usize, 0usize, 0usize);
     let mut taken_queries = 0usize;
     let mut i = 0;
     while i < q.pending.len() {
-        let p = &q.pending[i];
+        let p = match &q.pending[i] {
+            Work::Search(p) => p,
+            // Fence: nothing behind a mutation may join this batch.
+            Work::Mutation(_) => break,
+        };
         if batch.is_empty() {
             (r, nprobe, dim) = (p.r, p.nprobe, p.dim);
         }
@@ -490,18 +898,81 @@ fn take_batch(q: &mut QueueState, max_batch: usize) -> Vec<Pending> {
         }
         taken_queries += p.n;
         q.depth -= p.n;
-        if let Some(p) = q.pending.remove(i) {
+        if let Some(Work::Search(p)) = q.pending.remove(i) {
             batch.push(p);
         }
         if taken_queries >= max_batch {
             break;
         }
     }
-    batch
+    Batch::Searches(batch)
+}
+
+/// Executes a run of mutations in arrival order and acks each.  Each `Ok`
+/// ack is sent only after the store has journalled (fsynced) and applied
+/// the mutation; a panic or error fails *that* mutation with a typed status
+/// and the batcher thread carries on.
+fn run_mutations(batch: Vec<PendingMutation>, backend: &AnyBackend, counters: &BatcherCounters) {
+    let Some(mutable) = backend.mutable() else {
+        for m in batch {
+            let _ = m.reply.send(Reply::Mutate(MutateResponse::rejection(
+                m.id,
+                Status::BadRequest,
+                "this server is immutable: no journal is attached to the index",
+            )));
+        }
+        return;
+    };
+    for m in batch {
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| mutable.mutate(&m.op))).unwrap_or_else(|payload| {
+                let msg = panic_message(payload.as_ref());
+                Err(vecstore::Error::Internal(format!(
+                    "backend panicked: {msg}"
+                )))
+            });
+        let reply = match outcome {
+            Ok(out) => {
+                counters
+                    .mutations_journaled
+                    .fetch_add(m.weight as u64, Ordering::Relaxed);
+                let applied = match &m.op {
+                    WireMutation::Compact => {
+                        counters.compactions.fetch_add(1, Ordering::Relaxed);
+                        0
+                    }
+                    _ => out.ids.len() as u64,
+                };
+                counters
+                    .mutations_applied
+                    .fetch_add(applied, Ordering::Relaxed);
+                counters.served.fetch_add(1, Ordering::Relaxed);
+                MutateResponse::ok(m.id, out.ids, out.live)
+            }
+            Err(e) => {
+                counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                MutateResponse::rejection(m.id, mutation_error_status(&e), format!("{e}"))
+            }
+        };
+        let _ = m.reply.send(Reply::Mutate(reply));
+    }
+}
+
+/// Maps a store error to a wire status.  Validation failures (wrong dim,
+/// bad parameters) are the client's fault; anything touching the journal or
+/// checkpoint is `INTERNAL` — and deliberately ambiguous, because an I/O
+/// error mid-journal may or may not survive a restart.
+fn mutation_error_status(e: &vecstore::Error) -> Status {
+    match e {
+        vecstore::Error::DimensionMismatch { .. }
+        | vecstore::Error::EmptyInput(_)
+        | vecstore::Error::InvalidParameter(_) => Status::BadRequest,
+        _ => Status::Internal,
+    }
 }
 
 /// Executes one batch and fans the results (or a typed failure) back out.
-fn run_batch(batch: Vec<Pending>, backend: &dyn SearchBackend, counters: &BatcherCounters) {
+fn run_batch(batch: Vec<Pending>, backend: &AnyBackend, counters: &BatcherCounters) {
     counters.batches.fetch_add(1, Ordering::Relaxed);
     let dim = batch[0].dim;
     let r = batch[0].r;
@@ -546,7 +1017,7 @@ fn run_batch(batch: Vec<Pending>, backend: &dyn SearchBackend, counters: &Batche
                 let tail = rest.split_off(p.n);
                 let own = std::mem::replace(&mut rest, tail);
                 counters.served.fetch_add(1, Ordering::Relaxed);
-                let _ = p.reply.send(SearchResponse::ok(p.id, own));
+                let _ = p.reply.send(Reply::Search(SearchResponse::ok(p.id, own)));
             }
         }
         Err(e) => fail_batch(&batch, counters, format!("search failed: {e}")),
@@ -557,11 +1028,11 @@ fn run_batch(batch: Vec<Pending>, backend: &dyn SearchBackend, counters: &Batche
 fn fail_batch(batch: &[Pending], counters: &BatcherCounters, message: String) {
     for p in batch {
         counters.internal_errors.fetch_add(1, Ordering::Relaxed);
-        let _ = p.reply.send(SearchResponse::rejection(
+        let _ = p.reply.send(Reply::Search(SearchResponse::rejection(
             p.id,
             Status::Internal,
             message.clone(),
-        ));
+        )));
     }
 }
 
@@ -608,12 +1079,32 @@ mod tests {
         }
     }
 
-    fn submit_one(b: &Batcher, id: u64, x: f32) -> mpsc::Receiver<SearchResponse> {
+    /// Unwraps a search reply off the shared channel.
+    fn search_reply(reply: Reply) -> SearchResponse {
+        match reply {
+            Reply::Search(r) => r,
+            Reply::Mutate(m) => panic!("expected a search reply, got mutate ack {m:?}"),
+        }
+    }
+
+    /// Unwraps a mutation ack off the shared channel.
+    fn mutate_reply(reply: Reply) -> MutateResponse {
+        match reply {
+            Reply::Mutate(m) => m,
+            Reply::Search(r) => panic!("expected a mutate ack, got search reply {r:?}"),
+        }
+    }
+
+    fn recv_search(rx: &mpsc::Receiver<Reply>) -> SearchResponse {
+        search_reply(rx.recv_timeout(Duration::from_secs(5)).unwrap())
+    }
+
+    fn submit_one(b: &Batcher, id: u64, x: f32) -> mpsc::Receiver<Reply> {
         let (tx, rx) = mpsc::channel();
         match b.submit(id, vec![x, 0.0], 2, 3, 1, None, tx.clone()) {
             Admission::Queued => {}
             Admission::Rejected(resp) => {
-                let _ = tx.send(resp);
+                let _ = tx.send(Reply::Search(resp));
             }
         }
         rx
@@ -631,7 +1122,7 @@ mod tests {
         );
         let rxs: Vec<_> = (0..20).map(|i| submit_one(&b, i, i as f32)).collect();
         for (i, rx) in rxs.iter().enumerate() {
-            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let resp = recv_search(rx);
             assert_eq!(resp.id, i as u64);
             assert_eq!(resp.status, Status::Ok);
             assert_eq!(resp.results.len(), 1);
@@ -665,7 +1156,7 @@ mod tests {
             b.submit(42, vec![1.0, 2.0], 2, 3, 1, deadline, tx),
             Admission::Queued
         ));
-        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let resp = recv_search(&rx);
         assert_eq!(resp.id, 42);
         assert_eq!(resp.status, Status::DeadlineExceeded);
         assert_eq!(b.stats().deadline_expired, 1);
@@ -691,7 +1182,7 @@ mod tests {
             Admission::Queued
         ));
         let start = Instant::now();
-        let resp = rx.recv_timeout(Duration::from_secs(4)).unwrap();
+        let resp = search_reply(rx.recv_timeout(Duration::from_secs(4)).unwrap());
         assert_eq!(resp.status, Status::Ok, "{:?}", resp.message);
         assert!(
             start.elapsed() < Duration::from_secs(3),
@@ -766,13 +1257,13 @@ mod tests {
             backend2.cv.notify_all();
         }
         for rx in &rxs {
-            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let resp = recv_search(rx);
             assert_eq!(resp.status, Status::Ok);
         }
         // Hysteresis has recovered (resume_depth 0, queue drained): new
         // requests are admitted again.
         let rx = submit_one(&b, 999, 1.5);
-        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let resp = recv_search(&rx);
         assert_eq!(resp.status, Status::Ok);
         assert_eq!(resp.id, 999);
         b.shutdown();
@@ -808,10 +1299,10 @@ mod tests {
         );
         let bad = submit_one(&b, 1, -1.0);
         let good = submit_one(&b, 2, 1.0);
-        let bad_resp = bad.recv_timeout(Duration::from_secs(5)).unwrap();
+        let bad_resp = recv_search(&bad);
         assert_eq!(bad_resp.status, Status::Internal);
         assert!(bad_resp.message.contains("worker panicked"));
-        let good_resp = good.recv_timeout(Duration::from_secs(5)).unwrap();
+        let good_resp = recv_search(&good);
         assert_eq!(good_resp.status, Status::Ok);
         assert_eq!(b.stats().internal_errors, 1);
         b.shutdown();
@@ -845,15 +1336,12 @@ mod tests {
             },
         );
         let bad = submit_one(&b, 5, -2.0);
-        let resp = bad.recv_timeout(Duration::from_secs(5)).unwrap();
+        let resp = recv_search(&bad);
         assert_eq!(resp.status, Status::Internal);
         assert!(resp.message.contains("injected backend panic"));
         // The batcher thread is still alive and serving.
         let good = submit_one(&b, 6, 3.0);
-        assert_eq!(
-            good.recv_timeout(Duration::from_secs(5)).unwrap().status,
-            Status::Ok
-        );
+        assert_eq!(recv_search(&good).status, Status::Ok);
         b.shutdown();
     }
 
@@ -874,13 +1362,13 @@ mod tests {
             match b.submit(i, vec![i as f32, 0.0], 2, r, 1, None, tx.clone()) {
                 Admission::Queued => {}
                 Admission::Rejected(resp) => {
-                    let _ = tx.send(resp);
+                    let _ = tx.send(Reply::Search(resp));
                 }
             }
             rxs.push((rx, r));
         }
         for (i, (rx, r)) in rxs.iter().enumerate() {
-            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let resp = recv_search(rx);
             assert_eq!(resp.id, i as u64);
             assert_eq!(resp.status, Status::Ok);
             assert_eq!(resp.results[0].len(), *r);
@@ -917,7 +1405,7 @@ mod tests {
         let rxs: Vec<_> = (0..4).map(|i| submit_one(&b, i, 1.0)).collect();
         b.shutdown();
         for rx in &rxs {
-            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let resp = recv_search(rx);
             assert_eq!(resp.status, Status::Ok, "drain must serve queued work");
         }
         // Post-shutdown submission is rejected as SHUTTING_DOWN.
@@ -940,5 +1428,206 @@ mod tests {
         assert_eq!(cfg.max_batch, 1);
         assert!(cfg.queue_cap >= cfg.max_batch);
         assert!(cfg.resume_depth < cfg.queue_cap);
+    }
+
+    /// In-memory mutable backend: searches report how many mutations have
+    /// been applied so far (neighbour id = mutation count), which makes
+    /// ordering violations visible.  An optional gate blocks searches for
+    /// queries with a negative first coordinate until released.
+    struct FakeMutable {
+        mutations: AtomicU64,
+        next_id: AtomicU64,
+        gate: Mutex<bool>,
+        gate_cv: Condvar,
+    }
+
+    impl FakeMutable {
+        fn new() -> Self {
+            FakeMutable {
+                mutations: AtomicU64::new(0),
+                next_id: AtomicU64::new(100),
+                gate: Mutex::new(true),
+                gate_cv: Condvar::new(),
+            }
+        }
+
+        fn gated() -> Self {
+            let f = Self::new();
+            *f.gate.lock().unwrap() = false;
+            f
+        }
+
+        fn open_gate(&self) {
+            *self.gate.lock().unwrap() = true;
+            self.gate_cv.notify_all();
+        }
+    }
+
+    impl SearchBackend for FakeMutable {
+        fn dim(&self) -> usize {
+            2
+        }
+
+        fn search_batch(
+            &self,
+            queries: &VectorSet,
+            r: usize,
+            _nprobe: usize,
+        ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+            if queries.rows().any(|row| row[0] < 0.0) {
+                let mut open = self.gate.lock().unwrap();
+                while !*open {
+                    open = self.gate_cv.wait(open).unwrap();
+                }
+            }
+            let seen = self.mutations.load(Ordering::SeqCst) as u32;
+            Ok(vec![vec![Neighbor::new(seen, 0.0); r]; queries.len()])
+        }
+    }
+
+    impl MutableBackend for FakeMutable {
+        fn mutate(&self, op: &WireMutation) -> vecstore::Result<MutationOutcome> {
+            self.mutations.fetch_add(1, Ordering::SeqCst);
+            match op {
+                WireMutation::Insert { dim, vectors } => {
+                    let n = vectors.len() / (*dim as usize).max(1);
+                    let base = self.next_id.fetch_add(n as u64, Ordering::SeqCst) as u32;
+                    Ok(MutationOutcome {
+                        ids: (base..base + n as u32).collect(),
+                        live: 64 + n as u64,
+                    })
+                }
+                WireMutation::Delete { ids } => Ok(MutationOutcome {
+                    ids: ids.clone(),
+                    live: 64,
+                }),
+                WireMutation::Compact => Ok(MutationOutcome {
+                    ids: Vec::new(),
+                    live: 64,
+                }),
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_are_acked_with_ids_and_counted() {
+        let backend = Arc::new(FakeMutable::new());
+        let mut b = Batcher::start_mutable(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_millis(1),
+                ..BatcherConfig::default()
+            },
+        );
+        assert!(b.is_mutable());
+        let (tx, rx) = mpsc::channel();
+        let insert = WireMutation::Insert {
+            dim: 2,
+            vectors: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        assert!(matches!(
+            b.submit_mutation(11, insert, tx.clone()),
+            MutationAdmission::Queued
+        ));
+        let ack = mutate_reply(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        assert_eq!(ack.id, 11);
+        assert_eq!(ack.status, Status::Ok);
+        assert_eq!(ack.ids, vec![100, 101]);
+
+        assert!(matches!(
+            b.submit_mutation(12, WireMutation::Delete { ids: vec![100] }, tx.clone()),
+            MutationAdmission::Queued
+        ));
+        let ack = mutate_reply(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        assert_eq!((ack.id, ack.status), (12, Status::Ok));
+
+        assert!(matches!(
+            b.submit_mutation(13, WireMutation::Compact, tx),
+            MutationAdmission::Queued
+        ));
+        let ack = mutate_reply(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        assert_eq!((ack.id, ack.status), (13, Status::Ok));
+
+        let stats = b.stats();
+        assert_eq!(stats.mutations_journaled, 2 + 1 + 1); // rows + ids + compact
+        assert_eq!(stats.mutations_applied, 2 + 1);
+        assert_eq!(stats.compactions, 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn searches_never_cross_a_mutation_fence() {
+        let backend = Arc::new(FakeMutable::gated());
+        let backend2 = Arc::clone(&backend);
+        let mut b = Batcher::start_mutable(
+            backend,
+            BatcherConfig {
+                max_batch: 64,
+                max_delay: Duration::from_millis(5),
+                ..BatcherConfig::default()
+            },
+        );
+        // Warmup search (negative coordinate) blocks the batcher thread in
+        // the backend while we stack the queue behind it.
+        let warm = submit_one(&b, 0, -1.0);
+        thread::sleep(Duration::from_millis(30));
+        // Queue: search A | insert | search B — A and B share knobs, so
+        // without the fence they would batch together and both observe the
+        // same mutation count.
+        let a = submit_one(&b, 1, 1.0);
+        let (mtx, mrx) = mpsc::channel();
+        assert!(matches!(
+            b.submit_mutation(
+                2,
+                WireMutation::Insert {
+                    dim: 2,
+                    vectors: vec![5.0, 6.0],
+                },
+                mtx
+            ),
+            MutationAdmission::Queued
+        ));
+        let bq = submit_one(&b, 3, 2.0);
+        backend2.open_gate();
+
+        assert_eq!(recv_search(&warm).status, Status::Ok);
+        let resp_a = recv_search(&a);
+        let ack = mutate_reply(mrx.recv_timeout(Duration::from_secs(5)).unwrap());
+        let resp_b = recv_search(&bq);
+        assert_eq!(ack.status, Status::Ok);
+        assert_eq!(resp_a.status, Status::Ok);
+        assert_eq!(resp_b.status, Status::Ok);
+        // A ran before the insert, B after it: the mutation count each side
+        // observed proves arrival order was preserved across the fence.
+        assert_eq!(resp_a.results[0][0].id, 0, "A must run pre-mutation");
+        assert_eq!(resp_b.results[0][0].id, 1, "B must run post-mutation");
+        b.shutdown();
+    }
+
+    #[test]
+    fn immutable_batcher_rejects_mutations_as_bad_request() {
+        let mut b = Batcher::start(Arc::new(EchoBackend { dim: 2 }), BatcherConfig::default());
+        assert!(!b.is_mutable());
+        let (tx, _rx) = mpsc::channel();
+        match b.submit_mutation(7, WireMutation::Compact, tx) {
+            MutationAdmission::Rejected(resp) => {
+                assert_eq!(resp.status, Status::BadRequest);
+                assert!(resp.message.contains("immutable"));
+            }
+            MutationAdmission::Queued => panic!("immutable batcher must reject mutations"),
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn draining_batcher_rejects_mutations_pre_journal() {
+        let backend = Arc::new(FakeMutable::new());
+        let mut b = Batcher::start_mutable(backend, BatcherConfig::default());
+        b.shutdown();
+        let (tx, _rx) = mpsc::channel();
+        match b.submit_mutation(8, WireMutation::Delete { ids: vec![1] }, tx) {
+            MutationAdmission::Rejected(resp) => assert_eq!(resp.status, Status::ShuttingDown),
+            MutationAdmission::Queued => panic!("draining batcher must not admit mutations"),
+        }
     }
 }

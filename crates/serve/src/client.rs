@@ -1,5 +1,5 @@
-//! Blocking client for the GKSQ protocol, plus the retry policy for
-//! idempotent searches.
+//! Blocking client for the GKSQ protocol, plus the retry policies for
+//! idempotent searches and non-idempotent mutations.
 //!
 //! Retries are **classification-driven**: a search is idempotent, so
 //! [`retry_search`] retries on `OVERLOADED` (the server shed it unprocessed)
@@ -8,6 +8,14 @@
 //! retrying a deadline miss under load is how retry storms start.  Backoff is
 //! exponential with equal-jitter (`[delay/2, delay]`) from a deterministic
 //! xorshift stream, so tests can pin the seed and assert exact schedules.
+//!
+//! Mutations are **not idempotent**: replaying an insert doubles it.
+//! [`retry_mutation`] therefore retries *only* a typed `OVERLOADED`
+//! rejection — the server's pre-admission shed, which guarantees nothing was
+//! journalled.  A transport failure after the frame was sent is ambiguous
+//! (the mutation may be durable even though the ack was lost), so `Io`,
+//! `Wire` and every other failure is terminal for a mutation even though
+//! `Io` is retryable for a search.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -19,8 +27,9 @@ use std::time::Duration;
 use knn_graph::Neighbor;
 
 use crate::protocol::{
-    read_frame, write_frame, write_search, FrameKind, SearchRequest, SearchResponse, Status,
-    WireError, DEFAULT_MAX_PAYLOAD,
+    read_frame, write_frame, write_mutation, write_search, FrameKind, MutateResponse,
+    MutationRequest, SearchRequest, SearchResponse, Status, WireError, WireMutation,
+    DEFAULT_MAX_PAYLOAD,
 };
 
 /// Client-side failure classification.
@@ -90,6 +99,22 @@ impl ClientError {
             _ => false,
         }
     }
+
+    /// True when retrying a **non-idempotent mutation** is sound.  Only a
+    /// typed `OVERLOADED` rejection qualifies: it is produced *before*
+    /// admission, so nothing was journalled.  A transport failure is
+    /// ambiguous — the mutation may have been journalled and the ack lost —
+    /// and replaying it would double-apply, so `Io` is terminal here even
+    /// though [`ClientError::is_retryable`] accepts it for searches.
+    pub fn is_mutation_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                status: Status::Overloaded,
+                ..
+            }
+        )
+    }
 }
 
 /// A connected GKSQ client.
@@ -149,6 +174,74 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// Sends one mutation and blocks for its ack.
+    ///
+    /// An `Ok` return means the mutation is durable (journalled, fsynced and
+    /// applied).  An `Err` must **not** be blindly retried: see
+    /// [`ClientError::is_mutation_retryable`] / [`retry_mutation`].
+    pub fn mutate(&mut self, req: &MutationRequest) -> Result<MutateResponse, ClientError> {
+        write_mutation(&mut self.stream, req)?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload)?
+                .ok_or(ClientError::Wire(WireError::Truncated))?;
+            match frame.kind {
+                FrameKind::MutateAck => {
+                    let ack = MutateResponse::decode(&frame.payload)?;
+                    if ack.status != Status::Ok {
+                        return Err(ClientError::Rejected {
+                            status: ack.status,
+                            message: ack.message,
+                        });
+                    }
+                    if ack.id != req.id {
+                        return Err(ClientError::Mismatch {
+                            sent: req.id,
+                            got: ack.id,
+                        });
+                    }
+                    return Ok(ack);
+                }
+                // Stray control frames crossing this request are skipped.
+                FrameKind::Pong | FrameKind::ShutdownAck => continue,
+                other => {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "unexpected frame kind {other:?} while awaiting a mutate ack"
+                    ))))
+                }
+            }
+        }
+    }
+
+    /// Inserts `vectors` (row-major, `dim` wide); returns the assigned ids.
+    pub fn insert(
+        &mut self,
+        id: u64,
+        dim: u32,
+        vectors: Vec<f32>,
+    ) -> Result<MutateResponse, ClientError> {
+        self.mutate(&MutationRequest {
+            id,
+            op: WireMutation::Insert { dim, vectors },
+        })
+    }
+
+    /// Tombstones `ids`; the ack lists the ids that were actually live.
+    pub fn delete(&mut self, id: u64, ids: Vec<u32>) -> Result<MutateResponse, ClientError> {
+        self.mutate(&MutationRequest {
+            id,
+            op: WireMutation::Delete { ids },
+        })
+    }
+
+    /// Asks the server to checkpoint-compact its index and truncate the
+    /// journal.
+    pub fn compact(&mut self, id: u64) -> Result<MutateResponse, ClientError> {
+        self.mutate(&MutationRequest {
+            id,
+            op: WireMutation::Compact,
+        })
     }
 
     /// Liveness round-trip.
@@ -253,6 +346,31 @@ fn backoff(policy: &RetryPolicy, retry: u32, jitter_state: &mut u64) -> Duration
 pub fn retry_search<T>(
     policy: &RetryPolicy,
     sleeper: &mut impl Sleeper,
+    attempt: impl FnMut(u32) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    retry_classified(policy, sleeper, ClientError::is_retryable, attempt)
+}
+
+/// Runs a **non-idempotent mutation** up to `policy.max_attempts` times.
+///
+/// The only error retried is a typed `OVERLOADED` rejection
+/// ([`ClientError::is_mutation_retryable`]): the server sheds before
+/// admission, so nothing was journalled and resending cannot double-apply.
+/// Transport failures (`Io`), protocol failures and every other rejection
+/// fail fast — after an ambiguous failure the caller must reconcile (e.g.
+/// re-read state) rather than resend.
+pub fn retry_mutation<T>(
+    policy: &RetryPolicy,
+    sleeper: &mut impl Sleeper,
+    attempt: impl FnMut(u32) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    retry_classified(policy, sleeper, ClientError::is_mutation_retryable, attempt)
+}
+
+fn retry_classified<T>(
+    policy: &RetryPolicy,
+    sleeper: &mut impl Sleeper,
+    retryable: impl Fn(&ClientError) -> bool,
     mut attempt: impl FnMut(u32) -> Result<T, ClientError>,
 ) -> Result<T, ClientError> {
     let attempts = policy.max_attempts.max(1);
@@ -262,7 +380,7 @@ pub fn retry_search<T>(
         tries += 1;
         match attempt(tries) {
             Ok(v) => return Ok(v),
-            Err(e) if e.is_retryable() && tries < attempts => {
+            Err(e) if retryable(&e) && tries < attempts => {
                 sleeper.sleep(backoff(policy, tries, &mut jitter_state));
             }
             Err(e) => return Err(e),
@@ -442,5 +560,96 @@ mod tests {
             message: String::new()
         }
         .is_retryable());
+    }
+
+    #[test]
+    fn mutation_retry_accepts_only_pre_admission_sheds() {
+        // OVERLOADED is the one mutation error produced before anything was
+        // journalled, so it is the one error retry_mutation may retry.
+        let mut sleeper = FakeSleeper { slept: Vec::new() };
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let out = retry_mutation(&policy, &mut sleeper, |attempt| {
+            calls += 1;
+            assert_eq!(attempt, calls);
+            if calls < 3 {
+                Err(overloaded())
+            } else {
+                Ok("durable")
+            }
+        })
+        .unwrap();
+        assert_eq!(out, "durable");
+        assert_eq!(calls, 3);
+        assert_eq!(sleeper.slept.len(), 2);
+    }
+
+    #[test]
+    fn mutation_retry_treats_transport_failure_as_terminal() {
+        // The same Io error retry_search happily retries must fail a
+        // mutation fast: the insert may already be journalled server-side,
+        // and a resend would double-apply it.
+        let io_err = || {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "ack lost mid-flight",
+            ))
+        };
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        };
+
+        let mut sleeper = FakeSleeper { slept: Vec::new() };
+        let mut search_calls = 0;
+        let _ = retry_search::<()>(&policy, &mut sleeper, |_| {
+            search_calls += 1;
+            Err(io_err())
+        });
+        assert_eq!(search_calls, 5, "searches are idempotent: Io retries");
+
+        let mut sleeper = FakeSleeper { slept: Vec::new() };
+        let mut mutation_calls = 0;
+        let err = retry_mutation::<()>(&policy, &mut sleeper, |_| {
+            mutation_calls += 1;
+            Err(io_err())
+        })
+        .unwrap_err();
+        assert_eq!(
+            mutation_calls, 1,
+            "an ambiguous transport failure must never replay a mutation"
+        );
+        assert!(sleeper.slept.is_empty(), "no backoff for a terminal error");
+        assert!(matches!(err, ClientError::Io(_)));
+    }
+
+    #[test]
+    fn mutation_retry_fails_fast_on_every_other_classification() {
+        for status in [
+            Status::Internal,
+            Status::BadRequest,
+            Status::ShuttingDown,
+            Status::DeadlineExceeded,
+        ] {
+            let mut sleeper = FakeSleeper { slept: Vec::new() };
+            let mut calls = 0;
+            let _ = retry_mutation::<()>(&RetryPolicy::default(), &mut sleeper, |_| {
+                calls += 1;
+                Err(ClientError::Rejected {
+                    status,
+                    message: String::new(),
+                })
+            });
+            assert_eq!(calls, 1, "{status} must not retry a mutation");
+            assert!(sleeper.slept.is_empty());
+        }
+        // Wire-level garbage is equally terminal.
+        let mut calls = 0;
+        let mut sleeper = FakeSleeper { slept: Vec::new() };
+        let _ = retry_mutation::<()>(&RetryPolicy::default(), &mut sleeper, |_| {
+            calls += 1;
+            Err(ClientError::Wire(WireError::ChecksumMismatch))
+        });
+        assert_eq!(calls, 1);
     }
 }

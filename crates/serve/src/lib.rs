@@ -18,6 +18,12 @@
 //!   with `INTERNAL` and the process keeps serving.
 //! * **Graceful drain** — a signal or `Shutdown` frame stops admission,
 //!   answers everything in flight, then joins every thread.
+//! * **Durable mutation** — a [`MutableBackend`] serves INSERT/DELETE/COMPACT
+//!   frames through the same batcher under an `RwLock`'d
+//!   [`ivf::MutableStore`]: every mutation is journalled and fsynced before
+//!   its ack is sent (so acks are non-idempotent — [`retry_mutation`] retries
+//!   only `OVERLOADED`), and compaction hot-swaps the checkpoint atomically
+//!   while searches keep flowing.
 //!
 //! A minimal round trip against an in-process server:
 //!
@@ -63,7 +69,14 @@ pub mod protocol;
 pub mod server;
 pub mod signal;
 
-pub use batcher::{Batcher, BatcherConfig, BatcherStats, IvfBackend, SearchBackend};
-pub use client::{retry_search, Client, ClientError, RetryPolicy, Sleeper, ThreadSleeper};
-pub use protocol::{SearchRequest, SearchResponse, Status};
+pub use batcher::{
+    Batcher, BatcherConfig, BatcherStats, IvfBackend, MutableBackend, MutableIvfBackend,
+    MutationOutcome, Reply, SearchBackend,
+};
+pub use client::{
+    retry_mutation, retry_search, Client, ClientError, RetryPolicy, Sleeper, ThreadSleeper,
+};
+pub use protocol::{
+    MutateResponse, MutationRequest, SearchRequest, SearchResponse, Status, WireMutation,
+};
 pub use server::{Server, ServerConfig, ServerStats, StopReason};

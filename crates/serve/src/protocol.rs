@@ -46,6 +46,10 @@ pub const HEADER_LEN: usize = 16;
 pub const DEFAULT_MAX_PAYLOAD: u32 = 16 << 20;
 /// Cap on queries carried by one request frame (one batcher block).
 pub const MAX_QUERIES_PER_REQUEST: u32 = 64;
+/// Cap on vectors carried by one insert frame (one group commit).
+pub const MAX_VECTORS_PER_INSERT: u32 = 64;
+/// Cap on ids carried by one delete frame.
+pub const MAX_IDS_PER_DELETE: u32 = 4096;
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +67,14 @@ pub enum FrameKind {
     Shutdown = 5,
     /// Acknowledgement that the drain has begun; empty payload.
     ShutdownAck = 6,
+    /// A [`MutationRequest`] carrying vectors to insert.
+    Insert = 7,
+    /// A [`MutationRequest`] carrying ids to tombstone.
+    Delete = 8,
+    /// A [`MutationRequest`] asking for checkpointed compaction.
+    Compact = 9,
+    /// A [`MutateResponse`] payload (ack of Insert/Delete/Compact).
+    MutateAck = 10,
 }
 
 impl FrameKind {
@@ -74,6 +86,10 @@ impl FrameKind {
             4 => FrameKind::Pong,
             5 => FrameKind::Shutdown,
             6 => FrameKind::ShutdownAck,
+            7 => FrameKind::Insert,
+            8 => FrameKind::Delete,
+            9 => FrameKind::Compact,
+            10 => FrameKind::MutateAck,
             _ => return None,
         })
     }
@@ -492,6 +508,263 @@ impl SearchResponse {
     }
 }
 
+/// The payload of a mutation frame (Insert / Delete / Compact).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMutation {
+    /// Insert `count = vectors.len() / dim` vectors; the server assigns ids
+    /// and returns them (in row order) in the [`MutateResponse`].
+    Insert {
+        /// Vector dimensionality.
+        dim: u32,
+        /// Flattened row-major vectors, `count × dim` values.
+        vectors: Vec<f32>,
+    },
+    /// Tombstone the given external ids (idempotent per id).
+    Delete {
+        /// External ids to tombstone.
+        ids: Vec<u32>,
+    },
+    /// Fold the mutable tier into the next clean on-disk generation and
+    /// truncate the journal (the hot-swap point).
+    Compact,
+}
+
+/// A mutation from one client, tagged with a correlation id.  The operation
+/// selects the frame kind; the ack is a [`MutateResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationRequest {
+    /// Client-chosen correlation id, echoed in the ack.
+    pub id: u64,
+    /// The operation.
+    pub op: WireMutation,
+}
+
+impl MutationRequest {
+    /// The frame kind this request travels under.
+    pub fn kind(&self) -> FrameKind {
+        match self.op {
+            WireMutation::Insert { .. } => FrameKind::Insert,
+            WireMutation::Delete { .. } => FrameKind::Delete,
+            WireMutation::Compact => FrameKind::Compact,
+        }
+    }
+
+    /// Encodes the request payload.
+    ///
+    /// Layouts (all little-endian, `id u64` first in each):
+    /// * Insert: `id | dim u32 | count u32 | count×dim f32`
+    /// * Delete: `id | count u32 | count × u32`
+    /// * Compact: `id`
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        match &self.op {
+            WireMutation::Insert { dim, vectors } => {
+                out.extend_from_slice(&dim.to_le_bytes());
+                let count = if *dim == 0 {
+                    0
+                } else {
+                    (vectors.len() / *dim as usize) as u32
+                };
+                out.extend_from_slice(&count.to_le_bytes());
+                for v in vectors {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            WireMutation::Delete { ids } => {
+                out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                for id in ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+            WireMutation::Compact => {}
+        }
+        out
+    }
+
+    /// Decodes a mutation payload for the given frame kind, validating
+    /// counts against the buffer and the per-frame caps.
+    pub fn decode(kind: FrameKind, payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let id = c.u64()?;
+        let op = match kind {
+            FrameKind::Insert => {
+                let dim = c.u32()?;
+                let count = c.u32()?;
+                if count == 0 || dim == 0 {
+                    return Err(WireError::Malformed(format!(
+                        "insert must carry at least one vector of non-zero dimension \
+                         (count = {count}, dim = {dim})"
+                    )));
+                }
+                if count > MAX_VECTORS_PER_INSERT {
+                    return Err(WireError::Malformed(format!(
+                        "insert carries {count} vectors, cap is {MAX_VECTORS_PER_INSERT}"
+                    )));
+                }
+                let values = (count as usize)
+                    .checked_mul(dim as usize)
+                    .ok_or_else(|| WireError::Malformed("count × dim overflows".into()))?;
+                if c.remaining() != values * 4 {
+                    return Err(WireError::Malformed(format!(
+                        "expected {} vector bytes, payload has {}",
+                        values * 4,
+                        c.remaining()
+                    )));
+                }
+                let mut vectors = Vec::with_capacity(values);
+                for _ in 0..values {
+                    vectors.push(f32::from_le_bytes(c.array()?));
+                }
+                WireMutation::Insert { dim, vectors }
+            }
+            FrameKind::Delete => {
+                let count = c.u32()?;
+                if count == 0 {
+                    return Err(WireError::Malformed(
+                        "delete must carry at least one id".into(),
+                    ));
+                }
+                if count > MAX_IDS_PER_DELETE {
+                    return Err(WireError::Malformed(format!(
+                        "delete carries {count} ids, cap is {MAX_IDS_PER_DELETE}"
+                    )));
+                }
+                if c.remaining() != count as usize * 4 {
+                    return Err(WireError::Malformed(format!(
+                        "expected {} id bytes, payload has {}",
+                        count as usize * 4,
+                        c.remaining()
+                    )));
+                }
+                let mut ids = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    ids.push(c.u32()?);
+                }
+                WireMutation::Delete { ids }
+            }
+            FrameKind::Compact => {
+                if c.remaining() != 0 {
+                    return Err(WireError::Malformed(format!(
+                        "{} trailing bytes after compact request",
+                        c.remaining()
+                    )));
+                }
+                WireMutation::Compact
+            }
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "frame kind {other:?} is not a mutation"
+                )))
+            }
+        };
+        Ok(MutationRequest { id, op })
+    }
+}
+
+/// The acknowledgement of one [`MutationRequest`].
+///
+/// An `Ok` ack means the mutation is **durable**: it was journalled and
+/// fsynced before being applied.  `OVERLOADED`, `SHUTTING_DOWN` and
+/// `BAD_REQUEST` are *pre-journal* rejections — nothing durable happened, so
+/// retrying is safe.  `INTERNAL` is **ambiguous**: the failure may have
+/// landed after a partial journal write, so the mutation may still replay
+/// after a restart — the contract behind the retrying client's rule of never
+/// retrying a mutation whose outcome is unknown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutateResponse {
+    /// Correlation id copied from the request.
+    pub id: u64,
+    /// Outcome classification.
+    pub status: Status,
+    /// Insert: the assigned external ids, in row order.  Delete: the ids
+    /// that were live and are now tombstoned.  Compact: empty.
+    pub ids: Vec<u32>,
+    /// Live vectors in the index after the mutation (`status == Ok` only).
+    pub live: u64,
+    /// Reason text (empty when `status == Ok`).
+    pub message: String,
+}
+
+impl MutateResponse {
+    /// Builds a success ack.
+    pub fn ok(id: u64, ids: Vec<u32>, live: u64) -> Self {
+        MutateResponse {
+            id,
+            status: Status::Ok,
+            ids,
+            live,
+            message: String::new(),
+        }
+    }
+
+    /// Builds a typed rejection.
+    pub fn rejection(id: u64, status: Status, message: impl Into<String>) -> Self {
+        MutateResponse {
+            id,
+            status,
+            ids: Vec::new(),
+            live: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Encodes the ack payload.
+    ///
+    /// Layout: `id u64 | status u8`, then for `Ok`: `live u64 | n u32 |
+    /// n × u32 ids`; otherwise `msg_len u32 | msg_len UTF-8 bytes`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.ids.len() * 4);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.push(self.status as u8);
+        if self.status == Status::Ok {
+            out.extend_from_slice(&self.live.to_le_bytes());
+            out.extend_from_slice(&(self.ids.len() as u32).to_le_bytes());
+            for id in &self.ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        } else {
+            out.extend_from_slice(&(self.message.len() as u32).to_le_bytes());
+            out.extend_from_slice(self.message.as_bytes());
+        }
+        out
+    }
+
+    /// Decodes an ack payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let id = c.u64()?;
+        let status_byte = c.u8()?;
+        let status = Status::from_u8(status_byte)
+            .ok_or_else(|| WireError::Malformed(format!("unknown status {status_byte}")))?;
+        if status == Status::Ok {
+            let live = c.u64()?;
+            let n = c.u32()? as usize;
+            if n != c.remaining() / 4 || c.remaining() % 4 != 0 {
+                return Err(WireError::Malformed(format!(
+                    "ack declares {n} ids, payload has {} bytes",
+                    c.remaining()
+                )));
+            }
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(c.u32()?);
+            }
+            Ok(MutateResponse::ok(id, ids, live))
+        } else {
+            let len = c.u32()? as usize;
+            if len != c.remaining() {
+                return Err(WireError::Malformed(format!(
+                    "message declares {len} bytes, payload has {}",
+                    c.remaining()
+                )));
+            }
+            let message = String::from_utf8_lossy(c.rest()).into_owned();
+            Ok(MutateResponse::rejection(id, status, message))
+        }
+    }
+}
+
 /// Bounds-checked little-endian reader over a payload slice.
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -549,6 +822,16 @@ pub fn write_search(w: &mut impl Write, req: &SearchRequest) -> io::Result<()> {
 /// Convenience: frames a [`SearchResponse`].
 pub fn write_response(w: &mut impl Write, resp: &SearchResponse) -> io::Result<()> {
     write_frame(w, FrameKind::Response, &resp.encode())
+}
+
+/// Convenience: frames a [`MutationRequest`] under its operation's kind.
+pub fn write_mutation(w: &mut impl Write, req: &MutationRequest) -> io::Result<()> {
+    write_frame(w, req.kind(), &req.encode())
+}
+
+/// Convenience: frames a [`MutateResponse`].
+pub fn write_mutate_ack(w: &mut impl Write, ack: &MutateResponse) -> io::Result<()> {
+    write_frame(w, FrameKind::MutateAck, &ack.encode())
 }
 
 /// Computes the canonical frame checksum for externally-assembled frames
@@ -722,6 +1005,116 @@ mod tests {
             SearchRequest::decode(&payload),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn mutation_requests_round_trip_under_their_kinds() {
+        let cases = vec![
+            MutationRequest {
+                id: 11,
+                op: WireMutation::Insert {
+                    dim: 3,
+                    vectors: vec![1.0, 2.0, 3.0, -4.0, 5.5, 6.0],
+                },
+            },
+            MutationRequest {
+                id: 12,
+                op: WireMutation::Delete {
+                    ids: vec![3, 9, 100],
+                },
+            },
+            MutationRequest {
+                id: 13,
+                op: WireMutation::Compact,
+            },
+        ];
+        for req in &cases {
+            let mut buf = Vec::new();
+            write_mutation(&mut buf, req).unwrap();
+            let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD)
+                .unwrap()
+                .unwrap();
+            assert_eq!(frame.kind, req.kind());
+            assert_eq!(
+                &MutationRequest::decode(frame.kind, &frame.payload).unwrap(),
+                req
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_mutations_are_typed() {
+        // Zero vectors / zero dim.
+        let empty = MutationRequest {
+            id: 1,
+            op: WireMutation::Insert {
+                dim: 2,
+                vectors: vec![],
+            },
+        };
+        assert!(matches!(
+            MutationRequest::decode(FrameKind::Insert, &empty.encode()),
+            Err(WireError::Malformed(_))
+        ));
+        // Over-cap insert.
+        let mut payload = MutationRequest {
+            id: 1,
+            op: WireMutation::Insert {
+                dim: 1,
+                vectors: vec![0.0],
+            },
+        }
+        .encode();
+        payload[12..16].copy_from_slice(&(MAX_VECTORS_PER_INSERT + 1).to_le_bytes());
+        assert!(matches!(
+            MutationRequest::decode(FrameKind::Insert, &payload),
+            Err(WireError::Malformed(_))
+        ));
+        // Zero and over-cap deletes.
+        let del = MutationRequest {
+            id: 2,
+            op: WireMutation::Delete { ids: vec![] },
+        };
+        assert!(matches!(
+            MutationRequest::decode(FrameKind::Delete, &del.encode()),
+            Err(WireError::Malformed(_))
+        ));
+        // Trailing garbage after a compact.
+        let mut compact = MutationRequest {
+            id: 3,
+            op: WireMutation::Compact,
+        }
+        .encode();
+        compact.push(0);
+        assert!(matches!(
+            MutationRequest::decode(FrameKind::Compact, &compact),
+            Err(WireError::Malformed(_))
+        ));
+        // A non-mutation kind is refused outright.
+        assert!(matches!(
+            MutationRequest::decode(FrameKind::Ping, &compact),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn mutate_ack_round_trips() {
+        let ok = MutateResponse::ok(5, vec![100, 101], 42);
+        assert_eq!(MutateResponse::decode(&ok.encode()).unwrap(), ok);
+        let rej = MutateResponse::rejection(6, Status::Overloaded, "queue full");
+        assert_eq!(MutateResponse::decode(&rej.encode()).unwrap(), rej);
+        // Framed form.
+        let mut buf = Vec::new();
+        write_mutate_ack(&mut buf, &ok).unwrap();
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.kind, FrameKind::MutateAck);
+        assert_eq!(MutateResponse::decode(&frame.payload).unwrap(), ok);
+        // Truncated id list is typed.
+        let mut evil = ok.encode();
+        evil.truncate(evil.len() - 2);
+        assert!(MutateResponse::decode(&evil).is_err());
     }
 
     #[test]

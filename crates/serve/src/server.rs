@@ -45,10 +45,13 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::batcher::{Admission, Batcher, BatcherConfig, BatcherStats, SearchBackend};
+use crate::batcher::{
+    Admission, Batcher, BatcherConfig, BatcherStats, MutableBackend, MutationAdmission, Reply,
+    SearchBackend,
+};
 use crate::protocol::{
-    read_frame, write_frame, write_response, FrameKind, SearchRequest, SearchResponse, Status,
-    DEFAULT_MAX_PAYLOAD,
+    read_frame, write_frame, write_mutate_ack, write_response, FrameKind, MutateResponse,
+    MutationRequest, SearchRequest, SearchResponse, Status, DEFAULT_MAX_PAYLOAD,
 };
 
 /// Server tuning knobs.
@@ -137,12 +140,28 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.addr` and starts serving `backend`.
+    /// Binds `config.addr` and starts serving `backend` (search-only:
+    /// mutation frames are answered `BAD_REQUEST`).
     pub fn start(backend: Arc<dyn SearchBackend>, config: ServerConfig) -> io::Result<Server> {
+        let batcher = Batcher::start(backend, config.batcher);
+        Self::start_with(batcher, config)
+    }
+
+    /// Binds `config.addr` and starts serving a mutable `backend`: search,
+    /// insert, delete and compact frames are all accepted.
+    pub fn start_mutable(
+        backend: Arc<dyn MutableBackend>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let batcher = Batcher::start_mutable(backend, config.batcher);
+        Self::start_with(batcher, config)
+    }
+
+    fn start_with(batcher: Batcher, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let batcher = Arc::new(Batcher::start(backend, config.batcher));
+        let batcher = Arc::new(batcher);
         let shared = Arc::new(ServerShared {
             shutdown: AtomicBool::new(false),
             stop_reason: AtomicU64::new(0),
@@ -293,7 +312,7 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, batcher: &Batcher
         Ok(s) => s,
         Err(_) => return,
     };
-    let (out_tx, out_rx) = mpsc::channel::<SearchResponse>();
+    let (out_tx, out_rx) = mpsc::channel::<Reply>();
     let writer = thread::Builder::new()
         .name("gkm-conn-w".into())
         .spawn(move || writer_loop(writer_stream, &out_rx));
@@ -316,20 +335,22 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, batcher: &Batcher
 /// distinguish control replies on the shared response channel.
 const CTL_ID: u64 = u64::MAX;
 
-fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<SearchResponse>) {
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Reply>) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    while let Ok(resp) = rx.recv() {
-        // Control replies ride the same channel as real responses so they
-        // serialise in order behind earlier results.
-        let ok = if resp.id == CTL_ID {
-            let kind = if resp.status == Status::ShuttingDown {
-                FrameKind::ShutdownAck
-            } else {
-                FrameKind::Pong
-            };
-            write_frame(&mut stream, kind, &[]).is_ok()
-        } else {
-            write_response(&mut stream, &resp).is_ok()
+    while let Ok(reply) = rx.recv() {
+        let ok = match reply {
+            // Control replies ride the same channel as real responses so
+            // they serialise in order behind earlier results.
+            Reply::Search(resp) if resp.id == CTL_ID => {
+                let kind = if resp.status == Status::ShuttingDown {
+                    FrameKind::ShutdownAck
+                } else {
+                    FrameKind::Pong
+                };
+                write_frame(&mut stream, kind, &[]).is_ok()
+            }
+            Reply::Search(resp) => write_response(&mut stream, &resp).is_ok(),
+            Reply::Mutate(ack) => write_mutate_ack(&mut stream, &ack).is_ok(),
         };
         if !ok {
             // Peer gone: keep draining the channel so batcher sends never
@@ -370,7 +391,7 @@ fn reader_loop(
     stream: &TcpStream,
     shared: &ServerShared,
     batcher: &Batcher,
-    out_tx: &mpsc::Sender<SearchResponse>,
+    out_tx: &mpsc::Sender<Reply>,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let cfg = &shared.config;
@@ -390,11 +411,11 @@ fn reader_loop(
                 ParseState::Error(e) => {
                     shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     if !e.is_disconnect() {
-                        let _ = out_tx.send(SearchResponse::rejection(
+                        let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                             0,
                             Status::BadRequest,
                             e.to_string(),
-                        ));
+                        )));
                     }
                     return;
                 }
@@ -426,11 +447,11 @@ fn reader_loop(
                     }
                 } else if now - last_progress > cfg.frame_timeout {
                     shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = out_tx.send(SearchResponse::rejection(
+                    let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                         0,
                         Status::BadRequest,
                         "frame not completed within the slow-client budget",
-                    ));
+                    )));
                     return;
                 }
             }
@@ -446,20 +467,20 @@ fn handle_frame(
     frame: crate::protocol::Frame,
     shared: &ServerShared,
     batcher: &Batcher,
-    out_tx: &mpsc::Sender<SearchResponse>,
+    out_tx: &mpsc::Sender<Reply>,
 ) -> bool {
     match frame.kind {
         FrameKind::Ping => {
-            let _ = out_tx.send(SearchResponse::ok(CTL_ID, Vec::new()));
+            let _ = out_tx.send(Reply::Search(SearchResponse::ok(CTL_ID, Vec::new())));
             true
         }
         FrameKind::Shutdown => {
             shared.request_stop(StopReason::CtlFrame);
-            let _ = out_tx.send(SearchResponse::rejection(
+            let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                 CTL_ID,
                 Status::ShuttingDown,
                 String::new(),
-            ));
+            )));
             false
         }
         FrameKind::Search => {
@@ -467,20 +488,20 @@ fn handle_frame(
                 Ok(req) => req,
                 Err(e) => {
                     shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = out_tx.send(SearchResponse::rejection(
+                    let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                         0,
                         Status::BadRequest,
                         e.to_string(),
-                    ));
+                    )));
                     return true;
                 }
             };
             if req.id == CTL_ID {
-                let _ = out_tx.send(SearchResponse::rejection(
+                let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                     0,
                     Status::BadRequest,
                     "request id u64::MAX is reserved for control frames",
-                ));
+                )));
                 return true;
             }
             let deadline = if req.deadline_ms == 0 {
@@ -499,19 +520,47 @@ fn handle_frame(
                 out_tx.clone(),
             );
             if let Admission::Rejected(resp) = admission {
-                let _ = out_tx.send(resp);
+                let _ = out_tx.send(Reply::Search(resp));
+            }
+            true
+        }
+        FrameKind::Insert | FrameKind::Delete | FrameKind::Compact => {
+            let req = match MutationRequest::decode(frame.kind, &frame.payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = out_tx.send(Reply::Mutate(MutateResponse::rejection(
+                        0,
+                        Status::BadRequest,
+                        e.to_string(),
+                    )));
+                    return true;
+                }
+            };
+            if req.id == CTL_ID {
+                let _ = out_tx.send(Reply::Mutate(MutateResponse::rejection(
+                    0,
+                    Status::BadRequest,
+                    "request id u64::MAX is reserved for control frames",
+                )));
+                return true;
+            }
+            let id = req.id;
+            let admission = batcher.submit_mutation(id, req.op, out_tx.clone());
+            if let MutationAdmission::Rejected(resp) = admission {
+                let _ = out_tx.send(Reply::Mutate(resp));
             }
             true
         }
         // A client sending server-only kinds is confused; answer and keep
         // the connection (harmless).
-        FrameKind::Response | FrameKind::Pong | FrameKind::ShutdownAck => {
+        FrameKind::Response | FrameKind::Pong | FrameKind::ShutdownAck | FrameKind::MutateAck => {
             shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = out_tx.send(SearchResponse::rejection(
+            let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                 0,
                 Status::BadRequest,
                 format!("unexpected client frame kind {:?}", frame.kind),
-            ));
+            )));
             true
         }
     }

@@ -26,6 +26,9 @@
 //!   saves; corruption surfaces as the typed [`error::StoreError`] taxonomy.
 //! * [`checksum`] — hand-rolled CRC-32C (SSE4.2 / ARMv8-CRC / slicing-by-8)
 //!   behind the same one-time runtime dispatch as [`kernels`].
+//! * [`wal`] — the GKSL write-ahead log: CRC-32C-per-record mutation
+//!   journalling with fsync-acknowledged appends, torn-tail recovery, and
+//!   checkpoint truncation — the durability substrate of the mutable index.
 //! * [`fault`] — fault-injection adapters ([`fault::FaultyReader`] /
 //!   [`fault::FaultyWriter`]) used by the robustness test suites.
 //! * [`sample`] — reproducible sub-sampling and shuffling helpers used by the
@@ -55,6 +58,7 @@ pub mod matrix;
 pub mod norms;
 pub mod parallel;
 pub mod sample;
+pub mod wal;
 
 pub use distance::Metric;
 pub use error::{Error, Result, StoreError};

@@ -1,0 +1,781 @@
+//! The GKSL write-ahead log: CRC-32C-per-record mutation journalling.
+//!
+//! This is the io-layer's durability primitive for *mutable* artefacts: a
+//! checkpointed container (GKSC, [`crate::io`]) plus a GKSL segment of
+//! journalled mutations equals the live state.  Every record is acknowledged
+//! only after an fsync, so an acknowledged mutation survives any crash; on
+//! restart the segment's valid prefix is replayed over the checkpoint.
+//!
+//! # Segment layout
+//!
+//! ```text
+//! header (24 bytes):
+//!   offset  size  field
+//!        0     4  magic  "GKSL"
+//!        4     4  version (little-endian u32, currently 1)
+//!        8     4  dim     (payload schema hint, e.g. the vector dimension)
+//!       12     8  start_seq (sequence number of the first record)
+//!       20     4  CRC-32C over bytes 0..20
+//! record (repeated until end of file):
+//!        0     4  len        (payload length in bytes)
+//!        4     4  len_check  (bitwise complement of len)
+//!        8   len  payload  = seq u64 ‖ body bytes
+//!    8+len     4  CRC-32C over the payload
+//! ```
+//!
+//! # Torn tail vs. interior corruption
+//!
+//! Recovery must distinguish two very different failure classes:
+//!
+//! * a **torn tail** — the process died mid-append, so the file ends inside
+//!   the final record.  Nothing after the last complete record was ever
+//!   acknowledged, so replay *drops the tail* and recovery is clean;
+//! * **interior corruption** — a storage fault flipped bytes inside the
+//!   acknowledged prefix.  Acknowledged data is damaged, so replay must fail
+//!   with a typed [`StoreError`], never silently drop or misparse.
+//!
+//! The length field is what makes the two provably separable.  Truncation
+//! removes bytes but never alters them, so a record header whose `len` and
+//! `len_check` agree is trustworthy: if the declared record extends past the
+//! end of the file, the file was truncated → torn tail.  A bit flip anywhere
+//! in the length pair breaks the complement relation (→ typed corruption),
+//! and a flip anywhere in the payload or CRC of a fully-present record
+//! breaks the record checksum (→ typed corruption).  The fault-injection
+//! suite sweeps every truncation point and every single-bit flip over a
+//! journal to pin the dichotomy exhaustively.
+//!
+//! Sequence numbers are dense and monotone: record `i` of a segment must
+//! carry `start_seq + i`.  A gap or repeat inside a valid-checksum prefix is
+//! a framing bug or forged record, reported as [`StoreError::Invariant`].
+//!
+//! # Fsync discipline
+//!
+//! [`WalWriter::append`] buffers; [`WalWriter::sync`] flushes and fsyncs.
+//! Callers acknowledge a mutation only after `sync` returns, and may batch
+//! many appends per sync (group commit) — the bench suite measures the
+//! resulting throughput as `mutate_throughput`.  Checkpoint truncation
+//! ([`WalWriter::reset`]) rides [`crate::io::atomic_write`], so a crash
+//! during truncation leaves either the old journal or a fresh empty one,
+//! never a torn hybrid.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::checksum::crc32c;
+use crate::error::{Error, Result, StoreError};
+use crate::io::atomic_write;
+
+/// Leading magic of a GKSL segment.
+pub const WAL_MAGIC: [u8; 4] = *b"GKSL";
+/// Current GKSL format version.
+pub const WAL_VERSION: u32 = 1;
+/// Size of the fixed segment header in bytes.
+pub const WAL_HEADER_LEN: usize = 24;
+/// Per-record overhead: length pair before the payload, CRC after it.
+pub const WAL_RECORD_OVERHEAD: usize = 12;
+/// Sanity bound on a single record payload (256 MiB).  A declared length
+/// beyond this is a corrupt length field, not a big record.
+pub const MAX_WAL_RECORD: u64 = 1 << 28;
+
+const HEADER_SECTION: &str = "GKSL header";
+const RECORD_SECTION: &str = "GKSL record";
+
+/// One replayed journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Dense monotone sequence number assigned at append time.
+    pub seq: u64,
+    /// Opaque mutation payload (the caller's encoding).
+    pub body: Vec<u8>,
+}
+
+/// Outcome of replaying a GKSL image: the valid prefix, fully decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Schema hint stored in the header (e.g. vector dimensionality).
+    pub dim: u32,
+    /// Sequence number of the segment's first record.
+    pub start_seq: u64,
+    /// Every intact record, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of the valid prefix (header plus intact records).  Recovery
+    /// truncates the file to this length before appending again.
+    pub valid_len: u64,
+    /// True when a torn tail (an incomplete final record, or a header cut
+    /// short before any record was acknowledged) was dropped.
+    pub torn: bool,
+}
+
+impl WalReplay {
+    /// The sequence number the next appended record must carry.
+    pub fn next_seq(&self) -> u64 {
+        match self.records.last() {
+            Some(r) => r.seq + 1,
+            None => self.start_seq,
+        }
+    }
+}
+
+/// Encodes the 24-byte segment header.
+fn header_bytes(dim: u32, start_seq: u64) -> [u8; WAL_HEADER_LEN] {
+    let mut h = [0u8; WAL_HEADER_LEN];
+    h[..4].copy_from_slice(&WAL_MAGIC);
+    h[4..8].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h[8..12].copy_from_slice(&dim.to_le_bytes());
+    h[12..20].copy_from_slice(&start_seq.to_le_bytes());
+    let crc = crc32c(&h[..20]);
+    h[20..24].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Encodes one record (length pair, payload, CRC) for appending.
+pub fn encode_record(seq: u64, body: &[u8]) -> Vec<u8> {
+    let len = (8 + body.len()) as u32;
+    let mut out = Vec::with_capacity(WAL_RECORD_OVERHEAD + body.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&(!len).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(body);
+    let payload_start = out.len() - len as usize;
+    let crc = crc32c(&out[payload_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(a)
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(a)
+}
+
+/// Replays a GKSL image: decodes the valid prefix, drops a torn tail, and
+/// reports interior corruption as the typed [`StoreError`] taxonomy.
+///
+/// An image shorter than the header (including an empty file — a journal
+/// created but never fsynced) recovers as an empty, torn segment: nothing in
+/// it was ever acknowledged.
+///
+/// # Errors
+///
+/// * [`StoreError::BadMagic`] / [`StoreError::UnsupportedVersion`] /
+///   [`StoreError::ChecksumMismatch`] when the header is present but damaged;
+/// * [`StoreError::ChecksumMismatch`] when a fully-present record fails its
+///   CRC;
+/// * [`StoreError::Invariant`] when a record's length pair disagrees (a
+///   corrupt length field) or sequence numbers are not dense and monotone;
+/// * [`StoreError::Oversized`] when a declared record length exceeds
+///   [`MAX_WAL_RECORD`].
+pub fn replay_wal(bytes: &[u8]) -> Result<WalReplay> {
+    if bytes.len() < WAL_HEADER_LEN {
+        // A header cut short: truncation of a valid segment, or a crash
+        // before the header ever hit the disk.  Either way no record was
+        // acknowledged, so recovery is empty (and flagged torn so the
+        // recovery path rewrites a fresh header).
+        return Ok(WalReplay {
+            dim: 0,
+            start_seq: 0,
+            records: Vec::new(),
+            valid_len: 0,
+            torn: true,
+        });
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return Err(StoreError::BadMagic {
+            found: [bytes[0], bytes[1], bytes[2], bytes[3]],
+        }
+        .into());
+    }
+    let version = le_u32(bytes, 4);
+    if version != WAL_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            max_supported: WAL_VERSION,
+        }
+        .into());
+    }
+    let stored_crc = le_u32(bytes, 20);
+    let computed = crc32c(&bytes[..20]);
+    if stored_crc != computed {
+        return Err(StoreError::ChecksumMismatch {
+            section: HEADER_SECTION.to_string(),
+            offset: 20,
+            stored: stored_crc,
+            computed,
+        }
+        .into());
+    }
+    let dim = le_u32(bytes, 8);
+    let start_seq = le_u64(bytes, 12);
+
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    let mut torn = false;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 8 {
+            // Not even a full length pair: the append died mid-header.
+            torn = true;
+            break;
+        }
+        let len = le_u32(bytes, pos);
+        let len_check = le_u32(bytes, pos + 4);
+        if len != !len_check {
+            // Truncation removes bytes, never alters them — a broken
+            // complement can only come from corruption.
+            return Err(StoreError::Invariant {
+                section: RECORD_SECTION.to_string(),
+                detail: format!(
+                    "length {len:#010x} at byte {pos} disagrees with its complement \
+                     {len_check:#010x} (corrupt length field)"
+                ),
+            }
+            .into());
+        }
+        if u64::from(len) > MAX_WAL_RECORD {
+            return Err(StoreError::Oversized {
+                section: RECORD_SECTION.to_string(),
+                offset: pos as u64,
+                declared: u64::from(len),
+                limit: MAX_WAL_RECORD,
+            }
+            .into());
+        }
+        if len < 8 {
+            return Err(StoreError::Invariant {
+                section: RECORD_SECTION.to_string(),
+                detail: format!(
+                    "record at byte {pos} declares {len} payload bytes, too short for a \
+                     sequence number"
+                ),
+            }
+            .into());
+        }
+        let full = 8 + len as usize + 4;
+        if remaining < full {
+            // Trustworthy length (the pair agrees), but the record runs past
+            // the end of the file: a torn append.  Nothing in it was acked.
+            torn = true;
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        let stored = le_u32(bytes, pos + 8 + len as usize);
+        let computed = crc32c(payload);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch {
+                section: RECORD_SECTION.to_string(),
+                offset: (pos + 8 + len as usize) as u64,
+                stored,
+                computed,
+            }
+            .into());
+        }
+        let seq = le_u64(payload, 0);
+        let expected = start_seq + records.len() as u64;
+        if seq != expected {
+            return Err(StoreError::Invariant {
+                section: RECORD_SECTION.to_string(),
+                detail: format!(
+                    "record at byte {pos} carries sequence {seq}, expected {expected} \
+                     (sequence numbers must be dense and monotone)"
+                ),
+            }
+            .into());
+        }
+        records.push(WalRecord {
+            seq,
+            body: payload[8..].to_vec(),
+        });
+        pos += full;
+    }
+    Ok(WalReplay {
+        dim,
+        start_seq,
+        records,
+        valid_len: pos.min(bytes.len()) as u64,
+        torn,
+    })
+}
+
+/// An open, appendable GKSL segment.
+///
+/// Created fresh with [`WalWriter::create`], or positioned after the valid
+/// prefix of an existing journal with [`WalWriter::recover`] (which truncates
+/// a torn tail first, so appends never follow garbage).
+pub struct WalWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    dim: u32,
+    next_seq: u64,
+    /// Appends since the last sync — callers must not acknowledge them yet.
+    unsynced: u64,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("path", &self.path)
+            .field("dim", &self.dim)
+            .field("next_seq", &self.next_seq)
+            .field("unsynced", &self.unsynced)
+            .finish()
+    }
+}
+
+fn open_append(path: &Path) -> Result<File> {
+    Ok(OpenOptions::new().append(true).open(path)?)
+}
+
+/// Fsyncs the directory containing `path` so a fresh journal's directory
+/// entry is durable (best-effort on platforms without directory fsync).
+fn sync_parent_dir(path: &Path) {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl WalWriter {
+    /// Creates a fresh (empty) journal at `path` whose first record will
+    /// carry `start_seq`.  The header is written atomically and fsynced
+    /// before this returns, so the journal either exists completely or not
+    /// at all.
+    pub fn create(path: impl AsRef<Path>, dim: u32, start_seq: u64) -> Result<WalWriter> {
+        let path = path.as_ref().to_path_buf();
+        let header = header_bytes(dim, start_seq);
+        atomic_write(&path, |w| {
+            w.write_all(&header)?;
+            Ok(())
+        })?;
+        sync_parent_dir(&path);
+        let file = open_append(&path)?;
+        Ok(WalWriter {
+            writer: BufWriter::new(file),
+            path,
+            dim,
+            next_seq: start_seq,
+            unsynced: 0,
+        })
+    }
+
+    /// Opens the journal at `path` for appending, replaying it first.
+    ///
+    /// * A missing or headerless (torn-before-first-ack) journal is replaced
+    ///   by a fresh one starting at `fallback_start_seq`.
+    /// * A torn tail is truncated away (and fsynced) before the writer is
+    ///   positioned, so subsequent appends never land after garbage.
+    /// * Interior corruption propagates as the typed error from
+    ///   [`replay_wal`] — recovery must not guess at damaged acknowledged
+    ///   data.
+    ///
+    /// Returns the replayed valid prefix together with the positioned writer.
+    pub fn recover(
+        path: impl AsRef<Path>,
+        expected_dim: u32,
+        fallback_start_seq: u64,
+    ) -> Result<(WalReplay, WalWriter)> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let replay = replay_wal(&bytes)?;
+        if replay.valid_len == 0 {
+            // Missing file or torn header: nothing acknowledged, start over.
+            let writer = WalWriter::create(&path, expected_dim, fallback_start_seq)?;
+            let replay = WalReplay {
+                dim: expected_dim,
+                start_seq: fallback_start_seq,
+                records: Vec::new(),
+                valid_len: WAL_HEADER_LEN as u64,
+                torn: replay.torn,
+            };
+            return Ok((replay, writer));
+        }
+        if replay.dim != expected_dim {
+            return Err(StoreError::Invariant {
+                section: HEADER_SECTION.to_string(),
+                detail: format!(
+                    "journal dimension {} does not match the checkpoint's {expected_dim}",
+                    replay.dim
+                ),
+            }
+            .into());
+        }
+        if replay.torn || replay.valid_len < bytes.len() as u64 {
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(replay.valid_len)?;
+            file.sync_all()?;
+        }
+        let next_seq = replay.next_seq();
+        let file = open_append(&path)?;
+        let writer = WalWriter {
+            writer: BufWriter::new(file),
+            path,
+            dim: replay.dim,
+            next_seq,
+            unsynced: 0,
+        };
+        Ok((replay, writer))
+    }
+
+    /// Appends one record carrying `body` and returns its sequence number.
+    ///
+    /// The record is **not durable yet**: callers must [`WalWriter::sync`]
+    /// before acknowledging it (many appends may share one sync — group
+    /// commit).
+    pub fn append(&mut self, body: &[u8]) -> Result<u64> {
+        if 8 + body.len() as u64 > MAX_WAL_RECORD {
+            return Err(Error::InvalidParameter(format!(
+                "WAL record body of {} bytes exceeds the {MAX_WAL_RECORD}-byte record limit",
+                body.len()
+            )));
+        }
+        let seq = self.next_seq;
+        let record = encode_record(seq, body);
+        self.writer.write_all(&record)?;
+        self.next_seq += 1;
+        self.unsynced += 1;
+        Ok(seq)
+    }
+
+    /// Flushes buffered appends and fsyncs the journal.  After this returns,
+    /// every appended record survives a crash and may be acknowledged.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Checkpoint truncation: atomically replaces the journal with a fresh
+    /// empty segment whose first record will carry `start_seq`.  Called
+    /// after the checkpoint holding every journalled mutation up to
+    /// `start_seq` has itself been atomically published — a crash between
+    /// the two leaves an over-complete journal (replay skips already-applied
+    /// records), never a gap.
+    pub fn reset(&mut self, start_seq: u64) -> Result<()> {
+        self.writer.flush()?;
+        let header = header_bytes(self.dim, start_seq);
+        atomic_write(&self.path, |w| {
+            w.write_all(&header)?;
+            Ok(())
+        })?;
+        sync_parent_dir(&self.path);
+        let file = open_append(&self.path)?;
+        self.writer = BufWriter::new(file);
+        self.next_seq = start_seq;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// The sequence number the next [`WalWriter::append`] will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends not yet covered by a [`WalWriter::sync`] (unacknowledgeable).
+    pub fn unsynced(&self) -> u64 {
+        self.unsynced
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gksl-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn journal_image(bodies: &[&[u8]], start_seq: u64) -> Vec<u8> {
+        let mut image = header_bytes(7, start_seq).to_vec();
+        for (i, body) in bodies.iter().enumerate() {
+            image.extend_from_slice(&encode_record(start_seq + i as u64, body));
+        }
+        image
+    }
+
+    #[test]
+    fn round_trip_preserves_records_and_sequences() {
+        let image = journal_image(&[b"alpha", b"", b"gamma-longer-body"], 40);
+        let replay = replay_wal(&image).unwrap();
+        assert_eq!(replay.dim, 7);
+        assert_eq!(replay.start_seq, 40);
+        assert!(!replay.torn);
+        assert_eq!(replay.valid_len, image.len() as u64);
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[0].seq, 40);
+        assert_eq!(replay.records[0].body, b"alpha");
+        assert_eq!(replay.records[1].body, b"");
+        assert_eq!(replay.records[2].seq, 42);
+        assert_eq!(replay.next_seq(), 43);
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_a_clean_prefix() {
+        let bodies: Vec<&[u8]> = vec![b"one", b"two-longer", b"three", b"4"];
+        let image = journal_image(&bodies, 0);
+        let mut record_ends = vec![WAL_HEADER_LEN];
+        for body in &bodies {
+            record_ends.push(record_ends.last().unwrap() + WAL_RECORD_OVERHEAD + 8 + body.len());
+        }
+        for cut in 0..=image.len() {
+            let replay = replay_wal(&image[..cut]).unwrap_or_else(|e| {
+                panic!("truncation to {cut} bytes must recover, got error: {e}")
+            });
+            // The recovered prefix is exactly the records whose bytes are
+            // entirely within the cut.
+            let expected = record_ends
+                .iter()
+                .filter(|&&e| e > WAL_HEADER_LEN && e <= cut)
+                .count();
+            assert_eq!(replay.records.len(), expected, "cut at {cut}");
+            for (i, r) in replay.records.iter().enumerate() {
+                assert_eq!(r.body, bodies[i], "cut at {cut}, record {i}");
+            }
+            // Torn iff the cut is not at a record boundary.
+            let at_boundary = cut >= WAL_HEADER_LEN && record_ends.contains(&cut);
+            assert_eq!(replay.torn, !at_boundary, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_typed_corruption() {
+        let image = journal_image(&[b"first", b"second", b"third"], 9);
+        for byte in 0..image.len() {
+            for bit in 0..8 {
+                let mut evil = image.clone();
+                evil[byte] ^= 1 << bit;
+                let got = replay_wal(&evil);
+                match got {
+                    Err(e) => assert!(
+                        e.is_corruption(),
+                        "flip at byte {byte} bit {bit}: error is not corruption: {e}"
+                    ),
+                    Ok(r) => panic!(
+                        "flip at byte {byte} bit {bit} went undetected ({} records)",
+                        r.records.len()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_damage_is_classified() {
+        let image = journal_image(&[b"x"], 0);
+
+        let mut bad_magic = image.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            replay_wal(&bad_magic).unwrap_err(),
+            Error::Store(StoreError::BadMagic { .. })
+        ));
+
+        // Version and CRC must agree for UnsupportedVersion to be reported
+        // (otherwise the CRC catches it first as generic corruption).
+        let mut future = header_bytes(7, 0).to_vec();
+        future[4..8].copy_from_slice(&9u32.to_le_bytes());
+        let crc = crc32c(&future[..20]);
+        future[20..24].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            replay_wal(&future).unwrap_err(),
+            Error::Store(StoreError::UnsupportedVersion { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn short_and_empty_images_recover_empty_and_torn() {
+        for cut in 0..WAL_HEADER_LEN {
+            let image = journal_image(&[b"x"], 0);
+            let replay = replay_wal(&image[..cut]).unwrap();
+            assert!(replay.records.is_empty());
+            assert!(replay.torn);
+            assert_eq!(replay.valid_len, 0);
+        }
+    }
+
+    #[test]
+    fn oversized_and_undersized_lengths_are_typed() {
+        let mut image = header_bytes(0, 0).to_vec();
+        let huge = (MAX_WAL_RECORD + 1) as u32;
+        image.extend_from_slice(&huge.to_le_bytes());
+        image.extend_from_slice(&(!huge).to_le_bytes());
+        assert!(matches!(
+            replay_wal(&image).unwrap_err(),
+            Error::Store(StoreError::Oversized { .. })
+        ));
+
+        let mut image = header_bytes(0, 0).to_vec();
+        let tiny = 4u32; // < 8: no room for a sequence number
+        image.extend_from_slice(&tiny.to_le_bytes());
+        image.extend_from_slice(&(!tiny).to_le_bytes());
+        image.extend_from_slice(&[0u8; 8]); // payload + crc space
+        assert!(matches!(
+            replay_wal(&image).unwrap_err(),
+            Error::Store(StoreError::Invariant { .. })
+        ));
+    }
+
+    #[test]
+    fn sequence_gaps_and_repeats_are_invariant_violations() {
+        // Records 0, 2 (gap).
+        let mut image = header_bytes(0, 0).to_vec();
+        image.extend_from_slice(&encode_record(0, b"a"));
+        image.extend_from_slice(&encode_record(2, b"b"));
+        let err = replay_wal(&image).unwrap_err();
+        assert!(
+            matches!(err, Error::Store(StoreError::Invariant { .. })),
+            "{err}"
+        );
+
+        // Start_seq mismatch: header says 5, first record says 0.
+        let mut image = header_bytes(0, 5).to_vec();
+        image.extend_from_slice(&encode_record(0, b"a"));
+        assert!(replay_wal(&image).is_err());
+    }
+
+    #[test]
+    fn writer_appends_are_replayable_and_resumable() {
+        let dir = tempdir("writer");
+        let path = dir.join("j.gksl");
+        let mut w = WalWriter::create(&path, 3, 0).unwrap();
+        assert_eq!(w.append(b"one").unwrap(), 0);
+        assert_eq!(w.append(b"two").unwrap(), 1);
+        assert_eq!(w.unsynced(), 2);
+        w.sync().unwrap();
+        assert_eq!(w.unsynced(), 0);
+        drop(w);
+
+        let (replay, mut w) = WalWriter::recover(&path, 3, 0).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(!replay.torn);
+        assert_eq!(w.next_seq(), 2);
+        assert_eq!(w.append(b"three").unwrap(), 2);
+        w.sync().unwrap();
+        drop(w);
+
+        let (replay, _w) = WalWriter::recover(&path, 3, 0).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[2].body, b"three");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_truncates_a_torn_tail_before_appending() {
+        let dir = tempdir("torn");
+        let path = dir.join("j.gksl");
+        let mut w = WalWriter::create(&path, 1, 0).unwrap();
+        w.append(b"kept").unwrap();
+        w.append(b"torn-away").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Tear the final record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (replay, mut w) = WalWriter::recover(&path, 1, 0).unwrap();
+        assert!(replay.torn);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(w.next_seq(), 1);
+        // Appending after recovery lands right after the valid prefix.
+        w.append(b"fresh").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (replay, _w) = WalWriter::recover(&path, 1, 0).unwrap();
+        assert!(!replay.torn);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].body, b"fresh");
+        assert_eq!(replay.records[1].seq, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_handles_missing_and_headerless_files() {
+        let dir = tempdir("missing");
+        let path = dir.join("absent.gksl");
+        let (replay, w) = WalWriter::recover(&path, 2, 17).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(w.next_seq(), 17);
+        drop(w);
+        // The fresh header is durable and carries the fallback start_seq.
+        let (replay, _w) = WalWriter::recover(&path, 2, 99).unwrap();
+        assert_eq!(replay.start_seq, 17);
+
+        // A zero-length file (created, never written) also recovers fresh.
+        let empty = dir.join("empty.gksl");
+        std::fs::write(&empty, b"").unwrap();
+        let (replay, _w) = WalWriter::recover(&empty, 2, 5).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.start_seq, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_rejects_dimension_mismatch() {
+        let dir = tempdir("dim");
+        let path = dir.join("j.gksl");
+        drop(WalWriter::create(&path, 4, 0).unwrap());
+        let err = WalWriter::recover(&path, 5, 0).unwrap_err();
+        assert!(
+            matches!(err, Error::Store(StoreError::Invariant { .. })),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_truncates_and_restarts_the_sequence() {
+        let dir = tempdir("reset");
+        let path = dir.join("j.gksl");
+        let mut w = WalWriter::create(&path, 2, 0).unwrap();
+        for i in 0..5u64 {
+            w.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        w.sync().unwrap();
+        w.reset(5).unwrap();
+        assert_eq!(w.next_seq(), 5);
+        w.append(b"after-checkpoint").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (replay, _w) = WalWriter::recover(&path, 2, 0).unwrap();
+        assert_eq!(replay.start_seq, 5);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].seq, 5);
+        assert_eq!(replay.records[0].body, b"after-checkpoint");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_at_append() {
+        let dir = tempdir("bigbody");
+        let path = dir.join("j.gksl");
+        let mut w = WalWriter::create(&path, 0, 0).unwrap();
+        // Don't allocate 256 MiB in a unit test; the check is arithmetic.
+        // MAX_WAL_RECORD bounds 8 + body.len(), so a body of exactly
+        // MAX_WAL_RECORD - 7 bytes is the smallest rejected size.
+        let result = w.append(&vec![0u8; (MAX_WAL_RECORD - 7) as usize]);
+        assert!(matches!(result.unwrap_err(), Error::InvalidParameter(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
