@@ -46,6 +46,11 @@
 //!   per-query loop over [`ivf::IvfIndex::search`] on the same index at
 //!   d = 128, k = 1024, nprobe = 8.  The two return bit-identical results;
 //!   the batched form amortises the routing tile across the query block;
+//! * `ivf_search_sq8` in the JSON — the SQ8 quantized serving tier at
+//!   d ∈ {128, 960}: u8 panel scan + overfetch + exact re-rank vs the f32
+//!   scan at the same nprobe, reporting per-query panel bytes streamed
+//!   (re-rank fetches included) and recall@10 against the f32 scan's own
+//!   answers.  CI gates ≥ 2× fewer bytes at d = 960 and recall ≥ 0.95;
 //!
 //! plus the full serving stack:
 //!
@@ -601,6 +606,99 @@ fn main() {
         )
     };
 
+    // Quantized serving tier: SQ8 overfetch + exact re-rank vs the f32 scan
+    // on the same index, at a cache-resident d and a memory-bound d.  The
+    // figures CI gates on: panel bytes streamed per query (the quantized
+    // scan must cut them ≥ 2× at d = 960, re-rank fetches included) and
+    // recall@R against the f32 scan's own answers (≥ 0.95 — the exact
+    // re-rank keeps the approximation at the bottom of the pool only).
+    let ivf_search_sq8_json = {
+        const SQ8_N: usize = 8192;
+        const SQ8_K: usize = 256;
+        const SQ8_NPROBE: usize = 8;
+        const SQ8_R: usize = 10;
+        const SQ8_OVERFETCH: usize = 4;
+        const SQ8_QUERIES: usize = 128;
+        let mut case_json = String::new();
+        for (i, dim) in [128usize, 960].into_iter().enumerate() {
+            let data = VectorSet::from_flat(test_block(SQ8_N, dim, 0.7), dim).expect("whole rows");
+            let centroids =
+                VectorSet::from_flat(test_block(SQ8_K, dim, 9.1), dim).expect("whole rows");
+            let mut idx = vec![0u32; SQ8_N];
+            let mut best_d = vec![0.0f32; SQ8_N];
+            let mut second_d = vec![0.0f32; SQ8_N];
+            kernels::assign_block(
+                data.as_flat(),
+                centroids.as_flat(),
+                dim,
+                &vec![0u32; SQ8_N],
+                &mut idx,
+                &mut best_d,
+                &mut second_d,
+            );
+            let labels: Vec<usize> = idx.iter().map(|&c| c as usize).collect();
+            let mut index = IvfIndex::build(&data, &centroids, &labels).expect("well-formed");
+            index.quantize();
+            let queries =
+                VectorSet::from_flat(test_block(SQ8_QUERIES, dim, 4.3), dim).expect("whole rows");
+            let f32_params = IvfSearchParams::default().nprobe(SQ8_NPROBE).threads(1);
+            let sq8_params = f32_params.sq8(true).overfetch(SQ8_OVERFETCH);
+
+            let (f32_results, f32_stats) =
+                index.batch_search_with_stats(&queries, SQ8_R, f32_params);
+            let (sq8_results, sq8_stats) =
+                index.batch_search_with_stats(&queries, SQ8_R, sq8_params);
+            let f32_bytes = f32_stats.panel_bytes as f64 / SQ8_QUERIES as f64;
+            let sq8_bytes = sq8_stats.panel_bytes as f64 / SQ8_QUERIES as f64;
+            let bytes_ratio = f32_bytes / sq8_bytes;
+            let mut hits = 0usize;
+            let mut truth = 0usize;
+            for (got, want) in sq8_results.iter().zip(&f32_results) {
+                truth += want.len();
+                hits += got
+                    .iter()
+                    .filter(|n| want.iter().any(|m| m.id == n.id))
+                    .count();
+            }
+            let recall = hits as f64 / truth.max(1) as f64;
+
+            let f32_us = time_case(budget_ms, SQ8_QUERIES as u64, || {
+                let res = index.batch_search(std::hint::black_box(&queries), SQ8_R, f32_params);
+                res.last()
+                    .and_then(|r| r.first())
+                    .map(|n| n.dist)
+                    .unwrap_or(0.0)
+            }) / 1000.0;
+            let sq8_us = time_case(budget_ms, SQ8_QUERIES as u64, || {
+                let res = index.batch_search(std::hint::black_box(&queries), SQ8_R, sq8_params);
+                res.last()
+                    .and_then(|r| r.first())
+                    .map(|n| n.dist)
+                    .unwrap_or(0.0)
+            }) / 1000.0;
+            println!(
+                "ivf_search_sq8         n={SQ8_N} d={dim} k={SQ8_K} nprobe={SQ8_NPROBE} \
+                 r={SQ8_R} overfetch={SQ8_OVERFETCH}: f32 {f32_us:.1} us/query \
+                 ({f32_bytes:.0} B), sq8 {sq8_us:.1} us/query ({sq8_bytes:.0} B, \
+                 {bytes_ratio:.2}x fewer bytes), recall@{SQ8_R} vs f32 = {recall:.3}"
+            );
+            if i > 0 {
+                case_json.push_str(", ");
+            }
+            case_json.push_str(&format!(
+                "{{\"dim\": {dim}, \"f32_us\": {f32_us:.3}, \"sq8_us\": {sq8_us:.3}, \
+                 \"f32_bytes_per_query\": {f32_bytes:.1}, \
+                 \"sq8_bytes_per_query\": {sq8_bytes:.1}, \"bytes_ratio\": {bytes_ratio:.3}, \
+                 \"recall_vs_f32\": {recall:.4}}}"
+            ));
+        }
+        format!(
+            "  \"ivf_search_sq8\": {{\"n\": {SQ8_N}, \"k\": {SQ8_K}, \"nprobe\": {SQ8_NPROBE}, \
+             \"r\": {SQ8_R}, \"overfetch\": {SQ8_OVERFETCH}, \"queries\": {SQ8_QUERIES}, \
+             \"cases\": [{case_json}]}},\n"
+        )
+    };
+
     // Serving-stack latency: the dynamic-batching TCP server end to end.
     // Closed loop first (a few synchronous clients establish the sustained
     // throughput and the uncontended latency profile), then an open loop
@@ -1038,6 +1136,7 @@ fn main() {
     json.push_str("  \"unit\": \"ns_per_distance_eval\",\n");
     json.push_str(&executor_round_json);
     json.push_str(&ivf_search_json);
+    json.push_str(&ivf_search_sq8_json);
     json.push_str(&serve_latency_json);
     json.push_str(&gksc_load_json);
     json.push_str(&mutate_throughput_json);

@@ -37,6 +37,10 @@ serve --index <index.ivf> [--addr <host:port>]   (default 127.0.0.1:0 —
                                   to this depth; default queue-cap / 4)
       [--max-conns <n>]           (connection cap, default 256)
       [--threads <n>]             (worker threads per batch search)
+      [--sq8]                     (serve from the quantized tier: scan u8
+                                  panels, re-rank survivors exactly; the
+                                  index must carry an SQ8 tier — build with
+                                  `index build --sq8`)
       [--port-file <path>]        (write the bound port for scripts/tests)
 Serves batched ANN queries over TCP (GKSQ protocol) until SIGINT/SIGTERM or a
 client Shutdown frame, then drains gracefully: every admitted request is
@@ -60,6 +64,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let threads = args.threads_opt()?;
     let port_file = args.optional("port-file");
     let mutable = args.flag("mutable");
+    let sq8 = args.flag("sq8");
     args.finish()?;
 
     let config = ServerConfig {
@@ -89,12 +94,19 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             })?;
             (store, ivf::RecoveryReport::default())
         };
+        if sq8 && !store.index().is_quantized() {
+            return Err(CliError::Usage(format!(
+                "--sq8 requires a quantized index, but {index_path} carries no SQ8 tier \
+                 (rebuild with `index build --sq8`)"
+            )));
+        }
         println!(
-            "loaded {index_path}: n = {}, d = {}, {} lists (mutable; journal replayed \
+            "loaded {index_path}: n = {}, d = {}, {} lists (mutable{}; journal replayed \
              {} records{}{})",
             store.index().live_len(),
             store.index().dim(),
             store.index().nlist(),
+            if sq8 { ", sq8 serving tier" } else { "" },
             report.replayed,
             if report.skipped > 0 {
                 format!(", {} already checkpointed", report.skipped)
@@ -107,18 +119,29 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                 ""
             },
         );
-        let backend: Arc<dyn MutableBackend> = Arc::new(MutableIvfBackend::new(store, threads));
+        let backend: Arc<dyn MutableBackend> =
+            Arc::new(MutableIvfBackend::new(store, threads).quantized(sq8));
         Server::start_mutable(backend, config)
     } else {
         let index = IvfIndex::load(&index_path)
             .map_err(|e| CliError::store(format!("cannot read {index_path}"), e))?;
+        if sq8 && !index.is_quantized() {
+            return Err(CliError::Usage(format!(
+                "--sq8 requires a quantized index, but {index_path} carries no SQ8 tier \
+                 (rebuild with `index build --sq8`)"
+            )));
+        }
         println!(
-            "loaded {index_path}: n = {}, d = {}, {} lists",
+            "loaded {index_path}: n = {}, d = {}, {} lists{}",
             index.len(),
             index.dim(),
-            index.nlist()
+            index.nlist(),
+            if sq8 { " (sq8 serving tier)" } else { "" }
         );
-        Server::start(Arc::new(IvfBackend::new(index, threads)), config)
+        Server::start(
+            Arc::new(IvfBackend::new(index, threads).quantized(sq8)),
+            config,
+        )
     }
     .map_err(|e| CliError::io(format!("cannot bind {addr}"), e))?;
 

@@ -1,0 +1,238 @@
+//! End-to-end CLI coverage for the SQ8 serving tier, driving the real
+//! `gkm-cli` binary:
+//!
+//! * `index build --sq8` persists the quantized tier and `index search --sq8`
+//!   serves from it (and refuses an unquantized index with a usage error);
+//! * **regression** — `index verify --spot-check` replays rows living in
+//!   journal append regions, not just the contiguous checkpoint panel, and
+//!   with `--sq8` asserts de-quantized self-hits within the quantization
+//!   error bound instead of exactly 0.
+
+use std::path::Path;
+use std::process::Command;
+
+use ivf::{IvfIndex, MutableStore};
+use vecstore::VectorSet;
+
+fn gkm(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gkm-cli"))
+        .args(args)
+        .output()
+        .expect("failed to spawn gkm-cli")
+}
+
+fn ok_stdout(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Pulls the integer value of `"key": <digits>` out of (pretty) JSON text —
+/// the workspace's offline `serde_json` stand-in has no parser, and these
+/// tests only need a few scalar fields.
+fn json_u64(text: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no `{key}` field in:\n{text}"))
+        + needle.len();
+    let digits: String = text[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("`{key}` is not an integer in:\n{text}"))
+}
+
+/// A small quantized store with live journal appends (and one tombstone):
+/// 30 checkpointed rows plus 4 appended ones, one of them far outside every
+/// fitted range so its codes clamp.
+fn seed_store_with_appends(index_path: &Path) -> u64 {
+    let rows: Vec<Vec<f32>> = (0..30)
+        .map(|i| {
+            let g = (i % 3) as f32 * 10.0;
+            vec![g + i as f32 * 0.25, g - 0.5 * i as f32, (i % 5) as f32, 1.0]
+        })
+        .collect();
+    let data = VectorSet::from_rows(rows).unwrap();
+    let centroids = VectorSet::from_rows(vec![vec![0.0; 4], vec![10.0; 4], vec![20.0; 4]]).unwrap();
+    let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+    let mut index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+    index.quantize();
+
+    let mut store = MutableStore::create(index_path, index).unwrap();
+    let mut appended = Vec::new();
+    for j in 0..4u32 {
+        let row = if j == 3 {
+            vec![1.0e4; 4] // clamps under the frozen per-list parameters
+        } else {
+            vec![j as f32, 1.0 - j as f32, 2.0, 1.0]
+        };
+        appended.push(store.insert(&row).unwrap());
+    }
+    store.delete(appended[0]).unwrap();
+    // Drop without compacting: the appends live only in the journal, so
+    // `index verify` must replay them to see these rows at all.
+    33 // live rows: 30 checkpointed + 4 appended − 1 tombstoned
+}
+
+#[test]
+fn verify_spot_check_covers_append_regions_and_sq8_bounds() {
+    let dir = std::env::temp_dir().join(format!("gkm-sq8-verify-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let index_path = dir.join("x.ivf");
+    let index_str = index_path.to_str().unwrap();
+    let live = seed_store_with_appends(&index_path);
+
+    // Exact-mode spot-check: every *live* row — checkpointed or appended —
+    // must self-hit at distance 0.  Before the append-region fix the count
+    // could never exceed the checkpoint's 30 panel rows.
+    let out = ok_stdout(&gkm(&[
+        "index",
+        "verify",
+        "--index",
+        index_str,
+        "--spot-check",
+        "1000",
+        "--json",
+    ]));
+    assert!(out.contains("\"status\": \"ok\""), "{out}");
+    assert_eq!(
+        json_u64(&out, "spot_checked"),
+        live,
+        "spot-check must cover journal append regions too:\n{out}"
+    );
+    assert!(json_u64(&out, "records") >= 5, "{out}");
+
+    // SQ8-mode spot-check: de-quantized self-hits within the error bound
+    // (the clamped outlier is checked component-wise), plus tier stats.
+    let out = ok_stdout(&gkm(&[
+        "index",
+        "verify",
+        "--index",
+        index_str,
+        "--spot-check",
+        "1000",
+        "--sq8",
+        "--json",
+    ]));
+    assert!(out.contains("\"status\": \"ok\""), "{out}");
+    assert_eq!(json_u64(&out, "spot_checked"), live, "{out}");
+    assert!(json_u64(&out, "code_bytes") > 0, "{out}");
+    assert!(out.contains("max_self_hit_bound"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_search_serve_sq8_flags_round_trip() {
+    let dir = std::env::temp_dir().join(format!("gkm-sq8-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.fvecs");
+    let queries = dir.join("q.fvecs");
+    let plain = dir.join("plain.ivf");
+    let quant = dir.join("quant.ivf");
+    let (base_s, queries_s) = (base.to_str().unwrap(), queries.to_str().unwrap());
+    let (plain_s, quant_s) = (plain.to_str().unwrap(), quant.to_str().unwrap());
+
+    let out = gkm(&[
+        "gen-data",
+        "--out",
+        base_s,
+        "--dataset",
+        "SIFT100K",
+        "--n",
+        "500",
+        "--queries",
+        "20",
+        "--queries-out",
+        queries_s,
+        "--seed",
+        "23",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let build = |out_path: &str, sq8: bool| {
+        let mut args = vec![
+            "index",
+            "build",
+            "--base",
+            base_s,
+            "--k",
+            "8",
+            "--out",
+            out_path,
+            "--method",
+            "lloyd",
+            "--iterations",
+            "5",
+            "--seed",
+            "3",
+            "--json",
+        ];
+        if sq8 {
+            args.push("--sq8");
+        }
+        ok_stdout(&gkm(&args))
+    };
+    assert!(build(plain_s, false).contains("\"sq8\": null"));
+    let built = build(quant_s, true);
+    let code_bytes = json_u64(&built, "code_bytes");
+    let panel_bytes = json_u64(&built, "panel_bytes");
+    assert_eq!(code_bytes * 4, panel_bytes, "u8 codes are 1/4 of f32 rows");
+
+    // Quantized search serves and reports its overfetch; the same flag on an
+    // unquantized index is a usage error (exit 2), not corruption.
+    let out = ok_stdout(&gkm(&[
+        "index",
+        "search",
+        "--index",
+        quant_s,
+        "--queries",
+        queries_s,
+        "--r",
+        "5",
+        "--nprobe",
+        "4",
+        "--sq8",
+        "--overfetch",
+        "6",
+        "--json",
+    ]));
+    assert!(out.contains("\"sq8\": true"), "{out}");
+    assert_eq!(json_u64(&out, "overfetch"), 6, "{out}");
+    assert!(out.contains("\"recall\""), "{out}");
+    let out = gkm(&[
+        "index",
+        "search",
+        "--index",
+        plain_s,
+        "--queries",
+        queries_s,
+        "--r",
+        "5",
+        "--sq8",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no SQ8 tier"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `serve --sq8` applies the same gate before binding anything.
+    let out = gkm(&["serve", "--index", plain_s, "--sq8"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no SQ8 tier"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

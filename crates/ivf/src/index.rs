@@ -143,6 +143,10 @@ pub struct IvfIndex {
     /// in-memory state (persisted at checkpoints so recovery knows where in
     /// the WAL to resume).
     pub(crate) applied_seq: u64,
+    /// Optional SQ8 serving tier: per-list `u8` code panels mirroring the
+    /// `f32` panel and append regions (`None` until
+    /// [`IvfIndex::quantize`] — the `f32` path is always available).
+    pub(crate) sq8: Option<crate::sq8::Sq8Panels>,
 }
 
 impl IvfIndex {
@@ -227,6 +231,7 @@ impl IvfIndex {
             appends: vec![AppendList::default(); k],
             tombstoned: 0,
             applied_seq: 0,
+            sq8: None,
         })
     }
 
@@ -276,6 +281,17 @@ impl IvfIndex {
         (&self.panel.as_flat()[lo * d..hi * d], &self.ids[lo..hi])
     }
 
+    /// The append-region vectors and ids of list `c` — rows inserted since
+    /// the last build/compaction, contiguous and ascending by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= self.nlist()`.
+    pub fn append_list(&self, c: usize) -> (&[f32], &[u32]) {
+        let a = &self.appends[c];
+        (&a.flat, &a.ids)
+    }
+
     /// The coarse level: the fitted centroids.
     #[inline]
     pub fn centroids(&self) -> &VectorSet {
@@ -289,6 +305,58 @@ impl IvfIndex {
     #[inline]
     pub fn effective_nprobe(&self, requested: usize) -> usize {
         requested.clamp(1, self.nlist())
+    }
+
+    // ---- the quantized tier -----------------------------------------------
+
+    /// Fits and attaches the SQ8 serving tier: per-list per-dim min/max
+    /// parameters over the list's current rows (panel **and** append
+    /// region), plus `u8` code shadows of both.  Idempotent in effect —
+    /// re-quantizing re-fits from the same `f32` rows.  The `f32` panel
+    /// stays authoritative: quantization adds a tier, it never replaces the
+    /// exact path (re-ranking depends on it).
+    pub fn quantize(&mut self) {
+        let d = self.dim();
+        let k = self.nlist();
+        let panel = self.panel.as_flat();
+        let mut mins = Vec::with_capacity(k * d);
+        let mut scales = Vec::with_capacity(k * d);
+        let mut codes = Vec::with_capacity(self.ids.len() * d);
+        let mut append_codes = Vec::with_capacity(k);
+        for c in 0..k {
+            let rows = &panel[self.offsets[c] * d..self.offsets[c + 1] * d];
+            let tail = self.appends[c].flat.as_slice();
+            let (m, s) = crate::sq8::fit_list(&[rows, tail], d);
+            for row in rows.chunks_exact(d) {
+                crate::sq8::encode_row_into(row, &m, &s, &mut codes);
+            }
+            let mut shadow = Vec::with_capacity(tail.len());
+            for row in tail.chunks_exact(d) {
+                crate::sq8::encode_row_into(row, &m, &s, &mut shadow);
+            }
+            append_codes.push(shadow);
+            mins.extend_from_slice(&m);
+            scales.extend_from_slice(&s);
+        }
+        self.sq8 = Some(crate::sq8::Sq8Panels {
+            dim: d,
+            mins,
+            scales,
+            codes,
+            append_codes,
+        });
+    }
+
+    /// `true` when the index carries the SQ8 serving tier.
+    #[inline]
+    pub fn is_quantized(&self) -> bool {
+        self.sq8.is_some()
+    }
+
+    /// The SQ8 tier, when attached.
+    #[inline]
+    pub fn sq8(&self) -> Option<&crate::sq8::Sq8Panels> {
+        self.sq8.as_ref()
     }
 
     // ---- the mutable tier -------------------------------------------------
@@ -399,6 +467,18 @@ impl IvfIndex {
         let list = &mut self.appends[best];
         list.flat.extend_from_slice(vector);
         list.ids.push(id);
+        // Shadow the append in the quantized tier under the list's frozen
+        // affine map (components outside the fitted range clamp; compaction
+        // re-fits from the live f32 set).
+        if let Some(sq8) = self.sq8.as_mut() {
+            let d = sq8.dim;
+            let mins = &sq8.mins[best * d..(best + 1) * d];
+            let scales = &sq8.scales[best * d..(best + 1) * d];
+            let shadow = &mut sq8.append_codes[best];
+            for ((&v, &lo), &s) in vector.iter().zip(mins).zip(scales) {
+                shadow.push(crate::sq8::encode_component(v, lo, s));
+            }
+        }
         self.live.insert(id);
         self.next_id = id + 1;
         Ok(())
@@ -462,7 +542,7 @@ impl IvfIndex {
             offsets.push(ids.len());
         }
         let panel = VectorSet::from_flat(flat, d)?;
-        Ok(IvfIndex {
+        let mut next = IvfIndex {
             centroids: self.centroids.clone(),
             offsets,
             panel,
@@ -472,7 +552,15 @@ impl IvfIndex {
             tombstoned: 0,
             next_id: self.next_id,
             applied_seq: self.applied_seq,
-        })
+            sq8: None,
+        };
+        // A quantized source re-quantizes the next generation from its live
+        // f32 rows: frozen-parameter drift from post-fit appends is repaired
+        // at every checkpoint.
+        if self.sq8.is_some() {
+            next.quantize();
+        }
+        Ok(next)
     }
 }
 

@@ -10,6 +10,18 @@
 //! | `IVFIDS`   | `n` little-endian `u32` panel-row → original-id entries |
 //! | `IVFPANEL` | the `n × d` re-ordered vector panel, native encoding |
 //! | `IVFMUT`   | mutation cursor: `next_id` and `applied_seq`, little-endian `u64` each |
+//! | `IVFSQ`    | SQ8 parameters: `k × d` little-endian `f32` mins, then `k × d` scales |
+//! | `IVFPNL8`  | the `n × d` SQ8 code panel, one `u8` per component, panel-row order |
+//!
+//! (`IVFPNL8` is the u8-panel — "IVFPANEL8" — section; tags are capped at
+//! 8 bytes by the container framing.)
+//!
+//! `IVFSQ`/`IVFPNL8` are optional and must appear **together**: a file
+//! carrying one without the other cannot describe a servable quantized tier
+//! and is rejected as an invariant violation.  Both are CRC-covered like
+//! every other section, their lengths are pinned exactly (`2·k·d·4` and
+//! `n·d` bytes), and the scales must be finite and non-negative — a NaN or
+//! negative scale would silently poison every asymmetric distance.
 //!
 //! `IVFMUT` ties a checkpoint to its WAL ([`vecstore::wal`]): `applied_seq`
 //! is the sequence number *after* the last journalled mutation folded into
@@ -49,6 +61,8 @@ pub(crate) const TAG_OFFSETS: &str = "IVFOFFS";
 pub(crate) const TAG_IDS: &str = "IVFIDS";
 pub(crate) const TAG_PANEL: &str = "IVFPANEL";
 pub(crate) const TAG_MUT: &str = "IVFMUT";
+pub(crate) const TAG_SQ: &str = "IVFSQ";
+pub(crate) const TAG_PANEL8: &str = "IVFPNL8";
 
 /// Shorthand for a cross-section invariant violation in `section`.
 fn invariant(section: &str, detail: String) -> Error {
@@ -82,6 +96,25 @@ fn u64s_from_bytes(bytes: &[u8], what: &str) -> Result<Vec<usize>> {
             u64::from_le_bytes(a) as usize
         })
         .collect())
+}
+
+fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn f32s_from_bytes(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(c);
+            f32::from_le_bytes(a)
+        })
+        .collect()
 }
 
 fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
@@ -142,13 +175,22 @@ impl IvfIndex {
         let mut mut_payload = Vec::with_capacity(16);
         mut_payload.extend_from_slice(&u64::from(self.next_id).to_le_bytes());
         mut_payload.extend_from_slice(&self.applied_seq.to_le_bytes());
-        let sections = vec![
+        let mut sections = vec![
             Section::new(TAG_CENTROIDS, vector_set_to_bytes(&self.centroids)),
             Section::new(TAG_OFFSETS, u64s_to_bytes(&self.offsets)),
             Section::new(TAG_IDS, u32s_to_bytes(&self.ids)),
             Section::new(TAG_PANEL, vector_set_to_bytes(&self.panel)),
             Section::new(TAG_MUT, mut_payload),
         ];
+        // The quantized tier persists as a parameter block plus the code
+        // panel.  A clean index has empty append regions (enforced above),
+        // so the code shadows of the appends never reach disk.
+        if let Some(sq8) = &self.sq8 {
+            let mut params = f32s_to_bytes(&sq8.mins);
+            params.extend_from_slice(&f32s_to_bytes(&sq8.scales));
+            sections.push(Section::new(TAG_SQ, params));
+            sections.push(Section::new(TAG_PANEL8, sq8.codes.clone()));
+        }
         write_sections_to(writer, &sections)
     }
 
@@ -280,6 +322,72 @@ impl IvfIndex {
             .ok_or_else(|| invariant(TAG_IDS, "id remap contains a duplicate id".to_string()))?;
         let appends = vec![crate::index::AppendList::default(); centroids.len()];
 
+        // The optional SQ8 tier: parameters and code panel must appear
+        // together, with exactly pinned lengths, and the affine maps must be
+        // servable (finite mins, finite non-negative scales).
+        let sq_section = sections.iter().find(|s| s.has_tag(TAG_SQ));
+        let panel8_section = sections.iter().find(|s| s.has_tag(TAG_PANEL8));
+        let sq8 = match (sq_section, panel8_section) {
+            (None, None) => None,
+            (Some(_), None) => {
+                return Err(invariant(
+                    TAG_PANEL8,
+                    format!("{TAG_SQ} present without its code panel"),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(invariant(
+                    TAG_SQ,
+                    format!("{TAG_PANEL8} present without its parameter block"),
+                ));
+            }
+            (Some(sq), Some(p8)) => {
+                let k = centroids.len();
+                let d = centroids.dim();
+                if sq.payload.len() != 2 * k * d * 4 {
+                    return Err(invariant(
+                        TAG_SQ,
+                        format!(
+                            "payload of {} bytes (expected {} for k = {k}, d = {d})",
+                            sq.payload.len(),
+                            2 * k * d * 4
+                        ),
+                    ));
+                }
+                if p8.payload.len() != panel.len() * d {
+                    return Err(invariant(
+                        TAG_PANEL8,
+                        format!(
+                            "{} code bytes for {} panel rows of dim {d}",
+                            p8.payload.len(),
+                            panel.len()
+                        ),
+                    ));
+                }
+                let mins = f32s_from_bytes(&sq.payload[..k * d * 4]);
+                let scales = f32s_from_bytes(&sq.payload[k * d * 4..]);
+                if mins.iter().any(|m| !m.is_finite()) {
+                    return Err(invariant(
+                        TAG_SQ,
+                        "a quantization min is not finite".to_string(),
+                    ));
+                }
+                if scales.iter().any(|s| !s.is_finite() || *s < 0.0) {
+                    return Err(invariant(
+                        TAG_SQ,
+                        "a quantization scale is negative or not finite".to_string(),
+                    ));
+                }
+                Some(crate::sq8::Sq8Panels {
+                    dim: d,
+                    mins,
+                    scales,
+                    codes: p8.payload.clone(),
+                    append_codes: vec![Vec::new(); k],
+                })
+            }
+        };
+
         Ok(Self {
             centroids,
             offsets,
@@ -290,6 +398,7 @@ impl IvfIndex {
             tombstoned: 0,
             next_id,
             applied_seq,
+            sq8,
         })
     }
 }
@@ -401,6 +510,88 @@ mod tests {
             corrupt[byte] ^= 0x10;
             let err = IvfIndex::read_from(corrupt.as_slice()).unwrap_err();
             assert!(matches!(err, Error::Store(_)), "byte {byte}: got {err}");
+        }
+    }
+
+    #[test]
+    fn sq8_round_trip_preserves_the_quantized_tier() {
+        let mut index = sample_index();
+        index.quantize();
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        let back = IvfIndex::read_from(buf.as_slice()).unwrap();
+        assert!(back.is_quantized());
+        assert_eq!(back, index);
+        assert_eq!(IvfIndex::read_strict_from(buf.as_slice()).unwrap(), index);
+    }
+
+    #[test]
+    fn sq8_sections_must_appear_together_with_sane_payloads() {
+        let mut index = sample_index();
+        index.quantize();
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+
+        let rewrite = |filter: &dyn Fn(&mut Vec<Section>)| -> Vec<u8> {
+            let mut sections = read_sections_from(buf.as_slice()).unwrap();
+            filter(&mut sections);
+            let mut out = Vec::new();
+            write_sections_to(&mut out, &sections).unwrap();
+            out
+        };
+
+        // one section without the other
+        let no_codes = rewrite(&|ss| ss.retain(|s| !s.has_tag(TAG_PANEL8)));
+        assert!(matches!(
+            IvfIndex::read_from(no_codes.as_slice()).unwrap_err(),
+            Error::Store(StoreError::Invariant { section, .. }) if section == TAG_PANEL8
+        ));
+        let no_params = rewrite(&|ss| ss.retain(|s| !s.has_tag(TAG_SQ)));
+        assert!(matches!(
+            IvfIndex::read_from(no_params.as_slice()).unwrap_err(),
+            Error::Store(StoreError::Invariant { section, .. }) if section == TAG_SQ
+        ));
+
+        // wrong parameter-block length
+        let short_params = rewrite(&|ss| {
+            for s in ss.iter_mut() {
+                if s.has_tag(TAG_SQ) {
+                    s.payload.truncate(s.payload.len() - 4);
+                }
+            }
+        });
+        assert!(matches!(
+            IvfIndex::read_from(short_params.as_slice()).unwrap_err(),
+            Error::Store(StoreError::Invariant { section, .. }) if section == TAG_SQ
+        ));
+
+        // wrong code-panel length
+        let short_codes = rewrite(&|ss| {
+            for s in ss.iter_mut() {
+                if s.has_tag(TAG_PANEL8) {
+                    s.payload.pop();
+                }
+            }
+        });
+        assert!(matches!(
+            IvfIndex::read_from(short_codes.as_slice()).unwrap_err(),
+            Error::Store(StoreError::Invariant { section, .. }) if section == TAG_PANEL8
+        ));
+
+        // a poisoned scale (negative, then NaN) is rejected
+        for bad in [-1.0f32, f32::NAN] {
+            let poisoned = rewrite(&|ss| {
+                for s in ss.iter_mut() {
+                    if s.has_tag(TAG_SQ) {
+                        let at = s.payload.len() - 4; // last scale value
+                        s.payload[at..].copy_from_slice(&bad.to_le_bytes());
+                    }
+                }
+            });
+            assert!(matches!(
+                IvfIndex::read_from(poisoned.as_slice()).unwrap_err(),
+                Error::Store(StoreError::Invariant { section, .. }) if section == TAG_SQ
+            ));
         }
     }
 

@@ -18,6 +18,12 @@
 //! * **Scan** — every probed list streams through
 //!   [`vecstore::kernels::l2_sq_one_to_many`] into a bounded top-`R` pool
 //!   ordered by `(distance, original id)`.
+//! * **Quantize** ([`IvfIndex::quantize`]) — an optional SQ8 serving tier:
+//!   panels re-encoded as per-list per-dim min/max `u8` codes ([`sq8`])
+//!   scanned through the asymmetric-distance kernel into an enlarged
+//!   top-`(R · overfetch)` pool, survivors re-ranked through the **exact**
+//!   `f32` pair kernel.  4× less panel memory streamed; at full overfetch
+//!   the result is bit-identical to the `f32` path.
 //! * **Batch** ([`IvfIndex::batch_search`]) — queries are cut into fixed
 //!   [`search::QUERY_BLOCK`]-row blocks executed on
 //!   [`vecstore::parallel::WorkerPool`] and merged in block order, the same
@@ -57,9 +63,11 @@ pub mod eval;
 pub mod index;
 pub mod io;
 pub mod search;
+pub mod sq8;
 pub mod store;
 
 pub use eval::{evaluate, IvfReport};
 pub use index::IvfIndex;
 pub use search::{IvfSearchParams, IvfSearchStats};
+pub use sq8::Sq8Panels;
 pub use store::{MutableStore, RecoveryReport};

@@ -27,6 +27,18 @@ pub struct IvfSearchParams {
     /// environment default, like every other engine knob).  Results are
     /// bit-identical at any thread count; threads change wall-clock only.
     pub threads: Option<usize>,
+    /// Serve from the SQ8 quantized tier: probed lists stream their `u8`
+    /// code panels into an enlarged top-`(r · overfetch)` pool, whose
+    /// survivors are re-ranked through the exact `f32` pair kernel.
+    /// Requires a quantized index ([`crate::IvfIndex::quantize`]); the
+    /// checked batch API reports [`Error::InvalidParameter`] otherwise.
+    pub sq8: bool,
+    /// Overfetch factor of the SQ8 candidate stage (ignored on the `f32`
+    /// path).  Clamped to ≥ 1.  Recall@R is non-decreasing in `overfetch`
+    /// (larger pools retain supersets under one total order); when the pool
+    /// covers every scanned candidate the re-ranked result is bit-identical
+    /// to the exact `f32` search.
+    pub overfetch: usize,
 }
 
 impl Default for IvfSearchParams {
@@ -34,6 +46,8 @@ impl Default for IvfSearchParams {
         Self {
             nprobe: 8,
             threads: threads_from_env(),
+            sq8: false,
+            overfetch: 4,
         }
     }
 }
@@ -52,14 +66,35 @@ impl IvfSearchParams {
         self.threads = Some(threads);
         self
     }
+
+    /// Enables or disables serving from the SQ8 quantized tier.
+    #[must_use]
+    pub fn sq8(mut self, sq8: bool) -> Self {
+        self.sq8 = sq8;
+        self
+    }
+
+    /// Sets the SQ8 overfetch factor (clamped to ≥ 1).
+    #[must_use]
+    pub fn overfetch(mut self, overfetch: usize) -> Self {
+        self.overfetch = overfetch.max(1);
+        self
+    }
 }
 
 /// Aggregate cost counters of a (batch) search.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IvfSearchStats {
     /// Total distance evaluations: `nlist` coarse evaluations per query plus
-    /// every scanned list row.
+    /// every scanned list row (on the SQ8 path: every code row scanned plus
+    /// every survivor re-ranked exactly).
     pub distance_evals: u64,
+    /// Bytes streamed from the vector panels and append regions: `4·d` per
+    /// `f32` row scanned, `d` per SQ8 code row scanned plus `4·d` per
+    /// re-ranked survivor.  Coarse routing (centroid) traffic is excluded —
+    /// it is identical on both paths.  This is the counter the quantized
+    /// tier exists to shrink.
+    pub panel_bytes: u64,
 }
 
 /// Inserts into an ascending pool bounded to `cap` entries, ordered by
@@ -80,6 +115,42 @@ fn insert_bounded(pool: &mut Vec<Neighbor>, cand: Neighbor, cap: usize) {
         }
     }
     let pos = pool.partition_point(|n| (n.dist, n.id) < (cand.dist, cand.id));
+    pool.insert(pos, cand);
+    if pool.len() > cap {
+        pool.pop();
+    }
+}
+
+/// One SQ8 overfetch-pool entry: the approximate `(dist, id)` key plus where
+/// the candidate's exact `f32` row lives, so the re-rank stage can fetch it
+/// without an id → row lookup structure.  `list == u32::MAX` marks a panel
+/// row (`row` is the panel position); otherwise `row` indexes the append
+/// region of list `list`.
+#[derive(Clone, Copy, Debug)]
+struct ScanCand {
+    nb: Neighbor,
+    list: u32,
+    row: u32,
+}
+
+/// Panel-row marker for [`ScanCand::list`] (an index never holds `u32::MAX`
+/// lists — the id space itself is capped below that).
+const CAND_PANEL: u32 = u32::MAX;
+
+/// [`insert_bounded`] over SQ8 overfetch candidates: the same full
+/// `(dist, id)` total order on both the insertion and rejection paths, so
+/// the retained overfetch set is independent of scan order — which is what
+/// makes recall monotone in `overfetch` and the full-overfetch re-rank
+/// bit-identical to the exact scan.
+fn insert_bounded_cand(pool: &mut Vec<ScanCand>, cand: ScanCand, cap: usize) {
+    if pool.len() >= cap {
+        if let Some(worst) = pool.last() {
+            if (cand.nb.dist, cand.nb.id) >= (worst.nb.dist, worst.nb.id) {
+                return;
+            }
+        }
+    }
+    let pos = pool.partition_point(|n| (n.nb.dist, n.nb.id) < (cand.nb.dist, cand.nb.id));
     pool.insert(pos, cand);
     if pool.len() > cap {
         pool.pop();
@@ -114,12 +185,17 @@ impl IvfIndex {
             query.len(),
             self.dim()
         );
+        assert!(
+            !params.sq8 || self.is_quantized(),
+            "sq8 search requested on an unquantized index; call quantize() first"
+        );
         let mut results = Vec::with_capacity(1);
-        let evals = self.search_block(query, r, params.nprobe, &mut results);
+        let (evals, bytes) = self.search_block(query, r, params, &mut results);
         (
             results.pop().unwrap_or_default(),
             IvfSearchStats {
                 distance_evals: evals,
+                panel_bytes: bytes,
             },
         )
     }
@@ -208,6 +284,13 @@ impl IvfIndex {
                 found: queries.dim(),
             });
         }
+        if params.sq8 && !self.is_quantized() {
+            return Err(Error::InvalidParameter(
+                "sq8 search requested on an unquantized index; quantize (or rebuild with --sq8) \
+                 before serving the quantized tier"
+                    .to_string(),
+            ));
+        }
         let nq = queries.len();
         let d = self.dim();
         let n_blocks = nq.div_ceil(QUERY_BLOCK);
@@ -217,38 +300,52 @@ impl IvfIndex {
             let lo = b * QUERY_BLOCK;
             let hi = ((b + 1) * QUERY_BLOCK).min(nq);
             let mut results = Vec::with_capacity(hi - lo);
-            let evals = self.search_block(&flat[lo * d..hi * d], r, params.nprobe, &mut results);
-            (results, evals)
+            let counters = self.search_block(&flat[lo * d..hi * d], r, params, &mut results);
+            (results, counters)
         })?;
         let mut results = Vec::with_capacity(nq);
         let mut stats = IvfSearchStats::default();
-        for (block_results, evals) in per_block {
+        for (block_results, (evals, bytes)) in per_block {
             results.extend(block_results);
             stats.distance_evals += evals;
+            stats.panel_bytes += bytes;
         }
         Ok((results, stats))
     }
 
     /// Answers one block of queries (`qs` holding whole rows of `self.dim()`
     /// values): routes the block through one `m × k` centroid tile, then
-    /// streams each probed list through the batched one-to-many kernel into a
-    /// bounded top-`r` pool.  Appends one result vector per query to
-    /// `results` and returns the distance evaluations spent.
+    /// streams each probed list into a bounded pool — on the `f32` path
+    /// directly into the top-`r` pool through the batched one-to-many
+    /// kernel; on the SQ8 path through the asymmetric code kernel into a
+    /// top-`(r · overfetch)` pool whose survivors are re-ranked exactly.
+    /// Appends one result vector per query to `results` and returns
+    /// `(distance evaluations, panel bytes streamed)`.
     fn search_block(
         &self,
         qs: &[f32],
         r: usize,
-        nprobe: usize,
+        params: IvfSearchParams,
         results: &mut Vec<Vec<Neighbor>>,
-    ) -> u64 {
+    ) -> (u64, u64) {
         let d = self.dim();
         let m = qs.len() / d;
         let k = self.nlist();
-        let nprobe = self.effective_nprobe(nprobe);
+        let nprobe = self.effective_nprobe(params.nprobe);
         if r == 0 {
             results.extend(std::iter::repeat_with(Vec::new).take(m));
-            return 0;
+            return (0, 0);
         }
+        let sq8 = if params.sq8 {
+            match self.sq8.as_ref() {
+                Some(tier) => Some(tier),
+                // Both public entry points check before dispatching blocks.
+                None => panic!("sq8 search requested on an unquantized index"),
+            }
+        } else {
+            None
+        };
+        let overfetch_cap = r.saturating_mul(params.overfetch.max(1));
 
         // Coarse routing: one register-blocked distance tile for the whole
         // block (for m = 1 this is bit-identical to the blocked form, so the
@@ -256,6 +353,7 @@ impl IvfIndex {
         let mut tile = vec![0.0f32; m * k];
         kernels::l2_sq_many_to_many(qs, self.centroids.as_flat(), d, &mut tile);
         let mut evals = (m as u64) * (k as u64);
+        let mut bytes = 0u64;
 
         let panel = self.panel.as_flat();
         // Tombstone filtering costs a bitmap probe per candidate; skip it
@@ -263,6 +361,8 @@ impl IvfIndex {
         let filtering = self.tombstoned > 0;
         let mut probes: Vec<Neighbor> = Vec::with_capacity(nprobe + 1);
         let mut dists: Vec<f32> = Vec::new();
+        let mut aq: Vec<f32> = vec![0.0; d];
+        let mut cands: Vec<ScanCand> = Vec::new();
         for (q, tile_row) in tile.chunks_exact(k).enumerate() {
             // `nprobe` closest lists by (distance, list id) — a total order,
             // so the probe set is independent of the fold order.
@@ -273,41 +373,119 @@ impl IvfIndex {
 
             let query = &qs[q * d..(q + 1) * d];
             let mut pool: Vec<Neighbor> = Vec::with_capacity(r + 1);
-            for probe in &probes {
-                let c = probe.id as usize;
-                let (lo, hi) = (self.offsets[c], self.offsets[c + 1]);
-                if lo < hi {
-                    dists.resize(hi - lo, 0.0);
-                    kernels::l2_sq_one_to_many(query, &panel[lo * d..hi * d], &mut dists);
-                    evals += (hi - lo) as u64;
-                    for (p, &dist) in (lo..hi).zip(&dists) {
-                        let id = self.ids[p];
-                        if filtering && !self.live.get(id) {
-                            continue;
+            if let Some(tier) = sq8 {
+                // Approximate stage: stream the probed lists' u8 code rows
+                // through the asymmetric kernel into the overfetch pool,
+                // remembering where each survivor's exact f32 row lives.
+                cands.clear();
+                for probe in &probes {
+                    let c = probe.id as usize;
+                    let mins = tier.list_mins(c);
+                    let scales = tier.list_scales(c);
+                    for (slot, (&qv, &lo)) in aq.iter_mut().zip(query.iter().zip(mins)) {
+                        *slot = qv - lo;
+                    }
+                    let (lo, hi) = (self.offsets[c], self.offsets[c + 1]);
+                    if lo < hi {
+                        dists.resize(hi - lo, 0.0);
+                        kernels::l2_sq_sq8_one_to_many(
+                            &aq,
+                            scales,
+                            &tier.codes[lo * d..hi * d],
+                            &mut dists,
+                        );
+                        evals += (hi - lo) as u64;
+                        bytes += ((hi - lo) * d) as u64;
+                        for (p, &dist) in (lo..hi).zip(&dists) {
+                            let id = self.ids[p];
+                            if filtering && !self.live.get(id) {
+                                continue;
+                            }
+                            let cand = ScanCand {
+                                nb: Neighbor::new(id, dist),
+                                list: CAND_PANEL,
+                                row: p as u32,
+                            };
+                            insert_bounded_cand(&mut cands, cand, overfetch_cap);
                         }
-                        insert_bounded(&mut pool, Neighbor::new(id, dist), r);
+                    }
+                    let ap = &self.appends[c];
+                    if !ap.ids.is_empty() {
+                        let codes = &tier.append_codes[c];
+                        dists.resize(ap.ids.len(), 0.0);
+                        kernels::l2_sq_sq8_one_to_many(&aq, scales, codes, &mut dists);
+                        evals += ap.ids.len() as u64;
+                        bytes += codes.len() as u64;
+                        for (j, (&id, &dist)) in ap.ids.iter().zip(&dists).enumerate() {
+                            if filtering && !self.live.get(id) {
+                                continue;
+                            }
+                            let cand = ScanCand {
+                                nb: Neighbor::new(id, dist),
+                                list: c as u32,
+                                row: j as u32,
+                            };
+                            insert_bounded_cand(&mut cands, cand, overfetch_cap);
+                        }
                     }
                 }
-                // The list's append region — vectors inserted since the last
-                // compaction — streams through the same kernel into the same
-                // pool: one total order over panel + appends, so every
-                // exactness/monotonicity property survives mutation.
-                let ap = &self.appends[c];
-                if !ap.ids.is_empty() {
-                    dists.resize(ap.ids.len(), 0.0);
-                    kernels::l2_sq_one_to_many(query, &ap.flat, &mut dists);
-                    evals += ap.ids.len() as u64;
-                    for (&id, &dist) in ap.ids.iter().zip(&dists) {
-                        if filtering && !self.live.get(id) {
-                            continue;
+                // Exact stage: re-rank every survivor through the pairwise
+                // kernel — the same arithmetic the f32 scan applies per row,
+                // so at full overfetch the result is bit-identical to it.
+                for cand in &cands {
+                    let row = if cand.list == CAND_PANEL {
+                        let p = cand.row as usize;
+                        &panel[p * d..(p + 1) * d]
+                    } else {
+                        let ap = &self.appends[cand.list as usize];
+                        let j = cand.row as usize;
+                        &ap.flat[j * d..(j + 1) * d]
+                    };
+                    let exact = vecstore::distance::l2_sq(query, row);
+                    insert_bounded(&mut pool, Neighbor::new(cand.nb.id, exact), r);
+                }
+                evals += cands.len() as u64;
+                bytes += (cands.len() * d * 4) as u64;
+            } else {
+                for probe in &probes {
+                    let c = probe.id as usize;
+                    let (lo, hi) = (self.offsets[c], self.offsets[c + 1]);
+                    if lo < hi {
+                        dists.resize(hi - lo, 0.0);
+                        kernels::l2_sq_one_to_many(query, &panel[lo * d..hi * d], &mut dists);
+                        evals += (hi - lo) as u64;
+                        bytes += ((hi - lo) * d * 4) as u64;
+                        for (p, &dist) in (lo..hi).zip(&dists) {
+                            let id = self.ids[p];
+                            if filtering && !self.live.get(id) {
+                                continue;
+                            }
+                            insert_bounded(&mut pool, Neighbor::new(id, dist), r);
                         }
-                        insert_bounded(&mut pool, Neighbor::new(id, dist), r);
+                    }
+                    // The list's append region — vectors inserted since the
+                    // last compaction — streams through the same kernel into
+                    // the same pool: one total order over panel + appends, so
+                    // every exactness/monotonicity property survives
+                    // mutation.
+                    let ap = &self.appends[c];
+                    if !ap.ids.is_empty() {
+                        dists.resize(ap.ids.len(), 0.0);
+                        kernels::l2_sq_one_to_many(query, &ap.flat, &mut dists);
+                        evals += ap.ids.len() as u64;
+                        bytes += (ap.ids.len() * d * 4) as u64;
+                        for (&id, &dist) in ap.ids.iter().zip(&dists) {
+                            if filtering && !self.live.get(id) {
+                                continue;
+                            }
+                            insert_bounded(&mut pool, Neighbor::new(id, dist), r);
+                        }
                     }
                 }
             }
             results.push(pool);
         }
-        evals
+        (evals, bytes)
     }
 }
 

@@ -1,0 +1,202 @@
+//! SQ8 scalar quantization of the inverted-list panels: per-list, per-dim
+//! min/max affine codes packed to `u8`.
+//!
+//! The quantized tier exists to cut the memory streamed per scan 4× — the
+//! bench trajectory shows the high-d serving path is memory-bound, so byte
+//! traffic, not FLOPs, is the wall.  Each list `c` stores an affine code per
+//! dimension `i`:
+//!
+//! ```text
+//! code = round((v − min[c][i]) / scale[c][i])   clamped to 0..=255
+//! v̂    = min[c][i] + scale[c][i] · code
+//! ```
+//!
+//! with `scale = (max − min) / 255` fitted over the list's own rows, so the
+//! **round-trip error is ≤ scale/2 per component** (up to `f32` rounding of
+//! the de-quantization arithmetic — the property suite pins the bound with a
+//! one-ulp-scale tolerance).  A constant dimension fits `scale = 0` and
+//! encodes to code 0 exactly.
+//!
+//! Distances against quantized rows are computed **asymmetrically**: the
+//! query stays `f32` and is re-based per list as `aq[i] = q[i] − min[c][i]`,
+//! after which
+//!
+//! ```text
+//! ‖q − v̂‖² = Σ_i (aq[i] − scale[c][i] · code[i])²
+//! ```
+//!
+//! is exactly the form [`vecstore::kernels::l2_sq_sq8_one_to_many`] streams,
+//! widening codes in-register — the panel bytes on the bus are 1/4 of the
+//! `f32` scan's.  The scan over codes is approximate; the serving contract
+//! (overfetch + exact re-rank, see [`crate::search`]) restores exactness at
+//! the top of the pool.
+
+/// Per-list, per-dim SQ8 parameters and code panels for one [`crate::IvfIndex`].
+///
+/// Mirrors the index's own layout: `codes` is the `n × d` byte panel in
+/// panel-row order (each list contiguous), `append_codes[c]` shadows the
+/// list's `f32` append region row for row.  `mins`/`scales` are `k × d`,
+/// row `c` owning list `c`.
+///
+/// Parameters are **frozen at fit time**: rows appended after
+/// [`crate::IvfIndex::quantize`] are encoded (and clamped) under the frozen
+/// affine map; compaction re-fits from the live `f32` set, so drift is
+/// bounded by the checkpoint cadence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sq8Panels {
+    /// Dimensionality (`d` of the owning index).
+    pub(crate) dim: usize,
+    /// `k × d` per-dim lower bounds, row-major.
+    pub(crate) mins: Vec<f32>,
+    /// `k × d` per-dim scales (`(max − min) / 255`; `0` for a constant dim).
+    pub(crate) scales: Vec<f32>,
+    /// `n × d` code panel, same row order as the index panel.
+    pub(crate) codes: Vec<u8>,
+    /// Per-list code shadow of the `f32` append regions.
+    pub(crate) append_codes: Vec<Vec<u8>>,
+}
+
+/// Encodes one component under an affine map: `round((v − min) / scale)`
+/// clamped to `0..=255`.  A non-positive (constant-dimension) scale encodes
+/// to 0.  The division and rounding run in `f64` so the clamp decision never
+/// suffers `f32` intermediate rounding.
+#[inline]
+pub fn encode_component(v: f32, min: f32, scale: f32) -> u8 {
+    if scale <= 0.0 {
+        return 0;
+    }
+    let code = ((f64::from(v) - f64::from(min)) / f64::from(scale)).round();
+    code.clamp(0.0, 255.0) as u8
+}
+
+/// Decodes one component: `min + scale · code` — the exact arithmetic the
+/// asymmetric distance kernel folds into its difference term.
+#[inline]
+pub fn decode_component(code: u8, min: f32, scale: f32) -> f32 {
+    min + scale * f32::from(code)
+}
+
+/// Fits per-dim min/scale over the rows of one flat `rows.len()/d × d`
+/// block (plus optional extra blocks), returning `(mins, scales)` of length
+/// `d` each.  With no rows at all, both are all-zero (every code decodes
+/// to 0 — an empty list never gets scanned anyway).
+pub fn fit_list(blocks: &[&[f32]], d: usize) -> (Vec<f32>, Vec<f32>) {
+    let mut mins = vec![f32::INFINITY; d];
+    let mut maxs = vec![f32::NEG_INFINITY; d];
+    let mut any = false;
+    for block in blocks {
+        for row in block.chunks_exact(d) {
+            any = true;
+            for (i, &v) in row.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+    }
+    if !any {
+        return (vec![0.0; d], vec![0.0; d]);
+    }
+    let scales = mins
+        .iter()
+        .zip(&maxs)
+        .map(|(&lo, &hi)| {
+            let span = hi - lo;
+            if span > 0.0 {
+                span / 255.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    (mins, scales)
+}
+
+/// Encodes one `d`-long row under the list's frozen parameters, appending
+/// the `d` codes to `out`.
+pub fn encode_row_into(row: &[f32], mins: &[f32], scales: &[f32], out: &mut Vec<u8>) {
+    for ((&v, &lo), &s) in row.iter().zip(mins).zip(scales) {
+        out.push(encode_component(v, lo, s));
+    }
+}
+
+/// De-quantizes one `d`-long code row into `out`.
+pub fn decode_row_into(codes: &[u8], mins: &[f32], scales: &[f32], out: &mut [f32]) {
+    for (slot, ((&c, &lo), &s)) in out.iter_mut().zip(codes.iter().zip(mins).zip(scales)) {
+        *slot = decode_component(c, lo, s);
+    }
+}
+
+impl Sq8Panels {
+    /// Number of lists covered.
+    #[inline]
+    pub fn nlist(&self) -> usize {
+        self.append_codes.len()
+    }
+
+    /// Dimensionality of the quantized vectors.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Per-dim lower bounds of list `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= self.nlist()`.
+    #[inline]
+    pub fn list_mins(&self, c: usize) -> &[f32] {
+        &self.mins[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Per-dim scales of list `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= self.nlist()`.
+    #[inline]
+    pub fn list_scales(&self, c: usize) -> &[f32] {
+        &self.scales[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Worst-case **squared** round-trip distance for a vector of list `c`
+    /// that was inside the fitted range: `Σ_i (scale_i / 2)²`, accumulated in
+    /// `f64`.  A de-quantized self-hit lands at most this far (plus `f32`
+    /// rounding slack) from its own original row — the spot-check bound the
+    /// CLI `index verify --sq8` asserts.
+    pub fn self_hit_bound(&self, c: usize) -> f64 {
+        self.list_scales(c)
+            .iter()
+            .map(|&s| {
+                let h = f64::from(s) * 0.5;
+                h * h
+            })
+            .sum()
+    }
+
+    /// Code row of panel position `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not a panel row.
+    #[inline]
+    pub fn panel_row_codes(&self, p: usize) -> &[u8] {
+        &self.codes[p * self.dim..(p + 1) * self.dim]
+    }
+
+    /// Code row `j` of list `c`'s append-region shadow.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` or `j` is out of range.
+    #[inline]
+    pub fn append_row_codes(&self, c: usize, j: usize) -> &[u8] {
+        &self.append_codes[c][j * self.dim..(j + 1) * self.dim]
+    }
+
+    /// Total bytes held by the code panel and append shadows (the stream-side
+    /// footprint the quantized tier trades the `f32` panel's `4·n·d` for).
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len() + self.append_codes.iter().map(Vec::len).sum::<usize>()
+    }
+}

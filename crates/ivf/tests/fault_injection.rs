@@ -36,6 +36,14 @@ fn sample_index() -> IvfIndex {
     IvfIndex::build(&data, &centroids, &labels).unwrap()
 }
 
+/// The same index with its SQ8 tier fitted, so the saved image carries the
+/// `IVFSQ` + `IVFPNL8` sections too.
+fn quantized_sample_index() -> IvfIndex {
+    let mut index = sample_index();
+    index.quantize();
+    index
+}
+
 fn saved_image(index: &IvfIndex) -> Vec<u8> {
     let mut buf = Vec::new();
     index.write_to(&mut buf).unwrap();
@@ -77,6 +85,95 @@ fn every_single_bit_flip_of_a_saved_index_is_detected() {
                 "byte={byte} bit={bit}: unexpected class {err}"
             );
         }
+    }
+}
+
+/// The same truncation sweep over an image carrying the SQ8 sections: the
+/// quantized tier inherits the container contract byte for byte.
+#[test]
+fn every_truncation_of_a_quantized_index_is_detected() {
+    let image = saved_image(&quantized_sample_index());
+    for cut in 0..image.len() {
+        let maimed = corrupt(&image, Fault::Truncate(cut));
+        let err = IvfIndex::read_from(Cursor::new(maimed))
+            .err()
+            .unwrap_or_else(|| panic!("truncation at byte {cut} must not load"));
+        assert!(err.is_corruption(), "cut={cut}: unexpected class {err}");
+    }
+}
+
+/// Every single bit-flip of a quantized image — including flips landing in
+/// the `IVFSQ` parameter floats and the `IVFPNL8` code bytes — fails to load
+/// with a typed corruption error.
+#[test]
+fn every_single_bit_flip_of_a_quantized_index_is_detected() {
+    let image = saved_image(&quantized_sample_index());
+    for byte in 0..image.len() {
+        for bit in 0..8u8 {
+            let maimed = corrupt(&image, Fault::FlipBit { byte, bit });
+            let err = IvfIndex::read_from(Cursor::new(maimed))
+                .err()
+                .unwrap_or_else(|| panic!("flip of byte {byte} bit {bit} must not load"));
+            assert!(
+                err.is_corruption(),
+                "byte={byte} bit={bit}: unexpected class {err}"
+            );
+        }
+    }
+}
+
+/// A hostile declared length on either SQ8 section is rejected before any
+/// allocation is attempted: the framing sanity-checks the length against the
+/// remaining bytes (and the 1 TiB bound) before trusting it.
+#[test]
+fn hostile_sq8_section_lengths_never_allocate() {
+    let image = saved_image(&quantized_sample_index());
+    for tag in [&b"IVFSQ   "[..], &b"IVFPNL8 "[..]] {
+        let at = image.windows(8).position(|w| w == tag).unwrap_or_else(|| {
+            panic!(
+                "section {} missing from the image",
+                String::from_utf8_lossy(tag)
+            )
+        });
+        for hostile in [u64::MAX, 1 << 62, 1 << 40, 1 << 30] {
+            let mut maimed = image.clone();
+            maimed[at + 8..at + 16].copy_from_slice(&hostile.to_le_bytes());
+            let err = IvfIndex::read_from(Cursor::new(maimed))
+                .err()
+                .unwrap_or_else(|| {
+                    panic!(
+                        "hostile length {hostile:#x} on {} must not load",
+                        String::from_utf8_lossy(tag)
+                    )
+                });
+            assert!(
+                err.is_corruption(),
+                "hostile length {hostile:#x}: unexpected class {err}"
+            );
+        }
+    }
+}
+
+/// Corruption *behind* valid checksums, quantized edition: dropping either
+/// SQ8 section while keeping the other (with fresh, correct CRCs) breaks the
+/// both-or-neither pairing invariant.
+#[test]
+fn sq8_sections_behind_valid_checksums_must_pair() {
+    let image = saved_image(&quantized_sample_index());
+    let sections = read_sections_from(Cursor::new(image)).unwrap();
+    for victim in ["IVFSQ", "IVFPNL8"] {
+        let kept: Vec<Section> = sections
+            .iter()
+            .filter(|s| !s.has_tag(victim))
+            .cloned()
+            .collect();
+        let mut buf = Vec::new();
+        write_sections_to(&mut buf, &kept).unwrap();
+        let err = IvfIndex::read_from(Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(&err, Error::Store(StoreError::Invariant { .. })),
+            "dropped {victim}: unexpected error {err}"
+        );
     }
 }
 

@@ -15,11 +15,14 @@ use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 
-use ivf::{IvfIndex, MutableStore};
+use ivf::{IvfIndex, IvfSearchParams, MutableStore};
 use vecstore::VectorSet;
 
 /// Env var carrying the store path; its presence turns the child test on.
 const CHILD_ENV: &str = "GKM_KILL_RECOVER_STORE";
+
+/// Same, for the SQ8 variant of the loop (quantized seed checkpoint).
+const CHILD_ENV_SQ8: &str = "GKM_KILL_RECOVER_STORE_SQ8";
 
 fn seed_index() -> IvfIndex {
     let rows: Vec<Vec<f32>> = (0..8)
@@ -61,6 +64,43 @@ fn child_insert_storm() {
         }
         // Everything above returned: journalled, fsynced, applied.  Only now
         // is the batch acknowledged.
+        println!("ACK {}", store.next_seq());
+        round += 1;
+    }
+}
+
+/// SQ8 child half: identical storm, but the seed checkpoint carries a
+/// quantized tier — every journalled insert must also encode into the
+/// frozen-parameter code shadow, and every compaction must re-fit it.
+#[test]
+#[ignore = "child half of the kill_and_recover_preserves_the_sq8_tier loop"]
+fn child_insert_storm_sq8() {
+    let Ok(path) = std::env::var(CHILD_ENV_SQ8) else {
+        return;
+    };
+    let index_path = PathBuf::from(path);
+    let mut store = if index_path.exists() {
+        MutableStore::open(&index_path).unwrap().0
+    } else {
+        let mut index = seed_index();
+        index.quantize();
+        MutableStore::create(&index_path, index).unwrap()
+    };
+    assert!(store.index().is_quantized(), "storm must run quantized");
+    let mut round = store.next_seq();
+    loop {
+        let rows: Vec<Vec<f32>> = (0..2)
+            .map(|j| vec![round as f32 + j as f32, -(round as f32)])
+            .collect();
+        let ids = store
+            .insert_batch(&VectorSet::from_rows(rows).unwrap())
+            .unwrap();
+        if round % 3 == 0 {
+            store.delete(ids[0]).unwrap();
+        }
+        if round % 7 == 0 {
+            store.compact().unwrap();
+        }
         println!("ACK {}", store.next_seq());
         round += 1;
     }
@@ -116,6 +156,81 @@ fn kill_and_recover_loses_no_acknowledged_write() {
         assert_eq!(store.index().applied_seq(), store.next_seq());
         assert!(report.replayed as u64 <= store.next_seq());
         assert!(store.index().live_len() >= 8, "seed rows must survive");
+        drop(store);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The SIGKILL loop over a *quantized* store: recovery must preserve the SQ8
+/// tier across WAL replay and mid-compaction kills, and the quantized search
+/// path must keep serving exact self-hits after every recovery.
+#[test]
+fn kill_and_recover_preserves_the_sq8_tier() {
+    let dir = std::env::temp_dir().join(format!("gkm-kill-recover-sq8-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let index_path = dir.join("storm.ivf");
+
+    let mut last_acked = 0u64;
+    for cycle in 0..4 {
+        let mut child = Command::new(std::env::current_exe().unwrap())
+            .args([
+                "child_insert_storm_sq8",
+                "--exact",
+                "--ignored",
+                "--nocapture",
+            ])
+            .env(CHILD_ENV_SQ8, &index_path)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+        let mut acks = 0;
+        while acks < 5 {
+            let line = lines
+                .next()
+                .unwrap_or_else(|| panic!("cycle {cycle}: child exited after {acks} acks"))
+                .unwrap();
+            if let Some(seq) = line.strip_prefix("ACK ") {
+                let seq: u64 = seq.trim().parse().unwrap();
+                assert!(
+                    seq >= last_acked,
+                    "cycle {cycle}: ack cursor went backwards"
+                );
+                last_acked = seq;
+                acks += 1;
+            }
+        }
+        child.kill().unwrap();
+        child.wait().unwrap();
+
+        let (store, _report) = MutableStore::open(&index_path)
+            .unwrap_or_else(|e| panic!("cycle {cycle}: recovery after SIGKILL failed: {e}"));
+        assert!(
+            store.next_seq() >= last_acked,
+            "cycle {cycle}: lost acknowledged writes — recovered cursor {} < acked {last_acked}",
+            store.next_seq()
+        );
+        let index = store.index();
+        assert!(
+            index.is_quantized(),
+            "cycle {cycle}: the SQ8 tier must survive recovery"
+        );
+        // Quantized serving still works: at full overfetch the exact re-rank
+        // returns a seed vector's own row at distance 0.
+        let params = IvfSearchParams::default()
+            .nprobe(index.nlist())
+            .threads(1)
+            .sq8(true)
+            .overfetch(index.len() + index.pending_appends());
+        let (rows, _) = index.list(0);
+        if rows.len() >= 2 {
+            let hit = index.search(&rows[..2], 1, params)[0];
+            assert_eq!(
+                hit.dist, 0.0,
+                "cycle {cycle}: quantized self-hit must re-rank to exact"
+            );
+        }
         drop(store);
     }
     std::fs::remove_dir_all(&dir).ok();

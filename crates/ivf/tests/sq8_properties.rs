@@ -1,0 +1,313 @@
+//! SQ8 quantized-tier properties, pinned against the exact f32 path:
+//!
+//! * per-component round-trip error is **≤ scale/2** (up to f32 rounding
+//!   slack), including constant lists and adversarially-scaled dimensions;
+//! * recall@R is **non-decreasing in `overfetch`** (nested candidate pools
+//!   under one total order, exact re-rank on top);
+//! * at full overfetch the re-ranked result is **bit-identical** to the
+//!   exact f32 search at the same `nprobe`;
+//! * quantized batched search is **bit-identical** for threads ∈ {1, 2, 4, 7};
+//! * rows appended after quantization are encoded under the list's frozen
+//!   parameters (clamped if outside the fitted range) and compaction
+//!   re-fits them into the bound.
+
+use baselines::common::KMeansConfig;
+use baselines::lloyd::LloydKMeans;
+use ivf::sq8::{decode_component, encode_component, fit_list};
+use ivf::{evaluate, IvfIndex, IvfSearchParams};
+use knn_graph::brute::exact_ground_truth;
+use proptest::prelude::*;
+use rand::Rng;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+/// Round-trip tolerance: half a quantization step plus f32 rounding slack.
+fn half_step_tol(scale: f32) -> f64 {
+    f64::from(scale) * 0.5 * (1.0 + 1e-5) + 1e-40
+}
+
+/// Clustered float corpus (the shape the anns tests use).
+fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut rng = rng_from_seed(seed);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = (i % 10) as f32 * 1.3;
+        rows.push((0..dim).map(|_| g + rng.gen_range(-1.0..1.0)).collect());
+    }
+    VectorSet::from_rows(rows).unwrap()
+}
+
+/// An index built from a real Lloyd fit.
+fn lloyd_index(data: &VectorSet, k: usize, seed: u64) -> IvfIndex {
+    let fit = LloydKMeans::new(KMeansConfig::with_k(k).max_iters(15).seed(seed)).fit(data);
+    IvfIndex::build(data, &fit.centroids, &fit.labels).unwrap()
+}
+
+fn quantized_lloyd_index(data: &VectorSet, k: usize, seed: u64) -> IvfIndex {
+    let mut index = lloyd_index(data, k, seed);
+    index.quantize();
+    index
+}
+
+/// Every panel row of every list de-quantizes within half a step per
+/// component of its stored f32 counterpart.
+fn assert_panel_round_trip(index: &IvfIndex) {
+    let tier = index.sq8().expect("index must be quantized");
+    let d = index.dim();
+    let mut panel_pos = 0usize;
+    for c in 0..index.nlist() {
+        let (rows, ids) = index.list(c);
+        let mins = tier.list_mins(c);
+        let scales = tier.list_scales(c);
+        for j in 0..ids.len() {
+            let row = &rows[j * d..(j + 1) * d];
+            let codes = tier.panel_row_codes(panel_pos + j);
+            for i in 0..d {
+                let back = decode_component(codes[i], mins[i], scales[i]);
+                let err = (f64::from(row[i]) - f64::from(back)).abs();
+                assert!(
+                    err <= half_step_tol(scales[i]),
+                    "list {c} row {j} component {i}: err {err:e} > scale/2 = {:e}",
+                    f64::from(scales[i]) * 0.5
+                );
+            }
+        }
+        panel_pos += ids.len();
+    }
+}
+
+#[test]
+fn panel_round_trip_stays_within_half_a_step_on_a_lloyd_fit() {
+    let base = clustered(600, 6, 2);
+    let index = quantized_lloyd_index(&base, 20, 7);
+    assert_panel_round_trip(&index);
+}
+
+#[test]
+fn constant_lists_quantize_exactly() {
+    // Every row identical → every dimension constant → scale 0, code 0, and
+    // decoding returns the stored value bit for bit.
+    let rows: Vec<Vec<f32>> = (0..12).map(|_| vec![3.25, -1.5, 0.0, 7.75]).collect();
+    let data = VectorSet::from_rows(rows).unwrap();
+    let centroids = VectorSet::from_rows(vec![vec![0.0; 4]]).unwrap();
+    let labels = vec![0usize; 12];
+    let mut index = IvfIndex::build(&data, &centroids, &labels).unwrap();
+    index.quantize();
+    let tier = index.sq8().unwrap();
+    let (rows, ids) = index.list(0);
+    for j in 0..ids.len() {
+        let codes = tier.panel_row_codes(j);
+        assert!(codes.iter().all(|&b| b == 0), "constant dims encode to 0");
+        for i in 0..4 {
+            let back = decode_component(codes[i], tier.list_mins(0)[i], tier.list_scales(0)[i]);
+            assert_eq!(back, rows[j * 4 + i], "row {j} component {i}");
+        }
+    }
+}
+
+#[test]
+fn adversarially_scaled_dimensions_stay_within_bound() {
+    // Per-dim magnitudes spanning twelve orders: the fit is per-dimension,
+    // so a huge dimension must not poison a tiny one's precision.
+    let gains = [1e-6f32, 1e-3, 1.0, 1e3, 1e6];
+    let mut rng = rng_from_seed(99);
+    let rows: Vec<Vec<f32>> = (0..50)
+        .map(|_| gains.iter().map(|g| g * rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let data = VectorSet::from_rows(rows).unwrap();
+    let index = quantized_lloyd_index(&data, 4, 5);
+    assert_panel_round_trip(&index);
+    // The tiny dimension keeps a tiny scale — its absolute error bound is
+    // the dimension's own span, not the large dimension's.
+    let tier = index.sq8().unwrap();
+    for c in 0..index.nlist() {
+        if index.list(c).1.is_empty() {
+            continue;
+        }
+        assert!(
+            tier.list_scales(c)[0] <= 2.0e-6 / 255.0 * 1.01,
+            "per-dim fit must isolate the 1e-6 dimension"
+        );
+    }
+}
+
+#[test]
+fn recall_is_non_decreasing_in_overfetch() {
+    let base = clustered(800, 8, 3);
+    let queries = clustered(48, 8, 41);
+    let index = quantized_lloyd_index(&base, 24, 11);
+    let gt = exact_ground_truth(&base, &queries, 10);
+    let mut last = -1.0f64;
+    for overfetch in [1usize, 2, 4, 8, 64] {
+        let report = evaluate(
+            &index,
+            &queries,
+            &gt,
+            10,
+            IvfSearchParams::default()
+                .nprobe(24)
+                .threads(1)
+                .sq8(true)
+                .overfetch(overfetch),
+        );
+        assert!(
+            report.stats.recall >= last,
+            "recall dropped from {last} to {} at overfetch = {overfetch}",
+            report.stats.recall
+        );
+        last = report.stats.recall;
+    }
+}
+
+#[test]
+fn full_overfetch_rerank_is_bit_identical_to_the_f32_path() {
+    let base = clustered(700, 7, 8);
+    let queries = clustered(96, 7, 19);
+    let index = quantized_lloyd_index(&base, 20, 13);
+    // overfetch · r ≥ n: every scanned candidate survives into the exact
+    // re-rank, so the result must equal the f32 scan bit for bit — at a
+    // partial nprobe and at the exhaustive one alike.
+    let overfetch = base.len(); // r · overfetch ≥ n for any r ≥ 1
+    for nprobe in [3usize, index.nlist()] {
+        let exact = index.batch_search(
+            &queries,
+            10,
+            IvfSearchParams::default().nprobe(nprobe).threads(1),
+        );
+        let reranked = index.batch_search(
+            &queries,
+            10,
+            IvfSearchParams::default()
+                .nprobe(nprobe)
+                .threads(1)
+                .sq8(true)
+                .overfetch(overfetch),
+        );
+        for (q, (a, b)) in reranked.iter().zip(&exact).enumerate() {
+            assert_eq!(a, b, "nprobe = {nprobe}, query {q}");
+        }
+    }
+}
+
+#[test]
+fn quantized_batched_search_is_bit_identical_at_any_thread_count() {
+    let base = clustered(900, 5, 6);
+    // enough queries for several QUERY_BLOCK blocks plus an unaligned tail
+    let queries = clustered(333, 5, 17);
+    let index = quantized_lloyd_index(&base, 24, 9);
+    let params = IvfSearchParams::default().nprobe(4).sq8(true).overfetch(4);
+    let reference = index.batch_search(&queries, 7, params.threads(1));
+    for threads in [2usize, 4, 7] {
+        let got = index.batch_search(&queries, 7, params.threads(threads));
+        assert_eq!(got.len(), reference.len());
+        for (q, (a, b)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(a, b, "threads = {threads}, query {q}");
+        }
+    }
+    // the batched API also equals the sequential per-query loop bit for bit
+    for (q, query) in queries.rows().enumerate() {
+        assert_eq!(
+            reference[q],
+            index.search(query, 7, params.threads(1)),
+            "query {q}"
+        );
+    }
+}
+
+#[test]
+fn appended_rows_are_quantized_under_frozen_params_and_refit_by_compaction() {
+    let base = clustered(300, 4, 21);
+    let mut index = quantized_lloyd_index(&base, 8, 23);
+    // One in-range append and one far outside every fitted range (its codes
+    // must clamp instead of wrapping or poisoning the list parameters).
+    let in_range: Vec<f32> = base.rows().next().unwrap().to_vec();
+    let outlier = vec![1e4f32; 4];
+    let base_len = index.len() as u32;
+    index.apply_insert(base_len, &in_range).unwrap();
+    index.apply_insert(base_len + 1, &outlier).unwrap();
+
+    // Both appended ids are served by the quantized path: at full overfetch
+    // the re-rank is exact, so each vector's own query returns it at
+    // distance 0 ahead of everything else.
+    let params = IvfSearchParams::default()
+        .nprobe(index.nlist())
+        .threads(1)
+        .sq8(true)
+        .overfetch(index.len() + 2);
+    let hit = index.search(&in_range, 1, params)[0];
+    assert_eq!(hit.dist, 0.0, "appended in-range row must self-hit exactly");
+    let hit = index.search(&outlier, 1, params)[0];
+    assert_eq!(
+        (hit.id, hit.dist),
+        (base_len + 1, 0.0),
+        "clamped append must still re-rank to an exact self-hit"
+    );
+
+    // Frozen parameters: the outlier's codes saturate.
+    let tier = index.sq8().unwrap();
+    let c = (0..index.nlist())
+        .find(|&c| index.append_list(c).1.contains(&(base_len + 1)))
+        .unwrap();
+    let j = index
+        .append_list(c)
+        .1
+        .iter()
+        .position(|&id| id == base_len + 1)
+        .unwrap();
+    assert!(
+        tier.append_row_codes(c, j).iter().all(|&b| b == 255),
+        "a far-out-of-range append must clamp to the top code"
+    );
+
+    // Compaction folds the appends and re-fits: the outlier is now inside
+    // its list's range, so the half-step bound holds for every panel row.
+    let compacted = index.compact().unwrap();
+    assert!(compacted.is_quantized(), "compaction preserves the tier");
+    assert_eq!(compacted.len(), base.len() + 2);
+    assert_panel_round_trip(&compacted);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The quantizer's component contract on arbitrary data, including
+    /// constant dimensions and per-dim magnitudes spanning several orders:
+    /// encode → decode lands within half a step, codes clamp to 0..=255,
+    /// and a non-positive scale encodes to 0.
+    #[test]
+    fn encode_decode_round_trip_is_within_half_a_step(
+        n in 1usize..30,
+        d in 1usize..8,
+        seed in 0u64..1000,
+        exponent in -6i32..7,
+    ) {
+        let gain = 10.0f32.powi(exponent);
+        let mut rng = rng_from_seed(seed);
+        let rows: Vec<f32> = (0..n * d)
+            .map(|i| {
+                if i % d == 0 && d > 1 {
+                    2.5 // one constant dimension whenever d allows
+                } else {
+                    gain * rng.gen_range(-1.0..1.0f32)
+                }
+            })
+            .collect();
+        let (mins, scales) = fit_list(&[&rows], d);
+        for row in rows.chunks_exact(d) {
+            for i in 0..d {
+                let code = encode_component(row[i], mins[i], scales[i]);
+                let back = decode_component(code, mins[i], scales[i]);
+                let err = (f64::from(row[i]) - f64::from(back)).abs();
+                prop_assert!(
+                    err <= half_step_tol(scales[i]),
+                    "component {i}: v = {}, back = {back}, err = {err:e}, scale = {:e}",
+                    row[i],
+                    scales[i]
+                );
+                if scales[i] <= 0.0 {
+                    prop_assert_eq!(code, 0, "constant dims encode to 0");
+                }
+            }
+        }
+    }
+}

@@ -107,12 +107,27 @@ pub trait SearchBackend: Send + Sync + 'static {
 pub struct IvfBackend {
     index: IvfIndex,
     threads: Option<usize>,
+    quantized: bool,
 }
 
 impl IvfBackend {
     /// Wraps `index`; `threads = None` inherits the `GKM_THREADS` default.
     pub fn new(index: IvfIndex, threads: Option<usize>) -> Self {
-        IvfBackend { index, threads }
+        IvfBackend {
+            index,
+            threads,
+            quantized: false,
+        }
+    }
+
+    /// Serves every batch from the SQ8 quantized tier (overfetch + exact
+    /// re-rank).  The wrapped index must be quantized — an unquantized one
+    /// would fail every batch with a typed error rather than crash, but the
+    /// server validates up front and refuses to start instead.
+    #[must_use]
+    pub fn quantized(mut self, quantized: bool) -> Self {
+        self.quantized = quantized;
+        self
     }
 
     /// The wrapped index.
@@ -132,7 +147,9 @@ impl SearchBackend for IvfBackend {
         r: usize,
         nprobe: usize,
     ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
-        let mut params = IvfSearchParams::default().nprobe(nprobe.max(1));
+        let mut params = IvfSearchParams::default()
+            .nprobe(nprobe.max(1))
+            .sq8(self.quantized);
         if let Some(t) = self.threads {
             params = params.threads(t);
         }
@@ -173,6 +190,7 @@ pub struct MutableIvfBackend {
     store: RwLock<MutableStore>,
     threads: Option<usize>,
     dim: usize,
+    quantized: bool,
 }
 
 impl MutableIvfBackend {
@@ -183,7 +201,18 @@ impl MutableIvfBackend {
             store: RwLock::new(store),
             threads,
             dim,
+            quantized: false,
         }
+    }
+
+    /// Serves every batch from the SQ8 quantized tier.  Hot-swap safe: the
+    /// store's quantized flag survives compaction (a quantized generation
+    /// re-quantizes its successor from the live `f32` set under the write
+    /// lock), so a reader never observes a generation the mode cannot serve.
+    #[must_use]
+    pub fn quantized(mut self, quantized: bool) -> Self {
+        self.quantized = quantized;
+        self
     }
 
     /// Runs `f` over the store under the read lock (stats endpoints, drain
@@ -213,7 +242,9 @@ impl SearchBackend for MutableIvfBackend {
         r: usize,
         nprobe: usize,
     ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
-        let mut params = IvfSearchParams::default().nprobe(nprobe.max(1));
+        let mut params = IvfSearchParams::default()
+            .nprobe(nprobe.max(1))
+            .sq8(self.quantized);
         if let Some(t) = self.threads {
             params = params.threads(t);
         }

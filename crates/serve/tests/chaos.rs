@@ -113,6 +113,43 @@ fn served_results_match_direct_search_bit_for_bit() {
     server.shutdown();
 }
 
+/// A quantized backend serves the SQ8 overfetch + re-rank path end to end;
+/// the served neighbours are bit-identical to the direct quantized search.
+#[test]
+fn quantized_serving_matches_direct_sq8_search() {
+    let (_, mut index) = fixture_index(256, 8, 42);
+    index.quantize();
+    let backend = IvfBackend::new(index.clone(), Some(2)).quantized(true);
+    let server = Server::start(Arc::new(backend), quick_config()).unwrap();
+    let queries = fixture_index(32, 4, 7).0;
+    let mut client = Client::connect(server.local_addr(), Duration::from_secs(5)).unwrap();
+
+    let req = request(21, &queries, 0, 32);
+    let got = client.search(&req).unwrap();
+    let params = IvfSearchParams::default().nprobe(4).threads(1).sq8(true);
+    let want = index.batch_search(&queries, 5, params);
+    assert_eq!(
+        got, want,
+        "served quantized neighbours must equal the direct sq8 search"
+    );
+
+    let mut server = server;
+    server.shutdown();
+}
+
+/// Quantized mode over an index with no SQ8 tier fails the batch with a
+/// typed error — the backend stays serviceable, nothing unwinds.
+#[test]
+fn quantized_mode_on_unquantized_index_is_a_typed_error() {
+    let (_, index) = fixture_index(64, 4, 9);
+    let backend = IvfBackend::new(index, Some(1)).quantized(true);
+    let queries = fixture_index(4, 2, 5).0;
+    assert!(matches!(
+        backend.search_batch(&queries, 3, 2).unwrap_err(),
+        vecstore::Error::InvalidParameter(_)
+    ));
+}
+
 /// Mid-frame disconnects must not wedge or crash the server, and must not
 /// affect other connections.
 #[test]

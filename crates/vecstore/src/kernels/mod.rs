@@ -84,6 +84,11 @@ pub struct DotNorms {
     pub norm_b_sq: f32,
 }
 
+/// Signature of the asymmetric SQ8 one-to-many kernel:
+/// `(adjusted_query, scales, codes, out)` — see
+/// [`Kernels::l2_sq_sq8_one_to_many`] for the full contract.
+pub type Sq8OneToManyFn = fn(&[f32], &[f32], &[u8], &mut [f32]);
+
 /// A dispatch table of distance kernels for one instruction-set level.
 ///
 /// Pairwise entries take two equal-length slices (callers guarantee the
@@ -107,6 +112,12 @@ pub struct Kernels {
     /// Squared Euclidean distances from one query to a contiguous block of
     /// rows.
     pub l2_sq_one_to_many: fn(&[f32], &[f32], &mut [f32]),
+    /// Asymmetric SQ8 squared distances from one adjusted query to a
+    /// contiguous block of `u8` code rows: `(aq, scales, codes, out)` with
+    /// `out[r] = Σ_i (aq[i] − scales[i] · codes[r·d + i])²`.  The `u8` codes
+    /// widen to `f32` lane-by-lane inside the kernel, so the de-quantised row
+    /// is never materialised and the memory stream is one byte per value.
+    pub l2_sq_sq8_one_to_many: Sq8OneToManyFn,
     /// Dot products from one query to a contiguous block of rows.
     pub dot_one_to_many: fn(&[f32], &[f32], &mut [f32]),
     /// Register-blocked, cache-tiled `m × k` tile of squared Euclidean
@@ -224,6 +235,40 @@ pub fn dot_one_to_many(x: &[f32], rows: &[f32], out: &mut [f32]) {
         x.len()
     );
     (active().dot_one_to_many)(x, rows, out);
+}
+
+/// Asymmetric SQ8 squared distances from the adjusted query `aq` (the query
+/// with the quantizer's per-dimension minimums already subtracted) to every
+/// `u8` code row of `codes`, written into `out` (one value per row):
+/// `out[r] = Σ_i (aq[i] − scales[i] · codes[r·d + i])²` where `d = aq.len()`.
+///
+/// This is the approximate-scan primitive of the quantized serving tier: the
+/// de-quantised value `min[i] + scales[i]·code` appears only through the
+/// algebraic rewrite `(q[i] − min[i]) − scales[i]·code`, so the panel stream
+/// is one byte per value — 4× less memory traffic than the `f32` scan.
+///
+/// # Panics
+///
+/// Panics when `codes.len() != aq.len() * out.len()` or
+/// `scales.len() != aq.len()`.
+#[inline]
+pub fn l2_sq_sq8_one_to_many(aq: &[f32], scales: &[f32], codes: &[u8], out: &mut [f32]) {
+    assert_eq!(
+        codes.len(),
+        aq.len() * out.len(),
+        "block shape mismatch: {} codes is not {} rows of dim {}",
+        codes.len(),
+        out.len(),
+        aq.len()
+    );
+    assert_eq!(
+        scales.len(),
+        aq.len(),
+        "scale vector length {} does not match the query dimensionality {}",
+        scales.len(),
+        aq.len()
+    );
+    (active().l2_sq_sq8_one_to_many)(aq, scales, codes, out);
 }
 
 /// Cache lines of the *next* gathered row to request ahead of time.  Four
@@ -1235,5 +1280,37 @@ mod tests {
         let mut out = vec![9.0f32; 4];
         l2_sq_one_to_many(&[], &[], &mut out);
         assert_eq!(out, vec![0.0; 4]);
+        let mut out = vec![9.0f32; 4];
+        l2_sq_sq8_one_to_many(&[], &[], &[], &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn sq8_one_to_many_matches_dequantised_reference() {
+        let dim = 19;
+        let n = 6;
+        let (x, _) = vectors(dim);
+        let scales: Vec<f32> = (0..dim)
+            .map(|i| 0.01 + (i as f32 * 0.29).sin().abs())
+            .collect();
+        let codes: Vec<u8> = (0..n * dim).map(|i| (i * 37 % 256) as u8).collect();
+        let mut out = vec![0.0f32; n];
+        l2_sq_sq8_one_to_many(&x, &scales, &codes, &mut out);
+        for (r, &got) in out.iter().enumerate() {
+            let deq: Vec<f32> = codes[r * dim..(r + 1) * dim]
+                .iter()
+                .zip(&scales)
+                .map(|(&c, &s)| s * f32::from(c))
+                .collect();
+            let expect = l2_sq_reference(&x, &deq);
+            assert!((got - expect).abs() <= 1e-3 * expect.max(1.0), "row {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block shape mismatch")]
+    fn sq8_shape_mismatch_panics() {
+        let mut out = vec![0.0f32; 2];
+        l2_sq_sq8_one_to_many(&[1.0, 2.0], &[1.0, 1.0], &[0u8; 5], &mut out);
     }
 }

@@ -13,8 +13,9 @@
 #![allow(unsafe_code)]
 
 use core::arch::aarch64::{
-    vaddq_f32, vaddq_f64, vaddvq_f32, vaddvq_f64, vcvt_f64_f32, vdupq_n_f32, vdupq_n_f64,
-    vfmaq_f32, vfmaq_f64, vget_high_f32, vget_low_f32, vld1q_f32, vld1q_f64, vst1q_f64, vsubq_f32,
+    vaddq_f32, vaddq_f64, vaddvq_f32, vaddvq_f64, vcvt_f64_f32, vcvtq_f32_u32, vdupq_n_f32,
+    vdupq_n_f64, vfmaq_f32, vfmaq_f64, vfmsq_f32, vget_high_f32, vget_high_u16, vget_low_f32,
+    vget_low_u16, vld1_u8, vld1q_f32, vld1q_f64, vmovl_u16, vmovl_u8, vst1q_f64, vsubq_f32,
 };
 
 use super::{DotNorms, Kernels};
@@ -160,6 +161,45 @@ unsafe fn dot_one_to_many_body(x: &[f32], rows: &[f32], out: &mut [f32]) {
     }
     for (slot, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
         *slot = dot_body(x, row);
+    }
+}
+
+/// Asymmetric SQ8 distances: eight `u8` codes per step widen through
+/// `vmovl_u8` → `vmovl_u16` → `vcvtq_f32_u32` into two 4-lane registers, the
+/// difference `aq − scale·code` comes out of fused multiply-subtract, and the
+/// square accumulates through FMA — one byte of memory traffic per value with
+/// full-width `f32` arithmetic.
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_sq8_one_to_many_body(aq: &[f32], scales: &[f32], codes: &[u8], out: &mut [f32]) {
+    let d = aq.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let pq = aq.as_ptr();
+    let ps = scales.as_ptr();
+    for (slot, row) in out.iter_mut().zip(codes.chunks_exact(d)) {
+        let pc = row.as_ptr();
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 8 <= d {
+            let w = vmovl_u8(vld1_u8(pc.add(i)));
+            let c_lo = vcvtq_f32_u32(vmovl_u16(vget_low_u16(w)));
+            let c_hi = vcvtq_f32_u32(vmovl_u16(vget_high_u16(w)));
+            let d_lo = vfmsq_f32(vld1q_f32(pq.add(i)), vld1q_f32(ps.add(i)), c_lo);
+            let d_hi = vfmsq_f32(vld1q_f32(pq.add(i + 4)), vld1q_f32(ps.add(i + 4)), c_hi);
+            acc0 = vfmaq_f32(acc0, d_lo, d_lo);
+            acc1 = vfmaq_f32(acc1, d_hi, d_hi);
+            i += 8;
+        }
+        let mut total = vaddvq_f32(vaddq_f32(acc0, acc1));
+        while i < d {
+            let df = *pq.add(i) - *ps.add(i) * f32::from(*pc.add(i));
+            total += df * df;
+            i += 1;
+        }
+        *slot = total;
     }
 }
 
@@ -498,6 +538,10 @@ fn l2_sq_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
     unsafe { l2_sq_one_to_many_body(x, rows, out) }
 }
 
+fn l2_sq_sq8_one_to_many_entry(aq: &[f32], scales: &[f32], codes: &[u8], out: &mut [f32]) {
+    unsafe { l2_sq_sq8_one_to_many_body(aq, scales, codes, out) }
+}
+
 fn dot_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
     unsafe { dot_one_to_many_body(x, rows, out) }
 }
@@ -522,6 +566,7 @@ pub static KERNELS: Kernels = Kernels {
     dot_f64_f32: dot_f64_f32_entry,
     fused_dot_norms: fused_dot_norms_entry,
     l2_sq_one_to_many: l2_sq_one_to_many_entry,
+    l2_sq_sq8_one_to_many: l2_sq_sq8_one_to_many_entry,
     dot_one_to_many: dot_one_to_many_entry,
     l2_sq_many_to_many: l2_sq_many_to_many_entry,
     dot_many_to_many: dot_many_to_many_entry,

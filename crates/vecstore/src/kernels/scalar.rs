@@ -114,6 +114,41 @@ pub fn l2_sq_one_to_many(x: &[f32], rows: &[f32], out: &mut [f32]) {
     }
 }
 
+/// Asymmetric SQ8 squared distances: `out[r] = Σ_i (aq[i] − scales[i] ·
+/// codes[r·d + i])²` with `d = aq.len()`, 4-way unrolled.  This is the ground
+/// truth the SIMD SQ8 levels are tested against.
+pub fn l2_sq_sq8_one_to_many(aq: &[f32], scales: &[f32], codes: &[u8], out: &mut [f32]) {
+    let d = aq.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (slot, row) in out.iter_mut().zip(codes.chunks_exact(d)) {
+        let chunks = d / 4;
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        for i in 0..chunks {
+            let j = i * 4;
+            let d0 = aq[j] - scales[j] * f32::from(row[j]);
+            let d1 = aq[j + 1] - scales[j + 1] * f32::from(row[j + 1]);
+            let d2 = aq[j + 2] - scales[j + 2] * f32::from(row[j + 2]);
+            let d3 = aq[j + 3] - scales[j + 3] * f32::from(row[j + 3]);
+            acc0 += d0 * d0;
+            acc1 += d1 * d1;
+            acc2 += d2 * d2;
+            acc3 += d3 * d3;
+        }
+        let mut acc = (acc0 + acc1) + (acc2 + acc3);
+        for j in chunks * 4..d {
+            let df = aq[j] - scales[j] * f32::from(row[j]);
+            acc += df * df;
+        }
+        *slot = acc;
+    }
+}
+
 /// Batched dot products from `x` to every row of `rows`.
 pub fn dot_one_to_many(x: &[f32], rows: &[f32], out: &mut [f32]) {
     let d = x.len();
@@ -179,6 +214,7 @@ pub static KERNELS: Kernels = Kernels {
     dot_f64_f32,
     fused_dot_norms,
     l2_sq_one_to_many,
+    l2_sq_sq8_one_to_many,
     dot_one_to_many,
     l2_sq_many_to_many,
     dot_many_to_many,

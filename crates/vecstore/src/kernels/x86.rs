@@ -15,10 +15,11 @@
 #![allow(unsafe_code)]
 
 use core::arch::x86_64::{
-    __m256, _mm256_add_pd, _mm256_add_ps, _mm256_castps256_ps128, _mm256_cvtps_pd,
-    _mm256_extractf128_ps, _mm256_fmadd_pd, _mm256_fmadd_ps, _mm256_loadu_pd, _mm256_loadu_ps,
-    _mm256_setzero_pd, _mm256_setzero_ps, _mm256_storeu_pd, _mm256_sub_ps, _mm_add_ps, _mm_add_ss,
-    _mm_cvtss_f32, _mm_loadu_ps, _mm_movehdup_ps, _mm_movehl_ps,
+    __m256, _mm256_add_pd, _mm256_add_ps, _mm256_castps256_ps128, _mm256_cvtepi32_ps,
+    _mm256_cvtepu8_epi32, _mm256_cvtps_pd, _mm256_extractf128_ps, _mm256_fmadd_pd, _mm256_fmadd_ps,
+    _mm256_fnmadd_ps, _mm256_loadu_pd, _mm256_loadu_ps, _mm256_setzero_pd, _mm256_setzero_ps,
+    _mm256_storeu_pd, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32, _mm_loadu_ps,
+    _mm_loadu_si64, _mm_movehdup_ps, _mm_movehl_ps,
 };
 
 use super::{DotNorms, Kernels};
@@ -232,6 +233,54 @@ unsafe fn dot_one_to_many_body(x: &[f32], rows: &[f32], out: &mut [f32]) {
     }
     for (slot, row) in out.iter_mut().zip(rows.chunks_exact(d)) {
         *slot = dot_body(x, row);
+    }
+}
+
+/// Asymmetric SQ8 distances: eight `u8` codes per step widen through
+/// `cvtepu8_epi32` → `cvtepi32_ps` into an 8-lane register, the difference
+/// `aq − scale·code` comes out of one fused negated multiply-add, and the
+/// square accumulates through FMA — so the per-value memory traffic is one
+/// byte while the arithmetic stays full-width `f32`.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn l2_sq_sq8_one_to_many_body(aq: &[f32], scales: &[f32], codes: &[u8], out: &mut [f32]) {
+    let d = aq.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let pq = aq.as_ptr();
+    let ps = scales.as_ptr();
+    for (slot, row) in out.iter_mut().zip(codes.chunks_exact(d)) {
+        let pc = row.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= d {
+            let c0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadu_si64(pc.add(i))));
+            let c1 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadu_si64(pc.add(i + 8))));
+            let d0 = _mm256_fnmadd_ps(_mm256_loadu_ps(ps.add(i)), c0, _mm256_loadu_ps(pq.add(i)));
+            let d1 = _mm256_fnmadd_ps(
+                _mm256_loadu_ps(ps.add(i + 8)),
+                c1,
+                _mm256_loadu_ps(pq.add(i + 8)),
+            );
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        while i + 8 <= d {
+            let cv = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadu_si64(pc.add(i))));
+            let dv = _mm256_fnmadd_ps(_mm256_loadu_ps(ps.add(i)), cv, _mm256_loadu_ps(pq.add(i)));
+            acc0 = _mm256_fmadd_ps(dv, dv, acc0);
+            i += 8;
+        }
+        let mut total = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < d {
+            let df = *pq.add(i) - *ps.add(i) * f32::from(*pc.add(i));
+            total += df * df;
+            i += 1;
+        }
+        *slot = total;
     }
 }
 
@@ -551,6 +600,10 @@ fn l2_sq_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
     unsafe { l2_sq_one_to_many_body(x, rows, out) }
 }
 
+fn l2_sq_sq8_one_to_many_entry(aq: &[f32], scales: &[f32], codes: &[u8], out: &mut [f32]) {
+    unsafe { l2_sq_sq8_one_to_many_body(aq, scales, codes, out) }
+}
+
 fn dot_one_to_many_entry(x: &[f32], rows: &[f32], out: &mut [f32]) {
     unsafe { dot_one_to_many_body(x, rows, out) }
 }
@@ -601,6 +654,7 @@ pub static KERNELS: Kernels = Kernels {
     dot_f64_f32: dot_f64_f32_entry,
     fused_dot_norms: fused_dot_norms_entry,
     l2_sq_one_to_many: l2_sq_one_to_many_entry,
+    l2_sq_sq8_one_to_many: l2_sq_sq8_one_to_many_entry,
     dot_one_to_many: dot_one_to_many_entry,
     l2_sq_many_to_many: l2_sq_many_to_many_entry,
     dot_many_to_many: dot_many_to_many_entry,
