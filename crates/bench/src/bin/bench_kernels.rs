@@ -62,6 +62,10 @@
 //!   shed/deadline paths are exercised, and reports the answered-request
 //!   accounting (every sent request must come back with exactly one typed
 //!   response — the CI gate) plus the p99 over everything answered;
+//! * `obs_overhead` in the JSON — the same closed-loop workload against a
+//!   metrics-disabled server and a fully metered one (registry counters,
+//!   per-stage histograms, slow-query ring), in interleaved A/B rounds; the
+//!   CI gate holds the enabled p50 at ≤ 1.05× the disabled p50;
 //!
 //! plus the durability tier:
 //!
@@ -902,6 +906,109 @@ fn main() {
         )
     };
 
+    // Observability overhead: the identical closed-loop workload against a
+    // metrics-disabled server and a metrics-enabled one (registry + per-stage
+    // histograms + slow-query ring all live), in interleaved A/B rounds so
+    // thermal drift and scheduler noise hit both variants equally.  The CI
+    // gate holds the enabled p50 at ≤ 1.05× the disabled p50: an event is
+    // one relaxed atomic, so instrumentation must stay in the noise.
+    let obs_overhead_json = {
+        use obs::ObsHandle;
+        use serve::batcher::{BatcherConfig, IvfBackend};
+        use serve::client::Client;
+        use serve::protocol::SearchRequest;
+        use serve::server::{Server, ServerConfig};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        const ROUNDS: usize = 4; // interleaved rounds per variant
+        const CLIENTS: usize = 2;
+        const REQUESTS: usize = 60; // per client per round
+        const QPR: usize = 8; // queries per request
+
+        let data = VectorSet::from_flat(test_block(IVF_N, IVF_D, 0.7), IVF_D).expect("whole rows");
+        let centroids =
+            VectorSet::from_flat(test_block(IVF_K, IVF_D, 9.1), IVF_D).expect("whole rows");
+        let labels: Vec<usize> = (0..IVF_N).map(|i| i % IVF_K).collect();
+        let index = IvfIndex::build(&data, &centroids, &labels).expect("well-formed inputs");
+        let query_flat: Arc<Vec<f32>> = Arc::new(test_block(IVF_QUERIES, IVF_D, 4.3));
+
+        let run_round = |obs: &ObsHandle| -> Vec<f64> {
+            let mut server = Server::start_obs(
+                Arc::new(IvfBackend::new(index.clone(), Some(epoch_threads))),
+                ServerConfig {
+                    batcher: BatcherConfig {
+                        max_delay: Duration::from_millis(1),
+                        ..BatcherConfig::default()
+                    },
+                    ..ServerConfig::default()
+                },
+                obs,
+            )
+            .expect("bind the overhead server");
+            let addr = server.local_addr();
+            let clients: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let flat = Arc::clone(&query_flat);
+                    std::thread::spawn(move || {
+                        let mut client =
+                            Client::connect(addr, Duration::from_secs(10)).expect("connect");
+                        let mut latencies_ms = Vec::with_capacity(REQUESTS);
+                        for i in 0..REQUESTS {
+                            let off = ((c * REQUESTS + i) * QPR) % (IVF_QUERIES - QPR);
+                            let req = SearchRequest {
+                                id: (c * REQUESTS + i + 1) as u64,
+                                deadline_ms: 0,
+                                r: IVF_R as u16,
+                                nprobe: IVF_NPROBE as u16,
+                                dim: IVF_D as u32,
+                                queries: flat[off * IVF_D..(off + QPR) * IVF_D].to_vec(),
+                            };
+                            let sent = Instant::now();
+                            client.search(&req).expect("overhead search");
+                            latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                        }
+                        latencies_ms
+                    })
+                })
+                .collect();
+            let latencies: Vec<f64> = clients
+                .into_iter()
+                .flat_map(|h| h.join().expect("overhead client"))
+                .collect();
+            server.shutdown();
+            latencies
+        };
+
+        let mut plain: Vec<f64> = Vec::new();
+        let mut metered: Vec<f64> = Vec::new();
+        for _ in 0..ROUNDS {
+            plain.extend(run_round(&ObsHandle::disabled()));
+            metered.extend(run_round(&ObsHandle::enabled()));
+        }
+        plain.sort_by(f64::total_cmp);
+        metered.sort_by(f64::total_cmp);
+        let pct = |sorted: &[f64], p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+        let plain_p50 = pct(&plain, 0.50);
+        let metered_p50 = pct(&metered, 0.50);
+        let plain_p99 = pct(&plain, 0.99);
+        let metered_p99 = pct(&metered, 0.99);
+        let p50_ratio = metered_p50 / plain_p50.max(1e-12);
+
+        println!(
+            "obs_overhead           closed {CLIENTS} clients x {REQUESTS} reqs x {ROUNDS} rounds: \
+             disabled p50 {plain_p50:.3} ms / p99 {plain_p99:.3} ms, enabled p50 \
+             {metered_p50:.3} ms / p99 {metered_p99:.3} ms ({p50_ratio:.3}x)"
+        );
+        format!(
+            "  \"obs_overhead\": {{\"rounds\": {ROUNDS}, \"clients\": {CLIENTS}, \
+             \"requests_per_round\": {REQUESTS}, \"queries_per_request\": {QPR}, \
+             \"disabled_p50_ms\": {plain_p50:.4}, \"enabled_p50_ms\": {metered_p50:.4}, \
+             \"disabled_p99_ms\": {plain_p99:.4}, \"enabled_p99_ms\": {metered_p99:.4}, \
+             \"p50_ratio\": {p50_ratio:.4}}},\n"
+        )
+    };
+
     // Durable-container load throughput: the checksummed GKSC v2 read path
     // vs a legacy unchecksummed v1 image of the same index.  The CI gate
     // holds v2 at ≥ 0.8× the v1 throughput: the CRC pass must stay in the
@@ -1138,6 +1245,7 @@ fn main() {
     json.push_str(&ivf_search_json);
     json.push_str(&ivf_search_sq8_json);
     json.push_str(&serve_latency_json);
+    json.push_str(&obs_overhead_json);
     json.push_str(&gksc_load_json);
     json.push_str(&mutate_throughput_json);
     json.push_str(&wal_replay_json);

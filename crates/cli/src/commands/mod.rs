@@ -8,6 +8,7 @@ pub mod info;
 pub mod query;
 pub mod search;
 pub mod serve;
+pub mod stats;
 
 use datagen::PaperDataset;
 

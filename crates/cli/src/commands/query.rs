@@ -9,6 +9,8 @@
 
 use std::time::Duration;
 
+use obs::trace::next_trace_id;
+use obs::StageTimings;
 use serve::client::{retry_search, Client, ClientError, RetryPolicy, ThreadSleeper};
 use serve::protocol::{SearchRequest, MAX_QUERIES_PER_REQUEST};
 use vecstore::io::read_fvecs;
@@ -26,6 +28,9 @@ query --addr <host:port> --queries <queries.fvecs>
                                   OVERLOADED sheds and transport failures
                                   are retried, with jittered backoff)
       [--timeout-ms <ms>]         (connect/read/write timeout, default 5000)
+      [--trace]                   (mint a trace id per request and report the
+                                  server-side stage timings: queue wait, IVF
+                                  route / scan / re-rank, total residence)
       [--json]                    (machine-readable results)
       [--ping]                    (liveness round-trip instead of searching)
       [--shutdown]                (ask the server to drain and exit)
@@ -33,7 +38,7 @@ Sends query batches to a running `gkm-cli serve` over the GKSQ protocol.";
 
 /// Classifies a [`ClientError`]: transport → i/o (3), undecodable bytes →
 /// corruption (4), typed server rejections and id mismatches → internal (5).
-fn classify(context: &str, e: ClientError) -> CliError {
+pub(crate) fn classify(context: &str, e: ClientError) -> CliError {
     let msg = format!("{context}: {e}");
     match e {
         ClientError::Io(_) => CliError::Io(msg),
@@ -53,6 +58,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let deadline_ms = args.u64_or("deadline-ms", 0)?;
     let retries = args.usize_or("retries", 4)?;
     let timeout_ms = args.u64_or("timeout-ms", 5000)?;
+    let trace = args.flag("trace");
     let json = args.flag("json");
     args.finish()?;
 
@@ -113,6 +119,9 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let dim = queries.dim();
     let flat = queries.as_flat();
     let mut results = Vec::with_capacity(queries.len());
+    // One entry per request when --trace is given: (trace id, batch size,
+    // server-side stage timings).
+    let mut traces: Vec<(u64, usize, StageTimings)> = Vec::new();
     let mut requests = 0u64;
     let start = std::time::Instant::now();
     let mut offset = 0usize;
@@ -127,14 +136,21 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             dim: dim as u32,
             queries: flat[offset * dim..(offset + take) * dim].to_vec(),
         };
-        let chunk = retry_search(&policy, &mut sleeper, |_attempt| {
+        let trace_id = if trace { next_trace_id() } else { 0 };
+        let (chunk, timings) = retry_search(&policy, &mut sleeper, |_attempt| {
             if client.is_none() {
                 client = Some(Client::connect(addr.as_str(), timeout)?);
             }
             let connected = client.as_mut().ok_or_else(|| {
                 ClientError::Io(std::io::Error::other("client unexpectedly missing"))
             })?;
-            let out = connected.search(&req);
+            let out = if trace {
+                connected
+                    .search_traced(trace_id, &req)
+                    .map(|(chunk, timings)| (chunk, Some(timings)))
+            } else {
+                connected.search(&req).map(|chunk| (chunk, None))
+            };
             if matches!(out, Err(ClientError::Io(_) | ClientError::Wire(_))) {
                 client = None; // broken stream: reconnect on the next attempt
             }
@@ -142,6 +158,9 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         })
         .map_err(|e| classify(&format!("search against {addr} failed"), e))?;
         results.extend(chunk);
+        if let Some(timings) = timings {
+            traces.push((trace_id, take, timings));
+        }
         offset += take;
     }
     let elapsed = start.elapsed().as_secs_f64();
@@ -156,6 +175,20 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "deadline_ms": deadline_ms,
             "elapsed_s": elapsed,
             "qps": queries.len() as f64 / elapsed.max(1e-12),
+            "traces": traces
+                .iter()
+                .map(|(id, batch, t)| {
+                    serde_json::json!({
+                        "trace_id": format!("{id:016x}"),
+                        "queries": *batch as u64,
+                        "queue_wait_nanos": t.queue_wait_nanos,
+                        "route_nanos": t.route_nanos,
+                        "scan_nanos": t.scan_nanos,
+                        "rerank_nanos": t.rerank_nanos,
+                        "total_nanos": t.total_nanos,
+                    })
+                })
+                .collect::<Vec<_>>(),
             "results": results
                 .iter()
                 .map(|neighbours| {
@@ -174,6 +207,18 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                 .map(|n| format!("{}:{:.4}", n.id, n.dist))
                 .collect();
             println!("query {q}: {}", line.join(" "));
+        }
+        for (id, batch, t) in &traces {
+            let us = |n: u64| n as f64 / 1000.0;
+            println!(
+                "trace {id:016x}: {batch} queries, queue {:.1}us + route {:.1}us + \
+                 scan {:.1}us + rerank {:.1}us, total {:.1}us",
+                us(t.queue_wait_nanos),
+                us(t.route_nanos),
+                us(t.scan_nanos),
+                us(t.rerank_nanos),
+                us(t.total_nanos),
+            );
         }
         println!(
             "{} queries in {requests} request(s), r = {r}, nprobe = {nprobe}: {:.3} ms/query, {:.0} qps",

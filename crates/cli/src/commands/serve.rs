@@ -13,7 +13,9 @@ use std::time::Duration;
 
 use ivf::store::wal_path;
 use ivf::{IvfIndex, MutableStore};
+use obs::ObsHandle;
 use serve::batcher::{BatcherConfig, IvfBackend, MutableIvfBackend};
+use serve::metrics::MetricsServer;
 use serve::server::{Server, ServerConfig, StopReason};
 use serve::signal;
 use serve::MutableBackend;
@@ -41,12 +43,19 @@ serve --index <index.ivf> [--addr <host:port>]   (default 127.0.0.1:0 —
                                   panels, re-rank survivors exactly; the
                                   index must carry an SQ8 tier — build with
                                   `index build --sq8`)
+      [--metrics-addr <host:port>] (additionally serve the metrics registry
+                                  as Prometheus text over plain HTTP at
+                                  /metrics, and as JSON at /json)
+      [--slow-ms <ms>]            (slow-query ring threshold, default 25;
+                                  queries at or above it are retained with
+                                  their stage timings for `gkm-cli stats`)
       [--port-file <path>]        (write the bound port for scripts/tests)
 Serves batched ANN queries over TCP (GKSQ protocol) until SIGINT/SIGTERM or a
 client Shutdown frame, then drains gracefully: every admitted request is
 answered before the process exits.  In mutable mode every acknowledged
 mutation is journalled and fsynced before it is applied, so a crash loses
-nothing that was acked.";
+nothing that was acked.  Observability is always on: a running server
+answers `gkm-cli stats` and traced `gkm-cli query --trace` requests.";
 
 /// How often the serve loop polls the signal latch and the server state.
 const POLL_TICK: Duration = Duration::from_millis(50);
@@ -63,9 +72,17 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let max_connections = args.usize_or("max-conns", 256)?;
     let threads = args.threads_opt()?;
     let port_file = args.optional("port-file");
+    let metrics_addr = args.optional("metrics-addr");
+    let slow_ms = args.u64_or("slow-ms", 25)?;
     let mutable = args.flag("mutable");
     let sq8 = args.flag("sq8");
     args.finish()?;
+
+    // Observability is always on for the CLI server: the overhead is one
+    // relaxed atomic per event (gated in CI at ≤ 5% on serve latency), and
+    // in exchange `stats`, `query --trace` and `--metrics-addr` all just
+    // work against any `gkm-cli serve`.
+    let obs = ObsHandle::with_slow_threshold(slow_ms.saturating_mul(1_000_000));
 
     let config = ServerConfig {
         addr: addr.clone(),
@@ -121,7 +138,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         );
         let backend: Arc<dyn MutableBackend> =
             Arc::new(MutableIvfBackend::new(store, threads).quantized(sq8));
-        Server::start_mutable(backend, config)
+        Server::start_mutable_obs(backend, config, &obs)
     } else {
         let index = IvfIndex::load(&index_path)
             .map_err(|e| CliError::store(format!("cannot read {index_path}"), e))?;
@@ -138,12 +155,23 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             index.nlist(),
             if sq8 { " (sq8 serving tier)" } else { "" }
         );
-        Server::start(
+        Server::start_obs(
             Arc::new(IvfBackend::new(index, threads).quantized(sq8)),
             config,
+            &obs,
         )
     }
     .map_err(|e| CliError::io(format!("cannot bind {addr}"), e))?;
+
+    let mut metrics = match &metrics_addr {
+        Some(maddr) => {
+            let m = MetricsServer::start(maddr, obs.clone())
+                .map_err(|e| CliError::io(format!("cannot bind metrics listener {maddr}"), e))?;
+            println!("metrics on http://{}/metrics", m.local_addr());
+            Some(m)
+        }
+        None => None,
+    };
 
     signal::install();
     let bound = server.local_addr();
@@ -185,5 +213,8 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         stats.connections_refused,
         stats.protocol_errors,
     );
+    if let Some(m) = metrics.as_mut() {
+        m.shutdown();
+    }
     Ok(())
 }

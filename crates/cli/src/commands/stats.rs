@@ -1,0 +1,62 @@
+//! `stats` — fetch a running server's metrics snapshot over the GKSQ Stats
+//! frame.
+//!
+//! The snapshot is rendered server-side from the same registry that backs the
+//! drain summary and the optional `--metrics-addr` HTTP listener, so all
+//! three surfaces always agree.  Three formats are offered: a human-readable
+//! table (default), JSON (`--json`, includes the slow-query ring) and the
+//! Prometheus text exposition (`--prometheus`, byte-identical to an HTTP
+//! scrape of `/metrics`).
+
+use std::time::Duration;
+
+use serve::client::Client;
+use serve::protocol::StatsFormat;
+
+use crate::args::Args;
+use crate::commands::query::classify;
+use crate::error::CliError;
+
+/// Usage text for `stats`.
+pub const USAGE: &str = "\
+stats --addr <host:port>
+      [--json]                    (registry snapshot + slow-query ring as JSON)
+      [--prometheus]              (Prometheus text exposition, identical to an
+                                  HTTP scrape of the server's /metrics)
+      [--timeout-ms <ms>]         (connect/read/write timeout, default 5000)
+Fetches a running `gkm-cli serve`'s metrics snapshot: counters, gauges and
+per-stage latency histograms (queue wait, IVF route/scan/re-rank, WAL fsync),
+plus the slow-query trace ring.  Default output is a human-readable table.";
+
+/// Runs `stats`.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("addr")?;
+    let json = args.flag("json");
+    let prometheus = args.flag("prometheus");
+    let timeout_ms = args.u64_or("timeout-ms", 5000)?;
+    args.finish()?;
+
+    if json && prometheus {
+        return Err(CliError::Usage(
+            "--json and --prometheus are mutually exclusive".into(),
+        ));
+    }
+    let format = if json {
+        StatsFormat::Json
+    } else if prometheus {
+        StatsFormat::Prometheus
+    } else {
+        StatsFormat::Human
+    };
+
+    let mut client = Client::connect(addr.as_str(), Duration::from_millis(timeout_ms))
+        .map_err(|e| classify(&format!("cannot connect to {addr}"), e))?;
+    let text = client
+        .stats(format)
+        .map_err(|e| classify(&format!("stats request to {addr} failed"), e))?;
+    print!("{text}");
+    if !text.ends_with('\n') {
+        println!();
+    }
+    Ok(())
+}

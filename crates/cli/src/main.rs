@@ -11,6 +11,7 @@
 //! gkm-cli index compact --index index.ivf
 //! gkm-cli serve        --index index.ivf --addr 127.0.0.1:7171
 //! gkm-cli query        --addr 127.0.0.1:7171 --queries q.fvecs --r 10
+//! gkm-cli stats        --addr 127.0.0.1:7171 --json
 //! gkm-cli info         --base base.fvecs --graph graph.bin
 //! ```
 //!
@@ -41,6 +42,7 @@ Subcommands:
   index compact fold the mutation journal into the next clean checkpoint
   serve         run the dynamic-batching TCP query server over a saved index
   query         send query batches (or ping/shutdown) to a running server
+  stats         fetch a running server's metrics snapshot and slow-query ring
   info          inspect a dataset / graph file
   help          show this message or a subcommand's options
 
@@ -85,6 +87,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         },
         "serve" => commands::serve::run(&Args::parse(rest)?),
         "query" => commands::query::run(&Args::parse(rest)?),
+        "stats" => commands::stats::run(&Args::parse(rest)?),
         "info" => commands::info::run(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
@@ -101,6 +104,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
                 ),
                 Some("serve") => println!("{}", commands::serve::USAGE),
                 Some("query") => println!("{}", commands::query::USAGE),
+                Some("stats") => println!("{}", commands::stats::USAGE),
                 Some("info") => println!("{}", commands::info::USAGE),
                 _ => println!("{GLOBAL_USAGE}"),
             }
@@ -134,6 +138,7 @@ mod tests {
             "index",
             "serve",
             "query",
+            "stats",
             "info",
         ] {
             assert!(run(&["help".to_string(), sub.to_string()]).is_ok());

@@ -39,6 +39,13 @@ pub struct IvfSearchParams {
     /// covers every scanned candidate the re-ranked result is bit-identical
     /// to the exact `f32` search.
     pub overfetch: usize,
+    /// Measure per-stage wall-clock time (coarse routing vs list scan vs
+    /// re-rank) into [`IvfSearchStats`].  Pay-for-what-you-touch: when
+    /// `false` (the default) the search takes no clock readings at all;
+    /// when `true` it adds a handful of monotonic-clock reads per query.
+    /// Timing never influences results — the bit-identical-at-any-thread-
+    /// count guarantee holds with timings on or off.
+    pub timings: bool,
 }
 
 impl Default for IvfSearchParams {
@@ -48,6 +55,7 @@ impl Default for IvfSearchParams {
             threads: threads_from_env(),
             sq8: false,
             overfetch: 4,
+            timings: false,
         }
     }
 }
@@ -80,6 +88,13 @@ impl IvfSearchParams {
         self.overfetch = overfetch.max(1);
         self
     }
+
+    /// Enables or disables per-stage timing (see [`IvfSearchParams::timings`]).
+    #[must_use]
+    pub fn timings(mut self, timings: bool) -> Self {
+        self.timings = timings;
+        self
+    }
 }
 
 /// Aggregate cost counters of a (batch) search.
@@ -91,10 +106,58 @@ pub struct IvfSearchStats {
     pub distance_evals: u64,
     /// Bytes streamed from the vector panels and append regions: `4·d` per
     /// `f32` row scanned, `d` per SQ8 code row scanned plus `4·d` per
-    /// re-ranked survivor.  Coarse routing (centroid) traffic is excluded —
-    /// it is identical on both paths.  This is the counter the quantized
-    /// tier exists to shrink.
+    /// re-ranked survivor **wherever its exact row lives** — panel and
+    /// append-region survivors cost the same `4·d` exact-row read and are
+    /// counted identically (pinned by the instrumented-scan regression
+    /// test).  Coarse routing (centroid) traffic is excluded — it is
+    /// identical on both paths.  This is the counter the quantized tier
+    /// exists to shrink.
     pub panel_bytes: u64,
+    /// Wall-clock nanoseconds spent in coarse routing (centroid tile +
+    /// probe selection).  Zero unless [`IvfSearchParams::timings`] is set.
+    /// Under a threaded batch the per-block times sum, so this is CPU-ish
+    /// time, not elapsed time.
+    pub route_nanos: u64,
+    /// Wall-clock nanoseconds spent streaming inverted lists (f32 panels or
+    /// SQ8 codes, including append regions).  Zero unless timings are on.
+    pub scan_nanos: u64,
+    /// Wall-clock nanoseconds spent re-ranking SQ8 survivors exactly (zero
+    /// on the f32 path).  Zero unless timings are on.
+    pub rerank_nanos: u64,
+}
+
+impl IvfSearchStats {
+    /// Folds another stats record into this one (counters and stage times
+    /// add; used to merge per-block stats in block order).
+    pub fn merge(&mut self, other: &IvfSearchStats) {
+        self.distance_evals += other.distance_evals;
+        self.panel_bytes += other.panel_bytes;
+        self.route_nanos += other.route_nanos;
+        self.scan_nanos += other.scan_nanos;
+        self.rerank_nanos += other.rerank_nanos;
+    }
+}
+
+/// Starts a stage stopwatch when `enabled` (the disabled path takes no
+/// clock reading at all — the pay-for-what-you-touch contract).
+#[inline]
+fn tick(enabled: bool) -> Option<std::time::Instant> {
+    if enabled {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Adds the elapsed time since `t` into `slot` and re-arms the stopwatch,
+/// so consecutive laps partition one query's wall clock between stages.
+#[inline]
+fn lap(slot: &mut u64, t: &mut Option<std::time::Instant>) {
+    if let Some(prev) = t {
+        let now = std::time::Instant::now();
+        *slot += now.duration_since(*prev).as_nanos() as u64;
+        *t = Some(now);
+    }
 }
 
 /// Inserts into an ascending pool bounded to `cap` entries, ordered by
@@ -190,14 +253,8 @@ impl IvfIndex {
             "sq8 search requested on an unquantized index; call quantize() first"
         );
         let mut results = Vec::with_capacity(1);
-        let (evals, bytes) = self.search_block(query, r, params, &mut results);
-        (
-            results.pop().unwrap_or_default(),
-            IvfSearchStats {
-                distance_evals: evals,
-                panel_bytes: bytes,
-            },
-        )
+        let stats = self.search_block(query, r, params, &mut results);
+        (results.pop().unwrap_or_default(), stats)
     }
 
     /// Batched multi-probe search: every query row of `queries` is answered
@@ -305,10 +362,9 @@ impl IvfIndex {
         })?;
         let mut results = Vec::with_capacity(nq);
         let mut stats = IvfSearchStats::default();
-        for (block_results, (evals, bytes)) in per_block {
+        for (block_results, block_stats) in per_block {
             results.extend(block_results);
-            stats.distance_evals += evals;
-            stats.panel_bytes += bytes;
+            stats.merge(&block_stats);
         }
         Ok((results, stats))
     }
@@ -319,22 +375,24 @@ impl IvfIndex {
     /// directly into the top-`r` pool through the batched one-to-many
     /// kernel; on the SQ8 path through the asymmetric code kernel into a
     /// top-`(r · overfetch)` pool whose survivors are re-ranked exactly.
-    /// Appends one result vector per query to `results` and returns
-    /// `(distance evaluations, panel bytes streamed)`.
+    /// Appends one result vector per query to `results` and returns the
+    /// block's cost counters (plus stage times when
+    /// [`IvfSearchParams::timings`] is set).
     fn search_block(
         &self,
         qs: &[f32],
         r: usize,
         params: IvfSearchParams,
         results: &mut Vec<Vec<Neighbor>>,
-    ) -> (u64, u64) {
+    ) -> IvfSearchStats {
         let d = self.dim();
         let m = qs.len() / d;
         let k = self.nlist();
         let nprobe = self.effective_nprobe(params.nprobe);
+        let mut stats = IvfSearchStats::default();
         if r == 0 {
             results.extend(std::iter::repeat_with(Vec::new).take(m));
-            return (0, 0);
+            return stats;
         }
         let sq8 = if params.sq8 {
             match self.sq8.as_ref() {
@@ -350,10 +408,11 @@ impl IvfIndex {
         // Coarse routing: one register-blocked distance tile for the whole
         // block (for m = 1 this is bit-identical to the blocked form, so the
         // per-query loop and the batched API agree exactly).
+        let mut clock = tick(params.timings);
         let mut tile = vec![0.0f32; m * k];
         kernels::l2_sq_many_to_many(qs, self.centroids.as_flat(), d, &mut tile);
-        let mut evals = (m as u64) * (k as u64);
-        let mut bytes = 0u64;
+        lap(&mut stats.route_nanos, &mut clock);
+        stats.distance_evals += (m as u64) * (k as u64);
 
         let panel = self.panel.as_flat();
         // Tombstone filtering costs a bitmap probe per candidate; skip it
@@ -370,6 +429,7 @@ impl IvfIndex {
             for (c, &dist) in tile_row.iter().enumerate() {
                 insert_bounded(&mut probes, Neighbor::new(c as u32, dist), nprobe);
             }
+            lap(&mut stats.route_nanos, &mut clock);
 
             let query = &qs[q * d..(q + 1) * d];
             let mut pool: Vec<Neighbor> = Vec::with_capacity(r + 1);
@@ -394,8 +454,8 @@ impl IvfIndex {
                             &tier.codes[lo * d..hi * d],
                             &mut dists,
                         );
-                        evals += (hi - lo) as u64;
-                        bytes += ((hi - lo) * d) as u64;
+                        stats.distance_evals += (hi - lo) as u64;
+                        stats.panel_bytes += ((hi - lo) * d) as u64;
                         for (p, &dist) in (lo..hi).zip(&dists) {
                             let id = self.ids[p];
                             if filtering && !self.live.get(id) {
@@ -414,8 +474,8 @@ impl IvfIndex {
                         let codes = &tier.append_codes[c];
                         dists.resize(ap.ids.len(), 0.0);
                         kernels::l2_sq_sq8_one_to_many(&aq, scales, codes, &mut dists);
-                        evals += ap.ids.len() as u64;
-                        bytes += codes.len() as u64;
+                        stats.distance_evals += ap.ids.len() as u64;
+                        stats.panel_bytes += codes.len() as u64;
                         for (j, (&id, &dist)) in ap.ids.iter().zip(&dists).enumerate() {
                             if filtering && !self.live.get(id) {
                                 continue;
@@ -429,6 +489,7 @@ impl IvfIndex {
                         }
                     }
                 }
+                lap(&mut stats.scan_nanos, &mut clock);
                 // Exact stage: re-rank every survivor through the pairwise
                 // kernel — the same arithmetic the f32 scan applies per row,
                 // so at full overfetch the result is bit-identical to it.
@@ -444,8 +505,12 @@ impl IvfIndex {
                     let exact = vecstore::distance::l2_sq(query, row);
                     insert_bounded(&mut pool, Neighbor::new(cand.nb.id, exact), r);
                 }
-                evals += cands.len() as u64;
-                bytes += (cands.len() * d * 4) as u64;
+                // Every survivor costs one exact-row read, whether its f32
+                // row lives in the contiguous panel or an append region —
+                // both are d × 4 bytes.
+                stats.distance_evals += cands.len() as u64;
+                stats.panel_bytes += (cands.len() * d * 4) as u64;
+                lap(&mut stats.rerank_nanos, &mut clock);
             } else {
                 for probe in &probes {
                     let c = probe.id as usize;
@@ -453,8 +518,8 @@ impl IvfIndex {
                     if lo < hi {
                         dists.resize(hi - lo, 0.0);
                         kernels::l2_sq_one_to_many(query, &panel[lo * d..hi * d], &mut dists);
-                        evals += (hi - lo) as u64;
-                        bytes += ((hi - lo) * d * 4) as u64;
+                        stats.distance_evals += (hi - lo) as u64;
+                        stats.panel_bytes += ((hi - lo) * d * 4) as u64;
                         for (p, &dist) in (lo..hi).zip(&dists) {
                             let id = self.ids[p];
                             if filtering && !self.live.get(id) {
@@ -472,8 +537,8 @@ impl IvfIndex {
                     if !ap.ids.is_empty() {
                         dists.resize(ap.ids.len(), 0.0);
                         kernels::l2_sq_one_to_many(query, &ap.flat, &mut dists);
-                        evals += ap.ids.len() as u64;
-                        bytes += (ap.ids.len() * d * 4) as u64;
+                        stats.distance_evals += ap.ids.len() as u64;
+                        stats.panel_bytes += (ap.ids.len() * d * 4) as u64;
                         for (&id, &dist) in ap.ids.iter().zip(&dists) {
                             if filtering && !self.live.get(id) {
                                 continue;
@@ -482,10 +547,11 @@ impl IvfIndex {
                         }
                     }
                 }
+                lap(&mut stats.scan_nanos, &mut clock);
             }
             results.push(pool);
         }
-        (evals, bytes)
+        stats
     }
 }
 

@@ -38,10 +38,26 @@
 use std::ffi::OsString;
 use std::path::{Path, PathBuf};
 
-use vecstore::wal::{WalWriter, MAX_WAL_RECORD};
+use vecstore::wal::{WalObs, WalWriter, MAX_WAL_RECORD};
 use vecstore::{Error, Result, StoreError, VectorSet};
 
 use crate::index::IvfIndex;
+
+/// Store-level side-channel instruments (all-disabled until
+/// [`MutableStore::set_obs`]).
+#[derive(Clone, Default)]
+struct StoreObs {
+    compact_nanos: obs::HistogramHandle,
+    tombstoned: obs::GaugeHandle,
+    append_rows: obs::GaugeHandle,
+    live_rows: obs::GaugeHandle,
+}
+
+impl std::fmt::Debug for StoreObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StoreObs { .. }")
+    }
+}
 
 const OP_INSERT: u8 = 1;
 const OP_DELETE: u8 = 2;
@@ -172,6 +188,7 @@ pub struct MutableStore {
     index: IvfIndex,
     wal: WalWriter,
     index_path: PathBuf,
+    obs: StoreObs,
 }
 
 impl MutableStore {
@@ -191,6 +208,7 @@ impl MutableStore {
             index,
             wal,
             index_path,
+            obs: StoreObs::default(),
         })
     }
 
@@ -245,9 +263,44 @@ impl MutableStore {
                 index,
                 wal,
                 index_path,
+                obs: StoreObs::default(),
             },
             report,
         ))
+    }
+
+    /// Attaches observability instruments: WAL append/fsync latency and
+    /// journal depth (via [`vecstore::wal::WalObs`]), compaction duration,
+    /// and live/tombstone/append-region gauges.  A metrics side channel
+    /// only — mutation behaviour, journal bytes and sync points are
+    /// identical with or without it.
+    pub fn set_obs(&mut self, handle: &obs::ObsHandle) {
+        self.wal.set_obs(WalObs::register(handle));
+        self.obs = StoreObs {
+            compact_nanos: handle.histogram(
+                "compaction_nanos",
+                "Duration of one checkpointed compaction (rebuild + publish + truncate)",
+            ),
+            tombstoned: handle.gauge(
+                "index_tombstoned_rows",
+                "Tombstoned rows awaiting compaction",
+            ),
+            append_rows: handle.gauge(
+                "index_append_rows",
+                "Rows living in the mutable append regions",
+            ),
+            live_rows: handle.gauge("index_live_rows", "Live rows the index serves"),
+        };
+        self.refresh_gauges();
+    }
+
+    /// Re-publishes the index-shape gauges after a mutation or compaction.
+    fn refresh_gauges(&self) {
+        self.obs.tombstoned.set(self.index.tombstoned() as i64);
+        self.obs
+            .append_rows
+            .set(self.index.pending_appends() as i64);
+        self.obs.live_rows.set(self.index.live_len() as i64);
     }
 
     /// The served index.  Searches read this; it already reflects every
@@ -315,6 +368,7 @@ impl MutableStore {
             self.index.apply_insert(id, row)?;
             self.index.applied_seq += 1;
         }
+        self.refresh_gauges();
         Ok(ids)
     }
 
@@ -337,6 +391,7 @@ impl MutableStore {
             was_live.push(self.index.delete(id));
             self.index.applied_seq += 1;
         }
+        self.refresh_gauges();
         Ok(was_live)
     }
 
@@ -350,6 +405,11 @@ impl MutableStore {
     /// the *new* checkpoint with the *old* journal — recovery skips every
     /// record below the cursor, so nothing double-applies.
     pub fn compact(&mut self) -> Result<()> {
+        let started = self
+            .obs
+            .compact_nanos
+            .is_enabled()
+            .then(std::time::Instant::now);
         let mut next = self.index.compact()?;
         // Everything journalled so far is applied (journal → fsync → apply
         // is synchronous), so the cursor is exactly the next sequence.
@@ -358,6 +418,10 @@ impl MutableStore {
         next.save(&self.index_path)?;
         self.wal.reset(next.applied_seq)?;
         self.index = next;
+        if let Some(t) = started {
+            self.obs.compact_nanos.record_duration(t.elapsed());
+        }
+        self.refresh_gauges();
         Ok(())
     }
 }
@@ -472,6 +536,44 @@ mod tests {
         assert_eq!(report.skipped, 2);
         assert_eq!(store.index().live_len(), expected_live);
         assert_eq!(store.index().next_id(), expected_next);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn instruments_track_wal_mutations_and_compaction() {
+        let dir = tempdir("obs");
+        let path = dir.join("serving.ivf");
+        let handle = obs::ObsHandle::enabled();
+        let mut store = MutableStore::create(&path, small_index()).unwrap();
+        store.set_obs(&handle);
+
+        store
+            .insert_batch(&VectorSet::from_rows(vec![vec![0.5, 0.5], vec![8.5, 8.5]]).unwrap())
+            .unwrap();
+        store.delete(0).unwrap();
+
+        let gauge = |snap: &obs::RegistrySnapshot, name: &str| match snap.get(name) {
+            Some(e) => match e.value {
+                obs::MetricValue::Gauge(v) => v,
+                _ => panic!("{name} has the wrong kind"),
+            },
+            None => panic!("{name} not registered"),
+        };
+        let snap = handle.snapshot().unwrap();
+        // 2 inserts + 1 delete journalled, one fsync per mutation call.
+        assert_eq!(snap.histogram("wal_append_nanos").unwrap().count(), 3);
+        assert_eq!(snap.histogram("wal_fsync_nanos").unwrap().count(), 2);
+        assert_eq!(gauge(&snap, "wal_unsynced_records"), 0, "all acked");
+        assert_eq!(gauge(&snap, "index_append_rows"), 2);
+        assert_eq!(gauge(&snap, "index_tombstoned_rows"), 1);
+        assert_eq!(gauge(&snap, "index_live_rows"), 5);
+
+        store.compact().unwrap();
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.histogram("compaction_nanos").unwrap().count(), 1);
+        assert_eq!(gauge(&snap, "index_append_rows"), 0, "folded into panels");
+        assert_eq!(gauge(&snap, "index_tombstoned_rows"), 0, "reclaimed");
+        assert_eq!(gauge(&snap, "index_live_rows"), 5);
         std::fs::remove_dir_all(&dir).ok();
     }
 

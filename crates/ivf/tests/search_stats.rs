@@ -1,0 +1,253 @@
+//! `IvfSearchStats` accounting and stage-timing properties (ISSUE 10):
+//!
+//! * **instrumented-scan regression** — `panel_bytes` must equal a
+//!   from-first-principles byte count of every stage, with survivors drawn
+//!   from append regions, under tombstones and at partial `nprobe` (the
+//!   audit of the claimed SQ8 re-rank under-report: panel and append
+//!   survivors both cost `4·d` and must be counted identically);
+//! * **pay-for-what-you-touch** — timings off ⇒ zero stage nanos and no
+//!   behavioural difference; timings on ⇒ stages are populated and results
+//!   stay bit-identical at threads ∈ {1, 2, 4, 7}.
+
+use baselines::common::KMeansConfig;
+use baselines::lloyd::LloydKMeans;
+use ivf::{IvfIndex, IvfSearchParams};
+use rand::Rng;
+use vecstore::distance::l2_sq;
+use vecstore::sample::rng_from_seed;
+use vecstore::VectorSet;
+
+fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut rng = rng_from_seed(seed);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = (i % 10) as f32 * 1.3;
+        rows.push((0..dim).map(|_| g + rng.gen_range(-1.0..1.0)).collect());
+    }
+    VectorSet::from_rows(rows).unwrap()
+}
+
+/// A quantized index with real append regions and tombstones, plus the
+/// centroid set the test keeps for its own instrumented routing.
+fn mutated_quantized_index(seed: u64) -> (IvfIndex, VectorSet) {
+    let base = clustered(500, 6, seed);
+    let fit = LloydKMeans::new(KMeansConfig::with_k(12).max_iters(15).seed(seed)).fit(&base);
+    let mut index = IvfIndex::build(&base, &fit.centroids, &fit.labels).unwrap();
+    index.quantize();
+    // Appends across many lists so overfetch survivors come from them...
+    let mut rng = rng_from_seed(seed ^ 0xa11);
+    let n0 = index.len() as u32;
+    for i in 0..80u32 {
+        let g = (i % 10) as f32 * 1.3;
+        let v: Vec<f32> = (0..6).map(|_| g + rng.gen_range(-1.0..1.0)).collect();
+        index.apply_insert(n0 + i, &v).unwrap();
+    }
+    // ...and tombstones in both the panel and the append regions.
+    for id in [3u32, 57, 110, 433, n0 + 5, n0 + 41] {
+        assert!(index.delete(id));
+    }
+    (index, fit.centroids)
+}
+
+/// Instrumented scan: recomputes, from first principles, the bytes every
+/// stage of a search streams — the probe sets from an independent routing
+/// pass, the code/panel bytes from the probed lists' row counts, and the
+/// re-rank bytes from the number of **live** scanned candidates capped by
+/// the overfetch pool.
+fn expected_stats(
+    index: &IvfIndex,
+    centroids: &VectorSet,
+    queries: &VectorSet,
+    r: usize,
+    nprobe: usize,
+    sq8: bool,
+    overfetch: usize,
+) -> (u64, u64) {
+    let d = index.dim();
+    let mut evals = 0u64;
+    let mut bytes = 0u64;
+    for query in queries.rows() {
+        // Independent coarse routing: nprobe smallest (distance, list id).
+        let mut by_dist: Vec<(f32, usize)> = centroids
+            .rows()
+            .enumerate()
+            .map(|(c, row)| (l2_sq(query, row), c))
+            .collect();
+        by_dist.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        evals += centroids.len() as u64;
+        let mut scanned = 0u64; // all scanned rows (tombstoned included)
+        let mut live_scanned = 0u64; // rows eligible for the candidate pool
+        for &(_, c) in by_dist.iter().take(nprobe.min(centroids.len())) {
+            let (_, panel_ids) = index.list(c);
+            let (_, append_ids) = index.append_list(c);
+            scanned += (panel_ids.len() + append_ids.len()) as u64;
+            live_scanned += panel_ids
+                .iter()
+                .chain(append_ids)
+                .filter(|&&id| index.is_live(id))
+                .count() as u64;
+        }
+        evals += scanned;
+        if sq8 {
+            // d bytes per scanned code row (panel and append shadows alike),
+            // then 4·d per re-ranked survivor — the pool retains every live
+            // scanned candidate up to r · overfetch, wherever its exact f32
+            // row lives.
+            bytes += scanned * d as u64;
+            let survivors = live_scanned.min((r * overfetch) as u64);
+            evals += survivors;
+            bytes += survivors * (d * 4) as u64;
+        } else {
+            bytes += scanned * (d * 4) as u64;
+        }
+    }
+    (evals, bytes)
+}
+
+#[test]
+fn sq8_panel_bytes_match_an_instrumented_scan_with_append_survivors() {
+    let (index, centroids) = mutated_quantized_index(29);
+    assert!(index.pending_appends() > 0, "appends must exist");
+    assert!(index.tombstoned() > 0, "tombstones must exist");
+    let queries = clustered(40, 6, 91);
+    let r = 10;
+    for nprobe in [1usize, 3, index.nlist()] {
+        for overfetch in [1usize, 4, 1000] {
+            let params = IvfSearchParams::default()
+                .nprobe(nprobe)
+                .threads(1)
+                .sq8(true)
+                .overfetch(overfetch);
+            let (_, stats) = index
+                .try_batch_search_with_stats(&queries, r, params)
+                .unwrap();
+            let (evals, bytes) =
+                expected_stats(&index, &centroids, &queries, r, nprobe, true, overfetch);
+            assert_eq!(
+                stats.panel_bytes, bytes,
+                "nprobe = {nprobe}, overfetch = {overfetch}: counted panel bytes \
+                 diverge from the instrumented scan"
+            );
+            assert_eq!(
+                stats.distance_evals, evals,
+                "nprobe = {nprobe}, overfetch = {overfetch}: distance evals diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_panel_bytes_match_an_instrumented_scan() {
+    let (index, centroids) = mutated_quantized_index(31);
+    let queries = clustered(25, 6, 17);
+    for nprobe in [2usize, index.nlist()] {
+        let params = IvfSearchParams::default().nprobe(nprobe).threads(1);
+        let (_, stats) = index
+            .try_batch_search_with_stats(&queries, 8, params)
+            .unwrap();
+        let (evals, bytes) = expected_stats(&index, &centroids, &queries, 8, nprobe, false, 1);
+        assert_eq!(stats.panel_bytes, bytes, "nprobe = {nprobe}");
+        assert_eq!(stats.distance_evals, evals, "nprobe = {nprobe}");
+    }
+}
+
+#[test]
+fn rerank_bytes_count_append_survivors_like_panel_survivors() {
+    // Force *every* survivor into the overfetch pool from an append region:
+    // an empty build (no panel rows) followed by inserts only.  If append
+    // survivors were dropped from the re-rank accounting, panel_bytes here
+    // would miss the entire 4·d·survivors term.
+    let d = 4usize;
+    let centroids = clustered(3, d, 5);
+    let empty = VectorSet::zeros(0, d).unwrap();
+    let mut index = IvfIndex::build(&empty, &centroids, &[]).unwrap();
+    index.quantize();
+    for i in 0..30u32 {
+        let v: Vec<f32> = (0..d).map(|j| (i as usize + j) as f32).collect();
+        index.apply_insert(i, &v).unwrap();
+    }
+    let queries = clustered(6, d, 55);
+    let r = 5;
+    let overfetch = 2;
+    let params = IvfSearchParams::default()
+        .nprobe(index.nlist())
+        .threads(1)
+        .sq8(true)
+        .overfetch(overfetch);
+    let (results, stats) = index
+        .try_batch_search_with_stats(&queries, r, params)
+        .unwrap();
+    assert!(results.iter().all(|r| !r.is_empty()));
+    let n = 30u64;
+    let survivors = n.min((r * overfetch) as u64);
+    let expected = queries.len() as u64 * (n * d as u64 + survivors * (d * 4) as u64);
+    assert_eq!(
+        stats.panel_bytes, expected,
+        "all-append survivors must contribute 4·d each to the re-rank bytes"
+    );
+}
+
+#[test]
+fn timings_are_zero_when_disabled_and_populated_when_enabled() {
+    let (index, _) = mutated_quantized_index(37);
+    let queries = clustered(96, 6, 23);
+    let off = IvfSearchParams::default().nprobe(6).threads(1).sq8(true);
+    let (res_off, stats_off) = index.try_batch_search_with_stats(&queries, 9, off).unwrap();
+    assert_eq!(stats_off.route_nanos, 0);
+    assert_eq!(stats_off.scan_nanos, 0);
+    assert_eq!(stats_off.rerank_nanos, 0);
+
+    let on = off.timings(true);
+    let (res_on, stats_on) = index.try_batch_search_with_stats(&queries, 9, on).unwrap();
+    assert_eq!(res_on, res_off, "timing must never change results");
+    assert_eq!(stats_on.distance_evals, stats_off.distance_evals);
+    assert_eq!(stats_on.panel_bytes, stats_off.panel_bytes);
+    assert!(stats_on.route_nanos > 0, "routing was measured");
+    assert!(stats_on.scan_nanos > 0, "scanning was measured");
+    assert!(stats_on.rerank_nanos > 0, "re-ranking was measured");
+
+    // The f32 path measures route + scan and leaves rerank at zero.
+    let f32_on = IvfSearchParams::default()
+        .nprobe(6)
+        .threads(1)
+        .timings(true);
+    let (_, f32_stats) = index
+        .try_batch_search_with_stats(&queries, 9, f32_on)
+        .unwrap();
+    assert!(f32_stats.route_nanos > 0);
+    assert!(f32_stats.scan_nanos > 0);
+    assert_eq!(
+        f32_stats.rerank_nanos, 0,
+        "no re-rank stage on the f32 path"
+    );
+}
+
+#[test]
+fn results_stay_bit_identical_across_thread_counts_with_timings_on() {
+    let (index, _) = mutated_quantized_index(41);
+    let queries = clustered(333, 6, 73); // several blocks + unaligned tail
+    for sq8 in [false, true] {
+        let params = IvfSearchParams::default()
+            .nprobe(5)
+            .sq8(sq8)
+            .overfetch(4)
+            .timings(true);
+        let (reference, ref_stats) = index
+            .try_batch_search_with_stats(&queries, 7, params.threads(1))
+            .unwrap();
+        for threads in [2usize, 4, 7] {
+            let (got, stats) = index
+                .try_batch_search_with_stats(&queries, 7, params.threads(threads))
+                .unwrap();
+            assert_eq!(got, reference, "sq8 = {sq8}, threads = {threads}");
+            assert_eq!(
+                stats.distance_evals, ref_stats.distance_evals,
+                "sq8 = {sq8}, threads = {threads}: distance_evals must be thread-invariant"
+            );
+            assert_eq!(
+                stats.panel_bytes, ref_stats.panel_bytes,
+                "sq8 = {sq8}, threads = {threads}: panel_bytes must be thread-invariant"
+            );
+        }
+    }
+}

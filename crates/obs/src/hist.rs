@@ -1,0 +1,324 @@
+//! Log-linear bucketed histogram (HDR-style) over `u64` samples.
+//!
+//! Layout: values below 8 get one exact bucket each; every power-of-two
+//! octave above that is split into 8 sub-buckets keyed by the top three
+//! mantissa bits.  That bounds the relative quantile error at 12.5% across
+//! the full `u64` range with a fixed 496-slot array — no allocation or
+//! resizing on the record path, ever.
+//!
+//! Recording is four `Relaxed` atomic RMWs (bucket, sum, min, max).
+//! Snapshots read the buckets without stopping writers, so a snapshot taken
+//! mid-record may be a few samples behind a racing thread — but every sample
+//! lands in exactly one bucket, so counts are conserved: the CI
+//! concurrent-recorder test pins `count == samples recorded` after joining
+//! the writers.
+//!
+//! [`HistogramSnapshot`]s are plain data and **mergeable**: merging two
+//! snapshots is exactly equivalent to having recorded both sample streams
+//! into one histogram (bucketing is deterministic per value), which is what
+//! lets per-block search stats fold into one serving-level histogram without
+//! any cross-thread coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Sub-buckets per power-of-two octave (8 ⇒ ≤ 12.5% relative error).
+const SUB: usize = 8;
+/// log2(SUB); values below `SUB` are bucketed exactly.
+const SUB_BITS: u32 = 3;
+/// Total bucket count: 8 exact + (63 − 3) octaves × 8 sub-buckets + the
+/// final octave's 8 (indices for exponents 3..=63).
+pub const N_BUCKETS: usize = SUB + (63 - SUB_BITS as usize) * SUB + SUB;
+
+/// Maps a sample to its bucket index.  Total and deterministic: every `u64`
+/// (including 0 and `u64::MAX`) lands in exactly one of the `N_BUCKETS`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // ≥ SUB_BITS
+    let sub = ((v >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+    SUB + (exp - SUB_BITS) as usize * SUB + sub
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    debug_assert!(i < N_BUCKETS);
+    if i < SUB {
+        i as u64
+    } else {
+        let octave = (i - SUB) / SUB;
+        let sub = ((i - SUB) % SUB) as u64;
+        (SUB as u64 + sub) << octave
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (`u64::MAX` for the last bucket,
+/// whose single unrepresentable successor is irrelevant for quantiles).
+pub fn bucket_hi(i: usize) -> u64 {
+    if i + 1 < N_BUCKETS {
+        bucket_lo(i + 1)
+    } else {
+        u64::MAX
+    }
+}
+
+/// Representative value reported for samples in bucket `i`: exact below
+/// `SUB`, the bucket midpoint above (halving the 12.5% width bound).
+fn bucket_mid(i: usize) -> u64 {
+    let lo = bucket_lo(i);
+    if i < SUB {
+        lo
+    } else {
+        lo + (bucket_hi(i) - lo) / 2
+    }
+}
+
+/// Fixed-size concurrent histogram.  See the module docs for the layout and
+/// cost model.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; N_BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("length is N_BUCKETS by construction"));
+        Self {
+            buckets,
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample: four relaxed RMWs, no locking, no allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        // The sum wraps after ~584 years of nanosecond samples; quantiles
+        // come from the buckets, so a wrapped mean is cosmetic.
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.  Concurrent writers keep
+    /// going: the snapshot may lag racing records but never invents or loses
+    /// a settled sample.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; N_BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Relaxed),
+            min: self.min.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]: mergeable, and the source of every
+/// quantile this crate reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`N_BUCKETS` entries).
+    pub counts: Vec<u64>,
+    /// Sum of all recorded samples (wrapping).
+    pub sum: u64,
+    /// Smallest recorded sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; N_BUCKETS],
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Folds `other` into `self`.  Equivalent to having recorded both
+    /// streams into one histogram (the merge-equivalence proptest pins
+    /// this).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: exact for samples below 8,
+    /// within ±6.25% above (bucket midpoint) and clamped into the recorded
+    /// `[min, max]`; the extreme ranks report the recorded min/max exactly.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // rank of the q-th sample, 1-based, at least 1, at most total
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        if rank >= total {
+            return self.max;
+        }
+        if rank <= 1 {
+            return self.min;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty; wraps with `sum`).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_total_monotone_and_self_consistent() {
+        // Exact buckets below SUB.
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lo(v as usize), v);
+        }
+        // Boundaries: every bucket's lower bound maps back to that bucket,
+        // and lower bounds strictly increase.
+        for i in 0..N_BUCKETS {
+            assert_eq!(bucket_index(bucket_lo(i)), i, "lo of bucket {i}");
+            if i + 1 < N_BUCKETS {
+                assert!(bucket_lo(i) < bucket_lo(i + 1), "monotone at {i}");
+                assert_eq!(bucket_index(bucket_lo(i + 1) - 1), i, "hi−1 of {i}");
+            }
+        }
+        // Extremes.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        // Exact powers of two land on a sub-bucket boundary.
+        for e in 3..64u32 {
+            let v = 1u64 << e;
+            assert_eq!(bucket_lo(bucket_index(v)), v, "2^{e} must start a bucket");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Midpoint reporting keeps any value within 1/16 of its bucket's
+        // representative (above the exact range).
+        for &v in &[8u64, 100, 1_000, 123_456_789, 1 << 40, u64::MAX / 3] {
+            let m = bucket_mid(bucket_index(v)) as f64;
+            let rel = (m - v as f64).abs() / v as f64;
+            assert!(rel <= 1.0 / 16.0 + 1e-12, "v = {v}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.5);
+        assert!((450..=550).contains(&p50), "p50 = {p50}");
+        let p99 = s.quantile(0.99);
+        assert!((920..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 1000, "p100 clamps to the true max");
+        assert_eq!(s.quantile(0.0), 1, "p0 clamps to the true min");
+        assert_eq!(s.mean(), (1000 * 1001 / 2) / 1000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_harmless() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn extreme_values_record_and_report() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_recorders_conserve_every_sample() {
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 20_000;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    // Deterministic per-thread stream spanning many octaves.
+                    let mut x = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1);
+                    for _ in 0..PER_THREAD {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        h.record(x >> (x % 50));
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(
+            s.count(),
+            THREADS as u64 * PER_THREAD,
+            "every sample lands in exactly one bucket"
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Hand-rolled, zero-dependency observability for the serving stack.
+//!
+//! The offline build environment rules out `prometheus` / `tracing` /
+//! `metrics` crates (same constraint that produced `vecstore::checksum`), so
+//! this crate provides the minimal production surface the ROADMAP's north
+//! star needs, with the cost model the serving hot path demands:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — plain atomics, `Relaxed`
+//!   ordering, fixed allocation.  Recording a histogram sample is four
+//!   relaxed RMW operations on pre-allocated cache lines; no locking, no
+//!   allocation, ever.
+//! * [`Registry`] — a named catalogue of instruments.  The registry lock is
+//!   taken **only at registration time** (server start-up) and at snapshot
+//!   time (a stats request); the handles it returns are `Arc`s recorded into
+//!   lock-free.
+//! * [`ObsHandle`] — the pay-for-what-you-touch switch.  Components accept
+//!   an `ObsHandle` and pre-register their instruments; when the handle is
+//!   disabled every instrument handle is `None` and the record calls inline
+//!   to a branch on a `None` — near-zero cost, verified by the CI
+//!   instrumentation-overhead gate (`serve_latency` p50 within 5%).
+//! * [`trace`] — cheap `u64` request trace IDs, per-stage timing carriers
+//!   and a fixed-capacity ring buffer of slow queries
+//!   ([`trace::SlowQueryLog`]).
+//!
+//! Metrics are a **side channel**: nothing in this crate feeds back into
+//! search results, so the workspace's bit-identical-at-any-thread-count
+//! guarantee is untouched by enabling them.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricValue, Registry, RegistrySnapshot};
+pub use trace::{SlowQuery, SlowQueryLog, StageTimings};
+
+use std::sync::Arc;
+
+/// Default slow-query threshold: queries slower than this end-to-end land in
+/// the slow-query ring buffer (25 ms — an order of magnitude above the
+/// serving p99 in the benchmarks).
+pub const DEFAULT_SLOW_QUERY_NANOS: u64 = 25_000_000;
+
+/// Shared observability state: one registry of instruments plus the
+/// slow-query ring buffer.  Wrapped in [`ObsHandle`] for distribution.
+pub struct Obs {
+    registry: Registry,
+    slow_log: SlowQueryLog,
+}
+
+impl Obs {
+    /// The instrument catalogue.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The slow-query ring buffer.
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow_log
+    }
+}
+
+/// Cheaply-cloneable handle to the observability state, or a no-op stub.
+///
+/// Every instrumented component takes one of these at construction and
+/// pre-registers the instruments it will record into.  A disabled handle
+/// hands out `None` instrument handles whose record methods compile to a
+/// single branch, so untouched deployments pay (almost) nothing.
+#[derive(Clone, Default)]
+pub struct ObsHandle {
+    inner: Option<Arc<Obs>>,
+}
+
+impl ObsHandle {
+    /// A no-op handle: every instrument it hands out discards its samples.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live handle with a fresh registry and the default slow-query
+    /// threshold.
+    pub fn enabled() -> Self {
+        Self::with_slow_threshold(DEFAULT_SLOW_QUERY_NANOS)
+    }
+
+    /// A live handle whose slow-query ring buffer admits queries slower than
+    /// `threshold_nanos` end-to-end.
+    pub fn with_slow_threshold(threshold_nanos: u64) -> Self {
+        Self {
+            inner: Some(Arc::new(Obs {
+                registry: Registry::new(),
+                slow_log: SlowQueryLog::new(trace::SLOW_LOG_CAPACITY, threshold_nanos),
+            })),
+        }
+    }
+
+    /// `true` when instruments actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The underlying state, when enabled.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.inner.as_ref()
+    }
+
+    /// Registers (or finds) a monotonic counter.  Disabled handles return a
+    /// no-op counter handle.
+    pub fn counter(&self, name: &str, help: &str) -> CounterHandle {
+        CounterHandle(self.inner.as_ref().map(|o| o.registry.counter(name, help)))
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> GaugeHandle {
+        GaugeHandle(self.inner.as_ref().map(|o| o.registry.gauge(name, help)))
+    }
+
+    /// Registers (or finds) a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> HistogramHandle {
+        HistogramHandle(
+            self.inner
+                .as_ref()
+                .map(|o| o.registry.histogram(name, help)),
+        )
+    }
+
+    /// Offers a completed query to the slow-query ring buffer (admitted when
+    /// its total latency crosses the configured threshold).
+    pub fn observe_slow(&self, q: SlowQuery) {
+        if let Some(o) = &self.inner {
+            o.slow_log.observe(q);
+        }
+    }
+
+    /// A point-in-time snapshot of every registered instrument, or `None`
+    /// when disabled.
+    pub fn snapshot(&self) -> Option<RegistrySnapshot> {
+        self.inner.as_ref().map(|o| o.registry.snapshot())
+    }
+}
+
+/// A pre-registered counter, or a no-op when observability is disabled.
+#[derive(Clone, Default)]
+pub struct CounterHandle(Option<Arc<Counter>>);
+
+impl CounterHandle {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.0 {
+            c.inc();
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.add(n);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+/// A pre-registered gauge, or a no-op when observability is disabled.
+#[derive(Clone, Default)]
+pub struct GaugeHandle(Option<Arc<Gauge>>);
+
+impl GaugeHandle {
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.set(v);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.add(delta);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.get())
+    }
+}
+
+/// A pre-registered histogram, or a no-op when observability is disabled.
+#[derive(Clone, Default)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds (saturating at
+    /// `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        if let Some(h) = &self.0 {
+            h.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// `true` when samples actually land somewhere — lets callers skip the
+    /// `Instant::now()` pair entirely on the disabled path.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// A snapshot of the underlying histogram (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |h| h.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let obs = ObsHandle::disabled();
+        assert!(!obs.is_enabled());
+        let c = obs.counter("x_total", "x");
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 0);
+        let g = obs.gauge("g", "g");
+        g.set(9);
+        g.add(-2);
+        assert_eq!(g.get(), 0);
+        let h = obs.histogram("h_nanos", "h");
+        assert!(!h.is_enabled());
+        h.record(123);
+        assert_eq!(h.snapshot().count(), 0);
+        assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn enabled_handles_record_and_share_state() {
+        let obs = ObsHandle::enabled();
+        let c1 = obs.counter("req_total", "requests");
+        let c2 = obs.counter("req_total", "requests");
+        c1.add(3);
+        c2.inc();
+        assert_eq!(c1.get(), 4, "same name must alias the same counter");
+
+        let h = obs.histogram("lat_nanos", "latency");
+        assert!(h.is_enabled());
+        h.record(1000);
+        h.record_duration(std::time::Duration::from_nanos(2000));
+        let snap = obs.snapshot().unwrap();
+        let hist = snap
+            .entries
+            .iter()
+            .find(|e| e.name == "lat_nanos")
+            .expect("registered");
+        match &hist.value {
+            MetricValue::Histogram(s) => assert_eq!(s.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_queries_respect_the_threshold() {
+        let obs = ObsHandle::with_slow_threshold(1_000);
+        let mut q = SlowQuery {
+            trace_id: 7,
+            queries: 1,
+            dim: 8,
+            r: 10,
+            nprobe: 4,
+            deadline_slack_nanos: 500,
+            timings: StageTimings::default(),
+        };
+        q.timings.total_nanos = 999;
+        obs.observe_slow(q.clone());
+        q.timings.total_nanos = 1_000;
+        obs.observe_slow(q);
+        let log = obs.obs().unwrap().slow_log();
+        assert_eq!(log.recent().len(), 1, "only the at-threshold query lands");
+        assert_eq!(log.recent()[0].trace_id, 7);
+    }
+}

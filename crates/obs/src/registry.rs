@@ -1,0 +1,491 @@
+//! Named instrument catalogue and its exposition renderers.
+//!
+//! The [`Registry`] holds `Arc`s to every registered instrument keyed by
+//! name.  Its mutex guards **registration and snapshotting only** — the hot
+//! path records through the `Arc`s it was handed at start-up and never
+//! touches the lock, which is what keeps the instrumentation off the search
+//! path's lock graph entirely.
+//!
+//! A [`RegistrySnapshot`] is plain data rendered three ways: Prometheus
+//! text exposition (served by `serve --metrics-addr`), JSON (CLI
+//! `stats --json`) and a human table (CLI `stats`).  All three render the
+//! same snapshot, so the numbers can never disagree across surfaces.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::trace::SlowQuery;
+
+/// A monotonic counter (relaxed atomic increments).
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A point-in-time signed gauge (relaxed atomic set/add).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    instrument: Instrument,
+}
+
+/// Named catalogue of instruments.  Lock taken only to register/snapshot.
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+        // A panic while holding this lock cannot corrupt the map (inserts
+        // are the only mutation); keep serving stats after one.
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers (or finds) a counter under `name`.  Registering the same
+    /// name twice aliases one underlying counter; a kind clash panics — it
+    /// is a programming error caught at start-up, never on the record path.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            instrument: Instrument::Counter(Arc::new(Counter::default())),
+        });
+        match &e.instrument {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or finds) a gauge under `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            instrument: Instrument::Gauge(Arc::new(Gauge::default())),
+        });
+        match &e.instrument {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or finds) a histogram under `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut entries = self.lock();
+        let e = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            instrument: Instrument::Histogram(Arc::new(Histogram::new())),
+        });
+        match &e.instrument {
+            Instrument::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// A point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let entries = self.lock();
+        RegistrySnapshot {
+            entries: entries
+                .iter()
+                .map(|(name, e)| SnapshotEntry {
+                    name: name.clone(),
+                    help: e.help.clone(),
+                    value: match &e.instrument {
+                        Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                        Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One instrument's value inside a snapshot.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Full histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named instrument inside a snapshot.
+#[derive(Clone, Debug)]
+pub struct SnapshotEntry {
+    /// Metric name (`snake_case`, Prometheus-compatible).
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// Point-in-time copy of a whole [`Registry`], ready to render.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// Entries sorted by name.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RegistrySnapshot {
+    /// Finds an entry by name.
+    pub fn get(&self, name: &str) -> Option<&SnapshotEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Convenience: the value of a counter entry, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the snapshot of a histogram entry, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match &self.get(name)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Prometheus text exposition format (0.0.4).  Histograms render as
+    /// summaries — `{quantile="…"}` series plus `_sum`/`_count`/`_max` —
+    /// because fixed quantiles are what the latency gates consume.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+                    out.push_str(&format!("# TYPE {} counter\n", e.name));
+                    out.push_str(&format!("{} {}\n", e.name, v));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+                    out.push_str(&format!("# TYPE {} gauge\n", e.name));
+                    out.push_str(&format!("{} {}\n", e.name, v));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+                    out.push_str(&format!("# TYPE {} summary\n", e.name));
+                    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                        out.push_str(&format!(
+                            "{}{{quantile=\"{}\"}} {}\n",
+                            e.name,
+                            label,
+                            h.quantile(q)
+                        ));
+                    }
+                    out.push_str(&format!("{}_sum {}\n", e.name, h.sum));
+                    out.push_str(&format!("{}_count {}\n", e.name, h.count()));
+                    out.push_str(&format!(
+                        "{}_max {}\n",
+                        e.name,
+                        if h.count() == 0 { 0 } else { h.max }
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object keyed by metric name.  Counters/gauges are numbers;
+    /// histograms are objects with count/sum/min/max/p50/p90/p99.
+    pub fn render_json(&self, slow: &[SlowQuery]) -> String {
+        let mut out = String::from("{\n  \"metrics\": {");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": ", json_escape(&e.name)));
+            match &e.value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram(h) => {
+                    let n = h.count();
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        n,
+                        h.sum,
+                        if n == 0 { 0 } else { h.min },
+                        if n == 0 { 0 } else { h.max },
+                        h.quantile(0.5),
+                        h.quantile(0.9),
+                        h.quantile(0.99),
+                    ));
+                }
+            }
+        }
+        out.push_str("\n  },\n  \"slow_queries\": [");
+        for (i, q) in slow.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"trace_id\": {}, \"queries\": {}, \"dim\": {}, \"r\": {}, \
+                 \"nprobe\": {}, \"deadline_slack_nanos\": {}, \"queue_wait_nanos\": {}, \
+                 \"route_nanos\": {}, \"scan_nanos\": {}, \"rerank_nanos\": {}, \
+                 \"total_nanos\": {}}}",
+                q.trace_id,
+                q.queries,
+                q.dim,
+                q.r,
+                q.nprobe,
+                q.deadline_slack_nanos,
+                q.timings.queue_wait_nanos,
+                q.timings.route_nanos,
+                q.timings.scan_nanos,
+                q.timings.rerank_nanos,
+                q.timings.total_nanos,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table: counters and gauges first, then histograms
+    /// with their quantiles, then the slow-query log.
+    pub fn render_human(&self, slow: &[SlowQuery]) -> String {
+        let mut out = String::new();
+        let width = self.entries.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{:width$}  {}\n", e.name, v));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{:width$}  {}\n", e.name, v));
+                }
+                MetricValue::Histogram(h) => {
+                    let n = h.count();
+                    out.push_str(&format!(
+                        "{:width$}  count {}  p50 {}  p90 {}  p99 {}  max {}\n",
+                        e.name,
+                        n,
+                        h.quantile(0.5),
+                        h.quantile(0.9),
+                        h.quantile(0.99),
+                        if n == 0 { 0 } else { h.max },
+                    ));
+                }
+            }
+        }
+        if slow.is_empty() {
+            out.push_str("slow queries: none\n");
+        } else {
+            out.push_str(&format!("slow queries ({} most recent):\n", slow.len()));
+            for q in slow {
+                out.push_str(&format!(
+                    "  trace {:#018x}: {} quer{} dim {} r {} nprobe {} — total {} ns \
+                     (queue {} + route {} + scan {} + rerank {}), deadline slack {} ns\n",
+                    q.trace_id,
+                    q.queries,
+                    if q.queries == 1 { "y" } else { "ies" },
+                    q.dim,
+                    q.r,
+                    q.nprobe,
+                    q.timings.total_nanos,
+                    q.timings.queue_wait_nanos,
+                    q.timings.route_nanos,
+                    q.timings.scan_nanos,
+                    q.timings.rerank_nanos,
+                    q.deadline_slack_nanos,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::StageTimings;
+
+    #[test]
+    fn registration_aliases_and_snapshot_reports() {
+        let r = Registry::new();
+        let c = r.counter("frames_total", "frames");
+        c.add(5);
+        r.counter("frames_total", "frames").inc();
+        let g = r.gauge("depth", "queue depth");
+        g.set(-3);
+        let h = r.histogram("lat_nanos", "latency");
+        h.record(10);
+        h.record(20);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("frames_total"), Some(6));
+        assert!(matches!(
+            snap.get("depth").unwrap().value,
+            MetricValue::Gauge(-3)
+        ));
+        assert_eq!(snap.histogram("lat_nanos").unwrap().count(), 2);
+        // Sorted by name.
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics_at_registration() {
+        let r = Registry::new();
+        r.counter("x", "x");
+        r.gauge("x", "x");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let r = Registry::new();
+        r.counter("a_total", "a counter").add(7);
+        r.gauge("b", "a gauge").set(2);
+        let h = r.histogram("c_nanos", "a histogram");
+        for v in [5u64, 5, 5, 100] {
+            h.record(v);
+        }
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE a_total counter\na_total 7\n"));
+        assert!(text.contains("# TYPE b gauge\nb 2\n"));
+        assert!(text.contains("# TYPE c_nanos summary\n"));
+        assert!(text.contains("c_nanos{quantile=\"0.5\"} 5\n"));
+        assert!(text.contains("c_nanos_count 4\n"));
+        assert!(text.contains("c_nanos_sum 115\n"));
+        assert!(text.contains("c_nanos_max 100\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let r = Registry::new();
+        r.counter("n_total", "n").add(3);
+        r.histogram("h_nanos", "h").record(42);
+        let slow = vec![SlowQuery {
+            trace_id: 1,
+            queries: 2,
+            dim: 4,
+            r: 10,
+            nprobe: 3,
+            deadline_slack_nanos: -5,
+            timings: StageTimings {
+                queue_wait_nanos: 1,
+                route_nanos: 2,
+                scan_nanos: 3,
+                rerank_nanos: 4,
+                total_nanos: 10,
+            },
+        }];
+        let json = r.snapshot().render_json(&slow);
+        assert!(json.contains("\"n_total\": 3"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"deadline_slack_nanos\": -5"));
+        // Balanced braces/brackets (cheap structural check, no parser here).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn human_rendering_mentions_every_metric() {
+        let r = Registry::new();
+        r.counter("served_total", "served").add(1);
+        r.histogram("lat", "lat").record(9);
+        let text = r.snapshot().render_human(&[]);
+        assert!(text.contains("served_total"));
+        assert!(text.contains("lat"));
+        assert!(text.contains("slow queries: none"));
+    }
+}

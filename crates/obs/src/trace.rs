@@ -1,0 +1,210 @@
+//! Request tracing: cheap `u64` trace IDs, per-stage timing carriers and
+//! the slow-query ring buffer.
+//!
+//! A trace ID is minted by the **client** (or the CLI) and carried through
+//! the GKSQ `TracedSearch` frame, the batcher's pending entry and back in
+//! the `TracedResponse` — the server never allocates per-request trace
+//! state, it just copies eight bytes along the existing path.  Stage
+//! timings are measured where each stage already lives (queue-wait in the
+//! batcher, route/scan/re-rank inside the IVF search via
+//! `IvfSearchStats`), so tracing adds no new synchronization.
+//!
+//! The slow-query log is a fixed-capacity ring under a mutex.  That mutex
+//! is **off the search path**: it is taken only after a batch completes and
+//! only for queries that crossed the slowness threshold — by construction a
+//! rare event, or the threshold is misconfigured.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Capacity of the slow-query ring buffer.
+pub const SLOW_LOG_CAPACITY: usize = 64;
+
+/// Process-wide trace-ID source: unique within a process, cheap, and
+/// mixed so consecutive IDs don't collide across restarts in logs.
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(0);
+
+/// Mints a fresh non-zero trace ID (0 is reserved for "untraced").
+pub fn next_trace_id() -> u64 {
+    // SplitMix64 over a process-unique counter seeded from the clock once:
+    // IDs stay unique per process and unlikely to collide across processes.
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    let mut seed = SEED.load(Relaxed);
+    if seed == 0 {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        // First writer wins; a race just means both used the same seed,
+        // which is fine — the counter below still disambiguates.
+        let _ = SEED.compare_exchange(0, t | 1, Relaxed, Relaxed);
+        seed = SEED.load(Relaxed);
+    }
+    loop {
+        let n = NEXT_TRACE.fetch_add(1, Relaxed);
+        let mut z = n.wrapping_add(seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        if z != 0 {
+            return z;
+        }
+    }
+}
+
+/// Per-stage wall-clock nanoseconds for one traced request.
+///
+/// `queue_wait` is measured by the batcher (enqueue → dequeue); `route`,
+/// `scan` and `rerank` come from the IVF search stats of the batch the
+/// request rode in (batch-level, attributed to every traced request in the
+/// batch); `total` is enqueue → reply.  For a lone request in its batch the
+/// stage sum approximates the total (the e2e trace test pins this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Enqueue → dequeue in the batcher.
+    pub queue_wait_nanos: u64,
+    /// Coarse routing: query-to-centroid distances + probe selection.
+    pub route_nanos: u64,
+    /// Inverted-list scan (f32 panels or SQ8 codes + append regions).
+    pub scan_nanos: u64,
+    /// Exact re-rank of SQ8 survivors (0 on the f32 path).
+    pub rerank_nanos: u64,
+    /// Enqueue → reply, as observed by the batcher.
+    pub total_nanos: u64,
+}
+
+impl StageTimings {
+    /// Sum of the measured stages (everything but `total_nanos`).
+    pub fn stage_sum(&self) -> u64 {
+        self.queue_wait_nanos
+            .saturating_add(self.route_nanos)
+            .saturating_add(self.scan_nanos)
+            .saturating_add(self.rerank_nanos)
+    }
+}
+
+/// One slow query captured by the ring buffer: its shape, search knobs,
+/// deadline slack at completion (negative ⇒ the deadline had passed) and
+/// stage timings.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The request's trace ID (0 when the client did not trace it).
+    pub trace_id: u64,
+    /// Number of query vectors in the request.
+    pub queries: u32,
+    /// Vector dimensionality.
+    pub dim: u32,
+    /// Neighbours requested.
+    pub r: u16,
+    /// Probe width used.
+    pub nprobe: u16,
+    /// Deadline minus completion time, nanoseconds (negative ⇒ late).
+    pub deadline_slack_nanos: i64,
+    /// Where the time went.
+    pub timings: StageTimings,
+}
+
+/// Fixed-capacity ring of the most recent slow queries.
+pub struct SlowQueryLog {
+    capacity: usize,
+    threshold_nanos: u64,
+    ring: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl SlowQueryLog {
+    /// A ring holding at most `capacity` entries, admitting queries whose
+    /// total latency is ≥ `threshold_nanos`.
+    pub fn new(capacity: usize, threshold_nanos: u64) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            threshold_nanos,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// The admission threshold in nanoseconds.
+    pub fn threshold_nanos(&self) -> u64 {
+        self.threshold_nanos
+    }
+
+    /// Offers a completed query; admitted (evicting the oldest entry at
+    /// capacity) when `timings.total_nanos >= threshold`.
+    pub fn observe(&self, q: SlowQuery) {
+        if q.timings.total_nanos < self.threshold_nanos {
+            return;
+        }
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(q);
+    }
+
+    /// The retained entries, oldest first.
+    pub fn recent(&self) -> Vec<SlowQuery> {
+        self.ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_nonzero_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate trace id {id:#x}");
+        }
+    }
+
+    fn slow(total: u64) -> SlowQuery {
+        SlowQuery {
+            trace_id: total,
+            queries: 1,
+            dim: 1,
+            r: 1,
+            nprobe: 1,
+            deadline_slack_nanos: 0,
+            timings: StageTimings {
+                total_nanos: total,
+                ..StageTimings::default()
+            },
+        }
+    }
+
+    #[test]
+    fn ring_admits_by_threshold_and_evicts_oldest() {
+        let log = SlowQueryLog::new(3, 100);
+        log.observe(slow(99)); // below threshold: dropped
+        for t in [100, 200, 300, 400] {
+            log.observe(slow(t));
+        }
+        let got: Vec<u64> = log.recent().iter().map(|q| q.trace_id).collect();
+        assert_eq!(got, vec![200, 300, 400], "oldest evicted, order kept");
+        assert_eq!(log.threshold_nanos(), 100);
+    }
+
+    #[test]
+    fn stage_sum_saturates() {
+        let t = StageTimings {
+            queue_wait_nanos: u64::MAX,
+            route_nanos: 1,
+            scan_nanos: 1,
+            rerank_nanos: 1,
+            total_nanos: 0,
+        };
+        assert_eq!(t.stage_sum(), u64::MAX);
+    }
+}

@@ -1,0 +1,152 @@
+//! Histogram correctness properties (ISSUE 10 satellite):
+//!
+//! * **merge equivalence** — `merge(snapshot_a, snapshot_b)` equals
+//!   recording both sample streams into one histogram, for arbitrary
+//!   streams spanning the full `u64` range;
+//! * **bucket-boundary edge cases** — 0, `u64::MAX` and exact powers of
+//!   two land in stable buckets whose bounds contain them;
+//! * **concurrent-recorder consistency** — total count is conserved with
+//!   8 threads hammering one histogram.
+
+use obs::hist::{bucket_hi, bucket_index, bucket_lo, Histogram, N_BUCKETS};
+use obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Full-spread `u64` samples: uniform high bits shifted down a random
+/// number of octaves, so every bucket of the log-linear layout gets
+/// exercised (a plain uniform draw would live in the top few octaves).
+fn wide_u64() -> impl Strategy<Value = u64> {
+    (0u64..u64::MAX, 0usize..64).prop_map(|(v, s)| v >> s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Merging two snapshots is exactly recording both streams into one
+    /// histogram: same buckets, same sum, same min/max — hence identical
+    /// quantiles.
+    #[test]
+    fn merge_equals_recording_both_streams(
+        a in proptest::collection::vec(wide_u64(), 0..200),
+        b in proptest::collection::vec(wide_u64(), 0..200),
+    ) {
+        let mut merged = record_all(&a).snapshot();
+        merged.merge(&record_all(&b).snapshot());
+
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let combined = record_all(&both).snapshot();
+
+        prop_assert_eq!(&merged, &combined);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), combined.quantile(q));
+        }
+    }
+
+    /// Every value lands in a bucket whose `[lo, hi)` bound contains it
+    /// (with `u64::MAX` allowed to sit on the last bucket's inclusive cap).
+    #[test]
+    fn bucket_bounds_contain_their_values(v in wide_u64()) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        prop_assert!(bucket_lo(i) <= v, "lo({}) must not exceed {}", i, v);
+        if i + 1 < N_BUCKETS {
+            prop_assert!(v < bucket_hi(i), "{} must fall below hi({})", v, i);
+        } else {
+            prop_assert!(v <= bucket_hi(i));
+        }
+    }
+
+    /// Quantiles never step outside the recorded [min, max].
+    #[test]
+    fn quantiles_stay_inside_recorded_range(
+        values in proptest::collection::vec(wide_u64(), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let s = record_all(&values).snapshot();
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        for q in [q, 0.0, 1.0] {
+            let got = s.quantile(q);
+            prop_assert!(
+                got >= min && got <= max,
+                "quantile({}) = {} outside [{}, {}]", q, got, min, max
+            );
+        }
+    }
+}
+
+#[test]
+fn boundary_values_bucket_stably() {
+    // 0 is exact; u64::MAX is the last bucket; each power of two ≥ 8 starts
+    // a fresh bucket and its predecessor ends the previous one.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_lo(bucket_index(0)), 0);
+    assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    for e in 3..64u32 {
+        let p = 1u64 << e;
+        assert_eq!(bucket_lo(bucket_index(p)), p, "2^{e} starts its bucket");
+        assert_eq!(
+            bucket_index(p - 1) + 1,
+            bucket_index(p),
+            "2^{e} − 1 ends the previous bucket"
+        );
+    }
+}
+
+#[test]
+fn merging_with_empty_is_identity() {
+    let values = [0u64, 1, 7, 8, 9, 1_000_000, u64::MAX];
+    let mut s = record_all(&values).snapshot();
+    let before = s.clone();
+    s.merge(&HistogramSnapshot::empty());
+    assert_eq!(s, before);
+
+    let mut e = HistogramSnapshot::empty();
+    e.merge(&before);
+    assert_eq!(e, before);
+}
+
+#[test]
+fn concurrent_recorders_conserve_total_count_at_8_threads() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    const THREADS: usize = 8;
+    let h = Arc::new(Histogram::new());
+    let recorded = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            let recorded = Arc::clone(&recorded);
+            std::thread::spawn(move || {
+                let mut x = (t as u64 + 1).wrapping_mul(0x2545_f491_4f6c_dd1d);
+                let mut n = 0u64;
+                for _ in 0..50_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    h.record(x >> (x % 64));
+                    n += 1;
+                }
+                recorded.fetch_add(n, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(
+        snap.count(),
+        recorded.load(std::sync::atomic::Ordering::SeqCst),
+        "total sample count must be conserved across 8 concurrent recorders"
+    );
+}

@@ -51,27 +51,37 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ivf::{IvfIndex, IvfSearchParams, MutableStore};
+use ivf::{IvfIndex, IvfSearchParams, IvfSearchStats, MutableStore};
 use knn_graph::Neighbor;
+use obs::{ObsHandle, SlowQuery, StageTimings};
 use vecstore::VectorSet;
 
-use crate::protocol::{MutateResponse, SearchResponse, Status, WireMutation};
+use crate::protocol::{
+    MutateResponse, SearchResponse, StatsResponse, Status, TracedSearchResponse, WireMutation,
+};
 
-/// What flows back to a connection's writer: a search answer or a mutation
-/// ack.  One channel per connection carries both, preserving the order the
-/// batcher produced them in.
+/// What flows back to a connection's writer: a search answer (traced or
+/// plain) or a mutation ack.  One channel per connection carries all three,
+/// preserving the order the batcher produced them in.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
     /// Answer to a search (or a control frame riding the search path).
     Search(SearchResponse),
+    /// Answer to a traced search, carrying the trace id and stage timings.
+    Traced(TracedSearchResponse),
     /// Ack of an insert/delete/compact.
     Mutate(MutateResponse),
+    /// Rendered stats text answering a [`FrameKind::Stats`] request.  Rides
+    /// the same channel as real responses so it serialises in order behind
+    /// earlier results.
+    ///
+    /// [`FrameKind::Stats`]: crate::protocol::FrameKind::Stats
+    Stats(StatsResponse),
 }
 
 impl From<SearchResponse> for Reply {
@@ -100,6 +110,23 @@ pub trait SearchBackend: Send + Sync + 'static {
         r: usize,
         nprobe: usize,
     ) -> vecstore::Result<Vec<Vec<Neighbor>>>;
+
+    /// [`SearchBackend::search_batch`] plus aggregate cost counters; when
+    /// `timings` is true the backend additionally measures per-stage
+    /// wall-clock time (route / scan / re-rank).  The default forwards to
+    /// `search_batch` and reports empty stats, so shim backends in tests
+    /// stay three lines.
+    fn search_batch_with_stats(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        nprobe: usize,
+        timings: bool,
+    ) -> vecstore::Result<(Vec<Vec<Neighbor>>, IvfSearchStats)> {
+        let _ = timings;
+        self.search_batch(queries, r, nprobe)
+            .map(|results| (results, IvfSearchStats::default()))
+    }
 }
 
 /// The production backend: an [`IvfIndex`] searched through the checked
@@ -134,6 +161,16 @@ impl IvfBackend {
     pub fn index(&self) -> &IvfIndex {
         &self.index
     }
+
+    fn params(&self, nprobe: usize) -> IvfSearchParams {
+        let mut params = IvfSearchParams::default()
+            .nprobe(nprobe.max(1))
+            .sq8(self.quantized);
+        if let Some(t) = self.threads {
+            params = params.threads(t);
+        }
+        params
+    }
 }
 
 impl SearchBackend for IvfBackend {
@@ -147,13 +184,18 @@ impl SearchBackend for IvfBackend {
         r: usize,
         nprobe: usize,
     ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
-        let mut params = IvfSearchParams::default()
-            .nprobe(nprobe.max(1))
-            .sq8(self.quantized);
-        if let Some(t) = self.threads {
-            params = params.threads(t);
-        }
-        self.index.try_batch_search(queries, r, params)
+        self.index.try_batch_search(queries, r, self.params(nprobe))
+    }
+
+    fn search_batch_with_stats(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        nprobe: usize,
+        timings: bool,
+    ) -> vecstore::Result<(Vec<Vec<Neighbor>>, IvfSearchStats)> {
+        self.index
+            .try_batch_search_with_stats(queries, r, self.params(nprobe).timings(timings))
     }
 }
 
@@ -229,6 +271,16 @@ impl MutableIvfBackend {
             Err(poisoned) => poisoned.into_inner(),
         }
     }
+
+    fn params(&self, nprobe: usize) -> IvfSearchParams {
+        let mut params = IvfSearchParams::default()
+            .nprobe(nprobe.max(1))
+            .sq8(self.quantized);
+        if let Some(t) = self.threads {
+            params = params.threads(t);
+        }
+        params
+    }
 }
 
 impl SearchBackend for MutableIvfBackend {
@@ -242,15 +294,23 @@ impl SearchBackend for MutableIvfBackend {
         r: usize,
         nprobe: usize,
     ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
-        let mut params = IvfSearchParams::default()
-            .nprobe(nprobe.max(1))
-            .sq8(self.quantized);
-        if let Some(t) = self.threads {
-            params = params.threads(t);
-        }
         read_lock(&self.store)
             .index()
-            .try_batch_search(queries, r, params)
+            .try_batch_search(queries, r, self.params(nprobe))
+    }
+
+    fn search_batch_with_stats(
+        &self,
+        queries: &VectorSet,
+        r: usize,
+        nprobe: usize,
+        timings: bool,
+    ) -> vecstore::Result<(Vec<Vec<Neighbor>>, IvfSearchStats)> {
+        read_lock(&self.store).index().try_batch_search_with_stats(
+            queries,
+            r,
+            self.params(nprobe).timings(timings),
+        )
     }
 }
 
@@ -322,15 +382,16 @@ enum AnyBackend {
 }
 
 impl AnyBackend {
-    fn search_batch(
+    fn search_batch_with_stats(
         &self,
         queries: &VectorSet,
         r: usize,
         nprobe: usize,
-    ) -> vecstore::Result<Vec<Vec<Neighbor>>> {
+        timings: bool,
+    ) -> vecstore::Result<(Vec<Vec<Neighbor>>, IvfSearchStats)> {
         match self {
-            AnyBackend::Immutable(b) => b.search_batch(queries, r, nprobe),
-            AnyBackend::Mutable(b) => b.search_batch(queries, r, nprobe),
+            AnyBackend::Immutable(b) => b.search_batch_with_stats(queries, r, nprobe, timings),
+            AnyBackend::Mutable(b) => b.search_batch_with_stats(queries, r, nprobe, timings),
         }
     }
 
@@ -381,6 +442,9 @@ impl BatcherConfig {
 /// One admitted request waiting for a batch.
 struct Pending {
     id: u64,
+    /// Client-minted trace id (0 = untraced; the response travels as a
+    /// plain [`Reply::Search`]).
+    trace_id: u64,
     queries: Vec<f32>,
     n: usize,
     dim: usize,
@@ -392,6 +456,22 @@ struct Pending {
     /// reserving the final quarter for the backend call.
     serve_by: Option<Instant>,
     reply: mpsc::Sender<Reply>,
+}
+
+impl Pending {
+    /// Delivers the response on the request's channel — traced requests get
+    /// their timings piggybacked, untraced ones the plain frame.
+    fn send(&self, resp: SearchResponse, timings: StageTimings) {
+        if self.trace_id != 0 {
+            let _ = self.reply.send(Reply::Traced(TracedSearchResponse {
+                trace_id: self.trace_id,
+                timings,
+                resp,
+            }));
+        } else {
+            let _ = self.reply.send(Reply::Search(resp));
+        }
+    }
 }
 
 /// One admitted mutation waiting its turn in the queue.  Mutations carry no
@@ -421,32 +501,124 @@ fn mutation_weight(op: &WireMutation) -> usize {
     }
 }
 
-/// Monotonic counters exported for the stats endpoint / load generator.
-#[derive(Default)]
-pub struct BatcherCounters {
+/// The batcher's pre-registered instruments.
+///
+/// The **counters** are the single source of truth for [`BatcherStats`]:
+/// the drain summary and the `Stats` frame read the very same atomics, so
+/// they can never disagree.  When the caller's [`ObsHandle`] is disabled
+/// the counters fall back to a private always-enabled registry — counting
+/// is part of the batcher's contract (tests and drain summaries rely on
+/// it), and a relaxed `fetch_add` is what the pre-obs `AtomicU64`s cost
+/// anyway.  The **histograms** stay on the caller's handle, so with
+/// metrics off every latency record is one branch and no clock is read.
+struct BatcherMetrics {
     /// Requests admitted into the queue.
-    pub accepted: AtomicU64,
+    accepted: obs::CounterHandle,
     /// Requests shed with `OVERLOADED`.
-    pub shed: AtomicU64,
+    shed: obs::CounterHandle,
     /// Requests answered `DEADLINE_EXCEEDED`.
-    pub deadline_expired: AtomicU64,
+    deadline_expired: obs::CounterHandle,
     /// Requests answered `INTERNAL`.
-    pub internal_errors: AtomicU64,
+    internal_errors: obs::CounterHandle,
     /// Backend batches executed.
-    pub batches: AtomicU64,
+    batches: obs::CounterHandle,
     /// Requests answered `OK`.
-    pub served: AtomicU64,
-    /// Mutation records journalled (fsynced) — rows for inserts, requested
-    /// ids for deletes.
-    pub mutations_journaled: AtomicU64,
-    /// Mutation records that changed serving state (all insert rows; deletes
-    /// that hit a live id).
-    pub mutations_applied: AtomicU64,
+    served: obs::CounterHandle,
+    /// Mutation records journalled (fsynced).
+    mutations_journaled: obs::CounterHandle,
+    /// Mutation records that changed serving state.
+    mutations_applied: obs::CounterHandle,
     /// Checkpointed compactions published.
-    pub compactions: AtomicU64,
+    compactions: obs::CounterHandle,
+    /// Queued work weight right now (queries + mutation rows).
+    queue_depth: obs::GaugeHandle,
+    /// Enqueue → dequeue per request.
+    queue_wait_nanos: obs::HistogramHandle,
+    /// Oldest enqueue → flush per batch (the delay coalescing added).
+    coalesce_delay_nanos: obs::HistogramHandle,
+    /// Queries per executed batch.
+    batch_size: obs::HistogramHandle,
+    /// Coarse-routing nanoseconds per batch (from the IVF stage timings).
+    route_nanos: obs::HistogramHandle,
+    /// List-scan nanoseconds per batch.
+    scan_nanos: obs::HistogramHandle,
+    /// SQ8 re-rank nanoseconds per batch (0-sample on the f32 path).
+    rerank_nanos: obs::HistogramHandle,
+    /// The caller's handle — feeds the slow-query ring buffer.
+    obs: ObsHandle,
 }
 
-/// Point-in-time snapshot of [`BatcherCounters`].
+impl BatcherMetrics {
+    fn register(handle: &ObsHandle) -> Self {
+        let counters = if handle.is_enabled() {
+            handle.clone()
+        } else {
+            ObsHandle::enabled()
+        };
+        BatcherMetrics {
+            accepted: counters
+                .counter("batcher_accepted_total", "Requests admitted into the queue"),
+            shed: counters.counter("batcher_shed_total", "Requests shed with OVERLOADED"),
+            deadline_expired: counters.counter(
+                "batcher_deadline_expired_total",
+                "Requests answered DEADLINE_EXCEEDED",
+            ),
+            internal_errors: counters.counter(
+                "batcher_internal_errors_total",
+                "Requests answered INTERNAL",
+            ),
+            batches: counters.counter("batcher_batches_total", "Backend batches executed"),
+            served: counters.counter("batcher_served_total", "Requests answered OK"),
+            mutations_journaled: counters.counter(
+                "batcher_mutations_journaled_total",
+                "Mutation records journalled (fsynced)",
+            ),
+            mutations_applied: counters.counter(
+                "batcher_mutations_applied_total",
+                "Mutation records that changed serving state",
+            ),
+            compactions: counters.counter(
+                "batcher_compactions_total",
+                "Checkpointed compactions published",
+            ),
+            queue_depth: counters.gauge(
+                "batcher_queue_depth",
+                "Queued work weight (queries plus mutation rows)",
+            ),
+            queue_wait_nanos: handle.histogram(
+                "batcher_queue_wait_nanos",
+                "Enqueue-to-dequeue wait per request",
+            ),
+            coalesce_delay_nanos: handle.histogram(
+                "batcher_coalesce_delay_nanos",
+                "Oldest-enqueue-to-flush delay per batch",
+            ),
+            batch_size: handle.histogram("batcher_batch_size", "Queries per executed batch"),
+            route_nanos: handle.histogram(
+                "ivf_route_nanos",
+                "Coarse-routing time per batch (query-to-centroid distances)",
+            ),
+            scan_nanos: handle.histogram(
+                "ivf_scan_nanos",
+                "Inverted-list scan time per batch (panels + append regions)",
+            ),
+            rerank_nanos: handle.histogram(
+                "ivf_rerank_nanos",
+                "Exact re-rank time per batch of SQ8 survivors",
+            ),
+            obs: handle.clone(),
+        }
+    }
+
+    /// True when per-request clocks must be read: a latency histogram is
+    /// live or the slow-query ring could admit.
+    fn wants_latency(&self) -> bool {
+        self.queue_wait_nanos.is_enabled() || self.obs.is_enabled()
+    }
+}
+
+/// Point-in-time snapshot of the batcher's outcome counters (which live on
+/// the metrics registry, so this agrees with every exposition surface).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatcherStats {
     /// Requests admitted into the queue.
@@ -472,7 +644,7 @@ pub struct BatcherStats {
 struct Shared {
     queue: Mutex<QueueState>,
     wake: Condvar,
-    counters: BatcherCounters,
+    metrics: BatcherMetrics,
     config: BatcherConfig,
 }
 
@@ -543,19 +715,45 @@ pub enum MutationAdmission {
 
 impl Batcher {
     /// Starts the batcher thread over an immutable `backend`.  Mutation
-    /// frames are answered `BAD_REQUEST`.
+    /// frames are answered `BAD_REQUEST`.  Counters still run (on a private
+    /// registry); latency histograms and the slow-query ring are off.
     pub fn start(backend: Arc<dyn SearchBackend>, config: BatcherConfig) -> Self {
-        Self::start_any(AnyBackend::Immutable(backend), config)
+        Self::start_any(
+            AnyBackend::Immutable(backend),
+            config,
+            &ObsHandle::disabled(),
+        )
     }
 
     /// Starts the batcher thread over a mutable `backend`: searches batch as
     /// usual, and insert/delete/compact frames are journalled, applied and
     /// acked in arrival order.
     pub fn start_mutable(backend: Arc<dyn MutableBackend>, config: BatcherConfig) -> Self {
-        Self::start_any(AnyBackend::Mutable(backend), config)
+        Self::start_any(AnyBackend::Mutable(backend), config, &ObsHandle::disabled())
     }
 
-    fn start_any(backend: AnyBackend, config: BatcherConfig) -> Self {
+    /// [`Batcher::start`] with the batcher's instruments registered on
+    /// `obs`: counters, the queue-depth gauge, queue-wait / coalesce-delay /
+    /// batch-size histograms, the per-stage IVF timing histograms and the
+    /// slow-query ring buffer all become live.
+    pub fn start_obs(
+        backend: Arc<dyn SearchBackend>,
+        config: BatcherConfig,
+        obs: &ObsHandle,
+    ) -> Self {
+        Self::start_any(AnyBackend::Immutable(backend), config, obs)
+    }
+
+    /// [`Batcher::start_mutable`] with instruments registered on `obs`.
+    pub fn start_mutable_obs(
+        backend: Arc<dyn MutableBackend>,
+        config: BatcherConfig,
+        obs: &ObsHandle,
+    ) -> Self {
+        Self::start_any(AnyBackend::Mutable(backend), config, obs)
+    }
+
+    fn start_any(backend: AnyBackend, config: BatcherConfig, obs: &ObsHandle) -> Self {
         let mutable = backend.mutable().is_some();
         let config = config.normalized();
         let shared = Arc::new(Shared {
@@ -566,7 +764,7 @@ impl Batcher {
                 closing: false,
             }),
             wake: Condvar::new(),
-            counters: BatcherCounters::default(),
+            metrics: BatcherMetrics::register(obs),
             config,
         });
         let worker_shared = Arc::clone(&shared);
@@ -596,8 +794,42 @@ impl Batcher {
         deadline: Option<Instant>,
         reply: mpsc::Sender<Reply>,
     ) -> Admission {
+        self.submit_inner(id, 0, queries, dim, r, nprobe, deadline, reply)
+    }
+
+    /// [`Batcher::submit`] for a traced request: the non-zero `trace_id`
+    /// rides through the queue and the response comes back as a
+    /// [`Reply::Traced`] carrying per-stage timings.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_traced(
+        &self,
+        id: u64,
+        trace_id: u64,
+        queries: Vec<f32>,
+        dim: usize,
+        r: usize,
+        nprobe: usize,
+        deadline: Option<Instant>,
+        reply: mpsc::Sender<Reply>,
+    ) -> Admission {
+        self.submit_inner(id, trace_id, queries, dim, r, nprobe, deadline, reply)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_inner(
+        &self,
+        id: u64,
+        trace_id: u64,
+        queries: Vec<f32>,
+        dim: usize,
+        r: usize,
+        nprobe: usize,
+        deadline: Option<Instant>,
+        reply: mpsc::Sender<Reply>,
+    ) -> Admission {
         let n = queries.len().checked_div(dim).unwrap_or(0);
         let cfg = &self.shared.config;
+        let m = &self.shared.metrics;
         let mut q = lock(&self.shared.queue);
         match admit(&mut q, cfg, n) {
             Err(AdmitRejection::Closing) => {
@@ -609,7 +841,7 @@ impl Batcher {
             }
             Err(AdmitRejection::Shedding) => {
                 drop(q);
-                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                m.shed.inc();
                 return Admission::Rejected(SearchResponse::rejection(
                     id,
                     Status::Overloaded,
@@ -619,6 +851,11 @@ impl Batcher {
             Ok(()) => {}
         }
         q.depth += n;
+        m.queue_depth.set(q.depth as i64);
+        // Counted *before* the queue can serve it: `stats()` loads outcome
+        // counters first and `accepted` last, so accepted ≥ outcomes holds
+        // in every snapshot.
+        m.accepted.inc();
         let enqueued = Instant::now();
         let serve_by = deadline.map(|d| {
             let budget = d.saturating_duration_since(enqueued);
@@ -626,6 +863,7 @@ impl Batcher {
         });
         q.pending.push_back(Work::Search(Pending {
             id,
+            trace_id,
             queries,
             n,
             dim,
@@ -637,10 +875,6 @@ impl Batcher {
             reply,
         }));
         drop(q);
-        self.shared
-            .counters
-            .accepted
-            .fetch_add(1, Ordering::Relaxed);
         self.shared.wake.notify_one();
         Admission::Queued
     }
@@ -663,6 +897,7 @@ impl Batcher {
         }
         let weight = mutation_weight(&op);
         let cfg = &self.shared.config;
+        let m = &self.shared.metrics;
         let mut q = lock(&self.shared.queue);
         match admit(&mut q, cfg, weight) {
             Err(AdmitRejection::Closing) => {
@@ -674,7 +909,7 @@ impl Batcher {
             }
             Err(AdmitRejection::Shedding) => {
                 drop(q);
-                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                m.shed.inc();
                 return MutationAdmission::Rejected(MutateResponse::rejection(
                     id,
                     Status::Overloaded,
@@ -688,6 +923,8 @@ impl Batcher {
             Ok(()) => {}
         }
         q.depth += weight;
+        m.queue_depth.set(q.depth as i64);
+        m.accepted.inc();
         q.pending.push_back(Work::Mutation(PendingMutation {
             id,
             op,
@@ -695,10 +932,6 @@ impl Batcher {
             reply,
         }));
         drop(q);
-        self.shared
-            .counters
-            .accepted
-            .fetch_add(1, Ordering::Relaxed);
         self.shared.wake.notify_one();
         MutationAdmission::Queued
     }
@@ -708,20 +941,43 @@ impl Batcher {
         lock(&self.shared.queue).depth
     }
 
-    /// Snapshot of the monotonic counters.
+    /// Coherent snapshot of the monotonic counters.
+    ///
+    /// Load order is the coherence mechanism: the *outcome* counters
+    /// (served, expired, internal) are read **before** `accepted`, and every
+    /// request increments `accepted` before it can reach an outcome — so in
+    /// any snapshot, however racy the traffic,
+    /// `served + deadline_expired + internal_errors ≤ accepted`.  Reading
+    /// `accepted` first would allow snapshots where outcomes from
+    /// just-admitted requests exceed the stale accepted count.
     pub fn stats(&self) -> BatcherStats {
-        let c = &self.shared.counters;
+        let m = &self.shared.metrics;
+        let served = m.served.get();
+        let deadline_expired = m.deadline_expired.get();
+        let internal_errors = m.internal_errors.get();
+        let batches = m.batches.get();
+        let shed = m.shed.get();
+        let mutations_journaled = m.mutations_journaled.get();
+        let mutations_applied = m.mutations_applied.get();
+        let compactions = m.compactions.get();
+        let accepted = m.accepted.get();
         BatcherStats {
-            accepted: c.accepted.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
-            internal_errors: c.internal_errors.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            served: c.served.load(Ordering::Relaxed),
-            mutations_journaled: c.mutations_journaled.load(Ordering::Relaxed),
-            mutations_applied: c.mutations_applied.load(Ordering::Relaxed),
-            compactions: c.compactions.load(Ordering::Relaxed),
+            accepted,
+            shed,
+            deadline_expired,
+            internal_errors,
+            batches,
+            served,
+            mutations_journaled,
+            mutations_applied,
+            compactions,
         }
+    }
+
+    /// The observability handle this batcher records into (disabled unless
+    /// started through [`Batcher::start_obs`] / [`Batcher::start_mutable_obs`]).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.shared.metrics.obs
     }
 
     /// Whether this batcher accepts mutations.
@@ -786,7 +1042,7 @@ fn batcher_loop(shared: &Shared, backend: &AnyBackend) {
             loop {
                 // Expired requests are answered immediately, even mid-wait:
                 // a deadline storm must not occupy queue depth.
-                expire(&mut q, &shared.counters);
+                expire(&mut q, &shared.metrics);
                 if q.depth >= cfg.max_batch || (q.closing && !q.pending.is_empty()) {
                     break;
                 }
@@ -822,45 +1078,57 @@ fn batcher_loop(shared: &Shared, backend: &AnyBackend) {
                 };
                 q = guard;
             }
-            take_batch(&mut q, cfg.max_batch)
+            take_batch(&mut q, cfg.max_batch, &shared.metrics)
         };
         if batch.is_empty() {
             continue;
         }
         match batch {
-            Batch::Searches(b) => run_batch(b, backend, &shared.counters),
-            Batch::Mutations(b) => run_mutations(b, backend, &shared.counters),
+            Batch::Searches(b) => run_batch(b, backend, &shared.metrics),
+            Batch::Mutations(b) => run_mutations(b, backend, &shared.metrics),
         }
     }
 }
 
 /// Answers and removes every expired request in the queue.  Mutations never
 /// expire: an admitted mutation is always journalled and acked.
-fn expire(q: &mut QueueState, counters: &BatcherCounters) {
+fn expire(q: &mut QueueState, m: &BatcherMetrics) {
     let now = Instant::now();
     let mut kept = VecDeque::with_capacity(q.pending.len());
     while let Some(work) = q.pending.pop_front() {
         let p = match work {
             Work::Search(p) => p,
-            m @ Work::Mutation(_) => {
-                kept.push_back(m);
+            mu @ Work::Mutation(_) => {
+                kept.push_back(mu);
                 continue;
             }
         };
         match p.deadline {
             Some(d) if now >= d => {
                 q.depth -= p.n;
-                counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
-                let _ = p.reply.send(Reply::Search(SearchResponse::rejection(
-                    p.id,
-                    Status::DeadlineExceeded,
-                    format!("deadline expired after {:?} in queue", now - p.enqueued),
-                )));
+                m.deadline_expired.inc();
+                let waited = now - p.enqueued;
+                // A traced request still gets its timings back: it spent its
+                // whole life in the queue.
+                let waited_nanos = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
+                p.send(
+                    SearchResponse::rejection(
+                        p.id,
+                        Status::DeadlineExceeded,
+                        format!("deadline expired after {waited:?} in queue"),
+                    ),
+                    StageTimings {
+                        queue_wait_nanos: waited_nanos,
+                        total_nanos: waited_nanos,
+                        ..StageTimings::default()
+                    },
+                );
             }
             _ => kept.push_back(Work::Search(p)),
         }
     }
     q.pending = kept;
+    m.queue_depth.set(q.depth as i64);
 }
 
 /// When the current queue must flush: the oldest request's `max_delay`
@@ -896,7 +1164,13 @@ fn flush_deadline(q: &QueueState, max_delay: Duration) -> Instant {
 /// admitted after a delete must not be answered from the pre-delete
 /// snapshot), and a mutation batch is the maximal run of consecutive
 /// mutations at the queue front, executed in arrival order.
-fn take_batch(q: &mut QueueState, max_batch: usize) -> Batch {
+fn take_batch(q: &mut QueueState, max_batch: usize, metrics: &BatcherMetrics) -> Batch {
+    let batch = take_batch_inner(q, max_batch);
+    metrics.queue_depth.set(q.depth as i64);
+    batch
+}
+
+fn take_batch_inner(q: &mut QueueState, max_batch: usize) -> Batch {
     if matches!(q.pending.front(), Some(Work::Mutation(_))) {
         let mut batch = Vec::new();
         while matches!(q.pending.front(), Some(Work::Mutation(_))) {
@@ -943,7 +1217,7 @@ fn take_batch(q: &mut QueueState, max_batch: usize) -> Batch {
 /// ack is sent only after the store has journalled (fsynced) and applied
 /// the mutation; a panic or error fails *that* mutation with a typed status
 /// and the batcher thread carries on.
-fn run_mutations(batch: Vec<PendingMutation>, backend: &AnyBackend, counters: &BatcherCounters) {
+fn run_mutations(batch: Vec<PendingMutation>, backend: &AnyBackend, metrics: &BatcherMetrics) {
     let Some(mutable) = backend.mutable() else {
         for m in batch {
             let _ = m.reply.send(Reply::Mutate(MutateResponse::rejection(
@@ -964,24 +1238,20 @@ fn run_mutations(batch: Vec<PendingMutation>, backend: &AnyBackend, counters: &B
             });
         let reply = match outcome {
             Ok(out) => {
-                counters
-                    .mutations_journaled
-                    .fetch_add(m.weight as u64, Ordering::Relaxed);
+                metrics.mutations_journaled.add(m.weight as u64);
                 let applied = match &m.op {
                     WireMutation::Compact => {
-                        counters.compactions.fetch_add(1, Ordering::Relaxed);
+                        metrics.compactions.inc();
                         0
                     }
                     _ => out.ids.len() as u64,
                 };
-                counters
-                    .mutations_applied
-                    .fetch_add(applied, Ordering::Relaxed);
-                counters.served.fetch_add(1, Ordering::Relaxed);
+                metrics.mutations_applied.add(applied);
+                metrics.served.inc();
                 MutateResponse::ok(m.id, out.ids, out.live)
             }
             Err(e) => {
-                counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.internal_errors.inc();
                 MutateResponse::rejection(m.id, mutation_error_status(&e), format!("{e}"))
             }
         };
@@ -1003,11 +1273,31 @@ fn mutation_error_status(e: &vecstore::Error) -> Status {
 }
 
 /// Executes one batch and fans the results (or a typed failure) back out.
-fn run_batch(batch: Vec<Pending>, backend: &AnyBackend, counters: &BatcherCounters) {
-    counters.batches.fetch_add(1, Ordering::Relaxed);
+///
+/// Latency accounting is pay-for-what-you-touch: clocks are read only when a
+/// latency histogram is live, the slow-query ring could admit, or the batch
+/// carries a traced request — otherwise this is byte-for-byte the untimed
+/// path.  Stage timings are measured by the backend (batch-level) and
+/// attributed to every traced request the batch carried.
+fn run_batch(batch: Vec<Pending>, backend: &AnyBackend, metrics: &BatcherMetrics) {
+    metrics.batches.inc();
     let dim = batch[0].dim;
     let r = batch[0].r;
     let nprobe = batch[0].nprobe;
+    let traced = batch.iter().any(|p| p.trace_id != 0);
+    let timed = traced || metrics.wants_latency();
+    let want_stage_timings = traced || metrics.route_nanos.is_enabled();
+    let dequeued = timed.then(Instant::now);
+    if let Some(at) = dequeued {
+        let mut oldest = at;
+        for p in &batch {
+            metrics.queue_wait_nanos.record_duration(at - p.enqueued);
+            oldest = oldest.min(p.enqueued);
+        }
+        metrics.coalesce_delay_nanos.record_duration(at - oldest);
+    }
+    let total_queries: usize = batch.iter().map(|p| p.n).sum();
+    metrics.batch_size.record(total_queries as u64);
     let mut flat = Vec::with_capacity(batch.iter().map(|p| p.queries.len()).sum());
     for p in &batch {
         flat.extend_from_slice(&p.queries);
@@ -1018,7 +1308,7 @@ fn run_batch(batch: Vec<Pending>, backend: &AnyBackend, counters: &BatcherCounte
         // backend implementations that panic on the batcher thread
         // itself.
         match catch_unwind(AssertUnwindSafe(|| {
-            backend.search_batch(&queries, r, nprobe)
+            backend.search_batch_with_stats(&queries, r, nprobe, want_stage_timings)
         })) {
             Ok(result) => result,
             Err(payload) => {
@@ -1030,12 +1320,17 @@ fn run_batch(batch: Vec<Pending>, backend: &AnyBackend, counters: &BatcherCounte
         }
     });
     match outcome {
-        Ok(results) => {
+        Ok((results, stats)) => {
+            if want_stage_timings {
+                metrics.route_nanos.record(stats.route_nanos);
+                metrics.scan_nanos.record(stats.scan_nanos);
+                metrics.rerank_nanos.record(stats.rerank_nanos);
+            }
             let expected: usize = batch.iter().map(|p| p.n).sum();
             if results.len() != expected {
                 fail_batch(
                     &batch,
-                    counters,
+                    metrics,
                     format!(
                         "backend returned {} result lists for {expected} queries",
                         results.len()
@@ -1043,27 +1338,83 @@ fn run_batch(batch: Vec<Pending>, backend: &AnyBackend, counters: &BatcherCounte
                 );
                 return;
             }
+            let completed = timed.then(Instant::now);
             let mut rest = results;
             for p in &batch {
                 let tail = rest.split_off(p.n);
                 let own = std::mem::replace(&mut rest, tail);
-                counters.served.fetch_add(1, Ordering::Relaxed);
-                let _ = p.reply.send(Reply::Search(SearchResponse::ok(p.id, own)));
+                metrics.served.inc();
+                let timings = stage_timings(p, &stats, dequeued, completed);
+                observe_slow(metrics, p, &timings, completed);
+                p.send(SearchResponse::ok(p.id, own), timings);
             }
         }
-        Err(e) => fail_batch(&batch, counters, format!("search failed: {e}")),
+        Err(e) => fail_batch(&batch, metrics, format!("search failed: {e}")),
     }
 }
 
+/// Assembles one request's stage timings from the batch-level measurements.
+fn stage_timings(
+    p: &Pending,
+    stats: &IvfSearchStats,
+    dequeued: Option<Instant>,
+    completed: Option<Instant>,
+) -> StageTimings {
+    let nanos = |since: Instant, until: Option<Instant>| {
+        until.map_or(0, |at| {
+            u64::try_from(at.saturating_duration_since(since).as_nanos()).unwrap_or(u64::MAX)
+        })
+    };
+    StageTimings {
+        queue_wait_nanos: nanos(p.enqueued, dequeued),
+        route_nanos: stats.route_nanos,
+        scan_nanos: stats.scan_nanos,
+        rerank_nanos: stats.rerank_nanos,
+        total_nanos: nanos(p.enqueued, completed),
+    }
+}
+
+/// Offers a completed request to the slow-query ring buffer (a no-op when
+/// observability is disabled; the ring itself applies the threshold).
+fn observe_slow(
+    metrics: &BatcherMetrics,
+    p: &Pending,
+    timings: &StageTimings,
+    completed: Option<Instant>,
+) {
+    if !metrics.obs.is_enabled() {
+        return;
+    }
+    // Slack left on the clock at completion: positive = finished early,
+    // negative = the deadline had already passed (0 when undeadlined).
+    let deadline_slack_nanos = match (p.deadline, completed) {
+        (Some(d), Some(at)) if at <= d => {
+            i64::try_from(d.duration_since(at).as_nanos()).unwrap_or(i64::MAX)
+        }
+        (Some(d), Some(at)) => i64::try_from(at.duration_since(d).as_nanos())
+            .map(|n| -n)
+            .unwrap_or(i64::MIN),
+        _ => 0,
+    };
+    metrics.obs.observe_slow(SlowQuery {
+        trace_id: p.trace_id,
+        queries: p.n as u32,
+        dim: p.dim as u32,
+        r: p.r as u16,
+        nprobe: p.nprobe as u16,
+        deadline_slack_nanos,
+        timings: *timings,
+    });
+}
+
 /// Answers every request of a failed batch with `INTERNAL`.
-fn fail_batch(batch: &[Pending], counters: &BatcherCounters, message: String) {
+fn fail_batch(batch: &[Pending], metrics: &BatcherMetrics, message: String) {
     for p in batch {
-        counters.internal_errors.fetch_add(1, Ordering::Relaxed);
-        let _ = p.reply.send(Reply::Search(SearchResponse::rejection(
-            p.id,
-            Status::Internal,
-            message.clone(),
-        )));
+        metrics.internal_errors.inc();
+        p.send(
+            SearchResponse::rejection(p.id, Status::Internal, message.clone()),
+            StageTimings::default(),
+        );
     }
 }
 
@@ -1081,6 +1432,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// Deterministic toy backend: neighbour id = floor of the first query
     /// coordinate, distance = fractional part.
@@ -1114,7 +1466,15 @@ mod tests {
     fn search_reply(reply: Reply) -> SearchResponse {
         match reply {
             Reply::Search(r) => r,
-            Reply::Mutate(m) => panic!("expected a search reply, got mutate ack {m:?}"),
+            other => panic!("expected a search reply, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a traced search reply off the shared channel.
+    fn traced_reply(reply: Reply) -> TracedSearchResponse {
+        match reply {
+            Reply::Traced(t) => t,
+            other => panic!("expected a traced reply, got {other:?}"),
         }
     }
 
@@ -1122,7 +1482,7 @@ mod tests {
     fn mutate_reply(reply: Reply) -> MutateResponse {
         match reply {
             Reply::Mutate(m) => m,
-            Reply::Search(r) => panic!("expected a mutate ack, got search reply {r:?}"),
+            other => panic!("expected a mutate ack, got {other:?}"),
         }
     }
 
@@ -1660,5 +2020,159 @@ mod tests {
             MutationAdmission::Rejected(resp) => assert_eq!(resp.status, Status::ShuttingDown),
             MutationAdmission::Queued => panic!("draining batcher must not admit mutations"),
         }
+    }
+
+    #[test]
+    fn traced_requests_come_back_with_queue_wait_and_total() {
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let mut b = Batcher::start(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_millis(1),
+                ..BatcherConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        assert!(matches!(
+            b.submit_traced(3, 0xfeed, vec![5.0, 0.0], 2, 4, 1, None, tx),
+            Admission::Queued
+        ));
+        let t = traced_reply(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        assert_eq!(t.trace_id, 0xfeed);
+        assert_eq!(t.resp.status, Status::Ok);
+        assert_eq!(t.resp.results[0].len(), 4);
+        assert!(t.timings.total_nanos > 0, "total was measured");
+        assert!(
+            t.timings.total_nanos >= t.timings.queue_wait_nanos,
+            "the total covers the queue wait"
+        );
+        b.shutdown();
+    }
+
+    #[test]
+    fn obs_batcher_registers_counters_histograms_and_slow_queries() {
+        let obs = ObsHandle::with_slow_threshold(0); // admit everything
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let mut b = Batcher::start_obs(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_millis(1),
+                ..BatcherConfig::default()
+            },
+            &obs,
+        );
+        let rxs: Vec<_> = (0..5).map(|i| submit_one(&b, i, i as f32)).collect();
+        for rx in &rxs {
+            assert_eq!(recv_search(rx).status, Status::Ok);
+        }
+        // The counters live in the caller's registry: the exposition and the
+        // drain summary read the same atomics.
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("batcher_served_total"), Some(5));
+        assert_eq!(snap.counter("batcher_accepted_total"), Some(5));
+        let stats = b.stats();
+        assert_eq!(stats.served, 5);
+        assert_eq!(stats.accepted, 5);
+        // Latency histograms recorded (threshold 0 ⇒ timed path is on).
+        let qw = snap.histogram("batcher_queue_wait_nanos").unwrap();
+        assert_eq!(qw.count(), 5, "one queue-wait sample per request");
+        let bs = snap.histogram("batcher_batch_size").unwrap();
+        assert!(bs.count() >= 1);
+        assert_eq!(bs.sum, 5, "batch sizes must sum to the query count");
+        // Every request crossed the 0-nanosecond slow threshold.
+        let slow = obs.obs().unwrap().slow_log().recent();
+        assert_eq!(slow.len(), 5);
+        assert!(slow.iter().all(|q| q.timings.total_nanos > 0));
+        assert!(slow.iter().all(|q| q.r == 3 && q.nprobe == 1));
+        b.shutdown();
+    }
+
+    #[test]
+    fn disabled_obs_batcher_still_counts_but_keeps_no_latency() {
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let mut b = Batcher::start(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_millis(1),
+                ..BatcherConfig::default()
+            },
+        );
+        let rx = submit_one(&b, 1, 1.0);
+        assert_eq!(recv_search(&rx).status, Status::Ok);
+        assert_eq!(b.stats().served, 1, "counters survive a disabled handle");
+        assert!(!b.obs().is_enabled());
+        b.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_is_coherent_under_concurrent_traffic() {
+        // Hammer submissions from several threads while a reader snapshots:
+        // in every snapshot accepted must dominate the outcome counters.
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let b = Arc::new(Batcher::start(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_micros(50),
+                ..BatcherConfig::default()
+            },
+        ));
+        let stop = Arc::new(AtomicU64::new(0));
+        let writers: Vec<_> = (0..3)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut rxs = Vec::new();
+                    for i in 0..300u64 {
+                        if stop.load(Ordering::Relaxed) != 0 {
+                            break;
+                        }
+                        rxs.push(submit_one(&b, t * 1000 + i, i as f32));
+                    }
+                    for rx in rxs {
+                        let _ = rx.recv_timeout(Duration::from_secs(5));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let s = b.stats();
+            assert!(
+                s.served + s.deadline_expired + s.internal_errors <= s.accepted,
+                "incoherent snapshot: {s:?}"
+            );
+        }
+        stop.store(1, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = b.stats();
+        assert_eq!(s.served, s.accepted, "all admitted requests were served");
+    }
+
+    #[test]
+    fn expired_traced_request_reports_its_queue_life() {
+        let backend = Arc::new(EchoBackend { dim: 2 });
+        let mut b = Batcher::start(
+            backend,
+            BatcherConfig {
+                max_delay: Duration::from_secs(1),
+                ..BatcherConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        let deadline = Some(Instant::now());
+        assert!(matches!(
+            b.submit_traced(9, 42, vec![1.0, 2.0], 2, 3, 1, deadline, tx),
+            Admission::Queued
+        ));
+        let t = traced_reply(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        assert_eq!(t.trace_id, 42);
+        assert_eq!(t.resp.status, Status::DeadlineExceeded);
+        assert_eq!(
+            t.timings.queue_wait_nanos, t.timings.total_nanos,
+            "an expired request spent its whole life queued"
+        );
+        b.shutdown();
     }
 }

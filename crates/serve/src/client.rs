@@ -25,11 +25,13 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use knn_graph::Neighbor;
+use obs::StageTimings;
 
 use crate::protocol::{
-    read_frame, write_frame, write_mutation, write_search, FrameKind, MutateResponse,
-    MutationRequest, SearchRequest, SearchResponse, Status, WireError, WireMutation,
-    DEFAULT_MAX_PAYLOAD,
+    read_frame, write_frame, write_mutation, write_search, write_stats_request,
+    write_traced_search, FrameKind, MutateResponse, MutationRequest, SearchRequest, SearchResponse,
+    StatsFormat, StatsRequest, StatsResponse, Status, TracedSearchRequest, TracedSearchResponse,
+    WireError, WireMutation, DEFAULT_MAX_PAYLOAD,
 };
 
 /// Client-side failure classification.
@@ -170,6 +172,101 @@ impl Client {
                 other => {
                     return Err(ClientError::Wire(WireError::Malformed(format!(
                         "unexpected frame kind {other:?} while awaiting a response"
+                    ))))
+                }
+            }
+        }
+    }
+
+    /// Sends one traced search and blocks for its traced response: the
+    /// results plus the server-measured per-stage timings (queue wait, IVF
+    /// route / scan / re-rank, and total residence).
+    ///
+    /// `trace_id` must be non-zero (mint one with [`obs::trace::next_trace_id`])
+    /// and is echoed back verbatim — a mismatch is reported like an id
+    /// mismatch.  Works only against a server started with observability;
+    /// other servers still answer (timings are simply zero).
+    pub fn search_traced(
+        &mut self,
+        trace_id: u64,
+        req: &SearchRequest,
+    ) -> Result<(Vec<Vec<Neighbor>>, StageTimings), ClientError> {
+        if trace_id == 0 {
+            return Err(ClientError::Wire(WireError::Malformed(
+                "trace id 0 is reserved for untraced requests".into(),
+            )));
+        }
+        write_traced_search(
+            &mut self.stream,
+            &TracedSearchRequest {
+                trace_id,
+                req: req.clone(),
+            },
+        )?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload)?
+                .ok_or(ClientError::Wire(WireError::Truncated))?;
+            match frame.kind {
+                FrameKind::TracedResponse => {
+                    let traced = TracedSearchResponse::decode(&frame.payload)?;
+                    if traced.resp.status != Status::Ok {
+                        return Err(ClientError::Rejected {
+                            status: traced.resp.status,
+                            message: traced.resp.message,
+                        });
+                    }
+                    if traced.trace_id != trace_id {
+                        return Err(ClientError::Mismatch {
+                            sent: trace_id,
+                            got: traced.trace_id,
+                        });
+                    }
+                    if traced.resp.id != req.id {
+                        return Err(ClientError::Mismatch {
+                            sent: req.id,
+                            got: traced.resp.id,
+                        });
+                    }
+                    return Ok((traced.resp.results, traced.timings));
+                }
+                // Stray control frames crossing this request are skipped.
+                FrameKind::Pong | FrameKind::ShutdownAck => continue,
+                other => {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "unexpected frame kind {other:?} while awaiting a traced response"
+                    ))))
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's stats rendered in `format`.
+    ///
+    /// Servers started without observability answer a typed `BAD_REQUEST`
+    /// rejection, which surfaces here as [`ClientError::Rejected`].
+    pub fn stats(&mut self, format: StatsFormat) -> Result<String, ClientError> {
+        write_stats_request(&mut self.stream, &StatsRequest { format })?;
+        loop {
+            let frame = read_frame(&mut self.stream, self.max_payload)?
+                .ok_or(ClientError::Wire(WireError::Truncated))?;
+            match frame.kind {
+                FrameKind::StatsText => {
+                    return Ok(StatsResponse::decode(&frame.payload)?.text);
+                }
+                // A rejection (e.g. observability disabled) arrives as a
+                // plain response frame.
+                FrameKind::Response => {
+                    let resp = SearchResponse::decode(&frame.payload)?;
+                    return Err(ClientError::Rejected {
+                        status: resp.status,
+                        message: resp.message,
+                    });
+                }
+                // Stray control frames crossing this request are skipped.
+                FrameKind::Pong | FrameKind::ShutdownAck => continue,
+                other => {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "unexpected frame kind {other:?} while awaiting stats text"
                     ))))
                 }
             }

@@ -65,6 +65,7 @@
 
 pub mod batcher;
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod signal;
@@ -76,7 +77,9 @@ pub use batcher::{
 pub use client::{
     retry_mutation, retry_search, Client, ClientError, RetryPolicy, Sleeper, ThreadSleeper,
 };
+pub use metrics::MetricsServer;
 pub use protocol::{
-    MutateResponse, MutationRequest, SearchRequest, SearchResponse, Status, WireMutation,
+    MutateResponse, MutationRequest, SearchRequest, SearchResponse, StatsFormat, StatsRequest,
+    StatsResponse, Status, TracedSearchRequest, TracedSearchResponse, WireMutation,
 };
 pub use server::{Server, ServerConfig, ServerStats, StopReason};

@@ -1,0 +1,349 @@
+//! A minimal, hardened HTTP exposition endpoint for the metrics registry.
+//!
+//! Serves the Prometheus text format over a plain [`TcpListener`] — no HTTP
+//! library, because the container has none and the surface is one read-only
+//! GET.  The parser is deliberately tiny and paranoid:
+//!
+//! * the request is capped at `MAX_REQUEST_BYTES` (8 KiB) before any
+//!   allocation grows past a stack chunk — longer requests are answered `413`;
+//! * read and write each get a 2 s socket timeout, so a slow-loris peer
+//!   costs one short-lived thread for at most ~4 s, never a stuck listener;
+//! * concurrent connections are capped at `MAX_OPEN` (32); beyond that the
+//!   socket is dropped without a response (the scraper will retry);
+//! * any parse failure answers `400` and closes — the endpoint never panics
+//!   and never echoes attacker-controlled bytes back.
+//!
+//! `GET /metrics` (or `/`) returns the registry snapshot rendered in
+//! Prometheus text format; `GET /json` returns the JSON rendering including
+//! the recent slow queries.  Everything else is `404`.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use obs::ObsHandle;
+
+/// Request cap: a real scrape's request line plus headers fits in a fraction
+/// of this; anything longer is hostile or confused.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Concurrent connection cap — scrapes are short, so even one aggressive
+/// scraper plus a chaos test stays far below this.
+const MAX_OPEN: usize = 32;
+/// Socket read/write budget per connection.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Accept-loop poll tick (shutdown latency bound).
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// A running metrics endpoint.  Dropping it stops the listener and joins
+/// the accept thread.
+pub struct MetricsServer {
+    shutdown: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`; port 0 picks an ephemeral one)
+    /// and serves `obs`'s registry until the server is dropped or
+    /// [`MetricsServer::shutdown`] is called.
+    ///
+    /// The handle may be disabled — the endpoint then answers `503` so a
+    /// scraper sees an explicit signal rather than an empty page.
+    pub fn start(addr: &str, obs: ObsHandle) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = thread::Builder::new()
+            .name("gkm-metrics".into())
+            .spawn(move || accept_loop(listener, &flag, &obs))?;
+        Ok(MetricsServer {
+            shutdown,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `…:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the listener and joins the accept thread.  Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shutdown: &AtomicBool, obs: &ObsHandle) {
+    let open = Arc::new(AtomicUsize::new(0));
+    let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                workers.retain(|t| !t.is_finished());
+                if open.load(Ordering::SeqCst) >= MAX_OPEN {
+                    // Over the cap: drop without a response; scrapes retry.
+                    continue;
+                }
+                open.fetch_add(1, Ordering::SeqCst);
+                let conn_open = Arc::clone(&open);
+                let conn_obs = obs.clone();
+                let spawned =
+                    thread::Builder::new()
+                        .name("gkm-metrics-c".into())
+                        .spawn(move || {
+                            handle_scrape(stream, &conn_obs);
+                            conn_open.fetch_sub(1, Ordering::SeqCst);
+                        });
+                match spawned {
+                    Ok(t) => workers.push(t),
+                    Err(_) => {
+                        open.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
+            Err(_) => thread::sleep(ACCEPT_TICK),
+        }
+    }
+    for t in workers {
+        let _ = t.join();
+    }
+}
+
+/// Reads one request (bounded, with timeouts), answers it, closes.
+fn handle_scrape(mut stream: TcpStream, obs: &ObsHandle) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    // Read until the header terminator, the cap, EOF, or the timeout —
+    // whichever comes first.  A slow-loris peer hits the timeout; a
+    // header-bomb hits the cap.
+    let complete = loop {
+        if find_header_end(&buf).is_some() {
+            break true;
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            let _ = write_simple(&mut stream, 413, "request too large\n");
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break false,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // WouldBlock / TimedOut: the 2 s budget elapsed mid-request.
+            Err(_) => {
+                let _ = write_simple(&mut stream, 408, "request timed out\n");
+                return;
+            }
+        }
+    };
+    if !complete {
+        // EOF before the headers ended: garbage or a probe; nothing to say.
+        return;
+    }
+
+    let path = match parse_request_path(&buf) {
+        Some(p) => p,
+        None => {
+            let _ = write_simple(&mut stream, 400, "malformed request\n");
+            return;
+        }
+    };
+
+    let Some(snap) = obs.snapshot() else {
+        let _ = write_simple(&mut stream, 503, "metrics are not enabled on this server\n");
+        return;
+    };
+    match path.as_str() {
+        "/metrics" | "/" => {
+            let body = snap.render_prometheus();
+            let _ = write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/json" => {
+            let slow = obs.obs().map(|o| o.slow_log().recent()).unwrap_or_default();
+            let body = snap.render_json(&slow);
+            let _ = write_response(&mut stream, 200, "application/json", &body);
+        }
+        _ => {
+            let _ = write_simple(&mut stream, 404, "try /metrics or /json\n");
+        }
+    }
+}
+
+/// Byte offset just past the `\r\n\r\n` (or bare `\n\n`) header terminator.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+/// Extracts the path from `GET <path> HTTP/1.x`.  `None` for any other
+/// method, a non-UTF-8 request line, or a missing version token.
+fn parse_request_path(buf: &[u8]) -> Option<String> {
+    let line_end = buf.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&buf[..line_end]).ok()?.trim_end();
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let path = parts.next()?;
+    if !parts.next()?.starts_with("HTTP/") {
+        return None;
+    }
+    // Strip a query string: scrapers sometimes append cache-busters.
+    let path = path.split('?').next().unwrap_or(path);
+    Some(path.to_string())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "OK",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn write_simple(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write_response(stream, status, "text/plain; charset=utf-8", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_enabled() -> (MetricsServer, ObsHandle) {
+        let obs = ObsHandle::enabled();
+        obs.counter("test_requests_total", "Requests seen by the test")
+            .add(7);
+        let server = MetricsServer::start("127.0.0.1:0", obs.clone()).unwrap();
+        (server, obs)
+    }
+
+    fn http_get(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn scrape_returns_prometheus_text() {
+        let (mut server, _obs) = start_enabled();
+        let resp = http_get(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("test_requests_total 7"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn json_endpoint_includes_metric() {
+        let (mut server, _obs) = start_enabled();
+        let resp = http_get(server.local_addr(), "GET /json HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("test_requests_total"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_post_is_400() {
+        let (mut server, _obs) = start_enabled();
+        let addr = server.local_addr();
+        assert!(http_get(addr, "GET /nope HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+        assert!(http_get(addr, "POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 400"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_get_a_400_not_a_hang() {
+        let (mut server, _obs) = start_enabled();
+        let resp = http_get(server.local_addr(), "\x00\x01\x02garbage\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_is_413() {
+        let (mut server, _obs) = start_enabled();
+        let big = format!("GET /metrics HTTP/1.1\r\nX-Pad: {}\r\n", "a".repeat(9000));
+        let resp = http_get(server.local_addr(), &big);
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn disabled_handle_serves_503() {
+        let mut server = MetricsServer::start("127.0.0.1:0", ObsHandle::disabled()).unwrap();
+        let resp = http_get(server.local_addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_times_out_without_blocking_fast_scrapes() {
+        let (mut server, _obs) = start_enabled();
+        let addr = server.local_addr();
+        // A peer that sends half a request line and stalls.
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(b"GET /metr").unwrap();
+        // A well-behaved scrape issued while the loris is stalling must
+        // still answer promptly.
+        let resp = http_get(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        // The loris eventually gets a 408 (or a closed socket) — never a
+        // wedged listener.
+        loris
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut out = String::new();
+        let _ = loris.read_to_string(&mut out);
+        assert!(out.is_empty() || out.starts_with("HTTP/1.1 408"), "{out}");
+        server.shutdown();
+    }
+}

@@ -75,6 +75,15 @@ pub enum FrameKind {
     Compact = 9,
     /// A [`MutateResponse`] payload (ack of Insert/Delete/Compact).
     MutateAck = 10,
+    /// A [`StatsRequest`] payload: asks the server for a metrics snapshot.
+    Stats = 11,
+    /// A [`StatsResponse`] payload: the rendered exposition text.
+    StatsText = 12,
+    /// A [`TracedSearchRequest`]: a search carrying a client-minted trace id.
+    TracedSearch = 13,
+    /// A [`TracedSearchResponse`]: a response carrying the trace id and the
+    /// per-stage timings of the batch that served it.
+    TracedResponse = 14,
 }
 
 impl FrameKind {
@@ -90,6 +99,10 @@ impl FrameKind {
             8 => FrameKind::Delete,
             9 => FrameKind::Compact,
             10 => FrameKind::MutateAck,
+            11 => FrameKind::Stats,
+            12 => FrameKind::StatsText,
+            13 => FrameKind::TracedSearch,
+            14 => FrameKind::TracedResponse,
             _ => return None,
         })
     }
@@ -765,6 +778,169 @@ impl MutateResponse {
     }
 }
 
+/// The exposition format a [`StatsRequest`] asks for.  Discriminants are
+/// wire-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatsFormat {
+    /// One JSON object (machine consumption, `gkm stats --json`).
+    Json = 0,
+    /// Prometheus text exposition format 0.0.4.
+    Prometheus = 1,
+    /// Aligned human-readable table (`gkm stats`).
+    Human = 2,
+}
+
+impl StatsFormat {
+    /// Decodes a wire discriminant.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => StatsFormat::Json,
+            1 => StatsFormat::Prometheus,
+            2 => StatsFormat::Human,
+            _ => return None,
+        })
+    }
+}
+
+/// Asks the server to render its metrics registry and slow-query log.
+///
+/// Payload layout: a single format byte ([`StatsFormat`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsRequest {
+    /// The exposition format to render.
+    pub format: StatsFormat,
+}
+
+impl StatsRequest {
+    /// Encodes the request payload (one byte).
+    pub fn encode(&self) -> Vec<u8> {
+        vec![self.format as u8]
+    }
+
+    /// Decodes a stats-request payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        if payload.len() != 1 {
+            return Err(WireError::Malformed(format!(
+                "stats request must be exactly one format byte, got {}",
+                payload.len()
+            )));
+        }
+        let format = StatsFormat::from_u8(payload[0])
+            .ok_or_else(|| WireError::Malformed(format!("unknown stats format {}", payload[0])))?;
+        Ok(StatsRequest { format })
+    }
+}
+
+/// The rendered metrics snapshot answering a [`StatsRequest`].
+///
+/// Payload layout: the exposition text as raw UTF-8 bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsResponse {
+    /// Rendered exposition text in the requested format.
+    pub text: String,
+}
+
+impl StatsResponse {
+    /// Encodes the response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        self.text.as_bytes().to_vec()
+    }
+
+    /// Decodes a stats-response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let text = String::from_utf8(payload.to_vec())
+            .map_err(|_| WireError::Malformed("stats text is not valid UTF-8".into()))?;
+        Ok(StatsResponse { text })
+    }
+}
+
+/// A [`SearchRequest`] carrying a client-minted trace id.
+///
+/// Payload layout: `trace_id u64` followed by the standard search-request
+/// encoding — an untraced request is literally the traced one minus its
+/// first eight bytes, so both paths share one decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedSearchRequest {
+    /// Non-zero client-minted trace id (0 is reserved for "untraced").
+    pub trace_id: u64,
+    /// The search itself.
+    pub req: SearchRequest,
+}
+
+impl TracedSearchRequest {
+    /// Encodes the traced-request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let inner = self.req.encode();
+        let mut out = Vec::with_capacity(8 + inner.len());
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&inner);
+        out
+    }
+
+    /// Decodes a traced-request payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let trace_id = c.u64()?;
+        if trace_id == 0 {
+            return Err(WireError::Malformed(
+                "traced search carries trace id 0 (reserved for untraced)".into(),
+            ));
+        }
+        let req = SearchRequest::decode(c.rest())?;
+        Ok(TracedSearchRequest { trace_id, req })
+    }
+}
+
+/// A [`SearchResponse`] carrying the trace id and stage timings back.
+///
+/// Payload layout: `trace_id u64 | queue_wait u64 | route u64 | scan u64 |
+/// rerank u64 | total u64` followed by the standard response encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedSearchResponse {
+    /// Trace id copied from the request.
+    pub trace_id: u64,
+    /// Where the time went, as measured server-side.
+    pub timings: obs::trace::StageTimings,
+    /// The response itself.
+    pub resp: SearchResponse,
+}
+
+impl TracedSearchResponse {
+    /// Encodes the traced-response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let inner = self.resp.encode();
+        let mut out = Vec::with_capacity(48 + inner.len());
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.timings.queue_wait_nanos.to_le_bytes());
+        out.extend_from_slice(&self.timings.route_nanos.to_le_bytes());
+        out.extend_from_slice(&self.timings.scan_nanos.to_le_bytes());
+        out.extend_from_slice(&self.timings.rerank_nanos.to_le_bytes());
+        out.extend_from_slice(&self.timings.total_nanos.to_le_bytes());
+        out.extend_from_slice(&inner);
+        out
+    }
+
+    /// Decodes a traced-response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let trace_id = c.u64()?;
+        let timings = obs::trace::StageTimings {
+            queue_wait_nanos: c.u64()?,
+            route_nanos: c.u64()?,
+            scan_nanos: c.u64()?,
+            rerank_nanos: c.u64()?,
+            total_nanos: c.u64()?,
+        };
+        let resp = SearchResponse::decode(c.rest())?;
+        Ok(TracedSearchResponse {
+            trace_id,
+            timings,
+            resp,
+        })
+    }
+}
+
 /// Bounds-checked little-endian reader over a payload slice.
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -832,6 +1008,26 @@ pub fn write_mutation(w: &mut impl Write, req: &MutationRequest) -> io::Result<(
 /// Convenience: frames a [`MutateResponse`].
 pub fn write_mutate_ack(w: &mut impl Write, ack: &MutateResponse) -> io::Result<()> {
     write_frame(w, FrameKind::MutateAck, &ack.encode())
+}
+
+/// Convenience: frames a [`StatsRequest`].
+pub fn write_stats_request(w: &mut impl Write, req: &StatsRequest) -> io::Result<()> {
+    write_frame(w, FrameKind::Stats, &req.encode())
+}
+
+/// Convenience: frames a [`StatsResponse`].
+pub fn write_stats_text(w: &mut impl Write, resp: &StatsResponse) -> io::Result<()> {
+    write_frame(w, FrameKind::StatsText, &resp.encode())
+}
+
+/// Convenience: frames a [`TracedSearchRequest`].
+pub fn write_traced_search(w: &mut impl Write, req: &TracedSearchRequest) -> io::Result<()> {
+    write_frame(w, FrameKind::TracedSearch, &req.encode())
+}
+
+/// Convenience: frames a [`TracedSearchResponse`].
+pub fn write_traced_response(w: &mut impl Write, resp: &TracedSearchResponse) -> io::Result<()> {
+    write_frame(w, FrameKind::TracedResponse, &resp.encode())
 }
 
 /// Computes the canonical frame checksum for externally-assembled frames
@@ -1115,6 +1311,120 @@ mod tests {
         let mut evil = ok.encode();
         evil.truncate(evil.len() - 2);
         assert!(MutateResponse::decode(&evil).is_err());
+    }
+
+    #[test]
+    fn stats_request_round_trips_and_rejects_garbage() {
+        for format in [
+            StatsFormat::Json,
+            StatsFormat::Prometheus,
+            StatsFormat::Human,
+        ] {
+            let req = StatsRequest { format };
+            let mut buf = Vec::new();
+            write_stats_request(&mut buf, &req).unwrap();
+            let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD)
+                .unwrap()
+                .unwrap();
+            assert_eq!(frame.kind, FrameKind::Stats);
+            assert_eq!(StatsRequest::decode(&frame.payload).unwrap(), req);
+        }
+        // Unknown format byte and wrong payload sizes are typed.
+        assert!(matches!(
+            StatsRequest::decode(&[9]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            StatsRequest::decode(&[]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            StatsRequest::decode(&[0, 0]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stats_response_round_trips_and_rejects_bad_utf8() {
+        let resp = StatsResponse {
+            text: "serve_requests_total 42\n".into(),
+        };
+        let mut buf = Vec::new();
+        write_stats_text(&mut buf, &resp).unwrap();
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.kind, FrameKind::StatsText);
+        assert_eq!(StatsResponse::decode(&frame.payload).unwrap(), resp);
+        assert!(matches!(
+            StatsResponse::decode(&[0xff, 0xfe, 0x80]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn traced_search_round_trips_and_rejects_zero_trace_id() {
+        let traced = TracedSearchRequest {
+            trace_id: 0xABCD_EF01_2345_6789,
+            req: sample_request(),
+        };
+        let mut buf = Vec::new();
+        write_traced_search(&mut buf, &traced).unwrap();
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.kind, FrameKind::TracedSearch);
+        assert_eq!(TracedSearchRequest::decode(&frame.payload).unwrap(), traced);
+
+        // The traced payload is trace_id ‖ the plain encoding.
+        assert_eq!(&traced.encode()[8..], &sample_request().encode()[..]);
+
+        let zero = TracedSearchRequest {
+            trace_id: 0,
+            req: sample_request(),
+        };
+        assert!(matches!(
+            TracedSearchRequest::decode(&zero.encode()),
+            Err(WireError::Malformed(_))
+        ));
+        // A malformed inner request is still typed.
+        let mut evil = traced.encode();
+        evil.truncate(20);
+        assert!(TracedSearchRequest::decode(&evil).is_err());
+    }
+
+    #[test]
+    fn traced_response_round_trips_with_timings() {
+        let traced = TracedSearchResponse {
+            trace_id: 77,
+            timings: obs::trace::StageTimings {
+                queue_wait_nanos: 1_000,
+                route_nanos: 2_000,
+                scan_nanos: 3_000,
+                rerank_nanos: 4_000,
+                total_nanos: 11_000,
+            },
+            resp: SearchResponse::ok(77, vec![vec![Neighbor::new(1, 0.25)]]),
+        };
+        let mut buf = Vec::new();
+        write_traced_response(&mut buf, &traced).unwrap();
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.kind, FrameKind::TracedResponse);
+        let decoded = TracedSearchResponse::decode(&frame.payload).unwrap();
+        assert_eq!(decoded, traced);
+        assert_eq!(decoded.timings.stage_sum(), 10_000);
+
+        // Rejections travel traced too (deadline misses keep their timing).
+        let rej = TracedSearchResponse {
+            trace_id: 78,
+            timings: obs::trace::StageTimings::default(),
+            resp: SearchResponse::rejection(78, Status::DeadlineExceeded, "late"),
+        };
+        assert_eq!(TracedSearchResponse::decode(&rej.encode()).unwrap(), rej);
+        // Truncated timing block is typed.
+        assert!(TracedSearchResponse::decode(&traced.encode()[..30]).is_err());
     }
 
     #[test]

@@ -45,13 +45,17 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use obs::{CounterHandle, GaugeHandle, HistogramHandle, ObsHandle, StageTimings};
+
 use crate::batcher::{
     Admission, Batcher, BatcherConfig, BatcherStats, MutableBackend, MutationAdmission, Reply,
     SearchBackend,
 };
 use crate::protocol::{
-    read_frame, write_frame, write_mutate_ack, write_response, FrameKind, MutateResponse,
-    MutationRequest, SearchRequest, SearchResponse, Status, DEFAULT_MAX_PAYLOAD,
+    read_frame, write_frame, write_mutate_ack, write_response, write_stats_text,
+    write_traced_response, FrameKind, MutateResponse, MutationRequest, SearchRequest,
+    SearchResponse, StatsFormat, StatsRequest, StatsResponse, Status, TracedSearchRequest,
+    TracedSearchResponse, DEFAULT_MAX_PAYLOAD,
 };
 
 /// Server tuning knobs.
@@ -108,6 +112,53 @@ pub struct ServerStats {
     pub batcher: BatcherStats,
 }
 
+/// The server's own instruments, registered alongside the batcher's on the
+/// same [`ObsHandle`].  Every handle compiles to a no-op when the server was
+/// started without observability, so the accept and reader loops pay one
+/// predictable branch per event.
+struct ServerMetrics {
+    /// Frames successfully parsed across all connections.
+    frames: CounterHandle,
+    /// Lifetime accepted connections (mirrors `ServerStats`).
+    accepted: CounterHandle,
+    /// Connections refused at the `max_connections` cap.
+    refused: CounterHandle,
+    /// Frames that failed to parse or decode.
+    protocol_errors: CounterHandle,
+    /// Currently open connections.
+    open: GaugeHandle,
+    /// Frames handled per connection, recorded when the reader exits.
+    frames_per_conn: HistogramHandle,
+}
+
+impl ServerMetrics {
+    fn register(handle: &ObsHandle) -> Self {
+        ServerMetrics {
+            frames: handle.counter(
+                "server_frames_total",
+                "Frames parsed across all connections",
+            ),
+            accepted: handle.counter(
+                "server_connections_accepted_total",
+                "Connections accepted over the server's lifetime",
+            ),
+            refused: handle.counter(
+                "server_connections_refused_total",
+                "Connections refused at the connection cap",
+            ),
+            protocol_errors: handle.counter(
+                "server_protocol_errors_total",
+                "Frames that failed to parse or decode",
+            ),
+            open: handle.gauge("server_connections_open", "Currently open connections"),
+            frames_per_conn: handle.histogram(
+                "server_frames_per_connection",
+                "Frames handled per connection at reader exit",
+            ),
+        }
+    }
+}
+
 struct ServerShared {
     shutdown: AtomicBool,
     stop_reason: AtomicU64, // 0 = running, 1 = ctl frame, 2 = requested
@@ -116,6 +167,7 @@ struct ServerShared {
     refused: AtomicU64,
     protocol_errors: AtomicU64,
     config: ServerConfig,
+    metrics: ServerMetrics,
 }
 
 impl ServerShared {
@@ -129,6 +181,13 @@ impl ServerShared {
             .compare_exchange(0, code, Ordering::SeqCst, Ordering::SeqCst);
         self.shutdown.store(true, Ordering::SeqCst);
     }
+
+    /// Counts a malformed frame in both the legacy atomic (for
+    /// [`ServerStats`]) and the obs registry (for exposition).
+    fn note_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.metrics.protocol_errors.inc();
+    }
 }
 
 /// A running server.  Dropping it triggers a drain and joins every thread.
@@ -141,23 +200,46 @@ pub struct Server {
 
 impl Server {
     /// Binds `config.addr` and starts serving `backend` (search-only:
-    /// mutation frames are answered `BAD_REQUEST`).
+    /// mutation frames are answered `BAD_REQUEST`).  Observability is off:
+    /// `Stats` frames are answered `BAD_REQUEST` and no latency is recorded.
     pub fn start(backend: Arc<dyn SearchBackend>, config: ServerConfig) -> io::Result<Server> {
-        let batcher = Batcher::start(backend, config.batcher);
-        Self::start_with(batcher, config)
+        Self::start_obs(backend, config, &ObsHandle::disabled())
     }
 
     /// Binds `config.addr` and starts serving a mutable `backend`: search,
-    /// insert, delete and compact frames are all accepted.
+    /// insert, delete and compact frames are all accepted.  Observability is
+    /// off, as in [`Server::start`].
     pub fn start_mutable(
         backend: Arc<dyn MutableBackend>,
         config: ServerConfig,
     ) -> io::Result<Server> {
-        let batcher = Batcher::start_mutable(backend, config.batcher);
-        Self::start_with(batcher, config)
+        Self::start_mutable_obs(backend, config, &ObsHandle::disabled())
     }
 
-    fn start_with(batcher: Batcher, config: ServerConfig) -> io::Result<Server> {
+    /// [`Server::start`] with the server's and batcher's instruments
+    /// registered on `obs`: connection/frame counters, per-stage latency
+    /// histograms, the slow-query ring, and `Stats` frame exposition all
+    /// become live.
+    pub fn start_obs(
+        backend: Arc<dyn SearchBackend>,
+        config: ServerConfig,
+        obs: &ObsHandle,
+    ) -> io::Result<Server> {
+        let batcher = Batcher::start_obs(backend, config.batcher, obs);
+        Self::start_with(batcher, config, obs)
+    }
+
+    /// [`Server::start_mutable`] with instruments registered on `obs`.
+    pub fn start_mutable_obs(
+        backend: Arc<dyn MutableBackend>,
+        config: ServerConfig,
+        obs: &ObsHandle,
+    ) -> io::Result<Server> {
+        let batcher = Batcher::start_mutable_obs(backend, config.batcher, obs);
+        Self::start_with(batcher, config, obs)
+    }
+
+    fn start_with(batcher: Batcher, config: ServerConfig, obs: &ObsHandle) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -170,6 +252,7 @@ impl Server {
             refused: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             config,
+            metrics: ServerMetrics::register(obs),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_batcher = Arc::clone(&batcher);
@@ -227,6 +310,13 @@ impl Server {
         }
     }
 
+    /// The observability handle the server (and its batcher) registered
+    /// their instruments on.  Disabled unless the server was started through
+    /// [`Server::start_obs`] / [`Server::start_mutable_obs`].
+    pub fn obs(&self) -> &ObsHandle {
+        self.batcher.obs()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -265,11 +355,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, batcher: Arc<Ba
                 workers.retain(|t| !t.is_finished());
                 if shared.open.load(Ordering::SeqCst) >= shared.config.max_connections {
                     shared.refused.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.refused.inc();
                     refuse_connection(stream);
                     continue;
                 }
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accepted.inc();
                 shared.open.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.open.add(1);
                 let conn_shared = Arc::clone(&shared);
                 let conn_batcher = Arc::clone(&batcher);
                 let spawned = thread::Builder::new()
@@ -277,6 +370,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, batcher: Arc<Ba
                     .spawn(move || {
                         handle_connection(stream, &conn_shared, &conn_batcher);
                         conn_shared.open.fetch_sub(1, Ordering::SeqCst);
+                        conn_shared.metrics.open.add(-1);
                     });
                 match spawned {
                     Ok(t) => workers.push(t),
@@ -284,6 +378,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, batcher: Arc<Ba
                         // Spawn failure (fd/thread exhaustion): undo the
                         // count; the stream drops closed.
                         shared.open.fetch_sub(1, Ordering::SeqCst);
+                        shared.metrics.open.add(-1);
                     }
                 }
             }
@@ -321,7 +416,8 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, batcher: &Batcher
         Err(_) => return,
     };
 
-    reader_loop(&stream, shared, batcher, &out_tx);
+    let frames_handled = reader_loop(&stream, shared, batcher, &out_tx);
+    shared.metrics.frames_per_conn.record(frames_handled);
 
     // Closing the channel stops the writer once every queued response (each
     // admitted request holds a sender clone until answered) has flushed.
@@ -350,7 +446,9 @@ fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Reply>) {
                 write_frame(&mut stream, kind, &[]).is_ok()
             }
             Reply::Search(resp) => write_response(&mut stream, &resp).is_ok(),
+            Reply::Traced(resp) => write_traced_response(&mut stream, &resp).is_ok(),
             Reply::Mutate(ack) => write_mutate_ack(&mut stream, &ack).is_ok(),
+            Reply::Stats(resp) => write_stats_text(&mut stream, &resp).is_ok(),
         };
         if !ok {
             // Peer gone: keep draining the channel so batcher sends never
@@ -387,29 +485,33 @@ fn try_parse(buf: &[u8], max_payload: u32) -> ParseState {
     }
 }
 
+/// Returns the number of frames handled, for the per-connection histogram.
 fn reader_loop(
     stream: &TcpStream,
     shared: &ServerShared,
     batcher: &Batcher,
     out_tx: &mpsc::Sender<Reply>,
-) {
+) -> u64 {
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let cfg = &shared.config;
     let mut carry: Vec<u8> = Vec::new();
     let mut last_progress = Instant::now();
+    let mut frames_handled: u64 = 0;
     loop {
         // Parse every complete frame already buffered.
         loop {
             match try_parse(&carry, cfg.max_frame_bytes) {
                 ParseState::Complete(frame, consumed) => {
                     carry.drain(..consumed);
+                    frames_handled += 1;
+                    shared.metrics.frames.inc();
                     if !handle_frame(frame, shared, batcher, out_tx) {
-                        return;
+                        return frames_handled;
                     }
                 }
                 ParseState::Incomplete => break,
                 ParseState::Error(e) => {
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.note_protocol_error();
                     if !e.is_disconnect() {
                         let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                             0,
@@ -417,7 +519,7 @@ fn reader_loop(
                             e.to_string(),
                         )));
                     }
-                    return;
+                    return frames_handled;
                 }
             }
         }
@@ -426,9 +528,10 @@ fn reader_loop(
         match io::Read::read(&mut { stream }, &mut chunk) {
             Ok(0) => {
                 if !carry.is_empty() {
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.note_protocol_error();
                 }
-                return; // clean EOF (or torn frame — either way the peer left)
+                // clean EOF (or torn frame — either way the peer left)
+                return frames_handled;
             }
             Ok(n) => {
                 carry.extend_from_slice(&chunk[..n]);
@@ -438,25 +541,25 @@ fn reader_loop(
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::SeqCst) && carry.is_empty() {
-                    return; // drain: no partial frame in progress
+                    return frames_handled; // drain: no partial frame in progress
                 }
                 let now = Instant::now();
                 if carry.is_empty() {
                     if now - last_progress > cfg.idle_timeout {
-                        return;
+                        return frames_handled;
                     }
                 } else if now - last_progress > cfg.frame_timeout {
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.note_protocol_error();
                     let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                         0,
                         Status::BadRequest,
                         "frame not completed within the slow-client budget",
                     )));
-                    return;
+                    return frames_handled;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return,
+            Err(_) => return frames_handled,
         }
     }
 }
@@ -487,7 +590,7 @@ fn handle_frame(
             let req = match SearchRequest::decode(&frame.payload) {
                 Ok(req) => req,
                 Err(e) => {
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.note_protocol_error();
                     let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                         0,
                         Status::BadRequest,
@@ -496,31 +599,49 @@ fn handle_frame(
                     return true;
                 }
             };
-            if req.id == CTL_ID {
-                let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
-                    0,
-                    Status::BadRequest,
-                    "request id u64::MAX is reserved for control frames",
-                )));
-                return true;
-            }
-            let deadline = if req.deadline_ms == 0 {
-                None
-            } else {
-                Some(Instant::now() + Duration::from_millis(u64::from(req.deadline_ms)))
+            admit_search(req, 0, batcher, out_tx);
+            true
+        }
+        FrameKind::TracedSearch => {
+            let req = match TracedSearchRequest::decode(&frame.payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    shared.note_protocol_error();
+                    let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
+                        0,
+                        Status::BadRequest,
+                        e.to_string(),
+                    )));
+                    return true;
+                }
             };
-            let id = req.id;
-            let admission = batcher.submit(
-                id,
-                req.queries,
-                req.dim as usize,
-                req.r as usize,
-                req.nprobe as usize,
-                deadline,
-                out_tx.clone(),
-            );
-            if let Admission::Rejected(resp) = admission {
-                let _ = out_tx.send(Reply::Search(resp));
+            admit_search(req.req, req.trace_id, batcher, out_tx);
+            true
+        }
+        FrameKind::Stats => {
+            let req = match StatsRequest::decode(&frame.payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    shared.note_protocol_error();
+                    let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
+                        0,
+                        Status::BadRequest,
+                        e.to_string(),
+                    )));
+                    return true;
+                }
+            };
+            match render_stats(req.format, batcher) {
+                Some(text) => {
+                    let _ = out_tx.send(Reply::Stats(StatsResponse { text }));
+                }
+                None => {
+                    let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
+                        0,
+                        Status::BadRequest,
+                        "this server was started without observability",
+                    )));
+                }
             }
             true
         }
@@ -528,7 +649,7 @@ fn handle_frame(
             let req = match MutationRequest::decode(frame.kind, &frame.payload) {
                 Ok(req) => req,
                 Err(e) => {
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.note_protocol_error();
                     let _ = out_tx.send(Reply::Mutate(MutateResponse::rejection(
                         0,
                         Status::BadRequest,
@@ -554,8 +675,13 @@ fn handle_frame(
         }
         // A client sending server-only kinds is confused; answer and keep
         // the connection (harmless).
-        FrameKind::Response | FrameKind::Pong | FrameKind::ShutdownAck | FrameKind::MutateAck => {
-            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        FrameKind::Response
+        | FrameKind::Pong
+        | FrameKind::ShutdownAck
+        | FrameKind::MutateAck
+        | FrameKind::StatsText
+        | FrameKind::TracedResponse => {
+            shared.note_protocol_error();
             let _ = out_tx.send(Reply::Search(SearchResponse::rejection(
                 0,
                 Status::BadRequest,
@@ -564,4 +690,72 @@ fn handle_frame(
             true
         }
     }
+}
+
+/// Admits one search (traced when `trace_id != 0`) into the batcher,
+/// forwarding any synchronous rejection on the reply channel in the shape
+/// the client expects: plain responses for plain searches, traced responses
+/// (with zeroed stage timings) for traced ones, so the caller can always
+/// correlate by trace id.
+fn admit_search(
+    req: SearchRequest,
+    trace_id: u64,
+    batcher: &Batcher,
+    out_tx: &mpsc::Sender<Reply>,
+) {
+    let reject = |resp: SearchResponse| {
+        if trace_id != 0 {
+            Reply::Traced(TracedSearchResponse {
+                trace_id,
+                timings: StageTimings::default(),
+                resp,
+            })
+        } else {
+            Reply::Search(resp)
+        }
+    };
+    if req.id == CTL_ID {
+        let _ = out_tx.send(reject(SearchResponse::rejection(
+            0,
+            Status::BadRequest,
+            "request id u64::MAX is reserved for control frames",
+        )));
+        return;
+    }
+    let deadline = if req.deadline_ms == 0 {
+        None
+    } else {
+        Some(Instant::now() + Duration::from_millis(u64::from(req.deadline_ms)))
+    };
+    let id = req.id;
+    let admission = batcher.submit_traced(
+        id,
+        trace_id,
+        req.queries,
+        req.dim as usize,
+        req.r as usize,
+        req.nprobe as usize,
+        deadline,
+        out_tx.clone(),
+    );
+    if let Admission::Rejected(resp) = admission {
+        let _ = out_tx.send(reject(resp));
+    }
+}
+
+/// Renders the registry (plus the recent slow queries for the structured
+/// formats) in the requested exposition format.  `None` when the server was
+/// started without observability.
+fn render_stats(format: StatsFormat, batcher: &Batcher) -> Option<String> {
+    let handle = batcher.obs();
+    let snap = handle.snapshot()?;
+    let slow = handle
+        .obs()
+        .map(|o| o.slow_log().recent())
+        .unwrap_or_default();
+    Some(match format {
+        StatsFormat::Prometheus => snap.render_prometheus(),
+        StatsFormat::Json => snap.render_json(&slow),
+        StatsFormat::Human => snap.render_human(&slow),
+    })
 }

@@ -83,6 +83,44 @@ pub const MAX_WAL_RECORD: u64 = 1 << 28;
 const HEADER_SECTION: &str = "GKSL header";
 const RECORD_SECTION: &str = "GKSL record";
 
+/// Optional observability instruments for a [`WalWriter`].
+///
+/// Defaults to all-disabled handles (every record call is a branch on
+/// `None`), so an uninstrumented writer pays nothing.  Attach live handles
+/// with [`WalWriter::set_obs`]; the instruments are a pure side channel —
+/// they never alter what is written or when it is synced.
+#[derive(Clone, Default)]
+pub struct WalObs {
+    /// Latency of one [`WalWriter::append`] (encode + buffered write), ns.
+    pub append_nanos: obs::HistogramHandle,
+    /// Latency of one [`WalWriter::sync`] (flush + fsync), nanoseconds.
+    pub sync_nanos: obs::HistogramHandle,
+    /// Journal depth: appends not yet covered by a sync (unacknowledgeable).
+    pub depth: obs::GaugeHandle,
+}
+
+impl WalObs {
+    /// Registers the canonical GKSL instruments on `handle` (all no-ops when
+    /// the handle is disabled): `wal_append_nanos`, `wal_fsync_nanos` and
+    /// `wal_unsynced_records`.
+    pub fn register(handle: &obs::ObsHandle) -> WalObs {
+        WalObs {
+            append_nanos: handle.histogram(
+                "wal_append_nanos",
+                "Latency of one journal append (encode + buffered write)",
+            ),
+            sync_nanos: handle.histogram(
+                "wal_fsync_nanos",
+                "Latency of one journal sync (flush + fsync)",
+            ),
+            depth: handle.gauge(
+                "wal_unsynced_records",
+                "Journal depth: appends not yet covered by an fsync",
+            ),
+        }
+    }
+}
+
 /// One replayed journal record.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalRecord {
@@ -317,6 +355,8 @@ pub struct WalWriter {
     next_seq: u64,
     /// Appends since the last sync — callers must not acknowledge them yet.
     unsynced: u64,
+    /// Side-channel instruments (all-disabled unless [`WalWriter::set_obs`]).
+    obs: WalObs,
 }
 
 impl std::fmt::Debug for WalWriter {
@@ -366,6 +406,7 @@ impl WalWriter {
             dim,
             next_seq: start_seq,
             unsynced: 0,
+            obs: WalObs::default(),
         })
     }
 
@@ -427,6 +468,7 @@ impl WalWriter {
             dim: replay.dim,
             next_seq,
             unsynced: 0,
+            obs: WalObs::default(),
         };
         Ok((replay, writer))
     }
@@ -444,19 +486,37 @@ impl WalWriter {
             )));
         }
         let seq = self.next_seq;
+        let started = self
+            .obs
+            .append_nanos
+            .is_enabled()
+            .then(std::time::Instant::now);
         let record = encode_record(seq, body);
         self.writer.write_all(&record)?;
+        if let Some(t) = started {
+            self.obs.append_nanos.record_duration(t.elapsed());
+        }
         self.next_seq += 1;
         self.unsynced += 1;
+        self.obs.depth.set(self.unsynced as i64);
         Ok(seq)
     }
 
     /// Flushes buffered appends and fsyncs the journal.  After this returns,
     /// every appended record survives a crash and may be acknowledged.
     pub fn sync(&mut self) -> Result<()> {
+        let started = self
+            .obs
+            .sync_nanos
+            .is_enabled()
+            .then(std::time::Instant::now);
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        if let Some(t) = started {
+            self.obs.sync_nanos.record_duration(t.elapsed());
+        }
         self.unsynced = 0;
+        self.obs.depth.set(0);
         Ok(())
     }
 
@@ -478,6 +538,7 @@ impl WalWriter {
         self.writer = BufWriter::new(file);
         self.next_seq = start_seq;
         self.unsynced = 0;
+        self.obs.depth.set(0);
         Ok(())
     }
 
@@ -494,6 +555,12 @@ impl WalWriter {
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Attaches observability instruments.  A metrics side channel only:
+    /// the journal bytes and sync points are identical with or without it.
+    pub fn set_obs(&mut self, obs: WalObs) {
+        self.obs = obs;
     }
 }
 
@@ -763,6 +830,48 @@ mod tests {
         assert_eq!(replay.records.len(), 1);
         assert_eq!(replay.records[0].seq, 5);
         assert_eq!(replay.records[0].body, b"after-checkpoint");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn instruments_record_appends_syncs_and_depth() {
+        let dir = tempdir("obs");
+        let plain_path = dir.join("plain.gksl");
+        let obs_path = dir.join("observed.gksl");
+        let handle = obs::ObsHandle::enabled();
+
+        let mut plain = WalWriter::create(&plain_path, 1, 0).unwrap();
+        let mut observed = WalWriter::create(&obs_path, 1, 0).unwrap();
+        observed.set_obs(WalObs::register(&handle));
+        for w in [&mut plain, &mut observed] {
+            w.append(b"a").unwrap();
+            w.append(b"bb").unwrap();
+        }
+
+        let gauge = |snap: &obs::RegistrySnapshot| match snap.get("wal_unsynced_records") {
+            Some(e) => match e.value {
+                obs::MetricValue::Gauge(v) => v,
+                _ => panic!("wrong kind"),
+            },
+            None => panic!("gauge not registered"),
+        };
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.histogram("wal_append_nanos").unwrap().count(), 2);
+        assert_eq!(snap.histogram("wal_fsync_nanos").unwrap().count(), 0);
+        assert_eq!(gauge(&snap), 2, "two appends pending a sync");
+
+        plain.sync().unwrap();
+        observed.sync().unwrap();
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.histogram("wal_fsync_nanos").unwrap().count(), 1);
+        assert_eq!(gauge(&snap), 0, "sync drains the journal depth");
+
+        // Side channel only: the journal bytes are identical either way.
+        assert_eq!(
+            std::fs::read(&plain_path).unwrap(),
+            std::fs::read(&obs_path).unwrap(),
+            "instrumentation must not alter what is written"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
